@@ -1,0 +1,61 @@
+//! E0 bench — the introduction's `Wealthy` query: interpreted Machiavelli
+//! vs the native relational substrate, over growing relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli::value::Value;
+use machiavelli::Session;
+use machiavelli_relational::gen_employees;
+
+fn bench_wealthy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig0_wealthy");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let employees = gen_employees(n, 1);
+
+        // Interpreted: the paper's query through the full pipeline
+        // (type-checked once; the bench measures evaluation).
+        let mut session = Session::new();
+        session
+            .bind_external(
+                "employees",
+                employees.clone().into_value(),
+                "{[Name: string, Salary: int]}",
+            )
+            .unwrap();
+        session
+            .run("fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;")
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| session.eval_one("Wealthy(employees);").unwrap().value)
+        });
+
+        // Native: same query as select + project on the substrate.
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                employees
+                    .select(|v| {
+                        matches!(v, Value::Record(fs)
+                            if matches!(fs.get("Salary"), Some(Value::Int(s)) if *s > 100_000))
+                    })
+                    .project(&["Name"])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wealthy
+}
+criterion_main!(benches);

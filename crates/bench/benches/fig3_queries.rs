@@ -1,0 +1,85 @@
+//! E3 bench — the Figure 3 queries over a scaled part–supplier database:
+//! interpreted vs native, base-part selection and the supplied-by query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli::value::Value;
+use machiavelli_bench::scaled_parts_session;
+use machiavelli_relational::nested_loop_join;
+
+fn bench_base_parts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_base_parts");
+    group.sample_size(15);
+    for n in [20usize, 80, 250] {
+        let (mut session, db) = scaled_parts_session(n, 10, 3);
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| {
+                session
+                    .eval_one("join(parts, {[Pinfo=(BasePart of [])]});")
+                    .unwrap()
+                    .value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                db.parts.select(|v| {
+                    matches!(v, Value::Record(fs)
+                        if matches!(fs.get("Pinfo"), Some(Value::Variant(tag, _)) if tag == "BasePart"))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_supplied_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_supplied_by");
+    group.sample_size(10);
+    for n in [20usize, 80, 250] {
+        let (mut session, db) = scaled_parts_session(n, 10, 3);
+        session.run("fun Join3(x,y,z) = join(x, join(y,z));").unwrap();
+        let query = r#"select x.Pname
+                       where x <- join(parts, supplied_by)
+                       with Join3(x.Suppliers, suppliers, {[Sname="supplier0"]}) <> {};"#;
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| session.eval_one(query).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                // join parts ⋈ supplied_by, then filter on nested supplier
+                // membership, then project names.
+                let joined = nested_loop_join(&db.parts, &db.supplied_by);
+                joined
+                    .select(|v| {
+                        let Value::Record(fs) = v else { return false };
+                        let Some(Value::Set(sups)) = fs.get("Suppliers") else { return false };
+                        sups.iter().any(|s| {
+                            let Value::Record(sf) = s else { return false };
+                            db.suppliers.iter().any(|row| {
+                                let Value::Record(rf) = row else { return false };
+                                rf.get("S#") == sf.get("S#")
+                                    && rf.get("Sname") == Some(&Value::str("supplier0"))
+                            })
+                        })
+                    })
+                    .project(&["Pname"])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_base_parts, bench_supplied_by
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4 bench — transitive closure: the paper's naive fixpoint vs the
+//! semi-naive ablation, on chains (worst-case diameter) and random
+//! graphs, plus the interpreted Figure 4 `Closure` for calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli::Session;
+use machiavelli_relational::{
+    chain_edges, edges_to_relation, gen_edges, naive_closure, seminaive_closure,
+};
+
+fn bench_native_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_closure_native");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let chain = chain_edges(n);
+        group.bench_with_input(BenchmarkId::new("naive/chain", n), &chain, |b, e| {
+            b.iter(|| naive_closure(e))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive/chain", n), &chain, |b, e| {
+            b.iter(|| seminaive_closure(e))
+        });
+        let random = gen_edges(n, 2 * n, 11);
+        group.bench_with_input(BenchmarkId::new("naive/random", n), &random, |b, e| {
+            b.iter(|| naive_closure(e))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive/random", n), &random, |b, e| {
+            b.iter(|| seminaive_closure(e))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpreted_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_closure_interpreted");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let mut session = Session::new();
+        session
+            .bind_external(
+                "g",
+                edges_to_relation(&chain_edges(n)).into_value(),
+                "{[A: int, B: int]}",
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("machiavelli/chain", n), &n, |b, _| {
+            b.iter(|| session.eval_one("Closure(g);").unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_native_closure, bench_interpreted_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E5 bench — the recursive `cost` query over part hierarchies:
+//! interpreted vs native, as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli_bench::{scaled_parts_session, FIG5_SOURCE};
+use machiavelli_relational::native_cost;
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_cost");
+    group.sample_size(10);
+    for n in [10usize, 40, 120] {
+        let (mut session, db) = scaled_parts_session(n, 8, 5);
+        session.run(FIG5_SOURCE).unwrap();
+        // Cost of the most deeply nested part (the last one).
+        let query = format!(
+            "hom((fn(x) => if x.P# = {n} then cost(x) else 0), +, 0, parts);"
+        );
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| session.eval_one(&query).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| native_cost(&db.parts, n as i64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_expensive_parts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_expensive_parts");
+    group.sample_size(10);
+    for n in [10usize, 40] {
+        let (mut session, db) = scaled_parts_session(n, 8, 5);
+        session.run(FIG5_SOURCE).unwrap();
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| session.eval_one("expensive_parts(parts, 1000);").unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                (1..=n as i64)
+                    .filter(|&p| native_cost(&db.parts, p).unwrap() > 1000)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cost, bench_expensive_parts
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E7 bench — building the Figure 8 views over growing object stores:
+//! interpreted vs native.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli_bench::university_session;
+use machiavelli_oodb::{employee_view, gen_university, tf_view, UniversityParams};
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_views");
+    group.sample_size(10);
+    for n in [50usize, 150, 500] {
+        let params = UniversityParams { n_people: n, seed: 1, ..Default::default() };
+        let (mut session, uni) = university_session(params);
+        let store = uni.store();
+
+        group.bench_with_input(
+            BenchmarkId::new("employee_view/interpreted", n),
+            &n,
+            |b, _| b.iter(|| session.eval_one("EmployeeView(persons);").unwrap().value),
+        );
+        group.bench_with_input(BenchmarkId::new("employee_view/native", n), &n, |b, _| {
+            b.iter(|| employee_view(&store))
+        });
+        group.bench_with_input(BenchmarkId::new("tf_view/interpreted", n), &n, |b, _| {
+            b.iter(|| session.eval_one("TFView(persons);").unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("tf_view/native", n), &n, |b, _| {
+            b.iter(|| tf_view(&store))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_store_generation");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                gen_university(UniversityParams { n_people: n, seed: 1, ..Default::default() })
+                    .store()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_views, bench_store_generation
+}
+criterion_main!(benches);

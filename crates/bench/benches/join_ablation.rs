@@ -1,0 +1,69 @@
+//! A1 bench — natural-join strategies: nested loop vs hash vs sort-merge
+//! over flat relations with uniform and skewed (few-key) distributions.
+//! Expected shape: nested loop O(n·m) loses at scale; hash wins on
+//! equality-joinable relations; sort-merge sits between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli::value::Value;
+use machiavelli_relational::{hash_join, nested_loop_join, row, sort_merge_join, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gen_rel(n: usize, key_space: i64, labels: (&str, &str), seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows((0..n).map(|i| {
+        row(&[
+            (labels.0, Value::Int(rng.gen_range(0..key_space))),
+            (labels.1, Value::Int(i as i64)),
+        ])
+    }))
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_ablation");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        // Uniform keys: selective join.
+        let r = gen_rel(n, 4 * n as i64, ("K", "A"), 1);
+        let s = gen_rel(n, 4 * n as i64, ("K", "B"), 2);
+        group.bench_with_input(BenchmarkId::new("nested_loop/uniform", n), &n, |b, _| {
+            b.iter(|| nested_loop_join(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("hash/uniform", n), &n, |b, _| {
+            b.iter(|| hash_join(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge/uniform", n), &n, |b, _| {
+            b.iter(|| sort_merge_join(&r, &s))
+        });
+
+        // Skewed keys: few keys, large match groups.
+        let rs = gen_rel(n, 8, ("K", "A"), 3);
+        let ss = gen_rel(n, 8, ("K", "B"), 4);
+        group.bench_with_input(BenchmarkId::new("nested_loop/skewed", n), &n, |b, _| {
+            b.iter(|| nested_loop_join(&rs, &ss))
+        });
+        group.bench_with_input(BenchmarkId::new("hash/skewed", n), &n, |b, _| {
+            b.iter(|| hash_join(&rs, &ss))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge/skewed", n), &n, |b, _| {
+            b.iter(|| sort_merge_join(&rs, &ss))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_strategies
+}
+criterion_main!(benches);

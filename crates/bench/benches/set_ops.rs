@@ -1,0 +1,74 @@
+//! Substrate bench — canonical-set operations (union, intersection,
+//! membership, construction) and the generalized `unionc`, over growing
+//! sets. Expected shape: merge-based union/intersect linear; membership
+//! logarithmic; construction n·log n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows so the full figure suite runs in minutes;
+/// rerun individual benches with Criterion CLI flags for precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+use machiavelli::value::{unionc_value, MSet, Value};
+
+fn ints(lo: i64, hi: i64) -> MSet {
+    MSet::from_iter((lo..hi).map(Value::Int))
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_ops");
+    for n in [1_000i64, 10_000, 100_000] {
+        let a = ints(0, n);
+        let b = ints(n / 2, n + n / 2);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bch, _| {
+            bch.iter(|| a.union(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bch, _| {
+            bch.iter(|| a.intersect(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &n, |bch, _| {
+            bch.iter(|| a.difference(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("member", n), &n, |bch, _| {
+            bch.iter(|| a.contains(&Value::Int(n - 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("construct", n), &n, |bch, &n| {
+            bch.iter(|| MSet::from_iter((0..n).rev().map(Value::Int)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unionc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unionc");
+    group.sample_size(20);
+    for n in [100i64, 1_000] {
+        let students = Value::Set(MSet::from_iter((0..n).map(|i| {
+            Value::record([
+                ("Name".to_string(), Value::str(format!("s{i}"))),
+                ("Advisor".to_string(), Value::Int(i % 10)),
+            ])
+        })));
+        let employees = Value::Set(MSet::from_iter((0..n).map(|i| {
+            Value::record([
+                ("Name".to_string(), Value::str(format!("e{i}"))),
+                ("Salary".to_string(), Value::Int(i * 100)),
+            ])
+        })));
+        group.bench_with_input(BenchmarkId::new("records", n), &n, |b, _| {
+            b.iter(|| unionc_value(&students, &employees).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_set_ops, bench_unionc
+}
+criterion_main!(benches);

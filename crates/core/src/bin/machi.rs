@@ -1,0 +1,87 @@
+//! `machi` — run Machiavelli programs from files or stdin.
+//!
+//! ```sh
+//! machi program.mch            # run a script, print each result
+//! machi -q program.mch         # print only the final result
+//! machi -t program.mch         # type-check only (no evaluation)
+//! machi                        # read a program from stdin
+//! ```
+
+use machiavelli::Session;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: machi [-q | -t] [FILE.mch]");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut type_only = false;
+    let mut file: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-q" => quiet = true,
+            "-t" => type_only = true,
+            "-h" | "--help" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => {
+                if file.replace(arg).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+
+    let source = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("machi: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("machi: cannot read stdin");
+                return ExitCode::from(1);
+            }
+            s
+        }
+    };
+
+    let mut session = Session::new();
+    if type_only {
+        match session.type_of(&source) {
+            Ok(ty) => {
+                println!("{ty}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("machi: {e}");
+                ExitCode::from(1)
+            }
+        }
+    } else {
+        match session.run(&source) {
+            Ok(outcomes) => {
+                if quiet {
+                    if let Some(last) = outcomes.last() {
+                        println!(">> {}", last.show());
+                    }
+                } else {
+                    for o in outcomes {
+                        println!(">> {}", o.show());
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("machi: {e}");
+                ExitCode::from(1)
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Session-level errors: any stage of the pipeline can fail.
+
+use machiavelli_eval::EvalError;
+use machiavelli_types::TypeError;
+use std::fmt;
+
+/// An error from parsing, type inference, or evaluation.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A syntax error (pre-rendered with line/column information).
+    Parse(String),
+    Type(TypeError),
+    Eval(EvalError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(msg) => write!(f, "{msg}"),
+            SessionError::Type(e) => write!(f, "type error: {e}"),
+            SessionError::Eval(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        let e = SessionError::Type(TypeError::UnboundVariable("x".into()));
+        assert!(e.to_string().starts_with("type error:"));
+        let e = SessionError::Eval(EvalError::StackOverflow);
+        assert!(e.to_string().starts_with("runtime error:"));
+    }
+}

@@ -1,0 +1,516 @@
+//! Persistence (§6: "the most important \[way\] in which Machiavelli needs
+//! to be augmented … is the implementation of persistence").
+//!
+//! Description values serialize to a compact, self-contained text format:
+//!
+//! * reference cells are hoisted into a table keyed by local ids, so
+//!   **sharing and cycles survive** a save/load round trip (two records
+//!   sharing a department object still share it after loading);
+//! * identities are *fresh* on load — object identity is per session, as
+//!   the paper defines it, so loaded objects equal each other exactly
+//!   according to the saved sharing structure;
+//! * function values do not persist (they are not description values).
+//!
+//! [`Session::save_bindings`](crate::Session::save_bindings) /
+//! [`Session::load_bindings`](crate::Session::load_bindings) persist
+//! whole top-level bindings together with their (printed) types.
+//!
+//! Grammar of the value encoding (`<n>` are decimal lengths/counts/ids):
+//!
+//! ```text
+//! v ::= u | T | F | i<n>: | f<bits>: | s<n>:<bytes>
+//!     | R<n>{ l v … }   record with n fields (labels length-prefixed)
+//!     | V l v           variant
+//!     | S<n>[ v … ]     set
+//!     | r<id>           reference (table index)
+//!     | d<id> v         dynamic (identity table index, payload inline)
+//! ```
+
+use machiavelli_value::{DynValue, MSet, RefValue, Value};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Errors from encoding/decoding persisted values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Function values (closures, operators, builtins) cannot persist.
+    NotADescription,
+    /// The input is malformed at the given byte offset.
+    Malformed { offset: usize, expected: &'static str },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NotADescription => {
+                write!(f, "function values are not description values and cannot persist")
+            }
+            PersistError::Malformed { offset, expected } => {
+                write!(f, "malformed persisted value at byte {offset}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Encode a description value (with its reachable reference graph).
+pub fn encode_value(v: &Value) -> Result<String, PersistError> {
+    let mut enc = Encoder::default();
+    let body = enc.encode(v)?;
+    // Emit the ref table first: `refs<n>{ <id>=<value> … }`. Cells may
+    // reference each other (and themselves), which is fine because ids
+    // are assigned before contents are encoded.
+    let mut out = String::new();
+    let _ = write!(out, "refs{}{{", enc.table.len());
+    // Table entries in id order for determinism.
+    let mut entries: Vec<(u32, String)> = enc.table.into_values().collect();
+    entries.sort_by_key(|(id, _)| *id);
+    for (id, contents) in entries {
+        let _ = write!(out, "{id}={contents};");
+    }
+    out.push('}');
+    out.push_str(&body);
+    Ok(out)
+}
+
+/// Decode a value previously produced by [`encode_value`]. All reference
+/// and dynamic identities are freshly allocated (per-session identity).
+pub fn decode_value(src: &str) -> Result<Value, PersistError> {
+    let mut dec = Decoder { src: src.as_bytes(), pos: 0, refs: HashMap::new() };
+    dec.expect("refs")?;
+    let n = dec.number()? as usize;
+    dec.expect("{")?;
+    // Pass 1: allocate all cells (so cyclic references resolve).
+    let mut bodies: Vec<(u32, usize)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = dec.number()? as u32;
+        dec.expect("=")?;
+        let start = dec.pos;
+        dec.skip_value()?;
+        let end = dec.pos;
+        dec.expect(";")?;
+        dec.refs.insert(id, RefValue::new(Value::Unit));
+        bodies.push((id, start));
+        let _ = end;
+    }
+    dec.expect("}")?;
+    let root_start = dec.pos;
+    // Pass 2: decode each cell's contents with the full table in scope.
+    for (id, start) in &bodies {
+        let mut cell_dec =
+            Decoder { src: dec.src, pos: *start, refs: dec.refs.clone() };
+        let contents = cell_dec.value()?;
+        dec.refs[id].set(contents);
+    }
+    let mut root_dec = Decoder { src: dec.src, pos: root_start, refs: dec.refs.clone() };
+    let v = root_dec.value()?;
+    if root_dec.pos != dec.src.len() {
+        return Err(PersistError::Malformed { offset: root_dec.pos, expected: "end of input" });
+    }
+    Ok(v)
+}
+
+#[derive(Default)]
+struct Encoder {
+    /// Original ref identity → (local id, encoded contents).
+    table: BTreeMap<u64, (u32, String)>,
+    next: u32,
+}
+
+impl Encoder {
+    fn encode(&mut self, v: &Value) -> Result<String, PersistError> {
+        let mut out = String::new();
+        self.write(v, &mut out)?;
+        Ok(out)
+    }
+
+    fn write(&mut self, v: &Value, out: &mut String) -> Result<(), PersistError> {
+        match v {
+            Value::Unit => out.push('u'),
+            Value::Bool(true) => out.push('T'),
+            Value::Bool(false) => out.push('F'),
+            Value::Int(n) => {
+                let _ = write!(out, "i{n}:");
+            }
+            Value::Real(r) => {
+                let _ = write!(out, "f{}:", r.to_bits());
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "s{}:{s}", s.len());
+            }
+            Value::Record(fs) => {
+                let _ = write!(out, "R{}{{", fs.len());
+                for (l, fv) in fs {
+                    let _ = write!(out, "l{}:{l}", l.len());
+                    self.write(fv, out)?;
+                }
+                out.push('}');
+            }
+            Value::Variant(l, p) => {
+                let _ = write!(out, "Vl{}:{l}", l.len());
+                self.write(p, out)?;
+            }
+            Value::Set(items) => {
+                let _ = write!(out, "S{}[", items.len());
+                for item in items.iter() {
+                    self.write(item, out)?;
+                }
+                out.push(']');
+            }
+            Value::Ref(r) => {
+                let local = match self.table.get(&r.id) {
+                    Some((local, _)) => *local,
+                    None => {
+                        let local = self.next;
+                        self.next += 1;
+                        // Reserve the slot before recursing (cycles!).
+                        self.table.insert(r.id, (local, String::new()));
+                        let contents = self.encode(&r.get())?;
+                        self.table.get_mut(&r.id).expect("reserved").1 = contents;
+                        local
+                    }
+                };
+                let _ = write!(out, "r{local}.");
+            }
+            Value::Dynamic(d) => {
+                let _ = write!(out, "d{}.", d.id);
+                self.write(&d.value, out)?;
+            }
+            Value::Closure(_) | Value::Op(_) | Value::Builtin(_) => {
+                return Err(PersistError::NotADescription)
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Decoder<'a> {
+    src: &'a [u8],
+    pos: usize,
+    refs: HashMap<u32, RefValue>,
+}
+
+impl Decoder<'_> {
+    fn err(&self, expected: &'static str) -> PersistError {
+        PersistError::Malformed { offset: self.pos, expected }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, lit: &'static str) -> Result<(), PersistError> {
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(lit))
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, PersistError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("a number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("a number"))
+    }
+
+    fn unsigned(&mut self) -> Result<u64, PersistError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("an unsigned number"))
+    }
+
+    fn sized_str(&mut self) -> Result<String, PersistError> {
+        let n = self.number()? as usize;
+        self.expect(":")?;
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.src.len());
+        let Some(end) = end else { return Err(self.err("string bytes")) };
+        let s = std::str::from_utf8(&self.src[self.pos..end])
+            .map_err(|_| self.err("utf-8 string"))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn label(&mut self) -> Result<String, PersistError> {
+        self.expect("l")?;
+        self.sized_str()
+    }
+
+    fn value(&mut self) -> Result<Value, PersistError> {
+        match self.peek() {
+            Some(b'u') => {
+                self.pos += 1;
+                Ok(Value::Unit)
+            }
+            Some(b'T') => {
+                self.pos += 1;
+                Ok(Value::Bool(true))
+            }
+            Some(b'F') => {
+                self.pos += 1;
+                Ok(Value::Bool(false))
+            }
+            Some(b'i') => {
+                self.pos += 1;
+                let n = self.number()?;
+                self.expect(":")?;
+                Ok(Value::Int(n))
+            }
+            Some(b'f') => {
+                self.pos += 1;
+                let bits = self.unsigned()?;
+                self.expect(":")?;
+                Ok(Value::Real(f64::from_bits(bits)))
+            }
+            Some(b's') => {
+                self.pos += 1;
+                Ok(Value::Str(self.sized_str()?))
+            }
+            Some(b'R') => {
+                self.pos += 1;
+                let n = self.number()? as usize;
+                self.expect("{")?;
+                let mut fs = BTreeMap::new();
+                for _ in 0..n {
+                    let l = self.label()?;
+                    let v = self.value()?;
+                    fs.insert(l, v);
+                }
+                self.expect("}")?;
+                Ok(Value::Record(fs))
+            }
+            Some(b'V') => {
+                self.pos += 1;
+                let l = self.label()?;
+                let p = self.value()?;
+                Ok(Value::Variant(l, Box::new(p)))
+            }
+            Some(b'S') => {
+                self.pos += 1;
+                let n = self.number()? as usize;
+                self.expect("[")?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                self.expect("]")?;
+                Ok(Value::Set(MSet::from_iter(items)))
+            }
+            Some(b'r') => {
+                self.pos += 1;
+                let id = self.number()? as u32;
+                self.expect(".")?;
+                let cell = self.refs.get(&id).ok_or_else(|| self.err("a known ref id"))?;
+                Ok(Value::Ref(cell.clone()))
+            }
+            Some(b'd') => {
+                self.pos += 1;
+                let _saved_id = self.unsigned()?;
+                self.expect(".")?;
+                let payload = self.value()?;
+                // Fresh identity, as for refs.
+                Ok(Value::Dynamic(DynValue::new(payload, None)))
+            }
+            _ => Err(self.err("a value tag")),
+        }
+    }
+
+    /// Skip over one encoded value without building it (used to find the
+    /// extents of ref-table entries before cells exist).
+    fn skip_value(&mut self) -> Result<(), PersistError> {
+        match self.peek() {
+            Some(b'u' | b'T' | b'F') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b'i') => {
+                self.pos += 1;
+                self.number()?;
+                self.expect(":")
+            }
+            Some(b'f') => {
+                self.pos += 1;
+                self.unsigned()?;
+                self.expect(":")
+            }
+            Some(b's') => {
+                self.pos += 1;
+                self.sized_str()?;
+                Ok(())
+            }
+            Some(b'R') => {
+                self.pos += 1;
+                let n = self.number()? as usize;
+                self.expect("{")?;
+                for _ in 0..n {
+                    self.label()?;
+                    self.skip_value()?;
+                }
+                self.expect("}")
+            }
+            Some(b'V') => {
+                self.pos += 1;
+                self.label()?;
+                self.skip_value()
+            }
+            Some(b'S') => {
+                self.pos += 1;
+                let n = self.number()? as usize;
+                self.expect("[")?;
+                for _ in 0..n {
+                    self.skip_value()?;
+                }
+                self.expect("]")
+            }
+            Some(b'r') => {
+                self.pos += 1;
+                self.number()?;
+                self.expect(".")
+            }
+            Some(b'd') => {
+                self.pos += 1;
+                self.unsigned()?;
+                self.expect(".")?;
+                self.skip_value()
+            }
+            _ => Err(self.err("a value tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let enc = encode_value(v).unwrap();
+        decode_value(&enc).unwrap_or_else(|e| panic!("decode {enc:?}: {e}"))
+    }
+
+    #[test]
+    fn base_values_roundtrip() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Real(2.5),
+            Value::str("héllo: with, punctuation{}[]"),
+            Value::str(""),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn real_bits_preserved() {
+        let v = Value::Real(f64::NAN);
+        let Value::Real(r) = roundtrip(&v) else { panic!() };
+        assert!(r.is_nan());
+        assert_eq!(roundtrip(&Value::Real(-0.0)), Value::Real(-0.0));
+    }
+
+    #[test]
+    fn structures_roundtrip() {
+        let v = Value::set([
+            Value::record([
+                ("Name".into(), Value::str("Joe")),
+                ("Tags".into(), Value::set([Value::Int(1), Value::Int(2)])),
+            ]),
+            Value::record([
+                ("Name".into(), Value::str("Sue")),
+                ("Tags".into(), Value::set([])),
+            ]),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        let v = Value::variant("BasePart", Value::record([("Cost".into(), Value::Int(5))]));
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn sharing_is_preserved() {
+        // Two employees share one department: after loading, updating
+        // through one is visible through the other.
+        let dept = RefValue::new(Value::record([("Building".into(), Value::Int(45))]));
+        let v = Value::tuple([
+            Value::record([("Dept".into(), Value::Ref(dept.clone()))]),
+            Value::record([("Dept".into(), Value::Ref(dept))]),
+        ]);
+        let loaded = roundtrip(&v);
+        let Value::Record(pair) = &loaded else { panic!() };
+        let (Value::Record(e1), Value::Record(e2)) = (&pair["#1"], &pair["#2"]) else { panic!() };
+        let (Value::Ref(d1), Value::Ref(d2)) = (&e1["Dept"], &e2["Dept"]) else { panic!() };
+        assert_eq!(d1.id, d2.id, "sharing preserved");
+        d1.set(Value::record([("Building".into(), Value::Int(67))]));
+        assert_eq!(d2.get(), Value::record([("Building".into(), Value::Int(67))]));
+    }
+
+    #[test]
+    fn unshared_refs_stay_unshared() {
+        let v = Value::tuple([
+            Value::Ref(RefValue::new(Value::Int(3))),
+            Value::Ref(RefValue::new(Value::Int(3))),
+        ]);
+        let loaded = roundtrip(&v);
+        let Value::Record(pair) = &loaded else { panic!() };
+        assert_ne!(pair["#1"], pair["#2"], "distinct identities");
+    }
+
+    #[test]
+    fn cyclic_refs_roundtrip() {
+        let cell = RefValue::new(Value::Unit);
+        cell.set(Value::record([("Self".into(), Value::Ref(cell.clone()))]));
+        let loaded = roundtrip(&Value::Ref(cell));
+        let Value::Ref(r) = &loaded else { panic!() };
+        let Value::Record(fs) = r.get() else { panic!() };
+        let Value::Ref(inner) = &fs["Self"] else { panic!() };
+        assert_eq!(inner.id, r.id, "cycle closed");
+    }
+
+    #[test]
+    fn dynamics_roundtrip_with_fresh_identity() {
+        let v = Value::Dynamic(DynValue::new(Value::str("payload"), None));
+        let loaded = roundtrip(&v);
+        let Value::Dynamic(d) = &loaded else { panic!() };
+        assert_eq!(*d.value, Value::str("payload"));
+        assert_ne!(loaded, v, "fresh identity on load");
+    }
+
+    #[test]
+    fn functions_refuse_to_persist() {
+        let v = Value::Op(machiavelli_syntax::ast::BinOp::Add);
+        assert_eq!(encode_value(&v), Err(PersistError::NotADescription));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in ["", "refs0{}x", "refs0{}i1", "refs1{0=i1:;}r9.", "refs0{}s5:ab"] {
+            assert!(decode_value(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let enc = encode_value(&Value::Int(1)).unwrap();
+        assert!(decode_value(&format!("{enc}u")).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! A line-oriented REPL harness over [`crate::Session`].
+//!
+//! Mirrors the paper's interactive transcripts: `->` prompts, `>>`
+//! result lines. Input accumulates until a `;` completes a phrase.
+
+use crate::session::Session;
+use std::io::{BufRead, Write};
+
+/// Run a REPL over arbitrary input/output streams. Returns when the
+/// input ends or a line is exactly `quit;`.
+pub fn run_repl(
+    session: &mut Session,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    writeln!(
+        output,
+        "Machiavelli (SIGMOD 1989 reproduction). End phrases with `;`; `quit;` exits."
+    )?;
+    let mut pending = String::new();
+    write!(output, "-> ")?;
+    output.flush()?;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim() == "quit;" {
+            writeln!(output, "goodbye")?;
+            return Ok(());
+        }
+        pending.push_str(&line);
+        pending.push('\n');
+        if complete(&pending) {
+            match session.run(&pending) {
+                Ok(outcomes) => {
+                    for o in outcomes {
+                        writeln!(output, ">> {}", o.show())?;
+                    }
+                }
+                Err(e) => writeln!(output, ">> error: {e}")?,
+            }
+            pending.clear();
+            write!(output, "-> ")?;
+        } else {
+            write!(output, ".. ")?;
+        }
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// A phrase is complete when a `;` appears outside strings, comments and
+/// brackets — a cheap scan sufficient for interactive use.
+fn complete(src: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut comment = 0i32;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut semi_at_top = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else if comment > 0 {
+            if b == b'(' && bytes.get(i + 1) == Some(&b'*') {
+                comment += 1;
+                i += 1;
+            } else if b == b'*' && bytes.get(i + 1) == Some(&b')') {
+                comment -= 1;
+                i += 1;
+            }
+        } else {
+            match b {
+                b'(' if bytes.get(i + 1) == Some(&b'*') => {
+                    comment += 1;
+                    i += 1;
+                }
+                b'"' => {
+                    // Heuristic: only treat as a string opener when a
+                    // closing quote exists later on the same line.
+                    let rest = &src[i + 1..];
+                    if let Some(end) = rest.find(['"', '\n']) {
+                        if rest.as_bytes()[end] == b'"' {
+                            in_string = true;
+                        }
+                    }
+                }
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth <= 0 => semi_at_top = true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    semi_at_top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_detection() {
+        assert!(complete("1;"));
+        assert!(!complete("fun f(x) ="));
+        assert!(!complete("{[A=1"));
+        assert!(complete("select x where x <- S with true;"));
+        assert!(!complete("(* comment; *)"));
+        assert!(!complete("\"semi; in string\""));
+        assert!(complete("\"done\";"));
+    }
+
+    #[test]
+    fn scripted_repl_session() {
+        let mut session = Session::new();
+        let input = b"1 + 1;\nfun double(x) =\nx * 2;\ndouble(21);\nquit;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(">> val it = 2 : int"), "{text}");
+        assert!(text.contains(">> val double = fn : int -> int"), "{text}");
+        assert!(text.contains(">> val it = 42 : int"), "{text}");
+        assert!(text.contains("goodbye"), "{text}");
+    }
+
+    #[test]
+    fn repl_reports_errors_and_continues() {
+        let mut session = Session::new();
+        let input = b"1 + true;\n2;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(">> error:"), "{text}");
+        assert!(text.contains(">> val it = 2 : int"), "{text}");
+    }
+}

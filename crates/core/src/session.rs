@@ -1,0 +1,364 @@
+//! An interactive Machiavelli session: parse → type-infer → evaluate.
+//!
+//! [`Session`] reproduces the paper's top-level loop: each phrase is
+//! statically checked (rejecting ill-typed programs before evaluation),
+//! then evaluated, and the result is reported in the paper's
+//! `>> val it = … : …` form.
+
+use crate::error::SessionError;
+use machiavelli_eval::{builtin_env, eval_expr, PRELUDE};
+use machiavelli_syntax::ast::{Expr, ExprKind, Phrase, PhraseKind};
+use machiavelli_syntax::parse_program;
+use machiavelli_types::{Inferencer, Scheme, TypeEnv};
+use machiavelli_value::{show_value, Env, Value};
+
+/// The result of one top-level phrase.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The bound name (`it` for bare expressions).
+    pub name: String,
+    /// The computed value.
+    pub value: Value,
+    /// The inferred (possibly conditional) type scheme.
+    pub scheme: Scheme,
+}
+
+impl Outcome {
+    /// Render in the paper's output format:
+    /// `val Wealthy = fn : {[("a) Name:"b,Salary:int]} -> {"b}`.
+    pub fn show(&self) -> String {
+        format!("val {} = {} : {}", self.name, show_value(&self.value), self.scheme.show())
+    }
+}
+
+/// A stateful interpreter session.
+pub struct Session {
+    inferencer: Inferencer,
+    type_env: TypeEnv,
+    env: Env,
+}
+
+impl Session {
+    /// A session with the standard prelude (`map`, `filter`, `member`,
+    /// `prod`, `Closure`, …) loaded.
+    pub fn new() -> Session {
+        let mut s = Session::bare();
+        s.run(PRELUDE)
+            .expect("the standard prelude must type-check and evaluate");
+        s
+    }
+
+    /// A session with only the language builtins (no prelude).
+    pub fn bare() -> Session {
+        let inferencer = Inferencer::new();
+        let type_env = inferencer.builtin_env();
+        Session { inferencer, type_env, env: builtin_env() }
+    }
+
+    /// Run a program (one or more `;`-terminated phrases), returning one
+    /// [`Outcome`] per phrase.
+    pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, SessionError> {
+        let program = parse_program(src)
+            .map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
+        let mut out = Vec::with_capacity(program.len());
+        for phrase in &program {
+            out.push(self.run_phrase(phrase)?);
+        }
+        Ok(out)
+    }
+
+    /// Run a program and return only the final outcome.
+    pub fn eval_one(&mut self, src: &str) -> Result<Outcome, SessionError> {
+        let mut outcomes = self.run(src)?;
+        outcomes.pop().ok_or_else(|| SessionError::Parse("empty program".into()))
+    }
+
+    /// Infer the type of a program's final phrase without changing the
+    /// session (environments are cloned).
+    pub fn type_of(&self, src: &str) -> Result<String, SessionError> {
+        let program = parse_program(src)
+            .map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
+        let mut scratch_types = self.type_env.clone();
+        // Fresh inferencer sharing nothing: instantiate schemes from the
+        // cloned environment (schemes own their quantified variables, so
+        // clones are safe to instantiate). Its ids continue from the
+        // session's so display names never alias scheme variables.
+        let mut inferencer = Inferencer::starting_at(self.inferencer.gen.next_id());
+        let mut last = None;
+        for phrase in &program {
+            last = Some(
+                inferencer
+                    .infer_phrase(&mut scratch_types, phrase)
+                    .map_err(SessionError::Type)?,
+            );
+        }
+        last.map(|p| p.scheme.show())
+            .ok_or_else(|| SessionError::Parse("empty program".into()))
+    }
+
+    /// Look up a bound value.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.env.lookup(name)
+    }
+
+    /// Look up a bound scheme.
+    pub fn scheme_of(&self, name: &str) -> Option<&Scheme> {
+        self.type_env.lookup(name)
+    }
+
+    /// Bind an externally built value (e.g. a relation generated natively
+    /// in Rust) with an explicit type, written in Machiavelli type syntax.
+    /// The type is checked to be well-formed but the value is trusted.
+    pub fn bind_external(
+        &mut self,
+        name: &str,
+        value: Value,
+        type_src: &str,
+    ) -> Result<(), SessionError> {
+        let te = machiavelli_syntax::parse_type(type_src)
+            .map_err(|e| SessionError::Parse(e.display_with_source(type_src)))?;
+        let ty = machiavelli_types::lower_open(&te, &self.inferencer.gen, 0)
+            .map_err(SessionError::Type)?;
+        self.type_env.bind(name, Scheme::mono(ty));
+        self.env = self.env.bind(name, value);
+        Ok(())
+    }
+
+    /// Persist bindings (description values only) to a self-contained
+    /// string: each entry stores the name, the printed type, and the
+    /// encoded value with its reference graph (sharing and cycles
+    /// preserved). Only monomorphic bindings persist — polymorphic
+    /// functions are code, not data.
+    pub fn save_bindings(&self, names: &[&str]) -> Result<String, SessionError> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for name in names {
+            let value = self.get(name).ok_or_else(|| {
+                SessionError::Type(machiavelli_types::TypeError::UnboundVariable(
+                    (*name).to_string(),
+                ))
+            })?;
+            let scheme = self.scheme_of(name).ok_or_else(|| {
+                SessionError::Type(machiavelli_types::TypeError::UnboundVariable(
+                    (*name).to_string(),
+                ))
+            })?;
+            if !scheme.vars.is_empty() || !scheme.constraints.is_empty() {
+                return Err(SessionError::Parse(format!(
+                    "cannot persist `{name}`: polymorphic bindings do not persist"
+                )));
+            }
+            let ty = scheme.show();
+            let encoded = crate::persist::encode_value(&value)
+                .map_err(|e| SessionError::Parse(format!("cannot persist `{name}`: {e}")))?;
+            let _ = write!(
+                out,
+                "b{}:{name}{}:{ty}{}:{encoded}",
+                name.len(),
+                ty.len(),
+                encoded.len()
+            );
+        }
+        Ok(out)
+    }
+
+    /// Load bindings previously produced by [`Session::save_bindings`],
+    /// returning the bound names. Reference identities are fresh (object
+    /// identity is per session) but the saved sharing structure is
+    /// preserved.
+    pub fn load_bindings(&mut self, data: &str) -> Result<Vec<String>, SessionError> {
+        let bytes = data.as_bytes();
+        let mut pos = 0usize;
+        let malformed =
+            |pos: usize| SessionError::Parse(format!("malformed saved bindings at byte {pos}"));
+        let read_sized = |bytes: &[u8], pos: &mut usize| -> Option<String> {
+            let start = *pos;
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+            let n: usize = std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok()?;
+            if bytes.get(*pos) != Some(&b':') {
+                return None;
+            }
+            *pos += 1;
+            let end = pos.checked_add(n).filter(|&e| e <= bytes.len())?;
+            let s = std::str::from_utf8(&bytes[*pos..end]).ok()?.to_string();
+            *pos = end;
+            Some(s)
+        };
+        let mut names = Vec::new();
+        while pos < bytes.len() {
+            if bytes[pos] != b'b' {
+                return Err(malformed(pos));
+            }
+            pos += 1;
+            let name = read_sized(bytes, &mut pos).ok_or_else(|| malformed(pos))?;
+            let ty = read_sized(bytes, &mut pos).ok_or_else(|| malformed(pos))?;
+            let encoded = read_sized(bytes, &mut pos).ok_or_else(|| malformed(pos))?;
+            let value = crate::persist::decode_value(&encoded)
+                .map_err(|e| SessionError::Parse(format!("cannot load `{name}`: {e}")))?;
+            self.bind_external(&name, value, &ty)?;
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    fn run_phrase(&mut self, phrase: &Phrase) -> Result<Outcome, SessionError> {
+        let typed = self
+            .inferencer
+            .infer_phrase(&mut self.type_env, phrase)
+            .map_err(SessionError::Type)?;
+        let value = match &phrase.kind {
+            PhraseKind::Val { expr, .. } | PhraseKind::Expr(expr) => {
+                eval_expr(&self.env, expr).map_err(SessionError::Eval)?
+            }
+            PhraseKind::Fun { name, params, body } => {
+                let rec = Expr::new(
+                    ExprKind::Rec {
+                        name: name.clone(),
+                        body: Box::new(Expr::new(
+                            ExprKind::Lambda {
+                                params: params.clone(),
+                                body: Box::new(body.clone()),
+                            },
+                            phrase.span,
+                        )),
+                    },
+                    phrase.span,
+                );
+                eval_expr(&self.env, &rec).map_err(SessionError::Eval)?
+            }
+        };
+        self.env = self.env.bind(typed.name.clone(), value.clone());
+        Ok(Outcome { name: typed.name, value, scheme: typed.scheme })
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_session() {
+        let mut s = Session::bare();
+        let out = s.eval_one("1;").unwrap();
+        assert_eq!(out.show(), "val it = 1 : int");
+        let out = s.eval_one("fun id(x) = x;").unwrap();
+        assert_eq!(out.show(), "val id = fn : 'a -> 'a");
+        let out = s.eval_one("id(1);").unwrap();
+        assert_eq!(out.show(), "val it = 1 : int");
+    }
+
+    #[test]
+    fn prelude_loads_and_types() {
+        let s = Session::new();
+        assert_eq!(
+            s.scheme_of("map").unwrap().show(),
+            "((\"a -> \"b) * {\"a}) -> {\"b}"
+        );
+        assert_eq!(s.scheme_of("member").unwrap().show(), "(\"a * {\"a}) -> bool");
+        assert_eq!(
+            s.scheme_of("Closure").unwrap().show(),
+            "{[A:\"a,B:\"a]} -> {[A:\"a,B:\"a]}"
+        );
+    }
+
+    #[test]
+    fn ill_typed_phrase_not_evaluated() {
+        let mut s = Session::bare();
+        assert!(matches!(s.run("1 + true;"), Err(SessionError::Type(_))));
+        // The session stays usable.
+        assert!(s.run("2;").is_ok());
+    }
+
+    #[test]
+    fn it_binding_chains() {
+        let mut s = Session::bare();
+        s.run("41;").unwrap();
+        let out = s.eval_one("it + 1;").unwrap();
+        assert_eq!(out.show(), "val it = 42 : int");
+    }
+
+    #[test]
+    fn type_of_does_not_mutate() {
+        let mut s = Session::bare();
+        let t = s.type_of("val x = 1; x;").unwrap();
+        assert_eq!(t, "int");
+        // `x` was not actually bound.
+        assert!(matches!(s.run("x;"), Err(SessionError::Type(_))));
+    }
+
+    #[test]
+    fn bind_external_value() {
+        let mut s = Session::new();
+        s.bind_external(
+            "r",
+            Value::set([Value::record([("A".into(), Value::Int(1))])]),
+            "{[A: int]}",
+        )
+        .unwrap();
+        let out = s.eval_one("select x.A where x <- r with true;").unwrap();
+        assert_eq!(out.show(), "val it = {1} : {int}");
+    }
+
+    #[test]
+    fn save_and_load_bindings() {
+        let mut s = Session::new();
+        s.run(r#"val db = {[Name="Joe", Salary=1], [Name="Sue", Salary=200000]};
+                 val answer = 42;"#)
+            .unwrap();
+        // The set literal generalizes to a scheme with a quantified desc
+        // var? No — all fields are ground, so it is monomorphic enough to
+        // persist. Save, then load into a fresh session and query.
+        let saved = s.save_bindings(&["db", "answer"]).unwrap();
+        let mut s2 = Session::new();
+        let names = s2.load_bindings(&saved).unwrap();
+        assert_eq!(names, vec!["db", "answer"]);
+        let out = s2
+            .eval_one("select x.Name where x <- db with x.Salary > 100000;")
+            .unwrap();
+        assert_eq!(out.show(), r#"val it = {"Sue"} : {string}"#);
+        assert_eq!(s2.eval_one("answer;").unwrap().show(), "val it = 42 : int");
+    }
+
+    #[test]
+    fn functions_do_not_persist() {
+        let mut s = Session::new();
+        s.run("fun f(x) = x;").unwrap();
+        assert!(s.save_bindings(&["f"]).is_err());
+    }
+
+    #[test]
+    fn persisted_refs_keep_sharing() {
+        let mut s = Session::new();
+        s.run(r#"val d = ref([Building=45]);
+                 val emps = {[Name="Jones", Dept=d], [Name="Smith", Dept=d]};"#)
+            .unwrap();
+        let saved = s.save_bindings(&["emps"]).unwrap();
+        let mut s2 = Session::new();
+        s2.load_bindings(&saved).unwrap();
+        // Update the department through one employee; the other sees it.
+        s2.run(
+            "val one = hom((fn(x) => (x.Dept := [Building=67])),                            (fn(a,b) => a), (), emps);",
+        )
+        .unwrap();
+        let out = s2
+            .eval_one("card(select x where x <- emps with (!(x.Dept)).Building = 67);")
+            .unwrap();
+        assert_eq!(out.show(), "val it = 2 : int");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let mut s = Session::bare();
+        let err = s.run("val = ;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("syntax error"), "{msg}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Object-oriented databases in Machiavelli (§5 of the paper).
+//!
+//! * [`object`] — person objects (`ref`s with optional attributes) and
+//!   object stores;
+//! * [`views`] — the Figure 8 views (`PersonView`, `EmployeeView`,
+//!   `StudentView`, `TFView`), natively and in Machiavelli source;
+//! * [`classes`] — the class algebra: `join` = intersection of extents +
+//!   union of methods, `unionc` = generalization, identity-based
+//!   `member`;
+//! * [`university`] — a scalable generator for the People ⊇ {Students,
+//!   Employees} ⊇ TeachingFellows taxonomy (Figure 6);
+//! * [`dynamic`] — external untyped databases as sets of `dynamic`
+//!   values with typed views.
+
+pub mod classes;
+pub mod dynamic;
+pub mod object;
+pub mod university;
+pub mod views;
+
+pub use classes::{class_join, class_member, class_unionc};
+pub use dynamic::{department_shape, dynamic_view, employee_shape, gen_external_db};
+pub use object::{
+    make_person, optional_value, person_field, store_value, PersonSpec, PERSON_STORE_TYPE,
+};
+pub use university::{gen_university, University, UniversityParams};
+pub use views::{employee_view, person_view, student_view, tf_view, MACHIAVELLI_VIEWS};

@@ -1,0 +1,104 @@
+//! Parallel `hom` (ablation A2).
+//!
+//! The paper observes that *proper* applications of `hom` — `op`
+//! associative and commutative, `f` side-effect free — "have the property
+//! of being computable in parallel". This module demonstrates the claim
+//! on the native substrate: [`par_hom`] splits the set across threads,
+//! folds each chunk, and combines the partial results with `op`.
+//!
+//! Machiavelli's interpreted values are deliberately single-threaded
+//! (`Rc`-based), so the parallel path operates on extracted plain data —
+//! exactly what a bulk-evaluation backend would do.
+
+use crossbeam::thread;
+
+/// Sequential `hom(f, op, z, items)` as the paper's right fold.
+pub fn seq_hom<T, B>(items: &[T], f: impl Fn(&T) -> B, op: impl Fn(B, B) -> B, z: B) -> B {
+    let mut acc = z;
+    for x in items.iter().rev() {
+        acc = op(f(x), acc);
+    }
+    acc
+}
+
+/// Parallel `hom` for *proper* applications: `op` must be associative and
+/// commutative with identity `z`. Splits into `n_threads` chunks.
+pub fn par_hom<T, B>(
+    items: &[T],
+    f: impl Fn(&T) -> B + Sync,
+    op: impl Fn(B, B) -> B + Sync,
+    z: B,
+    n_threads: usize,
+) -> B
+where
+    T: Sync,
+    B: Send + Clone,
+{
+    let n_threads = n_threads.max(1);
+    if items.len() < 2 * n_threads || n_threads == 1 {
+        return seq_hom(items, &f, &op, z);
+    }
+    let chunk = items.len().div_ceil(n_threads);
+    let partials = thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                let f = &f;
+                let op = &op;
+                let z = z.clone();
+                scope.spawn(move |_| seq_hom(slice, f, op, z))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_hom worker"))
+            .collect::<Vec<B>>()
+    })
+    .expect("par_hom scope");
+    let mut acc = z;
+    for p in partials {
+        acc = op(p, acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_hom_matches_definition() {
+        // op(f(x1), op(f(x2), op(f(x3), z)))
+        let r = seq_hom(&[1, 2, 3], |&x| x * 10, |a, b| a + b, 0);
+        assert_eq!(r, 60);
+    }
+
+    #[test]
+    fn par_matches_seq_for_proper_applications() {
+        let data: Vec<i64> = (0..10_000).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                par_hom(&data, |&x| x, |a, b| a + b, 0, threads),
+                seq_hom(&data, |&x| x, |a, b| a + b, 0)
+            );
+            assert_eq!(
+                par_hom(&data, |&x| x % 97, |a, b| a.max(b), i64::MIN, threads),
+                96
+            );
+        }
+    }
+
+    #[test]
+    fn par_count_and_filtering_hom() {
+        // filter-like hom: count elements above a threshold.
+        let data: Vec<i64> = (0..5000).collect();
+        let count = par_hom(&data, |&x| i64::from(x > 2499), |a, b| a + b, 0, 4);
+        assert_eq!(count, 2500);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        assert_eq!(par_hom(&[1, 2, 3], |&x| x, |a, b| a + b, 0, 16), 6);
+        assert_eq!(par_hom::<i64, i64>(&[], |&x| x, |a, b| a + b, 7, 4), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Abstract syntax of Machiavelli.
+//!
+//! The AST mirrors the paper's §3.2 expression grammar plus the surface
+//! sugar used throughout the paper: `select … where … with …`, the
+//! `e as l` variant-extraction shorthand, tuples (desugared into records
+//! with `#1`, `#2`, … labels by the parser), and infix operators.
+
+use crate::span::Span;
+
+/// Record / variant field labels.
+pub type Label = String;
+
+/// A complete program: a sequence of top-level phrases.
+pub type Program = Vec<Phrase>;
+
+/// A top-level phrase, terminated by `;` in the concrete syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phrase {
+    pub kind: PhraseKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhraseKind {
+    /// `val x = e;`
+    Val { name: String, expr: Expr },
+    /// `fun f(x, …) = e;` — recursive by construction, as in ML.
+    Fun { name: String, params: Vec<String>, body: Expr },
+    /// A bare expression; the REPL binds its result to `it`.
+    Expr(Expr),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Binary operators. `Eq`/`Ne` are the polymorphic description-type
+/// equality of the paper; comparison operators are overloaded on `int`,
+/// `real` and `string`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    RealDiv,
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Andalso,
+    Orelse,
+}
+
+impl BinOp {
+    /// The concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "div",
+            Mod => "mod",
+            RealDiv => "/",
+            Concat => "^",
+            Eq => "=",
+            Ne => "<>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Andalso => "andalso",
+            Orelse => "orelse",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation (`not`).
+    Not,
+}
+
+/// One arm of a `case` expression: `label of var => body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    pub label: Label,
+    pub var: String,
+    pub body: Expr,
+}
+
+/// One generator of a `select`: `var <- source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generator {
+    pub var: String,
+    pub source: Expr,
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `()`
+    Unit,
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Bool(bool),
+    Var(String),
+    /// `fn (x, …) => e`
+    Lambda { params: Vec<String>, body: Box<Expr> },
+    /// `f(e₁, …, eₙ)`
+    App { func: Box<Expr>, args: Vec<Expr> },
+    /// `if e then e else e`
+    If { cond: Box<Expr>, then_branch: Box<Expr>, else_branch: Box<Expr> },
+    /// `[l = e, …]`; tuples `(e₁,…,eₙ)` desugar to `[#1 = e₁, …]`.
+    Record(Vec<(Label, Expr)>),
+    /// `e.l`
+    Field { expr: Box<Expr>, label: Label },
+    /// `modify(e, l, e)` — pure functional field update.
+    Modify { expr: Box<Expr>, label: Label, value: Box<Expr> },
+    /// `(l of e)` — variant injection.
+    Inject { label: Label, expr: Box<Expr> },
+    /// `case e of l of x => e, …[, other => e]`
+    Case { expr: Box<Expr>, arms: Vec<CaseArm>, default: Option<Box<Expr>> },
+    /// `e as l` — shorthand for `case e of l of x => x, other => raise Error`.
+    As { expr: Box<Expr>, label: Label },
+    /// `{e, …}` (possibly empty).
+    Set(Vec<Expr>),
+    /// `union(e, e)` — same-type set union.
+    Union { left: Box<Expr>, right: Box<Expr> },
+    /// `unionc(e, e)` — class union; result type is the glb (⊓).
+    Unionc { left: Box<Expr>, right: Box<Expr> },
+    /// `hom(f, op, z, s)` — homomorphic extension (right fold over a set).
+    Hom { f: Box<Expr>, op: Box<Expr>, z: Box<Expr>, set: Box<Expr> },
+    /// `hom*(f, op, s)` — as `hom` but on non-empty sets without a zero.
+    HomStar { f: Box<Expr>, op: Box<Expr>, set: Box<Expr> },
+    /// `ref(e)` — reference creation (fresh object identity).
+    Ref(Box<Expr>),
+    /// `!e` — dereference.
+    Deref(Box<Expr>),
+    /// `e := e` — reference assignment.
+    Assign { target: Box<Expr>, value: Box<Expr> },
+    /// `con(e, e)` — consistency predicate (⊔ of the types must exist).
+    Con { left: Box<Expr>, right: Box<Expr> },
+    /// `join(e, e)` — generalized natural join; result type is the lub (⊔).
+    Join { left: Box<Expr>, right: Box<Expr> },
+    /// `project(e, δ)` — generalized projection onto description type δ.
+    Project { expr: Box<Expr>, ty: TypeExpr },
+    /// `let val x = e in e end`
+    Let { name: String, bound: Box<Expr>, body: Box<Expr> },
+    /// `select E where x₁ <- S₁, … with P`
+    Select { result: Box<Expr>, generators: Vec<Generator>, pred: Box<Expr> },
+    /// Infix application.
+    Binop { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    /// Prefix application.
+    Unop { op: UnOp, expr: Box<Expr> },
+    /// An operator used as a first-class value, e.g. the `+` in
+    /// `hom(f, +, 0, S)`.
+    OpVal(BinOp),
+    /// `rec(x, e)` — recursive definition; `e` must be a lambda.
+    Rec { name: String, body: Box<Expr> },
+    /// `raise "message"` / `raise Error`.
+    Raise(String),
+    /// `dynamic(e)` — package a description value with its type (§5).
+    MakeDynamic(Box<Expr>),
+    /// `coerce(e, δ)` — runtime-checked coercion of a `dynamic` back to δ.
+    Coerce { expr: Box<Expr>, ty: TypeExpr },
+}
+
+/// A row variable `('a)` or `("a)` opening a record/variant type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowVar {
+    pub name: String,
+    /// True when written with the description sigil `"`.
+    pub desc: bool,
+}
+
+/// A type expression (concrete type syntax), used by `project(e, δ)`,
+/// `coerce(e, δ)` and in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeExpr {
+    pub kind: TypeExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExprKind {
+    Unit,
+    Int,
+    Bool,
+    String_,
+    Real,
+    Dynamic,
+    /// `'a` — an arbitrary type variable (only meaningful in schemes).
+    Var(String),
+    /// `"a` — a description type variable.
+    DescVar(String),
+    /// `τ → τ`
+    Arrow(Box<TypeExpr>, Box<TypeExpr>),
+    /// `[l:τ, …]`, optionally with a row variable: `[('a) l:τ, …]`.
+    Record { row: Option<RowVar>, fields: Vec<(Label, TypeExpr)> },
+    /// `<l:τ, …>`, optionally with a row variable: `<('a) l:τ, …>`.
+    Variant { row: Option<RowVar>, fields: Vec<(Label, TypeExpr)> },
+    /// `{τ}`
+    Set(Box<TypeExpr>),
+    /// `ref(τ)`
+    Ref(Box<TypeExpr>),
+    /// `rec v . τ`
+    Rec { var: String, body: Box<TypeExpr> },
+    /// A reference to an enclosing `rec` binder.
+    Named(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.symbol(), "+");
+        assert_eq!(BinOp::Ne.symbol(), "<>");
+        assert_eq!(BinOp::Andalso.symbol(), "andalso");
+    }
+
+    #[test]
+    fn expr_construction() {
+        let e = Expr::new(ExprKind::Int(1), Span::new(0, 1));
+        assert_eq!(e.kind, ExprKind::Int(1));
+    }
+}

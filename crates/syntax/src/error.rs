@@ -1,0 +1,93 @@
+//! Lexer and parser errors.
+
+use crate::span::{line_col, Span};
+use std::fmt;
+
+/// A syntax error with a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub kind: ParseErrorKind,
+    pub span: Span,
+}
+
+/// What went wrong during lexing or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A character that cannot begin any token.
+    UnexpectedChar(char),
+    /// A string literal missing its closing quote.
+    UnterminatedString,
+    /// An integer literal that does not fit in `i64`.
+    IntOverflow,
+    /// A malformed real literal such as `1.`.
+    MalformedReal,
+    /// A `'`/`"` type-variable sigil not followed by a letter.
+    MalformedTypeVar,
+    /// An invalid escape sequence inside a string literal.
+    BadEscape(char),
+    /// The parser found `got` where it needed something matching `expected`.
+    Expected { expected: String, got: String },
+    /// A record or variant wrote the same label twice.
+    DuplicateLabel(String),
+    /// `select` with an empty generator list.
+    EmptySelect,
+    /// `case` with no arms.
+    EmptyCase,
+    /// A `case` with an `other` arm that is not last.
+    MisplacedOther,
+}
+
+impl ParseError {
+    pub fn new(kind: ParseErrorKind, span: Span) -> Self {
+        ParseError { kind, span }
+    }
+
+    /// Render with 1-based line/column information against `src`.
+    pub fn display_with_source(&self, src: &str) -> String {
+        let lc = line_col(src, self.span.start);
+        format!("syntax error at {lc}: {self}")
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ParseErrorKind::*;
+        match &self.kind {
+            UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            UnterminatedString => write!(f, "unterminated string literal"),
+            IntOverflow => write!(f, "integer literal out of range"),
+            MalformedReal => write!(f, "malformed real literal"),
+            MalformedTypeVar => write!(f, "expected a letter after type-variable sigil"),
+            BadEscape(c) => write!(f, "invalid escape sequence `\\{c}`"),
+            Expected { expected, got } => write!(f, "expected {expected}, found {got}"),
+            DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            EmptySelect => write!(f, "`select` requires at least one generator"),
+            EmptyCase => write!(f, "`case` requires at least one arm"),
+            MisplacedOther => write!(f, "`other` arm must come last in a `case`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_source_reports_position() {
+        let err = ParseError::new(ParseErrorKind::UnterminatedString, Span::new(4, 5));
+        let msg = err.display_with_source("ab\ncd\"x");
+        assert!(msg.contains("2:2"), "{msg}");
+        assert!(msg.contains("unterminated"), "{msg}");
+    }
+
+    #[test]
+    fn expected_message() {
+        let err = ParseError::new(
+            ParseErrorKind::Expected { expected: "`)`".into(), got: "`,`".into() },
+            Span::point(0),
+        );
+        assert_eq!(err.to_string(), "expected `)`, found `,`");
+    }
+}

@@ -1,0 +1,454 @@
+//! A hand-written lexer for Machiavelli source text.
+//!
+//! Comments are ML-style `(* ... *)` and nest. `hom*` lexes as a single
+//! token when the `*` is adjacent to `hom`, matching the paper's spelling
+//! of the non-empty-set homomorphism.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::span::Span;
+use crate::token::{keyword, Token, TokenKind};
+
+/// Lex an entire source string into tokens (ending with [`TokenKind::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src, false).run()
+}
+
+/// Lex in *type mode*: `"` followed by a letter is always a description
+/// type variable (type syntax has no string literals, so the ambiguity
+/// vanishes). Used by [`crate::parser::parse_type`].
+pub fn lex_type(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src, true).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// Type mode (see [`lex_type`]).
+    ty_mode: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str, ty_mode: bool) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, ty_mode }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn err(&self, kind: ParseErrorKind, start: usize) -> ParseError {
+        ParseError::new(kind, Span::new(start, self.pos.max(start + 1)))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, span: Span::point(self.pos) });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number(start)?,
+                b'"' => {
+                    // `"` begins a string literal, unless it is a description
+                    // type variable sigil `"a` (a letter immediately follows
+                    // and the "string" would not be terminated sensibly). We
+                    // follow the paper: inside type syntax `"a` is a
+                    // description variable. Disambiguate by scanning for a
+                    // closing quote before the next whitespace-run heuristics
+                    // would be fragile, so the rule is simpler: `"` followed
+                    // by a letter then a non-letter that is NOT a closing
+                    // quote context is still a string. Instead we use the
+                    // unambiguous rule used by the parser: a description
+                    // variable is `"` + letters + (no closing `"`). We scan
+                    // ahead: if letters followed by `"` it is a string like
+                    // "abc"; otherwise a description variable.
+                    self.string_or_descvar(start)?
+                }
+                b'\'' => self.tyvar(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'#' => self.ident(start),
+                b'(' => { self.bump(); TokenKind::LParen }
+                b')' => { self.bump(); TokenKind::RParen }
+                b'[' => { self.bump(); TokenKind::LBracket }
+                b']' => { self.bump(); TokenKind::RBracket }
+                b'{' => { self.bump(); TokenKind::LBrace }
+                b'}' => { self.bump(); TokenKind::RBrace }
+                b',' => { self.bump(); TokenKind::Comma }
+                b';' => { self.bump(); TokenKind::Semi }
+                b'.' => { self.bump(); TokenKind::Dot }
+                b'+' => { self.bump(); TokenKind::Plus }
+                b'^' => { self.bump(); TokenKind::Caret }
+                b'!' => { self.bump(); TokenKind::Bang }
+                b'/' => { self.bump(); TokenKind::Slash }
+                b'*' => { self.bump(); TokenKind::Star }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Assign
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::DArrow
+                    } else {
+                        TokenKind::Eq
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => { self.bump(); TokenKind::Le }
+                        Some(b'>') => { self.bump(); TokenKind::NotEq }
+                        Some(b'-') => { self.bump(); TokenKind::LArrow }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                other => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or(other as char);
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(ch), start));
+                }
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos) });
+        }
+    }
+
+    /// Skip whitespace and nested `(* ... *)` comments.
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.bump();
+            }
+            if self.peek() == Some(b'(') && self.peek2() == Some(b'*') {
+                let start = self.pos;
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.peek2()) {
+                        (Some(b'('), Some(b'*')) => {
+                            self.bump();
+                            self.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b')')) => {
+                            self.bump();
+                            self.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            self.bump();
+                        }
+                        (None, _) => {
+                            return Err(self.err(
+                                ParseErrorKind::Expected {
+                                    expected: "`*)` closing comment".into(),
+                                    got: "end of input".into(),
+                                },
+                                start,
+                            ))
+                        }
+                    }
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // A real literal requires a digit after the dot; `1.x` is the int 1
+        // followed by `.x` (field selection never applies to ints, but the
+        // lexer should not commit to a parse-level judgement).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+            // optional exponent
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                let save = self.pos;
+                self.bump();
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                } else {
+                    self.pos = save;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            let val: f64 = text
+                .parse()
+                .map_err(|_| self.err(ParseErrorKind::MalformedReal, start))?;
+            return Ok(TokenKind::Real(val));
+        }
+        let text = &self.src[start..self.pos];
+        let val: i64 = text
+            .parse()
+            .map_err(|_| self.err(ParseErrorKind::IntOverflow, start))?;
+        Ok(TokenKind::Int(val))
+    }
+
+    fn ident(&mut self, start: usize) -> TokenKind {
+        // `#` admits the tuple labels #1, #2, ...
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'#')
+        ) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        if text == "hom" && self.peek() == Some(b'*') {
+            self.bump();
+            return TokenKind::HomStar;
+        }
+        keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn tyvar(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        self.bump(); // consume '
+        if !matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z')) {
+            return Err(self.err(ParseErrorKind::MalformedTypeVar, start));
+        }
+        let name_start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        Ok(TokenKind::TyVar(self.src[name_start..self.pos].to_string()))
+    }
+
+    /// Disambiguate `"..."` string literals from `"a` description variables.
+    ///
+    /// Rule: after the opening quote, scan with escapes looking for a closing
+    /// quote on the same line; if found, it is a string literal. Otherwise,
+    /// if the quote is immediately followed by a letter, it is a description
+    /// type variable. This matches how the paper's notation is used: `"a`
+    /// only ever appears in type positions and never contains a closing
+    /// quote before whitespace.
+    fn string_or_descvar(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        if self.ty_mode {
+            return self.descvar(start);
+        }
+        // Lookahead for a closing quote before an (unescaped) newline.
+        let mut i = self.pos + 1;
+        let mut is_string = false;
+        while let Some(&b) = self.bytes.get(i) {
+            match b {
+                b'"' => {
+                    is_string = true;
+                    break;
+                }
+                b'\n' => break,
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        if is_string {
+            self.bump(); // opening quote
+            let mut out = String::new();
+            loop {
+                match self.bump() {
+                    Some(b'"') => return Ok(TokenKind::Str(out)),
+                    Some(b'\\') => match self.bump() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'"') => out.push('"'),
+                        Some(other) => {
+                            return Err(self.err(ParseErrorKind::BadEscape(other as char), start))
+                        }
+                        None => return Err(self.err(ParseErrorKind::UnterminatedString, start)),
+                    },
+                    Some(other) => {
+                        // Collect full UTF-8 characters.
+                        if other < 0x80 {
+                            out.push(other as char);
+                        } else {
+                            // Re-decode multi-byte character.
+                            let rest = &self.src[self.pos - 1..];
+                            let ch = rest.chars().next().unwrap();
+                            out.push(ch);
+                            self.pos += ch.len_utf8() - 1;
+                        }
+                    }
+                    None => return Err(self.err(ParseErrorKind::UnterminatedString, start)),
+                }
+            }
+        }
+        self.descvar(start)
+    }
+
+    fn descvar(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        self.bump(); // consume "
+        if !matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z')) {
+            return Err(self.err(ParseErrorKind::MalformedTypeVar, start));
+        }
+        let name_start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        Ok(TokenKind::DescVar(self.src[name_start..self.pos].to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_function() {
+        let toks = kinds("fun id(x) = x;");
+        assert_eq!(
+            toks,
+            vec![
+                Fun,
+                Ident("id".into()),
+                LParen,
+                Ident("x".into()),
+                RParen,
+                Eq,
+                Ident("x".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(kinds("42"), vec![Int(42), Eof]);
+        assert_eq!(kinds("3.5"), vec![Real(3.5), Eof]);
+        assert_eq!(kinds("1e3"), vec![Int(1), Ident("e3".into()), Eof]);
+        assert_eq!(kinds("2.5e2"), vec![Real(250.0), Eof]);
+    }
+
+    #[test]
+    fn lex_int_overflow() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::IntOverflow);
+    }
+
+    #[test]
+    fn lex_strings_and_escapes() {
+        assert_eq!(kinds(r#""Joe""#), vec![Str("Joe".into()), Eof]);
+        assert_eq!(kinds(r#""a\nb""#), vec![Str("a\nb".into()), Eof]);
+        assert_eq!(kinds(r#""quote\"x""#), vec![Str("quote\"x".into()), Eof]);
+    }
+
+    #[test]
+    fn lex_unterminated_string() {
+        // No closing quote and not a valid description variable context
+        // (`"1` is not a letter).
+        let err = lex("\"1abc").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MalformedTypeVar);
+    }
+
+    #[test]
+    fn lex_desc_var_vs_string() {
+        assert_eq!(kinds("\"a"), vec![DescVar("a".into()), Eof]);
+        assert_eq!(kinds("{\"b}"), vec![LBrace, DescVar("b".into()), RBrace, Eof]);
+        assert_eq!(kinds("\"abc\""), vec![Str("abc".into()), Eof]);
+    }
+
+    #[test]
+    fn lex_tyvars() {
+        assert_eq!(kinds("'a"), vec![TyVar("a".into()), Eof]);
+        assert_eq!(kinds("'abc12"), vec![TyVar("abc12".into()), Eof]);
+        assert!(lex("'1").is_err());
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("<- <= >= <> -> => := = < >"),
+            vec![LArrow, Le, Ge, NotEq, Arrow, DArrow, Assign, Eq, Lt, Gt, Eof]
+        );
+    }
+
+    #[test]
+    fn lex_hom_star() {
+        assert_eq!(kinds("hom*"), vec![HomStar, Eof]);
+        assert_eq!(kinds("hom *"), vec![Hom, Star, Eof]);
+        assert_eq!(kinds("hom*(f,+,S)").first(), Some(&HomStar));
+    }
+
+    #[test]
+    fn lex_comments_nest() {
+        assert_eq!(kinds("1 (* outer (* inner *) still *) 2"), vec![Int(1), Int(2), Eof]);
+        assert!(lex("(* unclosed").is_err());
+    }
+
+    #[test]
+    fn lex_tuple_labels() {
+        assert_eq!(kinds("#1"), vec![Ident("#1".into()), Eof]);
+    }
+
+    #[test]
+    fn lex_keywords() {
+        assert_eq!(
+            kinds("select x where y with z"),
+            vec![Select, Ident("x".into()), Where, Ident("y".into()), With, Ident("z".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let toks = lex("val x = 1;").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 5));
+        assert_eq!(toks[3].span, Span::new(8, 9));
+    }
+
+    #[test]
+    fn unexpected_char() {
+        let err = lex("val @").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedChar('@'));
+    }
+}

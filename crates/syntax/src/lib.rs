@@ -1,0 +1,42 @@
+//! Surface syntax for the Machiavelli database programming language.
+//!
+//! Machiavelli (Ohori, Buneman & Breazu-Tannen, SIGMOD 1989) is an ML-style
+//! language extended with records, variants, mathematical sets, references,
+//! and the database primitives `join`, `con`, `project`, `hom` and the
+//! `select ... where ... with ...` comprehension.
+//!
+//! This crate provides:
+//!
+//! * [`token`] — the token alphabet,
+//! * [`lexer`] — a hand-written lexer with source positions,
+//! * [`ast`] — the abstract syntax (expressions, top-level phrases, and
+//!   the type syntax used by `project` annotations),
+//! * [`parser`] — a recursive-descent parser for the full surface grammar,
+//! * [`pretty`] — a pretty-printer that round-trips the AST back to
+//!   readable Machiavelli source.
+//!
+//! # Quick example
+//!
+//! ```
+//! use machiavelli_syntax::parse_program;
+//! let prog = parse_program(
+//!     "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;",
+//! ).unwrap();
+//! assert_eq!(prog.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{Expr, ExprKind, Label, Phrase, PhraseKind, Program, RowVar, TypeExpr, TypeExprKind};
+pub use error::{ParseError, ParseErrorKind};
+pub use parser::{parse_expr, parse_program, parse_type};
+pub use span::Span;
+
+#[cfg(test)]
+mod roundtrip_tests;

@@ -1,0 +1,426 @@
+//! Pretty-printing of the AST back to Machiavelli concrete syntax.
+//!
+//! The printer emits fully parenthesized-enough output that re-parsing
+//! yields the same AST (verified by the round-trip tests). It is used by
+//! error messages, the REPL's echo of definitions, and test diagnostics.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render an expression as concrete syntax.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+/// Render a type expression as concrete syntax.
+pub fn type_to_string(t: &TypeExpr) -> String {
+    let mut s = String::new();
+    write_type(&mut s, t, false);
+    s
+}
+
+/// Render a top-level phrase (with trailing `;`).
+pub fn phrase_to_string(p: &Phrase) -> String {
+    match &p.kind {
+        PhraseKind::Val { name, expr } => format!("val {name} = {};", expr_to_string(expr)),
+        PhraseKind::Fun { name, params, body } => {
+            format!("fun {name}({}) = {};", params.join(", "), expr_to_string(body))
+        }
+        PhraseKind::Expr(e) => format!("{};", expr_to_string(e)),
+    }
+}
+
+/// Precedence levels; higher binds tighter. Mirrors the parser.
+fn prec(e: &ExprKind) -> u8 {
+    use ExprKind::*;
+    match e {
+        Assign { .. } => 1,
+        Binop { op: BinOp::Orelse, .. } => 2,
+        Binop { op: BinOp::Andalso, .. } => 3,
+        Binop {
+            op: BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge,
+            ..
+        } => 4,
+        Binop { op: BinOp::Add | BinOp::Sub | BinOp::Concat, .. } => 5,
+        Binop { op: BinOp::Mul | BinOp::RealDiv | BinOp::Div | BinOp::Mod, .. } => 6,
+        Unop { .. } | Deref(_) => 7,
+        Field { .. } | As { .. } | App { .. } => 8,
+        // Sprawling forms print parenthesized except at statement level.
+        Lambda { .. } | If { .. } | Case { .. } | Select { .. } | Let { .. } | Inject { .. } => 0,
+        _ => 9,
+    }
+}
+
+fn write_child(out: &mut String, e: &Expr, parent_prec: u8) {
+    let p = prec(&e.kind);
+    if p < parent_prec {
+        out.push('(');
+        write_expr(out, e, 0);
+        out.push(')');
+    } else {
+        write_expr(out, e, parent_prec);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, _min_prec: u8) {
+    use ExprKind::*;
+    match &e.kind {
+        Unit => out.push_str("()"),
+        Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Real(r) => {
+            if r.fract() == 0.0 && r.is_finite() {
+                let _ = write!(out, "{r:.1}");
+            } else {
+                let _ = write!(out, "{r}");
+            }
+        }
+        Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Var(x) => out.push_str(x),
+        Lambda { params, body } => {
+            let _ = write!(out, "(fn({}) => ", params.join(", "));
+            write_expr(out, body, 0);
+            out.push(')');
+        }
+        App { func, args } => {
+            write_child(out, func, 8);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        If { cond, then_branch, else_branch } => {
+            out.push_str("(if ");
+            write_expr(out, cond, 0);
+            out.push_str(" then ");
+            write_expr(out, then_branch, 0);
+            out.push_str(" else ");
+            write_expr(out, else_branch, 0);
+            out.push(')');
+        }
+        Record(fields) => {
+            // Tuples print back as tuples.
+            let is_tuple = !fields.is_empty()
+                && fields.iter().enumerate().all(|(i, (l, _))| *l == format!("#{}", i + 1));
+            if is_tuple {
+                out.push('(');
+                for (i, (_, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, v, 0);
+                }
+                out.push(')');
+            } else {
+                out.push('[');
+                for (i, (l, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{l}=");
+                    write_expr(out, v, 0);
+                }
+                out.push(']');
+            }
+        }
+        Field { expr, label } => {
+            write_child(out, expr, 8);
+            let _ = write!(out, ".{label}");
+        }
+        Modify { expr, label, value } => {
+            out.push_str("modify(");
+            write_expr(out, expr, 0);
+            let _ = write!(out, ", {label}, ");
+            write_expr(out, value, 0);
+            out.push(')');
+        }
+        Inject { label, expr } => {
+            let _ = write!(out, "({label} of ");
+            write_expr(out, expr, 0);
+            out.push(')');
+        }
+        Case { expr, arms, default } => {
+            out.push_str("(case ");
+            write_expr(out, expr, 0);
+            out.push_str(" of ");
+            for (i, arm) in arms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} of {} => ", arm.label, arm.var);
+                write_expr(out, &arm.body, 0);
+            }
+            if let Some(d) = default {
+                if !arms.is_empty() {
+                    out.push_str(", ");
+                }
+                out.push_str("other => ");
+                write_expr(out, d, 0);
+            }
+            out.push(')');
+        }
+        As { expr, label } => {
+            write_child(out, expr, 8);
+            let _ = write!(out, " as {label}");
+        }
+        Set(items) => {
+            out.push('{');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push('}');
+        }
+        Union { left, right } => binary_named(out, "union", left, right),
+        Unionc { left, right } => binary_named(out, "unionc", left, right),
+        Hom { f, op, z, set } => {
+            out.push_str("hom(");
+            write_expr(out, f, 0);
+            out.push_str(", ");
+            write_expr(out, op, 0);
+            out.push_str(", ");
+            write_expr(out, z, 0);
+            out.push_str(", ");
+            write_expr(out, set, 0);
+            out.push(')');
+        }
+        HomStar { f, op, set } => {
+            out.push_str("hom*(");
+            write_expr(out, f, 0);
+            out.push_str(", ");
+            write_expr(out, op, 0);
+            out.push_str(", ");
+            write_expr(out, set, 0);
+            out.push(')');
+        }
+        Ref(e) => {
+            out.push_str("ref(");
+            write_expr(out, e, 0);
+            out.push(')');
+        }
+        Deref(e) => {
+            out.push('!');
+            write_child(out, e, 7);
+        }
+        Assign { target, value } => {
+            write_child(out, target, 2);
+            out.push_str(" := ");
+            write_child(out, value, 1);
+        }
+        Con { left, right } => binary_named(out, "con", left, right),
+        Join { left, right } => binary_named(out, "join", left, right),
+        Project { expr, ty } => {
+            out.push_str("project(");
+            write_expr(out, expr, 0);
+            out.push_str(", ");
+            write_type(out, ty, false);
+            out.push(')');
+        }
+        Let { name, bound, body } => {
+            let _ = write!(out, "(let val {name} = ");
+            write_expr(out, bound, 0);
+            out.push_str(" in ");
+            write_expr(out, body, 0);
+            out.push_str(" end)");
+        }
+        Select { result, generators, pred } => {
+            out.push_str("(select ");
+            write_expr(out, result, 0);
+            out.push_str(" where ");
+            for (i, g) in generators.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} <- ", g.var);
+                write_expr(out, &g.source, 0);
+            }
+            out.push_str(" with ");
+            write_expr(out, pred, 0);
+            out.push(')');
+        }
+        Binop { op, left, right } => {
+            let p = prec(&e.kind);
+            write_child(out, left, p);
+            let _ = write!(out, " {} ", op.symbol());
+            // Left-associative: the right child needs strictly higher.
+            let rp = prec(&right.kind);
+            let needs_parens = if matches!(op, BinOp::Orelse | BinOp::Andalso) {
+                rp < p
+            } else {
+                rp <= p
+            };
+            if needs_parens {
+                out.push('(');
+                write_expr(out, right, 0);
+                out.push(')');
+            } else {
+                write_expr(out, right, 0);
+            }
+        }
+        Unop { op, expr } => {
+            match op {
+                UnOp::Neg => out.push('-'),
+                UnOp::Not => out.push_str("not "),
+            }
+            write_child(out, expr, 7);
+        }
+        OpVal(op) => out.push_str(op.symbol()),
+        Rec { name, body } => {
+            let _ = write!(out, "rec({name}, ");
+            write_expr(out, body, 0);
+            out.push(')');
+        }
+        Raise(msg) => {
+            let _ = write!(out, "raise {msg:?}");
+        }
+        MakeDynamic(e) => {
+            out.push_str("dynamic(");
+            write_expr(out, e, 0);
+            out.push(')');
+        }
+        Coerce { expr, ty } => {
+            out.push_str("dynamic(");
+            write_expr(out, expr, 0);
+            out.push_str(", ");
+            write_type(out, ty, false);
+            out.push(')');
+        }
+    }
+}
+
+fn binary_named(out: &mut String, name: &str, l: &Expr, r: &Expr) {
+    out.push_str(name);
+    out.push('(');
+    write_expr(out, l, 0);
+    out.push_str(", ");
+    write_expr(out, r, 0);
+    out.push(')');
+}
+
+fn write_type(out: &mut String, t: &TypeExpr, arrow_lhs: bool) {
+    use TypeExprKind::*;
+    match &t.kind {
+        Unit => out.push_str("unit"),
+        Int => out.push_str("int"),
+        Bool => out.push_str("bool"),
+        String_ => out.push_str("string"),
+        Real => out.push_str("real"),
+        Dynamic => out.push_str("dynamic"),
+        Var(v) => {
+            let _ = write!(out, "'{v}");
+        }
+        DescVar(v) => {
+            let _ = write!(out, "\"{v}");
+        }
+        Arrow(a, b) => {
+            if arrow_lhs {
+                out.push('(');
+            }
+            write_type(out, a, true);
+            out.push_str(" -> ");
+            write_type(out, b, false);
+            if arrow_lhs {
+                out.push(')');
+            }
+        }
+        Record { row, fields } => {
+            out.push('[');
+            if let Some(r) = row {
+                let sig = if r.desc { '"' } else { '\'' };
+                let _ = write!(out, "({sig}{}) ", r.name);
+            }
+            write_fields(out, fields);
+            out.push(']');
+        }
+        Variant { row, fields } => {
+            out.push('<');
+            if let Some(r) = row {
+                let sig = if r.desc { '"' } else { '\'' };
+                let _ = write!(out, "({sig}{}) ", r.name);
+            }
+            write_fields(out, fields);
+            out.push('>');
+        }
+        Set(inner) => {
+            out.push('{');
+            write_type(out, inner, false);
+            out.push('}');
+        }
+        Ref(inner) => {
+            out.push_str("ref(");
+            write_type(out, inner, false);
+            out.push(')');
+        }
+        Rec { var, body } => {
+            let _ = write!(out, "rec {var} . ");
+            write_type(out, body, false);
+        }
+        Named(n) => out.push_str(n),
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(Label, TypeExpr)]) {
+    for (i, (l, t)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{l}:");
+        // Field types at product precedence need parens around arrows and
+        // products — write_type handles arrows via arrow_lhs; products are
+        // records already bracketed.
+        write_type(out, t, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_type};
+
+    #[test]
+    fn pretty_simple() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(expr_to_string(&e), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn pretty_record() {
+        let e = parse_expr(r#"[Name="Joe", Salary=22340]"#).unwrap();
+        assert_eq!(expr_to_string(&e), r#"[Name="Joe", Salary=22340]"#);
+    }
+
+    #[test]
+    fn pretty_select() {
+        let e = parse_expr("select x.Name where x <- S with x.Salary > 100000").unwrap();
+        assert_eq!(
+            expr_to_string(&e),
+            "(select x.Name where x <- S with x.Salary > 100000)"
+        );
+    }
+
+    #[test]
+    fn pretty_type() {
+        let t = parse_type("{[('a) Name:\"b, Salary:int]}").unwrap();
+        assert_eq!(type_to_string(&t), "{[('a) Name:\"b, Salary:int]}");
+    }
+
+    #[test]
+    fn pretty_tuple_type() {
+        let t = parse_type("int * bool -> int").unwrap();
+        assert_eq!(type_to_string(&t), "[#1:int, #2:bool] -> int");
+    }
+}

@@ -1,0 +1,88 @@
+//! Round-trip property: pretty-printing a parsed expression and re-parsing
+//! yields the same AST (spans aside).
+
+use crate::ast::Expr;
+use crate::parser::parse_expr;
+use crate::pretty::expr_to_string;
+
+/// Structural equality ignoring spans.
+fn same(a: &Expr, b: &Expr) -> bool {
+    strip(a) == strip(b)
+}
+
+/// Erase spans by re-building the expression with dummy spans.
+fn strip(e: &Expr) -> String {
+    // Debug output of the kind tree with spans removed via pretty-printing
+    // twice is circular; instead compare the pretty forms, which are
+    // deterministic.
+    expr_to_string(e)
+}
+
+fn roundtrip(src: &str) {
+    let e1 = parse_expr(src).unwrap_or_else(|err| panic!("parse {src:?}: {err}"));
+    let printed = expr_to_string(&e1);
+    let e2 = parse_expr(&printed)
+        .unwrap_or_else(|err| panic!("reparse {printed:?} (from {src:?}): {err}"));
+    assert!(
+        same(&e1, &e2),
+        "round-trip mismatch for {src:?}\n first: {}\nsecond: {}",
+        expr_to_string(&e1),
+        expr_to_string(&e2)
+    );
+    // And printing must be a fixed point after one iteration.
+    assert_eq!(printed, expr_to_string(&e2));
+}
+
+#[test]
+fn roundtrip_paper_expressions() {
+    for src in [
+        r#"{[Name = "Joe", Salary = 22340], [Name = "Fred", Salary = 123456]}"#,
+        "select x.Name where x <- S with x.Salary > 100000",
+        "hom((fn(x) => {f(x)}), union, {}, S)",
+        "hom*((fn(x) => f(x)), +, S)",
+        r#"project([Name="Joe", Age=21, Salary=22340], [Name:string, Salary:int])"#,
+        r#"join([Name=[First="Joe"], Age=21], [Name=[Last="Doe"]])"#,
+        "con(a, b)",
+        "(fn(e,p) => e)",
+        "if r = {} then R else Closure(union(R,r))",
+        "case x.Status of Employee of y => y.Extension, Consultant of y => y.Telephone",
+        "modify(x, Age, x.Age + 1)",
+        "(Consultant of [Address=\"Philadelphia\", Telephone=2221234])",
+        "let val d = (!emp1).Department in d := modify(!d, Building, 67) end",
+        "select [Name=(!x).Name, Id=x] where x <- S with true",
+        "(!x).Salary as Value",
+        "join(StudentView(persons), EmployeeView(persons))",
+        "x.Advisor = y.Id andalso x.Salary > y.Salary",
+        "member([A=x.A, B=y.B], R)",
+        "Join3(x.Suppliers, suppliers, {[Sname=\"Baker\"]}) <> {}",
+        "unionc(StudentView(person), EmployeeView(person))",
+        "not(p(x)) orelse q(x)",
+        "-x + 3",
+        "f(g, +, 0)",
+        "ref([Dname=\"Sales\", Building=45])",
+        "dynamic(x)",
+        "dynamic(x, [Name: string])",
+        "(1, 2, 3)",
+        "x := y := z",
+        "rec(f, (fn(n) => if n = 0 then 1 else n * f(n - 1)))",
+    ] {
+        roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_nested_structures() {
+    roundtrip(
+        r#"{[Pname="bolt", P#=1, Pinfo=(BasePart of [Cost=5])],
+           [Pname="engine", P#=2189,
+            Pinfo=(CompositePart of [SubParts={[P#=1, Qty=189]}, AssemCost=1000])]}"#,
+    );
+}
+
+#[test]
+fn roundtrip_deeply_nested_arith() {
+    roundtrip("1 - (2 - 3) - 4");
+    roundtrip("(1 + 2) * (3 + 4)");
+    roundtrip("a div b mod c");
+    roundtrip("x ^ y ^ z");
+}

@@ -1,0 +1,536 @@
+//! Conditional typing constraints and their solver.
+//!
+//! `join`, `con` and `unionc` do not have conventional principal type
+//! schemes; instead the inference algorithm emits *conditions* —
+//! `τ = τ₁ ⊔ τ₂` (lub) and `τ = τ₁ ⊓ τ₂` (glb) — which are maintained
+//! alongside the type. The paper (§3.3) calls the result a *principal
+//! conditional type-scheme* and prints the unresolved conditions as a
+//! `where { "d = "a lub "e, … }` clause.
+//!
+//! The solver works in two modes:
+//!
+//! * **gentle** — resolve only constraints whose operands are ground (or
+//!   provably equal); anything else is kept symbolic. This is what runs
+//!   during inference and at generalization.
+//! * **forced** — additionally resolve constraints blocked on *kinded*
+//!   variables by committing those variables to their minimal instance
+//!   relative to the other operand. This runs for top-level monomorphic
+//!   phrases (which the interpreter is about to evaluate), reproducing the
+//!   fully resolved types the paper prints for e.g. Figure 3's queries.
+
+use crate::display::{show_type_with, TypeNamer};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::order::{glb, le, lub, type_eq, Partial};
+use crate::ty::{is_ground, resolve, t_record, t_variant, Ty, Type, VarGen};
+use crate::unify::unify;
+
+/// A pending condition on types.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// `result = left ⊔ right` — from `join` and `con`.
+    Lub { result: Ty, left: Ty, right: Ty },
+    /// `result = left ⊓ right` — from `unionc`.
+    Glb { result: Ty, left: Ty, right: Ty },
+    /// `sub ≤ sup` — residual projection constraint (only emitted for
+    /// recursive annotation types; structural annotations are discharged
+    /// eagerly during inference).
+    Sub { sub: Ty, sup: Ty },
+}
+
+impl Constraint {
+    /// Render in the paper's `where`-clause notation.
+    pub fn show(&self, namer: &mut TypeNamer) -> String {
+        match self {
+            Constraint::Lub { result, left, right } => format!(
+                "{} = {} lub {}",
+                show_type_with(result, namer),
+                show_type_with(left, namer),
+                show_type_with(right, namer)
+            ),
+            Constraint::Glb { result, left, right } => format!(
+                "{} = {} glb {}",
+                show_type_with(result, namer),
+                show_type_with(left, namer),
+                show_type_with(right, namer)
+            ),
+            Constraint::Sub { sub, sup } => format!(
+                "{} <= {}",
+                show_type_with(sub, namer),
+                show_type_with(sup, namer)
+            ),
+        }
+    }
+
+    /// All types mentioned (for free-variable collection).
+    pub fn types(&self) -> Vec<Ty> {
+        match self {
+            Constraint::Lub { result, left, right } | Constraint::Glb { result, left, right } => {
+                vec![result.clone(), left.clone(), right.clone()]
+            }
+            Constraint::Sub { sub, sup } => vec![sub.clone(), sup.clone()],
+        }
+    }
+}
+
+/// Outcome of attempting one constraint.
+enum Attempt {
+    Solved,
+    Pending,
+}
+
+/// Solve `constraints` in place; discharged constraints are removed.
+/// With `force` set, kinded variables blocking a lub/glb are committed to
+/// their minimal instances (see module docs).
+pub fn solve(
+    constraints: &mut Vec<Constraint>,
+    gen: &VarGen,
+    level: u32,
+    force: bool,
+) -> Result<(), TypeError> {
+    // Iterate to a fixpoint: resolving one constraint can ground another.
+    loop {
+        let mut progressed = false;
+        let mut remaining = Vec::with_capacity(constraints.len());
+        for c in constraints.drain(..) {
+            match attempt(&c, gen, level, force)? {
+                Attempt::Solved => progressed = true,
+                Attempt::Pending => remaining.push(c),
+            }
+        }
+        *constraints = remaining;
+        if !progressed || constraints.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+fn attempt(c: &Constraint, gen: &VarGen, level: u32, force: bool) -> Result<Attempt, TypeError> {
+    match c {
+        Constraint::Lub { result, left, right } => {
+            // Equal operands: τ ⊔ τ = τ, no grounding needed.
+            if let Partial::Known(true) = type_eq(left, right) {
+                unify(result, left)?;
+                return Ok(Attempt::Solved);
+            }
+            match lub(left, right)? {
+                Partial::Known(t) => {
+                    unify(result, &t)?;
+                    Ok(Attempt::Solved)
+                }
+                Partial::Unknown if force => {
+                    let t = force_bound(left, right, true, gen, level)?;
+                    unify(result, &t)?;
+                    Ok(Attempt::Solved)
+                }
+                Partial::Unknown => Ok(Attempt::Pending),
+            }
+        }
+        Constraint::Glb { result, left, right } => {
+            if let Partial::Known(true) = type_eq(left, right) {
+                unify(result, left)?;
+                return Ok(Attempt::Solved);
+            }
+            match glb(left, right)? {
+                Partial::Known(t) => {
+                    unify(result, &t)?;
+                    Ok(Attempt::Solved)
+                }
+                Partial::Unknown if force => {
+                    let t = force_bound(left, right, false, gen, level)?;
+                    unify(result, &t)?;
+                    Ok(Attempt::Solved)
+                }
+                Partial::Unknown => Ok(Attempt::Pending),
+            }
+        }
+        Constraint::Sub { sub, sup } => match le(sub, sup) {
+            Partial::Known(true) => Ok(Attempt::Solved),
+            Partial::Known(false) => Err(TypeError::NotSubstructure {
+                sub: crate::display::show_type(sub),
+                sup: crate::display::show_type(sup),
+            }),
+            Partial::Unknown => Ok(Attempt::Pending),
+        },
+    }
+}
+
+/// Forced bound computation: commit blocking variables to minimal
+/// instances and produce the bound. `upper` selects ⊔ vs ⊓.
+///
+/// The var-resolution rules (each is the least commitment that lets the
+/// bound exist):
+///
+/// * two variables → unify them; the bound is the shared variable
+///   (`τ ⊔ τ = τ`);
+/// * `Any`/`Desc` variable vs a type `T` → bind the variable to `T`;
+/// * record-kinded variable vs a record → bind it to the record of
+///   exactly its kind fields;
+/// * variant-kinded variable vs a variant `V` → bind it to a variant with
+///   `V`'s label set, taking kind fields where specified and `V`'s fields
+///   elsewhere (variant bounds require identical label sets).
+fn force_bound(
+    left: &Ty,
+    right: &Ty,
+    upper: bool,
+    gen: &VarGen,
+    level: u32,
+) -> Result<Ty, TypeError> {
+    let a = resolve(left);
+    let b = resolve(right);
+    if let Partial::Known(true) = type_eq(&a, &b) {
+        return Ok(a);
+    }
+    match (&*a, &*b) {
+        (Type::Var(x), Type::Var(y)) => force_two_vars(x, y, &a, &b, upper, gen, level),
+        (Type::Var(v), _) => force_var_against(v, &a, &b, upper, gen, level),
+        (_, Type::Var(v)) => force_var_against(v, &b, &a, upper, gen, level),
+        (Type::Set(x), Type::Set(y)) => {
+            let e = force_bound(x, y, upper, gen, level)?;
+            Ok(crate::ty::t_set(e))
+        }
+        (Type::Ref(x), Type::Ref(y)) => {
+            unify(x, y)?;
+            Ok(crate::ty::t_ref(resolve(x)))
+        }
+        (Type::Record(fa), Type::Record(fb)) => {
+            if upper {
+                let mut out = std::collections::BTreeMap::new();
+                for (l, ta) in fa {
+                    match fb.get(l) {
+                        None => {
+                            out.insert(l.clone(), ta.clone());
+                        }
+                        Some(tb) => {
+                            out.insert(l.clone(), force_bound(ta, tb, true, gen, level)?);
+                        }
+                    }
+                }
+                for (l, tb) in fb {
+                    if !fa.contains_key(l) {
+                        out.insert(l.clone(), tb.clone());
+                    }
+                }
+                Ok(t_record(out))
+            } else {
+                let mut out = std::collections::BTreeMap::new();
+                for (l, ta) in fa {
+                    if let Some(tb) = fb.get(l) {
+                        // A failed field bound just drops the label.
+                        if let Ok(t) = force_bound(ta, tb, false, gen, level) {
+                            out.insert(l.clone(), t);
+                        }
+                    }
+                }
+                Ok(t_record(out))
+            }
+        }
+        (Type::Variant(fa), Type::Variant(fb)) => {
+            if !fa.keys().eq(fb.keys()) {
+                return Err(bound_err(&a, &b, upper));
+            }
+            let mut out = std::collections::BTreeMap::new();
+            for (l, ta) in fa {
+                out.insert(l.clone(), force_bound(ta, &fb[l], upper, gen, level)?);
+            }
+            Ok(t_variant(out))
+        }
+        // Ground incompatible heads (or unsupported rec) — report.
+        _ => match if upper { lub(&a, &b) } else { glb(&a, &b) } {
+            Ok(Partial::Known(t)) => Ok(t),
+            Ok(Partial::Unknown) => Err(bound_err(&a, &b, upper)),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+/// Force a bound of two unbound variables. For `Any`/`Desc` kinds the
+/// least commitment is to identify them (`τ ⊔ τ = τ`). For two
+/// record-kinded or two variant-kinded variables, each is committed to an
+/// instance built from its own kind, choosing the label sets so the bound
+/// exists, and the bound of the instances is returned — crucially the
+/// overlapping kind fields are *bounded*, not unified (e.g.
+/// `lub(<BasePart:[Cost:int],…>, <BasePart:[],…>)` keeps `[Cost:int]`).
+fn force_two_vars(
+    x: &crate::ty::TvRef,
+    y: &crate::ty::TvRef,
+    a: &Ty,
+    b: &Ty,
+    upper: bool,
+    gen: &VarGen,
+    level: u32,
+) -> Result<Ty, TypeError> {
+    use std::collections::BTreeMap;
+    match (x.kind(), y.kind()) {
+        (Kind::Record { fields: fx, .. }, Kind::Record { fields: fy, .. }) => {
+            let ax = t_record(fx);
+            let by = t_record(fy);
+            unify(a, &ax)?;
+            unify(b, &by)?;
+            force_bound(&resolve(a), &resolve(b), upper, gen, level)
+        }
+        (Kind::Variant { fields: fx, .. }, Kind::Variant { fields: fy, .. }) => {
+            // Both instances take the union of the two label sets so the
+            // (identical-label-set) variant bound exists.
+            let mut ix: BTreeMap<String, Ty> = BTreeMap::new();
+            let mut iy: BTreeMap<String, Ty> = BTreeMap::new();
+            for (l, t) in &fx {
+                ix.insert(l.clone(), t.clone());
+                iy.insert(l.clone(), fy.get(l).cloned().unwrap_or_else(|| t.clone()));
+            }
+            for (l, t) in &fy {
+                iy.insert(l.clone(), t.clone());
+                ix.entry(l.clone()).or_insert_with(|| t.clone());
+            }
+            let ax = t_variant(ix);
+            let by = t_variant(iy);
+            unify(a, &ax)?;
+            unify(b, &by)?;
+            force_bound(&resolve(a), &resolve(b), upper, gen, level)
+        }
+        // Mixed or unconstrained kinds: identify the variables.
+        _ => {
+            unify(a, b)?;
+            Ok(resolve(a))
+        }
+    }
+}
+
+fn bound_err(a: &Ty, b: &Ty, upper: bool) -> TypeError {
+    if upper {
+        TypeError::LubUndefined {
+            left: crate::display::show_type(a),
+            right: crate::display::show_type(b),
+        }
+    } else {
+        TypeError::GlbUndefined {
+            left: crate::display::show_type(a),
+            right: crate::display::show_type(b),
+        }
+    }
+}
+
+fn force_var_against(
+    v: &crate::ty::TvRef,
+    var_ty: &Ty,
+    other: &Ty,
+    upper: bool,
+    gen: &VarGen,
+    level: u32,
+) -> Result<Ty, TypeError> {
+    match v.kind() {
+        Kind::Any | Kind::Desc => {
+            // Least commitment: the variable *is* the other side.
+            unify(var_ty, other)?;
+            Ok(resolve(other))
+        }
+        Kind::Record { fields, .. } => {
+            // Commit to exactly the kind's fields.
+            let minimal = t_record(fields.clone());
+            unify(var_ty, &minimal)?;
+            force_bound(&resolve(var_ty), other, upper, gen, level)
+        }
+        Kind::Variant { fields, .. } => {
+            // Variant bounds need identical label sets: adopt the other
+            // side's labels, keeping kind fields where present.
+            let Type::Variant(om) = &*resolve(other) else {
+                return Err(bound_err(var_ty, other, upper));
+            };
+            let mut fs = std::collections::BTreeMap::new();
+            for (l, ot) in om {
+                match fields.get(l) {
+                    Some(ft) => {
+                        fs.insert(l.clone(), ft.clone());
+                    }
+                    None => {
+                        fs.insert(l.clone(), ot.clone());
+                    }
+                }
+            }
+            // Kind fields not present in the other side make the bound
+            // impossible (labels cannot be added to a variant bound).
+            for l in fields.keys() {
+                if !om.contains_key(l) {
+                    return Err(bound_err(var_ty, other, upper));
+                }
+            }
+            let minimal = t_variant(fs);
+            unify(var_ty, &minimal)?;
+            force_bound(&resolve(var_ty), other, upper, gen, level)
+        }
+    }
+}
+
+/// True when every type mentioned by `c` is ground.
+pub fn constraint_ground(c: &Constraint) -> bool {
+    c.types().iter().all(is_ground)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    fn setup() -> VarGen {
+        VarGen::new()
+    }
+
+    #[test]
+    fn ground_lub_resolves() {
+        let gen = setup();
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs = vec![Constraint::Lub {
+            result: r.clone(),
+            left: t_record([("A".into(), t_int())]),
+            right: t_record([("B".into(), t_str())]),
+        }];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert!(cs.is_empty());
+        let resolved = resolve(&r);
+        match &*resolved {
+            Type::Record(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_lub_stays_pending_without_force() {
+        let gen = setup();
+        let a = gen.fresh_ty(Kind::Desc, 0);
+        let b = gen.fresh_ty(Kind::Desc, 0);
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs = vec![Constraint::Lub { result: r, left: a, right: b }];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn equal_operands_resolve_without_grounding() {
+        let gen = setup();
+        let a = gen.fresh_ty(Kind::Desc, 0);
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs = vec![Constraint::Lub { result: r.clone(), left: a.clone(), right: a.clone() }];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(type_eq(&resolve(&r), &resolve(&a)), Partial::Known(true));
+    }
+
+    #[test]
+    fn forced_record_var_commits_minimal() {
+        // lub([Pname:string, P#:int], α ⊇ {P#:int}) forced:
+        // α := [P#:int]; result = [Pname:string, P#:int].
+        let gen = setup();
+        let alpha = gen.fresh_ty(Kind::record([("P#".to_string(), t_int())], true), 0);
+        let parts = t_record([("Pname".into(), t_str()), ("P#".into(), t_int())]);
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs =
+            vec![Constraint::Lub { result: r.clone(), left: parts.clone(), right: alpha }];
+        solve(&mut cs, &gen, 0, true).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(type_eq(&resolve(&r), &parts), Partial::Known(true));
+    }
+
+    #[test]
+    fn forced_variant_var_adopts_labels() {
+        // The Figure 3 situation: lub(full variant, α ⊇ {BasePart: []}).
+        let gen = setup();
+        let full = t_variant([
+            ("BasePart".into(), t_record([("Cost".into(), t_int())])),
+            ("CompositePart".into(), t_int()),
+        ]);
+        let alpha = gen.fresh_ty(
+            Kind::variant([("BasePart".to_string(), t_record([]))], true),
+            0,
+        );
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs =
+            vec![Constraint::Lub { result: r.clone(), left: full.clone(), right: alpha }];
+        solve(&mut cs, &gen, 0, true).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(type_eq(&resolve(&r), &full), Partial::Known(true));
+    }
+
+    #[test]
+    fn inconsistent_ground_lub_errors() {
+        let gen = setup();
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs = vec![Constraint::Lub {
+            result: r,
+            left: t_record([("Name".into(), t_str())]),
+            right: t_record([("Name".into(), t_record([("First".into(), t_str())]))]),
+        }];
+        let err = solve(&mut cs, &gen, 0, false).unwrap_err();
+        assert!(matches!(err, TypeError::LubUndefined { .. }));
+    }
+
+    #[test]
+    fn ground_glb_resolves_to_intersection() {
+        let gen = setup();
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let student = t_record([("Name".into(), t_str()), ("Advisor".into(), t_int())]);
+        let employee = t_record([("Name".into(), t_str()), ("Salary".into(), t_int())]);
+        let mut cs = vec![Constraint::Glb { result: r.clone(), left: student, right: employee }];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert!(cs.is_empty());
+        match &*resolve(&r) {
+            Type::Record(fs) => {
+                assert_eq!(fs.keys().cloned().collect::<Vec<_>>(), vec!["Name"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_constraints_reach_fixpoint() {
+        // e = [A] ⊔ [B]; d = e ⊔ [C] — second becomes solvable only after
+        // the first resolves.
+        let gen = setup();
+        let e = gen.fresh_ty(Kind::Desc, 0);
+        let d = gen.fresh_ty(Kind::Desc, 0);
+        let mut cs = vec![
+            Constraint::Lub {
+                result: d.clone(),
+                left: e.clone(),
+                right: t_record([("C".into(), t_int())]),
+            },
+            Constraint::Lub {
+                result: e,
+                left: t_record([("A".into(), t_int())]),
+                right: t_record([("B".into(), t_int())]),
+            },
+        ];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert!(cs.is_empty());
+        match &*resolve(&d) {
+            Type::Record(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_constraint_checks_when_ground() {
+        let gen = setup();
+        let mut cs = vec![Constraint::Sub {
+            sub: t_record([("Name".into(), t_str())]),
+            sup: t_record([("Name".into(), t_str()), ("Age".into(), t_int())]),
+        }];
+        solve(&mut cs, &gen, 0, false).unwrap();
+        assert!(cs.is_empty());
+        let mut bad = vec![Constraint::Sub {
+            sub: t_record([("Zip".into(), t_str())]),
+            sup: t_record([("Name".into(), t_str())]),
+        }];
+        assert!(solve(&mut bad, &gen, 0, false).is_err());
+    }
+
+    #[test]
+    fn constraint_show_notation() {
+        let gen = setup();
+        let mut namer = TypeNamer::new();
+        let a = gen.fresh_ty(Kind::Desc, 0);
+        let b = gen.fresh_ty(Kind::Desc, 0);
+        let r = gen.fresh_ty(Kind::Desc, 0);
+        let c = Constraint::Lub { result: r, left: a, right: b };
+        assert_eq!(c.show(&mut namer), "\"a = \"b lub \"c");
+    }
+}

@@ -1,0 +1,330 @@
+//! Rendering types in the paper's notation.
+//!
+//! * `'a` — an arbitrary type variable,
+//! * `"a` — a description type variable,
+//! * `[('a) l:τ, …]` — a record-kinded variable (`("a)` when it must be a
+//!   description type),
+//! * `<('a) l:τ, …>` — a variant-kinded variable,
+//! * `τ₁ * τ₂` — tuples (records labelled `#1`, `#2`, …),
+//! * `{τ}`, `ref(τ)`, `rec v . τ` — sets, references, recursive types.
+//!
+//! Variables are named `a`, `b`, … in order of first occurrence, so two
+//! α-equivalent types print identically — tests compare paper output
+//! against ours by printing both through this module.
+
+use crate::kind::Kind;
+use crate::ty::{resolve, TvRef, Ty, Type};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Allocates stable display names for unification variables.
+#[derive(Debug, Default)]
+pub struct TypeNamer {
+    names: HashMap<u64, String>,
+    next: usize,
+}
+
+impl TypeNamer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The display name (without sigil) for variable id `id`.
+    pub fn name_for(&mut self, id: u64) -> String {
+        if let Some(n) = self.names.get(&id) {
+            return n.clone();
+        }
+        let n = index_name(self.next);
+        self.next += 1;
+        self.names.insert(id, n.clone());
+        n
+    }
+}
+
+/// `0 → a`, `1 → b`, …, `25 → z`, `26 → a1`, `27 → b1`, …
+fn index_name(i: usize) -> String {
+    let letter = (b'a' + (i % 26) as u8) as char;
+    let round = i / 26;
+    if round == 0 {
+        letter.to_string()
+    } else {
+        format!("{letter}{round}")
+    }
+}
+
+/// Render `t` with a fresh namer (stand-alone display).
+pub fn show_type(t: &Ty) -> String {
+    let mut namer = TypeNamer::new();
+    show_type_with(t, &mut namer)
+}
+
+/// Render `t`, sharing `namer` so related types use consistent names.
+pub fn show_type_with(t: &Ty, namer: &mut TypeNamer) -> String {
+    let mut out = String::new();
+    let mut stack = Vec::new();
+    write_ty_guarded(&mut out, t, namer, Prec::Top, &mut stack);
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Top,
+    /// Left operand of an arrow: arrows need parens.
+    ArrowLhs,
+    /// Tuple component: arrows and tuples need parens.
+    Product,
+}
+
+/// `stack` holds the ids of kinded variables currently being expanded:
+/// a variable that occurs inside its own kind (only possible transiently,
+/// while reporting an occurs-check error) prints without re-expansion.
+fn write_ty_guarded(
+    out: &mut String,
+    t: &Ty,
+    namer: &mut TypeNamer,
+    prec: Prec,
+    stack: &mut Vec<u64>,
+) {
+    let t = resolve(t);
+    match &*t {
+        Type::Unit => out.push_str("unit"),
+        Type::Int => out.push_str("int"),
+        Type::Bool => out.push_str("bool"),
+        Type::Str => out.push_str("string"),
+        Type::Real => out.push_str("real"),
+        Type::Dynamic => out.push_str("dynamic"),
+        Type::Arrow(a, b) => {
+            let parens = prec >= Prec::ArrowLhs;
+            if parens {
+                out.push('(');
+            }
+            write_ty_guarded(out, a, namer, Prec::ArrowLhs, stack);
+            out.push_str(" -> ");
+            write_ty_guarded(out, b, namer, Prec::Top, stack);
+            if parens {
+                out.push(')');
+            }
+        }
+        Type::Record(fields) => {
+            if is_tuple(fields) && !fields.is_empty() {
+                let parens = prec >= Prec::ArrowLhs;
+                if parens {
+                    out.push('(');
+                }
+                // BTreeMap iterates "#1", "#10", "#2" lexicographically;
+                // order by numeric index.
+                let mut items: Vec<(usize, &Ty)> = fields
+                    .iter()
+                    .map(|(l, ty)| (l[1..].parse::<usize>().unwrap(), ty))
+                    .collect();
+                items.sort_by_key(|(i, _)| *i);
+                for (pos, (_, ty)) in items.into_iter().enumerate() {
+                    if pos > 0 {
+                        out.push_str(" * ");
+                    }
+                    write_ty_guarded(out, ty, namer, Prec::Product, stack);
+                }
+                if parens {
+                    out.push(')');
+                }
+            } else {
+                out.push('[');
+                write_fields(out, fields.iter(), namer, stack);
+                out.push(']');
+            }
+        }
+        Type::Variant(fields) => {
+            out.push('<');
+            write_fields(out, fields.iter(), namer, stack);
+            out.push('>');
+        }
+        Type::Set(e) => {
+            out.push('{');
+            write_ty_guarded(out, e, namer, Prec::Top, stack);
+            out.push('}');
+        }
+        Type::Ref(e) => {
+            out.push_str("ref(");
+            write_ty_guarded(out, e, namer, Prec::Top, stack);
+            out.push(')');
+        }
+        Type::Rec(v, body) => {
+            let _ = write!(out, "rec v{v} . ");
+            write_ty_guarded(out, body, namer, Prec::Top, stack);
+        }
+        Type::RecVar(v) => {
+            let _ = write!(out, "v{v}");
+        }
+        Type::Var(v) => write_var(out, v, namer, stack),
+    }
+}
+
+fn is_tuple(fields: &std::collections::BTreeMap<String, Ty>) -> bool {
+    !fields.is_empty()
+        && fields.keys().all(|l| l.starts_with('#'))
+        && (1..=fields.len()).all(|i| fields.contains_key(&format!("#{i}")))
+}
+
+fn write_fields<'a>(
+    out: &mut String,
+    fields: impl Iterator<Item = (&'a String, &'a Ty)>,
+    namer: &mut TypeNamer,
+    stack: &mut Vec<u64>,
+) {
+    for (i, (l, ty)) in fields.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{l}:");
+        write_ty_guarded(out, ty, namer, Prec::Top, stack);
+    }
+}
+
+fn write_var(out: &mut String, v: &TvRef, namer: &mut TypeNamer, stack: &mut Vec<u64>) {
+    let id = v.id();
+    let kind = v.kind();
+    let name = namer.name_for(id);
+    // A kinded variable occurring inside its own kind (transient, during
+    // occurs-check error reporting) prints without re-expanding.
+    let cyclic = stack.contains(&id);
+    match kind {
+        Kind::Any => {
+            let _ = write!(out, "'{name}");
+        }
+        Kind::Desc => {
+            let _ = write!(out, "\"{name}");
+        }
+        Kind::Record { fields, desc } => {
+            let sig = if desc { '"' } else { '\'' };
+            if cyclic {
+                let _ = write!(out, "{sig}{name}");
+                return;
+            }
+            stack.push(id);
+            let _ = write!(out, "[({sig}{name}) ");
+            write_fields(out, fields.iter(), namer, stack);
+            out.push(']');
+            stack.pop();
+        }
+        Kind::Variant { fields, desc } => {
+            let sig = if desc { '"' } else { '\'' };
+            if cyclic {
+                let _ = write!(out, "{sig}{name}");
+                return;
+            }
+            stack.push(id);
+            let _ = write!(out, "<({sig}{name}) ");
+            write_fields(out, fields.iter(), namer, stack);
+            out.push('>');
+            stack.pop();
+        }
+    }
+}
+
+/// Render a kind (used in error messages).
+pub fn show_kind(k: &Kind) -> String {
+    let mut namer = TypeNamer::new();
+    match k {
+        Kind::Any => "'_".to_string(),
+        Kind::Desc => "\"_".to_string(),
+        Kind::Record { fields, desc } => {
+            let mut out = String::new();
+            let mut stack = Vec::new();
+            out.push_str(if *desc { "[(\"_) " } else { "[('_) " });
+            write_fields(&mut out, fields.iter(), &mut namer, &mut stack);
+            out.push(']');
+            out
+        }
+        Kind::Variant { fields, desc } => {
+            let mut out = String::new();
+            let mut stack = Vec::new();
+            out.push_str(if *desc { "<(\"_) " } else { "<('_) " });
+            write_fields(&mut out, fields.iter(), &mut namer, &mut stack);
+            out.push('>');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    #[test]
+    fn show_base_and_containers() {
+        assert_eq!(show_type(&t_int()), "int");
+        assert_eq!(show_type(&t_set(t_str())), "{string}");
+        assert_eq!(
+            show_type(&t_record([("Name".into(), t_str()), ("Age".into(), t_int())])),
+            "[Age:int,Name:string]"
+        );
+        assert_eq!(show_type(&t_ref(t_int())), "ref(int)");
+    }
+
+    #[test]
+    fn show_tuple_as_product() {
+        assert_eq!(show_type(&t_tuple([t_int(), t_bool()])), "int * bool");
+        assert_eq!(
+            show_type(&t_arrow(t_tuple([t_int(), t_bool()]), t_int())),
+            "(int * bool) -> int"
+        );
+    }
+
+    #[test]
+    fn show_vars_with_kinds() {
+        let gen = VarGen::new();
+        let a = gen.fresh_ty(Kind::Any, 0);
+        let d = gen.fresh_ty(Kind::Desc, 0);
+        let t = t_arrow(a.clone(), t_arrow(d, a));
+        assert_eq!(show_type(&t), "'a -> \"b -> 'a");
+    }
+
+    #[test]
+    fn show_record_kinded_var() {
+        let gen = VarGen::new();
+        let b = gen.fresh_ty(Kind::Desc, 0);
+        let row = gen.fresh_ty(
+            Kind::record(
+                [("Name".to_string(), b.clone()), ("Salary".to_string(), t_int())],
+                true,
+            ),
+            0,
+        );
+        let t = t_arrow(t_set(row), t_set(b));
+        assert_eq!(show_type(&t), "{[(\"a) Name:\"b,Salary:int]} -> {\"b}");
+    }
+
+    #[test]
+    fn show_variant_kinded_var() {
+        let gen = VarGen::new();
+        let v = gen.fresh_ty(
+            Kind::variant([("Consultant".to_string(), t_int())], false),
+            0,
+        );
+        assert_eq!(show_type(&v), "<('a) Consultant:int>");
+    }
+
+    #[test]
+    fn show_recursive_type() {
+        let body = t_variant([
+            ("Nil".into(), t_unit()),
+            ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(7))])),
+        ]);
+        let rec: Ty = std::rc::Rc::new(Type::Rec(7, body));
+        assert_eq!(show_type(&rec), "rec v7 . <Cons:int * v7,Nil:unit>");
+    }
+
+    #[test]
+    fn arrow_lhs_parenthesized() {
+        let t = t_arrow(t_arrow(t_int(), t_int()), t_bool());
+        assert_eq!(show_type(&t), "(int -> int) -> bool");
+    }
+
+    #[test]
+    fn name_sequence_wraps() {
+        assert_eq!(index_name(0), "a");
+        assert_eq!(index_name(25), "z");
+        assert_eq!(index_name(26), "a1");
+    }
+}

@@ -1,0 +1,101 @@
+//! Type errors.
+
+use std::fmt;
+
+/// Errors raised by unification, constraint solving and inference. Types
+/// are pre-rendered to strings so the error type stays `Send`-friendly and
+/// independent of live unification state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two types cannot be unified.
+    Mismatch { left: String, right: String },
+    /// A record/variant is missing a required field.
+    MissingField { ty: String, label: String },
+    /// A variable's kind is incompatible with the type it must equal.
+    KindMismatch { kind: String, ty: String },
+    /// A type that must be a description type contains a function type.
+    NotDescription(String),
+    /// Occurs check: a variable appears inside the type it must equal.
+    Occurs { var: String, ty: String },
+    /// `join`/`con`: the least upper bound of two types does not exist.
+    LubUndefined { left: String, right: String },
+    /// `unionc`: the greatest lower bound of two types does not exist.
+    GlbUndefined { left: String, right: String },
+    /// `project`: the annotation is not ≤ the source type.
+    NotSubstructure { sub: String, sup: String },
+    /// An unbound program variable.
+    UnboundVariable(String),
+    /// An unbound `rec` type variable in a type annotation.
+    UnboundRecVar(String),
+    /// `case` without `other` applied to a variant with extra branches, or
+    /// an arm label missing from the scrutinee type.
+    CaseMismatch { scrutinee: String, labels: Vec<String> },
+    /// `rec(x, e)` whose body is not a function.
+    RecNotFunction,
+    /// A type annotation used a row variable where a closed type is needed.
+    OpenAnnotation(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TypeError::*;
+        match self {
+            Mismatch { left, right } => {
+                write!(f, "type mismatch: cannot unify `{left}` with `{right}`")
+            }
+            MissingField { ty, label } => {
+                write!(f, "type `{ty}` has no field `{label}`")
+            }
+            KindMismatch { kind, ty } => {
+                write!(f, "type `{ty}` does not satisfy kind `{kind}`")
+            }
+            NotDescription(ty) => {
+                write!(
+                    f,
+                    "type `{ty}` is not a description type (contains a function type); \
+                     equality and database operations are unavailable"
+                )
+            }
+            Occurs { var, ty } => {
+                write!(f, "occurs check: `{var}` would make the infinite type `{ty}`")
+            }
+            LubUndefined { left, right } => {
+                write!(f, "`{left}` and `{right}` are inconsistent: no least upper bound")
+            }
+            GlbUndefined { left, right } => {
+                write!(f, "`{left}` and `{right}` have no greatest lower bound")
+            }
+            NotSubstructure { sub, sup } => {
+                write!(f, "`{sub}` is not a substructure of `{sup}` (projection impossible)")
+            }
+            UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            UnboundRecVar(v) => write!(f, "unbound recursive type variable `{v}`"),
+            CaseMismatch { scrutinee, labels } => {
+                write!(
+                    f,
+                    "case over `{scrutinee}` does not cover exactly the variants {}",
+                    labels.join(", ")
+                )
+            }
+            RecNotFunction => write!(f, "`rec(x, e)` requires `e` to be a function"),
+            OpenAnnotation(ty) => {
+                write!(f, "type annotation `{ty}` must not contain row variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::Mismatch { left: "int".into(), right: "bool".into() };
+        assert_eq!(e.to_string(), "type mismatch: cannot unify `int` with `bool`");
+        let e = TypeError::UnboundVariable("x".into());
+        assert!(e.to_string().contains("unbound variable"));
+    }
+}

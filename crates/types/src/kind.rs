@@ -1,0 +1,88 @@
+//! Kinds of type variables.
+//!
+//! Following \[OB88\], Machiavelli's inference variables are *kinded*:
+//!
+//! * `Any` — the paper's `'a`: any type at all;
+//! * `Desc` — the paper's `"a`: any description type (equality and the
+//!   database operations are available);
+//! * `Record { fields, desc }` — the paper's `[('a) l:τ, …]`: any record
+//!   type containing at least `fields`; when `desc` is set the record must
+//!   moreover be a description type (printed `[("a) l:τ, …]`);
+//! * `Variant { fields, desc }` — dually, `<('a) l:τ, …>`.
+
+use crate::ty::{Label, Ty};
+use std::collections::BTreeMap;
+
+/// The kind of an unbound type variable.
+#[derive(Debug, Clone)]
+pub enum Kind {
+    /// `'a` — unconstrained.
+    Any,
+    /// `"a` — must be a description type.
+    Desc,
+    /// `[('a) l:τ, …]` — a record containing at least these fields.
+    Record { fields: BTreeMap<Label, Ty>, desc: bool },
+    /// `<('a) l:τ, …>` — a variant containing at least these fields.
+    Variant { fields: BTreeMap<Label, Ty>, desc: bool },
+}
+
+impl Kind {
+    /// A record kind from an iterator of fields.
+    pub fn record(fields: impl IntoIterator<Item = (Label, Ty)>, desc: bool) -> Kind {
+        Kind::Record { fields: fields.into_iter().collect(), desc }
+    }
+
+    /// A variant kind from an iterator of fields.
+    pub fn variant(fields: impl IntoIterator<Item = (Label, Ty)>, desc: bool) -> Kind {
+        Kind::Variant { fields: fields.into_iter().collect(), desc }
+    }
+
+    /// All types mentioned by the kind (the field types).
+    pub fn field_types(&self) -> Vec<Ty> {
+        match self {
+            Kind::Any | Kind::Desc => Vec::new(),
+            Kind::Record { fields, .. } | Kind::Variant { fields, .. } => {
+                fields.values().cloned().collect()
+            }
+        }
+    }
+
+    /// Whether the kind already requires description-ness.
+    pub fn requires_desc(&self) -> bool {
+        match self {
+            Kind::Any => false,
+            Kind::Desc => true,
+            Kind::Record { desc, .. } | Kind::Variant { desc, .. } => *desc,
+        }
+    }
+
+    /// Return a copy with the description requirement switched on.
+    pub fn with_desc(&self) -> Kind {
+        match self {
+            Kind::Any | Kind::Desc => Kind::Desc,
+            Kind::Record { fields, .. } => Kind::Record { fields: fields.clone(), desc: true },
+            Kind::Variant { fields, .. } => Kind::Variant { fields: fields.clone(), desc: true },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::t_int;
+
+    #[test]
+    fn with_desc_promotes() {
+        assert!(Kind::Any.with_desc().requires_desc());
+        assert!(Kind::record([("A".to_string(), t_int())], false)
+            .with_desc()
+            .requires_desc());
+    }
+
+    #[test]
+    fn field_types_of_record_kind() {
+        let k = Kind::record([("A".to_string(), t_int())], false);
+        assert_eq!(k.field_types().len(), 1);
+        assert!(Kind::Desc.field_types().is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Lowering concrete type syntax ([`TypeExpr`]) into [`Ty`].
+//!
+//! Two entry points:
+//!
+//! * [`lower_closed`] — for `project(e, δ)` / `dynamic(e, δ)` annotations:
+//!   the annotation must denote a single description type (no variables,
+//!   no row variables);
+//! * [`lower_open`] — for tests and tooling that compare inferred types
+//!   against paper notation: `'a` / `"a` become fresh variables and
+//!   `[('a) …]` / `<("a) …>` rows become kinded variables (occurrences of
+//!   the same name share the variable).
+
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::ty::{
+    t_arrow, t_bool, t_dynamic, t_int, t_real, t_record, t_ref, t_set, t_str, t_unit, t_variant,
+    Ty, Type, VarGen,
+};
+use crate::unify::require_desc;
+use machiavelli_syntax::ast::{TypeExpr, TypeExprKind};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Lower a closed description-type annotation. Rejects type variables and
+/// row variables; checks the result is a description type.
+pub fn lower_closed(te: &TypeExpr) -> Result<Ty, TypeError> {
+    let gen = VarGen::new();
+    let mut ctx = LowerCtx {
+        gen: &gen,
+        level: 0,
+        open: false,
+        vars: HashMap::new(),
+        recs: HashMap::new(),
+        next_rec: 0,
+    };
+    let t = ctx.lower(te)?;
+    require_desc(&t)?;
+    Ok(t)
+}
+
+/// Lower an open type (variables allowed), producing fresh unification
+/// variables at `level` from `gen`.
+pub fn lower_open(te: &TypeExpr, gen: &VarGen, level: u32) -> Result<Ty, TypeError> {
+    let mut ctx = LowerCtx {
+        gen,
+        level,
+        open: true,
+        vars: HashMap::new(),
+        recs: HashMap::new(),
+        next_rec: 0,
+    };
+    ctx.lower(te)
+}
+
+struct LowerCtx<'a> {
+    gen: &'a VarGen,
+    level: u32,
+    open: bool,
+    /// Named type variables already lowered (`'a` / `"a` / rows share).
+    vars: HashMap<String, Ty>,
+    /// In-scope `rec` binders.
+    recs: HashMap<String, u32>,
+    next_rec: u32,
+}
+
+impl LowerCtx<'_> {
+    fn named_var(&mut self, key: String, kind: Kind) -> Ty {
+        if let Some(t) = self.vars.get(&key) {
+            return t.clone();
+        }
+        let t = self.gen.fresh_ty(kind, self.level);
+        self.vars.insert(key, t.clone());
+        t
+    }
+
+    fn lower(&mut self, te: &TypeExpr) -> Result<Ty, TypeError> {
+        Ok(match &te.kind {
+            TypeExprKind::Unit => t_unit(),
+            TypeExprKind::Int => t_int(),
+            TypeExprKind::Bool => t_bool(),
+            TypeExprKind::String_ => t_str(),
+            TypeExprKind::Real => t_real(),
+            TypeExprKind::Dynamic => t_dynamic(),
+            TypeExprKind::Var(name) => {
+                if !self.open {
+                    return Err(TypeError::OpenAnnotation(format!("'{name}")));
+                }
+                self.named_var(format!("'{name}"), Kind::Any)
+            }
+            TypeExprKind::DescVar(name) => {
+                if !self.open {
+                    return Err(TypeError::OpenAnnotation(format!("\"{name}")));
+                }
+                self.named_var(format!("\"{name}"), Kind::Desc)
+            }
+            TypeExprKind::Arrow(a, b) => t_arrow(self.lower(a)?, self.lower(b)?),
+            TypeExprKind::Record { row, fields } => {
+                let lowered = self.lower_fields(fields)?;
+                match row {
+                    None => t_record(lowered),
+                    Some(r) => {
+                        if !self.open {
+                            return Err(TypeError::OpenAnnotation(format!("('{})", r.name)));
+                        }
+                        let kind = Kind::Record {
+                            fields: lowered.into_iter().collect(),
+                            desc: r.desc,
+                        };
+                        // Row vars with the same name must agree on their
+                        // kind; for simplicity (and faithfulness to the
+                        // paper, which never reuses a row name with
+                        // different fields) each occurrence unifies via
+                        // the shared cell created on first use.
+                        self.named_row(&r.name, kind)?
+                    }
+                }
+            }
+            TypeExprKind::Variant { row, fields } => {
+                let lowered = self.lower_fields(fields)?;
+                match row {
+                    None => t_variant(lowered),
+                    Some(r) => {
+                        if !self.open {
+                            return Err(TypeError::OpenAnnotation(format!("('{})", r.name)));
+                        }
+                        let kind = Kind::Variant {
+                            fields: lowered.into_iter().collect(),
+                            desc: r.desc,
+                        };
+                        self.named_row(&r.name, kind)?
+                    }
+                }
+            }
+            TypeExprKind::Set(inner) => {
+                let e = self.lower(inner)?;
+                require_desc(&e)?;
+                t_set(e)
+            }
+            TypeExprKind::Ref(inner) => t_ref(self.lower(inner)?),
+            TypeExprKind::Rec { var, body } => {
+                let id = self.next_rec;
+                self.next_rec += 1;
+                let shadowed = self.recs.insert(var.clone(), id);
+                let b = self.lower(body)?;
+                match shadowed {
+                    Some(old) => {
+                        self.recs.insert(var.clone(), old);
+                    }
+                    None => {
+                        self.recs.remove(var);
+                    }
+                }
+                Rc::new(Type::Rec(id, b))
+            }
+            TypeExprKind::Named(name) => match self.recs.get(name) {
+                Some(id) => Rc::new(Type::RecVar(*id)),
+                None => return Err(TypeError::UnboundRecVar(name.clone())),
+            },
+        })
+    }
+
+    fn lower_fields(
+        &mut self,
+        fields: &[(String, TypeExpr)],
+    ) -> Result<Vec<(String, Ty)>, TypeError> {
+        fields
+            .iter()
+            .map(|(l, t)| Ok((l.clone(), self.lower(t)?)))
+            .collect()
+    }
+
+    fn named_row(&mut self, name: &str, kind: Kind) -> Result<Ty, TypeError> {
+        let key = format!("row {name}");
+        if let Some(existing) = self.vars.get(&key).cloned() {
+            // Merge by unifying a fresh variable of the new kind with the
+            // existing one.
+            let fresh = self.gen.fresh_ty(kind, self.level);
+            crate::unify::unify(&existing, &fresh)?;
+            return Ok(existing);
+        }
+        let t = self.gen.fresh_ty(kind, self.level);
+        self.vars.insert(key, t.clone());
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::show_type;
+    use machiavelli_syntax::parse_type;
+
+    fn closed(src: &str) -> Result<Ty, TypeError> {
+        lower_closed(&parse_type(src).unwrap())
+    }
+
+    fn open(src: &str) -> Ty {
+        let gen = VarGen::new();
+        lower_open(&parse_type(src).unwrap(), &gen, 1).unwrap()
+    }
+
+    #[test]
+    fn lower_base_types() {
+        assert_eq!(show_type(&closed("int").unwrap()), "int");
+        assert_eq!(show_type(&closed("{string}").unwrap()), "{string}");
+    }
+
+    #[test]
+    fn lower_record_and_variant() {
+        assert_eq!(
+            show_type(&closed("[Name: string, Age: int]").unwrap()),
+            "[Age:int,Name:string]"
+        );
+        assert_eq!(
+            show_type(&closed("<A: int, B: string>").unwrap()),
+            "<A:int,B:string>"
+        );
+    }
+
+    #[test]
+    fn closed_rejects_variables_and_rows() {
+        assert!(matches!(closed("'a"), Err(TypeError::OpenAnnotation(_))));
+        assert!(matches!(closed("[('a) Age: int]"), Err(TypeError::OpenAnnotation(_))));
+    }
+
+    #[test]
+    fn closed_rejects_function_types() {
+        assert!(matches!(closed("int -> int"), Err(TypeError::NotDescription(_))));
+        // … but allows them under ref.
+        assert!(closed("ref(int -> int)").is_ok());
+    }
+
+    #[test]
+    fn open_lowers_paper_notation() {
+        let t = open("{[(\"a) Name:\"b, Salary:int]} -> {\"b}");
+        assert_eq!(show_type(&t), "{[(\"a) Name:\"b,Salary:int]} -> {\"b}");
+    }
+
+    #[test]
+    fn open_shares_named_vars() {
+        let t = open("'x -> 'x");
+        assert_eq!(show_type(&t), "'a -> 'a");
+    }
+
+    #[test]
+    fn lower_recursive_type() {
+        let t = closed("rec v . <Nil: unit, Cons: int * v>").unwrap();
+        assert!(matches!(&*t, Type::Rec(..)));
+        assert!(matches!(closed("rec v . w"), Err(TypeError::UnboundRecVar(_))));
+    }
+
+    #[test]
+    fn lower_set_requires_description_elems() {
+        assert!(closed("{int -> int}").is_err());
+    }
+}

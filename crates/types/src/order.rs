@@ -1,0 +1,470 @@
+//! The information ordering `≤` on description types (§3.3), with least
+//! upper bounds (`⊔`, backing `join`/`con`) and greatest lower bounds
+//! (`⊓`, backing `unionc`).
+//!
+//! Per the paper: *δ₁ ≤ δ₂ iff δ₁ can be obtained from δ₂ by deleting zero
+//! or more record labels that appear outside of scopes of ref type
+//! constructors.* Consequently:
+//!
+//! * base types are ordered only by equality;
+//! * records are covariant in fields and ordered by label-set inclusion;
+//! * variants are covariant in fields but keep their label set — variant
+//!   labels are never deleted, so `project` is statically safe on
+//!   variants;
+//! * `ref(τ) ≤ ref(τ)` only (references are atomic for the ordering);
+//! * sets are covariant.
+//!
+//! All functions here are *pure*: they never link unification variables.
+//! When a decision is blocked by an unbound variable they return
+//! [`Partial::Unknown`]; the constraint solver decides what to do.
+
+use crate::display::show_type;
+use crate::error::TypeError;
+use crate::ty::{resolve, t_record, t_ref, t_set, t_variant, unfold_rec, Ty, Type};
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// A three-valued answer: decided, or blocked on a type variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partial<T> {
+    Known(T),
+    Unknown,
+}
+
+impl<T> Partial<T> {
+    pub fn known(self) -> Option<T> {
+        match self {
+            Partial::Known(t) => Some(t),
+            Partial::Unknown => None,
+        }
+    }
+}
+
+/// Structural (equi-recursive) type equality. Variables are equal only to
+/// themselves; a variable against anything else is `Unknown`.
+pub fn type_eq(a: &Ty, b: &Ty) -> Partial<bool> {
+    let mut assume = HashSet::new();
+    eq_inner(a, b, &mut assume)
+}
+
+fn eq_inner(a: &Ty, b: &Ty, assume: &mut HashSet<(usize, usize)>) -> Partial<bool> {
+    use Partial::*;
+    let a = resolve(a);
+    let b = resolve(b);
+    if Rc::ptr_eq(&a, &b) {
+        return Known(true);
+    }
+    match (&*a, &*b) {
+        (Type::Var(x), Type::Var(y)) => {
+            if x == y {
+                Known(true)
+            } else {
+                Unknown
+            }
+        }
+        (Type::Var(_), _) | (_, Type::Var(_)) => Unknown,
+        (Type::Rec(..), _) | (_, Type::Rec(..)) => {
+            let key = (Rc::as_ptr(&a) as usize, Rc::as_ptr(&b) as usize);
+            if !assume.insert(key) {
+                return Known(true);
+            }
+            eq_inner(&unfold_rec(&a), &unfold_rec(&b), assume)
+        }
+        (Type::Unit, Type::Unit)
+        | (Type::Int, Type::Int)
+        | (Type::Bool, Type::Bool)
+        | (Type::Str, Type::Str)
+        | (Type::Real, Type::Real)
+        | (Type::Dynamic, Type::Dynamic) => Known(true),
+        (Type::RecVar(x), Type::RecVar(y)) => Known(x == y),
+        (Type::Arrow(a1, a2), Type::Arrow(b1, b2)) => and(
+            eq_inner(a1, b1, assume),
+            |assume| eq_inner(a2, b2, assume),
+            assume,
+        ),
+        (Type::Set(x), Type::Set(y)) | (Type::Ref(x), Type::Ref(y)) => eq_inner(x, y, assume),
+        (Type::Record(fa), Type::Record(fb)) | (Type::Variant(fa), Type::Variant(fb)) => {
+            if fa.len() != fb.len() || !fa.keys().eq(fb.keys()) {
+                return Known(false);
+            }
+            let mut unknown = false;
+            for (l, ta) in fa {
+                match eq_inner(ta, &fb[l], assume) {
+                    Known(false) => return Known(false),
+                    Known(true) => {}
+                    Unknown => unknown = true,
+                }
+            }
+            if unknown {
+                Unknown
+            } else {
+                Known(true)
+            }
+        }
+        _ => Known(false),
+    }
+}
+
+fn and<F>(first: Partial<bool>, second: F, assume: &mut HashSet<(usize, usize)>) -> Partial<bool>
+where
+    F: FnOnce(&mut HashSet<(usize, usize)>) -> Partial<bool>,
+{
+    match first {
+        Partial::Known(false) => Partial::Known(false),
+        Partial::Known(true) => second(assume),
+        Partial::Unknown => match second(assume) {
+            Partial::Known(false) => Partial::Known(false),
+            _ => Partial::Unknown,
+        },
+    }
+}
+
+/// Decide `a ≤ b` (the information ordering).
+pub fn le(a: &Ty, b: &Ty) -> Partial<bool> {
+    let mut assume = HashSet::new();
+    le_inner(a, b, &mut assume)
+}
+
+fn le_inner(a: &Ty, b: &Ty, assume: &mut HashSet<(usize, usize)>) -> Partial<bool> {
+    use Partial::*;
+    let a = resolve(a);
+    let b = resolve(b);
+    if Rc::ptr_eq(&a, &b) {
+        return Known(true);
+    }
+    match (&*a, &*b) {
+        (Type::Var(x), Type::Var(y)) if x == y => Known(true),
+        (Type::Var(_), _) | (_, Type::Var(_)) => Unknown,
+        (Type::Rec(..), _) | (_, Type::Rec(..)) => {
+            let key = (Rc::as_ptr(&a) as usize, Rc::as_ptr(&b) as usize);
+            if !assume.insert(key) {
+                return Known(true);
+            }
+            le_inner(&unfold_rec(&a), &unfold_rec(&b), assume)
+        }
+        (Type::Unit, Type::Unit)
+        | (Type::Int, Type::Int)
+        | (Type::Bool, Type::Bool)
+        | (Type::Str, Type::Str)
+        | (Type::Real, Type::Real)
+        | (Type::Dynamic, Type::Dynamic) => Known(true),
+        (Type::Set(x), Type::Set(y)) => le_inner(x, y, assume),
+        // ref(τ) ≤ ref(τ) — invariant.
+        (Type::Ref(x), Type::Ref(y)) => eq_inner(x, y, assume),
+        (Type::Record(fa), Type::Record(fb)) => {
+            // Every label of `a` must appear in `b`, componentwise ≤.
+            let mut unknown = false;
+            for (l, ta) in fa {
+                let Some(tb) = fb.get(l) else {
+                    return Known(false);
+                };
+                match le_inner(ta, tb, assume) {
+                    Known(false) => return Known(false),
+                    Known(true) => {}
+                    Unknown => unknown = true,
+                }
+            }
+            if unknown {
+                Unknown
+            } else {
+                Known(true)
+            }
+        }
+        (Type::Variant(fa), Type::Variant(fb)) => {
+            // Variant labels are never deleted: identical label sets.
+            if !fa.keys().eq(fb.keys()) {
+                return Known(false);
+            }
+            let mut unknown = false;
+            for (l, ta) in fa {
+                match le_inner(ta, &fb[l], assume) {
+                    Known(false) => return Known(false),
+                    Known(true) => {}
+                    Unknown => unknown = true,
+                }
+            }
+            if unknown {
+                Unknown
+            } else {
+                Known(true)
+            }
+        }
+        _ => Known(false),
+    }
+}
+
+/// Compute the least upper bound `a ⊔ b` of two *ground* description
+/// types; `Unknown` if a variable blocks the decision, `Err` if no upper
+/// bound exists.
+pub fn lub(a: &Ty, b: &Ty) -> Result<Partial<Ty>, TypeError> {
+    bound(a, b, true)
+}
+
+/// Compute the greatest lower bound `a ⊓ b`; `Unknown` if blocked on a
+/// variable, `Err` if no lower bound exists.
+pub fn glb(a: &Ty, b: &Ty) -> Result<Partial<Ty>, TypeError> {
+    bound(a, b, false)
+}
+
+fn bound(a: &Ty, b: &Ty, upper: bool) -> Result<Partial<Ty>, TypeError> {
+    use Partial::*;
+    let a = resolve(a);
+    let b = resolve(b);
+    // Fast path: equal types are their own bound (also covers `rec`).
+    if let Known(true) = type_eq(&a, &b) {
+        return Ok(Known(a));
+    }
+    let fail = || {
+        if upper {
+            Err(TypeError::LubUndefined { left: show_type(&a), right: show_type(&b) })
+        } else {
+            Err(TypeError::GlbUndefined { left: show_type(&a), right: show_type(&b) })
+        }
+    };
+    match (&*a, &*b) {
+        (Type::Var(_), _) | (_, Type::Var(_)) => Ok(Unknown),
+        // Distinct recursive types: only the equal case (handled above) is
+        // supported; computing a non-trivial bound of regular trees is not
+        // needed by any construction in the paper.
+        (Type::Rec(..), _) | (_, Type::Rec(..)) => fail(),
+        (Type::Unit, Type::Unit)
+        | (Type::Int, Type::Int)
+        | (Type::Bool, Type::Bool)
+        | (Type::Str, Type::Str)
+        | (Type::Real, Type::Real)
+        | (Type::Dynamic, Type::Dynamic) => Ok(Known(a)),
+        (Type::Set(x), Type::Set(y)) => Ok(match bound(x, y, upper)? {
+            Known(e) => Known(t_set(e)),
+            Unknown => Unknown,
+        }),
+        (Type::Ref(x), Type::Ref(y)) => match type_eq(x, y) {
+            Known(true) => Ok(Known(t_ref(x.clone()))),
+            Known(false) => fail(),
+            Unknown => Ok(Unknown),
+        },
+        (Type::Record(fa), Type::Record(fb)) => {
+            if upper {
+                // Union of labels; common labels get the lub.
+                let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+                for (l, ta) in fa {
+                    match fb.get(l) {
+                        None => {
+                            out.insert(l.clone(), ta.clone());
+                        }
+                        Some(tb) => match bound(ta, tb, true)? {
+                            Known(t) => {
+                                out.insert(l.clone(), t);
+                            }
+                            Unknown => return Ok(Unknown),
+                        },
+                    }
+                }
+                for (l, tb) in fb {
+                    if !fa.contains_key(l) {
+                        out.insert(l.clone(), tb.clone());
+                    }
+                }
+                Ok(Known(t_record(out)))
+            } else {
+                // Intersection of labels; a common label whose glb fails
+                // is simply deleted (records may drop labels).
+                let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+                for (l, ta) in fa {
+                    if let Some(tb) = fb.get(l) {
+                        match bound(ta, tb, false) {
+                            Ok(Known(t)) => {
+                                out.insert(l.clone(), t);
+                            }
+                            Ok(Unknown) => return Ok(Unknown),
+                            Err(_) => {} // drop the incompatible label
+                        }
+                    }
+                }
+                Ok(Known(t_record(out)))
+            }
+        }
+        (Type::Variant(fa), Type::Variant(fb)) => {
+            // Variant labels are never deleted: bounds exist only for
+            // identical label sets, componentwise.
+            if !fa.keys().eq(fb.keys()) {
+                return fail();
+            }
+            let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+            for (l, ta) in fa {
+                match bound(ta, &fb[l], upper)? {
+                    Known(t) => {
+                        out.insert(l.clone(), t);
+                    }
+                    Unknown => return Ok(Unknown),
+                }
+            }
+            Ok(Known(t_variant(out)))
+        }
+        _ => fail(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::Kind;
+    use crate::ty::*;
+
+    fn rec2(a: (&str, Ty), b: (&str, Ty)) -> Ty {
+        t_record([(a.0.to_string(), a.1), (b.0.to_string(), b.1)])
+    }
+
+    #[test]
+    fn le_base() {
+        assert_eq!(le(&t_int(), &t_int()), Partial::Known(true));
+        assert_eq!(le(&t_int(), &t_bool()), Partial::Known(false));
+    }
+
+    #[test]
+    fn le_records_by_label_deletion() {
+        let small = t_record([("Name".into(), t_str())]);
+        let big = rec2(("Name", t_str()), ("Age", t_int()));
+        assert_eq!(le(&small, &big), Partial::Known(true));
+        assert_eq!(le(&big, &small), Partial::Known(false));
+        // Nested deletion: [Name:[Last:string]] ≤ [Name:[First,Last], Salary]
+        let nested_small = t_record([("Name".into(), t_record([("Last".into(), t_str())]))]);
+        let nested_big = rec2(
+            ("Name", rec2(("First", t_str()), ("Last", t_str()))),
+            ("Salary", t_int()),
+        );
+        assert_eq!(le(&nested_small, &nested_big), Partial::Known(true));
+    }
+
+    #[test]
+    fn le_variants_keep_labels() {
+        let v1 = t_variant([("A".into(), t_record([]))]);
+        let v2 = t_variant([("A".into(), t_record([("X".into(), t_int())]))]);
+        assert_eq!(le(&v1, &v2), Partial::Known(true));
+        let v3 = t_variant([
+            ("A".into(), t_record([])),
+            ("B".into(), t_int()),
+        ]);
+        // Different label sets are unordered.
+        assert_eq!(le(&v1, &v3), Partial::Known(false));
+    }
+
+    #[test]
+    fn le_refs_invariant() {
+        let r1 = t_ref(rec2(("Name", t_str()), ("Age", t_int())));
+        let r2 = t_ref(rec2(("Name", t_str()), ("Age", t_int())));
+        let r3 = t_ref(t_record([("Name".into(), t_str())]));
+        assert_eq!(le(&r1, &r2), Partial::Known(true));
+        assert_eq!(le(&r3, &r1), Partial::Known(false));
+    }
+
+    #[test]
+    fn le_sets_covariant() {
+        let s1 = t_set(t_record([("Name".into(), t_str())]));
+        let s2 = t_set(rec2(("Name", t_str()), ("Age", t_int())));
+        assert_eq!(le(&s1, &s2), Partial::Known(true));
+    }
+
+    #[test]
+    fn le_blocked_on_var() {
+        let gen = VarGen::new();
+        let v = gen.fresh_ty(Kind::Desc, 0);
+        assert_eq!(le(&t_int(), &v), Partial::Unknown);
+    }
+
+    #[test]
+    fn lub_records_union() {
+        let a = rec2(("Name", t_record([("First".into(), t_str())])), ("Age", t_int()));
+        let b = t_record([("Name".into(), t_record([("Last".into(), t_str())]))]);
+        let l = lub(&a, &b).unwrap().known().unwrap();
+        let expected = rec2(
+            ("Name", rec2(("First", t_str()), ("Last", t_str()))),
+            ("Age", t_int()),
+        );
+        assert_eq!(type_eq(&l, &expected), Partial::Known(true));
+    }
+
+    #[test]
+    fn lub_base_conflict() {
+        // [Name:[First:string]] vs [Name:string] — the paper's static error.
+        let a = t_record([("Name".into(), t_record([("First".into(), t_str())]))]);
+        let b = t_record([("Name".into(), t_str())]);
+        assert!(matches!(lub(&a, &b), Err(TypeError::LubUndefined { .. })));
+    }
+
+    #[test]
+    fn lub_variants_same_labels() {
+        let small = t_variant([
+            ("BasePart".into(), t_record([])),
+            ("CompositePart".into(), t_int()),
+        ]);
+        let big = t_variant([
+            ("BasePart".into(), t_record([("Cost".into(), t_int())])),
+            ("CompositePart".into(), t_int()),
+        ]);
+        let l = lub(&small, &big).unwrap().known().unwrap();
+        assert_eq!(type_eq(&l, &big), Partial::Known(true));
+        // Different label sets: no bound.
+        let other = t_variant([("BasePart".into(), t_record([]))]);
+        assert!(lub(&other, &big).is_err());
+    }
+
+    #[test]
+    fn glb_records_intersect() {
+        let student = rec2(("Name", t_str()), ("Advisor", t_int()));
+        let employee = rec2(("Name", t_str()), ("Salary", t_int()));
+        let g = glb(&student, &employee).unwrap().known().unwrap();
+        assert_eq!(
+            type_eq(&g, &t_record([("Name".into(), t_str())])),
+            Partial::Known(true)
+        );
+    }
+
+    #[test]
+    fn glb_drops_incompatible_labels() {
+        let a = rec2(("A", t_int()), ("B", t_str()));
+        let b = rec2(("A", t_str()), ("B", t_str()));
+        let g = glb(&a, &b).unwrap().known().unwrap();
+        assert_eq!(
+            type_eq(&g, &t_record([("B".into(), t_str())])),
+            Partial::Known(true)
+        );
+    }
+
+    #[test]
+    fn glb_base_mismatch_fails_at_top() {
+        assert!(glb(&t_int(), &t_str()).is_err());
+        // … but inside a set it also fails (sets cannot drop structure).
+        assert!(glb(&t_set(t_int()), &t_set(t_str())).is_err());
+    }
+
+    #[test]
+    fn lub_equal_recursive_types() {
+        let mk = |id: u32| {
+            std::rc::Rc::new(Type::Rec(
+                id,
+                t_variant([
+                    ("Nil".into(), t_unit()),
+                    ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))])),
+                ]),
+            ))
+        };
+        let l = lub(&mk(0), &mk(1)).unwrap().known().unwrap();
+        assert_eq!(type_eq(&l, &mk(2)), Partial::Known(true));
+    }
+
+    #[test]
+    fn eq_equirecursive_unfolding() {
+        let mk = |id: u32| {
+            std::rc::Rc::new(Type::Rec(
+                id,
+                t_variant([
+                    ("Nil".into(), t_unit()),
+                    ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))])),
+                ]),
+            ))
+        };
+        let r = mk(0);
+        assert_eq!(type_eq(&r, &unfold_rec(&r)), Partial::Known(true));
+    }
+}

@@ -1,0 +1,413 @@
+//! The type representation.
+//!
+//! Machiavelli types (§3.1 of the paper) are regular trees built from base
+//! types and the constructors `→`, record, variant, set, `ref` and the
+//! recursion binder `rec v. τ`. Inference additionally uses *kinded*
+//! unification variables ([`TvState`]) in the style of Ohori–Buneman
+//! \[OB88\]: a variable of record kind `[('a) l:τ, …]` stands for any record
+//! type containing at least the listed fields.
+
+use crate::kind::Kind;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Field labels (shared with the syntax crate).
+pub type Label = String;
+
+/// A shared, immutable type node.
+pub type Ty = Rc<Type>;
+
+/// Type constructors.
+#[derive(Debug)]
+pub enum Type {
+    Unit,
+    Int,
+    Bool,
+    Str,
+    Real,
+    /// The `dynamic` type of §5: a value packaged with its own description
+    /// type, compared by identity.
+    Dynamic,
+    /// `τ → τ`. Not a description type.
+    Arrow(Ty, Ty),
+    /// `[l:τ, …]` with labels sorted (BTreeMap ordering is canonical).
+    Record(BTreeMap<Label, Ty>),
+    /// `<l:τ, …>`.
+    Variant(BTreeMap<Label, Ty>),
+    /// `{τ}` — sets over description types.
+    Set(Ty),
+    /// `ref(τ)` — mutable references with object identity.
+    Ref(Ty),
+    /// `rec v. τ` — an equi-recursive binder; `v` is the binder id.
+    Rec(u32, Ty),
+    /// A bound occurrence of an enclosing `Rec` binder.
+    RecVar(u32),
+    /// A unification variable.
+    Var(TvRef),
+}
+
+/// State of a unification variable: either unbound (with a kind and a
+/// binding level for generalization) or a link to another type.
+#[derive(Debug)]
+pub enum TvState {
+    Unbound {
+        /// Stable identity used for display and scheme bookkeeping.
+        id: u64,
+        kind: Kind,
+        /// Rémy-style binding level; variables with a level deeper than the
+        /// enclosing `let` are generalizable.
+        level: u32,
+    },
+    Link(Ty),
+}
+
+/// A shared, mutable unification-variable cell. Equality and hashing are
+/// by cell identity.
+#[derive(Debug, Clone)]
+pub struct TvRef(pub Rc<RefCell<TvState>>);
+
+impl PartialEq for TvRef {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+impl Eq for TvRef {}
+
+impl std::hash::Hash for TvRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (Rc::as_ptr(&self.0) as usize).hash(state);
+    }
+}
+
+impl TvRef {
+    /// The stable id of the variable (following links to an unbound cell
+    /// returns that cell's id; calling this on a linked cell is a logic
+    /// error guarded by a panic in debug builds).
+    pub fn id(&self) -> u64 {
+        match &*self.0.borrow() {
+            TvState::Unbound { id, .. } => *id,
+            TvState::Link(_) => panic!("TvRef::id on a linked variable"),
+        }
+    }
+
+    /// Current kind of an unbound variable (clones the kind).
+    pub fn kind(&self) -> Kind {
+        match &*self.0.borrow() {
+            TvState::Unbound { kind, .. } => kind.clone(),
+            TvState::Link(_) => panic!("TvRef::kind on a linked variable"),
+        }
+    }
+
+    /// Current level of an unbound variable.
+    pub fn level(&self) -> u32 {
+        match &*self.0.borrow() {
+            TvState::Unbound { level, .. } => *level,
+            TvState::Link(_) => panic!("TvRef::level on a linked variable"),
+        }
+    }
+
+    /// True when this cell is a link.
+    pub fn is_link(&self) -> bool {
+        matches!(&*self.0.borrow(), TvState::Link(_))
+    }
+
+    /// Bind this (unbound) variable to `ty`.
+    pub fn link(&self, ty: Ty) {
+        *self.0.borrow_mut() = TvState::Link(ty);
+    }
+
+    /// Replace the kind of an unbound variable.
+    pub fn set_kind(&self, kind: Kind) {
+        match &mut *self.0.borrow_mut() {
+            TvState::Unbound { kind: k, .. } => *k = kind,
+            TvState::Link(_) => panic!("TvRef::set_kind on a linked variable"),
+        }
+    }
+
+    /// Lower the level of an unbound variable to `level` if it is deeper.
+    pub fn min_level(&self, level: u32) {
+        if let TvState::Unbound { level: l, .. } = &mut *self.0.borrow_mut() {
+            if *l > level {
+                *l = level;
+            }
+        }
+    }
+}
+
+/// A fresh-variable factory. Levels are supplied by the inference context.
+#[derive(Debug, Default)]
+pub struct VarGen {
+    next: std::cell::Cell<u64>,
+}
+
+impl VarGen {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A generator whose ids start at `start` — used when mixing fresh
+    /// variables with variables minted by another generator (display
+    /// names key on ids, so ids must not collide).
+    pub fn starting_at(start: u64) -> Self {
+        let gen = Self::default();
+        gen.next.set(start);
+        gen
+    }
+
+    /// The next id this generator would hand out.
+    pub fn next_id(&self) -> u64 {
+        self.next.get()
+    }
+
+    /// Allocate a fresh unbound variable with the given kind and level.
+    pub fn fresh(&self, kind: Kind, level: u32) -> TvRef {
+        let id = self.next.get();
+        self.next.set(id + 1);
+        TvRef(Rc::new(RefCell::new(TvState::Unbound { id, kind, level })))
+    }
+
+    /// Allocate a fresh variable wrapped as a type.
+    pub fn fresh_ty(&self, kind: Kind, level: u32) -> Ty {
+        Rc::new(Type::Var(self.fresh(kind, level)))
+    }
+}
+
+// --- convenience constructors ------------------------------------------
+
+pub fn t_unit() -> Ty {
+    Rc::new(Type::Unit)
+}
+pub fn t_int() -> Ty {
+    Rc::new(Type::Int)
+}
+pub fn t_bool() -> Ty {
+    Rc::new(Type::Bool)
+}
+pub fn t_str() -> Ty {
+    Rc::new(Type::Str)
+}
+pub fn t_real() -> Ty {
+    Rc::new(Type::Real)
+}
+pub fn t_dynamic() -> Ty {
+    Rc::new(Type::Dynamic)
+}
+pub fn t_arrow(a: Ty, b: Ty) -> Ty {
+    Rc::new(Type::Arrow(a, b))
+}
+pub fn t_record(fields: impl IntoIterator<Item = (Label, Ty)>) -> Ty {
+    Rc::new(Type::Record(fields.into_iter().collect()))
+}
+pub fn t_variant(fields: impl IntoIterator<Item = (Label, Ty)>) -> Ty {
+    Rc::new(Type::Variant(fields.into_iter().collect()))
+}
+pub fn t_set(elem: Ty) -> Ty {
+    Rc::new(Type::Set(elem))
+}
+pub fn t_ref(inner: Ty) -> Ty {
+    Rc::new(Type::Ref(inner))
+}
+/// An n-ary tuple is a record labelled `#1 … #n`.
+pub fn t_tuple(items: impl IntoIterator<Item = Ty>) -> Ty {
+    t_record(
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("#{}", i + 1), t)),
+    )
+}
+
+/// Resolve one level of variable links, with path compression: returns
+/// the representative type node for `t`.
+pub fn resolve(t: &Ty) -> Ty {
+    if let Type::Var(v) = &**t {
+        let linked = match &*v.0.borrow() {
+            TvState::Link(inner) => Some(inner.clone()),
+            TvState::Unbound { .. } => None,
+        };
+        if let Some(inner) = linked {
+            let rep = resolve(&inner);
+            // Path compression: point directly at the representative.
+            if !Rc::ptr_eq(&rep, &inner) {
+                v.link(rep.clone());
+            }
+            return rep;
+        }
+    }
+    t.clone()
+}
+
+/// Collect the free unbound variables of `t` (in depth-first order,
+/// deduplicated), including variables inside the kinds of kinded variables.
+pub fn free_vars(t: &Ty, out: &mut Vec<TvRef>) {
+    let mut seen_recs: Vec<u32> = Vec::new();
+    free_vars_inner(t, out, &mut seen_recs);
+}
+
+fn free_vars_inner(t: &Ty, out: &mut Vec<TvRef>, recs: &mut Vec<u32>) {
+    let t = resolve(t);
+    match &*t {
+        Type::Unit | Type::Int | Type::Bool | Type::Str | Type::Real | Type::Dynamic => {}
+        Type::Arrow(a, b) => {
+            free_vars_inner(a, out, recs);
+            free_vars_inner(b, out, recs);
+        }
+        Type::Record(fs) | Type::Variant(fs) => {
+            for ty in fs.values() {
+                free_vars_inner(ty, out, recs);
+            }
+        }
+        Type::Set(e) | Type::Ref(e) => free_vars_inner(e, out, recs),
+        Type::Rec(v, body) => {
+            recs.push(*v);
+            free_vars_inner(body, out, recs);
+            recs.pop();
+        }
+        Type::RecVar(_) => {}
+        Type::Var(v) => {
+            if !out.contains(v) {
+                out.push(v.clone());
+                // Kinds contain types; their variables are free too.
+                let kind = v.kind();
+                for ty in kind.field_types() {
+                    free_vars_inner(&ty, out, recs);
+                }
+            }
+        }
+    }
+}
+
+/// True when `t` contains no unbound unification variables.
+pub fn is_ground(t: &Ty) -> bool {
+    let mut vars = Vec::new();
+    free_vars(t, &mut vars);
+    vars.is_empty()
+}
+
+/// Substitute `RecVar(v)` by `replacement` throughout `t` (used to unfold
+/// one layer of a `rec` binder). Inner binders shadowing `v` stop the
+/// substitution.
+pub fn subst_recvar(t: &Ty, v: u32, replacement: &Ty) -> Ty {
+    match &**t {
+        Type::RecVar(w) if *w == v => replacement.clone(),
+        Type::RecVar(_)
+        | Type::Unit
+        | Type::Int
+        | Type::Bool
+        | Type::Str
+        | Type::Real
+        | Type::Dynamic
+        | Type::Var(_) => t.clone(),
+        Type::Arrow(a, b) => t_arrow(subst_recvar(a, v, replacement), subst_recvar(b, v, replacement)),
+        Type::Record(fs) => Rc::new(Type::Record(
+            fs.iter()
+                .map(|(l, ty)| (l.clone(), subst_recvar(ty, v, replacement)))
+                .collect(),
+        )),
+        Type::Variant(fs) => Rc::new(Type::Variant(
+            fs.iter()
+                .map(|(l, ty)| (l.clone(), subst_recvar(ty, v, replacement)))
+                .collect(),
+        )),
+        Type::Set(e) => t_set(subst_recvar(e, v, replacement)),
+        Type::Ref(e) => t_ref(subst_recvar(e, v, replacement)),
+        Type::Rec(w, _) if *w == v => t.clone(),
+        Type::Rec(w, body) => Rc::new(Type::Rec(*w, subst_recvar(body, v, replacement))),
+    }
+}
+
+/// Unfold a `rec v. τ` one step: `τ[v := rec v. τ]`.
+pub fn unfold_rec(t: &Ty) -> Ty {
+    match &**t {
+        Type::Rec(v, body) => subst_recvar(body, *v, t),
+        _ => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_follows_links() {
+        let gen = VarGen::new();
+        let v = gen.fresh(Kind::Any, 0);
+        let tv: Ty = Rc::new(Type::Var(v.clone()));
+        assert!(matches!(&*resolve(&tv), Type::Var(_)));
+        v.link(t_int());
+        assert!(matches!(&*resolve(&tv), Type::Int));
+    }
+
+    #[test]
+    fn resolve_path_compresses() {
+        let gen = VarGen::new();
+        let a = gen.fresh(Kind::Any, 0);
+        let b = gen.fresh(Kind::Any, 0);
+        let ta: Ty = Rc::new(Type::Var(a.clone()));
+        let tb: Ty = Rc::new(Type::Var(b.clone()));
+        a.link(tb);
+        b.link(t_bool());
+        assert!(matches!(&*resolve(&ta), Type::Bool));
+        // After compression, `a` links directly to bool.
+        match &*a.0.borrow() {
+            TvState::Link(t) => assert!(matches!(&**t, Type::Bool)),
+            _ => panic!("expected link"),
+        };
+    }
+
+    #[test]
+    fn free_vars_dedup_and_kind_vars() {
+        let gen = VarGen::new();
+        let inner = gen.fresh_ty(Kind::Any, 0);
+        let kinded = gen.fresh(
+            Kind::Record {
+                fields: [("Name".to_string(), inner.clone())].into_iter().collect(),
+                desc: false,
+            },
+            0,
+        );
+        let t = t_arrow(Rc::new(Type::Var(kinded.clone())), Rc::new(Type::Var(kinded)));
+        let mut vars = Vec::new();
+        free_vars(&t, &mut vars);
+        assert_eq!(vars.len(), 2, "kinded var + its field var");
+    }
+
+    #[test]
+    fn unfold_recursive_type() {
+        // rec v. <Nil: unit, Cons: int * v>
+        let body = t_variant([
+            ("Nil".to_string(), t_unit()),
+            ("Cons".to_string(), t_tuple([t_int(), Rc::new(Type::RecVar(0))])),
+        ]);
+        let rec: Ty = Rc::new(Type::Rec(0, body));
+        let unfolded = unfold_rec(&rec);
+        match &*unfolded {
+            Type::Variant(fs) => match &**fs.get("Cons").unwrap() {
+                Type::Record(pair) => {
+                    assert!(matches!(&**pair.get("#2").unwrap(), Type::Rec(0, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_check() {
+        let gen = VarGen::new();
+        assert!(is_ground(&t_record([("A".into(), t_int())])));
+        assert!(!is_ground(&t_set(gen.fresh_ty(Kind::Desc, 0))));
+    }
+
+    #[test]
+    fn tuple_labels() {
+        let t = t_tuple([t_int(), t_bool()]);
+        match &*t {
+            Type::Record(fs) => {
+                assert_eq!(fs.keys().cloned().collect::<Vec<_>>(), vec!["#1", "#2"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

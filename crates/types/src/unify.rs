@@ -1,0 +1,528 @@
+//! Kinded unification.
+//!
+//! Extends Robinson/Milner unification with:
+//!
+//! * **kinded variables** — unifying two record-kinded variables merges
+//!   their field maps (unifying the overlap), which is the essence of the
+//!   Ohori–Buneman inference algorithm;
+//! * **description constraints** — binding a `Desc`-kinded variable
+//!   propagates description-ness structurally ([`require_desc`]);
+//! * **equi-recursive types** — `rec v. τ` binders are unfolded on demand
+//!   under a coinductive assumption set, so explicitly annotated recursive
+//!   types unify by bisimulation;
+//! * **levels** — Rémy-style level adjustment for efficient `let`
+//!   generalization.
+
+use crate::display::{show_kind, show_type};
+use crate::error::TypeError;
+use crate::kind::Kind;
+use crate::ty::{resolve, unfold_rec, TvRef, Ty, Type};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Unify two types in place (variables are linked by mutation).
+pub fn unify(a: &Ty, b: &Ty) -> Result<(), TypeError> {
+    let mut ctx = Ctx::default();
+    ctx.unify(a, b)
+}
+
+/// Require `t` to be a description type: no `→` outside `ref`.
+/// Variables inside `t` have their kinds promoted to description kinds.
+pub fn require_desc(t: &Ty) -> Result<(), TypeError> {
+    let mut seen = HashSet::new();
+    require_desc_inner(t, &mut seen)
+}
+
+#[derive(Default)]
+struct Ctx {
+    /// Coinductive assumptions: pairs of node addresses already being
+    /// unified (needed only when recursive binders are involved).
+    assumptions: HashSet<(usize, usize)>,
+    /// One-step unfoldings of `rec` nodes, cached so repeated unfolding
+    /// yields pointer-identical results (termination of the memoization).
+    unfold_cache: HashMap<usize, Ty>,
+}
+
+impl Ctx {
+    fn unfold(&mut self, t: &Ty) -> Ty {
+        let key = Rc::as_ptr(t) as usize;
+        if let Some(u) = self.unfold_cache.get(&key) {
+            return u.clone();
+        }
+        let u = unfold_rec(t);
+        self.unfold_cache.insert(key, u.clone());
+        u
+    }
+
+    fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), TypeError> {
+        let a = resolve(a);
+        let b = resolve(b);
+        if Rc::ptr_eq(&a, &b) {
+            return Ok(());
+        }
+        match (&*a, &*b) {
+            (Type::Var(va), Type::Var(vb)) => self.unify_vars(va, vb, &a, &b),
+            (Type::Var(v), _) => self.bind(v, &b),
+            (_, Type::Var(v)) => self.bind(v, &a),
+            (Type::Rec(..), _) | (_, Type::Rec(..)) => {
+                let key = (Rc::as_ptr(&a) as usize, Rc::as_ptr(&b) as usize);
+                if !self.assumptions.insert(key) {
+                    return Ok(());
+                }
+                let ua = self.unfold(&a);
+                let ub = self.unfold(&b);
+                self.unify(&ua, &ub)
+            }
+            (Type::Unit, Type::Unit)
+            | (Type::Int, Type::Int)
+            | (Type::Bool, Type::Bool)
+            | (Type::Str, Type::Str)
+            | (Type::Real, Type::Real)
+            | (Type::Dynamic, Type::Dynamic) => Ok(()),
+            (Type::RecVar(x), Type::RecVar(y)) if x == y => Ok(()),
+            (Type::Arrow(a1, a2), Type::Arrow(b1, b2)) => {
+                self.unify(a1, b1)?;
+                self.unify(a2, b2)
+            }
+            (Type::Set(ea), Type::Set(eb)) => self.unify(ea, eb),
+            (Type::Ref(ea), Type::Ref(eb)) => self.unify(ea, eb),
+            (Type::Record(fa), Type::Record(fb)) | (Type::Variant(fa), Type::Variant(fb)) => {
+                // Concrete records/variants unify only with identical
+                // label sets.
+                if fa.len() != fb.len() {
+                    return Err(self.mismatch(&a, &b));
+                }
+                for (l, ta) in fa {
+                    let Some(tb) = fb.get(l) else {
+                        return Err(TypeError::MissingField { ty: show_type(&b), label: l.clone() });
+                    };
+                    self.unify(ta, tb)?;
+                }
+                Ok(())
+            }
+            _ => Err(self.mismatch(&a, &b)),
+        }
+    }
+
+    fn mismatch(&self, a: &Ty, b: &Ty) -> TypeError {
+        TypeError::Mismatch { left: show_type(a), right: show_type(b) }
+    }
+
+    /// Unify two unbound variables: merge kinds, keep `va` as the
+    /// representative.
+    fn unify_vars(
+        &mut self,
+        va: &TvRef,
+        vb: &TvRef,
+        a_ty: &Ty,
+        b_ty: &Ty,
+    ) -> Result<(), TypeError> {
+        // Two different Type nodes can wrap the same cell.
+        if va == vb {
+            return Ok(());
+        }
+        let ka = va.kind();
+        let kb = vb.kind();
+        let level = va.level().min(vb.level());
+        let merged = self.merge_kinds(ka, kb)?;
+        // Merging kinds unifies overlapping field types, which can link
+        // `va` or `vb` themselves (their cells may appear inside the
+        // kinds). If that happened, restart on the new representatives.
+        if va.is_link() || vb.is_link() {
+            return self.unify(a_ty, b_ty);
+        }
+        vb.link(a_ty.clone());
+        va.set_kind(merged.clone());
+        va.min_level(level);
+        // Adjust levels and run occurs over the merged kind's field types.
+        for ft in merged.field_types() {
+            self.occurs_adjust(va, &ft, level)?;
+        }
+        if merged.requires_desc() {
+            for ft in merged.field_types() {
+                require_desc(&ft)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_kinds(&mut self, ka: Kind, kb: Kind) -> Result<Kind, TypeError> {
+        use Kind::*;
+        Ok(match (ka, kb) {
+            (Any, k) | (k, Any) => k,
+            (Desc, Desc) => Desc,
+            (Desc, k) | (k, Desc) => k.with_desc(),
+            (
+                Record { fields: fa, desc: da },
+                Record { fields: fb, desc: db },
+            ) => {
+                let mut fields = fa;
+                for (l, tb) in fb {
+                    if let Some(ta) = fields.get(&l) {
+                        let ta = ta.clone();
+                        self.unify(&ta, &tb)?;
+                    } else {
+                        fields.insert(l, tb);
+                    }
+                }
+                Record { fields, desc: da || db }
+            }
+            (
+                Variant { fields: fa, desc: da },
+                Variant { fields: fb, desc: db },
+            ) => {
+                let mut fields = fa;
+                for (l, tb) in fb {
+                    if let Some(ta) = fields.get(&l) {
+                        let ta = ta.clone();
+                        self.unify(&ta, &tb)?;
+                    } else {
+                        fields.insert(l, tb);
+                    }
+                }
+                Variant { fields, desc: da || db }
+            }
+            (ka @ Record { .. }, kb @ Variant { .. })
+            | (ka @ Variant { .. }, kb @ Record { .. }) => {
+                return Err(TypeError::KindMismatch {
+                    kind: show_kind(&ka),
+                    ty: show_kind(&kb),
+                })
+            }
+        })
+    }
+
+    /// Bind variable `v` to the non-variable type `t`, enforcing `v`'s
+    /// kind against `t`'s structure.
+    fn bind(&mut self, v: &TvRef, t: &Ty) -> Result<(), TypeError> {
+        self.occurs_adjust(v, t, v.level())?;
+        let kind = v.kind();
+        // Check the kind against the (possibly rec-unfolded) structure.
+        match &kind {
+            Kind::Any => {}
+            Kind::Desc => require_desc(t)?,
+            Kind::Record { fields, desc } => {
+                let target = self.head_structure(t);
+                let Type::Record(m) = &*target else {
+                    return Err(TypeError::KindMismatch {
+                        kind: show_kind(&kind),
+                        ty: show_type(t),
+                    });
+                };
+                for (l, ft) in fields {
+                    let Some(mt) = m.get(l) else {
+                        return Err(TypeError::MissingField {
+                            ty: show_type(t),
+                            label: l.clone(),
+                        });
+                    };
+                    self.unify(ft, mt)?;
+                }
+                if *desc {
+                    require_desc(t)?;
+                }
+            }
+            Kind::Variant { fields, desc } => {
+                let target = self.head_structure(t);
+                let Type::Variant(m) = &*target else {
+                    return Err(TypeError::KindMismatch {
+                        kind: show_kind(&kind),
+                        ty: show_type(t),
+                    });
+                };
+                for (l, ft) in fields {
+                    let Some(mt) = m.get(l) else {
+                        return Err(TypeError::MissingField {
+                            ty: show_type(t),
+                            label: l.clone(),
+                        });
+                    };
+                    self.unify(ft, mt)?;
+                }
+                if *desc {
+                    require_desc(t)?;
+                }
+            }
+        }
+        // The kind checks above unify field types and can bind `v` itself;
+        // in that case finish by unifying the representative with `t`.
+        if v.is_link() {
+            let resolved = resolve(&Rc::new(Type::Var(v.clone())));
+            return self.unify(&resolved, t);
+        }
+        v.link(t.clone());
+        Ok(())
+    }
+
+    /// Unfold `rec` binders until a structural head appears.
+    fn head_structure(&mut self, t: &Ty) -> Ty {
+        let mut cur = resolve(t);
+        let mut fuel = 64;
+        while matches!(&*cur, Type::Rec(..)) && fuel > 0 {
+            cur = self.unfold(&cur);
+            cur = resolve(&cur);
+            fuel -= 1;
+        }
+        cur
+    }
+
+    /// Occurs check for `v` in `t`, adjusting levels of variables in `t`
+    /// down to `level` along the way (standard Rémy generalization
+    /// bookkeeping). Walks into the kinds of kinded variables.
+    fn occurs_adjust(&mut self, v: &TvRef, t: &Ty, level: u32) -> Result<(), TypeError> {
+        let mut visited: HashSet<usize> = HashSet::new();
+        self.occurs_inner(v, t, level, &mut visited)
+    }
+
+    fn occurs_inner(
+        &mut self,
+        v: &TvRef,
+        t: &Ty,
+        level: u32,
+        visited: &mut HashSet<usize>,
+    ) -> Result<(), TypeError> {
+        let t = resolve(t);
+        if !visited.insert(Rc::as_ptr(&t) as usize) {
+            return Ok(());
+        }
+        match &*t {
+            Type::Unit
+            | Type::Int
+            | Type::Bool
+            | Type::Str
+            | Type::Real
+            | Type::Dynamic
+            | Type::RecVar(_) => Ok(()),
+            Type::Arrow(a, b) => {
+                self.occurs_inner(v, a, level, visited)?;
+                self.occurs_inner(v, b, level, visited)
+            }
+            Type::Record(fs) | Type::Variant(fs) => {
+                for ft in fs.values() {
+                    self.occurs_inner(v, ft, level, visited)?;
+                }
+                Ok(())
+            }
+            Type::Set(e) | Type::Ref(e) => self.occurs_inner(v, e, level, visited),
+            Type::Rec(_, body) => self.occurs_inner(v, body, level, visited),
+            Type::Var(w) => {
+                if w == v {
+                    return Err(TypeError::Occurs {
+                        var: show_type(&Rc::new(Type::Var(v.clone()))),
+                        ty: show_type(&t),
+                    });
+                }
+                w.min_level(level);
+                for ft in w.kind().field_types() {
+                    self.occurs_inner(v, &ft, level, visited)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn require_desc_inner(t: &Ty, seen: &mut HashSet<usize>) -> Result<(), TypeError> {
+    let t = resolve(t);
+    if !seen.insert(Rc::as_ptr(&t) as usize) {
+        return Ok(());
+    }
+    match &*t {
+        Type::Unit
+        | Type::Int
+        | Type::Bool
+        | Type::Str
+        | Type::Real
+        | Type::Dynamic
+        | Type::RecVar(_) => Ok(()),
+        // Description-ness stops at `ref`: `ref(int → int)` is a
+        // description type (compared by identity).
+        Type::Ref(_) => Ok(()),
+        Type::Arrow(..) => Err(TypeError::NotDescription(show_type(&t))),
+        Type::Record(fs) | Type::Variant(fs) => {
+            for ft in fs.values() {
+                require_desc_inner(ft, seen)?;
+            }
+            Ok(())
+        }
+        Type::Set(e) => require_desc_inner(e, seen),
+        Type::Rec(_, body) => require_desc_inner(body, seen),
+        Type::Var(v) => {
+            let kind = v.kind();
+            if kind.requires_desc() {
+                return Ok(());
+            }
+            v.set_kind(kind.with_desc());
+            for ft in v.kind().field_types() {
+                require_desc_inner(&ft, seen)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    fn var_gen() -> VarGen {
+        VarGen::new()
+    }
+
+    #[test]
+    fn unify_base() {
+        assert!(unify(&t_int(), &t_int()).is_ok());
+        assert!(unify(&t_int(), &t_bool()).is_err());
+    }
+
+    #[test]
+    fn unify_var_binds() {
+        let gen = var_gen();
+        let v = gen.fresh_ty(Kind::Any, 0);
+        unify(&v, &t_int()).unwrap();
+        assert!(matches!(&*resolve(&v), Type::Int));
+    }
+
+    #[test]
+    fn unify_record_kinds_merge() {
+        let gen = var_gen();
+        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let b = gen.fresh_ty(Kind::record([("Age".to_string(), t_int())], false), 0);
+        unify(&a, &b).unwrap();
+        // The representative now requires both fields.
+        let resolved = resolve(&a);
+        let Type::Var(v) = &*resolved else { panic!() };
+        let Kind::Record { fields, .. } = v.kind() else { panic!() };
+        assert!(fields.contains_key("Name") && fields.contains_key("Age"));
+    }
+
+    #[test]
+    fn record_kinded_var_accepts_wider_record() {
+        let gen = var_gen();
+        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let r = t_record([("Name".into(), t_str()), ("Age".into(), t_int())]);
+        unify(&a, &r).unwrap();
+        assert!(matches!(&*resolve(&a), Type::Record(_)));
+    }
+
+    #[test]
+    fn record_kinded_var_rejects_missing_field() {
+        let gen = var_gen();
+        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let r = t_record([("Age".into(), t_int())]);
+        let err = unify(&a, &r).unwrap_err();
+        assert!(matches!(err, TypeError::MissingField { .. }));
+    }
+
+    #[test]
+    fn record_kinded_var_field_types_must_agree() {
+        let gen = var_gen();
+        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let r = t_record([("Name".into(), t_int())]);
+        assert!(unify(&a, &r).is_err());
+    }
+
+    #[test]
+    fn variant_kinded_var_unifies_with_closed_variant() {
+        let gen = var_gen();
+        let a = gen.fresh_ty(
+            Kind::variant([("Consultant".to_string(), t_int())], false),
+            0,
+        );
+        let v = t_variant([("Employee".into(), t_int()), ("Consultant".into(), t_int())]);
+        unify(&a, &v).unwrap();
+        assert!(matches!(&*resolve(&a), Type::Variant(_)));
+    }
+
+    #[test]
+    fn concrete_records_need_same_labels() {
+        let a = t_record([("A".into(), t_int())]);
+        let b = t_record([("A".into(), t_int()), ("B".into(), t_int())]);
+        assert!(unify(&a, &b).is_err());
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let gen = var_gen();
+        let v = gen.fresh_ty(Kind::Any, 0);
+        let arrow = t_arrow(v.clone(), t_int());
+        let err = unify(&v, &arrow).unwrap_err();
+        assert!(matches!(err, TypeError::Occurs { .. }));
+    }
+
+    #[test]
+    fn desc_kind_rejects_arrow() {
+        let gen = var_gen();
+        let v = gen.fresh_ty(Kind::Desc, 0);
+        let err = unify(&v, &t_arrow(t_int(), t_int())).unwrap_err();
+        assert!(matches!(err, TypeError::NotDescription(_)));
+    }
+
+    #[test]
+    fn desc_kind_allows_ref_of_arrow() {
+        let gen = var_gen();
+        let v = gen.fresh_ty(Kind::Desc, 0);
+        unify(&v, &t_ref(t_arrow(t_int(), t_int()))).unwrap();
+    }
+
+    #[test]
+    fn desc_propagates_to_nested_vars() {
+        let gen = var_gen();
+        let inner = gen.fresh_ty(Kind::Any, 0);
+        let d = gen.fresh_ty(Kind::Desc, 0);
+        unify(&d, &t_set(inner.clone())).unwrap();
+        let resolved = resolve(&inner);
+        let Type::Var(v) = &*resolved else { panic!() };
+        assert!(v.kind().requires_desc());
+    }
+
+    #[test]
+    fn equirecursive_unification() {
+        // rec a. <Nil:unit, Cons:int * a> unifies with its own unfolding.
+        let mk = |id: u32| {
+            Rc::new(Type::Rec(
+                id,
+                t_variant([
+                    ("Nil".into(), t_unit()),
+                    ("Cons".into(), t_tuple([t_int(), Rc::new(Type::RecVar(id))])),
+                ]),
+            ))
+        };
+        let r1 = mk(0);
+        let r2 = mk(1);
+        unify(&r1, &r2).unwrap();
+        let unfolded = unfold_rec(&r1);
+        unify(&unfolded, &r2).unwrap();
+    }
+
+    #[test]
+    fn levels_adjust_on_bind() {
+        let gen = var_gen();
+        let shallow = gen.fresh(Kind::Any, 1);
+        let deep = gen.fresh(Kind::Any, 5);
+        let deep_ty: Ty = Rc::new(Type::Var(deep.clone()));
+        let shallow_ty: Ty = Rc::new(Type::Var(shallow.clone()));
+        unify(&shallow_ty, &t_set(deep_ty)).unwrap();
+        assert_eq!(deep.level(), 1);
+    }
+
+    #[test]
+    fn merge_desc_into_record_kind() {
+        let gen = var_gen();
+        let d = gen.fresh_ty(Kind::Desc, 0);
+        let r = gen.fresh_ty(Kind::record([("A".to_string(), t_int())], false), 0);
+        unify(&d, &r).unwrap();
+        let resolved = resolve(&d);
+        let Type::Var(v) = &*resolved else { panic!() };
+        assert!(v.kind().requires_desc());
+    }
+
+    #[test]
+    fn record_vs_variant_kind_conflict() {
+        let gen = var_gen();
+        let r = gen.fresh_ty(Kind::record([("A".to_string(), t_int())], false), 0);
+        let v = gen.fresh_ty(Kind::variant([("A".to_string(), t_int())], false), 0);
+        assert!(unify(&r, &v).is_err());
+    }
+}

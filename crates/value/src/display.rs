@@ -1,0 +1,150 @@
+//! Rendering values in the paper's notation: `[Name="Joe", Age=21]`,
+//! `{1, 2, 3}`, `(Consultant of [...])`. Record fields print in canonical
+//! (sorted) label order; tuples print as `(a, b)`.
+
+use crate::value::{Builtin, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a value. Cyclic structures (rings built through references)
+/// print each reference's contents once; a back-edge prints as `ref#id`.
+pub fn show_value(v: &Value) -> String {
+    let mut out = String::new();
+    let mut stack = Vec::new();
+    write_value(&mut out, v, &mut stack);
+    out
+}
+
+fn is_tuple(fields: &BTreeMap<String, Value>) -> bool {
+    !fields.is_empty()
+        && fields.keys().all(|l| l.starts_with('#'))
+        && (1..=fields.len()).all(|i| fields.contains_key(&format!("#{i}")))
+}
+
+fn write_value(out: &mut String, v: &Value, stack: &mut Vec<u64>) {
+    match v {
+        Value::Unit => out.push_str("()"),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Real(r) => {
+            if r.fract() == 0.0 && r.is_finite() {
+                let _ = write!(out, "{r:.1}");
+            } else {
+                let _ = write!(out, "{r}");
+            }
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Record(fields) => {
+            if is_tuple(fields) {
+                out.push('(');
+                let mut items: Vec<(usize, &Value)> = fields
+                    .iter()
+                    .map(|(l, v)| (l[1..].parse::<usize>().unwrap(), v))
+                    .collect();
+                items.sort_by_key(|(i, _)| *i);
+                for (pos, (_, fv)) in items.into_iter().enumerate() {
+                    if pos > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(out, fv, stack);
+                }
+                out.push(')');
+            } else {
+                out.push('[');
+                for (i, (l, fv)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{l}=");
+                    write_value(out, fv, stack);
+                }
+                out.push(']');
+            }
+        }
+        Value::Variant(label, payload) => {
+            let _ = write!(out, "({label} of ");
+            write_value(out, payload, stack);
+            out.push(')');
+        }
+        Value::Set(s) => {
+            out.push('{');
+            for (i, item) in s.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item, stack);
+            }
+            out.push('}');
+        }
+        Value::Ref(r) => {
+            if stack.contains(&r.id) {
+                let _ = write!(out, "ref#{}", r.id);
+                return;
+            }
+            stack.push(r.id);
+            let _ = write!(out, "ref#{}(", r.id);
+            write_value(out, &r.cell.borrow(), stack);
+            out.push(')');
+            stack.pop();
+        }
+        Value::Dynamic(d) => {
+            let _ = write!(out, "dynamic#{}(", d.id);
+            write_value(out, &d.value, stack);
+            out.push(')');
+        }
+        Value::Closure(_) => out.push_str("fn"),
+        Value::Op(op) => out.push_str(op.symbol()),
+        Value::Builtin(Builtin::Union) => out.push_str("union"),
+        Value::Builtin(Builtin::Not) => out.push_str("not"),
+        Value::Builtin(Builtin::ApplyC) => out.push_str("applyc"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn show_paper_style() {
+        let v = Value::record([
+            ("Name".into(), Value::str("Joe")),
+            ("Salary".into(), Value::Int(22340)),
+        ]);
+        assert_eq!(show_value(&v), r#"[Name="Joe", Salary=22340]"#);
+    }
+
+    #[test]
+    fn show_set_and_variant() {
+        let v = Value::set([Value::str("Fred"), Value::str("Helen")]);
+        assert_eq!(show_value(&v), r#"{"Fred", "Helen"}"#);
+        let v = Value::variant("Consultant", Value::record([]));
+        assert_eq!(show_value(&v), "(Consultant of [])");
+    }
+
+    #[test]
+    fn show_tuple() {
+        let v = Value::tuple([Value::Int(1), Value::str("x")]);
+        assert_eq!(show_value(&v), r#"(1, "x")"#);
+    }
+
+    #[test]
+    fn show_nested() {
+        let v = Value::set([Value::record([
+            ("Pname".into(), Value::str("bolt")),
+            ("Pinfo".into(), Value::variant("BasePart", Value::record([(
+                "Cost".into(),
+                Value::Int(5),
+            )]))),
+        ])]);
+        assert_eq!(
+            show_value(&v),
+            r#"{[Pinfo=(BasePart of [Cost=5]), Pname="bolt"]}"#
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Runtime value errors.
+
+use std::fmt;
+
+/// Errors from value-level database operations and evaluation plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// `join` of two inconsistent descriptions at a non-set position.
+    Inconsistent { left: String, right: String },
+    /// `project` onto a type the value does not match.
+    ProjectionMismatch { value: String, ty: String },
+    /// A set operation applied to a non-set value (defensive; the type
+    /// system prevents this for typed programs).
+    NotASet(String),
+    /// A set containing structurally incompatible elements (defensive).
+    HeterogeneousSet { first: String, second: String },
+    /// `e as l` applied to a different variant.
+    AsMismatch { expected: String, found: String },
+    /// A field selection on a record missing the label (defensive).
+    NoSuchField { value: String, label: String },
+    /// A dynamic coercion whose payload does not conform to the target.
+    CoercionFailed { value: String, ty: String },
+    /// `hom*` applied to the empty set.
+    EmptyHomStar,
+    /// Functions are not description values (defensive).
+    NotADescription(String),
+    /// A user-raised error (`raise`, or the `as` desugaring's `Error`).
+    Raised(String),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ValueError::*;
+        match self {
+            Inconsistent { left, right } => {
+                write!(f, "inconsistent descriptions: cannot join `{left}` with `{right}`")
+            }
+            ProjectionMismatch { value, ty } => {
+                write!(f, "cannot project `{value}` onto `{ty}`")
+            }
+            NotASet(v) => write!(f, "expected a set, found `{v}`"),
+            HeterogeneousSet { first, second } => {
+                write!(f, "heterogeneous set: `{first}` and `{second}`")
+            }
+            AsMismatch { expected, found } => {
+                write!(f, "`as {expected}` applied to variant `{found}`")
+            }
+            NoSuchField { value, label } => {
+                write!(f, "value `{value}` has no field `{label}`")
+            }
+            CoercionFailed { value, ty } => {
+                write!(f, "dynamic value `{value}` does not conform to `{ty}`")
+            }
+            EmptyHomStar => write!(f, "hom* applied to the empty set"),
+            NotADescription(v) => write!(f, "`{v}` is not a description value"),
+            Raised(msg) => write!(f, "uncaught exception: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = ValueError::EmptyHomStar;
+        assert_eq!(e.to_string(), "hom* applied to the empty set");
+        let e = ValueError::Raised("Error".into());
+        assert!(e.to_string().contains("Error"));
+    }
+}

@@ -1,0 +1,415 @@
+//! The runtime value representation.
+//!
+//! Description values (§2 of the paper) carry a *total order* so sets can
+//! be kept canonical (sorted, deduplicated): equality of sets is then
+//! plain structural equality, matching the paper's mathematical sets.
+//!
+//! * records — ordered field maps;
+//! * variants — a label plus payload;
+//! * sets — [`crate::set::MSet`], always canonical;
+//! * references — a mutable cell plus a session-unique id; equality and
+//!   order are *identity* (`ref(3) = ref(3)` is `false`, per §5);
+//! * dynamics — a value packaged with its runtime type; compared by the
+//!   identity of the `dynamic` invocation that created them (§5).
+
+use crate::set::MSet;
+use machiavelli_syntax::ast::{BinOp, Expr};
+use machiavelli_types::Ty;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Record/variant labels.
+pub type Label = String;
+
+/// Session-unique identity supply for references and dynamics.
+static NEXT_IDENTITY: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_identity() -> u64 {
+    NEXT_IDENTITY.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
+/// A mutable reference cell with object identity.
+#[derive(Debug, Clone)]
+pub struct RefValue {
+    pub id: u64,
+    pub cell: Rc<RefCell<Value>>,
+}
+
+impl RefValue {
+    /// Allocate a fresh reference (fresh identity).
+    pub fn new(v: Value) -> Self {
+        RefValue { id: fresh_identity(), cell: Rc::new(RefCell::new(v)) }
+    }
+
+    /// Read the current contents (cloned).
+    pub fn get(&self) -> Value {
+        self.cell.borrow().clone()
+    }
+
+    /// Overwrite the contents.
+    pub fn set(&self, v: Value) {
+        *self.cell.borrow_mut() = v;
+    }
+}
+
+/// A dynamic value: payload + its description type, with creation
+/// identity (two dynamics are equal only if created by the same
+/// `dynamic(…)` invocation).
+#[derive(Debug, Clone)]
+pub struct DynValue {
+    pub id: u64,
+    pub value: Rc<Value>,
+    /// The runtime type recorded at creation, when known.
+    pub ty: Option<Ty>,
+}
+
+impl DynValue {
+    pub fn new(v: Value, ty: Option<Ty>) -> Self {
+        DynValue { id: fresh_identity(), value: Rc::new(v), ty }
+    }
+}
+
+/// A function closure: parameters, body, captured environment.
+#[derive(Debug)]
+pub struct Closure {
+    pub params: Vec<String>,
+    pub body: Expr,
+    pub env: Env,
+    /// For recursive closures (`fun` / `rec`): the closure's own name,
+    /// rebound to itself at application time.
+    pub rec_name: Option<String>,
+}
+
+/// Builtin function values (identifiers in the initial environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `union : ({"a} * {"a}) -> {"a}` as a first-class value.
+    Union,
+    /// `not : bool -> bool`.
+    Not,
+    /// `applyc(f, x)` — §6's coercion application: statically the
+    /// argument may be any description ≥ the domain; dynamically the
+    /// application is ordinary (field access is structural).
+    ApplyC,
+}
+
+/// A Machiavelli runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Unit,
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Bool(bool),
+    Record(BTreeMap<Label, Value>),
+    Variant(Label, Box<Value>),
+    Set(MSet),
+    Ref(RefValue),
+    Dynamic(DynValue),
+    Closure(Rc<Closure>),
+    /// A first-class infix operator (`hom(f, +, 0, S)`).
+    Op(BinOp),
+    Builtin(Builtin),
+}
+
+impl Value {
+    pub fn record(fields: impl IntoIterator<Item = (Label, Value)>) -> Value {
+        Value::Record(fields.into_iter().collect())
+    }
+
+    pub fn variant(label: impl Into<Label>, payload: Value) -> Value {
+        Value::Variant(label.into(), Box::new(payload))
+    }
+
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(MSet::from_iter(items))
+    }
+
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// An n-ary tuple (record with `#1`, … labels).
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Record(
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("#{}", i + 1), v))
+                .collect(),
+        )
+    }
+
+    /// True for values on which equality (and set membership) is defined.
+    pub fn is_description(&self) -> bool {
+        match self {
+            Value::Unit
+            | Value::Int(_)
+            | Value::Real(_)
+            | Value::Str(_)
+            | Value::Bool(_)
+            | Value::Ref(_)
+            | Value::Dynamic(_) => true,
+            Value::Record(fs) => fs.values().all(Value::is_description),
+            Value::Variant(_, p) => p.is_description(),
+            Value::Set(s) => s.iter().all(Value::is_description),
+            Value::Closure(_) | Value::Op(_) | Value::Builtin(_) => false,
+        }
+    }
+
+    /// Constructor rank for the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Real(_) => 3,
+            Value::Str(_) => 4,
+            Value::Record(_) => 5,
+            Value::Variant(..) => 6,
+            Value::Set(_) => 7,
+            Value::Ref(_) => 8,
+            Value::Dynamic(_) => 9,
+            Value::Closure(_) => 10,
+            Value::Op(_) => 11,
+            Value::Builtin(_) => 12,
+        }
+    }
+}
+
+/// Total order over all values. Description values order structurally
+/// (reals via IEEE `total_cmp`; refs and dynamics by identity); function
+/// values order by address/opcode so the order stays total — the type
+/// system keeps them out of sets.
+pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    let rank_cmp = a.rank().cmp(&b.rank());
+    if rank_cmp != Ordering::Equal {
+        return rank_cmp;
+    }
+    match (a, b) {
+        (Unit, Unit) => Ordering::Equal,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Real(x), Real(y)) => x.total_cmp(y),
+        (Str(x), Str(y)) => x.cmp(y),
+        (Record(xs), Record(ys)) => {
+            // Compare label-wise; shorter/lexicographically-earlier label
+            // sets first.
+            let mut xi = xs.iter();
+            let mut yi = ys.iter();
+            loop {
+                match (xi.next(), yi.next()) {
+                    (None, None) => return Ordering::Equal,
+                    (None, Some(_)) => return Ordering::Less,
+                    (Some(_), None) => return Ordering::Greater,
+                    (Some((lx, vx)), Some((ly, vy))) => {
+                        let lc = lx.cmp(ly);
+                        if lc != Ordering::Equal {
+                            return lc;
+                        }
+                        let vc = value_cmp(vx, vy);
+                        if vc != Ordering::Equal {
+                            return vc;
+                        }
+                    }
+                }
+            }
+        }
+        (Variant(lx, px), Variant(ly, py)) => {
+            let lc = lx.cmp(ly);
+            if lc != Ordering::Equal {
+                return lc;
+            }
+            value_cmp(px, py)
+        }
+        (Set(xs), Set(ys)) => {
+            let mut xi = xs.iter();
+            let mut yi = ys.iter();
+            loop {
+                match (xi.next(), yi.next()) {
+                    (None, None) => return Ordering::Equal,
+                    (None, Some(_)) => return Ordering::Less,
+                    (Some(_), None) => return Ordering::Greater,
+                    (Some(x), Some(y)) => {
+                        let c = value_cmp(x, y);
+                        if c != Ordering::Equal {
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+        (Ref(x), Ref(y)) => x.id.cmp(&y.id),
+        (Dynamic(x), Dynamic(y)) => x.id.cmp(&y.id),
+        (Closure(x), Closure(y)) => (Rc::as_ptr(x) as usize).cmp(&(Rc::as_ptr(y) as usize)),
+        (Op(x), Op(y)) => (*x as u8).cmp(&(*y as u8)),
+        (Builtin(x), Builtin(y)) => (*x as u8).cmp(&(*y as u8)),
+        _ => unreachable!("rank() already discriminated"),
+    }
+}
+
+/// Structural equality (identity for refs, dynamics, closures).
+pub fn value_eq(a: &Value, b: &Value) -> bool {
+    value_cmp(a, b) == Ordering::Equal
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        value_eq(self, other)
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        value_cmp(self, other)
+    }
+}
+
+// --- environments --------------------------------------------------------
+
+/// A persistent (shared-tail) evaluation environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    head: Option<Rc<EnvNode>>,
+}
+
+#[derive(Debug)]
+struct EnvNode {
+    name: String,
+    value: RefCell<Value>,
+    next: Option<Rc<EnvNode>>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Extend with a binding, returning the new environment (the original
+    /// is untouched — closures capture cheaply).
+    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+        Env {
+            head: Some(Rc::new(EnvNode {
+                name: name.into(),
+                value: RefCell::new(value),
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Look up a name (innermost binding wins).
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(node.value.borrow().clone());
+            }
+            cur = node.next.as_ref();
+        }
+        None
+    }
+
+    /// Overwrite the innermost binding of `name` (used to tie recursive
+    /// knots for `fun`).
+    pub fn set(&self, name: &str, value: Value) -> bool {
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            if node.name == name {
+                *node.value.borrow_mut() = value;
+                return true;
+            }
+            cur = node.next.as_ref();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_identity_equality() {
+        let a = Value::Ref(RefValue::new(Value::Int(3)));
+        let b = Value::Ref(RefValue::new(Value::Int(3)));
+        assert_ne!(a, b, "ref(3) = ref(3) must be false (object identity)");
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn ref_mutation_shared() {
+        let r = RefValue::new(Value::Int(1));
+        let alias = Value::Ref(r.clone());
+        r.set(Value::Int(2));
+        let Value::Ref(r2) = &alias else { panic!() };
+        assert_eq!(r2.get(), Value::Int(2));
+    }
+
+    #[test]
+    fn dynamic_identity() {
+        let a = Value::Dynamic(DynValue::new(Value::Int(3), None));
+        let b = Value::Dynamic(DynValue::new(Value::Int(3), None));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn record_equality_ignores_insertion_order() {
+        let a = Value::record([("B".into(), Value::Int(2)), ("A".into(), Value::Int(1))]);
+        let b = Value::record([("A".into(), Value::Int(1)), ("B".into(), Value::Int(2))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_order_across_constructors() {
+        let mut vals = [Value::Str("z".into()),
+            Value::Int(0),
+            Value::Unit,
+            Value::Bool(true)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Unit);
+        assert!(matches!(vals[3], Value::Str(_)));
+    }
+
+    #[test]
+    fn real_total_cmp_handles_nan() {
+        let a = Value::Real(f64::NAN);
+        let b = Value::Real(1.0);
+        // No panic, deterministic order.
+        let _ = value_cmp(&a, &b);
+        assert_eq!(value_cmp(&a, &a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn env_shadowing_and_sharing() {
+        let base = Env::new().bind("x", Value::Int(1));
+        let inner = base.bind("x", Value::Int(2));
+        assert_eq!(base.lookup("x"), Some(Value::Int(1)));
+        assert_eq!(inner.lookup("x"), Some(Value::Int(2)));
+        assert_eq!(inner.lookup("y"), None);
+    }
+
+    #[test]
+    fn env_set_ties_knots() {
+        let env = Env::new().bind("f", Value::Unit);
+        assert!(env.set("f", Value::Int(42)));
+        assert_eq!(env.lookup("f"), Some(Value::Int(42)));
+        assert!(!env.set("g", Value::Unit));
+    }
+
+    #[test]
+    fn is_description() {
+        assert!(Value::record([("A".into(), Value::Int(1))]).is_description());
+        assert!(Value::Ref(RefValue::new(Value::Unit)).is_description());
+        assert!(!Value::Op(BinOp::Add).is_description());
+    }
+}

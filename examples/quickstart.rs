@@ -1,0 +1,56 @@
+//! Quickstart: the paper's introduction, as a program.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use machiavelli::Session;
+
+fn main() {
+    let mut session = Session::new();
+
+    // A polymorphic query: names of people earning over 100K. No types
+    // are written anywhere — inference discovers the record polymorphism.
+    let program = r#"
+        fun Wealthy(S) = select x.Name
+                         where x <- S
+                         with x.Salary > 100000;
+
+        Wealthy({[Name = "Joe",   Salary = 22340],
+                 [Name = "Fred",  Salary = 123456],
+                 [Name = "Helen", Salary = 132000]});
+
+        (* The same function applies to records with extra fields… *)
+        Wealthy({[Name = "Ada", Age = 36, Salary = 150000]});
+
+        (* …and to nested Name records. *)
+        Wealthy({[Name = [First = "Joe", Last = "Doe"], Weight = 70, Salary = 150000]});
+
+        (* Generalized join and projection on records. *)
+        join([Name = [First = "Joe"], Age = 21], [Name = [Last = "Doe"]]);
+        project(it, [Name: [Last: string]]);
+
+        (* Sets are mathematical sets; hom is the fold that builds the
+           standard library. *)
+        hom((fn(x) => x * x), +, 0, {1, 2, 3, 4});
+        card(powerset({1, 2, 3}));
+    "#;
+
+    match session.run(program) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                println!(">> {}", o.show());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Static typing catches schema errors before anything runs:
+    let err = session
+        .run(r#"Wealthy({[Name = "NoSalary"]});"#)
+        .expect_err("missing Salary must be a type error");
+    println!("\nstatically rejected: {err}");
+}

@@ -1,0 +1,20 @@
+//! An interactive Machiavelli REPL, in the style of the paper's
+//! transcripts.
+//!
+//! ```sh
+//! cargo run --example repl
+//! -> fun id(x) = x;
+//! >> val id = fn : 'a -> 'a
+//! -> id(1);
+//! >> val it = 1 : int
+//! -> quit;
+//! ```
+
+use machiavelli::{run_repl, Session};
+use std::io::BufReader;
+
+fn main() -> std::io::Result<()> {
+    let mut session = Session::new();
+    let stdin = std::io::stdin();
+    run_repl(&mut session, BufReader::new(stdin.lock()), std::io::stdout())
+}

@@ -1,0 +1,86 @@
+//! §6's alternative application rule, implemented as the `applyc`
+//! combinator: `e : σ → τ`, `e' : ρ`, `ρ ≤ σ` gives `applyc(e, e') : τ`.
+//! Functions written over a *smaller* (even closed) description type
+//! accept any information-richer argument, coerced implicitly — the
+//! paper's "de-mysticized" subtyping.
+
+use machiavelli::Session;
+
+#[test]
+fn applyc_scheme_carries_the_ordering_condition() {
+    let s = Session::new();
+    assert_eq!(
+        s.scheme_of("applyc").unwrap().show(),
+        "((\"a -> 'b) * \"c) -> 'b where { \"a <= \"c }"
+    );
+}
+
+#[test]
+fn closed_domain_function_accepts_wider_records() {
+    let mut s = Session::new();
+    // A function over the *closed* record type [Name:string] — ordinary
+    // application to a wider record is a type error…
+    s.run("fun greet(p) = \"hello \" ^ project(p, [Name: string]).Name;")
+        .unwrap();
+    s.run("val namedOnly = (fn(p) => project(p, [Name: string]));").unwrap();
+    s.run("fun nameLen(p) = project(p, [Name: string]);").unwrap();
+    // Build a closed-domain function via annotation-driven typing:
+    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);").unwrap();
+    // `exact` demands p : [Name:string] exactly (equality forces it).
+    let err = s.run(r#"exact([Name="joe", Age=3]);"#).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+    // …but applyc coerces:
+    let out = s
+        .eval_one(r#"applyc(exact, [Name="joe", Age=3]);"#)
+        .unwrap();
+    // Dynamically the projection inside compares against the *whole*
+    // record, so the first component is false; the method still ran.
+    assert_eq!(out.scheme.show(), "bool * string");
+}
+
+#[test]
+fn applyc_rejects_arguments_below_the_domain() {
+    let mut s = Session::new();
+    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);").unwrap();
+    // [Age:int] is not ≥ [Name:string]: the ordering condition fails.
+    let err = s.run("applyc(exact, [Age=3]);").unwrap_err();
+    assert!(
+        err.to_string().contains("no field `Name`")
+            || err.to_string().contains("not a substructure"),
+        "{err}"
+    );
+}
+
+#[test]
+fn applyc_on_equal_types_is_ordinary_application() {
+    let mut s = Session::new();
+    s.run("fun inc(n) = n + 1;").unwrap();
+    let out = s.eval_one("applyc(inc, 41);").unwrap();
+    assert_eq!(out.show(), "val it = 42 : int");
+}
+
+#[test]
+fn applyc_condition_stays_symbolic_in_schemes() {
+    let mut s = Session::new();
+    // Wrapping applyc keeps the ≤ condition in the wrapper's scheme.
+    let out = s.eval_one("fun capply(f, x) = applyc(f, x);").unwrap();
+    assert_eq!(
+        out.scheme.show(),
+        "((\"a -> 'b) * \"c) -> 'b where { \"a <= \"c }"
+    );
+}
+
+#[test]
+fn applyc_with_nested_structure() {
+    let mut s = Session::new();
+    s.run("fun lastName(p) = project(p, [Name: [Last: string]]);").unwrap();
+    let out = s
+        .eval_one(
+            r#"applyc(lastName, [Name=[First="Joe", Last="Doe"], Salary=12345]);"#,
+        )
+        .unwrap();
+    assert_eq!(
+        out.show(),
+        r#"val it = [Name=[Last="Doe"]] : [Name:[Last:string]]"#
+    );
+}

@@ -1,0 +1,213 @@
+//! Deeper inference scenarios: interactions between row polymorphism,
+//! conditional constraints, let-polymorphism and the value restriction —
+//! the corners a downstream user of the type system will hit.
+
+use machiavelli::Session;
+
+fn type_of(src: &str) -> String {
+    let mut s = Session::new();
+    let outs = s.run(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    outs.last().unwrap().scheme.show()
+}
+
+fn fails(src: &str) -> String {
+    let mut s = Session::new();
+    s.run(src).unwrap_err().to_string()
+}
+
+#[test]
+fn field_polymorphism_composes() {
+    // Selecting two fields merges the kinds into one row.
+    assert_eq!(
+        type_of("fun both(x) = (x.A, x.B);"),
+        "[('a) A:'b,B:'c] -> 'b * 'c"
+    );
+    // Using the same field twice does not duplicate it.
+    assert_eq!(
+        type_of("fun twiceA(x) = (x.A, x.A);"),
+        "[('a) A:'b] -> 'b * 'b"
+    );
+}
+
+#[test]
+fn modify_chains_preserve_the_row() {
+    assert_eq!(
+        type_of("fun bump2(x) = modify(modify(x, A, x.A + 1), B, x.B + 1);"),
+        "[('a) A:int,B:int] -> [('a) A:int,B:int]"
+    );
+}
+
+#[test]
+fn records_of_functions_are_not_description_types() {
+    // A record containing a function is a fine value…
+    assert_eq!(
+        type_of("val handlers = [OnClick = (fn(x) => x + 1)];"),
+        "[OnClick:int -> int]"
+    );
+    // …but cannot enter sets or be compared.
+    assert!(fails("{[F = (fn(x) => x)]};").contains("not a description type"));
+    assert!(fails("[F = (fn(x) => x)] = [F = (fn(x) => x)];")
+        .contains("not a description type"));
+    // Behind a ref it becomes a description again (§3.1's definition).
+    assert_eq!(
+        type_of("{ref((fn(x) => x + 1))};"),
+        "{ref(int -> int)}"
+    );
+}
+
+#[test]
+fn select_requires_description_results() {
+    assert!(fails("select (fn(y) => y) where x <- {1} with true;")
+        .contains("not a description type"));
+}
+
+#[test]
+fn conditional_schemes_nest() {
+    // join under a lambda under a join: two levels of conditions.
+    let shown = type_of("fun f(a, b, c, d) = join(join(a, b), join(c, d));");
+    assert_eq!(
+        shown,
+        "(\"a * \"b * \"c * \"d) -> \"e where { \"e = \"f lub \"g, \"g = \"c lub \"d, \"f = \"a lub \"b }"
+    );
+}
+
+#[test]
+fn conditions_resolve_stepwise_across_phrases() {
+    let mut s = Session::new();
+    s.run("fun pairjoin(x, y) = join(x, y);").unwrap();
+    // First application grounds one instance; the scheme stays general.
+    let a = s.eval_one("pairjoin([A=1], [B=2]);").unwrap();
+    assert_eq!(a.scheme.show(), "[A:int,B:int]");
+    let b = s.eval_one("pairjoin([X=\"s\"], [Y=true]);").unwrap();
+    assert_eq!(b.scheme.show(), "[X:string,Y:bool]");
+}
+
+#[test]
+fn inconsistent_instantiation_of_a_conditional_scheme_errors() {
+    let mut s = Session::new();
+    s.run("fun pairjoin(x, y) = join(x, y);").unwrap();
+    let err = s.run("pairjoin([A=1], [A=\"x\"]);").unwrap_err();
+    assert!(err.to_string().contains("no least upper bound"), "{err}");
+    // The scheme itself is unharmed by the failed use.
+    assert!(s.run("pairjoin([A=1], [B=2]);").is_ok());
+}
+
+#[test]
+fn join_on_sets_of_nested_records() {
+    let mut s = Session::new();
+    let out = s
+        .eval_one(
+            r#"join({[Name=[First="Joe"], Age=21]},
+                    {[Name=[Last="Doe"]], [Name=[Last="Poe"]]});"#,
+        )
+        .unwrap();
+    assert_eq!(
+        out.show(),
+        r#"val it = {[Age=21, Name=[First="Joe", Last="Doe"]], [Age=21, Name=[First="Joe", Last="Poe"]]} : {[Age:int,Name:[First:string,Last:string]]}"#
+    );
+}
+
+#[test]
+fn value_restriction_applications_are_monomorphic() {
+    // An application result does not generalize: using it at two types
+    // fails on the second use.
+    let mut s = Session::new();
+    s.run("fun id(x) = x; val f = id(id);").unwrap();
+    s.run("f(1);").unwrap();
+    let err = s.run("f(\"s\");").unwrap_err();
+    assert!(err.to_string().contains("mismatch"), "{err}");
+}
+
+#[test]
+fn lambda_bound_variables_stay_monomorphic() {
+    let err = fails("(fn(f) => (f(1), f(\"s\")))((fn(x) => x));");
+    assert!(err.contains("mismatch"), "{err}");
+}
+
+#[test]
+fn empty_set_interacts_with_everything() {
+    assert_eq!(type_of("union({}, {1});"), "{int}");
+    assert_eq!(type_of("join({}, {1});"), "{int}");
+    assert_eq!(type_of("card({});"), "int");
+    let mut s = Session::new();
+    assert_eq!(
+        s.eval_one("join({}, {1});").unwrap().show(),
+        "val it = {} : {int}"
+    );
+    // Projecting the empty set is fine too.
+    assert_eq!(
+        s.eval_one("project({}, {[A: int]});").unwrap().show(),
+        "val it = {} : {[A:int]}"
+    );
+}
+
+#[test]
+fn variants_inside_conditions() {
+    // con over variant-containing records: statically conditional,
+    // dynamically branch-sensitive.
+    let mut s = Session::new();
+    assert_eq!(
+        s.eval_one("con([V=(A of 1)], [V=(A of 1)]);").unwrap().show(),
+        "val it = true : bool"
+    );
+    assert_eq!(
+        s.eval_one("con([V=(A of 1)], [V=(A of 2)]);").unwrap().show(),
+        "val it = false : bool"
+    );
+    // Different branches of the same variant type are inconsistent values
+    // but consistent *types*.
+    assert_eq!(
+        s.eval_one(
+            "con([V=(A of 1)], [V=(B of \"x\")]);"
+        )
+        .unwrap()
+        .show(),
+        "val it = false : bool"
+    );
+}
+
+#[test]
+fn deep_row_composition_through_many_functions() {
+    // Five layers of field-selecting functions compose into one row.
+    let shown = type_of(
+        "fun f1(x) = x.A;
+         fun f2(x) = (f1(x), x.B);
+         fun f3(x) = (f2(x), x.C);
+         fun f4(x) = (f3(x), x.D);
+         fun f4all(x) = f4(x);",
+    );
+    assert_eq!(
+        shown,
+        "[('a) A:'b,B:'c,C:'d,D:'e] -> (('b * 'c) * 'd) * 'e"
+    );
+}
+
+#[test]
+fn projection_constraints_propagate_into_functions() {
+    // project inside a function constrains the argument's row eagerly.
+    let shown = type_of("fun nameOf(x) = project(x, [Name: string]);");
+    assert_eq!(shown, "[(\"a) Name:string] -> [Name:string]");
+    // And applying it to a record lacking Name fails statically.
+    let err = fails(
+        "fun nameOf(x) = project(x, [Name: string]);
+         nameOf([Age=3]);",
+    );
+    assert!(err.contains("no field `Name`"), "{err}");
+}
+
+#[test]
+fn case_arms_unify_result_types() {
+    let err = fails("(case (A of 1) of A of x => 1, B of y => \"s\");");
+    assert!(err.contains("mismatch"), "{err}");
+}
+
+#[test]
+fn generalized_literals_are_reusable_at_many_types() {
+    // A polymorphic record value (a literal) can be consumed by two
+    // differently-shaped contexts thanks to generalization.
+    let mut s = Session::new();
+    s.run("val point = [X=0, Y=0, Tag=(Origin of ())];").unwrap();
+    s.run("fun getX(p) = p.X; fun getTag(p) = p.Tag as Origin;").unwrap();
+    assert_eq!(s.eval_one("getX(point);").unwrap().show(), "val it = 0 : int");
+    assert_eq!(s.eval_one("getTag(point);").unwrap().show(), "val it = () : unit");
+}

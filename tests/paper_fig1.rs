@@ -1,0 +1,126 @@
+//! E1 — Figure 1: `joe`, `phone`, `increment_age`.
+
+use machiavelli::Session;
+
+#[test]
+fn joe_value_and_type() {
+    let mut s = Session::new();
+    let out = s
+        .eval_one(
+            r#"val joe = [Name="Joe", Age=21,
+                          Status=(Consultant of [Address="Philadelphia", Telephone=2221234])];"#,
+        )
+        .unwrap();
+    // Paper: [Name:string, Age:int,
+    //         Status:<('a) Consultant:[Address:string, Telephone:int]>]
+    // (our display orders fields canonically and names variables by first
+    // occurrence).
+    assert_eq!(
+        out.scheme.show(),
+        "[Age:int,Name:string,Status:<('a) Consultant:[Address:string,Telephone:int]>]"
+    );
+    assert_eq!(
+        machiavelli::value::show_value(&out.value),
+        r#"[Age=21, Name="Joe", Status=(Consultant of [Address="Philadelphia", Telephone=2221234])]"#
+    );
+}
+
+#[test]
+fn phone_type_and_application() {
+    let mut s = Session::new();
+    let out = s
+        .eval_one(
+            "fun phone(x) = (case x.Status of Employee of y => y.Extension,
+                                              Consultant of y => y.Telephone);",
+        )
+        .unwrap();
+    // Paper: [('a) Status:<Employee:[('b) Extension:'d],
+    //                      Consultant:[('c) Telephone:'d]>] -> 'd
+    // — a *closed* variant (no row) with open record payloads; variable
+    // naming follows first occurrence in our canonical display.
+    assert_eq!(
+        out.scheme.show(),
+        "[('a) Status:<Consultant:[('b) Telephone:'c],Employee:[('d) Extension:'c]>] -> 'c"
+    );
+
+    s.run(
+        r#"val joe = [Name="Joe", Age=21,
+                      Status=(Consultant of [Address="Philadelphia", Telephone=2221234])];"#,
+    )
+    .unwrap();
+    let out = s.eval_one("phone(joe);").unwrap();
+    assert_eq!(out.show(), "val it = 2221234 : int");
+}
+
+#[test]
+fn phone_applies_to_employees_too() {
+    let mut s = Session::new();
+    s.run(
+        "fun phone(x) = (case x.Status of Employee of y => y.Extension,
+                                          Consultant of y => y.Telephone);",
+    )
+    .unwrap();
+    let out = s
+        .eval_one(r#"phone([Name="Ann", Status=(Employee of [Extension=42, Office=3])]);"#)
+        .unwrap();
+    assert_eq!(out.show(), "val it = 42 : int");
+}
+
+#[test]
+fn increment_age_type_and_application() {
+    let mut s = Session::new();
+    let out = s
+        .eval_one("fun increment_age(x) = modify(x, Age, x.Age + 1);")
+        .unwrap();
+    // Paper: [('a) Age:int] -> [('a) Age:int]
+    assert_eq!(out.scheme.show(), "[('a) Age:int] -> [('a) Age:int]");
+
+    let out = s
+        .eval_one(r#"increment_age([Name="John", Age=21]);"#)
+        .unwrap();
+    // Paper: [Name="John", Age=22] : [Name:string, Age:int]
+    assert_eq!(
+        out.show(),
+        r#"val it = [Age=22, Name="John"] : [Age:int,Name:string]"#
+    );
+}
+
+#[test]
+fn increment_age_preserves_extra_fields_exactly() {
+    let mut s = Session::new();
+    s.run("fun increment_age(x) = modify(x, Age, x.Age + 1);").unwrap();
+    let out = s
+        .eval_one(r#"increment_age([Name="J", Age=1, Dept="CIS", Salary=9]);"#)
+        .unwrap();
+    assert_eq!(
+        out.show(),
+        r#"val it = [Age=2, Dept="CIS", Name="J", Salary=9] : [Age:int,Dept:string,Name:string,Salary:int]"#
+    );
+}
+
+#[test]
+fn case_must_cover_exact_variants_without_other() {
+    let mut s = Session::new();
+    s.run(
+        "fun phone(x) = (case x.Status of Employee of y => y.Extension,
+                                          Consultant of y => y.Telephone);",
+    )
+    .unwrap();
+    // A record whose Status injects a *different* label must be rejected
+    // statically.
+    let err = s
+        .run(r#"phone([Status=(Retired of [Since=1980])]);"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+#[test]
+fn id_session_from_section_3() {
+    // The -> 1; -> fun id(x) = x; -> id(1); transcript of §3.3.
+    let mut s = Session::new();
+    assert_eq!(s.eval_one("1;").unwrap().show(), "val it = 1 : int");
+    assert_eq!(s.eval_one("fun id(x) = x;").unwrap().show(), "val id = fn : 'a -> 'a");
+    assert_eq!(s.eval_one("id(1);").unwrap().show(), "val it = 1 : int");
+    // id also applies at other types afterwards (true polymorphism).
+    assert_eq!(s.eval_one("id(\"s\");").unwrap().show(), "val it = \"s\" : string");
+}

@@ -1,0 +1,96 @@
+//! E6 — Figures 6 and 7: the class hierarchy as types, and the
+//! information-ordering relationships between them.
+//!
+//! Figure 6's arrows (TeachingFellows → Students/Employees → People)
+//! "run opposite to the information ordering": Person ≤ Student ≤ TF and
+//! Person ≤ Employee ≤ TF.
+
+use machiavelli::types::{le, lower_closed, type_eq, Partial};
+use machiavelli::syntax::parse_type;
+
+const PERSON_OBJ: &str = "rec p . ref([Name: string, \
+    Salary: <None: unit, Value: int>, \
+    Advisor: <None: unit, Value: p>, \
+    Class: <None: unit, Value: string>])";
+
+fn person() -> String {
+    format!("[Name: string, Id: {PERSON_OBJ}]")
+}
+fn student() -> String {
+    format!("[Name: string, Advisor: {PERSON_OBJ}, Id: {PERSON_OBJ}]")
+}
+fn employee() -> String {
+    format!("[Name: string, Salary: int, Id: {PERSON_OBJ}]")
+}
+fn teaching_fellow() -> String {
+    format!(
+        "[Name: string, Salary: int, Advisor: {PERSON_OBJ}, Class: string, Id: {PERSON_OBJ}]"
+    )
+}
+
+fn ty(src: &str) -> machiavelli::types::Ty {
+    lower_closed(&parse_type(src).unwrap()).unwrap()
+}
+
+#[test]
+fn figure7_types_are_description_types() {
+    for t in [person(), student(), employee(), teaching_fellow()] {
+        assert!(lower_closed(&parse_type(&t).unwrap()).is_ok(), "{t}");
+    }
+}
+
+#[test]
+fn ordering_mirrors_figure6_arrows() {
+    let p = ty(&person());
+    let s = ty(&student());
+    let e = ty(&employee());
+    let tf = ty(&teaching_fellow());
+    // Person ≤ Student, Person ≤ Employee, both ≤ TeachingFellow.
+    assert_eq!(le(&p, &s), Partial::Known(true));
+    assert_eq!(le(&p, &e), Partial::Known(true));
+    assert_eq!(le(&s, &tf), Partial::Known(true));
+    assert_eq!(le(&e, &tf), Partial::Known(true));
+    assert_eq!(le(&p, &tf), Partial::Known(true));
+    // Students and Employees are incomparable.
+    assert_eq!(le(&s, &e), Partial::Known(false));
+    assert_eq!(le(&e, &s), Partial::Known(false));
+    // And the ordering is strict (no arrow reversal).
+    assert_eq!(le(&tf, &p), Partial::Known(false));
+}
+
+#[test]
+fn lub_of_student_and_employee_is_teaching_fellow_minus_class() {
+    let s = ty(&student());
+    let e = ty(&employee());
+    let l = machiavelli::types::lub(&s, &e).unwrap().known().unwrap();
+    let expected = ty(&format!(
+        "[Name: string, Salary: int, Advisor: {PERSON_OBJ}, Id: {PERSON_OBJ}]"
+    ));
+    assert_eq!(type_eq(&l, &expected), Partial::Known(true));
+}
+
+#[test]
+fn glb_of_student_and_employee_is_person() {
+    let s = ty(&student());
+    let e = ty(&employee());
+    let g = machiavelli::types::glb(&s, &e).unwrap().known().unwrap();
+    assert_eq!(type_eq(&g, &ty(&person())), Partial::Known(true));
+}
+
+#[test]
+fn ref_types_are_atomic_for_the_ordering() {
+    // ref(τ) ≤ ref(τ) only: a "smaller" object type is not ≤.
+    let full = ty(PERSON_OBJ);
+    let fewer = ty("ref([Name: string])");
+    assert_eq!(le(&fewer, &full), Partial::Known(false));
+    assert_eq!(le(&full, &full), Partial::Known(true));
+}
+
+#[test]
+fn intlists_example_from_section_3_1() {
+    // intlists = rec v. (unit + (int * v)) — spelled with variant labels.
+    let t = ty("rec v . <#1: unit, #2: int * v>");
+    // Equi-recursive: equal to its own unfolding.
+    let unfolded = machiavelli::types::ty::unfold_rec(&t);
+    assert_eq!(type_eq(&t, &unfolded), Partial::Known(true));
+}

@@ -1,0 +1,95 @@
+//! E0 — the introduction's `Wealthy` example: inferred type, evaluation,
+//! and the record-polymorphic applications the paper promises.
+
+use machiavelli::Session;
+
+const WEALTHY: &str =
+    "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;";
+
+#[test]
+fn wealthy_inferred_type_matches_paper() {
+    let mut s = Session::new();
+    let out = s.eval_one(WEALTHY).unwrap();
+    // Paper: Wealthy: {[("a) Name:"b,Salary:int]} -> {"b}
+    assert_eq!(
+        out.show(),
+        "val Wealthy = fn : {[(\"a) Name:\"b,Salary:int]} -> {\"b}"
+    );
+}
+
+#[test]
+fn wealthy_on_the_papers_relation() {
+    let mut s = Session::new();
+    s.run(WEALTHY).unwrap();
+    let out = s
+        .eval_one(
+            r#"Wealthy({[Name = "Joe", Salary = 22340],
+                        [Name = "Fred", Salary = 123456],
+                        [Name = "Helen", Salary = 132000]});"#,
+        )
+        .unwrap();
+    assert_eq!(out.show(), r#"val it = {"Fred", "Helen"} : {string}"#);
+}
+
+#[test]
+fn wealthy_applies_to_wider_records() {
+    // "Machiavelli will allow Wealthy to be applied, for example, to
+    // relations of type {[Name: string, Age: int, Salary: int]}".
+    let mut s = Session::new();
+    s.run(WEALTHY).unwrap();
+    let out = s
+        .eval_one(
+            r#"Wealthy({[Name = "A", Age = 30, Salary = 200000],
+                        [Name = "B", Age = 40, Salary = 50]});"#,
+        )
+        .unwrap();
+    assert_eq!(out.show(), r#"val it = {"A"} : {string}"#);
+}
+
+#[test]
+fn wealthy_applies_to_nested_name_records() {
+    // "... and also to relations of type
+    //  {[Name: [First: string, Last: string], Weight: int, Salary: int]}".
+    let mut s = Session::new();
+    s.run(WEALTHY).unwrap();
+    let out = s
+        .eval_one(
+            r#"Wealthy({[Name = [First = "Joe", Last = "Doe"], Weight = 70, Salary = 150000]});"#,
+        )
+        .unwrap();
+    assert_eq!(
+        out.show(),
+        r#"val it = {[First="Joe", Last="Doe"]} : {[First:string,Last:string]}"#
+    );
+}
+
+#[test]
+fn wealthy_rejects_relations_without_salary() {
+    let mut s = Session::new();
+    s.run(WEALTHY).unwrap();
+    let err = s.run(r#"Wealthy({[Name = "A"]});"#).unwrap_err();
+    assert!(err.to_string().contains("Salary"), "{err}");
+}
+
+#[test]
+fn wealthy_rejects_non_int_salary() {
+    let mut s = Session::new();
+    s.run(WEALTHY).unwrap();
+    assert!(s.run(r#"Wealthy({[Name = "A", Salary = "big"]});"#).is_err());
+}
+
+#[test]
+fn select_sugar_equals_map_filter_composition() {
+    // §2: select is sugar over map/filter/prod.
+    let mut s = Session::new();
+    let via_select = s
+        .eval_one("select x.Name where x <- {[Name=1, Salary=200000]} with x.Salary > 100000;")
+        .unwrap();
+    let via_prelude = s
+        .eval_one(
+            "map((fn(x) => x.Name),
+                 filter((fn(x) => x.Salary > 100000), {[Name=1, Salary=200000]}));",
+        )
+        .unwrap();
+    assert_eq!(via_select.value, via_prelude.value);
+}

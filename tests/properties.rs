@@ -1,0 +1,301 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! algebraic laws the paper relies on:
+//!
+//! * `MSet` is a canonical set (union/intersection/difference laws);
+//! * value-level `join` is idempotent/commutative/associative on
+//!   consistent descriptions and computes an upper bound;
+//! * `con` is reflexive and symmetric;
+//! * `project` is idempotent and monotone;
+//! * type-level `⊔`/`⊓` form lub/glb with respect to `≤`;
+//! * join strategies agree on random flat relations;
+//! * naive and semi-naive closure agree on random digraphs;
+//! * the interpreter's `select`/`join` agree with the native substrate.
+
+use machiavelli::types::{glb, le, lub, type_eq, Partial};
+use machiavelli::value::{
+    con_value, join_value, project_value, value_cmp, MSet, Value,
+};
+use machiavelli_relational::{
+    edges_to_relation, hash_join, naive_closure, nested_loop_join, seminaive_closure,
+    sort_merge_join, Relation,
+};
+use proptest::prelude::*;
+
+// ----- generators ---------------------------------------------------------
+
+/// Flat record values over a fixed label universe (so overlaps happen).
+fn arb_flat_record() -> impl Strategy<Value = Value> {
+    let field = prop_oneof![
+        (0i64..5).prop_map(Value::Int),
+        "[a-c]{1}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ];
+    proptest::collection::btree_map(
+        prop_oneof![Just("A".to_string()), Just("B".to_string()), Just("C".to_string())],
+        field,
+        0..3,
+    )
+    .prop_map(Value::Record)
+}
+
+/// Nested description values (records of records / base values).
+fn arb_desc_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (0i64..10).prop_map(Value::Int),
+        "[a-b]{1,2}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Unit),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::btree_map(
+                prop_oneof![
+                    Just("A".to_string()),
+                    Just("B".to_string()),
+                    Just("C".to_string()),
+                    Just("D".to_string())
+                ],
+                inner.clone(),
+                0..3,
+            )
+            .prop_map(Value::Record),
+            // Sets must be homogeneous to be well-typed (heterogeneous
+            // sets are rejected statically, and the join laws only hold
+            // for typeable values), so set elements are drawn from one
+            // scalar type.
+            proptest::collection::vec(0i64..6, 0..4)
+                .prop_map(|xs| Value::set(xs.into_iter().map(Value::Int))),
+        ]
+    })
+}
+
+/// Description *types* over a small label universe.
+fn arb_desc_type() -> impl Strategy<Value = machiavelli::types::Ty> {
+    use machiavelli::types::ty::*;
+    let leaf = prop_oneof![
+        Just(t_int()),
+        Just(t_str()),
+        Just(t_bool()),
+        Just(t_unit()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::btree_map(
+                prop_oneof![
+                    Just("A".to_string()),
+                    Just("B".to_string()),
+                    Just("C".to_string())
+                ],
+                inner.clone(),
+                0..3,
+            )
+            .prop_map(t_record),
+            inner.prop_map(t_set),
+        ]
+    })
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..12, 0i64..12), 0..40)
+}
+
+// ----- MSet laws ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mset_canonical(xs in proptest::collection::vec(0i64..20, 0..30)) {
+        let s = MSet::from_iter(xs.iter().map(|&x| Value::Int(x)));
+        // Sorted and duplicate-free.
+        for w in s.as_slice().windows(2) {
+            prop_assert!(value_cmp(&w[0], &w[1]) == std::cmp::Ordering::Less);
+        }
+        // Membership agrees with the source list.
+        for x in 0..20 {
+            prop_assert_eq!(s.contains(&Value::Int(x)), xs.contains(&x));
+        }
+    }
+
+    #[test]
+    fn mset_algebra(
+        xs in proptest::collection::vec(0i64..15, 0..20),
+        ys in proptest::collection::vec(0i64..15, 0..20),
+    ) {
+        let a = MSet::from_iter(xs.iter().map(|&x| Value::Int(x)));
+        let b = MSet::from_iter(ys.iter().map(|&x| Value::Int(x)));
+        // Commutativity / idempotence.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        // |A ∪ B| = |A| + |B| − |A ∩ B|.
+        prop_assert_eq!(a.union(&b).len() + a.intersect(&b).len(), a.len() + b.len());
+        // A \ B and A ∩ B partition A.
+        prop_assert_eq!(a.difference(&b).len() + a.intersect(&b).len(), a.len());
+        // Subset laws.
+        prop_assert!(a.intersect(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+}
+
+// ----- value join / con / project laws -------------------------------------
+
+proptest! {
+    #[test]
+    fn con_reflexive_symmetric(a in arb_desc_value(), b in arb_desc_value()) {
+        prop_assert!(con_value(&a, &a));
+        prop_assert_eq!(con_value(&a, &b), con_value(&b, &a));
+    }
+
+    #[test]
+    fn join_laws_on_consistent_values(a in arb_desc_value(), b in arb_desc_value(), c in arb_desc_value()) {
+        prop_assert_eq!(join_value(&a, &a).unwrap(), a.clone());
+        if con_value(&a, &b) {
+            let ab = join_value(&a, &b).unwrap();
+            let ba = join_value(&b, &a).unwrap();
+            prop_assert_eq!(&ab, &ba);
+            // join is increasing: joining again with an operand is a no-op.
+            prop_assert_eq!(join_value(&ab, &a).unwrap(), ab.clone());
+            // Associativity where all joins are defined.
+            if con_value(&b, &c) && con_value(&ab, &c) {
+                if let (Ok(bc), Ok(abc1)) = (join_value(&b, &c), join_value(&ab, &c)) {
+                    if con_value(&a, &bc) {
+                        prop_assert_eq!(join_value(&a, &bc).unwrap(), abc1);
+                    }
+                }
+            }
+        } else {
+            prop_assert!(join_value(&a, &b).is_err());
+        }
+    }
+
+    #[test]
+    fn project_idempotent(ty in arb_desc_type(), v in arb_desc_value()) {
+        if let Ok(p) = project_value(&v, &ty) {
+            prop_assert_eq!(project_value(&p, &ty).unwrap(), p);
+        }
+    }
+}
+
+// ----- type ordering laws --------------------------------------------------
+
+proptest! {
+    #[test]
+    fn le_is_a_partial_order(a in arb_desc_type(), b in arb_desc_type(), c in arb_desc_type()) {
+        prop_assert_eq!(le(&a, &a), Partial::Known(true));
+        // Antisymmetry.
+        if le(&a, &b) == Partial::Known(true) && le(&b, &a) == Partial::Known(true) {
+            prop_assert_eq!(type_eq(&a, &b), Partial::Known(true));
+        }
+        // Transitivity.
+        if le(&a, &b) == Partial::Known(true) && le(&b, &c) == Partial::Known(true) {
+            prop_assert_eq!(le(&a, &c), Partial::Known(true));
+        }
+    }
+
+    #[test]
+    fn lub_is_least_upper_bound(a in arb_desc_type(), b in arb_desc_type()) {
+        if let Ok(Partial::Known(l)) = lub(&a, &b) {
+            prop_assert_eq!(le(&a, &l), Partial::Known(true));
+            prop_assert_eq!(le(&b, &l), Partial::Known(true));
+            // Least: lub(a, lub(a,b)) = lub(a,b).
+            let again = lub(&a, &l).unwrap().known().unwrap();
+            prop_assert_eq!(type_eq(&again, &l), Partial::Known(true));
+        }
+    }
+
+    #[test]
+    fn glb_is_greatest_lower_bound(a in arb_desc_type(), b in arb_desc_type()) {
+        if let Ok(Partial::Known(g)) = glb(&a, &b) {
+            prop_assert_eq!(le(&g, &a), Partial::Known(true));
+            prop_assert_eq!(le(&g, &b), Partial::Known(true));
+            let again = glb(&g, &a).unwrap().known().unwrap();
+            prop_assert_eq!(type_eq(&again, &g), Partial::Known(true));
+        }
+    }
+
+    #[test]
+    fn lub_glb_consistency(a in arb_desc_type(), b in arb_desc_type()) {
+        // If a ≤ b then a ⊔ b = b and a ⊓ b = a.
+        if le(&a, &b) == Partial::Known(true) {
+            let l = lub(&a, &b).unwrap().known().unwrap();
+            prop_assert_eq!(type_eq(&l, &b), Partial::Known(true));
+            let g = glb(&a, &b).unwrap().known().unwrap();
+            prop_assert_eq!(type_eq(&g, &a), Partial::Known(true));
+        }
+    }
+}
+
+// ----- algorithm agreement --------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn join_strategies_agree(
+        xs in proptest::collection::vec(arb_flat_record(), 0..15),
+        ys in proptest::collection::vec(arb_flat_record(), 0..15),
+    ) {
+        // Restrict to homogeneous flat relations: take the first row's
+        // labels as the schema for each side.
+        let schema_of = |v: &Value| match v {
+            Value::Record(fs) => fs.keys().cloned().collect::<Vec<_>>(),
+            _ => vec![],
+        };
+        let homog = |rows: Vec<Value>| -> Relation {
+            let Some(first) = rows.first() else { return Relation::new() };
+            let schema = schema_of(first);
+            Relation::from_rows(rows.iter().filter(|r| schema_of(r) == schema).cloned())
+        };
+        let r = homog(xs);
+        let s = homog(ys);
+        let nl = nested_loop_join(&r, &s);
+        prop_assert_eq!(&nl, &hash_join(&r, &s));
+        prop_assert_eq!(&nl, &sort_merge_join(&r, &s));
+    }
+
+    #[test]
+    fn closures_agree_and_are_monotone(edges in arb_edges()) {
+        let naive = naive_closure(&edges);
+        let semi = seminaive_closure(&edges);
+        prop_assert_eq!(&naive, &semi);
+        for e in &edges {
+            prop_assert!(naive.contains(e));
+        }
+        // Idempotent.
+        let again = naive_closure(&naive.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(again, naive);
+    }
+}
+
+// ----- interpreter vs native ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interpreted_join_matches_native(edges in arb_edges(), others in arb_edges()) {
+        let mut s = machiavelli::Session::new();
+        let r = edges_to_relation(&edges);
+        let t = {
+            // Rename to B/C so the join is on B.
+            let rel = edges_to_relation(&others);
+            rel.rename("A", "B2").rename("B", "C").rename("B2", "B")
+        };
+        s.bind_external("r", r.clone().into_value(), "{[A: int, B: int]}").unwrap();
+        s.bind_external("t", t.clone().into_value(), "{[B: int, C: int]}").unwrap();
+        let interpreted = s.eval_one("join(r, t);").unwrap().value;
+        prop_assert_eq!(interpreted, nested_loop_join(&r, &t).into_value());
+    }
+
+    #[test]
+    fn interpreted_select_matches_native_filter(edges in arb_edges(), k in 0i64..12) {
+        let mut s = machiavelli::Session::new();
+        let r = edges_to_relation(&edges);
+        s.bind_external("r", r.clone().into_value(), "{[A: int, B: int]}").unwrap();
+        let interpreted = s
+            .eval_one(&format!("select x where x <- r with x.A > {k};"))
+            .unwrap()
+            .value;
+        let native = r.select(|v| matches!(v, Value::Record(fs) if matches!(fs.get("A"), Some(Value::Int(a)) if *a > k)));
+        prop_assert_eq!(interpreted, native.into_value());
+    }
+}
