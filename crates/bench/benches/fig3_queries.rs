@@ -45,7 +45,9 @@ fn bench_supplied_by(c: &mut Criterion) {
     group.sample_size(10);
     for n in [20usize, 80, 250] {
         let (mut session, db) = scaled_parts_session(n, 10, 3);
-        session.run("fun Join3(x,y,z) = join(x, join(y,z));").unwrap();
+        session
+            .run("fun Join3(x,y,z) = join(x, join(y,z));")
+            .unwrap();
         let query = r#"select x.Pname
                        where x <- join(parts, supplied_by)
                        with Join3(x.Suppliers, suppliers, {[Sname="supplier0"]}) <> {};"#;
@@ -60,7 +62,9 @@ fn bench_supplied_by(c: &mut Criterion) {
                 joined
                     .select(|v| {
                         let Value::Record(fs) = v else { return false };
-                        let Some(Value::Set(sups)) = fs.get("Suppliers") else { return false };
+                        let Some(Value::Set(sups)) = fs.get("Suppliers") else {
+                            return false;
+                        };
                         sups.iter().any(|s| {
                             let Value::Record(sf) = s else { return false };
                             db.suppliers.iter().any(|row| {

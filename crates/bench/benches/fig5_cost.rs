@@ -21,9 +21,7 @@ fn bench_cost(c: &mut Criterion) {
         let (mut session, db) = scaled_parts_session(n, 8, 5);
         session.run(FIG5_SOURCE).unwrap();
         // Cost of the most deeply nested part (the last one).
-        let query = format!(
-            "hom((fn(x) => if x.P# = {n} then cost(x) else 0), +, 0, parts);"
-        );
+        let query = format!("hom((fn(x) => if x.P# = {n} then cost(x) else 0), +, 0, parts);");
         group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
             b.iter(|| session.eval_one(&query).unwrap().value)
         });
@@ -41,7 +39,12 @@ fn bench_expensive_parts(c: &mut Criterion) {
         let (mut session, db) = scaled_parts_session(n, 8, 5);
         session.run(FIG5_SOURCE).unwrap();
         group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
-            b.iter(|| session.eval_one("expensive_parts(parts, 1000);").unwrap().value)
+            b.iter(|| {
+                session
+                    .eval_one("expensive_parts(parts, 1000);")
+                    .unwrap()
+                    .value
+            })
         });
         group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
             b.iter(|| {

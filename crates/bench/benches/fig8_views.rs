@@ -18,7 +18,11 @@ fn bench_views(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_views");
     group.sample_size(10);
     for n in [50usize, 150, 500] {
-        let params = UniversityParams { n_people: n, seed: 1, ..Default::default() };
+        let params = UniversityParams {
+            n_people: n,
+            seed: 1,
+            ..Default::default()
+        };
         let (mut session, uni) = university_session(params);
         let store = uni.store();
 
@@ -46,8 +50,12 @@ fn bench_store_generation(c: &mut Criterion) {
     for n in [100usize, 1_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                gen_university(UniversityParams { n_people: n, seed: 1, ..Default::default() })
-                    .store()
+                gen_university(UniversityParams {
+                    n_people: n,
+                    seed: 1,
+                    ..Default::default()
+                })
+                .store()
             })
         });
     }

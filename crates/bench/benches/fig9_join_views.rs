@@ -20,7 +20,11 @@ fn bench_join_of_views(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_join_views");
     group.sample_size(10);
     for n in [50usize, 150, 400] {
-        let params = UniversityParams { n_people: n, seed: 2, ..Default::default() };
+        let params = UniversityParams {
+            n_people: n,
+            seed: 2,
+            ..Default::default()
+        };
         let (mut session, uni) = university_session(params);
         let store = uni.store();
         group.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
@@ -42,7 +46,11 @@ fn bench_advisor_salary_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_advisor_salary");
     group.sample_size(10);
     for n in [50usize, 200] {
-        let params = UniversityParams { n_people: n, seed: 2, ..Default::default() };
+        let params = UniversityParams {
+            n_people: n,
+            seed: 2,
+            ..Default::default()
+        };
         let (mut session, uni) = university_session(params);
         session
             .run("val supported_student = join(StudentView(persons), EmployeeView(persons));")
@@ -57,8 +65,7 @@ fn bench_advisor_salary_query(c: &mut Criterion) {
         let store = uni.store();
         group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
             b.iter(|| {
-                let supported =
-                    nested_loop_join(&student_view(&store), &employee_view(&store));
+                let supported = nested_loop_join(&student_view(&store), &employee_view(&store));
                 let employees = employee_view(&store);
                 let mut names = Vec::new();
                 for x in supported.iter() {

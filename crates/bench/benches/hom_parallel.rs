@@ -21,7 +21,9 @@ use machiavelli_relational::{par_hom, seq_hom};
 fn work(x: &i64) -> i64 {
     let mut v = *x as u64 | 1;
     for _ in 0..64 {
-        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     (v >> 33) as i64
 }

@@ -13,10 +13,63 @@ fn config() -> Criterion {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
 }
-use machiavelli::value::Value;
+use machiavelli::value::{con_value, join_value, show_value, Value};
 use machiavelli_relational::{hash_join, nested_loop_join, row, sort_merge_join, Relation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+// --- the seed's string-rendered hash join, kept as the measured
+// baseline for the structural-key rewrite -------------------------------
+
+fn legacy_key_of(v: &Value, labels: &[machiavelli::value::Symbol]) -> Option<Vec<Value>> {
+    let Value::Record(fs) = v else { return None };
+    labels.iter().map(|l| fs.get(l).cloned()).collect()
+}
+
+fn legacy_hash_key(key: &[Value]) -> String {
+    let mut out = String::new();
+    for v in key {
+        out.push_str(&show_value(v));
+        out.push('\u{1f}');
+    }
+    out
+}
+
+/// Build/probe hash join keyed by rendered strings (the pre-rewrite
+/// implementation, verbatim modulo the new `Fields` accessors).
+fn legacy_string_hash_join(r: &Relation, s: &Relation) -> Relation {
+    let labels = r.common_labels(s);
+    if labels.is_empty() {
+        return nested_loop_join(r, s);
+    }
+    let (build, probe, build_is_left) = if r.len() <= s.len() {
+        (r, s, true)
+    } else {
+        (s, r, false)
+    };
+    let mut table: HashMap<String, Vec<&Value>> = HashMap::with_capacity(build.len());
+    for x in build.iter() {
+        if let Some(k) = legacy_key_of(x, &labels) {
+            table.entry(legacy_hash_key(&k)).or_default().push(x);
+        }
+    }
+    let mut out = Vec::new();
+    for y in probe.iter() {
+        let Some(k) = legacy_key_of(y, &labels) else {
+            continue;
+        };
+        if let Some(matches) = table.get(&legacy_hash_key(&k)) {
+            for x in matches {
+                let (l, rgt) = if build_is_left { (*x, y) } else { (y, *x) };
+                if con_value(l, rgt) {
+                    out.push(join_value(l, rgt).expect("consistent values join"));
+                }
+            }
+        }
+    }
+    Relation::from_rows(out)
+}
 
 fn gen_rel(n: usize, key_space: i64, labels: (&str, &str), seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -41,6 +94,11 @@ fn bench_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hash/uniform", n), &n, |b, _| {
             b.iter(|| hash_join(&r, &s))
         });
+        group.bench_with_input(
+            BenchmarkId::new("hash_string_key/uniform", n),
+            &n,
+            |b, _| b.iter(|| legacy_string_hash_join(&r, &s)),
+        );
         group.bench_with_input(BenchmarkId::new("sort_merge/uniform", n), &n, |b, _| {
             b.iter(|| sort_merge_join(&r, &s))
         });
@@ -53,6 +111,9 @@ fn bench_strategies(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("hash/skewed", n), &n, |b, _| {
             b.iter(|| hash_join(&rs, &ss))
+        });
+        group.bench_with_input(BenchmarkId::new("hash_string_key/skewed", n), &n, |b, _| {
+            b.iter(|| legacy_string_hash_join(&rs, &ss))
         });
         group.bench_with_input(BenchmarkId::new("sort_merge/skewed", n), &n, |b, _| {
             b.iter(|| sort_merge_join(&rs, &ss))

@@ -49,14 +49,14 @@ fn bench_unionc(c: &mut Criterion) {
     for n in [100i64, 1_000] {
         let students = Value::Set(MSet::from_iter((0..n).map(|i| {
             Value::record([
-                ("Name".to_string(), Value::str(format!("s{i}"))),
-                ("Advisor".to_string(), Value::Int(i % 10)),
+                ("Name".into(), Value::str(format!("s{i}"))),
+                ("Advisor".into(), Value::Int(i % 10)),
             ])
         })));
         let employees = Value::Set(MSet::from_iter((0..n).map(|i| {
             Value::record([
-                ("Name".to_string(), Value::str(format!("e{i}"))),
-                ("Salary".to_string(), Value::Int(i * 100)),
+                ("Name".into(), Value::str(format!("e{i}"))),
+                ("Salary".into(), Value::Int(i * 100)),
             ])
         })));
         group.bench_with_input(BenchmarkId::new("records", n), &n, |b, _| {

@@ -52,7 +52,11 @@ fn main() {
                         [Name = "Helen", Salary = 132000]});"#,
         )
         .unwrap();
-    r.exact("Wealthy result", r#"{"Fred", "Helen"}"#, &show_value(&out.value));
+    r.exact(
+        "Wealthy result",
+        r#"{"Fred", "Helen"}"#,
+        &show_value(&out.value),
+    );
 
     println!("\n== E1: Figure 1 ==");
     let out = s
@@ -68,9 +72,11 @@ fn main() {
         out.scheme.show()
             == "[('a) Status:<Consultant:[('b) Telephone:'c],Employee:[('d) Extension:'c]>] -> 'c",
     );
-    s.run(r#"val joe = [Name="Joe", Age=21,
-                        Status=(Consultant of [Address="Philadelphia", Telephone=2221234])];"#)
-        .unwrap();
+    s.run(
+        r#"val joe = [Name="Joe", Age=21,
+                        Status=(Consultant of [Address="Philadelphia", Telephone=2221234])];"#,
+    )
+    .unwrap();
     let out = s.eval_one("phone(joe);").unwrap();
     r.exact("phone(joe)", "2221234", &show_value(&out.value));
     let out = s
@@ -83,7 +89,9 @@ fn main() {
     );
 
     println!("\n== E9: §3.3 — Join3 conditional scheme ==");
-    let out = s.eval_one("fun Join3(x,y,z) = join(x, join(y,z));").unwrap();
+    let out = s
+        .eval_one("fun Join3(x,y,z) = join(x, join(y,z));")
+        .unwrap();
     r.exact(
         "Join3 conditional scheme",
         "(\"a * \"b * \"c) -> \"d where { \"d = \"a lub \"e, \"e = \"b lub \"c }",
@@ -145,7 +153,9 @@ fn main() {
         r#"{"engine"}"#,
         &show_value(&out.value),
     );
-    let out = s.eval_one("cost([Pinfo=(BasePart of [Cost=5]), Pname=\"b\", P#=1]);").unwrap();
+    let out = s
+        .eval_one("cost([Pinfo=(BasePart of [Cost=5]), Pname=\"b\", P#=1]);")
+        .unwrap();
     r.exact("cost of a base part", "5", &show_value(&out.value));
 
     println!("\n== E7/E8: Figures 8 and 9 — views ==");
@@ -205,7 +215,11 @@ fn main() {
         lhs.value == rhs.value,
     );
     let out = s.eval_one("dynamic([A=1]) = dynamic([A=1]);").unwrap();
-    r.exact("dynamics equal only per creation", "false", &show_value(&out.value));
+    r.exact(
+        "dynamics equal only per creation",
+        "false",
+        &show_value(&out.value),
+    );
 
     println!();
     if r.failures == 0 {

@@ -69,8 +69,12 @@ pub fn fig2_session() -> Session {
         .expect("parts binds");
     s.bind_external("suppliers", fig2_suppliers().into_value(), SUPPLIERS_TYPE)
         .expect("suppliers binds");
-    s.bind_external("supplied_by", fig2_supplied_by().into_value(), SUPPLIED_BY_TYPE)
-        .expect("supplied_by binds");
+    s.bind_external(
+        "supplied_by",
+        fig2_supplied_by().into_value(),
+        SUPPLIED_BY_TYPE,
+    )
+    .expect("supplied_by binds");
     s
 }
 
@@ -84,10 +88,18 @@ pub fn scaled_parts_session(
     let mut s = Session::new();
     s.bind_external("parts", db.parts.clone().into_value(), PARTS_TYPE)
         .expect("parts binds");
-    s.bind_external("suppliers", db.suppliers.clone().into_value(), SUPPLIERS_TYPE)
-        .expect("suppliers binds");
-    s.bind_external("supplied_by", db.supplied_by.clone().into_value(), SUPPLIED_BY_TYPE)
-        .expect("supplied_by binds");
+    s.bind_external(
+        "suppliers",
+        db.suppliers.clone().into_value(),
+        SUPPLIERS_TYPE,
+    )
+    .expect("suppliers binds");
+    s.bind_external(
+        "supplied_by",
+        db.supplied_by.clone().into_value(),
+        SUPPLIED_BY_TYPE,
+    )
+    .expect("supplied_by binds");
     (s, db)
 }
 
@@ -122,8 +134,10 @@ mod tests {
 
     #[test]
     fn university_session_builds() {
-        let (mut s, uni) =
-            university_session(UniversityParams { n_people: 20, ..Default::default() });
+        let (mut s, uni) = university_session(UniversityParams {
+            n_people: 20,
+            ..Default::default()
+        });
         let out = s.eval_one("card(PersonView(persons));").unwrap();
         assert_eq!(out.show(), format!("val it = {} : int", uni.objects.len()));
     }

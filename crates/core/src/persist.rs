@@ -26,7 +26,7 @@
 //!     | d<id> v         dynamic (identity table index, payload inline)
 //! ```
 
-use machiavelli_value::{DynValue, MSet, RefValue, Value};
+use machiavelli_value::{DynValue, Fields, MSet, RefValue, Symbol, Value};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -37,17 +37,26 @@ pub enum PersistError {
     /// Function values (closures, operators, builtins) cannot persist.
     NotADescription,
     /// The input is malformed at the given byte offset.
-    Malformed { offset: usize, expected: &'static str },
+    Malformed {
+        offset: usize,
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::NotADescription => {
-                write!(f, "function values are not description values and cannot persist")
+                write!(
+                    f,
+                    "function values are not description values and cannot persist"
+                )
             }
             PersistError::Malformed { offset, expected } => {
-                write!(f, "malformed persisted value at byte {offset}: expected {expected}")
+                write!(
+                    f,
+                    "malformed persisted value at byte {offset}: expected {expected}"
+                )
             }
         }
     }
@@ -78,7 +87,11 @@ pub fn encode_value(v: &Value) -> Result<String, PersistError> {
 /// Decode a value previously produced by [`encode_value`]. All reference
 /// and dynamic identities are freshly allocated (per-session identity).
 pub fn decode_value(src: &str) -> Result<Value, PersistError> {
-    let mut dec = Decoder { src: src.as_bytes(), pos: 0, refs: HashMap::new() };
+    let mut dec = Decoder {
+        src: src.as_bytes(),
+        pos: 0,
+        refs: HashMap::new(),
+    };
     dec.expect("refs")?;
     let n = dec.number()? as usize;
     dec.expect("{")?;
@@ -99,15 +112,25 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
     let root_start = dec.pos;
     // Pass 2: decode each cell's contents with the full table in scope.
     for (id, start) in &bodies {
-        let mut cell_dec =
-            Decoder { src: dec.src, pos: *start, refs: dec.refs.clone() };
+        let mut cell_dec = Decoder {
+            src: dec.src,
+            pos: *start,
+            refs: dec.refs.clone(),
+        };
         let contents = cell_dec.value()?;
         dec.refs[id].set(contents);
     }
-    let mut root_dec = Decoder { src: dec.src, pos: root_start, refs: dec.refs.clone() };
+    let mut root_dec = Decoder {
+        src: dec.src,
+        pos: root_start,
+        refs: dec.refs.clone(),
+    };
     let v = root_dec.value()?;
     if root_dec.pos != dec.src.len() {
-        return Err(PersistError::Malformed { offset: root_dec.pos, expected: "end of input" });
+        return Err(PersistError::Malformed {
+            offset: root_dec.pos,
+            expected: "end of input",
+        });
     }
     Ok(v)
 }
@@ -194,7 +217,10 @@ struct Decoder<'a> {
 
 impl Decoder<'_> {
     fn err(&self, expected: &'static str) -> PersistError {
-        PersistError::Malformed { offset: self.pos, expected }
+        PersistError::Malformed {
+            offset: self.pos,
+            expected,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -242,7 +268,9 @@ impl Decoder<'_> {
         let n = self.number()? as usize;
         self.expect(":")?;
         let end = self.pos.checked_add(n).filter(|&e| e <= self.src.len());
-        let Some(end) = end else { return Err(self.err("string bytes")) };
+        let Some(end) = end else {
+            return Err(self.err("string bytes"));
+        };
         let s = std::str::from_utf8(&self.src[self.pos..end])
             .map_err(|_| self.err("utf-8 string"))?
             .to_string();
@@ -283,26 +311,26 @@ impl Decoder<'_> {
             }
             Some(b's') => {
                 self.pos += 1;
-                Ok(Value::Str(self.sized_str()?))
+                Ok(Value::str(self.sized_str()?))
             }
             Some(b'R') => {
                 self.pos += 1;
                 let n = self.number()? as usize;
                 self.expect("{")?;
-                let mut fs = BTreeMap::new();
+                let mut fs = Vec::with_capacity(n);
                 for _ in 0..n {
                     let l = self.label()?;
                     let v = self.value()?;
-                    fs.insert(l, v);
+                    fs.push((Symbol::intern(&l), v));
                 }
                 self.expect("}")?;
-                Ok(Value::Record(fs))
+                Ok(Value::Record(Fields::from_vec(fs)))
             }
             Some(b'V') => {
                 self.pos += 1;
                 let l = self.label()?;
                 let p = self.value()?;
-                Ok(Value::Variant(l, Box::new(p)))
+                Ok(Value::Variant(Symbol::intern(&l), Box::new(p)))
             }
             Some(b'S') => {
                 self.pos += 1;
@@ -319,7 +347,10 @@ impl Decoder<'_> {
                 self.pos += 1;
                 let id = self.number()? as u32;
                 self.expect(".")?;
-                let cell = self.refs.get(&id).ok_or_else(|| self.err("a known ref id"))?;
+                let cell = self
+                    .refs
+                    .get(&id)
+                    .ok_or_else(|| self.err("a known ref id"))?;
                 Ok(Value::Ref(cell.clone()))
             }
             Some(b'd') => {
@@ -424,7 +455,9 @@ mod tests {
     #[test]
     fn real_bits_preserved() {
         let v = Value::Real(f64::NAN);
-        let Value::Real(r) = roundtrip(&v) else { panic!() };
+        let Value::Real(r) = roundtrip(&v) else {
+            panic!()
+        };
         assert!(r.is_nan());
         assert_eq!(roundtrip(&Value::Real(-0.0)), Value::Real(-0.0));
     }
@@ -456,12 +489,21 @@ mod tests {
             Value::record([("Dept".into(), Value::Ref(dept))]),
         ]);
         let loaded = roundtrip(&v);
-        let Value::Record(pair) = &loaded else { panic!() };
-        let (Value::Record(e1), Value::Record(e2)) = (&pair["#1"], &pair["#2"]) else { panic!() };
-        let (Value::Ref(d1), Value::Ref(d2)) = (&e1["Dept"], &e2["Dept"]) else { panic!() };
+        let Value::Record(pair) = &loaded else {
+            panic!()
+        };
+        let (Value::Record(e1), Value::Record(e2)) = (&pair["#1"], &pair["#2"]) else {
+            panic!()
+        };
+        let (Value::Ref(d1), Value::Ref(d2)) = (&e1["Dept"], &e2["Dept"]) else {
+            panic!()
+        };
         assert_eq!(d1.id, d2.id, "sharing preserved");
         d1.set(Value::record([("Building".into(), Value::Int(67))]));
-        assert_eq!(d2.get(), Value::record([("Building".into(), Value::Int(67))]));
+        assert_eq!(
+            d2.get(),
+            Value::record([("Building".into(), Value::Int(67))])
+        );
     }
 
     #[test]
@@ -471,7 +513,9 @@ mod tests {
             Value::Ref(RefValue::new(Value::Int(3))),
         ]);
         let loaded = roundtrip(&v);
-        let Value::Record(pair) = &loaded else { panic!() };
+        let Value::Record(pair) = &loaded else {
+            panic!()
+        };
         assert_ne!(pair["#1"], pair["#2"], "distinct identities");
     }
 
@@ -482,7 +526,9 @@ mod tests {
         let loaded = roundtrip(&Value::Ref(cell));
         let Value::Ref(r) = &loaded else { panic!() };
         let Value::Record(fs) = r.get() else { panic!() };
-        let Value::Ref(inner) = &fs["Self"] else { panic!() };
+        let Value::Ref(inner) = &fs["Self"] else {
+            panic!()
+        };
         assert_eq!(inner.id, r.id, "cycle closed");
     }
 
@@ -503,7 +549,13 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        for bad in ["", "refs0{}x", "refs0{}i1", "refs1{0=i1:;}r9.", "refs0{}s5:ab"] {
+        for bad in [
+            "",
+            "refs0{}x",
+            "refs0{}i1",
+            "refs1{0=i1:;}r9.",
+            "refs0{}s5:ab",
+        ] {
             assert!(decode_value(bad).is_err(), "{bad:?}");
         }
     }

@@ -16,7 +16,7 @@ use machiavelli_value::{show_value, Env, Value};
 #[derive(Debug, Clone)]
 pub struct Outcome {
     /// The bound name (`it` for bare expressions).
-    pub name: String,
+    pub name: machiavelli_syntax::Symbol,
     /// The computed value.
     pub value: Value,
     /// The inferred (possibly conditional) type scheme.
@@ -27,7 +27,12 @@ impl Outcome {
     /// Render in the paper's output format:
     /// `val Wealthy = fn : {[("a) Name:"b,Salary:int]} -> {"b}`.
     pub fn show(&self) -> String {
-        format!("val {} = {} : {}", self.name, show_value(&self.value), self.scheme.show())
+        format!(
+            "val {} = {} : {}",
+            self.name,
+            show_value(&self.value),
+            self.scheme.show()
+        )
     }
 }
 
@@ -52,14 +57,18 @@ impl Session {
     pub fn bare() -> Session {
         let inferencer = Inferencer::new();
         let type_env = inferencer.builtin_env();
-        Session { inferencer, type_env, env: builtin_env() }
+        Session {
+            inferencer,
+            type_env,
+            env: builtin_env(),
+        }
     }
 
     /// Run a program (one or more `;`-terminated phrases), returning one
     /// [`Outcome`] per phrase.
     pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, SessionError> {
-        let program = parse_program(src)
-            .map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
+        let program =
+            parse_program(src).map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
         let mut out = Vec::with_capacity(program.len());
         for phrase in &program {
             out.push(self.run_phrase(phrase)?);
@@ -70,14 +79,16 @@ impl Session {
     /// Run a program and return only the final outcome.
     pub fn eval_one(&mut self, src: &str) -> Result<Outcome, SessionError> {
         let mut outcomes = self.run(src)?;
-        outcomes.pop().ok_or_else(|| SessionError::Parse("empty program".into()))
+        outcomes
+            .pop()
+            .ok_or_else(|| SessionError::Parse("empty program".into()))
     }
 
     /// Infer the type of a program's final phrase without changing the
     /// session (environments are cloned).
     pub fn type_of(&self, src: &str) -> Result<String, SessionError> {
-        let program = parse_program(src)
-            .map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
+        let program =
+            parse_program(src).map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
         let mut scratch_types = self.type_env.clone();
         // Fresh inferencer sharing nothing: instantiate schemes from the
         // cloned environment (schemes own their quantified variables, so
@@ -176,7 +187,10 @@ impl Session {
             while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
                 *pos += 1;
             }
-            let n: usize = std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok()?;
+            let n: usize = std::str::from_utf8(&bytes[start..*pos])
+                .ok()?
+                .parse()
+                .ok()?;
             if bytes.get(*pos) != Some(&b':') {
                 return None;
             }
@@ -215,7 +229,7 @@ impl Session {
             PhraseKind::Fun { name, params, body } => {
                 let rec = Expr::new(
                     ExprKind::Rec {
-                        name: name.clone(),
+                        name: *name,
                         body: Box::new(Expr::new(
                             ExprKind::Lambda {
                                 params: params.clone(),
@@ -229,8 +243,12 @@ impl Session {
                 eval_expr(&self.env, &rec).map_err(SessionError::Eval)?
             }
         };
-        self.env = self.env.bind(typed.name.clone(), value.clone());
-        Ok(Outcome { name: typed.name, value, scheme: typed.scheme })
+        self.env = self.env.bind(typed.name, value.clone());
+        Ok(Outcome {
+            name: typed.name,
+            value,
+            scheme: typed.scheme,
+        })
     }
 }
 
@@ -262,7 +280,10 @@ mod tests {
             s.scheme_of("map").unwrap().show(),
             "((\"a -> \"b) * {\"a}) -> {\"b}"
         );
-        assert_eq!(s.scheme_of("member").unwrap().show(), "(\"a * {\"a}) -> bool");
+        assert_eq!(
+            s.scheme_of("member").unwrap().show(),
+            "(\"a * {\"a}) -> bool"
+        );
         assert_eq!(
             s.scheme_of("Closure").unwrap().show(),
             "{[A:\"a,B:\"a]} -> {[A:\"a,B:\"a]}"
@@ -310,9 +331,11 @@ mod tests {
     #[test]
     fn save_and_load_bindings() {
         let mut s = Session::new();
-        s.run(r#"val db = {[Name="Joe", Salary=1], [Name="Sue", Salary=200000]};
-                 val answer = 42;"#)
-            .unwrap();
+        s.run(
+            r#"val db = {[Name="Joe", Salary=1], [Name="Sue", Salary=200000]};
+                 val answer = 42;"#,
+        )
+        .unwrap();
         // The set literal generalizes to a scheme with a quantified desc
         // var? No — all fields are ground, so it is monomorphic enough to
         // persist. Save, then load into a fresh session and query.
@@ -337,9 +360,11 @@ mod tests {
     #[test]
     fn persisted_refs_keep_sharing() {
         let mut s = Session::new();
-        s.run(r#"val d = ref([Building=45]);
-                 val emps = {[Name="Jones", Dept=d], [Name="Smith", Dept=d]};"#)
-            .unwrap();
+        s.run(
+            r#"val d = ref([Building=45]);
+                 val emps = {[Name="Jones", Dept=d], [Name="Smith", Dept=d]};"#,
+        )
+        .unwrap();
         let saved = s.save_bindings(&["emps"]).unwrap();
         let mut s2 = Session::new();
         s2.load_bindings(&saved).unwrap();

@@ -51,7 +51,11 @@ mod tests {
     fn display() {
         assert!(EvalError::Unbound("x".into()).to_string().contains("`x`"));
         assert_eq!(
-            EvalError::Arity { expected: 2, got: 1 }.to_string(),
+            EvalError::Arity {
+                expected: 2,
+                got: 1
+            }
+            .to_string(),
             "function expects 2 argument(s), got 1"
         );
     }

@@ -15,22 +15,27 @@
 
 use crate::error::EvalError;
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
+use machiavelli_syntax::symbol::Symbol;
 use machiavelli_types::lower::lower_closed;
 use machiavelli_value::{
     con_value, conforms, join_value, project_value, show_value, unionc_value, Builtin, Closure,
-    DynValue, Env, MSet, RefValue, Value, ValueError,
+    DynValue, Env, Fields, MSet, RefValue, Value, ValueError,
 };
 use std::rc::Rc;
 
 /// Maximum evaluator recursion depth: a logical guard against runaway
-/// recursion (the OS stack is grown on demand via `stacker`, so this is
-/// a policy limit, not a crash threshold).
+/// recursion.
 const MAX_DEPTH: u32 = 10_000;
 
-/// Grow the machine stack when fewer than 128 KiB remain, one megabyte
-/// at a time - interpreter recursion depth then only hits `MAX_DEPTH`.
+/// Below this much estimated stack headroom the evaluator reports a
+/// graceful [`EvalError::StackOverflow`] instead of risking the OS
+/// guard page (the offline `stacker` shim measures, it cannot grow).
+const STACK_RED_ZONE: usize = 192 * 1024;
+
+/// Entry point for per-level stack accounting; growth is a no-op under
+/// the offline shim, the headroom check in [`Cx::enter`] is the guard.
 fn with_stack<T>(f: impl FnOnce() -> T) -> T {
-    stacker::maybe_grow(128 * 1024, 1024 * 1024, f)
+    stacker::maybe_grow(STACK_RED_ZONE, 1024 * 1024, f)
 }
 
 /// Evaluate an expression in `env`.
@@ -65,6 +70,13 @@ impl Cx {
         if self.depth > MAX_DEPTH {
             return Err(EvalError::StackOverflow);
         }
+        // Periodically confirm real headroom remains; recursion depth
+        // alone does not bound frame sizes.
+        if self.depth.is_multiple_of(16)
+            && stacker::remaining_stack().is_some_and(|rem| rem < STACK_RED_ZONE)
+        {
+            return Err(EvalError::StackOverflow);
+        }
         Ok(())
     }
 
@@ -81,11 +93,11 @@ impl Cx {
             Unit => Ok(Value::Unit),
             Int(n) => Ok(Value::Int(*n)),
             Real(r) => Ok(Value::Real(*r)),
-            Str(s) => Ok(Value::Str(s.clone())),
+            Str(s) => Ok(Value::str(s.as_str())),
             Bool(b) => Ok(Value::Bool(*b)),
             Var(name) => env
                 .lookup(name)
-                .ok_or_else(|| EvalError::Unbound(name.clone())),
+                .ok_or_else(|| EvalError::Unbound(name.to_string())),
             Lambda { params, body } => Ok(Value::Closure(Rc::new(Closure {
                 params: params.clone(),
                 body: (**body).clone(),
@@ -94,34 +106,41 @@ impl Cx {
             }))),
             App { func, args } => {
                 let f = self.eval(env, func)?;
-                let argv: Vec<Value> =
-                    args.iter().map(|a| self.eval(env, a)).collect::<Result<_, _>>()?;
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(env, a))
+                    .collect::<Result<_, _>>()?;
                 self.apply(&f, argv)
             }
-            If { cond, then_branch, else_branch } => {
-                match self.eval(env, cond)? {
-                    Value::Bool(true) => self.eval(env, then_branch),
-                    Value::Bool(false) => self.eval(env, else_branch),
-                    other => Err(EvalError::NotAFunction(show_value(&other))),
-                }
-            }
+            If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match self.eval(env, cond)? {
+                Value::Bool(true) => self.eval(env, then_branch),
+                Value::Bool(false) => self.eval(env, else_branch),
+                other => Err(EvalError::NotAFunction(show_value(&other))),
+            },
             Record(fields) => {
-                let mut out = std::collections::BTreeMap::new();
+                let mut out = Vec::with_capacity(fields.len());
                 for (l, fe) in fields {
-                    out.insert(l.clone(), self.eval(env, fe)?);
+                    out.push((*l, self.eval(env, fe)?));
                 }
-                Ok(Value::Record(out))
+                Ok(Value::Record(Fields::from_vec(out)))
             }
             Field { expr, label } => {
                 let v = self.eval(env, expr)?;
                 match &v {
                     Value::Record(fs) => fs.get(label).cloned().ok_or_else(|| {
-                        ValueError::NoSuchField { value: show_value(&v), label: label.clone() }
-                            .into()
+                        ValueError::NoSuchField {
+                            value: show_value(&v),
+                            label: label.to_string(),
+                        }
+                        .into()
                     }),
                     other => Err(ValueError::NoSuchField {
                         value: show_value(other),
-                        label: label.clone(),
+                        label: label.to_string(),
                     }
                     .into()),
                 }
@@ -134,32 +153,36 @@ impl Cx {
                         if !fs.contains_key(label) {
                             return Err(ValueError::NoSuchField {
                                 value: "record".into(),
-                                label: label.clone(),
+                                label: label.to_string(),
                             }
                             .into());
                         }
-                        fs.insert(label.clone(), new);
+                        fs.insert(*label, new);
                         Ok(Value::Record(fs))
                     }
                     other => Err(ValueError::NoSuchField {
                         value: show_value(&other),
-                        label: label.clone(),
+                        label: label.to_string(),
                     }
                     .into()),
                 }
             }
             Inject { label, expr } => {
                 let v = self.eval(env, expr)?;
-                Ok(Value::variant(label.clone(), v))
+                Ok(Value::variant(*label, v))
             }
-            Case { expr, arms, default } => {
+            Case {
+                expr,
+                arms,
+                default,
+            } => {
                 let v = self.eval(env, expr)?;
                 let Value::Variant(label, payload) = &v else {
                     return Err(EvalError::NotAFunction(show_value(&v)));
                 };
                 for arm in arms {
                     if arm.label == *label {
-                        let inner = env.bind(arm.var.clone(), (**payload).clone());
+                        let inner = env.bind(arm.var, (**payload).clone());
                         return self.eval(&inner, &arm.body);
                     }
                 }
@@ -168,10 +191,10 @@ impl Cx {
                     None => Err(ValueError::AsMismatch {
                         expected: arms
                             .iter()
-                            .map(|a| a.label.clone())
+                            .map(|a| a.label.to_string())
                             .collect::<Vec<_>>()
                             .join("/"),
-                        found: label.clone(),
+                        found: label.to_string(),
                     }
                     .into()),
                 }
@@ -181,8 +204,8 @@ impl Cx {
                 match &v {
                     Value::Variant(l, payload) if l == label => Ok((**payload).clone()),
                     Value::Variant(l, _) => Err(ValueError::AsMismatch {
-                        expected: label.clone(),
-                        found: l.clone(),
+                        expected: label.to_string(),
+                        found: l.to_string(),
                     }
                     .into()),
                     other => Err(EvalError::NotAFunction(show_value(other))),
@@ -279,16 +302,20 @@ impl Cx {
             }
             Let { name, bound, body } => {
                 let bv = self.eval(env, bound)?;
-                let inner = env.bind(name.clone(), bv);
+                let inner = env.bind(*name, bv);
                 self.eval(&inner, body)
             }
-            Select { result, generators, pred } => {
+            Select {
+                result,
+                generators,
+                pred,
+            } => {
                 // The paper's semantics builds the product of the sources,
                 // so each independent source is evaluated exactly once.
                 // Sources that mention earlier generator variables (a
                 // strict extension) are re-evaluated per binding.
                 let mut sources: Vec<Option<MSet>> = Vec::with_capacity(generators.len());
-                let mut earlier: Vec<&str> = Vec::new();
+                let mut earlier: Vec<Symbol> = Vec::new();
                 for g in generators {
                     if mentions_any(&g.source, &earlier) {
                         sources.push(None);
@@ -296,26 +323,32 @@ impl Cx {
                         let v = self.eval(env, &g.source)?;
                         sources.push(Some(as_set(&v)?.clone()));
                     }
-                    earlier.push(&g.var);
+                    earlier.push(g.var);
                 }
-                let mut out = MSet::new();
+                // Results accumulate in a vector and canonicalize once —
+                // per-element `MSet::insert` would shift O(n) each time.
+                let mut out = Vec::new();
                 self.select_loop(env, generators, &sources, pred, result, 0, &mut out)?;
-                Ok(Value::Set(out))
+                Ok(Value::Set(MSet::from_iter(out)))
             }
-            Binop { op: BinOp::Andalso, left, right } => {
-                match self.eval(env, left)? {
-                    Value::Bool(false) => Ok(Value::Bool(false)),
-                    Value::Bool(true) => self.eval(env, right),
-                    other => Err(EvalError::NotAFunction(show_value(&other))),
-                }
-            }
-            Binop { op: BinOp::Orelse, left, right } => {
-                match self.eval(env, left)? {
-                    Value::Bool(true) => Ok(Value::Bool(true)),
-                    Value::Bool(false) => self.eval(env, right),
-                    other => Err(EvalError::NotAFunction(show_value(&other))),
-                }
-            }
+            Binop {
+                op: BinOp::Andalso,
+                left,
+                right,
+            } => match self.eval(env, left)? {
+                Value::Bool(false) => Ok(Value::Bool(false)),
+                Value::Bool(true) => self.eval(env, right),
+                other => Err(EvalError::NotAFunction(show_value(&other))),
+            },
+            Binop {
+                op: BinOp::Orelse,
+                left,
+                right,
+            } => match self.eval(env, left)? {
+                Value::Bool(true) => Ok(Value::Bool(true)),
+                Value::Bool(false) => self.eval(env, right),
+                other => Err(EvalError::NotAFunction(show_value(&other))),
+            },
             Binop { op, left, right } => {
                 let l = self.eval(env, left)?;
                 let r = self.eval(env, right)?;
@@ -332,14 +365,18 @@ impl Cx {
             }
             OpVal(op) => Ok(Value::Op(*op)),
             Rec { name, body } => {
-                let ExprKind::Lambda { params, body: lbody } = &body.kind else {
+                let ExprKind::Lambda {
+                    params,
+                    body: lbody,
+                } = &body.kind
+                else {
                     return Err(EvalError::NotAFunction("rec body".into()));
                 };
                 Ok(Value::Closure(Rc::new(Closure {
                     params: params.clone(),
                     body: (**lbody).clone(),
                     env: env.clone(),
-                    rec_name: Some(name.clone()),
+                    rec_name: Some(*name),
                 })))
             }
             Raise(msg) => Err(ValueError::Raised(msg.clone()).into()),
@@ -383,11 +420,11 @@ impl Cx {
         pred: &Expr,
         result: &Expr,
         idx: usize,
-        out: &mut MSet,
+        out: &mut Vec<Value>,
     ) -> Result<(), EvalError> {
         if idx == generators.len() {
             if let Value::Bool(true) = self.eval(env, pred)? {
-                out.insert(self.eval(env, result)?);
+                out.push(self.eval(env, result)?);
             }
             return Ok(());
         }
@@ -402,7 +439,7 @@ impl Cx {
             }
         };
         for item in items.iter() {
-            let inner = env.bind(g.var.clone(), item.clone());
+            let inner = env.bind(g.var, item.clone());
             self.select_loop(&inner, generators, sources, pred, result, idx + 1, out)?;
         }
         Ok(())
@@ -419,12 +456,10 @@ impl Cx {
                     if c.params.len() > 1 && args.len() == 1 {
                         // Destructure a tuple argument.
                         if let Value::Record(fs) = &args[0] {
-                            if fs.len() == c.params.len()
-                                && (1..=fs.len()).all(|i| fs.contains_key(&format!("#{i}")))
-                            {
-                                args = (1..=fs.len())
-                                    .map(|i| fs[&format!("#{i}")].clone())
-                                    .collect();
+                            if fs.len() == c.params.len() {
+                                if let Some(items) = fs.tuple_items() {
+                                    args = items.into_iter().cloned().collect();
+                                }
                             }
                         }
                     } else if c.params.len() == 1 && args.len() > 1 {
@@ -438,11 +473,11 @@ impl Cx {
                     }
                 }
                 let mut env = c.env.clone();
-                if let Some(name) = &c.rec_name {
-                    env = env.bind(name.clone(), Value::Closure(c.clone()));
+                if let Some(name) = c.rec_name {
+                    env = env.bind(name, Value::Closure(c.clone()));
                 }
                 for (p, a) in c.params.iter().zip(args) {
-                    env = env.bind(p.clone(), a);
+                    env = env.bind(p, a);
                 }
                 self.eval(&env, &c.body)
             }
@@ -463,7 +498,10 @@ impl Cx {
             }
             Value::Builtin(Builtin::Not) => {
                 if args.len() != 1 {
-                    return Err(EvalError::Arity { expected: 1, got: args.len() });
+                    return Err(EvalError::Arity {
+                        expected: 1,
+                        got: args.len(),
+                    });
                 }
                 match &args[0] {
                     Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -479,30 +517,42 @@ impl Cx {
 
 /// Conservative syntactic test: does `e` mention any of `names` as an
 /// identifier? (Shadowing is ignored, erring toward re-evaluation.)
-fn mentions_any(e: &Expr, names: &[&str]) -> bool {
+fn mentions_any(e: &Expr, names: &[Symbol]) -> bool {
     if names.is_empty() {
         return false;
     }
     use ExprKind::*;
     match &e.kind {
-        Var(x) => names.contains(&x.as_str()),
+        Var(x) => names.contains(x),
         Unit | Int(_) | Real(_) | Str(_) | Bool(_) | OpVal(_) | Raise(_) => false,
         Lambda { body, .. } => mentions_any(body, names),
         App { func, args } => {
             mentions_any(func, names) || args.iter().any(|a| mentions_any(a, names))
         }
-        If { cond, then_branch, else_branch } => {
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             mentions_any(cond, names)
                 || mentions_any(then_branch, names)
                 || mentions_any(else_branch, names)
         }
         Record(fields) => fields.iter().any(|(_, fe)| mentions_any(fe, names)),
-        Field { expr, .. } | Inject { expr, .. } | As { expr, .. } | Deref(expr)
-        | Ref(expr) | MakeDynamic(expr) | Coerce { expr, .. } | Project { expr, .. } => {
-            mentions_any(expr, names)
-        }
+        Field { expr, .. }
+        | Inject { expr, .. }
+        | As { expr, .. }
+        | Deref(expr)
+        | Ref(expr)
+        | MakeDynamic(expr)
+        | Coerce { expr, .. }
+        | Project { expr, .. } => mentions_any(expr, names),
         Modify { expr, value, .. } => mentions_any(expr, names) || mentions_any(value, names),
-        Case { expr, arms, default } => {
+        Case {
+            expr,
+            arms,
+            default,
+        } => {
             mentions_any(expr, names)
                 || arms.iter().any(|a| mentions_any(&a.body, names))
                 || default.as_ref().is_some_and(|d| mentions_any(d, names))
@@ -512,10 +562,11 @@ fn mentions_any(e: &Expr, names: &[&str]) -> bool {
         | Unionc { left, right }
         | Con { left, right }
         | Join { left, right }
-        | Assign { target: left, value: right }
-        | Binop { left, right, .. } => {
-            mentions_any(left, names) || mentions_any(right, names)
+        | Assign {
+            target: left,
+            value: right,
         }
+        | Binop { left, right, .. } => mentions_any(left, names) || mentions_any(right, names),
         Hom { f, op, z, set } => {
             mentions_any(f, names)
                 || mentions_any(op, names)
@@ -526,7 +577,11 @@ fn mentions_any(e: &Expr, names: &[&str]) -> bool {
             mentions_any(f, names) || mentions_any(op, names) || mentions_any(set, names)
         }
         Let { bound, body, .. } => mentions_any(bound, names) || mentions_any(body, names),
-        Select { result, generators, pred } => {
+        Select {
+            result,
+            generators,
+            pred,
+        } => {
             mentions_any(result, names)
                 || mentions_any(pred, names)
                 || generators.iter().any(|g| mentions_any(&g.source, names))
@@ -544,12 +599,16 @@ fn two_args(args: Vec<Value>) -> Result<(Value, Value), EvalError> {
             Ok((it.next().unwrap(), it.next().unwrap()))
         }
         1 => match args.into_iter().next().unwrap() {
-            Value::Record(fs) if fs.len() == 2 && fs.contains_key("#1") && fs.contains_key("#2") => {
-                Ok((fs["#1"].clone(), fs["#2"].clone()))
-            }
+            Value::Record(fs) if fs.len() == 2 => match fs.tuple_items() {
+                Some(items) => Ok((items[0].clone(), items[1].clone())),
+                None => Err(EvalError::NotAFunction(show_value(&Value::Record(fs)))),
+            },
             other => Err(EvalError::NotAFunction(show_value(&other))),
         },
-        n => Err(EvalError::Arity { expected: 2, got: n }),
+        n => Err(EvalError::Arity {
+            expected: 2,
+            got: n,
+        }),
     }
 }
 
@@ -563,16 +622,21 @@ fn as_set(v: &Value) -> Result<&MSet, EvalError> {
 fn set_union(l: &Value, r: &Value) -> Result<Value, EvalError> {
     match (l, r) {
         (Value::Set(a), Value::Set(b)) => Ok(Value::Set(a.union(b))),
-        (Value::Set(_), other) | (other, _) => {
-            Err(ValueError::NotASet(show_value(other)).into())
-        }
+        (Value::Set(_), other) | (other, _) => Err(ValueError::NotASet(show_value(other)).into()),
     }
 }
 
 /// Apply an infix operator to evaluated operands.
 pub fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     use BinOp::*;
-    let num_err = || EvalError::NotAFunction(format!("{} {} {}", show_value(l), op.symbol(), show_value(r)));
+    let num_err = || {
+        EvalError::NotAFunction(format!(
+            "{} {} {}",
+            show_value(l),
+            op.symbol(),
+            show_value(r)
+        ))
+    };
     Ok(match (op, l, r) {
         (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
         (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
@@ -593,7 +657,7 @@ pub fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> 
         (Sub, Value::Real(a), Value::Real(b)) => Value::Real(a - b),
         (Mul, Value::Real(a), Value::Real(b)) => Value::Real(a * b),
         (RealDiv, Value::Real(a), Value::Real(b)) => Value::Real(a / b),
-        (Concat, Value::Str(a), Value::Str(b)) => Value::Str(format!("{a}{b}")),
+        (Concat, Value::Str(a), Value::Str(b)) => Value::str(format!("{a}{b}")),
         (Eq, a, b) => Value::Bool(a == b),
         (Ne, a, b) => Value::Bool(a != b),
         (Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
@@ -637,7 +701,10 @@ mod tests {
 
     #[test]
     fn division_by_zero_raises() {
-        assert!(matches!(run_err("1 div 0"), EvalError::Value(ValueError::Raised(_))));
+        assert!(matches!(
+            run_err("1 div 0"),
+            EvalError::Value(ValueError::Raised(_))
+        ));
     }
 
     #[test]
@@ -659,7 +726,10 @@ mod tests {
         assert_eq!(run("[Name=\"Joe\", Age=21].Age"), Value::Int(21));
         assert_eq!(
             run("modify([Name=\"John\", Age=21], Age, 22)"),
-            Value::record([("Name".into(), Value::str("John")), ("Age".into(), Value::Int(22))])
+            Value::record([
+                ("Name".into(), Value::str("John")),
+                ("Age".into(), Value::Int(22))
+            ])
         );
     }
 
@@ -847,7 +917,10 @@ mod tests {
     #[test]
     fn tuple_bridge_application() {
         // A 2-param closure applied to one tuple value.
-        assert_eq!(run("let val p = (6, 7) in (fn(x,y) => x * y)(p) end"), Value::Int(42));
+        assert_eq!(
+            run("let val p = (6, 7) in (fn(x,y) => x * y)(p) end"),
+            Value::Int(42)
+        );
     }
 
     #[test]

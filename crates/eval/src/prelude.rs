@@ -64,7 +64,7 @@ mod tests {
                 PhraseKind::Fun { name, params, body } => {
                     let rec = machiavelli_syntax::ast::Expr::new(
                         machiavelli_syntax::ast::ExprKind::Rec {
-                            name: name.clone(),
+                            name,
                             body: Box::new(machiavelli_syntax::ast::Expr::new(
                                 machiavelli_syntax::ast::ExprKind::Lambda {
                                     params,
@@ -91,8 +91,14 @@ mod tests {
     #[test]
     fn map_filter_member() {
         let env = prelude_env();
-        assert_eq!(run(&env, "map((fn(x) => x * 2), {1,2,3})"), run(&env, "{2,4,6}"));
-        assert_eq!(run(&env, "filter((fn(x) => x > 1), {1,2,3})"), run(&env, "{2,3}"));
+        assert_eq!(
+            run(&env, "map((fn(x) => x * 2), {1,2,3})"),
+            run(&env, "{2,4,6}")
+        );
+        assert_eq!(
+            run(&env, "filter((fn(x) => x > 1), {1,2,3})"),
+            run(&env, "{2,3}")
+        );
         assert_eq!(run(&env, "member(2, {1,2,3})"), Value::Bool(true));
         assert_eq!(run(&env, "member(9, {1,2,3})"), Value::Bool(false));
     }
@@ -113,16 +119,16 @@ mod tests {
         assert_eq!(run(&env, "card({5,6,7})"), Value::Int(3));
         assert_eq!(run(&env, "sum({5,6,7})"), Value::Int(18));
         assert_eq!(run(&env, "card(powerset({1,2,3}))"), Value::Int(8));
-        assert_eq!(run(&env, "member({1,3}, powerset({1,2,3}))"), Value::Bool(true));
+        assert_eq!(
+            run(&env, "member({1,3}, powerset({1,2,3}))"),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn closure_from_fig4() {
         let env = prelude_env();
-        let result = run(
-            &env,
-            "Closure({[A=1,B=2],[A=2,B=3],[A=3,B=4]})",
-        );
+        let result = run(&env, "Closure({[A=1,B=2],[A=2,B=3],[A=3,B=4]})");
         let expected = run(
             &env,
             "{[A=1,B=2],[A=2,B=3],[A=3,B=4],[A=1,B=3],[A=2,B=4],[A=1,B=4]}",

@@ -49,7 +49,9 @@ mod tests {
         let s = store();
         let joined = class_join(&student_view(&s), &employee_view(&s));
         assert_eq!(joined.len(), 1);
-        let Value::Record(fs) = joined.iter().next().unwrap() else { panic!() };
+        let Value::Record(fs) = joined.iter().next().unwrap() else {
+            panic!()
+        };
         assert!(fs.contains_key("Salary") && fs.contains_key("Advisor"));
     }
 
@@ -79,8 +81,7 @@ mod tests {
         // A student-view row is a member of the employee view iff the
         // underlying object is also an employee.
         let rows: Vec<&Value> = students.iter().collect();
-        let membership: Vec<bool> =
-            rows.iter().map(|r| class_member(r, &employees)).collect();
+        let membership: Vec<bool> = rows.iter().map(|r| class_member(r, &employees)).collect();
         assert_eq!(membership.iter().filter(|&&b| b).count(), 1);
     }
 

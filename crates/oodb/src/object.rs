@@ -32,7 +32,10 @@ pub struct PersonSpec {
 
 impl PersonSpec {
     pub fn new(name: impl Into<String>) -> Self {
-        PersonSpec { name: name.into(), ..Default::default() }
+        PersonSpec {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     pub fn salary(mut self, s: i64) -> Self {
@@ -61,13 +64,10 @@ fn optional(v: Option<Value>) -> Value {
 /// Allocate a fresh person object.
 pub fn make_person(spec: PersonSpec) -> RefValue {
     RefValue::new(Value::record([
-        ("Name".to_string(), Value::str(spec.name)),
-        ("Salary".to_string(), optional(spec.salary.map(Value::Int))),
-        (
-            "Advisor".to_string(),
-            optional(spec.advisor.map(Value::Ref)),
-        ),
-        ("Class".to_string(), optional(spec.class.map(Value::str))),
+        ("Name".into(), Value::str(spec.name)),
+        ("Salary".into(), optional(spec.salary.map(Value::Int))),
+        ("Advisor".into(), optional(spec.advisor.map(Value::Ref))),
+        ("Class".into(), optional(spec.class.map(Value::str))),
     ]))
 }
 
@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn mutation_via_ref() {
         let p = make_person(PersonSpec::new("X"));
-        let Value::Record(mut fs) = p.get() else { panic!() };
+        let Value::Record(mut fs) = p.get() else {
+            panic!()
+        };
         fs.insert("Salary".into(), Value::variant("Value", Value::Int(9)));
         p.set(Value::Record(fs));
         let sal = person_field(&p, "Salary").unwrap();

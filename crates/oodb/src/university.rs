@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn views_match_ground_truth() {
-        let u = gen_university(UniversityParams { n_people: 200, ..Default::default() });
+        let u = gen_university(UniversityParams {
+            n_people: 200,
+            ..Default::default()
+        });
         let store = u.store();
         assert_eq!(person_view(&store).len(), 200);
         assert_eq!(employee_view(&store).len(), u.count_employees());
@@ -121,7 +124,11 @@ mod tests {
 
     #[test]
     fn taxonomy_inclusions_hold() {
-        let u = gen_university(UniversityParams { n_people: 150, seed: 7, ..Default::default() });
+        let u = gen_university(UniversityParams {
+            n_people: 150,
+            seed: 7,
+            ..Default::default()
+        });
         let store = u.store();
         let people = person_view(&store);
         let employees = employee_view(&store).project(&["Name", "Id"]);
@@ -134,7 +141,11 @@ mod tests {
 
     #[test]
     fn tfs_are_both_students_and_employees() {
-        let u = gen_university(UniversityParams { n_people: 300, seed: 9, ..Default::default() });
+        let u = gen_university(UniversityParams {
+            n_people: 300,
+            seed: 9,
+            ..Default::default()
+        });
         for &(e, s, t) in &u.roles {
             if t {
                 assert!(e && s);

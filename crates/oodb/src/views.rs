@@ -49,8 +49,8 @@ pub fn person_view(store: &Value) -> Relation {
     Relation::from_rows(objects_of(store).into_iter().filter_map(|obj| {
         let name = person_field(&obj, "Name")?;
         Some(Value::record([
-            ("Name".to_string(), name),
-            ("Id".to_string(), Value::Ref(obj)),
+            ("Name".into(), name),
+            ("Id".into(), Value::Ref(obj)),
         ]))
     }))
 }
@@ -61,9 +61,9 @@ pub fn employee_view(store: &Value) -> Relation {
         let name = person_field(&obj, "Name")?;
         let salary = optional_value(&person_field(&obj, "Salary")?)?;
         Some(Value::record([
-            ("Name".to_string(), name),
-            ("Salary".to_string(), salary),
-            ("Id".to_string(), Value::Ref(obj)),
+            ("Name".into(), name),
+            ("Salary".into(), salary),
+            ("Id".into(), Value::Ref(obj)),
         ]))
     }))
 }
@@ -74,9 +74,9 @@ pub fn student_view(store: &Value) -> Relation {
         let name = person_field(&obj, "Name")?;
         let advisor = optional_value(&person_field(&obj, "Advisor")?)?;
         Some(Value::record([
-            ("Name".to_string(), name),
-            ("Advisor".to_string(), advisor),
-            ("Id".to_string(), Value::Ref(obj)),
+            ("Name".into(), name),
+            ("Advisor".into(), advisor),
+            ("Id".into(), Value::Ref(obj)),
         ]))
     }))
 }
@@ -88,10 +88,12 @@ pub fn tf_view(store: &Value) -> Relation {
     let joined = nested_loop_join(&student_view(store), &employee_view(store));
     Relation::from_rows(joined.iter().filter_map(|row| {
         let Value::Record(fs) = row else { return None };
-        let Value::Ref(obj) = fs.get("Id")? else { return None };
+        let Value::Ref(obj) = fs.get("Id")? else {
+            return None;
+        };
         let class = optional_value(&person_field(obj, "Class")?)?;
         let mut out = fs.clone();
-        out.insert("Class".to_string(), class);
+        out.insert("Class".into(), class);
         Some(Value::Record(out))
     }))
 }
@@ -128,7 +130,9 @@ mod tests {
     fn tf_view_has_union_of_fields() {
         let (store, _) = sample_store();
         let tf = tf_view(&store);
-        let Value::Record(fs) = tf.iter().next().unwrap() else { panic!() };
+        let Value::Record(fs) = tf.iter().next().unwrap() else {
+            panic!()
+        };
         for field in ["Name", "Salary", "Advisor", "Class", "Id"] {
             assert!(fs.contains_key(field), "missing {field}");
         }
@@ -142,7 +146,9 @@ mod tests {
         let (store, objs) = sample_store();
         let joined = nested_loop_join(&student_view(&store), &employee_view(&store));
         assert_eq!(joined.len(), 1);
-        let Value::Record(fs) = joined.iter().next().unwrap() else { panic!() };
+        let Value::Record(fs) = joined.iter().next().unwrap() else {
+            panic!()
+        };
         assert_eq!(fs["Id"], Value::Ref(objs[3].clone()));
     }
 

@@ -83,7 +83,11 @@ pub fn closure_relation(r: &Relation, seminaive: bool) -> Relation {
             _ => None,
         })
         .collect();
-    let closed = if seminaive { seminaive_closure(&edges) } else { naive_closure(&edges) };
+    let closed = if seminaive {
+        seminaive_closure(&edges)
+    } else {
+        naive_closure(&edges)
+    };
     Relation::from_rows(
         closed
             .into_iter()
@@ -112,13 +116,17 @@ mod tests {
     fn naive_and_seminaive_agree() {
         for edges in [
             chain(6),
-            vec![(1, 2), (2, 3), (3, 1)],       // cycle
-            vec![(1, 2), (3, 4)],               // disconnected
-            vec![],                             // empty
-            vec![(1, 1)],                       // self loop
+            vec![(1, 2), (2, 3), (3, 1)], // cycle
+            vec![(1, 2), (3, 4)],         // disconnected
+            vec![],                       // empty
+            vec![(1, 1)],                 // self loop
             vec![(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)],
         ] {
-            assert_eq!(naive_closure(&edges), seminaive_closure(&edges), "{edges:?}");
+            assert_eq!(
+                naive_closure(&edges),
+                seminaive_closure(&edges),
+                "{edges:?}"
+            );
         }
     }
 

@@ -15,14 +15,21 @@ pub fn fig2_parts() -> Relation {
     Relation::from_rows([
         part_row("bolt", 1, PartInfo::Base { cost: 5 }),
         part_row("nut", 2, PartInfo::Base { cost: 3 }),
-        part_row("wheel", 100, PartInfo::Composite {
-            subparts: vec![(1, 8), (2, 8)],
-            assem_cost: 20,
-        }),
+        part_row(
+            "wheel",
+            100,
+            PartInfo::Composite {
+                subparts: vec![(1, 8), (2, 8)],
+                assem_cost: 20,
+            },
+        ),
         part_row(
             "engine",
             2189,
-            PartInfo::Composite { subparts: vec![(1, 189), (2, 120)], assem_cost: 1000 },
+            PartInfo::Composite {
+                subparts: vec![(1, 189), (2, 120)],
+                assem_cost: 1000,
+            },
         ),
     ])
 }
@@ -30,9 +37,21 @@ pub fn fig2_parts() -> Relation {
 /// The literal `suppliers` relation of Figure 2.
 pub fn fig2_suppliers() -> Relation {
     Relation::from_rows([
-        row(&[("Sname", Value::str("Baker")), ("S#", Value::Int(1)), ("City", Value::str("Paris"))]),
-        row(&[("Sname", Value::str("Smith")), ("S#", Value::Int(12)), ("City", Value::str("London"))]),
-        row(&[("Sname", Value::str("Jones")), ("S#", Value::Int(3)), ("City", Value::str("Oslo"))]),
+        row(&[
+            ("Sname", Value::str("Baker")),
+            ("S#", Value::Int(1)),
+            ("City", Value::str("Paris")),
+        ]),
+        row(&[
+            ("Sname", Value::str("Smith")),
+            ("S#", Value::Int(12)),
+            ("City", Value::str("London")),
+        ]),
+        row(&[
+            ("Sname", Value::str("Jones")),
+            ("S#", Value::Int(3)),
+            ("City", Value::str("Oslo")),
+        ]),
     ])
 }
 
@@ -62,26 +81,37 @@ pub fn fig2_supplied_by() -> Relation {
 
 /// Part payload for the generator.
 pub enum PartInfo {
-    Base { cost: i64 },
-    Composite { subparts: Vec<(i64, i64)>, assem_cost: i64 },
+    Base {
+        cost: i64,
+    },
+    Composite {
+        subparts: Vec<(i64, i64)>,
+        assem_cost: i64,
+    },
 }
 
 /// One row of the `parts` relation.
 pub fn part_row(name: &str, pno: i64, info: PartInfo) -> Value {
     let pinfo = match info {
-        PartInfo::Base { cost } => {
-            Value::variant("BasePart", Value::record([("Cost".to_string(), Value::Int(cost))]))
-        }
-        PartInfo::Composite { subparts, assem_cost } => Value::variant(
+        PartInfo::Base { cost } => Value::variant(
+            "BasePart",
+            Value::record([("Cost".into(), Value::Int(cost))]),
+        ),
+        PartInfo::Composite {
+            subparts,
+            assem_cost,
+        } => Value::variant(
             "CompositePart",
             Value::record([
                 (
-                    "SubParts".to_string(),
-                    Value::set(subparts.into_iter().map(|(p, q)| {
-                        row(&[("P#", Value::Int(p)), ("Qty", Value::Int(q))])
-                    })),
+                    "SubParts".into(),
+                    Value::set(
+                        subparts
+                            .into_iter()
+                            .map(|(p, q)| row(&[("P#", Value::Int(p)), ("Qty", Value::Int(q))])),
+                    ),
                 ),
-                ("AssemCost".to_string(), Value::Int(assem_cost)),
+                ("AssemCost".into(), Value::Int(assem_cost)),
             ]),
         ),
     };
@@ -103,7 +133,12 @@ pub struct PartSupplierDb {
 /// composites reference only lower-numbered parts, so part costs are
 /// well-founded), `n_suppliers` suppliers, and a `supplied_by` relation
 /// mapping every part to 1–3 suppliers.
-pub fn gen_part_supplier(n_parts: usize, n_suppliers: usize, base_frac: f64, seed: u64) -> PartSupplierDb {
+pub fn gen_part_supplier(
+    n_parts: usize,
+    n_suppliers: usize,
+    base_frac: f64,
+    seed: u64,
+) -> PartSupplierDb {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut parts = Vec::with_capacity(n_parts);
     for i in 0..n_parts {
@@ -112,13 +147,18 @@ pub fn gen_part_supplier(n_parts: usize, n_suppliers: usize, base_frac: f64, see
         // The first part must be base so composites have targets.
         let is_base = i == 0 || rng.gen_bool(base_frac);
         let info = if is_base {
-            PartInfo::Base { cost: rng.gen_range(1..100) }
+            PartInfo::Base {
+                cost: rng.gen_range(1..100),
+            }
         } else {
             let n_subs = rng.gen_range(1..=4.min(i));
             let subparts = (0..n_subs)
                 .map(|_| (rng.gen_range(1..=i as i64), rng.gen_range(1..20)))
                 .collect();
-            PartInfo::Composite { subparts, assem_cost: rng.gen_range(10..1000) }
+            PartInfo::Composite {
+                subparts,
+                assem_cost: rng.gen_range(10..1000),
+            }
         };
         parts.push(part_row(&name, pno, info));
     }
@@ -126,7 +166,10 @@ pub fn gen_part_supplier(n_parts: usize, n_suppliers: usize, base_frac: f64, see
         row(&[
             ("Sname", Value::str(format!("supplier{i}"))),
             ("S#", Value::Int(i as i64 + 1)),
-            ("City", Value::str(["Paris", "London", "Oslo", "Philadelphia"][i % 4])),
+            (
+                "City",
+                Value::str(["Paris", "London", "Oslo", "Philadelphia"][i % 4]),
+            ),
         ])
     });
     let supplied_by = (0..n_parts).map(|i| {
@@ -155,7 +198,9 @@ pub fn gen_part_supplier(n_parts: usize, n_suppliers: usize, base_frac: f64, see
 /// verification baseline): base parts cost their `Cost`; composite parts
 /// cost `AssemCost + Σ subcost · qty`.
 pub fn native_cost(parts: &Relation, pno: i64) -> Option<i64> {
-    let part = parts.iter().find(|v| matches!(v, Value::Record(fs) if fs.get("P#") == Some(&Value::Int(pno))))?;
+    let part = parts
+        .iter()
+        .find(|v| matches!(v, Value::Record(fs) if fs.get("P#") == Some(&Value::Int(pno))))?;
     let Value::Record(fs) = part else { return None };
     match fs.get("Pinfo")? {
         Value::Variant(tag, payload) if tag == "BasePart" => match &**payload {
@@ -167,13 +212,21 @@ pub fn native_cost(parts: &Relation, pno: i64) -> Option<i64> {
         },
         Value::Variant(tag, payload) if tag == "CompositePart" => match &**payload {
             Value::Record(p) => {
-                let Value::Int(assem) = p.get("AssemCost")? else { return None };
-                let Value::Set(subs) = p.get("SubParts")? else { return None };
+                let Value::Int(assem) = p.get("AssemCost")? else {
+                    return None;
+                };
+                let Value::Set(subs) = p.get("SubParts")? else {
+                    return None;
+                };
                 let mut total = *assem;
                 for sub in subs.iter() {
                     let Value::Record(sf) = sub else { return None };
-                    let Value::Int(spno) = sf.get("P#")? else { return None };
-                    let Value::Int(qty) = sf.get("Qty")? else { return None };
+                    let Value::Int(spno) = sf.get("P#")? else {
+                        return None;
+                    };
+                    let Value::Int(qty) = sf.get("Qty")? else {
+                        return None;
+                    };
                     total += native_cost(parts, *spno)? * qty;
                 }
                 Some(total)
@@ -266,7 +319,9 @@ mod tests {
         assert_eq!(r.len(), 500);
         for v in r.iter() {
             let Value::Record(fs) = v else { panic!() };
-            let Value::Int(s) = fs["Salary"] else { panic!() };
+            let Value::Int(s) = fs["Salary"] else {
+                panic!()
+            };
             assert!((0..200_000).contains(&s));
         }
     }

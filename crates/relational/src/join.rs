@@ -11,12 +11,21 @@
 //! * [`sort_merge_join`] — sort both sides by the common-attribute key
 //!   and merge; same applicability as hash join.
 //!
+//! Hash keys are *structural* ([`machiavelli_value::hash_value`]): a
+//! [`RowKey`] borrows the row and hashes/compares the common-attribute
+//! values in place — no per-row string rendering, no per-row key
+//! allocation, and no reliance on the display form being injective
+//! (distinct values can render identically; see the regression test).
+//!
 //! For flat relations all three agree (property-tested); the benches
 //! measure where the hash/merge strategies win.
 
 use crate::relation::Relation;
-use machiavelli_value::{con_value, join_value, value_cmp, Value};
+use machiavelli_value::{
+    con_value, hash_value, join_value, value_cmp, value_eq, Fields, Symbol, Value,
+};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// General nested-loop natural join via `con`/`join` (the evaluator's
 /// semantics).
@@ -33,23 +42,41 @@ pub fn nested_loop_join(r: &Relation, s: &Relation) -> Relation {
     Relation::from_rows(out)
 }
 
-/// Key of a row on `labels` (None when a label is missing).
-fn key_of(v: &Value, labels: &[String]) -> Option<Vec<Value>> {
+/// The fields of a record row, provided it has *all* the key labels.
+fn keyed_fields<'a>(v: &'a Value, labels: &[Symbol]) -> Option<&'a Fields> {
     let Value::Record(fs) = v else { return None };
-    labels.iter().map(|l| fs.get(l).cloned()).collect()
+    labels.iter().all(|l| fs.contains_key(l)).then_some(fs)
 }
 
-/// A hashable wrapper for join keys using the canonical value order's
-/// display form. Keys are small (the common attributes), so rendering is
-/// acceptable; a production system would hash structurally.
-fn hash_key(key: &[Value]) -> String {
-    let mut out = String::new();
-    for v in key {
-        out.push_str(&machiavelli_value::show_value(v));
-        out.push('\u{1f}');
-    }
-    out
+/// A borrowed join key: the common-attribute values of one row, hashed
+/// and compared structurally in place. Both sides of a join share one
+/// `labels` slice, so equality can walk the labels pairwise.
+struct RowKey<'a> {
+    fields: &'a Fields,
+    labels: &'a [Symbol],
 }
+
+impl Hash for RowKey<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in self.labels {
+            hash_value(self.fields.get(l).expect("keyed row has label"), state);
+        }
+    }
+}
+
+impl PartialEq for RowKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.labels.len(), other.labels.len());
+        self.labels.iter().all(|l| {
+            value_eq(
+                self.fields.get(l).expect("keyed row has label"),
+                other.fields.get(l).expect("keyed row has label"),
+            )
+        })
+    }
+}
+
+impl Eq for RowKey<'_> {}
 
 /// Build/probe hash join on the common attributes. Falls back to the
 /// nested-loop join when either side has no record rows (no key).
@@ -66,16 +93,31 @@ pub fn hash_join(r: &Relation, s: &Relation) -> Relation {
     } else {
         (s, r, false)
     };
-    let mut table: HashMap<String, Vec<&Value>> = HashMap::with_capacity(build.len());
+    // `Value` contains `RefCell` (refs), but keys are hashed by ref
+    // *identity*, which mutation never changes — the lint's hazard does
+    // not apply.
+    #[allow(clippy::mutable_key_type)]
+    let mut table: HashMap<RowKey<'_>, Vec<&Value>> = HashMap::with_capacity(build.len());
     for x in build.iter() {
-        if let Some(k) = key_of(x, &labels) {
-            table.entry(hash_key(&k)).or_default().push(x);
+        if let Some(fields) = keyed_fields(x, &labels) {
+            table
+                .entry(RowKey {
+                    fields,
+                    labels: &labels,
+                })
+                .or_default()
+                .push(x);
         }
     }
     let mut out = Vec::new();
     for y in probe.iter() {
-        let Some(k) = key_of(y, &labels) else { continue };
-        if let Some(matches) = table.get(&hash_key(&k)) {
+        let Some(fields) = keyed_fields(y, &labels) else {
+            continue;
+        };
+        if let Some(matches) = table.get(&RowKey {
+            fields,
+            labels: &labels,
+        }) {
             for x in matches {
                 let (l, rgt) = if build_is_left { (*x, y) } else { (y, *x) };
                 if con_value(l, rgt) {
@@ -93,16 +135,24 @@ pub fn sort_merge_join(r: &Relation, s: &Relation) -> Relation {
     if labels.is_empty() {
         return nested_loop_join(r, s);
     }
-    let keyed = |rel: &Relation| -> Vec<(Vec<Value>, Value)> {
-        let mut v: Vec<(Vec<Value>, Value)> = rel
+    // Keys borrow the rows; rows stay in the relations.
+    fn keyed<'a>(rel: &'a Relation, labels: &[Symbol]) -> Vec<(Vec<&'a Value>, &'a Value)> {
+        let mut v: Vec<(Vec<&Value>, &Value)> = rel
             .iter()
-            .filter_map(|row| key_of(row, &labels).map(|k| (k, row.clone())))
+            .filter_map(|row| {
+                let fields = keyed_fields(row, labels)?;
+                let key = labels
+                    .iter()
+                    .map(|l| fields.get(l).expect("keyed row has label"))
+                    .collect();
+                Some((key, row))
+            })
             .collect();
         v.sort_by(|(ka, _), (kb, _)| cmp_key(ka, kb));
         v
-    };
-    let left = keyed(r);
-    let right = keyed(s);
+    }
+    let left = keyed(r, &labels);
+    let right = keyed(s, &labels);
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {
@@ -128,7 +178,7 @@ pub fn sort_merge_join(r: &Relation, s: &Relation) -> Relation {
     Relation::from_rows(out)
 }
 
-fn cmp_key(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+fn cmp_key(a: &[&Value], b: &[&Value]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b) {
         let c = value_cmp(x, y);
         if c != std::cmp::Ordering::Equal {
@@ -192,10 +242,7 @@ mod tests {
     fn nested_loop_handles_partial_nested_overlap() {
         // Nested records where consistency is weaker than equality on the
         // common attribute: [N=[First]] vs [N=[Last]].
-        let r = Relation::from_rows([row(&[(
-            "N",
-            row(&[("First", Value::str("Joe"))]),
-        )])]);
+        let r = Relation::from_rows([row(&[("N", row(&[("First", Value::str("Joe"))]))])]);
         let s = Relation::from_rows([row(&[
             ("N", row(&[("Last", Value::str("Doe"))])),
             ("Age", Value::Int(21)),
@@ -213,5 +260,42 @@ mod tests {
         assert!(nested_loop_join(&e, &s_bc()).is_empty());
         assert!(hash_join(&r_ab(), &e).is_empty());
         assert!(sort_merge_join(&e, &e).is_empty());
+    }
+
+    #[test]
+    fn structural_keys_survive_renderer_collisions() {
+        // Regression for the old string-rendered hash keys: these two
+        // key values are distinct but print identically (a crafted label
+        // containing "=2, " forges the 3-field record's display form).
+        let honest_key = Value::record([
+            ("A".into(), Value::Int(1)),
+            ("B".into(), Value::Int(2)),
+            ("C".into(), Value::Int(3)),
+        ]);
+        let forged_key = Value::record([
+            ("A".into(), Value::Int(1)),
+            ("B=2, C".into(), Value::Int(3)),
+        ]);
+        assert_eq!(
+            machiavelli_value::show_value(&honest_key),
+            machiavelli_value::show_value(&forged_key),
+            "the renderer collision this test guards against must exist"
+        );
+        assert_ne!(honest_key, forged_key);
+        let r = Relation::from_rows([row(&[("K", honest_key.clone()), ("X", Value::Int(7))])]);
+        let s = Relation::from_rows([row(&[("K", forged_key.clone()), ("Y", Value::Int(8))])]);
+        // Equality-keyed strategies must NOT pair the rows: the K values
+        // are unequal. The old renderer-keyed table put both rows in one
+        // bucket, and because the forged keys happen to be *consistent*
+        // (disjoint-ish label sets), the con-check let the pair through —
+        // output silently depended on display-form collisions.
+        assert!(hash_join(&r, &s).is_empty());
+        assert_eq!(hash_join(&r, &s), sort_merge_join(&r, &s));
+        // Genuinely equal keys still join, agreeing with the general
+        // algorithm.
+        let s2 = Relation::from_rows([row(&[("K", honest_key), ("Y", Value::Int(8))])]);
+        assert_eq!(hash_join(&r, &s2).len(), 1);
+        assert_eq!(hash_join(&r, &s2), nested_loop_join(&r, &s2));
+        assert_eq!(hash_join(&r, &s2), sort_merge_join(&r, &s2));
     }
 }

@@ -5,8 +5,7 @@
 //! relational model (§4). The interpreter's `select`/`join` and these
 //! native operators compute the same results; benches compare the two.
 
-use machiavelli_value::{MSet, Value};
-use std::collections::BTreeMap;
+use machiavelli_value::{Fields, MSet, Symbol, Value};
 
 /// A set of record values with utility operations.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -21,7 +20,9 @@ impl Relation {
 
     /// Build from row values (normalizing into a set).
     pub fn from_rows(rows: impl IntoIterator<Item = Value>) -> Relation {
-        Relation { rows: MSet::from_iter(rows) }
+        Relation {
+            rows: MSet::from_iter(rows),
+        }
     }
 
     /// The underlying canonical set.
@@ -57,12 +58,12 @@ impl Relation {
 
     /// The labels common to this relation and `other` (computed from the
     /// first row of each; homogeneous by typing).
-    pub fn common_labels(&self, other: &Relation) -> Vec<String> {
-        let labels = |r: &Relation| -> Vec<String> {
+    pub fn common_labels(&self, other: &Relation) -> Vec<Symbol> {
+        let labels = |r: &Relation| -> Vec<Symbol> {
             r.iter()
                 .next()
                 .and_then(|v| match v {
-                    Value::Record(fs) => Some(fs.keys().cloned().collect()),
+                    Value::Record(fs) => Some(fs.keys().copied().collect()),
                     _ => None,
                 })
                 .unwrap_or_default()
@@ -80,13 +81,14 @@ impl Relation {
     /// Native projection onto `labels` (drops rows that are not records
     /// with all the labels — typed inputs always qualify).
     pub fn project(&self, labels: &[&str]) -> Relation {
+        let labels: Vec<Symbol> = labels.iter().map(|l| Symbol::intern(l)).collect();
         Relation::from_rows(self.iter().filter_map(|v| match v {
             Value::Record(fs) => {
-                let mut out = BTreeMap::new();
-                for l in labels {
-                    out.insert(l.to_string(), fs.get(*l)?.clone());
+                let mut out = Vec::with_capacity(labels.len());
+                for l in &labels {
+                    out.push((*l, fs.get(l)?.clone()));
                 }
-                Some(Value::Record(out))
+                Some(Value::Record(Fields::from_vec(out)))
             }
             _ => None,
         }))
@@ -95,11 +97,12 @@ impl Relation {
     /// Rename a column (the paper's "renaming operation" enabling the
     /// polymorphic transitive closure on any binary relation).
     pub fn rename(&self, from: &str, to: &str) -> Relation {
+        let to = Symbol::intern(to);
         Relation::from_rows(self.iter().map(|v| match v {
             Value::Record(fs) => {
                 let mut out = fs.clone();
                 if let Some(val) = out.remove(from) {
-                    out.insert(to.to_string(), val);
+                    out.insert(to, val);
                 }
                 Value::Record(out)
             }
@@ -109,12 +112,16 @@ impl Relation {
 
     /// Union (set-theoretic).
     pub fn union(&self, other: &Relation) -> Relation {
-        Relation { rows: self.rows.union(other.rows()) }
+        Relation {
+            rows: self.rows.union(other.rows()),
+        }
     }
 
     /// Difference.
     pub fn difference(&self, other: &Relation) -> Relation {
-        Relation { rows: self.rows.difference(other.rows()) }
+        Relation {
+            rows: self.rows.difference(other.rows()),
+        }
     }
 }
 
@@ -126,7 +133,7 @@ impl FromIterator<Value> for Relation {
 
 /// Convenience: build a flat row of (label, int) and (label, str) pairs.
 pub fn row(fields: &[(&str, Value)]) -> Value {
-    Value::record(fields.iter().map(|(l, v)| (l.to_string(), v.clone())))
+    Value::record(fields.iter().map(|(l, v)| (Symbol::intern(l), v.clone())))
 }
 
 #[cfg(test)]
@@ -146,7 +153,11 @@ mod tests {
     #[test]
     fn select_project_rename() {
         let r = Relation::from_rows([ab(1, 2), ab(3, 4)]);
-        assert_eq!(r.select(|v| matches!(v, Value::Record(fs) if fs["A"] == Value::Int(1))).len(), 1);
+        assert_eq!(
+            r.select(|v| matches!(v, Value::Record(fs) if fs["A"] == Value::Int(1)))
+                .len(),
+            1
+        );
         let p = r.project(&["A"]);
         assert_eq!(p.len(), 2);
         let renamed = r.rename("B", "C");

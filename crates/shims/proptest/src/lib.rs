@@ -1,0 +1,597 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_recursive` / tuples / ranges / simple `[a-z]{n,m}` string
+//! patterns, `proptest::collection::{vec, btree_map}`, `prop_oneof!`,
+//! `Just`, `any::<bool>()`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros. Generation is random but deterministic per
+//! (test name, case index); shrinking is not implemented — a failing
+//! case panics with the case number so it can be replayed.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Deterministic per-case random source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5DEECE66D,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift; bias is irrelevant at test-generation scale.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Drives one `#[test]` expanded by `proptest!`.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name_hash: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner {
+                config,
+                name_hash: h,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::from_seed(self.name_hash ^ (u64::from(case) << 32) ^ u64::from(case))
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A reusable value generator.
+    pub trait Strategy: Clone + 'static {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Depth-bounded recursive strategy: `recurse` receives the
+        /// strategy for the next-shallower depth. The `desired_size` /
+        /// `expected_branch_size` hints are accepted for API parity.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized,
+            F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+            S: Strategy<Value = Self::Value>,
+        {
+            Recursive {
+                leaf: self.boxed(),
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone + 'static,
+        U: 'static,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Recursive<T> {
+        leaf: BoxedStrategy<T>,
+        recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                leaf: self.leaf.clone(),
+                recurse: Rc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Random depth in [0, depth]: shallow values stay common.
+            let d = rng.below(u64::from(self.depth) + 1) as u32;
+            let mut strat = self.leaf.clone();
+            for _ in 0..d {
+                strat = (self.recurse)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        pub options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.start as u32, self.end as u32);
+            assert!(lo < hi, "empty char range");
+            char::from_u32(lo + rng.below(u64::from(hi - lo)) as u32).unwrap_or(self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+
+    /// `&'static str` patterns: a tiny regex subset — literal chars,
+    /// `[a-z03…]` classes, and `{n}` / `{n,m}` repetition of the
+    /// preceding atom — enough for proptest-style `"[a-c]{1,2}"` usage.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                // Parse one atom.
+                let mut alphabet: Vec<char> = Vec::new();
+                match chars[i] {
+                    '[' => {
+                        i += 1;
+                        while i < chars.len() && chars[i] != ']' {
+                            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                                let (lo, hi) = (chars[i], chars[i + 2]);
+                                for c in lo..=hi {
+                                    alphabet.push(c);
+                                }
+                                i += 3;
+                            } else {
+                                alphabet.push(chars[i]);
+                                i += 1;
+                            }
+                        }
+                        i += 1; // closing ]
+                    }
+                    c => {
+                        alphabet.push(c);
+                        i += 1;
+                    }
+                }
+                // Parse optional {n} / {n,m}.
+                let (mut lo, mut hi) = (1usize, 1usize);
+                if i < chars.len() && chars[i] == '{' {
+                    i += 1;
+                    let mut num = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        num.push(chars[i]);
+                        i += 1;
+                    }
+                    lo = num.parse().unwrap_or(1);
+                    hi = lo;
+                    if i < chars.len() && chars[i] == ',' {
+                        i += 1;
+                        let mut num2 = String::new();
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            num2.push(chars[i]);
+                            i += 1;
+                        }
+                        hi = num2.parse().unwrap_or(lo);
+                    }
+                    i += 1; // closing }
+                }
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    if alphabet.is_empty() {
+                        continue;
+                    }
+                    let k = rng.below(alphabet.len() as u64) as usize;
+                    out.push(alphabet[k]);
+                }
+            }
+            out
+        }
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized + 'static {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    #[derive(Clone)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(strategy, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(
+                self.size.start < self.size.end,
+                "empty size range for collection::vec"
+            );
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `btree_map(key_strategy, value_strategy, size_range)`. As in
+    /// upstream proptest, duplicate keys collapse, so maps may come out
+    /// smaller than the sampled size.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            assert!(
+                self.size.start < self.size.end,
+                "empty size range for collection::btree_map"
+            );
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            options: vec![$($crate::strategy::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// The test-defining macro. Expands each `fn name(arg in strategy, …)`
+/// into a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( #[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut prop_rng = runner.rng_for(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("proptest `{}` case {case} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generation() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in 0i64..10, m in collection::btree_map(Just(1u8), 0i64..5, 0..3)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(m.len() <= 1); // single possible key
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn recursive_terminates(v in (0i64..3).prop_map(|x| x).prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![inner.prop_map(|x| x), 0i64..3]
+        })) {
+            prop_assert!((0..3).contains(&v));
+        }
+    }
+}

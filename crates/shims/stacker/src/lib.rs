@@ -1,0 +1,194 @@
+//! Offline shim for the `stacker` crate.
+//!
+//! The real `stacker` grows the machine stack on demand via `psm`'s
+//! assembly stack-switching. This build environment has no registry
+//! access, so this shim provides the same API with a *headroom check*
+//! instead of growth: callers can query [`remaining_stack`] and decide
+//! to back off before the OS stack is exhausted. `maybe_grow` runs the
+//! closure in place.
+//!
+//! On Linux the headroom is measured against the thread's real stack
+//! bounds: spawned threads use the `/proc/self/maps` region containing
+//! the current stack pointer (accurate regardless of how much stack was
+//! consumed before the first call), and the main thread — whose
+//! `[stack]` region grows on demand — uses `RLIMIT_STACK` from
+//! `/proc/self/limits` measured from the region's top. Non-Linux
+//! platforms fall back to a conservative fixed budget anchored at the
+//! first call.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Lower bound of this thread's usable stack (grows-down limit),
+    /// resolved once; 0 = not yet resolved, 1 = resolved to "unknown".
+    static STACK_FLOOR: Cell<usize> = const { Cell::new(0) };
+    /// Address of a stack local captured on the first call in this
+    /// thread — the fallback anchor when the bounds are unknown.
+    static STACK_BASE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Fallback budget when the stack bounds cannot be resolved (non-Linux,
+/// or an unlimited/unparsable rlimit). Test threads default to 2 MiB
+/// (`RUST_MIN_STACK` can raise it); keeping the assumed budget under
+/// that with a safety margin means the caller's depth guard fires
+/// before the OS guard page does. Threads with even smaller stacks are
+/// not protected by the fallback — on Linux (the supported platform)
+/// they take the precise mapping path instead.
+const ASSUMED_BUDGET: usize = 1536 * 1024;
+
+/// Slack kept above the mapping floor: the kernel guard page plus
+/// breathing room for the caller to unwind.
+const FLOOR_SLACK: usize = 64 * 1024;
+
+fn approx_sp() -> usize {
+    let probe = 0u8;
+    std::ptr::addr_of!(probe) as usize
+}
+
+/// The soft `RLIMIT_STACK` from /proc/self/limits (None when the file
+/// is unreadable or the limit is unlimited).
+#[cfg(target_os = "linux")]
+fn stack_rlimit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max stack size"))?;
+    // Columns: name (25 chars), soft, hard, units.
+    let soft = line[25..].split_whitespace().next()?;
+    soft.parse().ok()
+}
+
+/// Find the lower bound of this thread's usable stack from the memory
+/// mapping containing `sp`. The main thread's auto-growing `[stack]`
+/// region has a fixed *top* and an `RLIMIT_STACK`-bounded extent, so
+/// its floor is `top - rlimit`; spawned threads have fixed mappings
+/// whose lower bound is the floor directly.
+#[cfg(target_os = "linux")]
+fn stack_floor_of(sp: usize) -> Option<usize> {
+    let maps = std::fs::read_to_string("/proc/self/maps").ok()?;
+    for line in maps.lines() {
+        let range = line.split_whitespace().next()?;
+        let (lo, hi) = range.split_once('-')?;
+        let lo = usize::from_str_radix(lo, 16).ok()?;
+        let hi = usize::from_str_radix(hi, 16).ok()?;
+        if (lo..hi).contains(&sp) {
+            if line.trim_end().ends_with("[stack]") {
+                // The mapped extent is not the limit; the rlimit is.
+                return stack_rlimit().map(|limit| hi.saturating_sub(limit));
+            }
+            return Some(lo);
+        }
+    }
+    None
+}
+
+#[cfg(not(target_os = "linux"))]
+fn stack_floor_of(_sp: usize) -> Option<usize> {
+    None
+}
+
+/// Estimated remaining stack in bytes.
+pub fn remaining_stack() -> Option<usize> {
+    let sp = approx_sp();
+    let floor = STACK_FLOOR.with(|f| {
+        if f.get() == 0 {
+            f.set(stack_floor_of(sp).unwrap_or(1));
+        }
+        f.get()
+    });
+    if floor > 1 {
+        // Precise: distance to the mapping floor, minus guard slack.
+        return Some(sp.saturating_sub(floor).saturating_sub(FLOOR_SLACK));
+    }
+    // Fallback: fixed budget from the first observed frame.
+    let base = STACK_BASE.with(|b| {
+        if b.get() == 0 {
+            b.set(sp);
+        }
+        b.get()
+    });
+    let used = base.saturating_sub(sp);
+    Some(ASSUMED_BUDGET.saturating_sub(used))
+}
+
+/// Run `f`, which the real crate would do on a grown stack when fewer
+/// than `red_zone` bytes remain. The shim cannot switch stacks, so it
+/// simply runs `f` in place; callers must bound their own recursion
+/// (the evaluator checks [`remaining_stack`] against its red zone).
+pub fn maybe_grow<R>(red_zone: usize, stack_size: usize, f: impl FnOnce() -> R) -> R {
+    let _ = (red_zone, stack_size);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maybe_grow_runs_closure() {
+        assert_eq!(maybe_grow(64 * 1024, 1024 * 1024, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn remaining_stack_decreases_with_depth() {
+        fn deep(n: u32) -> usize {
+            // A real frame so the recursion is not collapsed.
+            let frame = std::hint::black_box([n; 64]);
+            if frame[0] == 0 {
+                remaining_stack().unwrap()
+            } else {
+                deep(n - 1)
+            }
+        }
+        let shallow = remaining_stack().unwrap();
+        let deeper = deep(100);
+        assert!(deeper <= shallow);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn spawned_thread_uses_real_mapping() {
+        // A large fixed-size thread must see its real stack budget, not
+        // the conservative 1.5 MiB fallback. (The lower bound cannot be
+        // asserted tightly: glibc may satisfy a small request by reusing
+        // a larger cached stack.)
+        let remaining = std::thread::Builder::new()
+            .stack_size(8 * 1024 * 1024)
+            .spawn(|| remaining_stack().unwrap())
+            .unwrap()
+            .join()
+            .unwrap();
+        assert!(
+            remaining > 4 * 1024 * 1024,
+            "measured {remaining}; expected the real ~8 MiB mapping, not the fallback budget"
+        );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn main_thread_budget_tracks_rlimit() {
+        // Run on whatever thread the harness gives us; the point is the
+        // parser: /proc/self/limits must yield the soft limit.
+        if let Some(limit) = stack_rlimit() {
+            assert!(limit >= 1024 * 1024, "implausible RLIMIT_STACK {limit}");
+        }
+    }
+
+    #[test]
+    fn guard_prevents_stack_overflow_crash() {
+        // Recurse until remaining_stack says stop; must exit cleanly
+        // well before the OS guard page on a 1 MiB thread.
+        fn dive(depth: u32) -> u32 {
+            let frame = std::hint::black_box([depth; 128]);
+            if remaining_stack().is_some_and(|r| r < 192 * 1024) {
+                return depth + frame[0] - depth;
+            }
+            dive(depth + 1)
+        }
+        let depth = std::thread::Builder::new()
+            .stack_size(1024 * 1024)
+            .spawn(|| dive(0))
+            .unwrap()
+            .join()
+            .expect("guard must fire before the guard page");
+        assert!(depth > 0);
+    }
+}

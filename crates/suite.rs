@@ -1,0 +1,9 @@
+//! Anchor library for the workspace-level integration suite.
+//!
+//! The repository root is a package only so that `tests/` (the paper
+//! figure tests) and `examples/` attach to the workspace; all real code
+//! lives in the `crates/*` members, re-exported here for convenience.
+
+pub use machiavelli;
+pub use machiavelli_oodb;
+pub use machiavelli_relational;

@@ -6,9 +6,14 @@
 //! with `#1`, `#2`, … labels by the parser), and infix operators.
 
 use crate::span::Span;
+use crate::symbol::Symbol;
 
-/// Record / variant field labels.
-pub type Label = String;
+/// Record / variant field labels — interned symbols, so label equality
+/// in the evaluator's hot paths is a single pointer compare.
+pub type Label = Symbol;
+
+/// Identifiers (variables, parameters, binders) — also interned.
+pub type Ident = Symbol;
 
 /// A complete program: a sequence of top-level phrases.
 pub type Program = Vec<Phrase>;
@@ -23,9 +28,13 @@ pub struct Phrase {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhraseKind {
     /// `val x = e;`
-    Val { name: String, expr: Expr },
+    Val { name: Ident, expr: Expr },
     /// `fun f(x, …) = e;` — recursive by construction, as in ML.
-    Fun { name: String, params: Vec<String>, body: Expr },
+    Fun {
+        name: Ident,
+        params: Vec<Ident>,
+        body: Expr,
+    },
     /// A bare expression; the REPL binds its result to `it`.
     Expr(Expr),
 }
@@ -102,14 +111,14 @@ pub enum UnOp {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseArm {
     pub label: Label,
-    pub var: String,
+    pub var: Ident,
     pub body: Expr,
 }
 
 /// One generator of a `select`: `var <- source`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Generator {
-    pub var: String,
+    pub var: Ident,
     pub source: Expr,
 }
 
@@ -122,66 +131,141 @@ pub enum ExprKind {
     Real(f64),
     Str(String),
     Bool(bool),
-    Var(String),
+    Var(Ident),
     /// `fn (x, …) => e`
-    Lambda { params: Vec<String>, body: Box<Expr> },
+    Lambda {
+        params: Vec<Ident>,
+        body: Box<Expr>,
+    },
     /// `f(e₁, …, eₙ)`
-    App { func: Box<Expr>, args: Vec<Expr> },
+    App {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+    },
     /// `if e then e else e`
-    If { cond: Box<Expr>, then_branch: Box<Expr>, else_branch: Box<Expr> },
+    If {
+        cond: Box<Expr>,
+        then_branch: Box<Expr>,
+        else_branch: Box<Expr>,
+    },
     /// `[l = e, …]`; tuples `(e₁,…,eₙ)` desugar to `[#1 = e₁, …]`.
     Record(Vec<(Label, Expr)>),
     /// `e.l`
-    Field { expr: Box<Expr>, label: Label },
+    Field {
+        expr: Box<Expr>,
+        label: Label,
+    },
     /// `modify(e, l, e)` — pure functional field update.
-    Modify { expr: Box<Expr>, label: Label, value: Box<Expr> },
+    Modify {
+        expr: Box<Expr>,
+        label: Label,
+        value: Box<Expr>,
+    },
     /// `(l of e)` — variant injection.
-    Inject { label: Label, expr: Box<Expr> },
+    Inject {
+        label: Label,
+        expr: Box<Expr>,
+    },
     /// `case e of l of x => e, …[, other => e]`
-    Case { expr: Box<Expr>, arms: Vec<CaseArm>, default: Option<Box<Expr>> },
+    Case {
+        expr: Box<Expr>,
+        arms: Vec<CaseArm>,
+        default: Option<Box<Expr>>,
+    },
     /// `e as l` — shorthand for `case e of l of x => x, other => raise Error`.
-    As { expr: Box<Expr>, label: Label },
+    As {
+        expr: Box<Expr>,
+        label: Label,
+    },
     /// `{e, …}` (possibly empty).
     Set(Vec<Expr>),
     /// `union(e, e)` — same-type set union.
-    Union { left: Box<Expr>, right: Box<Expr> },
+    Union {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `unionc(e, e)` — class union; result type is the glb (⊓).
-    Unionc { left: Box<Expr>, right: Box<Expr> },
+    Unionc {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `hom(f, op, z, s)` — homomorphic extension (right fold over a set).
-    Hom { f: Box<Expr>, op: Box<Expr>, z: Box<Expr>, set: Box<Expr> },
+    Hom {
+        f: Box<Expr>,
+        op: Box<Expr>,
+        z: Box<Expr>,
+        set: Box<Expr>,
+    },
     /// `hom*(f, op, s)` — as `hom` but on non-empty sets without a zero.
-    HomStar { f: Box<Expr>, op: Box<Expr>, set: Box<Expr> },
+    HomStar {
+        f: Box<Expr>,
+        op: Box<Expr>,
+        set: Box<Expr>,
+    },
     /// `ref(e)` — reference creation (fresh object identity).
     Ref(Box<Expr>),
     /// `!e` — dereference.
     Deref(Box<Expr>),
     /// `e := e` — reference assignment.
-    Assign { target: Box<Expr>, value: Box<Expr> },
+    Assign {
+        target: Box<Expr>,
+        value: Box<Expr>,
+    },
     /// `con(e, e)` — consistency predicate (⊔ of the types must exist).
-    Con { left: Box<Expr>, right: Box<Expr> },
+    Con {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `join(e, e)` — generalized natural join; result type is the lub (⊔).
-    Join { left: Box<Expr>, right: Box<Expr> },
+    Join {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `project(e, δ)` — generalized projection onto description type δ.
-    Project { expr: Box<Expr>, ty: TypeExpr },
+    Project {
+        expr: Box<Expr>,
+        ty: TypeExpr,
+    },
     /// `let val x = e in e end`
-    Let { name: String, bound: Box<Expr>, body: Box<Expr> },
+    Let {
+        name: Ident,
+        bound: Box<Expr>,
+        body: Box<Expr>,
+    },
     /// `select E where x₁ <- S₁, … with P`
-    Select { result: Box<Expr>, generators: Vec<Generator>, pred: Box<Expr> },
+    Select {
+        result: Box<Expr>,
+        generators: Vec<Generator>,
+        pred: Box<Expr>,
+    },
     /// Infix application.
-    Binop { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binop {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Prefix application.
-    Unop { op: UnOp, expr: Box<Expr> },
+    Unop {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
     /// An operator used as a first-class value, e.g. the `+` in
     /// `hom(f, +, 0, S)`.
     OpVal(BinOp),
     /// `rec(x, e)` — recursive definition; `e` must be a lambda.
-    Rec { name: String, body: Box<Expr> },
+    Rec {
+        name: Ident,
+        body: Box<Expr>,
+    },
     /// `raise "message"` / `raise Error`.
     Raise(String),
     /// `dynamic(e)` — package a description value with its type (§5).
     MakeDynamic(Box<Expr>),
     /// `coerce(e, δ)` — runtime-checked coercion of a `dynamic` back to δ.
-    Coerce { expr: Box<Expr>, ty: TypeExpr },
+    Coerce {
+        expr: Box<Expr>,
+        ty: TypeExpr,
+    },
 }
 
 /// A row variable `('a)` or `("a)` opening a record/variant type.
@@ -215,15 +299,24 @@ pub enum TypeExprKind {
     /// `τ → τ`
     Arrow(Box<TypeExpr>, Box<TypeExpr>),
     /// `[l:τ, …]`, optionally with a row variable: `[('a) l:τ, …]`.
-    Record { row: Option<RowVar>, fields: Vec<(Label, TypeExpr)> },
+    Record {
+        row: Option<RowVar>,
+        fields: Vec<(Label, TypeExpr)>,
+    },
     /// `<l:τ, …>`, optionally with a row variable: `<('a) l:τ, …>`.
-    Variant { row: Option<RowVar>, fields: Vec<(Label, TypeExpr)> },
+    Variant {
+        row: Option<RowVar>,
+        fields: Vec<(Label, TypeExpr)>,
+    },
     /// `{τ}`
     Set(Box<TypeExpr>),
     /// `ref(τ)`
     Ref(Box<TypeExpr>),
     /// `rec v . τ`
-    Rec { var: String, body: Box<TypeExpr> },
+    Rec {
+        var: String,
+        body: Box<TypeExpr>,
+    },
     /// A reference to an enclosing `rec` binder.
     Named(String),
 }

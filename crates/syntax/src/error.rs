@@ -28,7 +28,7 @@ pub enum ParseErrorKind {
     /// The parser found `got` where it needed something matching `expected`.
     Expected { expected: String, got: String },
     /// A record or variant wrote the same label twice.
-    DuplicateLabel(String),
+    DuplicateLabel(crate::symbol::Symbol),
     /// `select` with an empty generator list.
     EmptySelect,
     /// `case` with no arms.
@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn expected_message() {
         let err = ParseError::new(
-            ParseErrorKind::Expected { expected: "`)`".into(), got: "`,`".into() },
+            ParseErrorKind::Expected {
+                expected: "`)`".into(),
+                got: "`,`".into(),
+            },
             Span::point(0),
         );
         assert_eq!(err.to_string(), "expected `)`, found `,`");

@@ -30,7 +30,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str, ty_mode: bool) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, ty_mode }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            ty_mode,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -57,7 +62,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.pos;
             let Some(b) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, span: Span::point(self.pos) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(self.pos),
+                });
                 return Ok(out);
             };
             let kind = match b {
@@ -80,20 +88,62 @@ impl<'a> Lexer<'a> {
                 }
                 b'\'' => self.tyvar(start)?,
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'#' => self.ident(start),
-                b'(' => { self.bump(); TokenKind::LParen }
-                b')' => { self.bump(); TokenKind::RParen }
-                b'[' => { self.bump(); TokenKind::LBracket }
-                b']' => { self.bump(); TokenKind::RBracket }
-                b'{' => { self.bump(); TokenKind::LBrace }
-                b'}' => { self.bump(); TokenKind::RBrace }
-                b',' => { self.bump(); TokenKind::Comma }
-                b';' => { self.bump(); TokenKind::Semi }
-                b'.' => { self.bump(); TokenKind::Dot }
-                b'+' => { self.bump(); TokenKind::Plus }
-                b'^' => { self.bump(); TokenKind::Caret }
-                b'!' => { self.bump(); TokenKind::Bang }
-                b'/' => { self.bump(); TokenKind::Slash }
-                b'*' => { self.bump(); TokenKind::Star }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                b'{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semi
+                }
+                b'.' => {
+                    self.bump();
+                    TokenKind::Dot
+                }
+                b'+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                b'^' => {
+                    self.bump();
+                    TokenKind::Caret
+                }
+                b'!' => {
+                    self.bump();
+                    TokenKind::Bang
+                }
+                b'/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                b'*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
                 b'-' => {
                     self.bump();
                     if self.peek() == Some(b'>') {
@@ -124,9 +174,18 @@ impl<'a> Lexer<'a> {
                 b'<' => {
                     self.bump();
                     match self.peek() {
-                        Some(b'=') => { self.bump(); TokenKind::Le }
-                        Some(b'>') => { self.bump(); TokenKind::NotEq }
-                        Some(b'-') => { self.bump(); TokenKind::LArrow }
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::NotEq
+                        }
+                        Some(b'-') => {
+                            self.bump();
+                            TokenKind::LArrow
+                        }
                         _ => TokenKind::Lt,
                     }
                 }
@@ -144,7 +203,10 @@ impl<'a> Lexer<'a> {
                     return Err(self.err(ParseErrorKind::UnexpectedChar(ch), start));
                 }
             };
-            out.push(Token { kind, span: Span::new(start, self.pos) });
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos),
+            });
         }
     }
 
@@ -253,7 +315,10 @@ impl<'a> Lexer<'a> {
             return Err(self.err(ParseErrorKind::MalformedTypeVar, start));
         }
         let name_start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         Ok(TokenKind::TyVar(self.src[name_start..self.pos].to_string()))
@@ -326,10 +391,15 @@ impl<'a> Lexer<'a> {
             return Err(self.err(ParseErrorKind::MalformedTypeVar, start));
         }
         let name_start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
-        Ok(TokenKind::DescVar(self.src[name_start..self.pos].to_string()))
+        Ok(TokenKind::DescVar(
+            self.src[name_start..self.pos].to_string(),
+        ))
     }
 }
 
@@ -393,7 +463,10 @@ mod tests {
     #[test]
     fn lex_desc_var_vs_string() {
         assert_eq!(kinds("\"a"), vec![DescVar("a".into()), Eof]);
-        assert_eq!(kinds("{\"b}"), vec![LBrace, DescVar("b".into()), RBrace, Eof]);
+        assert_eq!(
+            kinds("{\"b}"),
+            vec![LBrace, DescVar("b".into()), RBrace, Eof]
+        );
         assert_eq!(kinds("\"abc\""), vec![Str("abc".into()), Eof]);
     }
 
@@ -421,7 +494,10 @@ mod tests {
 
     #[test]
     fn lex_comments_nest() {
-        assert_eq!(kinds("1 (* outer (* inner *) still *) 2"), vec![Int(1), Int(2), Eof]);
+        assert_eq!(
+            kinds("1 (* outer (* inner *) still *) 2"),
+            vec![Int(1), Int(2), Eof]
+        );
         assert!(lex("(* unclosed").is_err());
     }
 
@@ -434,7 +510,15 @@ mod tests {
     fn lex_keywords() {
         assert_eq!(
             kinds("select x where y with z"),
-            vec![Select, Ident("x".into()), Where, Ident("y".into()), With, Ident("z".into()), Eof]
+            vec![
+                Select,
+                Ident("x".into()),
+                Where,
+                Ident("y".into()),
+                With,
+                Ident("z".into()),
+                Eof
+            ]
         );
     }
 

@@ -31,12 +31,16 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod span;
+pub mod symbol;
 pub mod token;
 
-pub use ast::{Expr, ExprKind, Label, Phrase, PhraseKind, Program, RowVar, TypeExpr, TypeExprKind};
+pub use ast::{
+    Expr, ExprKind, Ident, Label, Phrase, PhraseKind, Program, RowVar, TypeExpr, TypeExprKind,
+};
 pub use error::{ParseError, ParseErrorKind};
 pub use parser::{parse_expr, parse_program, parse_type};
 pub use span::Span;
+pub use symbol::{tuple_label, Symbol};
 
 #[cfg(test)]
 mod roundtrip_tests;

@@ -19,6 +19,7 @@ use crate::ast::*;
 use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::lex;
 use crate::span::Span;
+use crate::symbol::Symbol;
 use crate::token::{Token, TokenKind};
 
 /// Parsed row variable + fields of a record/variant type.
@@ -63,7 +64,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, suppress_inject: false }
+        Parser {
+            tokens,
+            pos: 0,
+            suppress_inject: false,
+        }
     }
 
     /// Run `f` with injection suppression cleared (inside brackets the
@@ -142,7 +147,13 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    fn ident(&mut self) -> Result<Ident, ParseError> {
+        Ok(Symbol::intern(&self.ident_str()?))
+    }
+
+    /// An identifier kept as raw text (type-variable and `rec` binder
+    /// names, which are not interned).
+    fn ident_str(&mut self) -> Result<String, ParseError> {
         match self.peek() {
             TokenKind::Ident(name) => {
                 let name = name.clone();
@@ -223,7 +234,10 @@ impl Parser {
             let rhs = self.assign_expr()?;
             let span = lhs.span.merge(rhs.span);
             return Ok(Expr::new(
-                ExprKind::Assign { target: Box::new(lhs), value: Box::new(rhs) },
+                ExprKind::Assign {
+                    target: Box::new(lhs),
+                    value: Box::new(rhs),
+                },
                 span,
             ));
         }
@@ -236,7 +250,11 @@ impl Parser {
             let rhs = self.andalso_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binop { op: BinOp::Orelse, left: Box::new(lhs), right: Box::new(rhs) },
+                ExprKind::Binop {
+                    op: BinOp::Orelse,
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -249,7 +267,11 @@ impl Parser {
             let rhs = self.cmp_expr()?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binop { op: BinOp::Andalso, left: Box::new(lhs), right: Box::new(rhs) },
+                ExprKind::Binop {
+                    op: BinOp::Andalso,
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -270,7 +292,14 @@ impl Parser {
         self.bump();
         let rhs = self.add_expr()?;
         let span = lhs.span.merge(rhs.span);
-        Ok(Expr::new(ExprKind::Binop { op, left: Box::new(lhs), right: Box::new(rhs) }, span))
+        Ok(Expr::new(
+            ExprKind::Binop {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            },
+            span,
+        ))
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
@@ -285,7 +314,14 @@ impl Parser {
             self.bump();
             let rhs = self.mul_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binop { op, left: Box::new(lhs), right: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binop {
+                    op,
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -302,7 +338,14 @@ impl Parser {
             self.bump();
             let rhs = self.unary_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binop { op, left: Box::new(lhs), right: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binop {
+                    op,
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -312,9 +355,35 @@ impl Parser {
         use TokenKind::*;
         matches!(
             self.peek(),
-            Int(_) | Real(_) | Str(_) | Ident(_) | True | False | LParen | LBracket | LBrace
-                | Fn | If | Case | Select | Let | Modify | Join | Con | Project | Union
-                | Unionc | Hom | HomStar | Ref | Rec | Raise | Dynamic | Not | Bang | Minus
+            Int(_)
+                | Real(_)
+                | Str(_)
+                | Ident(_)
+                | True
+                | False
+                | LParen
+                | LBracket
+                | LBrace
+                | Fn
+                | If
+                | Case
+                | Select
+                | Let
+                | Modify
+                | Join
+                | Con
+                | Project
+                | Union
+                | Unionc
+                | Hom
+                | HomStar
+                | Ref
+                | Rec
+                | Raise
+                | Dynamic
+                | Not
+                | Bang
+                | Minus
         )
     }
 
@@ -326,7 +395,13 @@ impl Parser {
                 // `not` is also usable as a plain function: `not(e)`.
                 let e = self.unary_expr()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Unop { op: UnOp::Not, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unop {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::Minus => {
                 self.bump();
@@ -336,7 +411,13 @@ impl Parser {
                 }
                 let e = self.unary_expr()?;
                 let span = start.merge(e.span);
-                Ok(Expr::new(ExprKind::Unop { op: UnOp::Neg, expr: Box::new(e) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unop {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    span,
+                ))
             }
             TokenKind::Bang => {
                 self.bump();
@@ -356,13 +437,25 @@ impl Parser {
                     self.bump();
                     let label = self.label()?;
                     let span = e.span.merge(self.prev_span());
-                    e = Expr::new(ExprKind::Field { expr: Box::new(e), label }, span);
+                    e = Expr::new(
+                        ExprKind::Field {
+                            expr: Box::new(e),
+                            label,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::As => {
                     self.bump();
                     let label = self.label()?;
                     let span = e.span.merge(self.prev_span());
-                    e = Expr::new(ExprKind::As { expr: Box::new(e), label }, span);
+                    e = Expr::new(
+                        ExprKind::As {
+                            expr: Box::new(e),
+                            label,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::LParen => {
                     // Application: `f(e, …)`.
@@ -379,7 +472,13 @@ impl Parser {
                     })?;
                     self.expect(&TokenKind::RParen)?;
                     let span = e.span.merge(self.prev_span());
-                    e = Expr::new(ExprKind::App { func: Box::new(e), args }, span);
+                    e = Expr::new(
+                        ExprKind::App {
+                            func: Box::new(e),
+                            args,
+                        },
+                        span,
+                    );
                 }
                 _ => return Ok(e),
             }
@@ -424,7 +523,7 @@ impl Parser {
         if let Some(name) = named {
             if matches!(self.peek2(), TokenKind::Comma | TokenKind::RParen) {
                 self.bump();
-                return Ok(Expr::new(ExprKind::Var(name.to_string()), span));
+                return Ok(Expr::new(ExprKind::Var(Symbol::intern(name)), span));
             }
         }
         self.expr()
@@ -455,13 +554,17 @@ impl Parser {
             }
             TokenKind::Ident(name) => {
                 self.bump();
+                let name = Symbol::intern(&name);
                 if self.at(&TokenKind::Of) && !self.suppress_inject {
                     // Variant injection `l of e`.
                     self.bump();
                     let e = self.expr()?;
                     let span = start.merge(e.span);
                     return Ok(Expr::new(
-                        ExprKind::Inject { label: name, expr: Box::new(e) },
+                        ExprKind::Inject {
+                            label: name,
+                            expr: Box::new(e),
+                        },
                         span,
                     ));
                 }
@@ -486,25 +589,53 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
                 Ok(Expr::new(
-                    ExprKind::Modify { expr: Box::new(e), label, value: Box::new(value) },
+                    ExprKind::Modify {
+                        expr: Box::new(e),
+                        label,
+                        value: Box::new(value),
+                    },
                     span,
                 ))
             }
             TokenKind::Join => {
                 let (l, r, span) = self.binary_form(start)?;
-                Ok(Expr::new(ExprKind::Join { left: Box::new(l), right: Box::new(r) }, span))
+                Ok(Expr::new(
+                    ExprKind::Join {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    span,
+                ))
             }
             TokenKind::Con => {
                 let (l, r, span) = self.binary_form(start)?;
-                Ok(Expr::new(ExprKind::Con { left: Box::new(l), right: Box::new(r) }, span))
+                Ok(Expr::new(
+                    ExprKind::Con {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    span,
+                ))
             }
             TokenKind::Union => {
                 let (l, r, span) = self.binary_form(start)?;
-                Ok(Expr::new(ExprKind::Union { left: Box::new(l), right: Box::new(r) }, span))
+                Ok(Expr::new(
+                    ExprKind::Union {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    span,
+                ))
             }
             TokenKind::Unionc => {
                 let (l, r, span) = self.binary_form(start)?;
-                Ok(Expr::new(ExprKind::Unionc { left: Box::new(l), right: Box::new(r) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unionc {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    span,
+                ))
             }
             TokenKind::Project => {
                 self.bump();
@@ -514,7 +645,13 @@ impl Parser {
                 let ty = self.type_expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
-                Ok(Expr::new(ExprKind::Project { expr: Box::new(e), ty }, span))
+                Ok(Expr::new(
+                    ExprKind::Project {
+                        expr: Box::new(e),
+                        ty,
+                    },
+                    span,
+                ))
             }
             TokenKind::Hom => {
                 self.bump();
@@ -549,7 +686,11 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
                 Ok(Expr::new(
-                    ExprKind::HomStar { f: Box::new(f), op: Box::new(op), set: Box::new(set) },
+                    ExprKind::HomStar {
+                        f: Box::new(f),
+                        op: Box::new(op),
+                        set: Box::new(set),
+                    },
                     span,
                 ))
             }
@@ -569,7 +710,13 @@ impl Parser {
                 let body = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
-                Ok(Expr::new(ExprKind::Rec { name, body: Box::new(body) }, span))
+                Ok(Expr::new(
+                    ExprKind::Rec {
+                        name,
+                        body: Box::new(body),
+                    },
+                    span,
+                ))
             }
             TokenKind::Dynamic => {
                 self.bump();
@@ -580,7 +727,13 @@ impl Parser {
                     let ty = self.type_expr()?;
                     self.expect(&TokenKind::RParen)?;
                     let span = start.merge(self.prev_span());
-                    return Ok(Expr::new(ExprKind::Coerce { expr: Box::new(e), ty }, span));
+                    return Ok(Expr::new(
+                        ExprKind::Coerce {
+                            expr: Box::new(e),
+                            ty,
+                        },
+                        span,
+                    ));
                 }
                 self.expect(&TokenKind::RParen)?;
                 let span = start.merge(self.prev_span());
@@ -646,7 +799,7 @@ impl Parser {
             let fields = items
                 .into_iter()
                 .enumerate()
-                .map(|(i, e)| (format!("#{}", i + 1), e))
+                .map(|(i, e)| (crate::symbol::tuple_label(i + 1), e))
                 .collect();
             return Ok(Expr::new(ExprKind::Record(fields), span));
         }
@@ -728,7 +881,13 @@ impl Parser {
         self.expect(&TokenKind::DArrow)?;
         let body = self.expr()?;
         let span = start.merge(body.span);
-        Ok(Expr::new(ExprKind::Lambda { params, body: Box::new(body) }, span))
+        Ok(Expr::new(
+            ExprKind::Lambda {
+                params,
+                body: Box::new(body),
+            },
+            span,
+        ))
     }
 
     fn if_expr(&mut self) -> Result<Expr, ParseError> {
@@ -787,7 +946,11 @@ impl Parser {
         }
         let span = start.merge(self.prev_span());
         Ok(Expr::new(
-            ExprKind::Case { expr: Box::new(scrutinee), arms, default },
+            ExprKind::Case {
+                expr: Box::new(scrutinee),
+                arms,
+                default,
+            },
             span,
         ))
     }
@@ -814,7 +977,11 @@ impl Parser {
         let pred = self.expr()?;
         let span = start.merge(pred.span);
         Ok(Expr::new(
-            ExprKind::Select { result: Box::new(result), generators, pred: Box::new(pred) },
+            ExprKind::Select {
+                result: Box::new(result),
+                generators,
+                pred: Box::new(pred),
+            },
             span,
         ))
     }
@@ -833,7 +1000,11 @@ impl Parser {
         self.eat(&TokenKind::End);
         let span = start.merge(self.prev_span());
         Ok(Expr::new(
-            ExprKind::Let { name, bound: Box::new(bound), body: Box::new(body) },
+            ExprKind::Let {
+                name,
+                bound: Box::new(bound),
+                body: Box::new(body),
+            },
             span,
         ))
     }
@@ -866,9 +1037,12 @@ impl Parser {
         let fields = items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| (format!("#{}", i + 1), t))
+            .map(|(i, t)| (crate::symbol::tuple_label(i + 1), t))
             .collect();
-        Ok(TypeExpr { kind: TypeExprKind::Record { row: None, fields }, span })
+        Ok(TypeExpr {
+            kind: TypeExprKind::Record { row: None, fields },
+            span,
+        })
     }
 
     fn type_atom(&mut self) -> Result<TypeExpr, ParseError> {
@@ -915,10 +1089,13 @@ impl Parser {
             }
             TokenKind::Rec => {
                 self.bump();
-                let var = self.ident()?;
+                let var = self.ident_str()?;
                 self.expect(&TokenKind::Dot)?;
                 let body = self.type_expr()?;
-                TypeExprKind::Rec { var, body: Box::new(body) }
+                TypeExprKind::Rec {
+                    var,
+                    body: Box::new(body),
+                }
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -962,13 +1139,19 @@ impl Parser {
                     self.bump();
                     self.bump();
                     self.expect(&TokenKind::RParen)?;
-                    row = Some(RowVar { name: v, desc: false });
+                    row = Some(RowVar {
+                        name: v,
+                        desc: false,
+                    });
                 }
                 TokenKind::DescVar(v) => {
                     self.bump();
                     self.bump();
                     self.expect(&TokenKind::RParen)?;
-                    row = Some(RowVar { name: v, desc: true });
+                    row = Some(RowVar {
+                        name: v,
+                        desc: true,
+                    });
                 }
                 _ => {}
             }
@@ -1007,10 +1190,9 @@ mod tests {
 
     #[test]
     fn parse_wealthy() {
-        let prog = parse_program(
-            "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;",
-        )
-        .unwrap();
+        let prog =
+            parse_program("fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;")
+                .unwrap();
         assert_eq!(prog.len(), 1);
         match &prog[0].kind {
             PhraseKind::Fun { name, params, body } => {
@@ -1059,9 +1241,8 @@ mod tests {
 
     #[test]
     fn parse_case_with_other() {
-        let e = expr(
-            "case x.Status of Employee of y => y.Extension, Consultant of y => y.Telephone",
-        );
+        let e =
+            expr("case x.Status of Employee of y => y.Extension, Consultant of y => y.Telephone");
         match e.kind {
             ExprKind::Case { arms, default, .. } => {
                 assert_eq!(arms.len(), 2);
@@ -1084,7 +1265,11 @@ mod tests {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
         let e = expr("1 + 2 * 3");
         match e.kind {
-            ExprKind::Binop { op: BinOp::Add, right, .. } => {
+            ExprKind::Binop {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(right.kind, ExprKind::Binop { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -1094,7 +1279,13 @@ mod tests {
         assert!(matches!(e.kind, ExprKind::Binop { op: BinOp::Gt, .. }));
         // andalso over comparison
         let e = expr("a = b andalso c = d");
-        assert!(matches!(e.kind, ExprKind::Binop { op: BinOp::Andalso, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binop {
+                op: BinOp::Andalso,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1136,8 +1327,14 @@ mod tests {
 
     #[test]
     fn parse_let_forms() {
-        assert!(matches!(expr("let x = 1 in x end").kind, ExprKind::Let { .. }));
-        assert!(matches!(expr("let val x = 1 in x end").kind, ExprKind::Let { .. }));
+        assert!(matches!(
+            expr("let x = 1 in x end").kind,
+            ExprKind::Let { .. }
+        ));
+        assert!(matches!(
+            expr("let val x = 1 in x end").kind,
+            ExprKind::Let { .. }
+        ));
         assert!(matches!(expr("let x = 1 in x").kind, ExprKind::Let { .. }));
     }
 
@@ -1278,12 +1475,18 @@ mod tests {
     #[test]
     fn parse_dynamic_forms() {
         assert!(matches!(expr("dynamic(x)").kind, ExprKind::MakeDynamic(_)));
-        assert!(matches!(expr("dynamic(x, int)").kind, ExprKind::Coerce { .. }));
+        assert!(matches!(
+            expr("dynamic(x, int)").kind,
+            ExprKind::Coerce { .. }
+        ));
     }
 
     #[test]
     fn parse_minus_forms() {
-        assert!(matches!(expr("-3").kind, ExprKind::Unop { op: UnOp::Neg, .. }));
+        assert!(matches!(
+            expr("-3").kind,
+            ExprKind::Unop { op: UnOp::Neg, .. }
+        ));
         let e = expr("f(g, -, 0)");
         match e.kind {
             ExprKind::App { args, .. } => {
@@ -1291,6 +1494,9 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(matches!(expr("a - b").kind, ExprKind::Binop { op: BinOp::Sub, .. }));
+        assert!(matches!(
+            expr("a - b").kind,
+            ExprKind::Binop { op: BinOp::Sub, .. }
+        ));
     }
 }

@@ -26,7 +26,11 @@ pub fn phrase_to_string(p: &Phrase) -> String {
     match &p.kind {
         PhraseKind::Val { name, expr } => format!("val {name} = {};", expr_to_string(expr)),
         PhraseKind::Fun { name, params, body } => {
-            format!("fun {name}({}) = {};", params.join(", "), expr_to_string(body))
+            format!(
+                "fun {name}({}) = {};",
+                params.join(", "),
+                expr_to_string(body)
+            )
         }
         PhraseKind::Expr(e) => format!("{};", expr_to_string(e)),
     }
@@ -37,14 +41,24 @@ fn prec(e: &ExprKind) -> u8 {
     use ExprKind::*;
     match e {
         Assign { .. } => 1,
-        Binop { op: BinOp::Orelse, .. } => 2,
-        Binop { op: BinOp::Andalso, .. } => 3,
+        Binop {
+            op: BinOp::Orelse, ..
+        } => 2,
+        Binop {
+            op: BinOp::Andalso, ..
+        } => 3,
         Binop {
             op: BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge,
             ..
         } => 4,
-        Binop { op: BinOp::Add | BinOp::Sub | BinOp::Concat, .. } => 5,
-        Binop { op: BinOp::Mul | BinOp::RealDiv | BinOp::Div | BinOp::Mod, .. } => 6,
+        Binop {
+            op: BinOp::Add | BinOp::Sub | BinOp::Concat,
+            ..
+        } => 5,
+        Binop {
+            op: BinOp::Mul | BinOp::RealDiv | BinOp::Div | BinOp::Mod,
+            ..
+        } => 6,
         Unop { .. } | Deref(_) => 7,
         Field { .. } | As { .. } | App { .. } => 8,
         // Sprawling forms print parenthesized except at statement level.
@@ -101,7 +115,11 @@ fn write_expr(out: &mut String, e: &Expr, _min_prec: u8) {
             }
             out.push(')');
         }
-        If { cond, then_branch, else_branch } => {
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.push_str("(if ");
             write_expr(out, cond, 0);
             out.push_str(" then ");
@@ -113,7 +131,10 @@ fn write_expr(out: &mut String, e: &Expr, _min_prec: u8) {
         Record(fields) => {
             // Tuples print back as tuples.
             let is_tuple = !fields.is_empty()
-                && fields.iter().enumerate().all(|(i, (l, _))| *l == format!("#{}", i + 1));
+                && fields
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (l, _))| *l == format!("#{}", i + 1));
             if is_tuple {
                 out.push('(');
                 for (i, (_, v)) in fields.iter().enumerate() {
@@ -151,7 +172,11 @@ fn write_expr(out: &mut String, e: &Expr, _min_prec: u8) {
             write_expr(out, expr, 0);
             out.push(')');
         }
-        Case { expr, arms, default } => {
+        Case {
+            expr,
+            arms,
+            default,
+        } => {
             out.push_str("(case ");
             write_expr(out, expr, 0);
             out.push_str(" of ");
@@ -237,7 +262,11 @@ fn write_expr(out: &mut String, e: &Expr, _min_prec: u8) {
             write_expr(out, body, 0);
             out.push_str(" end)");
         }
-        Select { result, generators, pred } => {
+        Select {
+            result,
+            generators,
+            pred,
+        } => {
             out.push_str("(select ");
             write_expr(out, result, 0);
             out.push_str(" where ");

@@ -19,7 +19,10 @@ impl Span {
 
     /// A zero-width span at `pos`.
     pub fn point(pos: usize) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.

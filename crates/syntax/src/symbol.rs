@@ -1,0 +1,285 @@
+//! Interned identifiers and record/variant labels.
+//!
+//! A [`Symbol`] wraps a `&'static str` owned by a global, append-only
+//! intern table. The table deduplicates, so equal strings always yield
+//! the *same* allocation — equality is a pointer compare, and `as_str`,
+//! `Ord`, `Hash`, `Display` are all lock-free (the interner's lock is
+//! taken only inside [`Symbol::intern`]). The total order is the
+//! *string* order (with a pointer fast path for equality), so
+//! collections sorted by `Symbol` — record fields, label maps — iterate
+//! in the same canonical label order the paper's notation uses.
+//!
+//! Interned strings are leaked, which is the standard trade for
+//! `&'static str` access: label universes are bounded by the program
+//! text and schema, not the data.
+//!
+//! `Symbol` implements `Deref<Target = str>` and `Borrow<str>`, so most
+//! string-ish call sites (`starts_with`, map lookups by `&str`,
+//! `format!`) keep working unchanged. `Hash` hashes the *string* (to
+//! stay consistent with `Borrow<str>` in hashed maps); hot paths that
+//! want a cheap integer key use [`Symbol::id`] explicitly.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: copyable, pointer-comparable for equality,
+/// string-comparable for order.
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
+
+fn interner() -> &'static RwLock<HashSet<&'static str>> {
+    static INTERNER: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol (idempotent: equal strings get
+    /// pointer-identical symbols for the lifetime of the process).
+    pub fn intern(s: &str) -> Symbol {
+        let lock = interner();
+        if let Some(&interned) = lock.read().expect("interner poisoned").get(s) {
+            return Symbol(interned);
+        }
+        let mut w = lock.write().expect("interner poisoned");
+        if let Some(&interned) = w.get(s) {
+            return Symbol(interned);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        w.insert(leaked);
+        Symbol(leaked)
+    }
+
+    /// The interned text (no lock: the pointer is carried inline).
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// A process-local integer key — the interned allocation's address.
+    /// Two symbols are equal iff their ids are equal (the interner
+    /// dedups), so this is the cheap hash/equality key for hot paths.
+    pub fn id(self) -> usize {
+        self.0.as_ptr() as usize
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer identity: the interner guarantees equal strings share
+        // one allocation.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Symbol {}
+
+impl Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Pointer fast path first; distinct allocations never hold
+        // equal strings.
+        if std::ptr::eq(self.0, other.0) {
+            Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // String hash, required for `Borrow<str>` consistency in maps.
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.0, f)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&Symbol> for Symbol {
+    fn from(s: &Symbol) -> Symbol {
+        *s
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.0
+    }
+}
+
+impl Default for Symbol {
+    fn default() -> Symbol {
+        Symbol::intern("")
+    }
+}
+
+/// Tuple label `#1`, `#2`, … — the first few are cached so tuple
+/// construction never formats.
+pub fn tuple_label(index_from_1: usize) -> Symbol {
+    const CACHED: usize = 12;
+    static CACHE: OnceLock<[Symbol; CACHED]> = OnceLock::new();
+    let cache =
+        CACHE.get_or_init(|| std::array::from_fn(|i| Symbol::intern(&format!("#{}", i + 1))));
+    if (1..=CACHED).contains(&index_from_1) {
+        cache[index_from_1 - 1]
+    } else {
+        Symbol::intern(&format!("#{index_from_1}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let a = Symbol::intern("Name");
+        let b = Symbol::intern("Name");
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        assert_ne!(a, Symbol::intern("Age"));
+    }
+
+    #[test]
+    fn order_is_string_order() {
+        let mut syms = [
+            Symbol::intern("zeta"),
+            Symbol::intern("Alpha"),
+            Symbol::intern("beta"),
+        ];
+        syms.sort();
+        let shown: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        assert_eq!(shown, vec!["Alpha", "beta", "zeta"]);
+    }
+
+    #[test]
+    fn string_like_usage() {
+        let s = Symbol::intern("#1");
+        assert!(s.starts_with('#'));
+        assert_eq!(&s[1..], "1");
+        assert_eq!(format!("{s}"), "#1");
+        assert_eq!(s, "#1");
+        assert_eq!(s, "#1".to_string());
+    }
+
+    #[test]
+    fn map_lookup_by_str() {
+        use std::collections::{BTreeMap, HashMap};
+        let mut bt = BTreeMap::new();
+        bt.insert(Symbol::intern("Name"), 1);
+        assert_eq!(bt.get("Name"), Some(&1));
+        let mut hm = HashMap::new();
+        hm.insert(Symbol::intern("Name"), 2);
+        assert_eq!(hm.get("Name"), Some(&2));
+    }
+
+    #[test]
+    fn tuple_labels() {
+        assert_eq!(tuple_label(1), "#1");
+        assert_eq!(tuple_label(12), "#12");
+        assert_eq!(tuple_label(40), "#40");
+    }
+
+    #[test]
+    fn empty_symbol_is_distinct() {
+        let e = Symbol::default();
+        assert_eq!(e, "");
+        assert_ne!(e, Symbol::intern("x"));
+        assert_eq!(e, Symbol::intern(""));
+    }
+
+    #[test]
+    fn cross_thread_interning() {
+        let handles: Vec<_> = (0..4)
+            .map(|i| std::thread::spawn(move || Symbol::intern(&format!("t{}", i % 2)).id()))
+            .collect();
+        let ids: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(ids[1], ids[3]);
+    }
+}

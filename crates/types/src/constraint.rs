@@ -42,13 +42,21 @@ impl Constraint {
     /// Render in the paper's `where`-clause notation.
     pub fn show(&self, namer: &mut TypeNamer) -> String {
         match self {
-            Constraint::Lub { result, left, right } => format!(
+            Constraint::Lub {
+                result,
+                left,
+                right,
+            } => format!(
                 "{} = {} lub {}",
                 show_type_with(result, namer),
                 show_type_with(left, namer),
                 show_type_with(right, namer)
             ),
-            Constraint::Glb { result, left, right } => format!(
+            Constraint::Glb {
+                result,
+                left,
+                right,
+            } => format!(
                 "{} = {} glb {}",
                 show_type_with(result, namer),
                 show_type_with(left, namer),
@@ -65,7 +73,16 @@ impl Constraint {
     /// All types mentioned (for free-variable collection).
     pub fn types(&self) -> Vec<Ty> {
         match self {
-            Constraint::Lub { result, left, right } | Constraint::Glb { result, left, right } => {
+            Constraint::Lub {
+                result,
+                left,
+                right,
+            }
+            | Constraint::Glb {
+                result,
+                left,
+                right,
+            } => {
                 vec![result.clone(), left.clone(), right.clone()]
             }
             Constraint::Sub { sub, sup } => vec![sub.clone(), sup.clone()],
@@ -107,7 +124,11 @@ pub fn solve(
 
 fn attempt(c: &Constraint, gen: &VarGen, level: u32, force: bool) -> Result<Attempt, TypeError> {
     match c {
-        Constraint::Lub { result, left, right } => {
+        Constraint::Lub {
+            result,
+            left,
+            right,
+        } => {
             // Equal operands: τ ⊔ τ = τ, no grounding needed.
             if let Partial::Known(true) = type_eq(left, right) {
                 unify(result, left)?;
@@ -126,7 +147,11 @@ fn attempt(c: &Constraint, gen: &VarGen, level: u32, force: bool) -> Result<Atte
                 Partial::Unknown => Ok(Attempt::Pending),
             }
         }
-        Constraint::Glb { result, left, right } => {
+        Constraint::Glb {
+            result,
+            left,
+            right,
+        } => {
             if let Partial::Known(true) = type_eq(left, right) {
                 unify(result, left)?;
                 return Ok(Attempt::Solved);
@@ -199,16 +224,16 @@ fn force_bound(
                 for (l, ta) in fa {
                     match fb.get(l) {
                         None => {
-                            out.insert(l.clone(), ta.clone());
+                            out.insert(*l, ta.clone());
                         }
                         Some(tb) => {
-                            out.insert(l.clone(), force_bound(ta, tb, true, gen, level)?);
+                            out.insert(*l, force_bound(ta, tb, true, gen, level)?);
                         }
                     }
                 }
                 for (l, tb) in fb {
                     if !fa.contains_key(l) {
-                        out.insert(l.clone(), tb.clone());
+                        out.insert(*l, tb.clone());
                     }
                 }
                 Ok(t_record(out))
@@ -218,7 +243,7 @@ fn force_bound(
                     if let Some(tb) = fb.get(l) {
                         // A failed field bound just drops the label.
                         if let Ok(t) = force_bound(ta, tb, false, gen, level) {
-                            out.insert(l.clone(), t);
+                            out.insert(*l, t);
                         }
                     }
                 }
@@ -231,7 +256,7 @@ fn force_bound(
             }
             let mut out = std::collections::BTreeMap::new();
             for (l, ta) in fa {
-                out.insert(l.clone(), force_bound(ta, &fb[l], upper, gen, level)?);
+                out.insert(*l, force_bound(ta, &fb[l], upper, gen, level)?);
             }
             Ok(t_variant(out))
         }
@@ -272,15 +297,15 @@ fn force_two_vars(
         (Kind::Variant { fields: fx, .. }, Kind::Variant { fields: fy, .. }) => {
             // Both instances take the union of the two label sets so the
             // (identical-label-set) variant bound exists.
-            let mut ix: BTreeMap<String, Ty> = BTreeMap::new();
-            let mut iy: BTreeMap<String, Ty> = BTreeMap::new();
+            let mut ix: BTreeMap<crate::ty::Label, Ty> = BTreeMap::new();
+            let mut iy: BTreeMap<crate::ty::Label, Ty> = BTreeMap::new();
             for (l, t) in &fx {
-                ix.insert(l.clone(), t.clone());
-                iy.insert(l.clone(), fy.get(l).cloned().unwrap_or_else(|| t.clone()));
+                ix.insert(*l, t.clone());
+                iy.insert(*l, fy.get(l).cloned().unwrap_or_else(|| t.clone()));
             }
             for (l, t) in &fy {
-                iy.insert(l.clone(), t.clone());
-                ix.entry(l.clone()).or_insert_with(|| t.clone());
+                iy.insert(*l, t.clone());
+                ix.entry(*l).or_insert_with(|| t.clone());
             }
             let ax = t_variant(ix);
             let by = t_variant(iy);
@@ -340,10 +365,10 @@ fn force_var_against(
             for (l, ot) in om {
                 match fields.get(l) {
                     Some(ft) => {
-                        fs.insert(l.clone(), ft.clone());
+                        fs.insert(*l, ft.clone());
                     }
                     None => {
-                        fs.insert(l.clone(), ot.clone());
+                        fs.insert(*l, ot.clone());
                     }
                 }
             }
@@ -399,7 +424,11 @@ mod tests {
         let a = gen.fresh_ty(Kind::Desc, 0);
         let b = gen.fresh_ty(Kind::Desc, 0);
         let r = gen.fresh_ty(Kind::Desc, 0);
-        let mut cs = vec![Constraint::Lub { result: r, left: a, right: b }];
+        let mut cs = vec![Constraint::Lub {
+            result: r,
+            left: a,
+            right: b,
+        }];
         solve(&mut cs, &gen, 0, false).unwrap();
         assert_eq!(cs.len(), 1);
     }
@@ -409,7 +438,11 @@ mod tests {
         let gen = setup();
         let a = gen.fresh_ty(Kind::Desc, 0);
         let r = gen.fresh_ty(Kind::Desc, 0);
-        let mut cs = vec![Constraint::Lub { result: r.clone(), left: a.clone(), right: a.clone() }];
+        let mut cs = vec![Constraint::Lub {
+            result: r.clone(),
+            left: a.clone(),
+            right: a.clone(),
+        }];
         solve(&mut cs, &gen, 0, false).unwrap();
         assert!(cs.is_empty());
         assert_eq!(type_eq(&resolve(&r), &resolve(&a)), Partial::Known(true));
@@ -420,11 +453,14 @@ mod tests {
         // lub([Pname:string, P#:int], α ⊇ {P#:int}) forced:
         // α := [P#:int]; result = [Pname:string, P#:int].
         let gen = setup();
-        let alpha = gen.fresh_ty(Kind::record([("P#".to_string(), t_int())], true), 0);
+        let alpha = gen.fresh_ty(Kind::record([("P#".into(), t_int())], true), 0);
         let parts = t_record([("Pname".into(), t_str()), ("P#".into(), t_int())]);
         let r = gen.fresh_ty(Kind::Desc, 0);
-        let mut cs =
-            vec![Constraint::Lub { result: r.clone(), left: parts.clone(), right: alpha }];
+        let mut cs = vec![Constraint::Lub {
+            result: r.clone(),
+            left: parts.clone(),
+            right: alpha,
+        }];
         solve(&mut cs, &gen, 0, true).unwrap();
         assert!(cs.is_empty());
         assert_eq!(type_eq(&resolve(&r), &parts), Partial::Known(true));
@@ -438,13 +474,13 @@ mod tests {
             ("BasePart".into(), t_record([("Cost".into(), t_int())])),
             ("CompositePart".into(), t_int()),
         ]);
-        let alpha = gen.fresh_ty(
-            Kind::variant([("BasePart".to_string(), t_record([]))], true),
-            0,
-        );
+        let alpha = gen.fresh_ty(Kind::variant([("BasePart".into(), t_record([]))], true), 0);
         let r = gen.fresh_ty(Kind::Desc, 0);
-        let mut cs =
-            vec![Constraint::Lub { result: r.clone(), left: full.clone(), right: alpha }];
+        let mut cs = vec![Constraint::Lub {
+            result: r.clone(),
+            left: full.clone(),
+            right: alpha,
+        }];
         solve(&mut cs, &gen, 0, true).unwrap();
         assert!(cs.is_empty());
         assert_eq!(type_eq(&resolve(&r), &full), Partial::Known(true));
@@ -469,7 +505,11 @@ mod tests {
         let r = gen.fresh_ty(Kind::Desc, 0);
         let student = t_record([("Name".into(), t_str()), ("Advisor".into(), t_int())]);
         let employee = t_record([("Name".into(), t_str()), ("Salary".into(), t_int())]);
-        let mut cs = vec![Constraint::Glb { result: r.clone(), left: student, right: employee }];
+        let mut cs = vec![Constraint::Glb {
+            result: r.clone(),
+            left: student,
+            right: employee,
+        }];
         solve(&mut cs, &gen, 0, false).unwrap();
         assert!(cs.is_empty());
         match &*resolve(&r) {
@@ -530,7 +570,11 @@ mod tests {
         let a = gen.fresh_ty(Kind::Desc, 0);
         let b = gen.fresh_ty(Kind::Desc, 0);
         let r = gen.fresh_ty(Kind::Desc, 0);
-        let c = Constraint::Lub { result: r, left: a, right: b };
+        let c = Constraint::Lub {
+            result: r,
+            left: a,
+            right: b,
+        };
         assert_eq!(c.show(&mut namer), "\"a = \"b lub \"c");
     }
 }

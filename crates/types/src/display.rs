@@ -159,15 +159,15 @@ fn write_ty_guarded(
     }
 }
 
-fn is_tuple(fields: &std::collections::BTreeMap<String, Ty>) -> bool {
+fn is_tuple(fields: &std::collections::BTreeMap<crate::ty::Label, Ty>) -> bool {
     !fields.is_empty()
         && fields.keys().all(|l| l.starts_with('#'))
-        && (1..=fields.len()).all(|i| fields.contains_key(&format!("#{i}")))
+        && (1..=fields.len()).all(|i| fields.contains_key(format!("#{i}").as_str()))
 }
 
 fn write_fields<'a>(
     out: &mut String,
-    fields: impl Iterator<Item = (&'a String, &'a Ty)>,
+    fields: impl Iterator<Item = (&'a crate::ty::Label, &'a Ty)>,
     namer: &mut TypeNamer,
     stack: &mut Vec<u64>,
 ) {
@@ -256,7 +256,10 @@ mod tests {
         assert_eq!(show_type(&t_int()), "int");
         assert_eq!(show_type(&t_set(t_str())), "{string}");
         assert_eq!(
-            show_type(&t_record([("Name".into(), t_str()), ("Age".into(), t_int())])),
+            show_type(&t_record([
+                ("Name".into(), t_str()),
+                ("Age".into(), t_int())
+            ])),
             "[Age:int,Name:string]"
         );
         assert_eq!(show_type(&t_ref(t_int())), "ref(int)");
@@ -286,7 +289,7 @@ mod tests {
         let b = gen.fresh_ty(Kind::Desc, 0);
         let row = gen.fresh_ty(
             Kind::record(
-                [("Name".to_string(), b.clone()), ("Salary".to_string(), t_int())],
+                [("Name".into(), b.clone()), ("Salary".into(), t_int())],
                 true,
             ),
             0,
@@ -298,10 +301,7 @@ mod tests {
     #[test]
     fn show_variant_kinded_var() {
         let gen = VarGen::new();
-        let v = gen.fresh_ty(
-            Kind::variant([("Consultant".to_string(), t_int())], false),
-            0,
-        );
+        let v = gen.fresh_ty(Kind::variant([("Consultant".into(), t_int())], false), 0);
         assert_eq!(show_type(&v), "<('a) Consultant:int>");
     }
 
@@ -309,7 +309,10 @@ mod tests {
     fn show_recursive_type() {
         let body = t_variant([
             ("Nil".into(), t_unit()),
-            ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(7))])),
+            (
+                "Cons".into(),
+                t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(7))]),
+            ),
         ]);
         let rec: Ty = std::rc::Rc::new(Type::Rec(7, body));
         assert_eq!(show_type(&rec), "rec v7 . <Cons:int * v7,Nil:unit>");

@@ -29,7 +29,10 @@ pub enum TypeError {
     UnboundRecVar(String),
     /// `case` without `other` applied to a variant with extra branches, or
     /// an arm label missing from the scrutinee type.
-    CaseMismatch { scrutinee: String, labels: Vec<String> },
+    CaseMismatch {
+        scrutinee: String,
+        labels: Vec<String>,
+    },
     /// `rec(x, e)` whose body is not a function.
     RecNotFunction,
     /// A type annotation used a row variable where a closed type is needed.
@@ -57,16 +60,25 @@ impl fmt::Display for TypeError {
                 )
             }
             Occurs { var, ty } => {
-                write!(f, "occurs check: `{var}` would make the infinite type `{ty}`")
+                write!(
+                    f,
+                    "occurs check: `{var}` would make the infinite type `{ty}`"
+                )
             }
             LubUndefined { left, right } => {
-                write!(f, "`{left}` and `{right}` are inconsistent: no least upper bound")
+                write!(
+                    f,
+                    "`{left}` and `{right}` are inconsistent: no least upper bound"
+                )
             }
             GlbUndefined { left, right } => {
                 write!(f, "`{left}` and `{right}` have no greatest lower bound")
             }
             NotSubstructure { sub, sup } => {
-                write!(f, "`{sub}` is not a substructure of `{sup}` (projection impossible)")
+                write!(
+                    f,
+                    "`{sub}` is not a substructure of `{sup}` (projection impossible)"
+                )
             }
             UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
             UnboundRecVar(v) => write!(f, "unbound recursive type variable `{v}`"),
@@ -93,8 +105,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TypeError::Mismatch { left: "int".into(), right: "bool".into() };
-        assert_eq!(e.to_string(), "type mismatch: cannot unify `int` with `bool`");
+        let e = TypeError::Mismatch {
+            left: "int".into(),
+            right: "bool".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "type mismatch: cannot unify `int` with `bool`"
+        );
         let e = TypeError::UnboundVariable("x".into());
         assert!(e.to_string().contains("unbound variable"));
     }

@@ -23,12 +23,14 @@ use crate::ty::{
 };
 use crate::unify::{require_desc, unify};
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, Phrase, PhraseKind, UnOp};
+use machiavelli_syntax::symbol::Symbol;
 use std::rc::Rc;
 
-/// A lexically scoped type environment.
+/// A lexically scoped type environment, keyed by interned symbols so
+/// lookups compare interned-pointer ids, not string contents.
 #[derive(Debug, Clone, Default)]
 pub struct TypeEnv {
-    bindings: Vec<(String, Scheme)>,
+    bindings: Vec<(Symbol, Scheme)>,
 }
 
 impl TypeEnv {
@@ -37,7 +39,7 @@ impl TypeEnv {
     }
 
     /// Push a binding (shadowing any previous one).
-    pub fn bind(&mut self, name: impl Into<String>, scheme: Scheme) {
+    pub fn bind(&mut self, name: impl Into<Symbol>, scheme: Scheme) {
         self.bindings.push((name.into(), scheme));
     }
 
@@ -49,13 +51,18 @@ impl TypeEnv {
     }
 
     /// Look up a name (innermost binding wins).
-    pub fn lookup(&self, name: &str) -> Option<&Scheme> {
-        self.bindings.iter().rev().find(|(n, _)| n == name).map(|(_, s)| s)
+    pub fn lookup(&self, name: impl Into<Symbol>) -> Option<&Scheme> {
+        let name = name.into();
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n.id() == name.id())
+            .map(|(_, s)| s)
     }
 
     /// Iterate over all bindings (outermost first).
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Scheme)> {
-        self.bindings.iter().map(|(n, s)| (n.as_str(), s))
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Scheme)> {
+        self.bindings.iter().map(|(n, s)| (*n, s))
     }
 }
 
@@ -72,7 +79,7 @@ pub struct Inferencer {
 #[derive(Debug, Clone)]
 pub struct PhraseType {
     /// The name bound (`it` for bare expressions).
-    pub name: String,
+    pub name: Symbol,
     /// The (possibly conditional) scheme entered into the environment.
     pub scheme: Scheme,
 }
@@ -85,7 +92,10 @@ impl Inferencer {
     /// An inferencer whose variable ids continue from `start` (see
     /// [`VarGen::starting_at`]).
     pub fn starting_at(start: u64) -> Self {
-        Inferencer { gen: VarGen::starting_at(start), ..Self::default() }
+        Inferencer {
+            gen: VarGen::starting_at(start),
+            ..Self::default()
+        }
     }
 
     fn fresh(&self, kind: Kind) -> Ty {
@@ -131,11 +141,11 @@ impl Inferencer {
             "applyc",
             Scheme {
                 vars: vec![dom.clone(), arg, out],
-                constraints: vec![Constraint::Sub { sub: dom_ty.clone(), sup: arg_ty.clone() }],
-                body: t_arrow(
-                    t_tuple([t_arrow(dom_ty, out_ty.clone()), arg_ty]),
-                    out_ty,
-                ),
+                constraints: vec![Constraint::Sub {
+                    sub: dom_ty.clone(),
+                    sup: arg_ty.clone(),
+                }],
+                body: t_arrow(t_tuple([t_arrow(dom_ty, out_ty.clone()), arg_ty]), out_ty),
             },
         );
         env
@@ -168,22 +178,34 @@ impl Inferencer {
         match &phrase.kind {
             PhraseKind::Val { name, expr } => {
                 let scheme = self.infer_top(env, expr, None)?;
-                env.bind(name.clone(), scheme.clone());
-                Ok(PhraseType { name: name.clone(), scheme })
+                env.bind(*name, scheme.clone());
+                Ok(PhraseType {
+                    name: *name,
+                    scheme,
+                })
             }
             PhraseKind::Fun { name, params, body } => {
                 let lambda = Expr::new(
-                    ExprKind::Lambda { params: params.clone(), body: Box::new(body.clone()) },
+                    ExprKind::Lambda {
+                        params: params.clone(),
+                        body: Box::new(body.clone()),
+                    },
                     phrase.span,
                 );
-                let scheme = self.infer_top(env, &lambda, Some(name))?;
-                env.bind(name.clone(), scheme.clone());
-                Ok(PhraseType { name: name.clone(), scheme })
+                let scheme = self.infer_top(env, &lambda, Some(*name))?;
+                env.bind(*name, scheme.clone());
+                Ok(PhraseType {
+                    name: *name,
+                    scheme,
+                })
             }
             PhraseKind::Expr(expr) => {
                 let scheme = self.infer_top(env, expr, None)?;
                 env.bind("it", scheme.clone());
-                Ok(PhraseType { name: "it".into(), scheme })
+                Ok(PhraseType {
+                    name: Symbol::intern("it"),
+                    scheme,
+                })
             }
         }
     }
@@ -194,7 +216,7 @@ impl Inferencer {
         &mut self,
         env: &mut TypeEnv,
         expr: &Expr,
-        rec_name: Option<&str>,
+        rec_name: Option<Symbol>,
     ) -> Result<Scheme, TypeError> {
         self.level = 1;
         let mut popped = 0;
@@ -220,7 +242,11 @@ impl Inferencer {
                 // conditions for display.
                 solve(&mut self.constraints, &self.gen, self.level, true)?;
                 let residual = self.constraints_mentioning(&t);
-                Ok(Scheme { vars: Vec::new(), constraints: residual, body: t })
+                Ok(Scheme {
+                    vars: Vec::new(),
+                    constraints: residual,
+                    body: t,
+                })
             }
         })();
         env.pop(popped);
@@ -257,15 +283,20 @@ impl Inferencer {
             Bool(_) => Ok(t_bool()),
             Var(name) => {
                 let scheme = env
-                    .lookup(name)
-                    .ok_or_else(|| TypeError::UnboundVariable(name.clone()))?
+                    .lookup(*name)
+                    .ok_or_else(|| TypeError::UnboundVariable(name.to_string()))?
                     .clone();
-                Ok(instantiate(&scheme, &self.gen, self.level, &mut self.constraints))
+                Ok(instantiate(
+                    &scheme,
+                    &self.gen,
+                    self.level,
+                    &mut self.constraints,
+                ))
             }
             Lambda { params, body } => {
                 let param_tys: Vec<Ty> = params.iter().map(|_| self.fresh(Kind::Any)).collect();
                 for (p, t) in params.iter().zip(&param_tys) {
-                    env.bind(p.clone(), Scheme::mono(t.clone()));
+                    env.bind(*p, Scheme::mono(t.clone()));
                 }
                 let body_ty = self.infer_expr(env, body);
                 env.pop(params.len());
@@ -292,7 +323,11 @@ impl Inferencer {
                 unify(&f_ty, &t_arrow(dom, out.clone()))?;
                 Ok(out)
             }
-            If { cond, then_branch, else_branch } => {
+            If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.infer_expr(env, cond)?;
                 unify(&c, &t_bool())?;
                 let t = self.infer_expr(env, then_branch)?;
@@ -303,40 +338,43 @@ impl Inferencer {
             Record(fields) => {
                 let mut tys = Vec::with_capacity(fields.len());
                 for (l, fe) in fields {
-                    tys.push((l.clone(), self.infer_expr(env, fe)?));
+                    tys.push((*l, self.infer_expr(env, fe)?));
                 }
                 Ok(t_record(tys))
             }
             Field { expr, label } => {
                 let t = self.infer_expr(env, expr)?;
                 let field_ty = self.fresh(Kind::Any);
-                let rec_var =
-                    self.fresh(Kind::record([(label.clone(), field_ty.clone())], false));
+                let rec_var = self.fresh(Kind::record([(*label, field_ty.clone())], false));
                 unify(&t, &rec_var)?;
                 Ok(field_ty)
             }
             Modify { expr, label, value } => {
                 let t = self.infer_expr(env, expr)?;
                 let v = self.infer_expr(env, value)?;
-                let rec_var = self.fresh(Kind::record([(label.clone(), v)], false));
+                let rec_var = self.fresh(Kind::record([(*label, v)], false));
                 unify(&t, &rec_var)?;
                 Ok(t)
             }
             Inject { label, expr } => {
                 let t = self.infer_expr(env, expr)?;
-                Ok(self.fresh(Kind::variant([(label.clone(), t)], false)))
+                Ok(self.fresh(Kind::variant([(*label, t)], false)))
             }
-            Case { expr, arms, default } => {
+            Case {
+                expr,
+                arms,
+                default,
+            } => {
                 let scrut = self.infer_expr(env, expr)?;
                 let result = self.fresh(Kind::Any);
                 let mut arm_fields = Vec::with_capacity(arms.len());
                 for arm in arms {
                     let payload = self.fresh(Kind::Any);
-                    env.bind(arm.var.clone(), Scheme::mono(payload.clone()));
+                    env.bind(arm.var, Scheme::mono(payload.clone()));
                     let body_ty = self.infer_expr(env, &arm.body);
                     env.pop(1);
                     unify(&body_ty?, &result)?;
-                    arm_fields.push((arm.label.clone(), payload));
+                    arm_fields.push((arm.label, payload));
                 }
                 match default {
                     None => {
@@ -357,7 +395,7 @@ impl Inferencer {
             As { expr, label } => {
                 let t = self.infer_expr(env, expr)?;
                 let payload = self.fresh(Kind::Any);
-                let var = self.fresh(Kind::variant([(label.clone(), payload.clone())], false));
+                let var = self.fresh(Kind::variant([(*label, payload.clone())], false));
                 unify(&t, &var)?;
                 Ok(payload)
             }
@@ -404,7 +442,10 @@ impl Inferencer {
                 let f_ty = self.infer_expr(env, f)?;
                 unify(&f_ty, &t_arrow(elem, acc.clone()))?;
                 let op_ty = self.infer_expr(env, op)?;
-                unify(&op_ty, &t_arrow(t_tuple([acc.clone(), acc.clone()]), acc.clone()))?;
+                unify(
+                    &op_ty,
+                    &t_arrow(t_tuple([acc.clone(), acc.clone()]), acc.clone()),
+                )?;
                 let z_ty = self.infer_expr(env, z)?;
                 unify(&z_ty, &acc)?;
                 Ok(acc)
@@ -417,7 +458,10 @@ impl Inferencer {
                 let f_ty = self.infer_expr(env, f)?;
                 unify(&f_ty, &t_arrow(elem, acc.clone()))?;
                 let op_ty = self.infer_expr(env, op)?;
-                unify(&op_ty, &t_arrow(t_tuple([acc.clone(), acc.clone()]), acc.clone()))?;
+                unify(
+                    &op_ty,
+                    &t_arrow(t_tuple([acc.clone(), acc.clone()]), acc.clone()),
+                )?;
                 Ok(acc)
             }
             Ref(inner) => {
@@ -442,7 +486,11 @@ impl Inferencer {
                 require_desc(&l)?;
                 require_desc(&r)?;
                 let witness = self.fresh(Kind::Desc);
-                self.constraints.push(Constraint::Lub { result: witness, left: l, right: r });
+                self.constraints.push(Constraint::Lub {
+                    result: witness,
+                    left: l,
+                    right: r,
+                });
                 Ok(t_bool())
             }
             Join { left, right } => {
@@ -474,17 +522,21 @@ impl Inferencer {
                 } else {
                     Scheme::mono(self.infer_expr(env, bound)?)
                 };
-                env.bind(name.clone(), scheme);
+                env.bind(*name, scheme);
                 let out = self.infer_expr(env, body);
                 env.pop(1);
                 out
             }
-            Select { result, generators, pred } => {
+            Select {
+                result,
+                generators,
+                pred,
+            } => {
                 for g in generators {
                     let src = self.infer_expr(env, &g.source)?;
                     let elem = self.fresh(Kind::Desc);
                     unify(&src, &t_set(elem.clone()))?;
-                    env.bind(g.var.clone(), Scheme::mono(elem));
+                    env.bind(g.var, Scheme::mono(elem));
                 }
                 let out = (|| {
                     let p = self.infer_expr(env, pred)?;
@@ -529,7 +581,7 @@ impl Inferencer {
                     return Err(TypeError::RecNotFunction);
                 }
                 let placeholder = self.fresh(Kind::Any);
-                env.bind(name.clone(), Scheme::mono(placeholder.clone()));
+                env.bind(*name, Scheme::mono(placeholder.clone()));
                 let t = self.infer_expr(env, body);
                 env.pop(1);
                 unify(&placeholder, &t?)?;
@@ -570,10 +622,8 @@ impl Inferencer {
                 self.sub_propagate(d, &s)
             }
             Type::Record(fields) => {
-                let holes: Vec<(String, Ty)> = fields
-                    .keys()
-                    .map(|l| (l.clone(), self.fresh(Kind::Any)))
-                    .collect();
+                let holes: Vec<(crate::ty::Label, Ty)> =
+                    fields.keys().map(|l| (*l, self.fresh(Kind::Any))).collect();
                 let var = self.fresh(Kind::Record {
                     fields: holes.iter().cloned().collect(),
                     desc: true,
@@ -587,10 +637,8 @@ impl Inferencer {
             Type::Variant(fields) => {
                 // Variant labels are preserved by the ordering: the source
                 // must be a variant with exactly these labels.
-                let holes: Vec<(String, Ty)> = fields
-                    .keys()
-                    .map(|l| (l.clone(), self.fresh(Kind::Any)))
-                    .collect();
+                let holes: Vec<(crate::ty::Label, Ty)> =
+                    fields.keys().map(|l| (*l, self.fresh(Kind::Any))).collect();
                 unify(sup, &t_variant(holes.clone()))?;
                 for (l, hole) in &holes {
                     self.sub_propagate(&fields[l], hole)?;
@@ -598,7 +646,10 @@ impl Inferencer {
                 Ok(())
             }
             Type::Rec(..) | Type::RecVar(_) | Type::Var(_) => {
-                self.constraints.push(Constraint::Sub { sub: sub.clone(), sup: sup.clone() });
+                self.constraints.push(Constraint::Sub {
+                    sub: sub.clone(),
+                    sup: sup.clone(),
+                });
                 Ok(())
             }
             Type::Arrow(..) => Err(TypeError::NotDescription(crate::display::show_type(&sub))),
@@ -711,7 +762,11 @@ pub fn infer_program(src: &str) -> Result<Vec<PhraseType>, String> {
     let mut env = inferencer.builtin_env();
     let mut out = Vec::with_capacity(program.len());
     for phrase in &program {
-        out.push(inferencer.infer_phrase(&mut env, phrase).map_err(|e| e.to_string())?);
+        out.push(
+            inferencer
+                .infer_phrase(&mut env, phrase)
+                .map_err(|e| e.to_string())?,
+        );
     }
     Ok(out)
 }
@@ -752,9 +807,8 @@ mod tests {
 
     #[test]
     fn wealthy_example_from_intro() {
-        let shown = infer_last(
-            "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;",
-        );
+        let shown =
+            infer_last("fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;");
         assert_eq!(shown, "{[(\"a) Name:\"b,Salary:int]} -> {\"b}");
     }
 
@@ -802,9 +856,8 @@ mod tests {
 
     #[test]
     fn project_example() {
-        let shown = infer_last(
-            "project([Name=\"Joe\", Age=21, Salary=22340], [Name:string, Salary:int]);",
-        );
+        let shown =
+            infer_last("project([Name=\"Joe\", Age=21, Salary=22340], [Name:string, Salary:int]);");
         assert_eq!(shown, "[Name:string,Salary:int]");
     }
 
@@ -861,7 +914,10 @@ mod tests {
 
     #[test]
     fn references_and_assignment() {
-        assert_eq!(infer_last("val d = ref([Building=45]);"), "ref([Building:int])");
+        assert_eq!(
+            infer_last("val d = ref([Building=45]);"),
+            "ref([Building:int])"
+        );
         assert_eq!(
             infer_last("val d = ref([Building=45]); !d;"),
             "[Building:int]"
@@ -885,9 +941,7 @@ mod tests {
 
     #[test]
     fn case_with_other_keeps_row_open() {
-        let shown = infer_last(
-            "fun isVal(x) = (case x of Value of v => true, other => false);",
-        );
+        let shown = infer_last("fun isVal(x) = (case x of Value of v => true, other => false);");
         assert_eq!(shown, "<('a) Value:'b> -> bool");
     }
 
@@ -899,9 +953,7 @@ mod tests {
 
     #[test]
     fn unionc_glb() {
-        let shown = infer_last(
-            "unionc({[Name=\"a\", Advisor=1]}, {[Name=\"b\", Salary=2]});",
-        );
+        let shown = infer_last("unionc({[Name=\"a\", Advisor=1]}, {[Name=\"b\", Salary=2]});");
         assert_eq!(shown, "{[Name:string]}");
     }
 
@@ -985,9 +1037,7 @@ mod tests {
 
     #[test]
     fn fun_with_tuple_of_sets() {
-        let shown = infer_last(
-            "fun intersect(S,T) = join(S,T);",
-        );
+        let shown = infer_last("fun intersect(S,T) = join(S,T);");
         assert!(shown.contains("where"), "{shown}");
     }
 

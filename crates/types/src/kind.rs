@@ -21,20 +21,32 @@ pub enum Kind {
     /// `"a` — must be a description type.
     Desc,
     /// `[('a) l:τ, …]` — a record containing at least these fields.
-    Record { fields: BTreeMap<Label, Ty>, desc: bool },
+    Record {
+        fields: BTreeMap<Label, Ty>,
+        desc: bool,
+    },
     /// `<('a) l:τ, …>` — a variant containing at least these fields.
-    Variant { fields: BTreeMap<Label, Ty>, desc: bool },
+    Variant {
+        fields: BTreeMap<Label, Ty>,
+        desc: bool,
+    },
 }
 
 impl Kind {
     /// A record kind from an iterator of fields.
     pub fn record(fields: impl IntoIterator<Item = (Label, Ty)>, desc: bool) -> Kind {
-        Kind::Record { fields: fields.into_iter().collect(), desc }
+        Kind::Record {
+            fields: fields.into_iter().collect(),
+            desc,
+        }
     }
 
     /// A variant kind from an iterator of fields.
     pub fn variant(fields: impl IntoIterator<Item = (Label, Ty)>, desc: bool) -> Kind {
-        Kind::Variant { fields: fields.into_iter().collect(), desc }
+        Kind::Variant {
+            fields: fields.into_iter().collect(),
+            desc,
+        }
     }
 
     /// All types mentioned by the kind (the field types).
@@ -60,8 +72,14 @@ impl Kind {
     pub fn with_desc(&self) -> Kind {
         match self {
             Kind::Any | Kind::Desc => Kind::Desc,
-            Kind::Record { fields, .. } => Kind::Record { fields: fields.clone(), desc: true },
-            Kind::Variant { fields, .. } => Kind::Variant { fields: fields.clone(), desc: true },
+            Kind::Record { fields, .. } => Kind::Record {
+                fields: fields.clone(),
+                desc: true,
+            },
+            Kind::Variant { fields, .. } => Kind::Variant {
+                fields: fields.clone(),
+                desc: true,
+            },
         }
     }
 }
@@ -74,14 +92,14 @@ mod tests {
     #[test]
     fn with_desc_promotes() {
         assert!(Kind::Any.with_desc().requires_desc());
-        assert!(Kind::record([("A".to_string(), t_int())], false)
+        assert!(Kind::record([("A".into(), t_int())], false)
             .with_desc()
             .requires_desc());
     }
 
     #[test]
     fn field_types_of_record_kind() {
-        let k = Kind::record([("A".to_string(), t_int())], false);
+        let k = Kind::record([("A".into(), t_int())], false);
         assert_eq!(k.field_types().len(), 1);
         assert!(Kind::Desc.field_types().is_empty());
     }

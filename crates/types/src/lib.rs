@@ -42,5 +42,5 @@ pub use kind::Kind;
 pub use lower::{lower_closed, lower_open};
 pub use order::{glb, le, lub, type_eq, Partial};
 pub use scheme::Scheme;
-pub use ty::{Ty, TvRef, Type, VarGen};
+pub use ty::{TvRef, Ty, Type, VarGen};
 pub use unify::{require_desc, unify};

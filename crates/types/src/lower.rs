@@ -161,11 +161,11 @@ impl LowerCtx<'_> {
 
     fn lower_fields(
         &mut self,
-        fields: &[(String, TypeExpr)],
-    ) -> Result<Vec<(String, Ty)>, TypeError> {
+        fields: &[(crate::ty::Label, TypeExpr)],
+    ) -> Result<Vec<(crate::ty::Label, Ty)>, TypeError> {
         fields
             .iter()
-            .map(|(l, t)| Ok((l.clone(), self.lower(t)?)))
+            .map(|(l, t)| Ok((*l, self.lower(t)?)))
             .collect()
     }
 
@@ -220,12 +220,18 @@ mod tests {
     #[test]
     fn closed_rejects_variables_and_rows() {
         assert!(matches!(closed("'a"), Err(TypeError::OpenAnnotation(_))));
-        assert!(matches!(closed("[('a) Age: int]"), Err(TypeError::OpenAnnotation(_))));
+        assert!(matches!(
+            closed("[('a) Age: int]"),
+            Err(TypeError::OpenAnnotation(_))
+        ));
     }
 
     #[test]
     fn closed_rejects_function_types() {
-        assert!(matches!(closed("int -> int"), Err(TypeError::NotDescription(_))));
+        assert!(matches!(
+            closed("int -> int"),
+            Err(TypeError::NotDescription(_))
+        ));
         // … but allows them under ref.
         assert!(closed("ref(int -> int)").is_ok());
     }
@@ -246,7 +252,10 @@ mod tests {
     fn lower_recursive_type() {
         let t = closed("rec v . <Nil: unit, Cons: int * v>").unwrap();
         assert!(matches!(&*t, Type::Rec(..)));
-        assert!(matches!(closed("rec v . w"), Err(TypeError::UnboundRecVar(_))));
+        assert!(matches!(
+            closed("rec v . w"),
+            Err(TypeError::UnboundRecVar(_))
+        ));
     }
 
     #[test]

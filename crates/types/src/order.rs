@@ -217,9 +217,15 @@ fn bound(a: &Ty, b: &Ty, upper: bool) -> Result<Partial<Ty>, TypeError> {
     }
     let fail = || {
         if upper {
-            Err(TypeError::LubUndefined { left: show_type(&a), right: show_type(&b) })
+            Err(TypeError::LubUndefined {
+                left: show_type(&a),
+                right: show_type(&b),
+            })
         } else {
-            Err(TypeError::GlbUndefined { left: show_type(&a), right: show_type(&b) })
+            Err(TypeError::GlbUndefined {
+                left: show_type(&a),
+                right: show_type(&b),
+            })
         }
     };
     match (&*a, &*b) {
@@ -246,15 +252,15 @@ fn bound(a: &Ty, b: &Ty, upper: bool) -> Result<Partial<Ty>, TypeError> {
         (Type::Record(fa), Type::Record(fb)) => {
             if upper {
                 // Union of labels; common labels get the lub.
-                let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+                let mut out: BTreeMap<crate::ty::Label, Ty> = BTreeMap::new();
                 for (l, ta) in fa {
                     match fb.get(l) {
                         None => {
-                            out.insert(l.clone(), ta.clone());
+                            out.insert(*l, ta.clone());
                         }
                         Some(tb) => match bound(ta, tb, true)? {
                             Known(t) => {
-                                out.insert(l.clone(), t);
+                                out.insert(*l, t);
                             }
                             Unknown => return Ok(Unknown),
                         },
@@ -262,19 +268,19 @@ fn bound(a: &Ty, b: &Ty, upper: bool) -> Result<Partial<Ty>, TypeError> {
                 }
                 for (l, tb) in fb {
                     if !fa.contains_key(l) {
-                        out.insert(l.clone(), tb.clone());
+                        out.insert(*l, tb.clone());
                     }
                 }
                 Ok(Known(t_record(out)))
             } else {
                 // Intersection of labels; a common label whose glb fails
                 // is simply deleted (records may drop labels).
-                let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+                let mut out: BTreeMap<crate::ty::Label, Ty> = BTreeMap::new();
                 for (l, ta) in fa {
                     if let Some(tb) = fb.get(l) {
                         match bound(ta, tb, false) {
                             Ok(Known(t)) => {
-                                out.insert(l.clone(), t);
+                                out.insert(*l, t);
                             }
                             Ok(Unknown) => return Ok(Unknown),
                             Err(_) => {} // drop the incompatible label
@@ -290,11 +296,11 @@ fn bound(a: &Ty, b: &Ty, upper: bool) -> Result<Partial<Ty>, TypeError> {
             if !fa.keys().eq(fb.keys()) {
                 return fail();
             }
-            let mut out: BTreeMap<String, Ty> = BTreeMap::new();
+            let mut out: BTreeMap<crate::ty::Label, Ty> = BTreeMap::new();
             for (l, ta) in fa {
                 match bound(ta, &fb[l], upper)? {
                     Known(t) => {
-                        out.insert(l.clone(), t);
+                        out.insert(*l, t);
                     }
                     Unknown => return Ok(Unknown),
                 }
@@ -312,7 +318,7 @@ mod tests {
     use crate::ty::*;
 
     fn rec2(a: (&str, Ty), b: (&str, Ty)) -> Ty {
-        t_record([(a.0.to_string(), a.1), (b.0.to_string(), b.1)])
+        t_record([(a.0.into(), a.1), (b.0.into(), b.1)])
     }
 
     #[test]
@@ -341,10 +347,7 @@ mod tests {
         let v1 = t_variant([("A".into(), t_record([]))]);
         let v2 = t_variant([("A".into(), t_record([("X".into(), t_int())]))]);
         assert_eq!(le(&v1, &v2), Partial::Known(true));
-        let v3 = t_variant([
-            ("A".into(), t_record([])),
-            ("B".into(), t_int()),
-        ]);
+        let v3 = t_variant([("A".into(), t_record([])), ("B".into(), t_int())]);
         // Different label sets are unordered.
         assert_eq!(le(&v1, &v3), Partial::Known(false));
     }
@@ -374,7 +377,10 @@ mod tests {
 
     #[test]
     fn lub_records_union() {
-        let a = rec2(("Name", t_record([("First".into(), t_str())])), ("Age", t_int()));
+        let a = rec2(
+            ("Name", t_record([("First".into(), t_str())])),
+            ("Age", t_int()),
+        );
         let b = t_record([("Name".into(), t_record([("Last".into(), t_str())]))]);
         let l = lub(&a, &b).unwrap().known().unwrap();
         let expected = rec2(
@@ -445,7 +451,10 @@ mod tests {
                 id,
                 t_variant([
                     ("Nil".into(), t_unit()),
-                    ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))])),
+                    (
+                        "Cons".into(),
+                        t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))]),
+                    ),
                 ]),
             ))
         };
@@ -460,7 +469,10 @@ mod tests {
                 id,
                 t_variant([
                     ("Nil".into(), t_unit()),
-                    ("Cons".into(), t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))])),
+                    (
+                        "Cons".into(),
+                        t_tuple([t_int(), std::rc::Rc::new(Type::RecVar(id))]),
+                    ),
                 ]),
             ))
         };

@@ -25,7 +25,11 @@ pub struct Scheme {
 impl Scheme {
     /// A monomorphic scheme (no quantification, no conditions).
     pub fn mono(body: Ty) -> Scheme {
-        Scheme { vars: Vec::new(), constraints: Vec::new(), body }
+        Scheme {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            body,
+        }
     }
 
     /// Render as the paper prints it: the body, then a
@@ -36,8 +40,12 @@ impl Scheme {
         if !self.constraints.is_empty() {
             // Print outermost condition first (the paper's order): the
             // constraints were pushed innermost-first during inference.
-            let parts: Vec<String> =
-                self.constraints.iter().rev().map(|c| c.show(&mut namer)).collect();
+            let parts: Vec<String> = self
+                .constraints
+                .iter()
+                .rev()
+                .map(|c| c.show(&mut namer))
+                .collect();
             out.push_str(&format!(" where {{ {} }}", parts.join(", ")));
         }
         out
@@ -84,7 +92,11 @@ pub fn generalize(body: &Ty, pending: &mut Vec<Constraint>, level: u32) -> Schem
         }
     }
 
-    Scheme { vars: quantified, constraints: moved, body: body.clone() }
+    Scheme {
+        vars: quantified,
+        constraints: moved,
+        body: body.clone(),
+    }
 }
 
 fn collect_deep(t: &Ty, level: u32, out: &mut Vec<TvRef>) {
@@ -123,17 +135,11 @@ pub fn instantiate(
             Kind::Any => Kind::Any,
             Kind::Desc => Kind::Desc,
             Kind::Record { fields, desc } => Kind::Record {
-                fields: fields
-                    .iter()
-                    .map(|(l, t)| (l.clone(), copy_ty(t, &map)))
-                    .collect(),
+                fields: fields.iter().map(|(l, t)| (*l, copy_ty(t, &map))).collect(),
                 desc,
             },
             Kind::Variant { fields, desc } => Kind::Variant {
-                fields: fields
-                    .iter()
-                    .map(|(l, t)| (l.clone(), copy_ty(t, &map)))
-                    .collect(),
+                fields: fields.iter().map(|(l, t)| (*l, copy_ty(t, &map))).collect(),
                 desc,
             },
         };
@@ -147,19 +153,28 @@ pub fn instantiate(
 
 fn copy_constraint(c: &Constraint, map: &HashMap<usize, TvRef>) -> Constraint {
     match c {
-        Constraint::Lub { result, left, right } => Constraint::Lub {
+        Constraint::Lub {
+            result,
+            left,
+            right,
+        } => Constraint::Lub {
             result: copy_ty(result, map),
             left: copy_ty(left, map),
             right: copy_ty(right, map),
         },
-        Constraint::Glb { result, left, right } => Constraint::Glb {
+        Constraint::Glb {
+            result,
+            left,
+            right,
+        } => Constraint::Glb {
             result: copy_ty(result, map),
             left: copy_ty(left, map),
             right: copy_ty(right, map),
         },
-        Constraint::Sub { sub, sup } => {
-            Constraint::Sub { sub: copy_ty(sub, map), sup: copy_ty(sup, map) }
-        }
+        Constraint::Sub { sub, sup } => Constraint::Sub {
+            sub: copy_ty(sub, map),
+            sup: copy_ty(sup, map),
+        },
     }
 }
 
@@ -189,10 +204,10 @@ fn copy_ty(t: &Ty, map: &HashMap<usize, TvRef>) -> Ty {
             }
         }
         Type::Record(fs) => Rc::new(Type::Record(
-            fs.iter().map(|(l, ft)| (l.clone(), copy_ty(ft, map))).collect(),
+            fs.iter().map(|(l, ft)| (*l, copy_ty(ft, map))).collect(),
         )),
         Type::Variant(fs) => Rc::new(Type::Variant(
-            fs.iter().map(|(l, ft)| (l.clone(), copy_ty(ft, map))).collect(),
+            fs.iter().map(|(l, ft)| (*l, copy_ty(ft, map))).collect(),
         )),
         Type::Set(e) => {
             let ce = copy_ty(e, map);
@@ -257,7 +272,9 @@ mod tests {
         let mut cs = Vec::new();
         let inst = instantiate(&scheme, &gen, 1, &mut cs);
         // The shallow var is shared between instance and original.
-        let Type::Arrow(lhs, _) = &*inst else { panic!() };
+        let Type::Arrow(lhs, _) = &*inst else {
+            panic!()
+        };
         assert!(std::rc::Rc::ptr_eq(&resolve(lhs), &resolve(&shallow)));
     }
 
@@ -268,7 +285,11 @@ mod tests {
         let b = gen.fresh_ty(Kind::Desc, 1);
         let r = gen.fresh_ty(Kind::Desc, 1);
         let body = t_arrow(t_tuple([a.clone(), b.clone()]), r.clone());
-        let mut pending = vec![Constraint::Lub { result: r, left: a, right: b }];
+        let mut pending = vec![Constraint::Lub {
+            result: r,
+            left: a,
+            right: b,
+        }];
         let scheme = generalize(&body, &mut pending, 0);
         assert!(pending.is_empty());
         assert_eq!(scheme.constraints.len(), 1);
@@ -283,8 +304,11 @@ mod tests {
         let outer1 = gen.fresh_ty(Kind::Desc, 0);
         let outer2 = gen.fresh_ty(Kind::Desc, 0);
         let outer3 = gen.fresh_ty(Kind::Desc, 0);
-        let mut pending =
-            vec![Constraint::Lub { result: outer3, left: outer1, right: outer2 }];
+        let mut pending = vec![Constraint::Lub {
+            result: outer3,
+            left: outer1,
+            right: outer2,
+        }];
         let scheme = generalize(&body, &mut pending, 0);
         assert_eq!(pending.len(), 1);
         assert!(scheme.constraints.is_empty());
@@ -294,10 +318,7 @@ mod tests {
     fn kinded_vars_instantiate_with_copied_kinds() {
         let gen = VarGen::new();
         let field = gen.fresh_ty(Kind::Desc, 1);
-        let row = gen.fresh(
-            Kind::record([("Name".to_string(), field.clone())], true),
-            1,
-        );
+        let row = gen.fresh(Kind::record([("Name".into(), field.clone())], true), 1);
         let row_ty: Ty = Rc::new(Type::Var(row));
         let body = t_arrow(t_set(row_ty), t_set(field));
         let mut pending = Vec::new();
@@ -330,7 +351,11 @@ mod tests {
         let b = gen.fresh_ty(Kind::Desc, 1);
         let r = gen.fresh_ty(Kind::Desc, 1);
         let body = t_arrow(t_tuple([a.clone(), b.clone()]), r.clone());
-        let mut pending = vec![Constraint::Lub { result: r, left: a, right: b }];
+        let mut pending = vec![Constraint::Lub {
+            result: r,
+            left: a,
+            right: b,
+        }];
         let scheme = generalize(&body, &mut pending, 0);
         let shown = scheme.show();
         assert!(shown.contains("where {"), "{shown}");

@@ -8,12 +8,15 @@
 //! type containing at least the listed fields.
 
 use crate::kind::Kind;
+use machiavelli_syntax::symbol::Symbol;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-/// Field labels (shared with the syntax crate).
-pub type Label = String;
+/// Field labels — interned symbols shared with the syntax crate, so the
+/// canonical (string-sorted) label order costs integer compares on the
+/// equal path.
+pub type Label = Symbol;
 
 /// A shared, immutable type node.
 pub type Ty = Rc<Type>;
@@ -214,7 +217,7 @@ pub fn t_tuple(items: impl IntoIterator<Item = Ty>) -> Ty {
         items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| (format!("#{}", i + 1), t)),
+            .map(|(i, t)| (machiavelli_syntax::symbol::tuple_label(i + 1), t)),
     )
 }
 
@@ -299,15 +302,18 @@ pub fn subst_recvar(t: &Ty, v: u32, replacement: &Ty) -> Ty {
         | Type::Real
         | Type::Dynamic
         | Type::Var(_) => t.clone(),
-        Type::Arrow(a, b) => t_arrow(subst_recvar(a, v, replacement), subst_recvar(b, v, replacement)),
+        Type::Arrow(a, b) => t_arrow(
+            subst_recvar(a, v, replacement),
+            subst_recvar(b, v, replacement),
+        ),
         Type::Record(fs) => Rc::new(Type::Record(
             fs.iter()
-                .map(|(l, ty)| (l.clone(), subst_recvar(ty, v, replacement)))
+                .map(|(l, ty)| (*l, subst_recvar(ty, v, replacement)))
                 .collect(),
         )),
         Type::Variant(fs) => Rc::new(Type::Variant(
             fs.iter()
-                .map(|(l, ty)| (l.clone(), subst_recvar(ty, v, replacement)))
+                .map(|(l, ty)| (*l, subst_recvar(ty, v, replacement)))
                 .collect(),
         )),
         Type::Set(e) => t_set(subst_recvar(e, v, replacement)),
@@ -362,12 +368,15 @@ mod tests {
         let inner = gen.fresh_ty(Kind::Any, 0);
         let kinded = gen.fresh(
             Kind::Record {
-                fields: [("Name".to_string(), inner.clone())].into_iter().collect(),
+                fields: [("Name".into(), inner.clone())].into_iter().collect(),
                 desc: false,
             },
             0,
         );
-        let t = t_arrow(Rc::new(Type::Var(kinded.clone())), Rc::new(Type::Var(kinded)));
+        let t = t_arrow(
+            Rc::new(Type::Var(kinded.clone())),
+            Rc::new(Type::Var(kinded)),
+        );
         let mut vars = Vec::new();
         free_vars(&t, &mut vars);
         assert_eq!(vars.len(), 2, "kinded var + its field var");
@@ -377,8 +386,8 @@ mod tests {
     fn unfold_recursive_type() {
         // rec v. <Nil: unit, Cons: int * v>
         let body = t_variant([
-            ("Nil".to_string(), t_unit()),
-            ("Cons".to_string(), t_tuple([t_int(), Rc::new(Type::RecVar(0))])),
+            ("Nil".into(), t_unit()),
+            ("Cons".into(), t_tuple([t_int(), Rc::new(Type::RecVar(0))])),
         ]);
         let rec: Ty = Rc::new(Type::Rec(0, body));
         let unfolded = unfold_rec(&rec);

@@ -94,7 +94,10 @@ impl Ctx {
                 }
                 for (l, ta) in fa {
                     let Some(tb) = fb.get(l) else {
-                        return Err(TypeError::MissingField { ty: show_type(&b), label: l.clone() });
+                        return Err(TypeError::MissingField {
+                            ty: show_type(&b),
+                            label: l.to_string(),
+                        });
                     };
                     self.unify(ta, tb)?;
                 }
@@ -105,7 +108,10 @@ impl Ctx {
     }
 
     fn mismatch(&self, a: &Ty, b: &Ty) -> TypeError {
-        TypeError::Mismatch { left: show_type(a), right: show_type(b) }
+        TypeError::Mismatch {
+            left: show_type(a),
+            right: show_type(b),
+        }
     }
 
     /// Unify two unbound variables: merge kinds, keep `va` as the
@@ -153,8 +159,14 @@ impl Ctx {
             (Desc, Desc) => Desc,
             (Desc, k) | (k, Desc) => k.with_desc(),
             (
-                Record { fields: fa, desc: da },
-                Record { fields: fb, desc: db },
+                Record {
+                    fields: fa,
+                    desc: da,
+                },
+                Record {
+                    fields: fb,
+                    desc: db,
+                },
             ) => {
                 let mut fields = fa;
                 for (l, tb) in fb {
@@ -165,11 +177,20 @@ impl Ctx {
                         fields.insert(l, tb);
                     }
                 }
-                Record { fields, desc: da || db }
+                Record {
+                    fields,
+                    desc: da || db,
+                }
             }
             (
-                Variant { fields: fa, desc: da },
-                Variant { fields: fb, desc: db },
+                Variant {
+                    fields: fa,
+                    desc: da,
+                },
+                Variant {
+                    fields: fb,
+                    desc: db,
+                },
             ) => {
                 let mut fields = fa;
                 for (l, tb) in fb {
@@ -180,7 +201,10 @@ impl Ctx {
                         fields.insert(l, tb);
                     }
                 }
-                Variant { fields, desc: da || db }
+                Variant {
+                    fields,
+                    desc: da || db,
+                }
             }
             (ka @ Record { .. }, kb @ Variant { .. })
             | (ka @ Variant { .. }, kb @ Record { .. }) => {
@@ -213,7 +237,7 @@ impl Ctx {
                     let Some(mt) = m.get(l) else {
                         return Err(TypeError::MissingField {
                             ty: show_type(t),
-                            label: l.clone(),
+                            label: l.to_string(),
                         });
                     };
                     self.unify(ft, mt)?;
@@ -234,7 +258,7 @@ impl Ctx {
                     let Some(mt) = m.get(l) else {
                         return Err(TypeError::MissingField {
                             ty: show_type(t),
-                            label: l.clone(),
+                            label: l.to_string(),
                         });
                     };
                     self.unify(ft, mt)?;
@@ -387,20 +411,22 @@ mod tests {
     #[test]
     fn unify_record_kinds_merge() {
         let gen = var_gen();
-        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
-        let b = gen.fresh_ty(Kind::record([("Age".to_string(), t_int())], false), 0);
+        let a = gen.fresh_ty(Kind::record([("Name".into(), t_str())], false), 0);
+        let b = gen.fresh_ty(Kind::record([("Age".into(), t_int())], false), 0);
         unify(&a, &b).unwrap();
         // The representative now requires both fields.
         let resolved = resolve(&a);
         let Type::Var(v) = &*resolved else { panic!() };
-        let Kind::Record { fields, .. } = v.kind() else { panic!() };
+        let Kind::Record { fields, .. } = v.kind() else {
+            panic!()
+        };
         assert!(fields.contains_key("Name") && fields.contains_key("Age"));
     }
 
     #[test]
     fn record_kinded_var_accepts_wider_record() {
         let gen = var_gen();
-        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let a = gen.fresh_ty(Kind::record([("Name".into(), t_str())], false), 0);
         let r = t_record([("Name".into(), t_str()), ("Age".into(), t_int())]);
         unify(&a, &r).unwrap();
         assert!(matches!(&*resolve(&a), Type::Record(_)));
@@ -409,7 +435,7 @@ mod tests {
     #[test]
     fn record_kinded_var_rejects_missing_field() {
         let gen = var_gen();
-        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let a = gen.fresh_ty(Kind::record([("Name".into(), t_str())], false), 0);
         let r = t_record([("Age".into(), t_int())]);
         let err = unify(&a, &r).unwrap_err();
         assert!(matches!(err, TypeError::MissingField { .. }));
@@ -418,7 +444,7 @@ mod tests {
     #[test]
     fn record_kinded_var_field_types_must_agree() {
         let gen = var_gen();
-        let a = gen.fresh_ty(Kind::record([("Name".to_string(), t_str())], false), 0);
+        let a = gen.fresh_ty(Kind::record([("Name".into(), t_str())], false), 0);
         let r = t_record([("Name".into(), t_int())]);
         assert!(unify(&a, &r).is_err());
     }
@@ -426,10 +452,7 @@ mod tests {
     #[test]
     fn variant_kinded_var_unifies_with_closed_variant() {
         let gen = var_gen();
-        let a = gen.fresh_ty(
-            Kind::variant([("Consultant".to_string(), t_int())], false),
-            0,
-        );
+        let a = gen.fresh_ty(Kind::variant([("Consultant".into(), t_int())], false), 0);
         let v = t_variant([("Employee".into(), t_int()), ("Consultant".into(), t_int())]);
         unify(&a, &v).unwrap();
         assert!(matches!(&*resolve(&a), Type::Variant(_)));
@@ -511,7 +534,7 @@ mod tests {
     fn merge_desc_into_record_kind() {
         let gen = var_gen();
         let d = gen.fresh_ty(Kind::Desc, 0);
-        let r = gen.fresh_ty(Kind::record([("A".to_string(), t_int())], false), 0);
+        let r = gen.fresh_ty(Kind::record([("A".into(), t_int())], false), 0);
         unify(&d, &r).unwrap();
         let resolved = resolve(&d);
         let Type::Var(v) = &*resolved else { panic!() };
@@ -521,8 +544,8 @@ mod tests {
     #[test]
     fn record_vs_variant_kind_conflict() {
         let gen = var_gen();
-        let r = gen.fresh_ty(Kind::record([("A".to_string(), t_int())], false), 0);
-        let v = gen.fresh_ty(Kind::variant([("A".to_string(), t_int())], false), 0);
+        let r = gen.fresh_ty(Kind::record([("A".into(), t_int())], false), 0);
+        let v = gen.fresh_ty(Kind::variant([("A".into(), t_int())], false), 0);
         assert!(unify(&r, &v).is_err());
     }
 }

@@ -39,9 +39,9 @@ fn conforms_inner(v: &Value, ty: &Ty, seen_refs: &mut HashSet<u64>, fuel: u32) -
             Some(pty) => conforms_inner(p, pty, seen_refs, fuel - 1),
             None => false,
         },
-        (Type::Set(ety), Value::Set(items)) => {
-            items.iter().all(|item| conforms_inner(item, ety, seen_refs, fuel - 1))
-        }
+        (Type::Set(ety), Value::Set(items)) => items
+            .iter()
+            .all(|item| conforms_inner(item, ety, seen_refs, fuel - 1)),
         (Type::Ref(inner), Value::Ref(r)) => {
             if !seen_refs.insert(r.id) {
                 // Already being checked (cyclic structure): assume ok.
@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn record_exact_labels() {
         let ty = t_record([("Name".into(), t_str())]);
-        assert!(conforms(&Value::record([("Name".into(), Value::str("x"))]), &ty));
+        assert!(conforms(
+            &Value::record([("Name".into(), Value::str("x"))]),
+            &ty
+        ));
         // Extra fields do not conform (unique types in Machiavelli).
         assert!(!conforms(
             &Value::record([
@@ -124,7 +127,10 @@ mod tests {
         // Built by hand: Rec(0, Ref(Record{Self: RecVar(0)})).
         let rec_ty: Ty = std::rc::Rc::new(Type::Rec(
             0,
-            t_ref(t_record([("Self".into(), std::rc::Rc::new(Type::RecVar(0)))])),
+            t_ref(t_record([(
+                "Self".into(),
+                std::rc::Rc::new(Type::RecVar(0)),
+            )])),
         ));
         assert!(conforms(&Value::Ref(r), &rec_ty));
     }

@@ -3,7 +3,6 @@
 //! (sorted) label order; tuples print as `(a, b)`.
 
 use crate::value::{Builtin, Value};
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Render a value. Cyclic structures (rings built through references)
@@ -13,12 +12,6 @@ pub fn show_value(v: &Value) -> String {
     let mut stack = Vec::new();
     write_value(&mut out, v, &mut stack);
     out
-}
-
-fn is_tuple(fields: &BTreeMap<String, Value>) -> bool {
-    !fields.is_empty()
-        && fields.keys().all(|l| l.starts_with('#'))
-        && (1..=fields.len()).all(|i| fields.contains_key(&format!("#{i}")))
 }
 
 fn write_value(out: &mut String, v: &Value, stack: &mut Vec<u64>) {
@@ -41,14 +34,9 @@ fn write_value(out: &mut String, v: &Value, stack: &mut Vec<u64>) {
             let _ = write!(out, "{b}");
         }
         Value::Record(fields) => {
-            if is_tuple(fields) {
+            if let Some(items) = fields.tuple_items() {
                 out.push('(');
-                let mut items: Vec<(usize, &Value)> = fields
-                    .iter()
-                    .map(|(l, v)| (l[1..].parse::<usize>().unwrap(), v))
-                    .collect();
-                items.sort_by_key(|(i, _)| *i);
-                for (pos, (_, fv)) in items.into_iter().enumerate() {
+                for (pos, fv) in items.into_iter().enumerate() {
                     if pos > 0 {
                         out.push_str(", ");
                     }
@@ -137,10 +125,10 @@ mod tests {
     fn show_nested() {
         let v = Value::set([Value::record([
             ("Pname".into(), Value::str("bolt")),
-            ("Pinfo".into(), Value::variant("BasePart", Value::record([(
-                "Cost".into(),
-                Value::Int(5),
-            )]))),
+            (
+                "Pinfo".into(),
+                Value::variant("BasePart", Value::record([("Cost".into(), Value::Int(5))])),
+            ),
         ])]);
         assert_eq!(
             show_value(&v),

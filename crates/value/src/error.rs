@@ -33,7 +33,10 @@ impl fmt::Display for ValueError {
         use ValueError::*;
         match self {
             Inconsistent { left, right } => {
-                write!(f, "inconsistent descriptions: cannot join `{left}` with `{right}`")
+                write!(
+                    f,
+                    "inconsistent descriptions: cannot join `{left}` with `{right}`"
+                )
             }
             ProjectionMismatch { value, ty } => {
                 write!(f, "cannot project `{value}` onto `{ty}`")

@@ -1,0 +1,201 @@
+//! Structural hashing of description values.
+//!
+//! The hash join used to render keys to strings (`show_value`) and hash
+//! the text — one heap allocation and a full pretty-print per build and
+//! probe row, plus a latent reliance on the renderer being injective.
+//! [`ValueKey`] hashes value *structure* directly:
+//!
+//! * base values hash their payload (reals by `to_bits()`, which agrees
+//!   with the `total_cmp`-based equality: equal iff identical bits);
+//! * records hash `(label id, field)` pairs in canonical order — label
+//!   ids are pointer-identity keys (`usize`, process-local), consistent
+//!   with `Symbol` equality;
+//! * refs and dynamics hash their *identity*, exactly as [`value_eq`]
+//!   compares them;
+//! * function values (kept out of keys by the type system, but the
+//!   order is total) hash by address/opcode.
+//!
+//! `ValueKey`'s `Eq` is [`value_eq`], so `Hash`/`Eq` are consistent by
+//! construction and `HashMap<ValueKey, …>` is collision-correct for
+//! every value, not just those the renderer distinguishes.
+
+use crate::value::{value_eq, Value};
+use std::hash::{Hash, Hasher};
+
+/// Feed the structural hash of `v` into `state`.
+pub fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Unit => state.write_u8(0),
+        Value::Bool(b) => {
+            state.write_u8(1);
+            state.write_u8(u8::from(*b));
+        }
+        Value::Int(n) => {
+            state.write_u8(2);
+            state.write_i64(*n);
+        }
+        Value::Real(r) => {
+            state.write_u8(3);
+            // total_cmp equality ⟺ identical bit patterns.
+            state.write_u64(r.to_bits());
+        }
+        Value::Str(s) => {
+            state.write_u8(4);
+            state.write(s.as_bytes());
+            state.write_u8(0xff);
+        }
+        Value::Record(fs) => {
+            state.write_u8(5);
+            state.write_usize(fs.len());
+            for (l, fv) in fs.entries() {
+                state.write_usize(l.id());
+                hash_value(fv, state);
+            }
+        }
+        Value::Variant(l, p) => {
+            state.write_u8(6);
+            state.write_usize(l.id());
+            hash_value(p, state);
+        }
+        Value::Set(items) => {
+            state.write_u8(7);
+            state.write_usize(items.len());
+            for item in items.iter() {
+                hash_value(item, state);
+            }
+        }
+        Value::Ref(r) => {
+            state.write_u8(8);
+            state.write_u64(r.id);
+        }
+        Value::Dynamic(d) => {
+            state.write_u8(9);
+            state.write_u64(d.id);
+        }
+        Value::Closure(c) => {
+            state.write_u8(10);
+            state.write_usize(std::rc::Rc::as_ptr(c) as usize);
+        }
+        Value::Op(op) => {
+            state.write_u8(11);
+            state.write_u8(*op as u8);
+        }
+        Value::Builtin(b) => {
+            state.write_u8(12);
+            state.write_u8(*b as u8);
+        }
+    }
+}
+
+/// A borrowed value usable as a `HashMap` key: `Hash` is structural
+/// ([`hash_value`]), `Eq` is [`value_eq`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValueKey<'a>(pub &'a Value);
+
+impl Hash for ValueKey<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_value(self.0, state);
+    }
+}
+
+impl PartialEq for ValueKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        value_eq(self.0, other.0)
+    }
+}
+
+impl Eq for ValueKey<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::RefValue;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        hash_value(v, &mut s);
+        std::hash::Hasher::finish(&s)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::record([("B".into(), Value::Int(2)), ("A".into(), Value::Int(1))]);
+        let b = Value::record([("A".into(), Value::Int(1)), ("B".into(), Value::Int(2))]);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn distinct_types_hash_differently() {
+        assert_ne!(h(&Value::Int(1)), h(&Value::Bool(true)));
+        assert_ne!(h(&Value::Int(0)), h(&Value::Unit));
+    }
+
+    #[test]
+    fn real_bits_and_total_cmp_agree() {
+        let pos = Value::Real(0.0);
+        let neg = Value::Real(-0.0);
+        // total_cmp distinguishes the zeros, so the hash may too; the
+        // invariant that matters is equal ⇒ equal hash.
+        assert_ne!(pos, neg);
+        assert_eq!(h(&pos), h(&Value::Real(0.0)));
+        let nan = Value::Real(f64::NAN);
+        assert_eq!(h(&nan), h(&nan.clone()));
+    }
+
+    #[test]
+    fn refs_hash_by_identity() {
+        let r = RefValue::new(Value::Int(1));
+        let same = Value::Ref(r.clone());
+        let alias = Value::Ref(r);
+        let other = Value::Ref(RefValue::new(Value::Int(1)));
+        assert_eq!(h(&same), h(&alias));
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    #[allow(clippy::mutable_key_type)] // refs hash by immutable identity
+    fn value_key_in_hashmap() {
+        let rows = [
+            Value::record([("K".into(), Value::Int(1))]),
+            Value::record([("K".into(), Value::Int(2))]),
+        ];
+        let mut table: HashMap<ValueKey<'_>, usize> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            table.insert(ValueKey(r), i);
+        }
+        let probe = Value::record([("K".into(), Value::Int(2))]);
+        assert_eq!(table.get(&ValueKey(&probe)), Some(&1));
+    }
+
+    #[test]
+    #[allow(clippy::mutable_key_type)] // refs hash by immutable identity
+    fn values_with_identical_rendering_stay_distinct() {
+        // The old string-keyed join hashed `show_value` output; these two
+        // *distinct* records render identically ("[A=1, B=2, C=3]")
+        // because the crafted label contains `=`/`, `. Structural
+        // hashing keeps them apart.
+        let honest = Value::record([
+            ("A".into(), Value::Int(1)),
+            ("B".into(), Value::Int(2)),
+            ("C".into(), Value::Int(3)),
+        ]);
+        let forged = Value::record([
+            ("A".into(), Value::Int(1)),
+            ("B=2, C".into(), Value::Int(3)),
+        ]);
+        assert_eq!(
+            crate::display::show_value(&honest),
+            crate::display::show_value(&forged),
+            "renderer collision is real"
+        );
+        assert_ne!(honest, forged);
+        assert_ne!(ValueKey(&honest), ValueKey(&forged));
+        let mut table: HashMap<ValueKey<'_>, &'static str> = HashMap::new();
+        table.insert(ValueKey(&honest), "honest");
+        table.insert(ValueKey(&forged), "forged");
+        assert_eq!(table.len(), 2, "no key collapse under structural hashing");
+    }
+}

@@ -9,6 +9,7 @@
 pub mod conform;
 pub mod display;
 pub mod error;
+pub mod hash;
 pub mod ops;
 pub mod set;
 pub mod shape;
@@ -17,7 +18,11 @@ pub mod value;
 pub use conform::conforms;
 pub use display::show_value;
 pub use error::ValueError;
+pub use hash::{hash_value, ValueKey};
 pub use ops::{con_value, join_value, project_value, unionc_value};
 pub use set::MSet;
 pub use shape::{element_shape, glb_shape, project_by_shape, shape_of, Shape};
-pub use value::{value_cmp, value_eq, Builtin, Closure, DynValue, Env, Label, RefValue, Value};
+pub use value::{
+    value_cmp, value_eq, Builtin, Closure, DynValue, Env, FieldKey, Fields, Label, RefValue,
+    Symbol, Value,
+};

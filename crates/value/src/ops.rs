@@ -16,10 +16,10 @@ use crate::display::show_value;
 use crate::error::ValueError;
 use crate::set::MSet;
 use crate::shape::{element_shape, glb_shape, project_by_shape, Shape};
-use crate::value::Value;
+use crate::value::{Fields, Value};
 use machiavelli_types::ty::unfold_rec;
 use machiavelli_types::{Ty, Type};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 
 /// `project(v, δ)` — generalized projection of a description value onto a
 /// (closed) description type.
@@ -38,20 +38,21 @@ pub fn project_value(v: &Value, ty: &Ty) -> Result<Value, ValueError> {
         | (Type::Dynamic, Value::Dynamic(_))
         | (Type::Ref(_), Value::Ref(_)) => Ok(v.clone()),
         (Type::Record(tfs), Value::Record(vfs)) => {
-            let mut out = BTreeMap::new();
+            let mut out = Vec::with_capacity(tfs.len());
             for (l, fty) in tfs {
                 let Some(fv) = vfs.get(l) else {
                     return Err(ValueError::NoSuchField {
                         value: show_value(v),
-                        label: l.clone(),
+                        label: l.to_string(),
                     });
                 };
-                out.insert(l.clone(), project_value(fv, fty)?);
+                out.push((*l, project_value(fv, fty)?));
             }
-            Ok(Value::Record(out))
+            // Type-level label maps share the canonical label order.
+            Ok(Value::Record(Fields::from_sorted_vec(out)))
         }
         (Type::Variant(tfs), Value::Variant(l, p)) => match tfs.get(l) {
-            Some(pty) => Ok(Value::Variant(l.clone(), Box::new(project_value(p, pty)?))),
+            Some(pty) => Ok(Value::Variant(*l, Box::new(project_value(p, pty)?))),
             None => Err(mismatch()),
         },
         (Type::Set(ety), Value::Set(items)) => {
@@ -71,10 +72,26 @@ pub fn project_value(v: &Value, ty: &Ty) -> Result<Value, ValueError> {
 /// common description)?
 pub fn con_value(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Record(xs), Value::Record(ys)) => xs.iter().all(|(l, x)| match ys.get(l) {
-            Some(y) => con_value(x, y),
-            None => true,
-        }),
+        (Value::Record(xs), Value::Record(ys)) => {
+            // Both entry lists are label-sorted: one merge-walk, with
+            // label equality a pointer-identity compare.
+            let (xs, ys) = (xs.entries(), ys.entries());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].0.cmp(&ys[j].0) {
+                    Ordering::Less => i += 1,
+                    Ordering::Greater => j += 1,
+                    Ordering::Equal => {
+                        if !con_value(&xs[i].1, &ys[j].1) {
+                            return false;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            true
+        }
         (Value::Variant(lx, px), Value::Variant(ly, py)) => lx == ly && con_value(px, py),
         // Two sets of joinable type are always consistent: their join is
         // the (possibly empty) natural join.
@@ -94,36 +111,49 @@ pub fn join_value(a: &Value, b: &Value) -> Result<Value, ValueError> {
     };
     match (a, b) {
         (Value::Record(xs), Value::Record(ys)) => {
-            let mut out = xs.clone();
-            for (l, y) in ys {
-                match xs.get(l) {
-                    Some(x) => {
-                        out.insert(l.clone(), join_value(x, y)?);
+            // O(n + m) sorted merge; shared labels join recursively.
+            let (xs, ys) = (xs.entries(), ys.entries());
+            let mut out = Vec::with_capacity(xs.len() + ys.len());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].0.cmp(&ys[j].0) {
+                    Ordering::Less => {
+                        out.push(xs[i].clone());
+                        i += 1;
                     }
-                    None => {
-                        out.insert(l.clone(), y.clone());
+                    Ordering::Greater => {
+                        out.push(ys[j].clone());
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        out.push((xs[i].0, join_value(&xs[i].1, &ys[j].1)?));
+                        i += 1;
+                        j += 1;
                     }
                 }
             }
-            Ok(Value::Record(out))
+            out.extend_from_slice(&xs[i..]);
+            out.extend_from_slice(&ys[j..]);
+            Ok(Value::Record(Fields::from_sorted_vec(out)))
         }
         (Value::Variant(lx, px), Value::Variant(ly, py)) => {
             if lx != ly {
                 return Err(inconsistent());
             }
-            Ok(Value::Variant(lx.clone(), Box::new(join_value(px, py)?)))
+            Ok(Value::Variant(*lx, Box::new(join_value(px, py)?)))
         }
         (Value::Set(xs), Value::Set(ys)) => {
-            // Natural join of higher-order relations [BJO89].
-            let mut out = MSet::new();
+            // Natural join of higher-order relations [BJO89]; results
+            // accumulate in a vector and canonicalize once.
+            let mut out = Vec::new();
             for x in xs.iter() {
                 for y in ys.iter() {
                     if con_value(x, y) {
-                        out.insert(join_value(x, y)?);
+                        out.push(join_value(x, y)?);
                     }
                 }
             }
-            Ok(Value::Set(out))
+            Ok(Value::Set(MSet::from_iter(out)))
         }
         _ => {
             if a == b {
@@ -140,11 +170,9 @@ pub fn join_value(a: &Value, b: &Value) -> Result<Value, ValueError> {
 /// shapes. Degenerates to ordinary union when the element shapes agree.
 pub fn unionc_value(a: &Value, b: &Value) -> Result<Value, ValueError> {
     let (Value::Set(xs), Value::Set(ys)) = (a, b) else {
-        return Err(ValueError::NotASet(show_value(if matches!(a, Value::Set(_)) {
-            b
-        } else {
-            a
-        })));
+        return Err(ValueError::NotASet(show_value(
+            if matches!(a, Value::Set(_)) { b } else { a },
+        )));
     };
     let sa = element_shape(xs.iter())?;
     let sb = element_shape(ys.iter())?;
@@ -152,14 +180,14 @@ pub fn unionc_value(a: &Value, b: &Value) -> Result<Value, ValueError> {
         left: show_value(a),
         right: show_value(b),
     })?;
-    let mut out = MSet::new();
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
     for x in xs.iter() {
-        out.insert(project_by_shape(x, &skel)?);
+        out.push(project_by_shape(x, &skel)?);
     }
     for y in ys.iter() {
-        out.insert(project_by_shape(y, &skel)?);
+        out.push(project_by_shape(y, &skel)?);
     }
-    Ok(Value::Set(out))
+    Ok(Value::Set(MSet::from_iter(out)))
 }
 
 /// The shape-level projection used by `unionc`, re-exported for the
@@ -197,7 +225,10 @@ mod tests {
 
     #[test]
     fn project_base_identity() {
-        assert_eq!(project_value(&Value::Int(3), &t_int()).unwrap(), Value::Int(3));
+        assert_eq!(
+            project_value(&Value::Int(3), &t_int()).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -212,10 +243,7 @@ mod tests {
             ),
             ("Salary".into(), Value::Int(12345)),
         ]);
-        let ty = t_record([(
-            "Name".into(),
-            t_record([("Last".into(), t_str())]),
-        )]);
+        let ty = t_record([("Name".into(), t_record([("Last".into(), t_str())]))]);
         let p = project_value(&v, &ty).unwrap();
         assert_eq!(
             p,
@@ -243,7 +271,10 @@ mod tests {
     fn con_paper_examples() {
         // [Name=[First="Joe"], Age=21] and [Name=[Last="Doe"]] consistent.
         let a = Value::record([
-            ("Name".into(), Value::record([("First".into(), Value::str("Joe"))])),
+            (
+                "Name".into(),
+                Value::record([("First".into(), Value::str("Joe"))]),
+            ),
             ("Age".into(), Value::Int(21)),
         ]);
         let b = Value::record([(
@@ -263,7 +294,10 @@ mod tests {
     #[test]
     fn join_paper_example() {
         let a = Value::record([
-            ("Name".into(), Value::record([("First".into(), Value::str("Joe"))])),
+            (
+                "Name".into(),
+                Value::record([("First".into(), Value::str("Joe"))]),
+            ),
             ("Age".into(), Value::Int(21)),
         ]);
         let b = Value::record([(
@@ -290,7 +324,10 @@ mod tests {
     fn join_inconsistent_errors() {
         let a = Value::record([("Name".into(), Value::str("Joe"))]);
         let b = Value::record([("Name".into(), Value::str("Sue"))]);
-        assert!(matches!(join_value(&a, &b), Err(ValueError::Inconsistent { .. })));
+        assert!(matches!(
+            join_value(&a, &b),
+            Err(ValueError::Inconsistent { .. })
+        ));
     }
 
     #[test]

@@ -3,17 +3,33 @@
 //! The paper is explicit that *"Machiavelli's sets are sets in the
 //! mathematical sense of the term"* — not bags or lists. [`MSet`] keeps
 //! its elements sorted (by the total value order) and deduplicated, so
-//! structural equality of the representation *is* set equality, and
-//! membership / union / intersection / difference run in O(log n) /
-//! O(n+m).
+//! structural equality of the representation *is* set equality.
+//!
+//! # Complexity contract
+//!
+//! | operation | cost |
+//! |---|---|
+//! | [`MSet::from_iter`] (bulk construction) | O(n log n) |
+//! | [`MSet::contains`] | O(log n) |
+//! | [`MSet::insert`] (single element) | O(n) — shifts the tail |
+//! | [`MSet::extend`] (bulk merge) | O(m log m + n + m) |
+//! | [`MSet::union`] / [`intersect`](MSet::intersect) / [`difference`](MSet::difference) | O(n + m) merge |
+//! | `clone` | O(1) — storage is shared via `Rc` |
+//!
+//! Prefer [`MSet::from_iter`] or [`MSet::extend`] over per-element
+//! [`MSet::insert`] in loops: k inserts cost O(k·n) element moves, the
+//! bulk paths cost one sort plus one merge. Storage sits behind an `Rc`
+//! (copy-on-write on mutation), so cloning a set — environment lookup,
+//! binding a relation — never copies elements.
 
 use crate::value::{value_cmp, Value};
 use std::cmp::Ordering;
+use std::rc::Rc;
 
 /// A canonical (sorted, duplicate-free) set of description values.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MSet {
-    items: Vec<Value>,
+    items: Rc<Vec<Value>>,
 }
 
 impl MSet {
@@ -29,7 +45,9 @@ impl MSet {
         let mut items: Vec<Value> = items.into_iter().collect();
         items.sort_by(value_cmp);
         items.dedup_by(|a, b| value_cmp(a, b) == Ordering::Equal);
-        MSet { items }
+        MSet {
+            items: Rc::new(items),
+        }
     }
 
     /// Wrap an already-sorted, already-deduplicated vector (checked in
@@ -38,7 +56,9 @@ impl MSet {
         debug_assert!(items
             .windows(2)
             .all(|w| value_cmp(&w[0], &w[1]) == Ordering::Less));
-        MSet { items }
+        MSet {
+            items: Rc::new(items),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -58,9 +78,9 @@ impl MSet {
         &self.items
     }
 
-    /// Consume into the sorted vector.
+    /// Consume into the sorted vector (copies only when shared).
     pub fn into_vec(self) -> Vec<Value> {
-        self.items
+        Rc::try_unwrap(self.items).unwrap_or_else(|rc| (*rc).clone())
     }
 
     /// O(log n) membership.
@@ -68,19 +88,45 @@ impl MSet {
         self.items.binary_search_by(|x| value_cmp(x, v)).is_ok()
     }
 
-    /// Insert one element (O(n) shift; use [`MSet::from_iter`] for bulk).
+    /// Insert one element (O(n) shift; prefer [`MSet::extend`] or
+    /// [`MSet::from_iter`] for bulk insertion).
     pub fn insert(&mut self, v: Value) -> bool {
         match self.items.binary_search_by(|x| value_cmp(x, &v)) {
             Ok(_) => false,
             Err(pos) => {
-                self.items.insert(pos, v);
+                Rc::make_mut(&mut self.items).insert(pos, v);
                 true
             }
         }
     }
 
+    /// Bulk merge: add every element of `items`, re-canonicalizing once.
+    /// O(m log m) to sort the additions plus one O(n + m) merge —
+    /// replaces k O(n)-shift `insert` calls in evaluator loops.
+    pub fn extend(&mut self, items: impl IntoIterator<Item = Value>) {
+        let mut incoming: Vec<Value> = items.into_iter().collect();
+        if incoming.is_empty() {
+            return;
+        }
+        incoming.sort_by(value_cmp);
+        incoming.dedup_by(|a, b| value_cmp(a, b) == Ordering::Equal);
+        if self.is_empty() {
+            self.items = Rc::new(incoming);
+            return;
+        }
+        *self = self.union(&MSet {
+            items: Rc::new(incoming),
+        });
+    }
+
     /// Merge-based union, O(n + m).
     pub fn union(&self, other: &MSet) -> MSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         let mut out = Vec::with_capacity(self.len() + other.len());
         let (mut i, mut j) = (0, 0);
         while i < self.items.len() && j < other.items.len() {
@@ -157,7 +203,7 @@ impl IntoIterator for MSet {
     type Item = Value;
     type IntoIter = std::vec::IntoIter<Value>;
     fn into_iter(self) -> Self::IntoIter {
-        self.items.into_iter()
+        self.into_vec().into_iter()
     }
 }
 
@@ -172,6 +218,12 @@ impl<'a> IntoIterator for &'a MSet {
 impl FromIterator<Value> for MSet {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
         MSet::from_iter(iter)
+    }
+}
+
+impl Extend<Value> for MSet {
+    fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
+        MSet::extend(self, iter);
     }
 }
 
@@ -224,6 +276,39 @@ mod tests {
         assert!(s.insert(Value::Int(2)));
         assert!(!s.insert(Value::Int(2)));
         assert_eq!(s, ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn extend_matches_repeated_insert() {
+        let mut bulk = ints(&[5, 1]);
+        bulk.extend([3, 1, 9, 3].map(Value::Int));
+        let mut one_by_one = ints(&[5, 1]);
+        for x in [3, 1, 9, 3] {
+            one_by_one.insert(Value::Int(x));
+        }
+        assert_eq!(bulk, one_by_one);
+        assert_eq!(bulk, ints(&[1, 3, 5, 9]));
+    }
+
+    #[test]
+    fn extend_into_empty_and_with_empty() {
+        let mut s = MSet::new();
+        s.extend([Value::Int(2), Value::Int(1)]);
+        assert_eq!(s, ints(&[1, 2]));
+        s.extend(std::iter::empty());
+        assert_eq!(s, ints(&[1, 2]));
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let a = ints(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+        let mut c = b.clone();
+        c.insert(Value::Int(9));
+        // Copy-on-write: the original is untouched.
+        assert_eq!(a.len(), 3);
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::display::show_value;
 use crate::error::ValueError;
-use crate::value::{Label, Value};
+use crate::value::{Fields, Label, Value};
 use std::collections::BTreeMap;
 
 /// A structural skeleton of a description value.
@@ -43,12 +43,10 @@ pub fn shape_of(v: &Value) -> Result<Shape, ValueError> {
         Value::Dynamic(_) => Shape::DynAtom,
         Value::Record(fs) => Shape::Record(
             fs.iter()
-                .map(|(l, fv)| Ok((l.clone(), shape_of(fv)?)))
+                .map(|(l, fv)| Ok((*l, shape_of(fv)?)))
                 .collect::<Result<_, ValueError>>()?,
         ),
-        Value::Variant(l, p) => {
-            Shape::Variant([(l.clone(), shape_of(p)?)].into_iter().collect())
-        }
+        Value::Variant(l, p) => Shape::Variant([(*l, shape_of(p)?)].into_iter().collect()),
         Value::Set(s) => {
             let mut elem = Shape::Unknown;
             for item in s.iter() {
@@ -63,7 +61,9 @@ pub fn shape_of(v: &Value) -> Result<Shape, ValueError> {
 }
 
 /// Shape of a whole set's elements (merged across all elements).
-pub fn element_shape(items: impl IntoIterator<Item = impl std::borrow::Borrow<Value>>) -> Result<Shape, ValueError> {
+pub fn element_shape(
+    items: impl IntoIterator<Item = impl std::borrow::Borrow<Value>>,
+) -> Result<Shape, ValueError> {
     let mut elem = Shape::Unknown;
     for item in items {
         elem = merge(elem, shape_of(item.borrow())?)?;
@@ -145,7 +145,7 @@ pub fn glb_shape(a: &Shape, b: &Shape) -> Option<Shape> {
             for (l, x) in xs {
                 if let Some(y) = ys.get(l) {
                     if let Some(g) = glb_shape(x, y) {
-                        out.insert(l.clone(), g);
+                        out.insert(*l, g);
                     }
                     // Incompatible common label: dropped.
                 }
@@ -159,10 +159,10 @@ pub fn glb_shape(a: &Shape, b: &Shape) -> Option<Shape> {
                 match out.get(l) {
                     Some(x) => {
                         let g = glb_shape(x, y)?;
-                        out.insert(l.clone(), g);
+                        out.insert(*l, g);
                     }
                     None => {
-                        out.insert(l.clone(), y.clone());
+                        out.insert(*l, y.clone());
                     }
                 }
             }
@@ -180,20 +180,20 @@ pub fn project_by_shape(v: &Value, s: &Shape) -> Result<Value, ValueError> {
     Ok(match (v, s) {
         (_, Shape::Unknown) => v.clone(),
         (Value::Record(fs), Shape::Record(ss)) => {
-            let mut out = BTreeMap::new();
+            let mut out = Vec::with_capacity(ss.len());
             for (l, fshape) in ss {
                 let Some(fv) = fs.get(l) else {
                     return Err(ValueError::NoSuchField {
                         value: show_value(v),
-                        label: l.clone(),
+                        label: l.to_string(),
                     });
                 };
-                out.insert(l.clone(), project_by_shape(fv, fshape)?);
+                out.push((*l, project_by_shape(fv, fshape)?));
             }
-            Value::Record(out)
+            Value::Record(Fields::from_sorted_vec(out))
         }
         (Value::Variant(l, p), Shape::Variant(ss)) => match ss.get(l) {
-            Some(pshape) => Value::Variant(l.clone(), Box::new(project_by_shape(p, pshape)?)),
+            Some(pshape) => Value::Variant(*l, Box::new(project_by_shape(p, pshape)?)),
             None => v.clone(),
         },
         (Value::Set(items), Shape::Set(es)) => Value::Set(
@@ -252,8 +252,11 @@ mod tests {
 
     #[test]
     fn glb_drops_incompatible_common_labels() {
-        let a = shape_of(&Value::record([("A".into(), Value::Int(1)), ("B".into(), Value::Int(2))]))
-            .unwrap();
+        let a = shape_of(&Value::record([
+            ("A".into(), Value::Int(1)),
+            ("B".into(), Value::Int(2)),
+        ]))
+        .unwrap();
         let b = shape_of(&Value::record([
             ("A".into(), Value::str("s")),
             ("B".into(), Value::Int(3)),
@@ -272,7 +275,10 @@ mod tests {
         )
         .unwrap();
         let projected = project_by_shape(&student("joe", 7), &skel).unwrap();
-        assert_eq!(projected, Value::record([("Name".into(), Value::str("joe"))]));
+        assert_eq!(
+            projected,
+            Value::record([("Name".into(), Value::str("joe"))])
+        );
     }
 
     #[test]

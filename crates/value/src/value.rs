@@ -4,25 +4,31 @@
 //! be kept canonical (sorted, deduplicated): equality of sets is then
 //! plain structural equality, matching the paper's mathematical sets.
 //!
-//! * records — ordered field maps;
+//! * records — [`Fields`]: label-sorted slices of interned [`Symbol`]
+//!   labels, so field access is a scan/binary-search over pointer-identity
+//!   ids and record comparison hits the identity fast path on equal labels;
 //! * variants — a label plus payload;
 //! * sets — [`crate::set::MSet`], always canonical;
 //! * references — a mutable cell plus a session-unique id; equality and
 //!   order are *identity* (`ref(3) = ref(3)` is `false`, per §5);
 //! * dynamics — a value packaged with its runtime type; compared by the
 //!   identity of the `dynamic` invocation that created them (§5).
+//!
+//! Containers (`Fields`, strings, set storage) sit behind `Rc`, so
+//! cloning a value — environment lookup, row materialization in joins —
+//! is a reference-count bump, not a deep copy.
 
 use crate::set::MSet;
 use machiavelli_syntax::ast::{BinOp, Expr};
+pub use machiavelli_syntax::symbol::{tuple_label, Symbol};
 use machiavelli_types::Ty;
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
-/// Record/variant labels.
-pub type Label = String;
+/// Record/variant labels (interned).
+pub type Label = Symbol;
 
 /// Session-unique identity supply for references and dynamics.
 static NEXT_IDENTITY: AtomicU64 = AtomicU64::new(1);
@@ -41,7 +47,10 @@ pub struct RefValue {
 impl RefValue {
     /// Allocate a fresh reference (fresh identity).
     pub fn new(v: Value) -> Self {
-        RefValue { id: fresh_identity(), cell: Rc::new(RefCell::new(v)) }
+        RefValue {
+            id: fresh_identity(),
+            cell: Rc::new(RefCell::new(v)),
+        }
     }
 
     /// Read the current contents (cloned).
@@ -68,19 +77,23 @@ pub struct DynValue {
 
 impl DynValue {
     pub fn new(v: Value, ty: Option<Ty>) -> Self {
-        DynValue { id: fresh_identity(), value: Rc::new(v), ty }
+        DynValue {
+            id: fresh_identity(),
+            value: Rc::new(v),
+            ty,
+        }
     }
 }
 
 /// A function closure: parameters, body, captured environment.
 #[derive(Debug)]
 pub struct Closure {
-    pub params: Vec<String>,
+    pub params: Vec<Symbol>,
     pub body: Expr,
     pub env: Env,
     /// For recursive closures (`fun` / `rec`): the closure's own name,
     /// rebound to itself at application time.
-    pub rec_name: Option<String>,
+    pub rec_name: Option<Symbol>,
 }
 
 /// Builtin function values (identifiers in the initial environment).
@@ -96,15 +109,200 @@ pub enum Builtin {
     ApplyC,
 }
 
+// --- record fields --------------------------------------------------------
+
+/// The fields of a record value: `(label, value)` entries sorted by the
+/// canonical (string) label order, behind an `Rc` so clones are O(1).
+///
+/// Lookup by [`Symbol`] scans/binary-searches by interned-label identity;
+/// lookup by `&str` binary-searches the (string-sorted) labels. The
+/// entry list is immutable — "mutation" (`insert`/`remove`) rebuilds,
+/// which matches the paper's pure `modify`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Fields {
+    entries: Rc<[(Symbol, Value)]>,
+}
+
+/// Lookup keys for [`Fields`]: symbols (fast id compare) or plain
+/// strings (order-based search).
+pub trait FieldKey {
+    fn find_in(&self, entries: &[(Symbol, Value)]) -> Option<usize>;
+}
+
+impl FieldKey for Symbol {
+    fn find_in(&self, entries: &[(Symbol, Value)]) -> Option<usize> {
+        // Records are narrow; a linear id scan beats binary search with
+        // its string-compare fallback until surprisingly wide rows.
+        if entries.len() <= 12 {
+            entries.iter().position(|(l, _)| l.id() == self.id())
+        } else {
+            entries.binary_search_by(|(l, _)| l.cmp(self)).ok()
+        }
+    }
+}
+
+impl FieldKey for &Symbol {
+    fn find_in(&self, entries: &[(Symbol, Value)]) -> Option<usize> {
+        (**self).find_in(entries)
+    }
+}
+
+impl FieldKey for &str {
+    fn find_in(&self, entries: &[(Symbol, Value)]) -> Option<usize> {
+        entries.binary_search_by(|(l, _)| l.as_str().cmp(self)).ok()
+    }
+}
+
+impl FieldKey for &String {
+    fn find_in(&self, entries: &[(Symbol, Value)]) -> Option<usize> {
+        self.as_str().find_in(entries)
+    }
+}
+
+impl Fields {
+    /// The empty field list.
+    pub fn new() -> Fields {
+        Fields::default()
+    }
+
+    /// Build from unsorted `(label, value)` pairs; on duplicate labels
+    /// the *last* value wins (`BTreeMap`-collect semantics).
+    pub fn from_vec(mut entries: Vec<(Symbol, Value)>) -> Fields {
+        entries.sort_by_key(|(a, _)| *a);
+        // Keep the last of each run of equal labels.
+        let mut out: Vec<(Symbol, Value)> = Vec::with_capacity(entries.len());
+        for (l, v) in entries {
+            match out.last_mut() {
+                Some((pl, pv)) if pl.id() == l.id() => *pv = v,
+                _ => out.push((l, v)),
+            }
+        }
+        Fields {
+            entries: out.into(),
+        }
+    }
+
+    /// Wrap entries already sorted by label (checked in debug builds).
+    pub fn from_sorted_vec(entries: Vec<(Symbol, Value)>) -> Fields {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Fields {
+            entries: entries.into(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted `(label, value)` entries.
+    pub fn entries(&self) -> &[(Symbol, Value)] {
+        &self.entries
+    }
+
+    pub fn get(&self, key: impl FieldKey) -> Option<&Value> {
+        key.find_in(&self.entries).map(|i| &self.entries[i].1)
+    }
+
+    pub fn contains_key(&self, key: impl FieldKey) -> bool {
+        key.find_in(&self.entries).is_some()
+    }
+
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&Symbol, &Value)> + Clone {
+        self.entries.iter().map(|(l, v)| (l, v))
+    }
+
+    pub fn keys(&self) -> impl ExactSizeIterator<Item = &Symbol> + Clone {
+        self.entries.iter().map(|(l, _)| l)
+    }
+
+    pub fn values(&self) -> impl ExactSizeIterator<Item = &Value> + Clone {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Insert/overwrite a field, rebuilding the entry list (records are
+    /// immutable values; this is the pure-update primitive).
+    pub fn insert(&mut self, label: Symbol, value: Value) -> Option<Value> {
+        let mut entries: Vec<(Symbol, Value)> = self.entries.to_vec();
+        match entries.binary_search_by(|(l, _)| l.cmp(&label)) {
+            Ok(i) => {
+                let old = std::mem::replace(&mut entries[i].1, value);
+                self.entries = entries.into();
+                Some(old)
+            }
+            Err(i) => {
+                entries.insert(i, (label, value));
+                self.entries = entries.into();
+                None
+            }
+        }
+    }
+
+    /// Remove a field, rebuilding the entry list.
+    pub fn remove(&mut self, key: impl FieldKey) -> Option<Value> {
+        let i = key.find_in(&self.entries)?;
+        let mut entries: Vec<(Symbol, Value)> = self.entries.to_vec();
+        let (_, v) = entries.remove(i);
+        self.entries = entries.into();
+        Some(v)
+    }
+
+    /// When the record is an n-tuple (`#1 … #n`), its items in index
+    /// order.
+    pub fn tuple_items(&self) -> Option<Vec<&Value>> {
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.len();
+        let mut out: Vec<Option<&Value>> = vec![None; n];
+        for (l, v) in self.iter() {
+            let s = l.as_str();
+            let idx: usize = s.strip_prefix('#')?.parse().ok()?;
+            if !(1..=n).contains(&idx) || out[idx - 1].is_some() {
+                return None;
+            }
+            out[idx - 1] = Some(v);
+        }
+        out.into_iter().collect()
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Fields {
+    fn from_iter<T: IntoIterator<Item = (Symbol, Value)>>(iter: T) -> Fields {
+        Fields::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Fields {
+    type Item = (&'a Symbol, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (Symbol, Value)>,
+        fn(&'a (Symbol, Value)) -> (&'a Symbol, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(l, v)| (l, v))
+    }
+}
+
+impl<K: FieldKey> std::ops::Index<K> for Fields {
+    type Output = Value;
+    fn index(&self, key: K) -> &Value {
+        self.get(key).expect("no such record field")
+    }
+}
+
 /// A Machiavelli runtime value.
 #[derive(Debug, Clone)]
 pub enum Value {
     Unit,
     Int(i64),
     Real(f64),
-    Str(String),
+    Str(Rc<str>),
     Bool(bool),
-    Record(BTreeMap<Label, Value>),
+    Record(Fields),
     Variant(Label, Box<Value>),
     Set(MSet),
     Ref(RefValue),
@@ -128,7 +326,7 @@ impl Value {
         Value::Set(MSet::from_iter(items))
     }
 
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Rc<str>>) -> Value {
         Value::Str(s.into())
     }
 
@@ -138,7 +336,7 @@ impl Value {
             items
                 .into_iter()
                 .enumerate()
-                .map(|(i, v)| (format!("#{}", i + 1), v))
+                .map(|(i, v)| (tuple_label(i + 1), v))
                 .collect(),
         )
     }
@@ -197,27 +395,21 @@ pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
         (Real(x), Real(y)) => x.total_cmp(y),
         (Str(x), Str(y)) => x.cmp(y),
         (Record(xs), Record(ys)) => {
-            // Compare label-wise; shorter/lexicographically-earlier label
-            // sets first.
-            let mut xi = xs.iter();
-            let mut yi = ys.iter();
-            loop {
-                match (xi.next(), yi.next()) {
-                    (None, None) => return Ordering::Equal,
-                    (None, Some(_)) => return Ordering::Less,
-                    (Some(_), None) => return Ordering::Greater,
-                    (Some((lx, vx)), Some((ly, vy))) => {
-                        let lc = lx.cmp(ly);
-                        if lc != Ordering::Equal {
-                            return lc;
-                        }
-                        let vc = value_cmp(vx, vy);
-                        if vc != Ordering::Equal {
-                            return vc;
-                        }
-                    }
+            // Entries are label-sorted, so this lexicographic walk is
+            // label-wise; equal labels compare as a pointer-identity check.
+            let xs = xs.entries();
+            let ys = ys.entries();
+            for ((lx, vx), (ly, vy)) in xs.iter().zip(ys) {
+                let lc = lx.cmp(ly);
+                if lc != Ordering::Equal {
+                    return lc;
+                }
+                let vc = value_cmp(vx, vy);
+                if vc != Ordering::Equal {
+                    return vc;
                 }
             }
+            xs.len().cmp(&ys.len())
         }
         (Variant(lx, px), Variant(ly, py)) => {
             let lc = lx.cmp(ly);
@@ -227,21 +419,13 @@ pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
             value_cmp(px, py)
         }
         (Set(xs), Set(ys)) => {
-            let mut xi = xs.iter();
-            let mut yi = ys.iter();
-            loop {
-                match (xi.next(), yi.next()) {
-                    (None, None) => return Ordering::Equal,
-                    (None, Some(_)) => return Ordering::Less,
-                    (Some(_), None) => return Ordering::Greater,
-                    (Some(x), Some(y)) => {
-                        let c = value_cmp(x, y);
-                        if c != Ordering::Equal {
-                            return c;
-                        }
-                    }
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                let c = value_cmp(x, y);
+                if c != Ordering::Equal {
+                    return c;
                 }
             }
+            xs.len().cmp(&ys.len())
         }
         (Ref(x), Ref(y)) => x.id.cmp(&y.id),
         (Dynamic(x), Dynamic(y)) => x.id.cmp(&y.id),
@@ -277,7 +461,9 @@ impl Ord for Value {
 
 // --- environments --------------------------------------------------------
 
-/// A persistent (shared-tail) evaluation environment.
+/// A persistent (shared-tail) evaluation environment, keyed by interned
+/// symbols: lookup walks the spine comparing interned-pointer ids, and the returned
+/// clone is cheap (values share their backing storage via `Rc`).
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     head: Option<Rc<EnvNode>>,
@@ -285,7 +471,7 @@ pub struct Env {
 
 #[derive(Debug)]
 struct EnvNode {
-    name: String,
+    name: Symbol,
     value: RefCell<Value>,
     next: Option<Rc<EnvNode>>,
 }
@@ -297,7 +483,7 @@ impl Env {
 
     /// Extend with a binding, returning the new environment (the original
     /// is untouched — closures capture cheaply).
-    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+    pub fn bind(&self, name: impl Into<Symbol>, value: Value) -> Env {
         Env {
             head: Some(Rc::new(EnvNode {
                 name: name.into(),
@@ -307,12 +493,32 @@ impl Env {
         }
     }
 
-    /// Look up a name (innermost binding wins).
-    pub fn lookup(&self, name: &str) -> Option<Value> {
+    /// Look up a name (innermost binding wins). The clone on return is
+    /// O(1) for containers (shared representation).
+    pub fn lookup(&self, name: impl Into<Symbol>) -> Option<Value> {
+        let id = name.into().id();
         let mut cur = self.head.as_ref();
         while let Some(node) = cur {
-            if node.name == name {
+            if node.name.id() == id {
                 return Some(node.value.borrow().clone());
+            }
+            cur = node.next.as_ref();
+        }
+        None
+    }
+
+    /// Run `f` on the bound value without cloning it (the truly
+    /// zero-cost read for callers that only need a look).
+    pub fn with_lookup<R>(
+        &self,
+        name: impl Into<Symbol>,
+        f: impl FnOnce(&Value) -> R,
+    ) -> Option<R> {
+        let id = name.into().id();
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            if node.name.id() == id {
+                return Some(f(&node.value.borrow()));
             }
             cur = node.next.as_ref();
         }
@@ -321,10 +527,11 @@ impl Env {
 
     /// Overwrite the innermost binding of `name` (used to tie recursive
     /// knots for `fun`).
-    pub fn set(&self, name: &str, value: Value) -> bool {
+    pub fn set(&self, name: impl Into<Symbol>, value: Value) -> bool {
+        let id = name.into().id();
         let mut cur = self.head.as_ref();
         while let Some(node) = cur {
-            if node.name == name {
+            if node.name.id() == id {
                 *node.value.borrow_mut() = value;
                 return true;
             }
@@ -370,11 +577,84 @@ mod tests {
     }
 
     #[test]
+    fn fields_lookup_by_symbol_and_str() {
+        let Value::Record(fs) =
+            Value::record([("A".into(), Value::Int(1)), ("B".into(), Value::Int(2))])
+        else {
+            panic!()
+        };
+        assert_eq!(fs.get(Symbol::intern("A")), Some(&Value::Int(1)));
+        assert_eq!(fs.get("B"), Some(&Value::Int(2)));
+        assert_eq!(fs.get("C"), None);
+        assert_eq!(fs["A"], Value::Int(1));
+        assert!(fs.contains_key("B"));
+    }
+
+    #[test]
+    fn fields_last_duplicate_wins() {
+        let f = Fields::from_vec(vec![
+            (Symbol::intern("A"), Value::Int(1)),
+            (Symbol::intern("A"), Value::Int(2)),
+        ]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get("A"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn fields_insert_remove() {
+        let mut f = Fields::from_vec(vec![(Symbol::intern("A"), Value::Int(1))]);
+        assert_eq!(f.insert(Symbol::intern("B"), Value::Int(2)), None);
+        assert_eq!(
+            f.insert(Symbol::intern("A"), Value::Int(9)),
+            Some(Value::Int(1))
+        );
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.remove("A"), Some(Value::Int(9)));
+        assert_eq!(f.remove("A"), None);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn fields_clone_is_shallow() {
+        let Value::Record(fs) = Value::record([("A".into(), Value::Int(1))]) else {
+            panic!()
+        };
+        let copy = fs.clone();
+        assert!(std::ptr::eq(fs.entries().as_ptr(), copy.entries().as_ptr()));
+    }
+
+    #[test]
+    fn tuple_detection() {
+        let Value::Record(fs) = Value::tuple([Value::Int(1), Value::Int(2)]) else {
+            panic!()
+        };
+        let items = fs.tuple_items().unwrap();
+        assert_eq!(items, vec![&Value::Int(1), &Value::Int(2)]);
+        let Value::Record(not) = Value::record([("A".into(), Value::Int(1))]) else {
+            panic!()
+        };
+        assert!(not.tuple_items().is_none());
+    }
+
+    #[test]
+    fn wide_tuples_order_numerically() {
+        let vals: Vec<Value> = (0..12).map(Value::Int).collect();
+        let Value::Record(fs) = Value::tuple(vals) else {
+            panic!()
+        };
+        let items = fs.tuple_items().unwrap();
+        assert_eq!(items[9], &Value::Int(9));
+        assert_eq!(items[11], &Value::Int(11));
+    }
+
+    #[test]
     fn total_order_across_constructors() {
-        let mut vals = [Value::Str("z".into()),
+        let mut vals = [
+            Value::str("z"),
             Value::Int(0),
             Value::Unit,
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Unit);
         assert!(matches!(vals[3], Value::Str(_)));
@@ -387,6 +667,15 @@ mod tests {
         // No panic, deterministic order.
         let _ = value_cmp(&a, &b);
         assert_eq!(value_cmp(&a, &a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn record_order_is_label_then_value() {
+        let ab = Value::record([("A".into(), Value::Int(1)), ("B".into(), Value::Int(2))]);
+        let ac = Value::record([("A".into(), Value::Int(1)), ("C".into(), Value::Int(0))]);
+        let a = Value::record([("A".into(), Value::Int(1))]);
+        assert_eq!(value_cmp(&ab, &ac), Ordering::Less);
+        assert_eq!(value_cmp(&a, &ab), Ordering::Less, "prefix orders first");
     }
 
     #[test]
@@ -404,6 +693,13 @@ mod tests {
         assert!(env.set("f", Value::Int(42)));
         assert_eq!(env.lookup("f"), Some(Value::Int(42)));
         assert!(!env.set("g", Value::Unit));
+    }
+
+    #[test]
+    fn env_with_lookup_borrows() {
+        let env = Env::new().bind("r", Value::record([("A".into(), Value::Int(7))]));
+        let got = env.with_lookup("r", |v| matches!(v, Value::Record(_)));
+        assert_eq!(got, Some(true));
     }
 
     #[test]

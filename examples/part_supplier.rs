@@ -6,9 +6,9 @@
 //! cargo run --example part_supplier [n_parts]
 //! ```
 
+use machiavelli::value::Value;
 use machiavelli_bench::{scaled_parts_session, FIG5_SOURCE};
 use machiavelli_relational::native_cost;
-use machiavelli::value::Value;
 
 fn main() {
     let n_parts: usize = std::env::args()
@@ -48,11 +48,17 @@ fn main() {
         .expect("cost query");
 
     // Cross-check every part against the native implementation.
-    let Value::Set(rows) = &out.value else { unreachable!() };
+    let Value::Set(rows) = &out.value else {
+        unreachable!()
+    };
     let mut checked = 0;
     for row in rows.iter() {
-        let Value::Record(fs) = row else { unreachable!() };
-        let (Value::Int(p), Value::Int(c)) = (&fs["P"], &fs["C"]) else { unreachable!() };
+        let Value::Record(fs) = row else {
+            unreachable!()
+        };
+        let (Value::Int(p), Value::Int(c)) = (&fs["P"], &fs["C"]) else {
+            unreachable!()
+        };
         assert_eq!(native_cost(&db.parts, *p), Some(*c), "part {p}");
         checked += 1;
     }
@@ -62,5 +68,9 @@ fn main() {
     let out = session
         .eval_one("expensive_parts(parts, 5000);")
         .expect("expensive_parts");
-    println!(">> val it = {} : {}", machiavelli::value::show_value(&out.value), out.scheme.show());
+    println!(
+        ">> val it = {} : {}",
+        machiavelli::value::show_value(&out.value),
+        out.scheme.show()
+    );
 }

@@ -16,5 +16,9 @@ use std::io::BufReader;
 fn main() -> std::io::Result<()> {
     let mut session = Session::new();
     let stdin = std::io::stdin();
-    run_repl(&mut session, BufReader::new(stdin.lock()), std::io::stdout())
+    run_repl(
+        &mut session,
+        BufReader::new(stdin.lock()),
+        std::io::stdout(),
+    )
 }

@@ -68,7 +68,9 @@ fn main() {
     session
         .run("fun Wealthy(S) = select x.Name where x <- S with x.Salary > 150000;")
         .expect("Wealthy");
-    let emp = session.eval_one("card(Wealthy(EmployeeView(persons)));").unwrap();
+    let emp = session
+        .eval_one("card(Wealthy(EmployeeView(persons)));")
+        .unwrap();
     let tfs = session.eval_one("card(Wealthy(TFView(persons)));").unwrap();
     println!(
         "wealthy employees: {}, wealthy teaching fellows: {}",

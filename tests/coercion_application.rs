@@ -22,10 +22,13 @@ fn closed_domain_function_accepts_wider_records() {
     // application to a wider record is a type error…
     s.run("fun greet(p) = \"hello \" ^ project(p, [Name: string]).Name;")
         .unwrap();
-    s.run("val namedOnly = (fn(p) => project(p, [Name: string]));").unwrap();
-    s.run("fun nameLen(p) = project(p, [Name: string]);").unwrap();
+    s.run("val namedOnly = (fn(p) => project(p, [Name: string]));")
+        .unwrap();
+    s.run("fun nameLen(p) = project(p, [Name: string]);")
+        .unwrap();
     // Build a closed-domain function via annotation-driven typing:
-    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);").unwrap();
+    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);")
+        .unwrap();
     // `exact` demands p : [Name:string] exactly (equality forces it).
     let err = s.run(r#"exact([Name="joe", Age=3]);"#).unwrap_err();
     assert!(err.to_string().contains("type error"), "{err}");
@@ -41,7 +44,8 @@ fn closed_domain_function_accepts_wider_records() {
 #[test]
 fn applyc_rejects_arguments_below_the_domain() {
     let mut s = Session::new();
-    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);").unwrap();
+    s.run("fun exact(p) = (project(p, [Name: string]) = p, p.Name);")
+        .unwrap();
     // [Age:int] is not ≥ [Name:string]: the ordering condition fails.
     let err = s.run("applyc(exact, [Age=3]);").unwrap_err();
     assert!(
@@ -73,11 +77,10 @@ fn applyc_condition_stays_symbolic_in_schemes() {
 #[test]
 fn applyc_with_nested_structure() {
     let mut s = Session::new();
-    s.run("fun lastName(p) = project(p, [Name: [Last: string]]);").unwrap();
+    s.run("fun lastName(p) = project(p, [Name: [Last: string]]);")
+        .unwrap();
     let out = s
-        .eval_one(
-            r#"applyc(lastName, [Name=[First="Joe", Last="Doe"], Salary=12345]);"#,
-        )
+        .eval_one(r#"applyc(lastName, [Name=[First="Joe", Last="Doe"], Salary=12345]);"#)
         .unwrap();
     assert_eq!(
         out.show(),

@@ -46,19 +46,16 @@ fn records_of_functions_are_not_description_types() {
     );
     // …but cannot enter sets or be compared.
     assert!(fails("{[F = (fn(x) => x)]};").contains("not a description type"));
-    assert!(fails("[F = (fn(x) => x)] = [F = (fn(x) => x)];")
-        .contains("not a description type"));
+    assert!(fails("[F = (fn(x) => x)] = [F = (fn(x) => x)];").contains("not a description type"));
     // Behind a ref it becomes a description again (§3.1's definition).
-    assert_eq!(
-        type_of("{ref((fn(x) => x + 1))};"),
-        "{ref(int -> int)}"
-    );
+    assert_eq!(type_of("{ref((fn(x) => x + 1))};"), "{ref(int -> int)}");
 }
 
 #[test]
 fn select_requires_description_results() {
-    assert!(fails("select (fn(y) => y) where x <- {1} with true;")
-        .contains("not a description type"));
+    assert!(
+        fails("select (fn(y) => y) where x <- {1} with true;").contains("not a description type")
+    );
 }
 
 #[test]
@@ -147,21 +144,23 @@ fn variants_inside_conditions() {
     // dynamically branch-sensitive.
     let mut s = Session::new();
     assert_eq!(
-        s.eval_one("con([V=(A of 1)], [V=(A of 1)]);").unwrap().show(),
+        s.eval_one("con([V=(A of 1)], [V=(A of 1)]);")
+            .unwrap()
+            .show(),
         "val it = true : bool"
     );
     assert_eq!(
-        s.eval_one("con([V=(A of 1)], [V=(A of 2)]);").unwrap().show(),
+        s.eval_one("con([V=(A of 1)], [V=(A of 2)]);")
+            .unwrap()
+            .show(),
         "val it = false : bool"
     );
     // Different branches of the same variant type are inconsistent values
     // but consistent *types*.
     assert_eq!(
-        s.eval_one(
-            "con([V=(A of 1)], [V=(B of \"x\")]);"
-        )
-        .unwrap()
-        .show(),
+        s.eval_one("con([V=(A of 1)], [V=(B of \"x\")]);")
+            .unwrap()
+            .show(),
         "val it = false : bool"
     );
 }
@@ -176,10 +175,7 @@ fn deep_row_composition_through_many_functions() {
          fun f4(x) = (f3(x), x.D);
          fun f4all(x) = f4(x);",
     );
-    assert_eq!(
-        shown,
-        "[('a) A:'b,B:'c,C:'d,D:'e] -> (('b * 'c) * 'd) * 'e"
-    );
+    assert_eq!(shown, "[('a) A:'b,B:'c,C:'d,D:'e] -> (('b * 'c) * 'd) * 'e");
 }
 
 #[test]
@@ -206,8 +202,16 @@ fn generalized_literals_are_reusable_at_many_types() {
     // A polymorphic record value (a literal) can be consumed by two
     // differently-shaped contexts thanks to generalization.
     let mut s = Session::new();
-    s.run("val point = [X=0, Y=0, Tag=(Origin of ())];").unwrap();
-    s.run("fun getX(p) = p.X; fun getTag(p) = p.Tag as Origin;").unwrap();
-    assert_eq!(s.eval_one("getX(point);").unwrap().show(), "val it = 0 : int");
-    assert_eq!(s.eval_one("getTag(point);").unwrap().show(), "val it = () : unit");
+    s.run("val point = [X=0, Y=0, Tag=(Origin of ())];")
+        .unwrap();
+    s.run("fun getX(p) = p.X; fun getTag(p) = p.Tag as Origin;")
+        .unwrap();
+    assert_eq!(
+        s.eval_one("getX(point);").unwrap().show(),
+        "val it = 0 : int"
+    );
+    assert_eq!(
+        s.eval_one("getTag(point);").unwrap().show(),
+        "val it = () : unit"
+    );
 }

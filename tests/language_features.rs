@@ -5,7 +5,9 @@
 use machiavelli::{Session, SessionError};
 
 fn run(s: &mut Session, src: &str) -> String {
-    s.eval_one(src).unwrap_or_else(|e| panic!("{src}: {e}")).show()
+    s.eval_one(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .show()
 }
 
 fn type_err(s: &mut Session, src: &str) -> String {
@@ -29,16 +31,16 @@ fn department_update_example_from_section_5() {
     // The paper's exact scenario: two employees sharing a department; an
     // update seen from emp1 is reflected at emp2.
     let mut s = Session::new();
-    s.run(r#"
+    s.run(
+        r#"
         val d = ref([Dname="Sales", Building=45]);
         val emp1 = [Name = "Jones", Department = d];
         val emp2 = [Name = "Smith", Department = d];
-    "#)
-    .unwrap();
-    s.run(
-        "let val d = emp1.Department in d := modify(!d, Building, 67) end;",
+    "#,
     )
     .unwrap();
+    s.run("let val d = emp1.Department in d := modify(!d, Building, 67) end;")
+        .unwrap();
     assert_eq!(
         run(&mut s, "(!(emp2.Department)).Building;"),
         "val it = 67 : int"
@@ -51,9 +53,15 @@ fn arithmetic_and_string_matrix() {
     assert_eq!(run(&mut s, "7 div 2 + 7 mod 2;"), "val it = 4 : int");
     assert_eq!(run(&mut s, "1.5 + 2.5;"), "val it = 4.0 : real");
     assert_eq!(run(&mut s, "10.0 / 4.0;"), "val it = 2.5 : real");
-    assert_eq!(run(&mut s, r#""data" ^ "base";"#), r#"val it = "database" : string"#);
+    assert_eq!(
+        run(&mut s, r#""data" ^ "base";"#),
+        r#"val it = "database" : string"#
+    );
     assert_eq!(run(&mut s, "-(2 - 5);"), "val it = 3 : int");
-    assert_eq!(run(&mut s, "1 <= 1 andalso 2 >= 3 orelse true;"), "val it = true : bool");
+    assert_eq!(
+        run(&mut s, "1 <= 1 andalso 2 >= 3 orelse true;"),
+        "val it = true : bool"
+    );
 }
 
 #[test]
@@ -71,7 +79,10 @@ fn nested_comprehensions() {
     );
     // Sets of sets.
     assert_eq!(
-        run(&mut s, "card(select union(a, b) where a <- {{1},{2}}, b <- {{3}} with true);"),
+        run(
+            &mut s,
+            "card(select union(a, b) where a <- {{1},{2}}, b <- {{3}} with true);"
+        ),
         "val it = 2 : int"
     );
 }
@@ -94,17 +105,26 @@ fn dependent_generators() {
 fn higher_order_functions() {
     let mut s = Session::new();
     assert_eq!(
-        run(&mut s, "fun twice(f, x) = f(f(x)); twice((fn(n) => n * 3), 2);"),
+        run(
+            &mut s,
+            "fun twice(f, x) = f(f(x)); twice((fn(n) => n * 3), 2);"
+        ),
         "val it = 18 : int"
     );
     assert_eq!(
-        run(&mut s, "fun compose(f, g) = (fn(x) => f(g(x))); \
-                     compose((fn(n) => n + 1), (fn(n) => n * 2))(10);"),
+        run(
+            &mut s,
+            "fun compose(f, g) = (fn(x) => f(g(x))); \
+                     compose((fn(n) => n + 1), (fn(n) => n * 2))(10);"
+        ),
         "val it = 21 : int"
     );
     // Polymorphic higher-order: map over a field selector.
     assert_eq!(
-        run(&mut s, "map((fn(r) => r.A), {[A=1, B=true], [A=2, B=false]});"),
+        run(
+            &mut s,
+            "map((fn(r) => r.A), {[A=1, B=true], [A=2, B=false]});"
+        ),
         "val it = {1, 2} : {int}"
     );
 }
@@ -173,14 +193,18 @@ fn shadowing_and_scoping() {
     s.run("val v = \"now a string\";").unwrap();
     assert_eq!(run(&mut s, "v;"), "val it = \"now a string\" : string");
     // Closures capture their definition environment, not the caller's.
-    s.run("val k = 10; fun addk(x) = x + k; val k = 1000;").unwrap();
+    s.run("val k = 10; fun addk(x) = x + k; val k = 1000;")
+        .unwrap();
     assert_eq!(run(&mut s, "addk(5);"), "val it = 15 : int");
 }
 
 #[test]
 fn hom_with_all_operator_values() {
     let mut s = Session::new();
-    assert_eq!(run(&mut s, "hom((fn(x) => x), *, 1, {1,2,3,4});"), "val it = 24 : int");
+    assert_eq!(
+        run(&mut s, "hom((fn(x) => x), *, 1, {1,2,3,4});"),
+        "val it = 24 : int"
+    );
     assert_eq!(
         run(&mut s, "hom((fn(x) => x > 1), orelse, false, {0,1,2});"),
         "val it = true : bool"
@@ -216,13 +240,15 @@ fn equality_is_deep_on_descriptions() {
 #[test]
 fn variant_heavy_program() {
     let mut s = Session::new();
-    s.run(r#"
+    s.run(
+        r#"
         fun area(shape) =
           (case shape of
              Circle of r => r * r * 3,
              Rect of d => d.W * d.H,
              Point of u => 0);
-    "#)
+    "#,
+    )
     .unwrap();
     assert_eq!(
         run(&mut s, "area((Rect of [W=3, H=4]));"),
@@ -249,12 +275,12 @@ fn recursive_data_through_refs() {
     use machiavelli::value::{RefValue, Value};
     let a = RefValue::new(Value::Unit);
     let b = RefValue::new(Value::record([
-        ("Name".to_string(), Value::str("b")),
-        ("Next".to_string(), Value::variant("Some", Value::Ref(a.clone()))),
+        ("Name".into(), Value::str("b")),
+        ("Next".into(), Value::variant("Some", Value::Ref(a.clone()))),
     ]));
     a.set(Value::record([
-        ("Name".to_string(), Value::str("a")),
-        ("Next".to_string(), Value::variant("Some", Value::Ref(b.clone()))),
+        ("Name".into(), Value::str("a")),
+        ("Next".into(), Value::variant("Some", Value::Ref(b.clone()))),
     ]));
     let mut s = Session::new();
     s.bind_external(
@@ -287,10 +313,12 @@ fn cyclic_inference_is_rejected_not_crashed() {
     // the occurs check reports it as a type error (and the error message
     // renders the cyclic kind without looping).
     let mut s = Session::new();
-    s.run(r#"
+    s.run(
+        r#"
         val a = ref([Name="a", Next=(None of ())]);
         val b = ref([Name="b", Next=(Some of a)]);
-    "#)
+    "#,
+    )
     .unwrap();
     let err = type_err(&mut s, "a := modify(!a, Next, (Some of b));");
     assert!(err.contains("occurs check"), "{err}");
@@ -332,15 +360,23 @@ fn unit_and_tuples() {
 fn long_session_stays_consistent() {
     // A miniature end-to-end workload: build, query, update, re-query.
     let mut s = Session::new();
-    s.run(r#"
+    s.run(
+        r#"
         val people = {[Name="a", Age=20], [Name="b", Age=30], [Name="c", Age=40]};
         fun adults(S) = select x.Name where x <- S with x.Age >= 30;
         val first = adults(people);
         val people2 = union(people, {[Name="d", Age=50]});
         val second = adults(people2);
-    "#)
+    "#,
+    )
     .unwrap();
     assert_eq!(run(&mut s, "first;"), r#"val it = {"b", "c"} : {string}"#);
-    assert_eq!(run(&mut s, "second;"), r#"val it = {"b", "c", "d"} : {string}"#);
-    assert_eq!(run(&mut s, "diff(second, first);"), r#"val it = {"d"} : {string}"#);
+    assert_eq!(
+        run(&mut s, "second;"),
+        r#"val it = {"b", "c", "d"} : {string}"#
+    );
+    assert_eq!(
+        run(&mut s, "diff(second, first);"),
+        r#"val it = {"d"} : {string}"#
+    );
 }

@@ -88,7 +88,8 @@ fn increment_age_type_and_application() {
 #[test]
 fn increment_age_preserves_extra_fields_exactly() {
     let mut s = Session::new();
-    s.run("fun increment_age(x) = modify(x, Age, x.Age + 1);").unwrap();
+    s.run("fun increment_age(x) = modify(x, Age, x.Age + 1);")
+        .unwrap();
     let out = s
         .eval_one(r#"increment_age([Name="J", Age=1, Dept="CIS", Salary=9]);"#)
         .unwrap();
@@ -119,8 +120,14 @@ fn id_session_from_section_3() {
     // The -> 1; -> fun id(x) = x; -> id(1); transcript of §3.3.
     let mut s = Session::new();
     assert_eq!(s.eval_one("1;").unwrap().show(), "val it = 1 : int");
-    assert_eq!(s.eval_one("fun id(x) = x;").unwrap().show(), "val id = fn : 'a -> 'a");
+    assert_eq!(
+        s.eval_one("fun id(x) = x;").unwrap().show(),
+        "val id = fn : 'a -> 'a"
+    );
     assert_eq!(s.eval_one("id(1);").unwrap().show(), "val it = 1 : int");
     // id also applies at other types afterwards (true polymorphism).
-    assert_eq!(s.eval_one("id(\"s\");").unwrap().show(), "val it = \"s\" : string");
+    assert_eq!(
+        s.eval_one("id(\"s\");").unwrap().show(),
+        "val it = \"s\" : string"
+    );
 }

@@ -43,7 +43,9 @@ fn parts_literal_written_in_machiavelli_agrees_with_native() {
 fn fig3_select_all_base_parts() {
     // -> join(parts, {[Pinfo=(BasePart of [])]});
     let mut s = fig2_session();
-    let out = s.eval_one("join(parts, {[Pinfo=(BasePart of [])]});").unwrap();
+    let out = s
+        .eval_one("join(parts, {[Pinfo=(BasePart of [])]});")
+        .unwrap();
     // Type resolves to the full parts type (paper prints exactly that).
     assert_eq!(
         out.scheme.show(),
@@ -51,8 +53,10 @@ fn fig3_select_all_base_parts() {
     );
     // Value: exactly the base parts.
     let expected = s
-        .eval_one(r#"{[Pname="bolt", P#=1, Pinfo=(BasePart of [Cost=5])],
-                      [Pname="nut", P#=2, Pinfo=(BasePart of [Cost=3])]};"#)
+        .eval_one(
+            r#"{[Pname="bolt", P#=1, Pinfo=(BasePart of [Cost=5])],
+                      [Pname="nut", P#=2, Pinfo=(BasePart of [Cost=3])]};"#,
+        )
         .unwrap();
     assert_eq!(out.value, expected.value);
 }

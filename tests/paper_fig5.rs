@@ -41,13 +41,18 @@ fn engine_cost_matches_native() {
     let mut s = fig2_session();
     s.run(FIG5_SOURCE).unwrap();
     let out = s
-        .eval_one(r#"cost([Pname="engine", P#=2189,
+        .eval_one(
+            r#"cost([Pname="engine", P#=2189,
                            Pinfo=(CompositePart of [SubParts={[P#=1,Qty=189],[P#=2,Qty=120]},
-                                                    AssemCost=1000])]);"#)
+                                                    AssemCost=1000])]);"#,
+        )
         .unwrap();
     // 1000 + 5*189 + 3*120 = 2305, also checked natively.
     assert_eq!(out.show(), "val it = 2305 : int");
-    assert_eq!(native_cost(&machiavelli_relational::fig2_parts(), 2189), Some(2305));
+    assert_eq!(
+        native_cost(&machiavelli_relational::fig2_parts(), 2189),
+        Some(2305)
+    );
 }
 
 #[test]
@@ -90,12 +95,20 @@ fn interpreted_cost_matches_native_on_generated_db() {
     let out = s
         .eval_one("select [P = x.P#, C = cost(x)] where x <- parts with true;")
         .unwrap();
-    let machiavelli::value::Value::Set(rows) = &out.value else { panic!() };
+    let machiavelli::value::Value::Set(rows) = &out.value else {
+        panic!()
+    };
     assert_eq!(rows.len(), db.parts.len());
     for row in rows.iter() {
-        let machiavelli::value::Value::Record(fs) = row else { panic!() };
-        let machiavelli::value::Value::Int(p) = fs["P"] else { panic!() };
-        let machiavelli::value::Value::Int(c) = fs["C"] else { panic!() };
+        let machiavelli::value::Value::Record(fs) = row else {
+            panic!()
+        };
+        let machiavelli::value::Value::Int(p) = fs["P"] else {
+            panic!()
+        };
+        let machiavelli::value::Value::Int(c) = fs["C"] else {
+            panic!()
+        };
         assert_eq!(native_cost(&db.parts, p), Some(c), "part {p}");
     }
 }

@@ -5,8 +5,8 @@
 //! "run opposite to the information ordering": Person ≤ Student ≤ TF and
 //! Person ≤ Employee ≤ TF.
 
-use machiavelli::types::{le, lower_closed, type_eq, Partial};
 use machiavelli::syntax::parse_type;
+use machiavelli::types::{le, lower_closed, type_eq, Partial};
 
 const PERSON_OBJ: &str = "rec p . ref([Name: string, \
     Salary: <None: unit, Value: int>, \
@@ -23,9 +23,7 @@ fn employee() -> String {
     format!("[Name: string, Salary: int, Id: {PERSON_OBJ}]")
 }
 fn teaching_fellow() -> String {
-    format!(
-        "[Name: string, Salary: int, Advisor: {PERSON_OBJ}, Class: string, Id: {PERSON_OBJ}]"
-    )
+    format!("[Name: string, Salary: int, Advisor: {PERSON_OBJ}, Class: string, Id: {PERSON_OBJ}]")
 }
 
 fn ty(src: &str) -> machiavelli::types::Ty {

@@ -1,20 +1,23 @@
 //! E7/E8 — Figures 8 and 9: views over person objects, join of views as
 //! intersection, and the advisor-salary query.
 
+use machiavelli::value::Value;
+use machiavelli::Session;
 use machiavelli_bench::university_session;
 use machiavelli_oodb::{
     employee_view, make_person, person_view, store_value, student_view, tf_view, PersonSpec,
     UniversityParams, MACHIAVELLI_VIEWS, PERSON_STORE_TYPE,
 };
-use machiavelli::value::Value;
-use machiavelli::Session;
 
 #[test]
 fn views_typecheck_with_expected_instances() {
     // "The types inferred for these functions will be quite general, but
     // the following are the instances that are important": applying each
     // view to a {PersonObj} store yields the Figure 7 class types.
-    let (s, _) = university_session(UniversityParams { n_people: 10, ..Default::default() });
+    let (s, _) = university_session(UniversityParams {
+        n_people: 10,
+        ..Default::default()
+    });
     // (The Id type prints one unfolding of the equi-recursive PersonObj;
     // the checker treats rec types up to unfolding.)
     let person = s.type_of("PersonView(persons);").unwrap();
@@ -83,15 +86,22 @@ fn fig9_students_earning_more_than_their_advisors() {
     let prof = make_person(PersonSpec::new("Prof").salary(90000));
     let poor_prof = make_person(PersonSpec::new("PoorProf").salary(1000));
     let rich_tf = make_person(
-        PersonSpec::new("RichTF").salary(50000).advisor(poor_prof.clone()).class("CS1"),
+        PersonSpec::new("RichTF")
+            .salary(50000)
+            .advisor(poor_prof.clone())
+            .class("CS1"),
     );
     let modest_tf = make_person(
-        PersonSpec::new("ModestTF").salary(20000).advisor(prof.clone()).class("CS2"),
+        PersonSpec::new("ModestTF")
+            .salary(20000)
+            .advisor(prof.clone())
+            .class("CS2"),
     );
     let store = store_value(&[prof, poor_prof, rich_tf, modest_tf]);
 
     let mut s = Session::new();
-    s.bind_external("persons", store, PERSON_STORE_TYPE).unwrap();
+    s.bind_external("persons", store, PERSON_STORE_TYPE)
+        .unwrap();
     s.run(MACHIAVELLI_VIEWS).unwrap();
     s.run("val supported_student = join(StudentView(persons), EmployeeView(persons));")
         .unwrap();
@@ -118,8 +128,12 @@ fn wealthy_method_is_inherited_by_subclass_views() {
         .unwrap();
     let on_employees = s.eval_one("Wealthy(EmployeeView(persons));").unwrap();
     let on_tfs = s.eval_one("Wealthy(TFView(persons));").unwrap();
-    let Value::Set(emp) = &on_employees.value else { panic!() };
-    let Value::Set(tfs) = &on_tfs.value else { panic!() };
+    let Value::Set(emp) = &on_employees.value else {
+        panic!()
+    };
+    let Value::Set(tfs) = &on_tfs.value else {
+        panic!()
+    };
     // TF wealthy names ⊆ employee wealthy names.
     assert!(tfs.is_subset(emp));
 }
@@ -140,12 +154,12 @@ fn shared_object_update_via_view() {
     )
     .unwrap();
     let out = s
-        .eval_one(
-            "select x.Name where x <- EmployeeView(persons) with x.Salary = 999999;",
-        )
+        .eval_one("select x.Name where x <- EmployeeView(persons) with x.Salary = 999999;")
         .unwrap();
     let count = s.eval_one("card(EmployeeView(persons));").unwrap();
-    let Value::Set(names) = &out.value else { panic!() };
+    let Value::Set(names) = &out.value else {
+        panic!()
+    };
     let Value::Int(n) = count.value else { panic!() };
     assert_eq!(names.len() as i64, n);
 }

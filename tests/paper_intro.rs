@@ -3,8 +3,7 @@
 
 use machiavelli::Session;
 
-const WEALTHY: &str =
-    "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;";
+const WEALTHY: &str = "fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;";
 
 #[test]
 fn wealthy_inferred_type_matches_paper() {
@@ -75,7 +74,9 @@ fn wealthy_rejects_relations_without_salary() {
 fn wealthy_rejects_non_int_salary() {
     let mut s = Session::new();
     s.run(WEALTHY).unwrap();
-    assert!(s.run(r#"Wealthy({[Name = "A", Salary = "big"]});"#).is_err());
+    assert!(s
+        .run(r#"Wealthy({[Name = "A", Salary = "big"]});"#)
+        .is_err());
 }
 
 #[test]

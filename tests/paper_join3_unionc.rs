@@ -1,10 +1,10 @@
 //! E9/E10 — §3.3's `Join3` conditional scheme and projection session;
 //! §5's `unionc`, class `member`, and dynamics.
 
-use machiavelli_bench::university_session;
-use machiavelli_oodb::UniversityParams;
 use machiavelli::value::Value;
 use machiavelli::Session;
+use machiavelli_bench::university_session;
+use machiavelli_oodb::UniversityParams;
 
 #[test]
 fn join3_session_from_section_3_3() {
@@ -12,7 +12,9 @@ fn join3_session_from_section_3_3() {
     // -> val fun Join3(x,y,z) = join(x,join(y,z));
     // >> val Join3 = fn : ("a * "b * "c) -> "d
     //    where { "d = "a lub "e, "e = "b lub "c }
-    let out = s.eval_one("fun Join3(x,y,z) = join(x, join(y,z));").unwrap();
+    let out = s
+        .eval_one("fun Join3(x,y,z) = join(x, join(y,z));")
+        .unwrap();
     assert_eq!(
         out.show(),
         "val Join3 = fn : (\"a * \"b * \"c) -> \"d where { \"d = \"a lub \"e, \"e = \"b lub \"c }"
@@ -58,7 +60,9 @@ fn con_examples_from_section_2() {
         .eval_one(r#"con([Name=[First="Joe"], Age=21], [Name=[Last="Doe"]]);"#)
         .unwrap();
     assert_eq!(out.show(), "val it = true : bool");
-    let out = s.eval_one(r#"con([Name="Joe", Age=21], [Name="Sue"]);"#).unwrap();
+    let out = s
+        .eval_one(r#"con([Name="Joe", Age=21], [Name="Sue"]);"#)
+        .unwrap();
     assert_eq!(out.show(), "val it = false : bool");
 }
 
@@ -117,7 +121,10 @@ fn unionc_of_views_is_class_union() {
     // the ref still lists the optional Salary attribute, of course).
     assert!(ty.starts_with("{[Id:ref("), "{ty}");
     assert!(ty.ends_with(",Name:string]}"), "{ty}");
-    assert!(!ty.contains("Salary:int,") && !ty.contains("Salary:int]"), "{ty}");
+    assert!(
+        !ty.contains("Salary:int,") && !ty.contains("Salary:int]"),
+        "{ty}"
+    );
 }
 
 #[test]
@@ -146,9 +153,7 @@ fn dynamics_have_creation_identity() {
     let mut s = Session::new();
     let out = s.eval_one("dynamic([A=1]) = dynamic([A=1]);").unwrap();
     assert_eq!(out.show(), "val it = false : bool");
-    let out = s
-        .eval_one("let d = dynamic([A=1]) in d = d end;")
-        .unwrap();
+    let out = s.eval_one("let d = dynamic([A=1]) in d = d end;").unwrap();
     assert_eq!(out.show(), "val it = true : bool");
 }
 

@@ -18,7 +18,9 @@ fn part_supplier_database_roundtrips() {
 #[test]
 fn saved_session_answers_the_same_queries() {
     let mut s1 = fig2_session();
-    let saved = s1.save_bindings(&["parts", "suppliers", "supplied_by"]).unwrap();
+    let saved = s1
+        .save_bindings(&["parts", "suppliers", "supplied_by"])
+        .unwrap();
 
     let mut s2 = Session::new();
     let names = s2.load_bindings(&saved).unwrap();
@@ -36,7 +38,11 @@ fn saved_session_answers_the_same_queries() {
 fn university_object_graph_roundtrips_with_sharing() {
     // Advisor edges are shared references; after a round trip, a student's
     // advisor must be the *same object* as the corresponding person.
-    let uni = gen_university(UniversityParams { n_people: 40, seed: 31, ..Default::default() });
+    let uni = gen_university(UniversityParams {
+        n_people: 40,
+        seed: 31,
+        ..Default::default()
+    });
     let store = uni.store();
     let decoded = decode_value(&encode_value(&store).unwrap()).unwrap();
 
@@ -68,7 +74,11 @@ fn university_object_graph_roundtrips_with_sharing() {
 
 #[test]
 fn loaded_views_behave_identically() {
-    let uni = gen_university(UniversityParams { n_people: 30, seed: 5, ..Default::default() });
+    let uni = gen_university(UniversityParams {
+        n_people: 30,
+        seed: 5,
+        ..Default::default()
+    });
     let mut s = Session::new();
     s.bind_external("persons", uni.store(), machiavelli_oodb::PERSON_STORE_TYPE)
         .unwrap();
@@ -90,7 +100,10 @@ fn load_rejects_corrupted_data() {
     let mut s2 = Session::new();
     // Truncations and bit flips must be rejected, not crash.
     for end in [1, saved.len() / 2, saved.len() - 1] {
-        assert!(s2.load_bindings(&saved[..end]).is_err(), "truncated at {end}");
+        assert!(
+            s2.load_bindings(&saved[..end]).is_err(),
+            "truncated at {end}"
+        );
     }
     let corrupted = saved.replace("suppliers", "suppliersX");
     assert!(s2.load_bindings(&corrupted).is_err());
@@ -99,7 +112,8 @@ fn load_rejects_corrupted_data() {
 #[test]
 fn dynamic_payloads_roundtrip() {
     let mut s = Session::new();
-    s.run(r#"val external = {dynamic([Name="e1", Salary=10])};"#).unwrap();
+    s.run(r#"val external = {dynamic([Name="e1", Salary=10])};"#)
+        .unwrap();
     let saved = s.save_bindings(&["external"]).unwrap();
     let mut s2 = Session::new();
     s2.load_bindings(&saved).unwrap();
@@ -123,8 +137,5 @@ fn values_bound_via_external_types_roundtrip() {
     let saved = s.save_bindings(&["r"]).unwrap();
     let mut s2 = Session::new();
     s2.load_bindings(&saved).unwrap();
-    assert_eq!(
-        s2.eval_one("card(r);").unwrap().show(),
-        "val it = 4 : int"
-    );
+    assert_eq!(s2.eval_one("card(r);").unwrap().show(), "val it = 4 : int");
 }

@@ -12,14 +12,14 @@
 //! * the interpreter's `select`/`join` agree with the native substrate.
 
 use machiavelli::types::{glb, le, lub, type_eq, Partial};
-use machiavelli::value::{
-    con_value, join_value, project_value, value_cmp, MSet, Value,
-};
+use machiavelli::value::{con_value, join_value, project_value, value_cmp, MSet, Value};
 use machiavelli_relational::{
     edges_to_relation, hash_join, naive_closure, nested_loop_join, seminaive_closure,
     sort_merge_join, Relation,
 };
 use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher as _;
 
 // ----- generators ---------------------------------------------------------
 
@@ -27,22 +27,26 @@ use proptest::prelude::*;
 fn arb_flat_record() -> impl Strategy<Value = Value> {
     let field = prop_oneof![
         (0i64..5).prop_map(Value::Int),
-        "[a-c]{1}".prop_map(Value::Str),
+        "[a-c]{1}".prop_map(Value::str),
         any::<bool>().prop_map(Value::Bool),
     ];
     proptest::collection::btree_map(
-        prop_oneof![Just("A".to_string()), Just("B".to_string()), Just("C".to_string())],
+        prop_oneof![
+            Just("A".to_string()),
+            Just("B".to_string()),
+            Just("C".to_string())
+        ],
         field,
         0..3,
     )
-    .prop_map(Value::Record)
+    .prop_map(|m| Value::record(m.into_iter().map(|(l, v)| (l.into(), v))))
 }
 
 /// Nested description values (records of records / base values).
 fn arb_desc_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
         (0i64..10).prop_map(Value::Int),
-        "[a-b]{1,2}".prop_map(Value::Str),
+        "[a-b]{1,2}".prop_map(Value::str),
         any::<bool>().prop_map(Value::Bool),
         Just(Value::Unit),
     ];
@@ -58,7 +62,7 @@ fn arb_desc_value() -> impl Strategy<Value = Value> {
                 inner.clone(),
                 0..3,
             )
-            .prop_map(Value::Record),
+            .prop_map(|m| Value::record(m.into_iter().map(|(l, v)| (l.into(), v)))),
             // Sets must be homogeneous to be well-typed (heterogeneous
             // sets are rejected statically, and the join laws only hold
             // for typeable values), so set elements are drawn from one
@@ -72,12 +76,7 @@ fn arb_desc_value() -> impl Strategy<Value = Value> {
 /// Description *types* over a small label universe.
 fn arb_desc_type() -> impl Strategy<Value = machiavelli::types::Ty> {
     use machiavelli::types::ty::*;
-    let leaf = prop_oneof![
-        Just(t_int()),
-        Just(t_str()),
-        Just(t_bool()),
-        Just(t_unit()),
-    ];
+    let leaf = prop_oneof![Just(t_int()), Just(t_str()), Just(t_bool()), Just(t_unit()),];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             proptest::collection::btree_map(
@@ -89,7 +88,7 @@ fn arb_desc_type() -> impl Strategy<Value = machiavelli::types::Ty> {
                 inner.clone(),
                 0..3,
             )
-            .prop_map(t_record),
+            .prop_map(|m| t_record(m.into_iter().map(|(l, t)| (l.into(), t)))),
             inner.prop_map(t_set),
         ]
     })
@@ -237,7 +236,7 @@ proptest! {
         // Restrict to homogeneous flat relations: take the first row's
         // labels as the schema for each side.
         let schema_of = |v: &Value| match v {
-            Value::Record(fs) => fs.keys().cloned().collect::<Vec<_>>(),
+            Value::Record(fs) => fs.keys().copied().collect::<Vec<_>>(),
             _ => vec![],
         };
         let homog = |rows: Vec<Value>| -> Relation {
@@ -263,6 +262,41 @@ proptest! {
         // Idempotent.
         let again = naive_closure(&naive.iter().copied().collect::<Vec<_>>());
         prop_assert_eq!(again, naive);
+    }
+}
+
+// ----- bulk-merge and structural hashing -------------------------------------
+
+proptest! {
+    #[test]
+    fn mset_extend_matches_repeated_insert(
+        base in proptest::collection::vec(0i64..25, 0..20),
+        adds in proptest::collection::vec(0i64..25, 0..20),
+    ) {
+        let mut bulk = MSet::from_iter(base.iter().map(|&x| Value::Int(x)));
+        let mut slow = bulk.clone();
+        bulk.extend(adds.iter().map(|&x| Value::Int(x)));
+        for &x in &adds {
+            slow.insert(Value::Int(x));
+        }
+        prop_assert_eq!(&bulk, &slow);
+        // extend is union with the normalized additions.
+        let addset = MSet::from_iter(adds.iter().map(|&x| Value::Int(x)));
+        prop_assert_eq!(bulk, MSet::from_iter(base.into_iter().map(Value::Int)).union(&addset));
+    }
+
+    #[test]
+    fn structural_hash_respects_equality(a in arb_desc_value(), b in arb_desc_value()) {
+        let digest = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            machiavelli::value::hash_value(v, &mut h);
+            h.finish()
+        };
+        // Equal values must hash equal (the HashMap soundness direction).
+        if a == b {
+            prop_assert_eq!(digest(&a), digest(&b));
+        }
+        prop_assert_eq!(digest(&a), digest(&a.clone()));
     }
 }
 
