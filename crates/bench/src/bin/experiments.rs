@@ -32,6 +32,13 @@ impl Report {
     }
 }
 
+fn as_card(v: &machiavelli::value::Value) -> usize {
+    match v {
+        machiavelli::value::Value::Set(s) => s.len(),
+        _ => 0,
+    }
+}
+
 fn main() {
     let mut r = Report { failures: 0 };
 
@@ -196,6 +203,58 @@ fn main() {
         &either.to_string(),
         &show_value(&out.value),
     );
+
+    println!("\n== E11: comprehension planner — plan shapes and agreement ==");
+    {
+        use machiavelli::eval::set_planner_enabled;
+        let (mut s, _db) = machiavelli_bench::scaled_parts_session(400, 40, 11);
+        let join_query = "select (p.Pname, sb.P#) where p <- parts, sb <- supplied_by \
+                          with p.P# = sb.P#;";
+        let tree = s.plan_of(join_query).unwrap();
+        println!("{tree}");
+        r.check(
+            "fig9-shape equi-join plans as hash build/probe",
+            "plan contains a HashJoin node",
+            if tree.contains("HashJoin") {
+                "HashJoin"
+            } else {
+                "missing"
+            },
+            tree.contains("HashJoin"),
+        );
+        let fallback = s
+            .plan_of("select x where x <- parts with not(member(x, parts));")
+            .unwrap();
+        r.check(
+            "unsafe predicate falls back to select_loop",
+            "Fallback (select_loop): …",
+            &fallback,
+            fallback.starts_with("Fallback (select_loop)"),
+        );
+        let timed = |s: &mut Session, on: bool, query: &str| {
+            let prev = set_planner_enabled(on);
+            let t0 = std::time::Instant::now();
+            let out = s.eval_one(query).unwrap().value;
+            let dt = t0.elapsed();
+            set_planner_enabled(prev);
+            (out, dt)
+        };
+        let (planned, t_plan) = timed(&mut s, true, join_query);
+        let (interpreted, t_interp) = timed(&mut s, false, join_query);
+        r.check(
+            "planner and select_loop agree on the equi-join",
+            &format!("{} rows", as_card(&interpreted)),
+            &format!("{} rows", as_card(&planned)),
+            planned == interpreted,
+        );
+        let speedup = t_interp.as_secs_f64() / t_plan.as_secs_f64().max(1e-9);
+        r.check(
+            "hash build/probe beats the nested loop at n=400",
+            "≥ 5×",
+            &format!("{speedup:.1}× ({t_interp:.2?} vs {t_plan:.2?})"),
+            speedup >= 5.0,
+        );
+    }
 
     println!("\n== E10: §5 — unionc equation, member, dynamics ==");
     let mut s = Session::new();

@@ -31,7 +31,7 @@
 //! ```
 //!
 //! The pipeline crates are re-exported: [`syntax`], [`types`], [`value`],
-//! [`eval`].
+//! [`plan`], [`eval`].
 
 pub mod error;
 pub mod persist;
@@ -44,6 +44,7 @@ pub use repl::run_repl;
 pub use session::{Outcome, Session};
 
 pub use machiavelli_eval as eval;
+pub use machiavelli_plan as plan;
 pub use machiavelli_syntax as syntax;
 pub use machiavelli_types as types;
 pub use machiavelli_value as value;

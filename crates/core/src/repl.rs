@@ -15,7 +15,8 @@ pub fn run_repl(
 ) -> std::io::Result<()> {
     writeln!(
         output,
-        "Machiavelli (SIGMOD 1989 reproduction). End phrases with `;`; `quit;` exits."
+        "Machiavelli (SIGMOD 1989 reproduction). End phrases with `;`; \
+         `:plan <phrase>;` explains a comprehension; `quit;` exits."
     )?;
     let mut pending = String::new();
     write!(output, "-> ")?;
@@ -29,13 +30,30 @@ pub fn run_repl(
         pending.push_str(&line);
         pending.push('\n');
         if complete(&pending) {
-            match session.run(&pending) {
-                Ok(outcomes) => {
-                    for o in outcomes {
-                        writeln!(output, ">> {}", o.show())?;
+            // The command token needs a word boundary: `:plans …` is not
+            // `:plan s …`, it falls through to the parser's error.
+            if let Some(rest) = pending
+                .trim_start()
+                .strip_prefix(":plan")
+                .filter(|r| r.starts_with(char::is_whitespace))
+            {
+                match session.plan_of(rest) {
+                    Ok(tree) => {
+                        for l in tree.lines() {
+                            writeln!(output, ">> {l}")?;
+                        }
                     }
+                    Err(e) => writeln!(output, ">> error: {e}")?,
                 }
-                Err(e) => writeln!(output, ">> error: {e}")?,
+            } else {
+                match session.run(&pending) {
+                    Ok(outcomes) => {
+                        for o in outcomes {
+                            writeln!(output, ">> {}", o.show())?;
+                        }
+                    }
+                    Err(e) => writeln!(output, ">> error: {e}")?,
+                }
             }
             pending.clear();
             write!(output, "-> ")?;
@@ -125,6 +143,35 @@ mod tests {
         assert!(text.contains(">> val double = fn : int -> int"), "{text}");
         assert!(text.contains(">> val it = 42 : int"), "{text}");
         assert!(text.contains("goodbye"), "{text}");
+    }
+
+    #[test]
+    fn repl_plan_command() {
+        let mut session = Session::new();
+        let input =
+            b":plan select (x, y) where x <- r, y <- s with x.K = y.K;\n1;\nquit;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(">> Project (x, y)"), "{text}");
+        assert!(
+            text.contains(">>   HashJoin probe(x.K) build(y.K)"),
+            "{text}"
+        );
+        // The session keeps running after :plan.
+        assert!(text.contains(">> val it = 1 : int"), "{text}");
+    }
+
+    #[test]
+    fn repl_plan_requires_word_boundary() {
+        let mut session = Session::new();
+        let input = b":plans 1;\nquit;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Not treated as `:plan s 1;` — it reaches the parser instead.
+        assert!(text.contains(">> error:"), "{text}");
+        assert!(!text.contains("Project"), "{text}");
     }
 
     #[test]

@@ -107,6 +107,34 @@ impl Session {
             .ok_or_else(|| SessionError::Parse("empty program".into()))
     }
 
+    /// Explain how the comprehension planner would execute the first
+    /// `select` in the final phrase of `src`: the rendered physical
+    /// operator tree, or the fallback line naming why the shape runs
+    /// through the interpreter's nested loop instead. The session is not
+    /// modified (nothing is type-checked or evaluated).
+    ///
+    /// Also behind the REPL's `:plan` command.
+    pub fn plan_of(&self, src: &str) -> Result<String, SessionError> {
+        let program =
+            parse_program(src).map_err(|e| SessionError::Parse(e.display_with_source(src)))?;
+        let Some(phrase) = program.last() else {
+            return Err(SessionError::Parse("empty program".into()));
+        };
+        let expr = match &phrase.kind {
+            PhraseKind::Val { expr, .. } | PhraseKind::Expr(expr) => expr,
+            PhraseKind::Fun { body, .. } => body,
+        };
+        let Some((generators, pred, result)) = machiavelli_plan::find_select(expr) else {
+            return Ok("no select comprehension in phrase".into());
+        };
+        Ok(
+            match machiavelli_plan::plan_select(generators, pred, result) {
+                Ok(plan) => machiavelli_plan::explain(&plan),
+                Err(reason) => format!("Fallback (select_loop): {reason}"),
+            },
+        )
+    }
+
     /// Look up a bound value.
     pub fn get(&self, name: &str) -> Option<Value> {
         self.env.lookup(name)
@@ -377,6 +405,32 @@ mod tests {
             .eval_one("card(select x where x <- emps with (!(x.Dept)).Building = 67);")
             .unwrap();
         assert_eq!(out.show(), "val it = 2 : int");
+    }
+
+    #[test]
+    fn plan_of_renders_hash_join_and_fallback() {
+        let s = Session::new();
+        let tree = s
+            .plan_of("select (x.A, y.B) where x <- r, y <- s with x.K = y.K;")
+            .unwrap();
+        assert!(tree.starts_with("Project"), "{tree}");
+        assert!(tree.contains("HashJoin probe(x.K) build(y.K)"), "{tree}");
+        // Unsafe predicate: reported as a fallback, not an error.
+        let tree = s
+            .plan_of("select x where x <- r with member(x, s);")
+            .unwrap();
+        assert!(tree.starts_with("Fallback (select_loop):"), "{tree}");
+        // No comprehension at all.
+        let tree = s.plan_of("1 + 2;").unwrap();
+        assert_eq!(tree, "no select comprehension in phrase");
+        // Finds the select inside a function definition.
+        let tree = s
+            .plan_of("fun Wealthy(S) = select x.Name where x <- S with x.Salary > 100000;")
+            .unwrap();
+        assert!(
+            tree.contains("Scan x <- S filter (x.Salary > 100000)"),
+            "{tree}"
+        );
     }
 
     #[test]

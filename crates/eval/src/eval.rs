@@ -14,6 +14,7 @@
 //! * the database operations delegated to `machiavelli-value`.
 
 use crate::error::EvalError;
+use machiavelli_plan::{mentions_any, plan_select, ExecError};
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
 use machiavelli_syntax::symbol::Symbol;
 use machiavelli_types::lower::lower_closed;
@@ -21,6 +22,7 @@ use machiavelli_value::{
     con_value, conforms, join_value, project_value, show_value, unionc_value, Builtin, Closure,
     DynValue, Env, Fields, MSet, RefValue, Value, ValueError,
 };
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// Maximum evaluator recursion depth: a logical guard against runaway
@@ -49,6 +51,24 @@ pub fn eval_expr(env: &Env, e: &Expr) -> Result<Value, EvalError> {
 pub fn apply_value(f: &Value, args: Vec<Value>) -> Result<Value, EvalError> {
     let mut cx = Cx { depth: 0 };
     cx.apply(f, args)
+}
+
+thread_local! {
+    /// Whether `select` dispatches to the comprehension planner
+    /// (`machiavelli-plan`). On by default; tests and the
+    /// planner-vs-interpreter benches flip it to force `select_loop`.
+    static PLANNER_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Is planner dispatch for `select` enabled on this thread?
+pub fn planner_enabled() -> bool {
+    PLANNER_ENABLED.with(|c| c.get())
+}
+
+/// Enable/disable planner dispatch on this thread, returning the
+/// previous setting (so callers can restore it).
+pub fn set_planner_enabled(on: bool) -> bool {
+    PLANNER_ENABLED.with(|c| c.replace(on))
 }
 
 /// The initial evaluation environment: builtins that are ordinary
@@ -234,6 +254,16 @@ impl Cx {
                 let zv = self.eval(env, z)?;
                 let sv = self.eval(env, set)?;
                 let items = as_set(&sv)?;
+                // `hom` with the union operator (the paper's map/filter
+                // idiom) is a bulk accumulation: k per-step merges cost
+                // O(k·n) element shifts, one `MSet::extend` costs one
+                // sort plus one merge. Union is proper (associative,
+                // commutative, idempotent), so batching is unobservable;
+                // `f` still runs in right-fold order with the same
+                // not-a-set error points as the generic fold.
+                if matches!(opv, Value::Builtin(Builtin::Union)) && !items.is_empty() {
+                    return self.union_fold(&fv, &zv, items.iter().rev());
+                }
                 // Right fold, per the paper's definition.
                 let mut acc = zv;
                 for x in items.iter().rev() {
@@ -252,6 +282,13 @@ impl Cx {
                     return Err(ValueError::EmptyHomStar.into());
                 };
                 let mut acc = self.apply(&fv, vec![last.clone()])?;
+                // Same bulk-union path as `hom`, seeded by the first
+                // application; on a singleton set the operator is never
+                // applied, so `acc` passes through unchecked exactly
+                // like the generic fold.
+                if matches!(opv, Value::Builtin(Builtin::Union)) && items.len() > 1 {
+                    return self.union_fold(&fv, &acc, iter);
+                }
                 for x in iter {
                     let fx = self.apply(&fv, vec![x.clone()])?;
                     acc = self.apply(&opv, vec![fx, acc])?;
@@ -310,6 +347,25 @@ impl Cx {
                 generators,
                 pred,
             } => {
+                // Default path: compile the comprehension into an operator
+                // pipeline (hash build/probe for equi-join shapes, filter
+                // pushdown). `plan_select` declines shapes where
+                // reordering could be observable — those and a disabled
+                // planner fall through to the nested-loop semantics
+                // below. Expression evaluation inside the pipeline calls
+                // back into `self`, so semantics live in one place.
+                if planner_enabled() {
+                    if let Ok(plan) = plan_select(generators, pred, result) {
+                        return match machiavelli_plan::execute(&plan, env, self) {
+                            Ok(v) => Ok(v),
+                            Err(ExecError::Eval(e)) => Err(e),
+                            Err(ExecError::NotASet(shown)) => {
+                                Err(ValueError::NotASet(shown).into())
+                            }
+                            Err(ExecError::NotABool(shown)) => Err(EvalError::NotAFunction(shown)),
+                        };
+                    }
+                }
                 // The paper's semantics builds the product of the sources,
                 // so each independent source is evaluated exactly once.
                 // Sources that mention earlier generator variables (a
@@ -406,6 +462,36 @@ impl Cx {
                 }
             }
         }
+    }
+
+    /// The shared bulk path for `hom`/`hom*` with the union operator:
+    /// apply `f` over `items` (already in right-fold order, excluding
+    /// whatever produced `seed`), then merge everything into `seed` with
+    /// one `MSet::extend` instead of per-step merges. Error points match
+    /// the generic fold exactly: each application result is set-checked
+    /// as it arrives, and the seed is set-checked once, right after the
+    /// first application (where the generic fold's first union would
+    /// inspect it).
+    fn union_fold<'a>(
+        &mut self,
+        fv: &Value,
+        seed: &Value,
+        items: impl Iterator<Item = &'a Value>,
+    ) -> Result<Value, EvalError> {
+        let mut parts: Vec<Value> = Vec::new();
+        let mut seed_checked = false;
+        for x in items {
+            let fx = self.apply(fv, vec![x.clone()])?;
+            let fx = as_set(&fx)?;
+            if !seed_checked {
+                as_set(seed)?;
+                seed_checked = true;
+            }
+            parts.extend(fx.iter().cloned());
+        }
+        let mut acc = as_set(seed)?.clone();
+        acc.extend(parts);
+        Ok(Value::Set(acc))
     }
 
     /// Nested-loop evaluation of `select` over pre-evaluated independent
@@ -515,79 +601,13 @@ impl Cx {
     }
 }
 
-/// Conservative syntactic test: does `e` mention any of `names` as an
-/// identifier? (Shadowing is ignored, erring toward re-evaluation.)
-fn mentions_any(e: &Expr, names: &[Symbol]) -> bool {
-    if names.is_empty() {
-        return false;
-    }
-    use ExprKind::*;
-    match &e.kind {
-        Var(x) => names.contains(x),
-        Unit | Int(_) | Real(_) | Str(_) | Bool(_) | OpVal(_) | Raise(_) => false,
-        Lambda { body, .. } => mentions_any(body, names),
-        App { func, args } => {
-            mentions_any(func, names) || args.iter().any(|a| mentions_any(a, names))
-        }
-        If {
-            cond,
-            then_branch,
-            else_branch,
-        } => {
-            mentions_any(cond, names)
-                || mentions_any(then_branch, names)
-                || mentions_any(else_branch, names)
-        }
-        Record(fields) => fields.iter().any(|(_, fe)| mentions_any(fe, names)),
-        Field { expr, .. }
-        | Inject { expr, .. }
-        | As { expr, .. }
-        | Deref(expr)
-        | Ref(expr)
-        | MakeDynamic(expr)
-        | Coerce { expr, .. }
-        | Project { expr, .. } => mentions_any(expr, names),
-        Modify { expr, value, .. } => mentions_any(expr, names) || mentions_any(value, names),
-        Case {
-            expr,
-            arms,
-            default,
-        } => {
-            mentions_any(expr, names)
-                || arms.iter().any(|a| mentions_any(&a.body, names))
-                || default.as_ref().is_some_and(|d| mentions_any(d, names))
-        }
-        Set(items) => items.iter().any(|i| mentions_any(i, names)),
-        Union { left, right }
-        | Unionc { left, right }
-        | Con { left, right }
-        | Join { left, right }
-        | Assign {
-            target: left,
-            value: right,
-        }
-        | Binop { left, right, .. } => mentions_any(left, names) || mentions_any(right, names),
-        Hom { f, op, z, set } => {
-            mentions_any(f, names)
-                || mentions_any(op, names)
-                || mentions_any(z, names)
-                || mentions_any(set, names)
-        }
-        HomStar { f, op, set } => {
-            mentions_any(f, names) || mentions_any(op, names) || mentions_any(set, names)
-        }
-        Let { bound, body, .. } => mentions_any(bound, names) || mentions_any(body, names),
-        Select {
-            result,
-            generators,
-            pred,
-        } => {
-            mentions_any(result, names)
-                || mentions_any(pred, names)
-                || generators.iter().any(|g| mentions_any(&g.source, names))
-        }
-        Unop { expr, .. } => mentions_any(expr, names),
-        Rec { body, .. } => mentions_any(body, names),
+/// The planner's callback into the evaluator: pipeline operators
+/// evaluate sources, filters, join keys and the result expression
+/// through the ordinary `eval`, sharing depth/stack accounting.
+impl machiavelli_plan::EvalHook for Cx {
+    type Error = EvalError;
+    fn eval(&mut self, env: &Env, expr: &Expr) -> Result<Value, EvalError> {
+        Cx::eval(self, env, expr)
     }
 }
 

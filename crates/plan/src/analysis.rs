@@ -1,0 +1,298 @@
+//! Static analyses over comprehension ASTs: variable mentions (for
+//! generator dependency classification), the planner-safe expression
+//! class (for reorderable predicates), conjunct splitting, and a helper
+//! to locate the comprehension inside a phrase for `:plan`.
+
+use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, Generator};
+use machiavelli_syntax::symbol::Symbol;
+
+/// Conservative syntactic test: does `e` mention any of `names` as an
+/// identifier? Shadowing is ignored, erring toward "mentions" — the same
+/// test the evaluator's `select_loop` uses to decide which generator
+/// sources it may pre-evaluate, so planner and fallback always classify
+/// a generator the same way (this matters when sources allocate `ref`
+/// identities: evaluating once vs. per binding is observable).
+pub fn mentions_any(e: &Expr, names: &[Symbol]) -> bool {
+    if names.is_empty() {
+        return false;
+    }
+    use ExprKind::*;
+    match &e.kind {
+        Var(x) => names.contains(x),
+        Unit | Int(_) | Real(_) | Str(_) | Bool(_) | OpVal(_) | Raise(_) => false,
+        Lambda { body, .. } => mentions_any(body, names),
+        App { func, args } => {
+            mentions_any(func, names) || args.iter().any(|a| mentions_any(a, names))
+        }
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            mentions_any(cond, names)
+                || mentions_any(then_branch, names)
+                || mentions_any(else_branch, names)
+        }
+        Record(fields) => fields.iter().any(|(_, fe)| mentions_any(fe, names)),
+        Field { expr, .. }
+        | Inject { expr, .. }
+        | As { expr, .. }
+        | Deref(expr)
+        | Ref(expr)
+        | MakeDynamic(expr)
+        | Coerce { expr, .. }
+        | Project { expr, .. } => mentions_any(expr, names),
+        Modify { expr, value, .. } => mentions_any(expr, names) || mentions_any(value, names),
+        Case {
+            expr,
+            arms,
+            default,
+        } => {
+            mentions_any(expr, names)
+                || arms.iter().any(|a| mentions_any(&a.body, names))
+                || default.as_ref().is_some_and(|d| mentions_any(d, names))
+        }
+        Set(items) => items.iter().any(|i| mentions_any(i, names)),
+        Union { left, right }
+        | Unionc { left, right }
+        | Con { left, right }
+        | Join { left, right }
+        | Assign {
+            target: left,
+            value: right,
+        }
+        | Binop { left, right, .. } => mentions_any(left, names) || mentions_any(right, names),
+        Hom { f, op, z, set } => {
+            mentions_any(f, names)
+                || mentions_any(op, names)
+                || mentions_any(z, names)
+                || mentions_any(set, names)
+        }
+        HomStar { f, op, set } => {
+            mentions_any(f, names) || mentions_any(op, names) || mentions_any(set, names)
+        }
+        Let { bound, body, .. } => mentions_any(bound, names) || mentions_any(body, names),
+        Select {
+            result,
+            generators,
+            pred,
+        } => {
+            mentions_any(result, names)
+                || mentions_any(pred, names)
+                || generators.iter().any(|g| mentions_any(&g.source, names))
+        }
+        Unop { expr, .. } => mentions_any(expr, names),
+        Rec { body, .. } => mentions_any(body, names),
+    }
+}
+
+/// The planner-safe expression class: pure (no references, no fresh
+/// identities), total (cannot raise — `div`/`mod` are excluded because
+/// they raise on zero), terminating (no application, no recursion), and
+/// binder-free (no `fn`/`let`/`case`/`select`, so [`mentions_any`] is
+/// exact on safe expressions). Evaluating a safe expression more often,
+/// less often, or in a different order than the nested-loop semantics is
+/// unobservable.
+pub fn is_safe_expr(e: &Expr) -> bool {
+    use ExprKind::*;
+    match &e.kind {
+        Unit | Int(_) | Real(_) | Str(_) | Bool(_) | Var(_) => true,
+        Record(fields) => fields.iter().all(|(_, fe)| is_safe_expr(fe)),
+        Field { expr, .. } => is_safe_expr(expr),
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => is_safe_expr(cond) && is_safe_expr(then_branch) && is_safe_expr(else_branch),
+        Set(items) => items.iter().all(is_safe_expr),
+        Union { left, right } | Con { left, right } => is_safe_expr(left) && is_safe_expr(right),
+        Binop { op, left, right } => {
+            // `div`/`mod` raise on a zero divisor; everything else on
+            // this list is total on type-correct operands.
+            !matches!(op, BinOp::Div | BinOp::Mod) && is_safe_expr(left) && is_safe_expr(right)
+        }
+        Unop { expr, .. } => is_safe_expr(expr),
+        // Applications, folds, references, dynamics, variants (`as` can
+        // raise), `modify`, `join`/`project` (can fail on inconsistent
+        // values), binders and nested comprehensions: not reorderable.
+        _ => false,
+    }
+}
+
+/// One conjunct of a decomposed `with` clause.
+///
+/// `strict` records the error discipline of the evaluator's `andalso`:
+/// every conjunct except the syntactically last one is the left operand
+/// of some `andalso`, whose dynamic rule *raises* on a non-boolean,
+/// while the final conjunct's value is only pattern-matched against
+/// `true` (a non-boolean silently rejects the binding). Safe conjuncts
+/// in type-checked programs are always boolean; the executor keeps the
+/// distinction anyway so that when an ill-typed conjunct *is* evaluated,
+/// it reports the same error class as `select_loop` (reordering/pruning
+/// for ill-typed programs remains outside the contract — see the crate
+/// docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Conjunct<'a> {
+    pub expr: &'a Expr,
+    pub strict: bool,
+}
+
+/// Split a predicate into its `andalso` conjuncts, in evaluation order,
+/// dropping literal `true`s. An empty result means the predicate is a
+/// tautology.
+pub fn split_conjuncts(pred: &Expr) -> Vec<Conjunct<'_>> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match &e.kind {
+            ExprKind::Binop {
+                op: BinOp::Andalso,
+                left,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            ExprKind::Bool(true) => {}
+            _ => out.push(e),
+        }
+    }
+    let mut flat = Vec::new();
+    walk(pred, &mut flat);
+    let last = flat.len().saturating_sub(1);
+    flat.into_iter()
+        .enumerate()
+        .map(|(i, expr)| Conjunct {
+            expr,
+            strict: i != last,
+        })
+        .collect()
+}
+
+/// Locate the outermost `select` comprehension in an expression
+/// (pre-order), for `Session::plan_of` / the `:plan` REPL command.
+pub fn find_select(e: &Expr) -> Option<(&[Generator], &Expr, &Expr)> {
+    use ExprKind::*;
+    if let Select {
+        result,
+        generators,
+        pred,
+    } = &e.kind
+    {
+        return Some((generators, pred, result));
+    }
+    match &e.kind {
+        Unit | Int(_) | Real(_) | Str(_) | Bool(_) | Var(_) | OpVal(_) | Raise(_) => None,
+        Lambda { body, .. } | Rec { body, .. } => find_select(body),
+        App { func, args } => find_select(func).or_else(|| args.iter().find_map(find_select)),
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => find_select(cond)
+            .or_else(|| find_select(then_branch))
+            .or_else(|| find_select(else_branch)),
+        Record(fields) => fields.iter().find_map(|(_, fe)| find_select(fe)),
+        Field { expr, .. }
+        | Inject { expr, .. }
+        | As { expr, .. }
+        | Deref(expr)
+        | Ref(expr)
+        | MakeDynamic(expr)
+        | Coerce { expr, .. }
+        | Project { expr, .. }
+        | Unop { expr, .. } => find_select(expr),
+        Modify { expr, value, .. } => find_select(expr).or_else(|| find_select(value)),
+        Case {
+            expr,
+            arms,
+            default,
+        } => find_select(expr)
+            .or_else(|| arms.iter().find_map(|a| find_select(&a.body)))
+            .or_else(|| default.as_deref().and_then(find_select)),
+        Set(items) => items.iter().find_map(find_select),
+        Union { left, right }
+        | Unionc { left, right }
+        | Con { left, right }
+        | Join { left, right }
+        | Assign {
+            target: left,
+            value: right,
+        }
+        | Binop { left, right, .. } => find_select(left).or_else(|| find_select(right)),
+        Hom { f, op, z, set } => find_select(f)
+            .or_else(|| find_select(op))
+            .or_else(|| find_select(z))
+            .or_else(|| find_select(set)),
+        HomStar { f, op, set } => find_select(f)
+            .or_else(|| find_select(op))
+            .or_else(|| find_select(set)),
+        Let { bound, body, .. } => find_select(bound).or_else(|| find_select(body)),
+        Select { .. } => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machiavelli_syntax::parse_expr;
+
+    #[test]
+    fn safe_class_membership() {
+        for src in [
+            "x.A = y.B",
+            "x.Salary > 100000",
+            "x.A + 1 < 3 andalso not(y.B = 2) orelse true",
+            "if x.A > 0 then x.B else y.B",
+            "con([A=1], x)",
+            "union(x.S, y.S) = {1}",
+            "(x.A, y.B) = (1, 2)",
+        ] {
+            assert!(is_safe_expr(&parse_expr(src).unwrap()), "{src}");
+        }
+        for src in [
+            "1 div x.A = 0",
+            "x.A mod 2 = 0",
+            "f(x) = 1",
+            "member(x, S)",
+            "(x as Label) = 1",
+            "!r = 1",
+            "hom((fn(v) => v), +, 0, x.S) > 0",
+            "(select v where v <- x.S with true) = {}",
+            "let val a = x.A in a = 1 end",
+        ] {
+            assert!(!is_safe_expr(&parse_expr(src).unwrap()), "{src}");
+        }
+    }
+
+    #[test]
+    fn conjunct_splitting_and_strictness() {
+        let e = parse_expr("(a andalso true) andalso (b andalso c)").unwrap();
+        let cs = split_conjuncts(&e);
+        assert_eq!(cs.len(), 3);
+        assert!(cs[0].strict && cs[1].strict && !cs[2].strict);
+
+        // orelse is one conjunct, not split.
+        let e = parse_expr("a orelse b").unwrap();
+        assert_eq!(split_conjuncts(&e).len(), 1);
+
+        // A literal-true predicate has no conjuncts.
+        let e = parse_expr("true").unwrap();
+        assert!(split_conjuncts(&e).is_empty());
+    }
+
+    #[test]
+    fn mentions_tracks_generator_vars() {
+        let xs = [Symbol::intern("x")];
+        assert!(mentions_any(&parse_expr("x.Suppliers").unwrap(), &xs));
+        assert!(!mentions_any(&parse_expr("parts").unwrap(), &xs));
+        // Conservative under shadowing: still counts as a mention.
+        assert!(mentions_any(&parse_expr("(fn(x) => x.A)(y)").unwrap(), &xs));
+    }
+
+    #[test]
+    fn find_select_descends() {
+        let e = parse_expr("card(select x where x <- S with true) + 1").unwrap();
+        let (gens, _, _) = find_select(&e).unwrap();
+        assert_eq!(gens.len(), 1);
+        assert!(find_select(&parse_expr("1 + 2").unwrap()).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Rendering of physical plans for `Session::plan_of` and the REPL's
+//! `:plan` command. One operator per line, children indented two spaces;
+//! expressions print in concrete syntax via the syntax crate's pretty
+//! printer. Golden-plan tests pin this format.
+
+use crate::analysis::Conjunct;
+use crate::physical::{PhysOp, PhysicalPlan};
+use machiavelli_syntax::pretty::expr_to_string;
+use std::fmt::Write as _;
+
+/// Render the operator tree, e.g.:
+///
+/// ```text
+/// Project (x.Pname, y.Sname)
+///   HashJoin probe(x.S#) build(y.S#)
+///     Scan x <- parts
+///     Build y <- suppliers filter (y.City = "Paris")
+/// ```
+pub fn explain(plan: &PhysicalPlan<'_>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Project {}", expr_to_string(plan.result));
+    render(&plan.root, 1, &mut out);
+    // Drop the trailing newline for easy embedding in REPL output.
+    out.truncate(out.trim_end().len());
+    out
+}
+
+fn filters_suffix(filters: &[Conjunct<'_>]) -> String {
+    if filters.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = filters.iter().map(|c| expr_to_string(c.expr)).collect();
+    format!(" filter ({})", rendered.join(" andalso "))
+}
+
+fn keys_list(keys: &[&machiavelli_syntax::ast::Expr]) -> String {
+    keys.iter()
+        .map(|k| expr_to_string(k))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match op {
+        PhysOp::Scan {
+            var,
+            source,
+            filters,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}Scan {var} <- {}{}",
+                expr_to_string(source),
+                filters_suffix(filters)
+            );
+        }
+        PhysOp::NestedLoop {
+            input,
+            var,
+            source,
+            dependent,
+            filters,
+        } => {
+            let dep = if *dependent { " (dependent)" } else { "" };
+            let _ = writeln!(
+                out,
+                "{pad}NestedLoop {var} <- {}{dep}{}",
+                expr_to_string(source),
+                filters_suffix(filters)
+            );
+            render(input, depth + 1, out);
+        }
+        PhysOp::HashJoin {
+            input,
+            var,
+            source,
+            filters,
+            probe_keys,
+            build_keys,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}HashJoin probe({}) build({})",
+                keys_list(probe_keys),
+                keys_list(build_keys)
+            );
+            render(input, depth + 1, out);
+            let _ = writeln!(
+                out,
+                "{pad}  Build {var} <- {}{}",
+                expr_to_string(source),
+                filters_suffix(filters)
+            );
+        }
+        PhysOp::Filter { input, conjuncts } => {
+            let rendered: Vec<String> = conjuncts.iter().map(|c| expr_to_string(c.expr)).collect();
+            let _ = writeln!(out, "{pad}Filter ({})", rendered.join(" andalso "));
+            render(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::compile;
+    use machiavelli_syntax::ast::ExprKind;
+    use machiavelli_syntax::parse_expr;
+
+    fn plan_text(src: &str) -> String {
+        let e = parse_expr(src).unwrap();
+        let ExprKind::Select {
+            result,
+            generators,
+            pred,
+        } = &e.kind
+        else {
+            panic!()
+        };
+        explain(&compile(generators, pred, result).unwrap().physical())
+    }
+
+    #[test]
+    fn hash_join_rendering() {
+        let text =
+            plan_text("select (x.A, y.B) where x <- r, y <- s with x.K = y.K andalso y.B > 1");
+        assert_eq!(
+            text,
+            "Project (x.A, y.B)\n  \
+             HashJoin probe(x.K) build(y.K)\n    \
+             Scan x <- r\n    \
+             Build y <- s filter (y.B > 1)"
+        );
+    }
+
+    #[test]
+    fn nested_loop_and_residual_rendering() {
+        let text = plan_text("select x where x <- r, y <- s with x.K < y.K");
+        assert_eq!(
+            text,
+            "Project x\n  \
+             Filter (x.K < y.K)\n    \
+             NestedLoop y <- s\n      \
+             Scan x <- r"
+        );
+    }
+
+    #[test]
+    fn dependent_rendering() {
+        let text = plan_text("select s where p <- db, s <- p.Suppliers with true");
+        assert_eq!(
+            text,
+            "Project s\n  \
+             NestedLoop s <- p.Suppliers (dependent)\n    \
+             Scan p <- db"
+        );
+    }
+}

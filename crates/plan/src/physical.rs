@@ -1,0 +1,574 @@
+//! The physical operator pipeline: an executable tree of `Scan` /
+//! `Filter` / `HashJoin` / `NestedLoop` operators under a `Project`,
+//! plus a pull-based executor over [`Value`]/[`MSet`].
+//!
+//! Operators yield **environments**: each pulled row is the outer
+//! evaluation environment extended with one binding per generator
+//! (environments are persistent linked lists, so extension is O(1) and
+//! shares all tails). Expression evaluation — sources, filters, keys,
+//! the result — goes through the [`EvalHook`] callback into the real
+//! evaluator, so the pipeline adds strategy, never new semantics.
+//!
+//! Hash-join keys reuse the structural hashing of
+//! [`machiavelli_value::hash_value`] with [`value_eq`] equality, exactly
+//! like the relational substrate's `RowKey` — collision-correct for all
+//! description values, no rendering, no reliance on display injectivity.
+
+use crate::analysis::Conjunct;
+use crate::logical::LogicalPlan;
+use machiavelli_syntax::ast::Expr;
+use machiavelli_syntax::symbol::Symbol;
+use machiavelli_value::{hash_value, show_value, value_eq, Env, MSet, Value};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Callback into the host evaluator. The executor never interprets
+/// expressions itself; it only decides *which* expressions to evaluate
+/// *in which* environments.
+pub trait EvalHook {
+    type Error;
+    fn eval(&mut self, env: &Env, expr: &Expr) -> Result<Value, Self::Error>;
+}
+
+/// Executor errors: either the hook failed, or a value had the wrong
+/// shape at an operator boundary (mirroring the evaluator's own errors
+/// so the dispatch layer can convert losslessly).
+#[derive(Debug)]
+pub enum ExecError<E> {
+    /// The evaluator callback failed (raised, unbound, …).
+    Eval(E),
+    /// A generator source evaluated to a non-set (rendered value).
+    NotASet(String),
+    /// A strict conjunct (left operand of `andalso`) evaluated to a
+    /// non-boolean (rendered value).
+    NotABool(String),
+}
+
+impl<E> From<E> for ExecError<E> {
+    fn from(e: E) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// A physical operator. The tree is left-deep in generator order:
+/// generator 0 is the innermost `Scan`, each later generator wraps the
+/// pipeline in a join operator, and residual conjuncts sit in `Filter`
+/// nodes at the level where they become decidable.
+#[derive(Debug)]
+pub enum PhysOp<'a> {
+    /// Materialize an independent source once and stream its elements,
+    /// binding `var` (pushed-down conjuncts applied per element).
+    Scan {
+        var: Symbol,
+        source: &'a Expr,
+        filters: Vec<Conjunct<'a>>,
+    },
+    /// Cross/“θ” join: for each input row, iterate the source — evaluated
+    /// once when independent, per input row when `dependent`.
+    NestedLoop {
+        input: Box<PhysOp<'a>>,
+        var: Symbol,
+        source: &'a Expr,
+        dependent: bool,
+        filters: Vec<Conjunct<'a>>,
+    },
+    /// Hash build/probe equi-join: build a table over the (independent)
+    /// source keyed by `build_keys(var)`, then probe with
+    /// `probe_keys(earlier binders)` per input row.
+    HashJoin {
+        input: Box<PhysOp<'a>>,
+        var: Symbol,
+        source: &'a Expr,
+        filters: Vec<Conjunct<'a>>,
+        probe_keys: Vec<&'a Expr>,
+        build_keys: Vec<&'a Expr>,
+    },
+    /// Residual predicate evaluation over input rows.
+    Filter {
+        input: Box<PhysOp<'a>>,
+        conjuncts: Vec<Conjunct<'a>>,
+    },
+}
+
+/// The full pipeline: operator tree plus the projected result.
+#[derive(Debug)]
+pub struct PhysicalPlan<'a> {
+    pub root: PhysOp<'a>,
+    pub result: &'a Expr,
+}
+
+impl<'a> LogicalPlan<'a> {
+    /// Lower to the physical operator tree.
+    pub fn physical(self) -> PhysicalPlan<'a> {
+        let mut steps = self.steps.into_iter();
+        let first = steps.next().expect("compile() guarantees ≥1 generator");
+        let mut root = PhysOp::Scan {
+            var: first.var,
+            source: first.source,
+            filters: first.filters,
+        };
+        debug_assert!(first.keys.is_empty(), "first generator cannot equi-join");
+        if !first.residual.is_empty() {
+            root = PhysOp::Filter {
+                input: Box::new(root),
+                conjuncts: first.residual,
+            };
+        }
+        for step in steps {
+            root = if !step.keys.is_empty() {
+                PhysOp::HashJoin {
+                    input: Box::new(root),
+                    var: step.var,
+                    source: step.source,
+                    filters: step.filters,
+                    probe_keys: step.keys.iter().map(|k| k.probe).collect(),
+                    build_keys: step.keys.iter().map(|k| k.build).collect(),
+                }
+            } else {
+                PhysOp::NestedLoop {
+                    input: Box::new(root),
+                    var: step.var,
+                    source: step.source,
+                    dependent: step.dependent,
+                    filters: step.filters,
+                }
+            };
+            if !step.residual.is_empty() {
+                root = PhysOp::Filter {
+                    input: Box::new(root),
+                    conjuncts: step.residual,
+                };
+            }
+        }
+        PhysicalPlan {
+            root,
+            result: self.result,
+        }
+    }
+}
+
+/// An owned composite hash key: structural hash, `value_eq` equality —
+/// consistent by construction, like `ValueKey`, but owning its values so
+/// the build table can outlive the probe loop.
+#[derive(Debug)]
+struct KeyTuple(Vec<Value>);
+
+impl Hash for KeyTuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            hash_value(v, state);
+        }
+    }
+}
+
+impl PartialEq for KeyTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| value_eq(a, b))
+    }
+}
+
+impl Eq for KeyTuple {}
+
+/// Run the pipeline in `env`, returning the canonical result set.
+/// Independent sources are evaluated exactly once, in generator order;
+/// the result expression runs per surviving binding, in the same order
+/// the nested-loop semantics would reach it; deduplication happens once
+/// at the end.
+pub fn execute<H: EvalHook>(
+    plan: &PhysicalPlan<'_>,
+    env: &Env,
+    hook: &mut H,
+) -> Result<Value, ExecError<H::Error>> {
+    let mut root = Node::open(&plan.root, env, hook)?;
+    let mut out = Vec::new();
+    while let Some(binding) = root.next(hook)? {
+        out.push(hook.eval(&binding, plan.result)?);
+    }
+    Ok(Value::Set(MSet::from_iter(out)))
+}
+
+/// Check one conjunct against a candidate binding. `Ok(true)` accepts,
+/// `Ok(false)` rejects; a strict conjunct evaluating to a non-boolean
+/// reproduces the evaluator's `andalso` error.
+fn check<H: EvalHook>(
+    c: &Conjunct<'_>,
+    env: &Env,
+    hook: &mut H,
+) -> Result<bool, ExecError<H::Error>> {
+    match hook.eval(env, c.expr)? {
+        Value::Bool(b) => Ok(b),
+        other if c.strict => Err(ExecError::NotABool(show_value(&other))),
+        _ => Ok(false),
+    }
+}
+
+fn check_all<H: EvalHook>(
+    cs: &[Conjunct<'_>],
+    env: &Env,
+    hook: &mut H,
+) -> Result<bool, ExecError<H::Error>> {
+    for c in cs {
+        if !check(c, env, hook)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn as_set<E>(v: Value) -> Result<MSet, ExecError<E>> {
+    match v {
+        Value::Set(s) => Ok(s),
+        other => Err(ExecError::NotASet(show_value(&other))),
+    }
+}
+
+/// Runtime state of one operator (same shape as [`PhysOp`]).
+enum Node<'p> {
+    Scan {
+        var: Symbol,
+        filters: &'p [Conjunct<'p>],
+        base: Env,
+        items: MSet,
+        idx: usize,
+    },
+    NestedLoop {
+        input: Box<Node<'p>>,
+        var: Symbol,
+        source: &'p Expr,
+        filters: &'p [Conjunct<'p>],
+        /// `Some` when the source is independent (evaluated at open).
+        fixed: Option<MSet>,
+        /// The in-flight outer binding and its source cursor.
+        cur: Option<(Env, MSet, usize)>,
+    },
+    HashJoin {
+        input: Box<Node<'p>>,
+        var: Symbol,
+        probe_keys: &'p [&'p Expr],
+        /// Build rows grouped by key, in source (canonical set) order.
+        table: HashMap<KeyTuple, Vec<Value>>,
+        /// The in-flight probe binding and its match cursor.
+        cur: Option<(Env, Vec<Value>, usize)>,
+    },
+    Filter {
+        input: Box<Node<'p>>,
+        conjuncts: &'p [Conjunct<'p>],
+    },
+}
+
+impl<'p> Node<'p> {
+    /// Open the pipeline: recurse input-first so independent sources are
+    /// evaluated in generator order (matching `select_loop`'s up-front
+    /// source pass, including which source errors first).
+    fn open<H: EvalHook>(
+        op: &'p PhysOp<'p>,
+        env: &Env,
+        hook: &mut H,
+    ) -> Result<Node<'p>, ExecError<H::Error>> {
+        Ok(match op {
+            PhysOp::Scan {
+                var,
+                source,
+                filters,
+            } => {
+                let items = as_set(hook.eval(env, source)?)?;
+                Node::Scan {
+                    var: *var,
+                    filters,
+                    base: env.clone(),
+                    items,
+                    idx: 0,
+                }
+            }
+            PhysOp::NestedLoop {
+                input,
+                var,
+                source,
+                dependent,
+                filters,
+            } => {
+                let input = Box::new(Node::open(input, env, hook)?);
+                let fixed = if *dependent {
+                    None
+                } else {
+                    Some(as_set(hook.eval(env, source)?)?)
+                };
+                Node::NestedLoop {
+                    input,
+                    var: *var,
+                    source,
+                    filters,
+                    fixed,
+                    cur: None,
+                }
+            }
+            PhysOp::HashJoin {
+                input,
+                var,
+                source,
+                filters,
+                probe_keys,
+                build_keys,
+            } => {
+                let input = Box::new(Node::open(input, env, hook)?);
+                let items = as_set(hook.eval(env, source)?)?;
+                // Build phase: pushed filters prune rows, then each row
+                // is keyed in the *outer* environment extended with only
+                // its own binding (keys mention only this binder).
+                #[allow(clippy::mutable_key_type)] // refs hash by identity
+                let mut table: HashMap<KeyTuple, Vec<Value>> = HashMap::with_capacity(items.len());
+                for item in items.iter() {
+                    let row_env = env.bind(*var, item.clone());
+                    if !check_all(filters, &row_env, hook)? {
+                        continue;
+                    }
+                    let key = KeyTuple(
+                        build_keys
+                            .iter()
+                            .map(|k| hook.eval(&row_env, k))
+                            .collect::<Result<_, _>>()?,
+                    );
+                    table.entry(key).or_default().push(item.clone());
+                }
+                Node::HashJoin {
+                    input,
+                    var: *var,
+                    probe_keys,
+                    table,
+                    cur: None,
+                }
+            }
+            PhysOp::Filter { input, conjuncts } => Node::Filter {
+                input: Box::new(Node::open(input, env, hook)?),
+                conjuncts,
+            },
+        })
+    }
+
+    /// Pull the next surviving binding, or `None` when exhausted.
+    fn next<H: EvalHook>(&mut self, hook: &mut H) -> Result<Option<Env>, ExecError<H::Error>> {
+        match self {
+            Node::Scan {
+                var,
+                filters,
+                base,
+                items,
+                idx,
+            } => {
+                while *idx < items.len() {
+                    let item = items.as_slice()[*idx].clone();
+                    *idx += 1;
+                    let env = base.bind(*var, item);
+                    if check_all(filters, &env, hook)? {
+                        return Ok(Some(env));
+                    }
+                }
+                Ok(None)
+            }
+            Node::NestedLoop {
+                input,
+                var,
+                source,
+                filters,
+                fixed,
+                cur,
+            } => loop {
+                if let Some((outer, items, idx)) = cur {
+                    while *idx < items.len() {
+                        let item = items.as_slice()[*idx].clone();
+                        *idx += 1;
+                        let env = outer.bind(*var, item);
+                        if check_all(filters, &env, hook)? {
+                            return Ok(Some(env));
+                        }
+                    }
+                    *cur = None;
+                }
+                let Some(outer) = input.next(hook)? else {
+                    return Ok(None);
+                };
+                let items = match fixed {
+                    Some(s) => s.clone(),
+                    None => as_set(hook.eval(&outer, source)?)?,
+                };
+                *cur = Some((outer, items, 0));
+            },
+            Node::HashJoin {
+                input,
+                var,
+                probe_keys,
+                table,
+                cur,
+            } => loop {
+                if let Some((outer, matches, idx)) = cur {
+                    if *idx < matches.len() {
+                        let item = matches[*idx].clone();
+                        *idx += 1;
+                        return Ok(Some(outer.bind(*var, item)));
+                    }
+                    *cur = None;
+                }
+                // Empty-build short-circuit: nothing can ever match, so
+                // don't even pull. Independent sources were all evaluated
+                // at open; what this skips below is only the evaluation
+                // of planner-safe dependent sources and pushed filters —
+                // pure and total on type-checked programs, so skipping
+                // them is unobservable under the crate's contract (an
+                // *ill-typed* program driven straight through `eval_expr`
+                // could see a NotASet/NotABool here that `select_loop`
+                // would have raised).
+                if table.is_empty() {
+                    return Ok(None);
+                }
+                let Some(outer) = input.next(hook)? else {
+                    return Ok(None);
+                };
+                let key = KeyTuple(
+                    probe_keys
+                        .iter()
+                        .map(|k| hook.eval(&outer, k))
+                        .collect::<Result<_, _>>()?,
+                );
+                if let Some(matches) = table.get(&key) {
+                    // Cloning the match list is len × O(1) `Rc` bumps.
+                    *cur = Some((outer, matches.clone(), 0));
+                }
+            },
+            Node::Filter { input, conjuncts } => loop {
+                let Some(env) = input.next(hook)? else {
+                    return Ok(None);
+                };
+                if check_all(conjuncts, &env, hook)? {
+                    return Ok(Some(env));
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::compile;
+    use machiavelli_syntax::ast::ExprKind;
+    use machiavelli_syntax::parse_expr;
+
+    /// A minimal structural evaluator covering the safe-expression class
+    /// (the real evaluator lives above this crate; tests only need
+    /// variables, fields, literals, `=`/`<`/`>`, sets and records).
+    struct MiniEval;
+
+    impl EvalHook for MiniEval {
+        type Error = String;
+        fn eval(&mut self, env: &Env, expr: &Expr) -> Result<Value, String> {
+            use machiavelli_syntax::ast::BinOp;
+            Ok(match &expr.kind {
+                ExprKind::Int(n) => Value::Int(*n),
+                ExprKind::Bool(b) => Value::Bool(*b),
+                ExprKind::Str(s) => Value::str(s.as_str()),
+                ExprKind::Var(x) => env.lookup(x).ok_or_else(|| format!("unbound {x}"))?,
+                ExprKind::Field { expr, label } => match self.eval(env, expr)? {
+                    Value::Record(fs) => fs
+                        .get(label)
+                        .cloned()
+                        .ok_or_else(|| format!("no {label}"))?,
+                    _ => return Err("not a record".into()),
+                },
+                ExprKind::Record(fields) => Value::record(
+                    fields
+                        .iter()
+                        .map(|(l, fe)| Ok((*l, self.eval(env, fe)?)))
+                        .collect::<Result<Vec<_>, String>>()?,
+                ),
+                ExprKind::Binop { op, left, right } => {
+                    let l = self.eval(env, left)?;
+                    let r = self.eval(env, right)?;
+                    match op {
+                        BinOp::Eq => Value::Bool(l == r),
+                        BinOp::Lt => Value::Bool(l < r),
+                        BinOp::Gt => Value::Bool(l > r),
+                        _ => return Err("mini-eval: unsupported op".into()),
+                    }
+                }
+                _ => return Err("mini-eval: unsupported expr".into()),
+            })
+        }
+    }
+
+    fn rows(label_vals: &[(i64, i64)]) -> Value {
+        Value::set(label_vals.iter().map(|(k, a)| {
+            Value::record([("K".into(), Value::Int(*k)), ("A".into(), Value::Int(*a))])
+        }))
+    }
+
+    fn run(src: &str, env: &Env) -> Value {
+        let e = parse_expr(src).unwrap();
+        let ExprKind::Select {
+            result,
+            generators,
+            pred,
+        } = &e.kind
+        else {
+            panic!()
+        };
+        let plan = compile(generators, pred, result).unwrap().physical();
+        execute(&plan, env, &mut MiniEval).unwrap()
+    }
+
+    #[test]
+    fn hash_join_pipeline_matches_expected() {
+        let env = Env::new()
+            .bind("r", rows(&[(1, 10), (2, 20), (3, 30)]))
+            .bind("s", rows(&[(2, 200), (3, 300), (3, 301), (9, 900)]));
+        let got = run(
+            "select (x.A, y.A) where x <- r, y <- s with x.K = y.K",
+            &env,
+        );
+        let want = Value::set([
+            Value::tuple([Value::Int(20), Value::Int(200)]),
+            Value::tuple([Value::Int(30), Value::Int(300)]),
+            Value::tuple([Value::Int(30), Value::Int(301)]),
+        ]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pushdown_filter_applies_before_join() {
+        let env = Env::new()
+            .bind("r", rows(&[(1, 1), (2, 2)]))
+            .bind("s", rows(&[(1, 5), (2, 6)]));
+        let got = run(
+            "select y.A where x <- r, y <- s with x.K = y.K andalso x.A > 1",
+            &env,
+        );
+        assert_eq!(got, Value::set([Value::Int(6)]));
+    }
+
+    #[test]
+    fn empty_build_side_yields_empty() {
+        let env = Env::new()
+            .bind("r", rows(&[(1, 1)]))
+            .bind("s", Value::set([]));
+        let got = run("select x where x <- r, y <- s with x.K = y.K", &env);
+        assert_eq!(got, Value::set([]));
+    }
+
+    #[test]
+    fn non_set_source_errors_like_the_evaluator() {
+        let env = Env::new().bind("r", Value::Int(3));
+        let e = parse_expr("select x where x <- r with true").unwrap();
+        let ExprKind::Select {
+            result,
+            generators,
+            pred,
+        } = &e.kind
+        else {
+            panic!()
+        };
+        let plan = compile(generators, pred, result).unwrap().physical();
+        match execute(&plan, &env, &mut MiniEval) {
+            Err(ExecError::NotASet(shown)) => assert_eq!(shown, "3"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

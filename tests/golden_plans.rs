@@ -1,0 +1,129 @@
+//! Golden-plan tests: pin the operator trees the comprehension planner
+//! chooses for the paper's query shapes (`Session::plan_of` renders the
+//! physical pipeline; the `Fallback` line names shapes left to the
+//! interpreter's nested loop). If planner behavior changes on purpose,
+//! update these strings deliberately.
+
+use machiavelli::Session;
+
+fn plan(src: &str) -> String {
+    Session::new().plan_of(src).unwrap()
+}
+
+#[test]
+fn fig9_shape_two_generator_equi_join_is_hash_join() {
+    // The advisor/salary join shape of Figure 9: two independent
+    // generators linked by a key equality, with a per-side filter.
+    assert_eq!(
+        plan(
+            "select [Name = s.Name, Salary = e.Salary]
+             where s <- StudentView(persons), e <- EmployeeView(persons)
+             with s.Name = e.Name andalso e.Salary > 1000;"
+        ),
+        "Project [Name=s.Name, Salary=e.Salary]\n  \
+         HashJoin probe(s.Name) build(e.Name)\n    \
+         Scan s <- StudentView(persons)\n    \
+         Build e <- EmployeeView(persons) filter (e.Salary > 1000)"
+    );
+}
+
+#[test]
+fn fig5_subpart_join_is_hash_join() {
+    // The inner comprehension of Figure 5's `cost`: subparts joined to
+    // the part database on part number. (`w` ranges over a field of an
+    // enclosing binder — independent *within* this comprehension.)
+    assert_eq!(
+        plan(
+            "select [SubpartCost = cost(z), Qty = w.Qty]
+             where w <- x.SubParts, z <- parts
+             with z.P# = w.P#;"
+        ),
+        "Project [SubpartCost=cost(z), Qty=w.Qty]\n  \
+         HashJoin probe(w.P#) build(z.P#)\n    \
+         Scan w <- x.SubParts\n    \
+         Build z <- parts"
+    );
+}
+
+#[test]
+fn single_generator_filter_is_scan_with_pushdown() {
+    // The introduction's Wealthy query.
+    assert_eq!(
+        plan("select x.Name where x <- S with x.Salary > 100000;"),
+        "Project x.Name\n  Scan x <- S filter (x.Salary > 100000)"
+    );
+}
+
+#[test]
+fn dependent_generator_is_dependent_nested_loop() {
+    // Figure 3 shape: supplier sets nested inside rows.
+    assert_eq!(
+        plan("select s.S# where p <- supplied_by, s <- p.Suppliers with true;"),
+        "Project s.S#\n  \
+         NestedLoop s <- p.Suppliers (dependent)\n    \
+         Scan p <- supplied_by"
+    );
+}
+
+#[test]
+fn non_equi_join_is_nested_loop_with_residual() {
+    assert_eq!(
+        plan("select (x, y) where x <- r, y <- s with x.K < y.K;"),
+        "Project (x, y)\n  \
+         Filter (x.K < y.K)\n    \
+         NestedLoop y <- s\n      \
+         Scan x <- r"
+    );
+}
+
+#[test]
+fn three_generator_mixed_plan() {
+    // Two hash joins stack left-deep; the non-key conjunct lands in a
+    // residual filter at the level it becomes decidable.
+    assert_eq!(
+        plan(
+            "select (x.A, y.B, z.C)
+             where x <- r, y <- s, z <- t
+             with x.K = y.K andalso y.J = z.J andalso x.A < z.C;"
+        ),
+        "Project (x.A, y.B, z.C)\n  \
+         Filter (x.A < z.C)\n    \
+         HashJoin probe(y.J) build(z.J)\n      \
+         HashJoin probe(x.K) build(y.K)\n        \
+         Scan x <- r\n        \
+         Build y <- s\n      \
+         Build z <- t"
+    );
+}
+
+#[test]
+fn unsafe_shapes_name_their_fallback() {
+    // Function application in the predicate (may raise / not terminate).
+    assert_eq!(
+        plan("select x where x <- R with not(member(x, R));"),
+        "Fallback (select_loop): predicate conjunct is not planner-safe: \
+         not member(x, R)"
+    );
+    // `div` can raise on zero, so reordering it is observable.
+    assert_eq!(
+        plan("select x where x <- r, y <- s with x.K = y.K andalso 10 div x.A > 1;"),
+        "Fallback (select_loop): predicate conjunct is not planner-safe: 10 div x.A > 1"
+    );
+    // A dependent source that applies a function.
+    assert_eq!(
+        plan("select y where x <- r, y <- f(x) with true;"),
+        "Fallback (select_loop): dependent source of `y` is not planner-safe: f(x)"
+    );
+}
+
+#[test]
+fn equality_to_environment_constant_is_a_pushed_filter() {
+    // `y.K = limit` mentions no earlier binder: a scan filter, not a
+    // join key (the hash join needs a probe side).
+    assert_eq!(
+        plan("select y where x <- r, y <- s with y.K = limit;"),
+        "Project y\n  \
+         NestedLoop y <- s filter (y.K = limit)\n    \
+         Scan x <- r"
+    );
+}

@@ -1,0 +1,168 @@
+//! Comprehension semantics the planner must preserve, checked by
+//! running every query twice — once through the planner pipeline, once
+//! through the interpreter's `select_loop` (via the thread-local
+//! toggle) — and demanding identical outcomes:
+//!
+//! * dependent generators (sources re-evaluated per binding);
+//! * predicate evaluation order is not observable: pushdown/reordering
+//!   only happens for safe conjuncts, and conjuncts that *can* raise
+//!   force the fallback, so errors in branches the optimizer would have
+//!   pruned still surface (or still don't) exactly as in the nested
+//!   loop;
+//! * empty-source short-circuit (no predicate evaluation at all);
+//! * duplicate elimination matches set semantics.
+
+use machiavelli::eval::set_planner_enabled;
+use machiavelli::value::show_value;
+use machiavelli::Session;
+use machiavelli_bench::scaled_parts_session;
+
+/// Run `f` with planner dispatch forced on/off, restoring the previous
+/// setting afterwards.
+fn with_planner<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = set_planner_enabled(on);
+    let out = f();
+    set_planner_enabled(prev);
+    out
+}
+
+/// Evaluate `src` in a fresh Figure-2-scaled session under both
+/// execution paths, normalizing to `Ok(rendered value)` / `Err(message)`.
+fn both_paths(src: &str) -> (Result<String, String>, Result<String, String>) {
+    let run = |on: bool| {
+        let (mut s, _db) = scaled_parts_session(12, 5, 7);
+        with_planner(on, || {
+            s.eval_one(src)
+                .map(|o| show_value(&o.value))
+                .map_err(|e| e.to_string())
+        })
+    };
+    (run(true), run(false))
+}
+
+#[track_caller]
+fn assert_agree(src: &str) {
+    let (planned, interpreted) = both_paths(src);
+    assert_eq!(planned, interpreted, "planner vs select_loop on: {src}");
+}
+
+#[test]
+fn dependent_generators_agree() {
+    // Classic Figure 3 shape: the supplier set is a field of the outer
+    // row, re-evaluated per binding.
+    assert_agree("select (p.P#, s.S#) where p <- supplied_by, s <- p.Suppliers with true;");
+    // Dependent generator with a pushed filter and a (residual) equality
+    // back to the outer binder.
+    assert_agree(
+        "select s.S# where p <- supplied_by, s <- p.Suppliers with s.S# > 2 andalso p.P# > 1;",
+    );
+    assert_agree("select (p.P#, s.S#) where p <- supplied_by, s <- p.Suppliers with s.S# = p.P#;");
+    // Three generators: independent join on top of a dependent middle.
+    assert_agree(
+        "select (p.P#, s.S#, q.S#)
+         where p <- supplied_by, s <- p.Suppliers, q <- suppliers
+         with s.S# = q.S#;",
+    );
+}
+
+#[test]
+fn equi_join_agrees_with_nested_loop() {
+    assert_agree(
+        "select (p.Pname, sb.P#)
+         where p <- parts, sb <- supplied_by
+         with p.P# = sb.P#;",
+    );
+    // Conjunct order scrambled relative to the optimal plan: the planner
+    // reorders (join key between filters), the nested loop doesn't —
+    // same answer.
+    assert_agree(
+        "select (p.Pname, sb.P#)
+         where p <- parts, sb <- supplied_by
+         with sb.P# > 0 andalso p.P# = sb.P# andalso p.P# > 1;",
+    );
+}
+
+#[test]
+fn empty_sources_short_circuit_without_evaluating_the_predicate() {
+    // The predicate would raise `Div` on any binding — but there are no
+    // bindings, and neither path may ever evaluate it. (The `div` also
+    // forces the planner's fallback; the fallback must then reproduce
+    // the interpreter exactly.)
+    assert_agree("select x where x <- {} with 1 div 0 = 0;");
+    let (planned, interpreted) = both_paths("select x where x <- {} with 1 div 0 = 0;");
+    assert_eq!(planned, Ok("{}".into()));
+    assert_eq!(interpreted, Ok("{}".into()));
+
+    // Empty build side of a plannable equi-join: short-circuits to {}.
+    let (planned, interpreted) = both_paths(
+        "select (x.S#, y.P#) where x <- suppliers, y <- {[P# = 1]} with x.S# = y.P# andalso 1 > 2;",
+    );
+    assert_eq!(planned, interpreted);
+}
+
+#[test]
+fn raising_predicates_fall_back_and_still_raise() {
+    // `div` in a conjunct forces the nested loop; with non-empty
+    // sources the error must surface on both paths, identically.
+    let (planned, interpreted) = both_paths("select p.P# where p <- parts with p.P# div 0 = 0;");
+    assert!(planned.is_err(), "{planned:?}");
+    assert_eq!(planned, interpreted);
+}
+
+#[test]
+fn result_errors_in_join_pruned_branches_stay_pruned() {
+    // The result expression raises for `sb.P# = 0` rows — but no such
+    // row survives the join, so *neither* path raises: the planner may
+    // prune harder, never softer, and the nested loop never reaches the
+    // result expression for non-matching bindings either.
+    assert_agree(
+        "select 100 div sb.P#
+         where p <- parts, sb <- supplied_by
+         with p.P# = sb.P# andalso sb.P# > 0;",
+    );
+    // And when a surviving binding does raise, both paths raise.
+    let (planned, interpreted) = both_paths(
+        "select 1 div (p.P# - p.P#) where p <- parts, sb <- supplied_by with p.P# = sb.P#;",
+    );
+    assert!(planned.is_err(), "{planned:?}");
+    assert_eq!(planned, interpreted);
+}
+
+#[test]
+fn duplicate_elimination_matches_set_semantics() {
+    // Projecting the join key collapses all matches per key: the result
+    // is a *set*, deduplicated once at the end on both paths.
+    assert_agree("select p.P# where p <- parts, sb <- supplied_by with p.P# = sb.P#;");
+    let (mut s, db) = scaled_parts_session(12, 5, 7);
+    let out = s
+        .eval_one("card(select sb.P# where sb <- supplied_by, p <- parts with p.P# = sb.P#);")
+        .map(|o| show_value(&o.value))
+        .expect("join cardinality query runs");
+    // Cardinality can never exceed the number of distinct keys.
+    let n: i64 = out.parse().unwrap();
+    assert!(n as usize <= db.supplied_by.len());
+}
+
+#[test]
+fn fresh_identities_in_independent_sources_are_created_once() {
+    // An independent source allocating `ref` identities is evaluated
+    // exactly once on both paths — the result has one element per
+    // distinct identity.
+    assert_agree("card(select (x, y) where x <- {ref(1), ref(1)}, y <- {ref(2)} with true);");
+    let (planned, _) =
+        both_paths("card(select (x, y) where x <- {ref(1), ref(1)}, y <- {ref(2)} with true);");
+    assert_eq!(planned, Ok("2".into()));
+}
+
+#[test]
+fn planner_toggle_is_restored() {
+    let mut s = Session::new();
+    let inner = with_planner(false, || {
+        assert!(!machiavelli::eval::planner_enabled());
+        s.eval_one("select x where x <- {1, 2} with x > 1;")
+            .unwrap()
+            .show()
+    });
+    assert!(machiavelli::eval::planner_enabled());
+    assert_eq!(inner, "val it = {2} : {int}");
+}
