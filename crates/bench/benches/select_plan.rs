@@ -13,6 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use machiavelli::eval::set_planner_enabled;
+use machiavelli::store::set_store_enabled;
 use machiavelli::value::Value;
 use machiavelli::Session;
 use machiavelli_relational::{row, Relation};
@@ -85,7 +86,12 @@ fn run_both(
         |b, _| {
             b.iter(|| {
                 let prev = set_planner_enabled(true);
+                // Store off: this bench isolates the *planner* win
+                // (hash build/probe vs nested loop). Warm index reuse
+                // is the index_reuse bench's `store` mode.
+                let prev_store = set_store_enabled(false);
                 let out = session.eval_one(query).unwrap().value;
+                set_store_enabled(prev_store);
                 set_planner_enabled(prev);
                 out
             })

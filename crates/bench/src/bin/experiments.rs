@@ -231,11 +231,15 @@ fn main() {
             &fallback,
             fallback.starts_with("Fallback (select_loop)"),
         );
+        // Store off: E11 isolates the planner's build/probe win over
+        // the nested loop; index *reuse* is measured separately in E12.
         let timed = |s: &mut Session, on: bool, query: &str| {
             let prev = set_planner_enabled(on);
+            let prev_store = machiavelli::store::set_store_enabled(false);
             let t0 = std::time::Instant::now();
             let out = s.eval_one(query).unwrap().value;
             let dt = t0.elapsed();
+            machiavelli::store::set_store_enabled(prev_store);
             set_planner_enabled(prev);
             (out, dt)
         };
@@ -253,6 +257,57 @@ fn main() {
             "≥ 5×",
             &format!("{speedup:.1}× ({t_interp:.2?} vs {t_plan:.2?})"),
             speedup >= 5.0,
+        );
+    }
+
+    println!("\n== E12: index store — repeated-plan reuse (fig5 cost recursion) ==");
+    {
+        use machiavelli::eval::set_planner_enabled;
+        use machiavelli::store::set_store_enabled;
+        let (mut s, _db) = machiavelli_bench::scaled_parts_session(200, 20, 11);
+        s.run(machiavelli_bench::FIG5_SOURCE).unwrap();
+        let query = "expensive_parts(parts, 0);";
+        let reps = 3u32;
+        let timed = |s: &mut Session, planner: bool, store: bool| {
+            let prev_p = set_planner_enabled(planner);
+            let prev_s = set_store_enabled(store);
+            s.store_reset();
+            let t0 = std::time::Instant::now();
+            let mut out = None;
+            for _ in 0..reps {
+                out = Some(s.eval_one(query).unwrap().value);
+            }
+            let dt = t0.elapsed();
+            set_store_enabled(prev_s);
+            set_planner_enabled(prev_p);
+            (out.unwrap(), dt)
+        };
+        let (v_store, t_store) = timed(&mut s, true, true);
+        let stats = s.store_stats();
+        let (v_rebuild, t_rebuild) = timed(&mut s, true, false);
+        let (v_interp, t_interp) = timed(&mut s, false, false);
+        r.check(
+            "store, always-rebuild and select_loop agree",
+            &format!("{} parts", as_card(&v_interp)),
+            &format!("{} / {} parts", as_card(&v_store), as_card(&v_rebuild)),
+            v_store == v_interp && v_rebuild == v_interp,
+        );
+        r.check(
+            "the whole recursive sweep builds the parts index once",
+            "1 build, hits ≥ 1",
+            &format!("{} builds, {} hits", stats.builds, stats.hits),
+            stats.builds == 1 && stats.hits >= 1,
+        );
+        let vs_interp = t_interp.as_secs_f64() / t_store.as_secs_f64().max(1e-9);
+        let vs_rebuild = t_rebuild.as_secs_f64() / t_store.as_secs_f64().max(1e-9);
+        println!(
+            "       rebuild-vs-store : {vs_rebuild:.1}× ({t_rebuild:.2?} vs {t_store:.2?}, {reps} reps)"
+        );
+        r.check(
+            "repeated fig5 eval beats the cold interpreted path",
+            "≥ 3×",
+            &format!("{vs_interp:.1}× ({t_interp:.2?} vs {t_store:.2?})"),
+            vs_interp >= 3.0,
         );
     }
 

@@ -45,6 +45,7 @@ pub use session::{Outcome, Session};
 
 pub use machiavelli_eval as eval;
 pub use machiavelli_plan as plan;
+pub use machiavelli_store as store;
 pub use machiavelli_syntax as syntax;
 pub use machiavelli_types as types;
 pub use machiavelli_value as value;

@@ -16,7 +16,9 @@ pub fn run_repl(
     writeln!(
         output,
         "Machiavelli (SIGMOD 1989 reproduction). End phrases with `;`; \
-         `:plan <phrase>;` explains a comprehension; `quit;` exits."
+         `:plan <phrase>;` explains a comprehension; `:indexes;` lists \
+         cached indexes; `:stats;` shows index-store counters; `quit;` \
+         exits."
     )?;
     let mut pending = String::new();
     write!(output, "-> ")?;
@@ -45,6 +47,30 @@ pub fn run_repl(
                     }
                     Err(e) => writeln!(output, ">> error: {e}")?,
                 }
+            } else if bare_command(&pending, ":stats") {
+                let st = session.store_stats();
+                writeln!(
+                    output,
+                    ">> index store: {} entries, {} rows cached",
+                    st.entries, st.cached_rows
+                )?;
+                writeln!(
+                    output,
+                    ">> hits {} / misses {} / builds {} / invalidated {} / evicted {}",
+                    st.hits, st.misses, st.builds, st.invalidated, st.evicted
+                )?;
+            } else if bare_command(&pending, ":indexes") {
+                let infos = session.store_indexes();
+                if infos.is_empty() {
+                    writeln!(output, ">> no cached indexes")?;
+                }
+                for i in infos {
+                    writeln!(
+                        output,
+                        ">> [{} rows, {} groups, {} hits] {}",
+                        i.rows, i.groups, i.hits, i.fingerprint
+                    )?;
+                }
             } else {
                 match session.run(&pending) {
                     Ok(outcomes) => {
@@ -63,6 +89,15 @@ pub fn run_repl(
         output.flush()?;
     }
     Ok(())
+}
+
+/// Is the pending input exactly the argument-less REPL command `name`
+/// (with its terminating `;`)? `:statsfoo;` is not `:stats;` — it falls
+/// through to the parser's error.
+fn bare_command(src: &str, name: &str) -> bool {
+    src.trim()
+        .strip_prefix(name)
+        .is_some_and(|rest| rest.trim() == ";")
 }
 
 /// A phrase is complete when a `;` appears outside strings, comments and
@@ -148,6 +183,7 @@ mod tests {
     #[test]
     fn repl_plan_command() {
         let mut session = Session::new();
+        session.store_reset();
         let input =
             b":plan select (x, y) where x <- r, y <- s with x.K = y.K;\n1;\nquit;\n" as &[u8];
         let mut out = Vec::new();
@@ -155,7 +191,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains(">> Project (x, y)"), "{text}");
         assert!(
-            text.contains(">>   HashJoin probe(x.K) build(y.K)"),
+            text.contains(">>   HashJoin[idx build] probe(x.K) build(y.K)"),
             "{text}"
         );
         // The session keeps running after :plan.
@@ -172,6 +208,49 @@ mod tests {
         // Not treated as `:plan s 1;` — it reaches the parser instead.
         assert!(text.contains(">> error:"), "{text}");
         assert!(!text.contains("Project"), "{text}");
+    }
+
+    #[test]
+    fn repl_stats_and_indexes_commands() {
+        let mut session = Session::new();
+        session.store_reset();
+        let input = b":stats;\n\
+                      val r = {[K=1, A=10], [K=2, A=20]};\n\
+                      select x.A where x <- r with x.K = 2;\n\
+                      select x.A where x <- r with x.K = 1;\n\
+                      :indexes;\n:stats;\nquit;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Cold store first.
+        assert!(
+            text.contains(">> index store: 0 entries, 0 rows cached"),
+            "{text}"
+        );
+        // The two equality queries share one cached grouping of `r`.
+        assert!(
+            text.contains(">> [2 rows, 2 groups, 1 hits] scan r key(_.K)"),
+            "{text}"
+        );
+        assert!(
+            text.contains(">> index store: 1 entries, 2 rows cached"),
+            "{text}"
+        );
+        assert!(
+            text.contains(">> hits 1 / misses 1 / builds 1 / invalidated 0 / evicted 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn repl_commands_require_exact_name() {
+        let mut session = Session::new();
+        let input = b":statsfoo;\n:indexes extra;\nquit;\n" as &[u8];
+        let mut out = Vec::new();
+        run_repl(&mut session, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.matches(">> error:").count(), 2, "{text}");
+        assert!(!text.contains("index store"), "{text}");
     }
 
     #[test]

@@ -135,6 +135,29 @@ impl Session {
         )
     }
 
+    /// Statistics of the session's index store (cached hash indexes for
+    /// repeated plans — see `machiavelli-store`). The store is scoped to
+    /// the thread driving the session, which is the session's home
+    /// thread; sessions sharing a thread share the store harmlessly
+    /// (entries are keyed by relation storage identity, so they can
+    /// never serve each other's relations).
+    pub fn store_stats(&self) -> machiavelli_store::StoreStats {
+        machiavelli_store::with_store(|s| s.stats())
+    }
+
+    /// Describe the live cached indexes, most-recently-used first
+    /// (behind the REPL's `:indexes` command).
+    pub fn store_indexes(&self) -> Vec<machiavelli_store::IndexInfo> {
+        machiavelli_store::with_store(|s| s.indexes())
+    }
+
+    /// Drop all cached indexes and zero the statistics (tests and
+    /// benchmarks use this to measure from a cold store; correctness
+    /// never requires it — invalidation is automatic).
+    pub fn store_reset(&self) {
+        machiavelli_store::with_store(|s| s.reset());
+    }
+
     /// Look up a bound value.
     pub fn get(&self, name: &str) -> Option<Value> {
         self.env.lookup(name)
@@ -410,11 +433,15 @@ mod tests {
     #[test]
     fn plan_of_renders_hash_join_and_fallback() {
         let s = Session::new();
+        s.store_reset();
         let tree = s
             .plan_of("select (x.A, y.B) where x <- r, y <- s with x.K = y.K;")
             .unwrap();
         assert!(tree.starts_with("Project"), "{tree}");
-        assert!(tree.contains("HashJoin probe(x.K) build(y.K)"), "{tree}");
+        assert!(
+            tree.contains("HashJoin[idx build] probe(x.K) build(y.K)"),
+            "{tree}"
+        );
         // Unsafe predicate: reported as a fallback, not an error.
         let tree = s
             .plan_of("select x where x <- r with member(x, s);")
@@ -431,6 +458,31 @@ mod tests {
             tree.contains("Scan x <- S filter (x.Salary > 100000)"),
             "{tree}"
         );
+    }
+
+    #[test]
+    fn store_stats_track_reuse_and_plan_of_flips_to_cached() {
+        let mut s = Session::new();
+        s.store_reset();
+        s.run("val r = {[K=1, A=10], [K=2, A=20]}; val t = {[K=1, B=5]};")
+            .unwrap();
+        let q = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
+        let cold = s.plan_of(q).unwrap();
+        assert!(cold.contains("HashJoin[idx build]"), "{cold}");
+        s.eval_one(q).unwrap();
+        s.eval_one(q).unwrap();
+        let stats = s.store_stats();
+        assert_eq!((stats.builds, stats.hits), (1, 1), "{stats:?}");
+        assert_eq!(stats.entries, 1, "{stats:?}");
+        // The rendering now reports the live index.
+        let warm = s.plan_of(q).unwrap();
+        assert!(warm.contains("HashJoin[idx cached]"), "{warm}");
+        let indexes = s.store_indexes();
+        assert_eq!(indexes.len(), 1);
+        // Binder names are alpha-normalized to `_` in fingerprints.
+        assert_eq!(indexes[0].fingerprint, "join t build(_.K) filter()");
+        s.store_reset();
+        assert_eq!(s.store_stats(), machiavelli_store::StoreStats::default());
     }
 
     #[test]

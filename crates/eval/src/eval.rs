@@ -311,6 +311,12 @@ impl Cx {
                 let v = self.eval(env, value)?;
                 match t {
                     Value::Ref(r) => {
+                        // Index-store invalidation hook: `RefValue::set`
+                        // bumps the thread's mutation epoch, so any
+                        // cached index (machiavelli-store) built before
+                        // this write is dropped before its next use — a
+                        // `:=` can never be followed by a query serving
+                        // pre-mutation rows from an index.
                         r.set(v);
                         Ok(Value::Unit)
                     }

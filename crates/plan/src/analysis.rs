@@ -119,6 +119,60 @@ pub fn is_safe_expr(e: &Expr) -> bool {
     }
 }
 
+/// Does `e` mention only variables from `allowed`? Used to decide
+/// whether an index over a relation is **cacheable**: a build-key or
+/// pushed-filter expression closed under the row binder has a meaning
+/// independent of the enclosing environment, so the resulting index is
+/// a pure function of (relation storage, expression text) and may be
+/// memoized across queries. Exact on the planner-safe expression class
+/// (which is binder-free); conservatively `false` on anything that
+/// introduces binders or falls outside it.
+pub fn closed_under(e: &Expr, allowed: &[Symbol]) -> bool {
+    use ExprKind::*;
+    match &e.kind {
+        Var(x) => allowed.contains(x),
+        Unit | Int(_) | Real(_) | Str(_) | Bool(_) => true,
+        Record(fields) => fields.iter().all(|(_, fe)| closed_under(fe, allowed)),
+        Field { expr, .. } | Unop { expr, .. } => closed_under(expr, allowed),
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            closed_under(cond, allowed)
+                && closed_under(then_branch, allowed)
+                && closed_under(else_branch, allowed)
+        }
+        Set(items) => items.iter().all(|i| closed_under(i, allowed)),
+        Union { left, right } | Con { left, right } | Binop { left, right, .. } => {
+            closed_under(left, allowed) && closed_under(right, allowed)
+        }
+        // Binder-introducing or non-safe constructs: assume they reach
+        // outside. (The planner only asks about planner-safe
+        // expressions, which exclude all of these.)
+        _ => false,
+    }
+}
+
+/// Can evaluating `e` yield a set that *shares backing storage* across
+/// evaluations? `Var` reads, field projections and dereferences return
+/// clones of stored values (O(1) `Rc` bumps — same `storage_id` every
+/// time until the value is replaced), so indexes over them can be
+/// cached and actually hit. Constructors and applications — set
+/// literals, `union`, view calls like `EmployeeView(persons)` — build
+/// **fresh** storage on every evaluation: an index cached for one
+/// evaluation's output can never be looked up again, so caching it
+/// would only pin dead clones until the LRU budget evicts them. (To
+/// get index reuse over a derived relation, bind it: `val emps =
+/// EmployeeView(persons);` and query `emps`.)
+pub fn stable_source(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Var(_) => true,
+        ExprKind::Field { expr, .. } | ExprKind::Deref(expr) => stable_source(expr),
+        _ => false,
+    }
+}
+
 /// One conjunct of a decomposed `with` clause.
 ///
 /// `strict` records the error discipline of the evaluator's `andalso`:
@@ -286,6 +340,33 @@ mod tests {
         assert!(!mentions_any(&parse_expr("parts").unwrap(), &xs));
         // Conservative under shadowing: still counts as a mention.
         assert!(mentions_any(&parse_expr("(fn(x) => x.A)(y)").unwrap(), &xs));
+    }
+
+    #[test]
+    fn closed_under_classifies_cacheability() {
+        let x = [Symbol::intern("x")];
+        for src in [
+            "x.K",
+            "x.K + 1",
+            "2",
+            "(x.A, x.B)",
+            "if x.A > 0 then x.B else 0",
+        ] {
+            assert!(closed_under(&parse_expr(src).unwrap(), &x), "{src}");
+        }
+        for src in ["x.K = limit", "y.K", "x.A + base", "f(x)"] {
+            assert!(!closed_under(&parse_expr(src).unwrap(), &x), "{src}");
+        }
+    }
+
+    #[test]
+    fn stable_sources_are_lvalue_chains() {
+        for src in ["parts", "x.SubParts", "!dbref", "(!st).Employees"] {
+            assert!(stable_source(&parse_expr(src).unwrap()), "{src}");
+        }
+        for src in ["EmployeeView(persons)", "{[K=1]}", "union(r, s)"] {
+            assert!(!stable_source(&parse_expr(src).unwrap()), "{src}");
+        }
     }
 
     #[test]

@@ -2,17 +2,35 @@
 //! `:plan` command. One operator per line, children indented two spaces;
 //! expressions print in concrete syntax via the syntax crate's pretty
 //! printer. Golden-plan tests pin this format.
+//!
+//! Store-backed operators carry an index marker: `HashJoin[idx cached]`
+//! when the session's index store currently holds a live index with the
+//! operator's fingerprint (the next execution will probe it),
+//! `HashJoin[idx build]` when the next execution will build one, and a
+//! bare `HashJoin` when the build table is environment-dependent and
+//! never cached. The marker is a *display-level* probe by fingerprint —
+//! rendering a plan does not evaluate the source, so the store cannot
+//! be asked for the exact (storage, fingerprint) key the executor uses.
 
 use crate::analysis::Conjunct;
-use crate::physical::{PhysOp, PhysicalPlan};
+use crate::physical::{IndexKey, PhysOp, PhysicalPlan};
 use machiavelli_syntax::pretty::expr_to_string;
 use std::fmt::Write as _;
+
+/// The `[idx cached]` / `[idx build]` marker for a cacheable operator.
+fn idx_marker(fingerprint: &str) -> &'static str {
+    if machiavelli_store::with_store(|s| s.has_fingerprint(fingerprint)) {
+        "[idx cached]"
+    } else {
+        "[idx build]"
+    }
+}
 
 /// Render the operator tree, e.g.:
 ///
 /// ```text
 /// Project (x.Pname, y.Sname)
-///   HashJoin probe(x.S#) build(y.S#)
+///   HashJoin[idx build] probe(x.S#) build(y.S#)
 ///     Scan x <- parts
 ///     Build y <- suppliers filter (y.City = "Paris")
 /// ```
@@ -71,6 +89,28 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
             );
             render(input, depth + 1, out);
         }
+        PhysOp::IndexScan {
+            var,
+            source,
+            keys,
+            filters,
+            fingerprint,
+        } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|IndexKey { on, probe }| {
+                    format!("{} = {}", expr_to_string(on), expr_to_string(probe))
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{pad}IndexScan{} {var} <- {} key({}){}",
+                idx_marker(fingerprint),
+                expr_to_string(source),
+                rendered.join(", "),
+                filters_suffix(filters)
+            );
+        }
         PhysOp::HashJoin {
             input,
             var,
@@ -78,10 +118,12 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
             filters,
             probe_keys,
             build_keys,
+            fingerprint,
         } => {
+            let marker = fingerprint.as_deref().map(idx_marker).unwrap_or("");
             let _ = writeln!(
                 out,
-                "{pad}HashJoin probe({}) build({})",
+                "{pad}HashJoin{marker} probe({}) build({})",
                 keys_list(probe_keys),
                 keys_list(build_keys)
             );
@@ -109,6 +151,9 @@ mod tests {
     use machiavelli_syntax::parse_expr;
 
     fn plan_text(src: &str) -> String {
+        // Render against an empty store so the idx marker is
+        // deterministic (`[idx build]`).
+        machiavelli_store::with_store(|s| s.reset());
         let e = parse_expr(src).unwrap();
         let ExprKind::Select {
             result,
@@ -128,9 +173,32 @@ mod tests {
         assert_eq!(
             text,
             "Project (x.A, y.B)\n  \
-             HashJoin probe(x.K) build(y.K)\n    \
+             HashJoin[idx build] probe(x.K) build(y.K)\n    \
              Scan x <- r\n    \
              Build y <- s filter (y.B > 1)"
+        );
+    }
+
+    #[test]
+    fn environment_dependent_join_renders_without_marker() {
+        let text =
+            plan_text("select (x.A, y.B) where x <- r, y <- s with x.K = y.K andalso y.B > cutoff");
+        assert_eq!(
+            text,
+            "Project (x.A, y.B)\n  \
+             HashJoin probe(x.K) build(y.K)\n    \
+             Scan x <- r\n    \
+             Build y <- s filter (y.B > cutoff)"
+        );
+    }
+
+    #[test]
+    fn index_scan_rendering() {
+        let text = plan_text("select x.A where x <- r with x.K = limit andalso x.A > 0");
+        assert_eq!(
+            text,
+            "Project x.A\n  \
+             IndexScan[idx build] x <- r key(x.K = limit) filter (x.A > 0)"
         );
     }
 

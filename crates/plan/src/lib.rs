@@ -21,8 +21,9 @@
 //!   [`Step`](logical::Step) per generator plus the residual conjuncts,
 //!   all borrowing the AST (compiling allocates no expression clones).
 //! * [`physical`] — [`PhysicalPlan`](physical::PhysicalPlan) is the
-//!   executable operator tree (`Scan` / `Filter` / `HashJoin` /
-//!   `NestedLoop` / `Project`), and [`execute`](physical::execute) is a
+//!   executable operator tree (`Scan` / `IndexScan` / `Filter` /
+//!   `HashJoin` / `NestedLoop` / `Project`), and
+//!   [`execute`](physical::execute) is a
 //!   **pull-based** executor over [`machiavelli_value::Value`] /
 //!   [`machiavelli_value::MSet`]: operators yield extended environments
 //!   one at a time, hash-join build/probe keys reuse the structural
@@ -30,7 +31,14 @@
 //!   allocation beyond the key values themselves), and every residual
 //!   predicate, source and result expression is evaluated through an
 //!   [`EvalHook`](physical::EvalHook) callback into the real evaluator
-//!   — the planner never re-implements expression semantics.
+//!   — the planner never re-implements expression semantics. Operators
+//!   that group a relation by key (`HashJoin` build tables, `IndexScan`
+//!   groupings) are memoized through the session's **index store**
+//!   (`machiavelli-store`) when their key/filter expressions are closed
+//!   under the row binder — repeated plans build once and probe
+//!   thereafter, and the store's pointer-identity + mutation-epoch
+//!   keying guarantees a mutated or rebuilt relation can never serve a
+//!   stale index.
 //! * [`explain`] — renders the operator tree for `Session::plan_of` and
 //!   the REPL's `:plan` command (golden-plan tests pin the output).
 //!
@@ -76,10 +84,10 @@ pub mod explain;
 pub mod logical;
 pub mod physical;
 
-pub use analysis::{find_select, is_safe_expr, mentions_any, split_conjuncts};
+pub use analysis::{closed_under, find_select, is_safe_expr, mentions_any, split_conjuncts};
 pub use explain::explain;
 pub use logical::{compile, LogicalPlan, Step, Unplannable};
-pub use physical::{execute, EvalHook, ExecError, PhysOp, PhysicalPlan};
+pub use physical::{execute, EvalHook, ExecError, IndexKey, PhysOp, PhysicalPlan};
 
 use machiavelli_syntax::ast::{Expr, Generator};
 

@@ -1,6 +1,6 @@
 //! The physical operator pipeline: an executable tree of `Scan` /
-//! `Filter` / `HashJoin` / `NestedLoop` operators under a `Project`,
-//! plus a pull-based executor over [`Value`]/[`MSet`].
+//! `IndexScan` / `Filter` / `HashJoin` / `NestedLoop` operators under a
+//! `Project`, plus a pull-based executor over [`Value`]/[`MSet`].
 //!
 //! Operators yield **environments**: each pulled row is the outer
 //! evaluation environment extended with one binding per generator
@@ -9,18 +9,39 @@
 //! the result — goes through the [`EvalHook`] callback into the real
 //! evaluator, so the pipeline adds strategy, never new semantics.
 //!
-//! Hash-join keys reuse the structural hashing of
-//! [`machiavelli_value::hash_value`] with [`value_eq`] equality, exactly
-//! like the relational substrate's `RowKey` — collision-correct for all
-//! description values, no rendering, no reliance on display injectivity.
+//! Hash-join and index-scan keys reuse the structural hashing of
+//! [`machiavelli_value::hash_value`] with [`value_eq`] equality (the
+//! store's [`KeyTuple`]), exactly like the relational substrate's
+//! `RowKey` — collision-correct for all description values, no
+//! rendering, no reliance on display injectivity.
+//!
+//! # The index store
+//!
+//! Operators that group a relation by key — `HashJoin`'s build table,
+//! `IndexScan`'s key index — request the grouping from the session's
+//! [`machiavelli_store::IndexStore`] before constructing it inline, so
+//! repeated plans over the same relation (the fig5 `cost` recursion,
+//! re-run REPL queries) build once and probe thereafter. An index is
+//! only *cacheable* when its key and pushed-filter expressions are
+//! closed under the row binder ([`crate::analysis::closed_under`]) —
+//! then its contents are a pure function of the relation's storage
+//! identity and the expressions' text (the **fingerprint**), never of
+//! the enclosing environment. Cache consultation is invisible in the
+//! results: a hit returns exactly the grouping an inline build would
+//! have produced (same rows, same canonical order per group), and the
+//! expressions skipped on a hit are planner-safe — pure and total — so
+//! not re-evaluating them is unobservable. See `machiavelli-store` for
+//! the invalidation contract (pointer-identity keying + mutation
+//! epoch).
 
-use crate::analysis::Conjunct;
+use crate::analysis::{closed_under, mentions_any, stable_source, Conjunct};
 use crate::logical::LogicalPlan;
-use machiavelli_syntax::ast::Expr;
+use machiavelli_store::{store_enabled, with_store, Index, KeyTuple};
+use machiavelli_syntax::ast::{BinOp, Expr, ExprKind};
+use machiavelli_syntax::pretty::expr_to_string;
 use machiavelli_syntax::symbol::Symbol;
-use machiavelli_value::{hash_value, show_value, value_eq, Env, MSet, Value};
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use machiavelli_value::{show_value, value_eq, Env, MSet, Value};
+use std::rc::Rc;
 
 /// Callback into the host evaluator. The executor never interprets
 /// expressions itself; it only decides *which* expressions to evaluate
@@ -50,10 +71,21 @@ impl<E> From<E> for ExecError<E> {
     }
 }
 
+/// One key of an [`PhysOp::IndexScan`]: an equality conjunct
+/// `on = probe` split into the indexed side (mentions only the scan's
+/// binder) and the probe side (an environment-level expression that
+/// mentions the binder not at all).
+#[derive(Debug)]
+pub struct IndexKey<'a> {
+    pub on: &'a Expr,
+    pub probe: &'a Expr,
+}
+
 /// A physical operator. The tree is left-deep in generator order:
-/// generator 0 is the innermost `Scan`, each later generator wraps the
-/// pipeline in a join operator, and residual conjuncts sit in `Filter`
-/// nodes at the level where they become decidable.
+/// generator 0 is the innermost `Scan`/`IndexScan`, each later
+/// generator wraps the pipeline in a join operator, and residual
+/// conjuncts sit in `Filter` nodes at the level where they become
+/// decidable.
 #[derive(Debug)]
 pub enum PhysOp<'a> {
     /// Materialize an independent source once and stream its elements,
@@ -62,6 +94,18 @@ pub enum PhysOp<'a> {
         var: Symbol,
         source: &'a Expr,
         filters: Vec<Conjunct<'a>>,
+    },
+    /// Equality-probe scan: group the source by the `on` key
+    /// expressions (through the index store), evaluate the `probe`
+    /// sides once in the outer environment, and stream only the
+    /// matching group. Formed only when the keys are cacheable, so it
+    /// always carries a fingerprint.
+    IndexScan {
+        var: Symbol,
+        source: &'a Expr,
+        keys: Vec<IndexKey<'a>>,
+        filters: Vec<Conjunct<'a>>,
+        fingerprint: String,
     },
     /// Cross/“θ” join: for each input row, iterate the source — evaluated
     /// once when independent, per input row when `dependent`.
@@ -74,7 +118,9 @@ pub enum PhysOp<'a> {
     },
     /// Hash build/probe equi-join: build a table over the (independent)
     /// source keyed by `build_keys(var)`, then probe with
-    /// `probe_keys(earlier binders)` per input row.
+    /// `probe_keys(earlier binders)` per input row. `fingerprint` is
+    /// `Some` when the build table is cacheable in the index store
+    /// (build keys and pushed filters closed under `var`).
     HashJoin {
         input: Box<PhysOp<'a>>,
         var: Symbol,
@@ -82,6 +128,7 @@ pub enum PhysOp<'a> {
         filters: Vec<Conjunct<'a>>,
         probe_keys: Vec<&'a Expr>,
         build_keys: Vec<&'a Expr>,
+        fingerprint: Option<String>,
     },
     /// Residual predicate evaluation over input rows.
     Filter {
@@ -97,17 +144,230 @@ pub struct PhysicalPlan<'a> {
     pub result: &'a Expr,
 }
 
+/// Recognize an [`IndexKey`]-shaped conjunct of a single-binder scan:
+/// `on = probe` with `on` mentioning only `var` and `probe` not
+/// mentioning it (either orientation). Equality is total on all values,
+/// so replacing the conjunct by an index probe can neither raise nor
+/// change which rows pass.
+fn index_key(e: &Expr, var: Symbol) -> Option<IndexKey<'_>> {
+    let ExprKind::Binop {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = &e.kind
+    else {
+        return None;
+    };
+    let binder = [var];
+    let is_on = |e: &Expr| mentions_any(e, &binder) && closed_under(e, &binder);
+    let is_probe = |e: &Expr| !mentions_any(e, &binder);
+    if is_on(left) && is_probe(right) {
+        Some(IndexKey {
+            on: left,
+            probe: right,
+        })
+    } else if is_on(right) && is_probe(left) {
+        Some(IndexKey {
+            on: right,
+            probe: left,
+        })
+    } else {
+        None
+    }
+}
+
+/// Render a binder-closed key/filter expression with the binder printed
+/// as `_`, so alpha-equivalent queries (`y <- t with … y.K …` vs
+/// `z <- t with … z.K …`) produce the *same* fingerprint and share one
+/// cached index instead of building the identical grouping twice.
+/// Covers exactly the planner-safe class (the only expressions that
+/// reach fingerprints); fully parenthesized and with string literals
+/// escaped, so the rendering is injective on that class.
+fn push_key_expr(e: &Expr, binder: Symbol, out: &mut String) {
+    use std::fmt::Write as _;
+    use ExprKind::*;
+    match &e.kind {
+        Var(x) if x.id() == binder.id() => out.push('_'),
+        // Closed-under-binder expressions have no other variables; kept
+        // for totality (`explain` never calls this on open exprs).
+        Var(x) => out.push_str(x.as_str()),
+        Unit => out.push_str("()"),
+        Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // Bit pattern, to agree with `total_cmp`/hash equality on reals.
+        Real(r) => {
+            let _ = write!(out, "real:{}", r.to_bits());
+        }
+        Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Field { expr, label } => {
+            push_key_expr(expr, binder, out);
+            out.push('.');
+            out.push_str(label.as_str());
+        }
+        If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str("(if ");
+            push_key_expr(cond, binder, out);
+            out.push_str(" then ");
+            push_key_expr(then_branch, binder, out);
+            out.push_str(" else ");
+            push_key_expr(else_branch, binder, out);
+            out.push(')');
+        }
+        Record(fields) => {
+            out.push('[');
+            for (i, (l, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(l.as_str());
+                out.push('=');
+                push_key_expr(fe, binder, out);
+            }
+            out.push(']');
+        }
+        Set(items) => {
+            out.push('{');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_key_expr(item, binder, out);
+            }
+            out.push('}');
+        }
+        Union { left, right } | Con { left, right } => {
+            out.push_str(if matches!(&e.kind, Union { .. }) {
+                "union("
+            } else {
+                "con("
+            });
+            push_key_expr(left, binder, out);
+            out.push_str(", ");
+            push_key_expr(right, binder, out);
+            out.push(')');
+        }
+        Binop { op, left, right } => {
+            out.push('(');
+            push_key_expr(left, binder, out);
+            let _ = write!(out, " {} ", op.symbol());
+            push_key_expr(right, binder, out);
+            out.push(')');
+        }
+        Unop { op, expr } => {
+            out.push('(');
+            out.push_str(match op {
+                machiavelli_syntax::ast::UnOp::Neg => "-",
+                machiavelli_syntax::ast::UnOp::Not => "not ",
+            });
+            push_key_expr(expr, binder, out);
+            out.push(')');
+        }
+        // Not planner-safe, so never fingerprinted; render via the
+        // pretty-printer for totality.
+        _ => out.push_str(&expr_to_string(e)),
+    }
+}
+
+/// The store fingerprint of an index-scan grouping: the rendered
+/// source and (alpha-normalized) key expressions. The executor's cache
+/// key already includes the relation's storage identity; the source
+/// text is in the fingerprint so the *display* probe (`explain`'s
+/// `[idx cached]` marker, which cannot evaluate the source) rarely
+/// aliases two different relations.
+fn scan_fingerprint(source: &Expr, var: Symbol, keys: &[IndexKey<'_>]) -> String {
+    let mut out = format!("scan {} key(", expr_to_string(source));
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_key_expr(k.on, var, &mut out);
+    }
+    out.push(')');
+    out
+}
+
+/// The store fingerprint of a hash-join build table: rendered source
+/// plus (alpha-normalized) build keys plus the pushed filters baked
+/// into the table.
+fn join_fingerprint(
+    source: &Expr,
+    var: Symbol,
+    build_keys: &[&Expr],
+    filters: &[Conjunct<'_>],
+) -> String {
+    let mut out = format!("join {} build(", expr_to_string(source));
+    for (i, k) in build_keys.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_key_expr(k, var, &mut out);
+    }
+    out.push_str(") filter(");
+    for (i, c) in filters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" andalso ");
+        }
+        push_key_expr(c.expr, var, &mut out);
+    }
+    out.push(')');
+    out
+}
+
 impl<'a> LogicalPlan<'a> {
     /// Lower to the physical operator tree.
     pub fn physical(self) -> PhysicalPlan<'a> {
         let mut steps = self.steps.into_iter();
         let first = steps.next().expect("compile() guarantees ≥1 generator");
-        let mut root = PhysOp::Scan {
-            var: first.var,
-            source: first.source,
-            filters: first.filters,
-        };
         debug_assert!(first.keys.is_empty(), "first generator cannot equi-join");
+        // Split the first generator's pushed filters into equality keys
+        // an index can answer and ordinary per-row filters. Plain
+        // filter shapes (no equality against the environment) stay a
+        // `Scan` and never touch the index store — and so do sources
+        // that construct fresh storage per evaluation (view calls,
+        // literals): their index could never be looked up again, so
+        // caching one would only pin dead clones. With the store
+        // disabled (ablation mode) everything stays a `Scan`: plans are
+        // recompiled per evaluation, so the toggle is always current,
+        // and a grouping nothing will reuse is strictly worse than the
+        // filtered scan.
+        let mut keys: Vec<IndexKey<'a>> = Vec::new();
+        let mut filters: Vec<Conjunct<'a>> = Vec::new();
+        if store_enabled() && stable_source(first.source) {
+            for c in first.filters {
+                match index_key(c.expr, first.var) {
+                    Some(k) => keys.push(k),
+                    None => filters.push(c),
+                }
+            }
+        } else {
+            filters = first.filters;
+        }
+        let mut root = if keys.is_empty() {
+            PhysOp::Scan {
+                var: first.var,
+                source: first.source,
+                filters,
+            }
+        } else {
+            let fingerprint = scan_fingerprint(first.source, first.var, &keys);
+            PhysOp::IndexScan {
+                var: first.var,
+                source: first.source,
+                keys,
+                filters,
+                fingerprint,
+            }
+        };
         if !first.residual.is_empty() {
             root = PhysOp::Filter {
                 input: Box::new(root),
@@ -116,13 +376,27 @@ impl<'a> LogicalPlan<'a> {
         }
         for step in steps {
             root = if !step.keys.is_empty() {
+                let build_keys: Vec<&'a Expr> = step.keys.iter().map(|k| k.build).collect();
+                // Cacheable iff the table's contents depend on nothing
+                // but the relation and the step's own binder, and the
+                // source can actually share storage across evaluations
+                // (a fresh-storage source can never hit). The
+                // store_enabled() guard also skips rendering the
+                // fingerprint entirely when nothing will consult it.
+                let binder = [step.var];
+                let fingerprint = (store_enabled()
+                    && stable_source(step.source)
+                    && build_keys.iter().all(|k| closed_under(k, &binder))
+                    && step.filters.iter().all(|c| closed_under(c.expr, &binder)))
+                .then(|| join_fingerprint(step.source, step.var, &build_keys, &step.filters));
                 PhysOp::HashJoin {
                     input: Box::new(root),
                     var: step.var,
                     source: step.source,
                     filters: step.filters,
                     probe_keys: step.keys.iter().map(|k| k.probe).collect(),
-                    build_keys: step.keys.iter().map(|k| k.build).collect(),
+                    build_keys,
+                    fingerprint,
                 }
             } else {
                 PhysOp::NestedLoop {
@@ -146,28 +420,6 @@ impl<'a> LogicalPlan<'a> {
         }
     }
 }
-
-/// An owned composite hash key: structural hash, `value_eq` equality —
-/// consistent by construction, like `ValueKey`, but owning its values so
-/// the build table can outlive the probe loop.
-#[derive(Debug)]
-struct KeyTuple(Vec<Value>);
-
-impl Hash for KeyTuple {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        for v in &self.0 {
-            hash_value(v, state);
-        }
-    }
-}
-
-impl PartialEq for KeyTuple {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| value_eq(a, b))
-    }
-}
-
-impl Eq for KeyTuple {}
 
 /// Run the pipeline in `env`, returning the canonical result set.
 /// Independent sources are evaluated exactly once, in generator order;
@@ -222,6 +474,80 @@ fn as_set<E>(v: Value) -> Result<MSet, ExecError<E>> {
     }
 }
 
+/// Build a hash-join build table: pushed filters prune rows, then each
+/// row is keyed in the *outer* environment extended with only its own
+/// binding (keys mention only this binder). Groups accumulate in source
+/// (canonical set) order.
+fn build_join_index<H: EvalHook>(
+    items: &MSet,
+    var: Symbol,
+    filters: &[Conjunct<'_>],
+    build_keys: &[&Expr],
+    env: &Env,
+    hook: &mut H,
+) -> Result<Index, ExecError<H::Error>> {
+    #[allow(clippy::mutable_key_type)] // refs hash by identity
+    let mut table = Index::with_capacity(items.len());
+    for item in items.iter() {
+        let row_env = env.bind(var, item.clone());
+        if !check_all(filters, &row_env, hook)? {
+            continue;
+        }
+        let key = KeyTuple(
+            build_keys
+                .iter()
+                .map(|k| hook.eval(&row_env, k))
+                .collect::<Result<_, _>>()?,
+        );
+        table.entry(key).or_default().push(item.clone());
+    }
+    Ok(table)
+}
+
+/// Build an index-scan grouping: the *whole* relation grouped by the
+/// `on` key expressions (filters are applied at probe time, so the
+/// index is reusable across queries with different residual filters).
+fn build_scan_index<H: EvalHook>(
+    items: &MSet,
+    var: Symbol,
+    keys: &[IndexKey<'_>],
+    env: &Env,
+    hook: &mut H,
+) -> Result<Index, ExecError<H::Error>> {
+    #[allow(clippy::mutable_key_type)] // refs hash by identity
+    let mut table = Index::with_capacity(items.len());
+    for item in items.iter() {
+        let row_env = env.bind(var, item.clone());
+        let key = KeyTuple(
+            keys.iter()
+                .map(|k| hook.eval(&row_env, k.on))
+                .collect::<Result<_, _>>()?,
+        );
+        table.entry(key).or_default().push(item.clone());
+    }
+    Ok(table)
+}
+
+/// Fetch-or-build an index through the store. The hook is never called
+/// while the store is borrowed (a nested query evaluated by the hook
+/// may consult the store itself), and a build error caches nothing.
+#[allow(clippy::mutable_key_type)] // refs hash by identity
+fn obtain_index<H: EvalHook>(
+    items: &MSet,
+    fingerprint: &str,
+    build: impl FnOnce(&mut H) -> Result<Index, ExecError<H::Error>>,
+    hook: &mut H,
+) -> Result<Rc<Index>, ExecError<H::Error>> {
+    if !store_enabled() {
+        return Ok(Rc::new(build(hook)?));
+    }
+    if let Some(idx) = with_store(|s| s.lookup(items, fingerprint)) {
+        return Ok(idx);
+    }
+    let built = build(hook)?;
+    Ok(with_store(|s| s.insert(items, fingerprint, built)))
+}
+
 /// Runtime state of one operator (same shape as [`PhysOp`]).
 enum Node<'p> {
     Scan {
@@ -229,6 +555,15 @@ enum Node<'p> {
         filters: &'p [Conjunct<'p>],
         base: Env,
         items: MSet,
+        idx: usize,
+    },
+    /// An opened index scan: the matching group was fetched up front;
+    /// iteration applies the residual pushed filters per row.
+    IndexScan {
+        var: Symbol,
+        filters: &'p [Conjunct<'p>],
+        base: Env,
+        matches: Vec<Value>,
         idx: usize,
     },
     NestedLoop {
@@ -245,8 +580,9 @@ enum Node<'p> {
         input: Box<Node<'p>>,
         var: Symbol,
         probe_keys: &'p [&'p Expr],
-        /// Build rows grouped by key, in source (canonical set) order.
-        table: HashMap<KeyTuple, Vec<Value>>,
+        /// Build rows grouped by key, in source (canonical set) order —
+        /// shared with the index store on a cache hit.
+        table: Rc<Index>,
         /// The in-flight probe binding and its match cursor.
         cur: Option<(Env, Vec<Value>, usize)>,
     },
@@ -280,6 +616,61 @@ impl<'p> Node<'p> {
                     idx: 0,
                 }
             }
+            PhysOp::IndexScan {
+                var,
+                source,
+                keys,
+                filters,
+                fingerprint,
+            } => {
+                let items = as_set(hook.eval(env, source)?)?;
+                // The probe sides are planner-safe: evaluating them once
+                // here (even when the relation is empty) instead of per
+                // element is unobservable.
+                let probe: Vec<Value> = keys
+                    .iter()
+                    .map(|k| hook.eval(env, k.probe))
+                    .collect::<Result<_, _>>()?;
+                // A relation over the whole row budget would be declined
+                // by the store: don't build a grouping nothing can ever
+                // reuse — stream it like the filtered scan this shape
+                // lowered to before the store existed.
+                let matches = if items.len() > with_store(|s| s.budget_rows()) {
+                    let mut matches = Vec::new();
+                    for item in items.iter() {
+                        let row_env = env.bind(*var, item.clone());
+                        let mut hit = true;
+                        for (k, want) in keys.iter().zip(&probe) {
+                            if !value_eq(&hook.eval(&row_env, k.on)?, want) {
+                                hit = false;
+                                break;
+                            }
+                        }
+                        if hit {
+                            matches.push(item.clone());
+                        }
+                    }
+                    matches
+                } else {
+                    let index = obtain_index(
+                        &items,
+                        fingerprint,
+                        |hook| build_scan_index(&items, *var, keys, env, hook),
+                        hook,
+                    )?;
+                    // Cloning the group is len × O(1) `Rc` bumps; rows
+                    // stay in canonical order, exactly as a filter scan
+                    // yields them.
+                    index.get(&KeyTuple(probe)).cloned().unwrap_or_default()
+                };
+                Node::IndexScan {
+                    var: *var,
+                    filters,
+                    base: env.clone(),
+                    matches,
+                    idx: 0,
+                }
+            }
             PhysOp::NestedLoop {
                 input,
                 var,
@@ -309,27 +700,25 @@ impl<'p> Node<'p> {
                 filters,
                 probe_keys,
                 build_keys,
+                fingerprint,
             } => {
                 let input = Box::new(Node::open(input, env, hook)?);
                 let items = as_set(hook.eval(env, source)?)?;
-                // Build phase: pushed filters prune rows, then each row
-                // is keyed in the *outer* environment extended with only
-                // its own binding (keys mention only this binder).
-                #[allow(clippy::mutable_key_type)] // refs hash by identity
-                let mut table: HashMap<KeyTuple, Vec<Value>> = HashMap::with_capacity(items.len());
-                for item in items.iter() {
-                    let row_env = env.bind(*var, item.clone());
-                    if !check_all(filters, &row_env, hook)? {
-                        continue;
-                    }
-                    let key = KeyTuple(
-                        build_keys
-                            .iter()
-                            .map(|k| hook.eval(&row_env, k))
-                            .collect::<Result<_, _>>()?,
-                    );
-                    table.entry(key).or_default().push(item.clone());
-                }
+                let table = match fingerprint {
+                    // Cacheable build: request it from the index store
+                    // (hit ⇒ the whole build phase — filters and keys —
+                    // is skipped; all planner-safe, so unobservable).
+                    Some(fp) => obtain_index(
+                        &items,
+                        fp,
+                        |hook| build_join_index(&items, *var, filters, build_keys, env, hook),
+                        hook,
+                    )?,
+                    // Environment-dependent build: construct inline.
+                    None => Rc::new(build_join_index(
+                        &items, *var, filters, build_keys, env, hook,
+                    )?),
+                };
                 Node::HashJoin {
                     input,
                     var: *var,
@@ -357,6 +746,23 @@ impl<'p> Node<'p> {
             } => {
                 while *idx < items.len() {
                     let item = items.as_slice()[*idx].clone();
+                    *idx += 1;
+                    let env = base.bind(*var, item);
+                    if check_all(filters, &env, hook)? {
+                        return Ok(Some(env));
+                    }
+                }
+                Ok(None)
+            }
+            Node::IndexScan {
+                var,
+                filters,
+                base,
+                matches,
+                idx,
+            } => {
+                while *idx < matches.len() {
+                    let item = matches[*idx].clone();
                     *idx += 1;
                     let env = base.bind(*var, item);
                     if check_all(filters, &env, hook)? {
@@ -450,7 +856,6 @@ impl<'p> Node<'p> {
 mod tests {
     use super::*;
     use crate::logical::compile;
-    use machiavelli_syntax::ast::ExprKind;
     use machiavelli_syntax::parse_expr;
 
     /// A minimal structural evaluator covering the safe-expression class
@@ -461,7 +866,6 @@ mod tests {
     impl EvalHook for MiniEval {
         type Error = String;
         fn eval(&mut self, env: &Env, expr: &Expr) -> Result<Value, String> {
-            use machiavelli_syntax::ast::BinOp;
             Ok(match &expr.kind {
                 ExprKind::Int(n) => Value::Int(*n),
                 ExprKind::Bool(b) => Value::Bool(*b),
@@ -570,5 +974,71 @@ mod tests {
             Err(ExecError::NotASet(shown)) => assert_eq!(shown, "3"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn index_scan_matches_filter_semantics() {
+        let env = Env::new()
+            .bind("r", rows(&[(1, 10), (2, 20), (2, 21), (3, 30)]))
+            .bind("limit", Value::Int(2));
+        let got = run("select x.A where x <- r with x.K = limit", &env);
+        assert_eq!(got, Value::set([Value::Int(20), Value::Int(21)]));
+        // Swapped orientation and an extra residual filter.
+        let got = run(
+            "select x.A where x <- r with x.A > 20 andalso limit = x.K",
+            &env,
+        );
+        assert_eq!(got, Value::set([Value::Int(21)]));
+    }
+
+    #[test]
+    fn index_scan_reuses_the_cached_grouping() {
+        with_store(|s| s.reset());
+        let env = Env::new()
+            .bind("r", rows(&[(1, 10), (2, 20)]))
+            .bind("limit", Value::Int(1));
+        let q = "select x.A where x <- r with x.K = limit";
+        assert_eq!(run(q, &env), Value::set([Value::Int(10)]));
+        // Different probe constant, same relation storage: same index.
+        let env2 = env.bind("limit", Value::Int(2));
+        assert_eq!(run(q, &env2), Value::set([Value::Int(20)]));
+        let stats = with_store(|s| s.stats());
+        assert_eq!((stats.builds, stats.hits), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn cacheable_join_builds_once_across_executions() {
+        with_store(|s| s.reset());
+        let env = Env::new()
+            .bind("r", rows(&[(1, 10), (2, 20)]))
+            .bind("s", rows(&[(1, 100), (2, 200)]));
+        let q = "select (x.A, y.A) where x <- r, y <- s with x.K = y.K";
+        let first = run(q, &env);
+        let second = run(q, &env);
+        assert_eq!(first, second);
+        let stats = with_store(|s| s.stats());
+        assert_eq!((stats.builds, stats.hits), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn environment_dependent_build_is_not_cached() {
+        with_store(|s| s.reset());
+        let env = Env::new()
+            .bind("r", rows(&[(1, 10), (2, 20)]))
+            .bind("s", rows(&[(1, 100), (2, 200)]))
+            .bind("cutoff", Value::Int(150));
+        // The build-side filter mentions `cutoff`: correct results, but
+        // the table must be rebuilt per execution (no fingerprint).
+        let q = "select (x.A, y.A) where x <- r, y <- s \
+                 with x.K = y.K andalso y.A > cutoff";
+        let got = run(q, &env);
+        assert_eq!(
+            got,
+            Value::set([Value::tuple([Value::Int(20), Value::Int(200)])])
+        );
+        run(q, &env);
+        let stats = with_store(|s| s.stats());
+        assert_eq!(stats.builds, 0, "{stats:?}");
+        assert_eq!(stats.entries, 0, "{stats:?}");
     }
 }

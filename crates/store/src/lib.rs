@@ -1,0 +1,580 @@
+//! The **indexed relation store**: a session-scoped cache of structural
+//! hash indexes over [`MSet`] relations, so repeated plans (the Figure 5
+//! `cost` recursion re-joining `parts` per call, re-run REPL queries,
+//! the prelude's hom-heavy idioms) pay the O(n) build cost once instead
+//! of per evaluation.
+//!
+//! The planner's hash-join and index-scan operators request their build
+//! tables here before constructing them inline; everything else in the
+//! pipeline is unchanged. An index is a grouping of a relation's rows by
+//! the values of its key expressions — [`Index`] maps an owned
+//! [`KeyTuple`] (structural hash, `value_eq` equality, exactly like the
+//! executor's probe keys) to the matching rows in canonical set order.
+//!
+//! # Index store & invalidation contract
+//!
+//! A cached index is keyed by **source identity plus key-expression
+//! fingerprint**, and correctness rests on three mutually reinforcing
+//! mechanisms (mirroring the planner's fallback contract in
+//! `machiavelli-plan`: each mechanism alone is an optimization, together
+//! they make staleness unrepresentable):
+//!
+//! 1. **Pointer-identity keying.** The cache key includes
+//!    [`MSet::storage_id`] — the address of the set's shared `Rc`
+//!    storage. `MSet` is copy-on-write, so *any* structural change to a
+//!    relation (insert, union, re-binding to a rebuilt set) produces new
+//!    storage and therefore a different key: the new relation can only
+//!    miss. Every entry holds a clone of the indexed set, which (a)
+//!    forces all outside mutation down the copy-on-write path (the
+//!    entry's extra `Rc` reference makes in-place `Rc::make_mut`
+//!    impossible) and (b) pins the allocation so its address cannot be
+//!    recycled for a different set while the entry lives.
+//! 2. **Epoch invalidation on reference writes.** Structure is not the
+//!    whole story: rows may contain `ref` cells whose *contents* mutate
+//!    without changing the set (`x.Dept := …`). Key and filter
+//!    expressions admitted by the planner are reference-free (the
+//!    planner-safe class), so index *contents* cannot actually go stale
+//!    this way — but the store does not rely on that analysis being
+//!    airtight. Every reference write (funnelled through
+//!    [`machiavelli_value::RefValue::set`]) bumps the thread's
+//!    [`mutation_epoch`], and the store drops **all** entries built
+//!    under an older epoch before serving anything. Conservative —
+//!    a write-heavy workload rebuilds its indexes — and obviously
+//!    correct: no query after a mutation can observe a pre-mutation
+//!    index.
+//! 3. **Closed fingerprints over stable sources.** The fingerprint
+//!    (produced by the planner) renders the source, key and
+//!    pushed-filter expressions; the planner only marks an index
+//!    cacheable when the key/filter expressions mention *no variable
+//!    other than the row binder* — so an index's contents are a pure
+//!    function of (storage, fingerprint), never of the enclosing
+//!    environment — **and** the source is a `Var`/field/deref chain
+//!    that can actually share storage across evaluations. Expressions
+//!    whose meaning depends on outer bindings (`e.Salary > threshold`)
+//!    and fresh-storage sources (`EmployeeView(persons)`, whose index
+//!    could never be looked up again) are built inline, uncached.
+//!
+//! The store itself is **thread-local** (values are `Rc`-based and
+//! thread-confined, so this is the natural session scope: a `Session`
+//! lives on the thread that drives it, and `Session::store_stats` /
+//! `:stats` read the same instance the evaluator fills). Two sessions
+//! sharing a thread also share the store harmlessly: pointer-identity
+//! keying means their relations can never alias each other's entries.
+//!
+//! Memory is bounded by a row **budget**: entries are evicted
+//! least-recently-used when the total number of cached rows exceeds it,
+//! and a relation larger than the whole budget is never cached at all.
+//! Counters ([`StoreStats`]) record hits, misses, builds, invalidations
+//! and evictions for the REPL's `:stats` and regression tests.
+
+use machiavelli_value::{hash_value, mutation_epoch, value_eq, MSet, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// An owned composite hash key: structural hash, `value_eq` equality —
+/// consistent by construction (see `machiavelli_value::hash`), owning
+/// its key values so an index can outlive the probe loop that built it.
+#[derive(Debug, Clone)]
+pub struct KeyTuple(pub Vec<Value>);
+
+impl Hash for KeyTuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            hash_value(v, state);
+        }
+    }
+}
+
+impl PartialEq for KeyTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| value_eq(a, b))
+    }
+}
+
+impl Eq for KeyTuple {}
+
+/// A structural hash index: rows grouped by key value, each group in
+/// canonical (sorted-set) order — the same order an inline build
+/// produces, so cached and fresh probes yield identical row sequences.
+#[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
+pub type Index = HashMap<KeyTuple, Vec<Value>>;
+
+/// Cumulative statistics, exposed through `Session::store_stats` and
+/// the REPL's `:stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that found no usable entry (the caller then builds).
+    pub misses: u64,
+    /// Indexes inserted after a miss (== builds that went through the
+    /// store; inline uncacheable builds are not counted).
+    pub builds: u64,
+    /// Entries dropped because a reference write advanced the epoch.
+    pub invalidated: u64,
+    /// Entries dropped by the LRU row budget.
+    pub evicted: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Total *relation* rows pinned by live entries (the budgeted
+    /// quantity — an entry keeps a clone of its whole relation alive,
+    /// so it is charged the relation's size even when pushed filters
+    /// leave the index itself much smaller).
+    pub cached_rows: usize,
+}
+
+/// Public description of one live entry, for `:indexes`.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    /// The planner's rendering of the indexed key/filter expressions.
+    pub fingerprint: String,
+    /// Rows held by the index (after pushed filters).
+    pub rows: usize,
+    /// Distinct key groups.
+    pub groups: usize,
+    /// Cache hits served by this entry.
+    pub hits: u64,
+}
+
+struct Entry {
+    /// A clone of the indexed relation: pins the storage address and
+    /// forces outside mutation down the copy-on-write path.
+    set: MSet,
+    index: Rc<Index>,
+    /// Rows held by the index (≤ `charge`; pushed filters prune).
+    rows: usize,
+    /// What this entry costs against the budget: the *pinned relation's*
+    /// size, not the (possibly heavily filtered) index size — the entry
+    /// keeps the whole relation alive, so a selective filter must not
+    /// make a large relation look cheap. Deliberately conservative the
+    /// other way too: two indexes over the same relation each pay the
+    /// full charge even though they pin shared storage, so the budget
+    /// over-estimates (never under-estimates) pinned memory.
+    charge: usize,
+    last_used: u64,
+    hits: u64,
+}
+
+/// Default row budget: generous for the paper-scale workloads while
+/// still bounding a long session that touches many relations.
+pub const DEFAULT_BUDGET_ROWS: usize = 1 << 20;
+
+/// The memoizing index store. One per thread (see [`with_store`]); all
+/// methods take `&mut self` because even lookups update recency and
+/// epoch state.
+///
+/// Entries are keyed storage-id-first, fingerprint second: the hot-path
+/// [`IndexStore::lookup`] (one per hash-join open in a repeated-plan
+/// workload — ~2000 per fig5 sweep) is two map probes that borrow the
+/// caller's fingerprint as `&str`; the store only materializes its own
+/// key `String` on insert. (The *planner* still renders a fingerprint
+/// per evaluation to have something to look up with — a few small
+/// formatting allocations per `select`, not per row.)
+pub struct IndexStore {
+    entries: HashMap<usize, HashMap<String, Entry>>,
+    budget_rows: usize,
+    cached_rows: usize,
+    epoch: u64,
+    tick: u64,
+    stats: StoreStats,
+}
+
+impl IndexStore {
+    pub fn new(budget_rows: usize) -> IndexStore {
+        IndexStore {
+            entries: HashMap::new(),
+            budget_rows,
+            cached_rows: 0,
+            epoch: mutation_epoch(),
+            tick: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Drop every entry built before the current mutation epoch. Called
+    /// on the way into every public operation, so no stale entry is
+    /// ever *observable* — mechanism 2 of the invalidation contract.
+    fn validate_epoch(&mut self) {
+        let now = mutation_epoch();
+        if self.epoch == now {
+            return;
+        }
+        self.epoch = now;
+        let dropped = self.len();
+        if dropped > 0 {
+            self.entries.clear();
+            self.cached_rows = 0;
+            self.stats.invalidated += dropped as u64;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.values().map(HashMap::len).sum()
+    }
+
+    /// Fetch the cached index for `set` under `fingerprint`, if one was
+    /// built for *this exact storage* in the current epoch. Updates
+    /// recency and hit/miss counters.
+    pub fn lookup(&mut self, set: &MSet, fingerprint: &str) -> Option<Rc<Index>> {
+        self.validate_epoch();
+        self.tick += 1;
+        match self
+            .entries
+            .get_mut(&set.storage_id())
+            .and_then(|by_fp| by_fp.get_mut(fingerprint))
+        {
+            Some(entry) => {
+                debug_assert!(
+                    entry.set.storage_id() == set.storage_id(),
+                    "entry pins its storage, ids cannot diverge"
+                );
+                entry.last_used = self.tick;
+                entry.hits += 1;
+                self.stats.hits += 1;
+                Some(entry.index.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built index for `set` under `fingerprint`,
+    /// returning the shared handle the caller should probe. Relations
+    /// larger than the whole budget are not cached (the handle is still
+    /// returned, so the calling query proceeds normally); otherwise the
+    /// least-recently-used entries are evicted until the budget holds.
+    #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
+    pub fn insert(&mut self, set: &MSet, fingerprint: &str, index: Index) -> Rc<Index> {
+        self.validate_epoch();
+        self.tick += 1;
+        let rows: usize = index.values().map(Vec::len).sum();
+        // Budget by the relation being pinned, not the filtered index:
+        // the entry's set clone keeps every row alive either way.
+        let charge = set.len();
+        let index = Rc::new(index);
+        if charge > self.budget_rows {
+            return index;
+        }
+        self.evict_to(self.budget_rows.saturating_sub(charge));
+        let entry = Entry {
+            set: set.clone(),
+            index: index.clone(),
+            rows,
+            charge,
+            last_used: self.tick,
+            hits: 0,
+        };
+        if let Some(old) = self
+            .entries
+            .entry(set.storage_id())
+            .or_default()
+            .insert(fingerprint.to_string(), entry)
+        {
+            // Same (storage, fingerprint) already present: the build
+            // window runs outside the store borrow, so a *nested*
+            // evaluation driven by the build's hook (or a `clear`
+            // mid-build) can insert the entry first. Replace it and
+            // keep the accounting tight.
+            self.cached_rows -= old.charge;
+        }
+        self.cached_rows += charge;
+        self.stats.builds += 1;
+        index
+    }
+
+    /// Evict least-recently-used entries until at most `target` rows
+    /// remain cached. One recency sort per call, so an eviction burst
+    /// costs O(entries log entries), not O(victims · entries).
+    fn evict_to(&mut self, target: usize) {
+        if self.cached_rows <= target {
+            return;
+        }
+        let mut victims: Vec<(u64, usize, String)> = self
+            .entries
+            .iter()
+            .flat_map(|(id, by_fp)| {
+                by_fp
+                    .iter()
+                    .map(move |(fp, e)| (e.last_used, *id, fp.clone()))
+            })
+            .collect();
+        victims.sort_unstable_by_key(|(used, ..)| *used);
+        for (_, storage, fp) in victims {
+            if self.cached_rows <= target {
+                break;
+            }
+            let by_fp = self.entries.get_mut(&storage).expect("key came from map");
+            let entry = by_fp.remove(&fp).expect("key came from the map");
+            if by_fp.is_empty() {
+                self.entries.remove(&storage);
+            }
+            self.cached_rows -= entry.charge;
+            self.stats.evicted += 1;
+        }
+    }
+
+    /// Is there a live (current-epoch) entry with this fingerprint, for
+    /// any relation? Display-level probe used by plan explanation to
+    /// render `HashJoin[idx cached]` vs `[idx build]` — the executor
+    /// itself always checks the full (storage, fingerprint) key.
+    /// (Fingerprints include the rendered source expression, so two
+    /// relations alias here only when queried through the same name —
+    /// after a rebind, a fresh build corrects the display on first
+    /// execution.)
+    pub fn has_fingerprint(&mut self, fingerprint: &str) -> bool {
+        self.validate_epoch();
+        self.entries
+            .values()
+            .any(|by_fp| by_fp.contains_key(fingerprint))
+    }
+
+    /// Drop all entries (statistics are kept; see [`IndexStore::reset`]).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.cached_rows = 0;
+    }
+
+    /// Drop all entries and zero the statistics.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.stats = StoreStats::default();
+    }
+
+    /// Change the row budget, evicting immediately if the cache is now
+    /// over it.
+    pub fn set_budget(&mut self, budget_rows: usize) {
+        self.budget_rows = budget_rows;
+        self.evict_to(budget_rows);
+    }
+
+    /// The current row budget. Callers about to build an index can
+    /// check it first: a relation that exceeds the whole budget would
+    /// be declined by [`IndexStore::insert`], so building a grouping
+    /// for it is wasted work (stream instead).
+    pub fn budget_rows(&self) -> usize {
+        self.budget_rows
+    }
+
+    /// Current statistics (entry/row counts reflect live entries only).
+    pub fn stats(&mut self) -> StoreStats {
+        self.validate_epoch();
+        StoreStats {
+            entries: self.len(),
+            cached_rows: self.cached_rows,
+            ..self.stats
+        }
+    }
+
+    /// Describe the live entries, most-recently-used first.
+    pub fn indexes(&mut self) -> Vec<IndexInfo> {
+        self.validate_epoch();
+        let mut infos: Vec<(u64, IndexInfo)> = self
+            .entries
+            .values()
+            .flat_map(HashMap::iter)
+            .map(|(fp, e)| {
+                (
+                    e.last_used,
+                    IndexInfo {
+                        fingerprint: fp.clone(),
+                        rows: e.rows,
+                        groups: e.index.len(),
+                        hits: e.hits,
+                    },
+                )
+            })
+            .collect();
+        infos.sort_by_key(|(used, _)| std::cmp::Reverse(*used));
+        infos.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+impl Default for IndexStore {
+    fn default() -> Self {
+        IndexStore::new(DEFAULT_BUDGET_ROWS)
+    }
+}
+
+thread_local! {
+    static STORE: RefCell<IndexStore> = RefCell::new(IndexStore::default());
+    /// Whether the executor consults the store at all. Benches flip it
+    /// off to measure the always-rebuild path; `false` means every
+    /// cacheable build happens inline, uncached and uncounted.
+    static STORE_ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Run `f` on this thread's index store.
+pub fn with_store<R>(f: impl FnOnce(&mut IndexStore) -> R) -> R {
+    STORE.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Is store consultation enabled on this thread?
+pub fn store_enabled() -> bool {
+    STORE_ENABLED.with(|c| c.get())
+}
+
+/// Enable/disable store consultation on this thread, returning the
+/// previous setting (so callers can restore it).
+pub fn set_store_enabled(on: bool) -> bool {
+    STORE_ENABLED.with(|c| c.replace(on))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machiavelli_value::bump_mutation_epoch;
+
+    fn ints(xs: &[i64]) -> MSet {
+        MSet::from_iter(xs.iter().map(|&x| Value::Int(x)))
+    }
+
+    /// Group a set of ints by parity — a stand-in for a planner build.
+    #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
+    fn parity_index(s: &MSet) -> Index {
+        let mut idx = Index::new();
+        for v in s.iter() {
+            let Value::Int(n) = v else { panic!() };
+            idx.entry(KeyTuple(vec![Value::Int(n % 2)]))
+                .or_default()
+                .push(v.clone());
+        }
+        idx
+    }
+
+    #[test]
+    fn hit_after_insert_same_storage() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2, 3]);
+        assert!(st.lookup(&s, "parity").is_none());
+        st.insert(&s, "parity", parity_index(&s));
+        let alias = s.clone();
+        let idx = st.lookup(&alias, "parity").expect("clone shares storage");
+        assert_eq!(idx.len(), 2);
+        let stats = st.stats();
+        assert_eq!((stats.hits, stats.misses, stats.builds), (1, 1, 1));
+        assert_eq!((stats.entries, stats.cached_rows), (1, 3));
+    }
+
+    #[test]
+    fn different_fingerprint_or_storage_misses() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2, 3]);
+        st.insert(&s, "parity", parity_index(&s));
+        assert!(st.lookup(&s, "identity").is_none(), "fingerprint differs");
+        let rebuilt = ints(&[1, 2, 3]);
+        assert!(
+            st.lookup(&rebuilt, "parity").is_none(),
+            "equal contents, different storage: still a miss"
+        );
+    }
+
+    #[test]
+    fn copy_on_write_mutation_cannot_hit() {
+        let mut st = IndexStore::new(1000);
+        let mut s = ints(&[1, 2, 3]);
+        st.insert(&s, "parity", parity_index(&s));
+        // The store holds a clone, so this insert copies-on-write into
+        // fresh storage even though our handle looked unshared.
+        s.insert(Value::Int(4));
+        assert!(st.lookup(&s, "parity").is_none());
+    }
+
+    #[test]
+    fn ref_write_invalidates_everything() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2]);
+        st.insert(&s, "parity", parity_index(&s));
+        bump_mutation_epoch();
+        assert!(st.lookup(&s, "parity").is_none());
+        let stats = st.stats();
+        assert_eq!(stats.invalidated, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let mut st = IndexStore::new(5);
+        let a = ints(&[1, 2, 3]);
+        let b = ints(&[4, 5]);
+        st.insert(&a, "parity", parity_index(&a));
+        st.insert(&b, "parity", parity_index(&b));
+        assert_eq!(st.stats().cached_rows, 5);
+        // Touch `a` so `b` is the LRU victim.
+        assert!(st.lookup(&a, "parity").is_some());
+        let c = ints(&[6, 7]);
+        st.insert(&c, "parity", parity_index(&c));
+        assert!(st.lookup(&a, "parity").is_some());
+        assert!(st.lookup(&b, "parity").is_none(), "b was evicted");
+        assert_eq!(st.stats().evicted, 1);
+        assert!(st.stats().cached_rows <= 5);
+    }
+
+    #[test]
+    fn oversized_relations_are_not_cached() {
+        let mut st = IndexStore::new(2);
+        let s = ints(&[1, 2, 3]);
+        let idx = st.insert(&s, "parity", parity_index(&s));
+        assert_eq!(idx.values().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(st.stats().entries, 0);
+        assert_eq!(st.stats().builds, 0);
+    }
+
+    #[test]
+    #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
+    fn budget_charges_the_pinned_relation_not_the_filtered_index() {
+        let s = ints(&[1, 2, 3, 4, 5, 6]);
+        let selective = || {
+            let mut idx = Index::new();
+            idx.entry(KeyTuple(vec![Value::Int(0)]))
+                .or_default()
+                .push(Value::Int(2));
+            idx
+        };
+        // A one-row filtered index still pins all six relation rows.
+        let mut st = IndexStore::new(10);
+        st.insert(&s, "filtered", selective());
+        assert_eq!(st.stats().cached_rows, 6);
+        // A relation over the whole budget is declined even when its
+        // filtered index is tiny.
+        let mut st = IndexStore::new(4);
+        st.insert(&s, "filtered", selective());
+        assert_eq!(st.stats().entries, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_stats_and_entries() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1]);
+        st.insert(&s, "parity", parity_index(&s));
+        st.lookup(&s, "parity");
+        st.reset();
+        assert_eq!(st.stats(), StoreStats::default());
+        assert!(!st.has_fingerprint("parity"));
+    }
+
+    #[test]
+    fn indexes_listing_reports_entries() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2, 3, 4]);
+        st.insert(&s, "parity", parity_index(&s));
+        st.lookup(&s, "parity");
+        let infos = st.indexes();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].fingerprint, "parity");
+        assert_eq!((infos[0].rows, infos[0].groups, infos[0].hits), (4, 2, 1));
+    }
+
+    #[test]
+    fn enable_toggle_round_trips() {
+        assert!(store_enabled());
+        let prev = set_store_enabled(false);
+        assert!(prev);
+        assert!(!store_enabled());
+        set_store_enabled(prev);
+        assert!(store_enabled());
+    }
+}

@@ -1,0 +1,51 @@
+//! The thread-local **mutation epoch**: a counter bumped on every
+//! reference-cell write, read by cache layers (the index store in
+//! `machiavelli-store`) that must never serve results computed before a
+//! mutation.
+//!
+//! Values are `Rc`-based and therefore thread-confined, so the epoch is
+//! a thread-local `Cell` — no synchronization, no cross-thread
+//! invalidation to reason about. [`crate::RefValue::set`] bumps the
+//! epoch unconditionally: it is the single choke point every ref write
+//! goes through (the evaluator's `:=`, the OODB object store's updates,
+//! persistence decoding), so a consumer that checks
+//! [`mutation_epoch`] before reuse can never observe a stale snapshot,
+//! no matter which layer performed the write.
+
+use std::cell::Cell;
+
+thread_local! {
+    static MUTATION_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current mutation epoch of this thread. Two reads returning the
+/// same value bracket a window with no reference writes.
+pub fn mutation_epoch() -> u64 {
+    MUTATION_EPOCH.with(|c| c.get())
+}
+
+/// Advance the mutation epoch (called by [`crate::RefValue::set`];
+/// exposed for native code that mutates reference contents through
+/// `borrow_mut` on the raw cell rather than `RefValue::set`).
+pub fn bump_mutation_epoch() {
+    MUTATION_EPOCH.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{RefValue, Value};
+
+    #[test]
+    fn ref_writes_advance_the_epoch() {
+        let before = mutation_epoch();
+        let r = RefValue::new(Value::Int(1));
+        assert_eq!(
+            mutation_epoch(),
+            before,
+            "allocation is not a write — fresh refs cannot be cached yet"
+        );
+        r.set(Value::Int(2));
+        assert!(mutation_epoch() > before);
+    }
+}

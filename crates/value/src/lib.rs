@@ -8,6 +8,7 @@
 
 pub mod conform;
 pub mod display;
+pub mod epoch;
 pub mod error;
 pub mod hash;
 pub mod ops;
@@ -17,6 +18,7 @@ pub mod value;
 
 pub use conform::conforms;
 pub use display::show_value;
+pub use epoch::{bump_mutation_epoch, mutation_epoch};
 pub use error::ValueError;
 pub use hash::{hash_value, ValueKey};
 pub use ops::{con_value, join_value, project_value, unionc_value};

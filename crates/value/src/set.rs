@@ -78,6 +78,18 @@ impl MSet {
         &self.items
     }
 
+    /// The identity of the shared backing storage: clones of a set share
+    /// it, and copy-on-write mutation (or any rebuilding operation)
+    /// replaces it — so equal ids mean *the same immutable elements*, as
+    /// long as a clone of the set is being held (a live extra `Rc`
+    /// forces every mutation down the copy-on-write path). The index
+    /// store keys cached indexes on this id and keeps such a clone
+    /// alive, which both pins the elements and prevents the allocator
+    /// from recycling the address for a different set.
+    pub fn storage_id(&self) -> usize {
+        Rc::as_ptr(&self.items) as usize
+    }
+
     /// Consume into the sorted vector (copies only when shared).
     pub fn into_vec(self) -> Vec<Value> {
         Rc::try_unwrap(self.items).unwrap_or_else(|rc| (*rc).clone())
@@ -309,6 +321,19 @@ mod tests {
         // Copy-on-write: the original is untouched.
         assert_eq!(a.len(), 3);
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn storage_id_tracks_sharing_and_rebuilds() {
+        let a = ints(&[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.storage_id(), b.storage_id(), "clones share storage");
+        let mut c = b.clone();
+        c.insert(Value::Int(9));
+        // `a`/`b` still hold the old storage, so the insert had to
+        // copy-on-write into a fresh allocation.
+        assert_ne!(c.storage_id(), a.storage_id());
+        assert_eq!(a.storage_id(), b.storage_id());
     }
 
     #[test]

@@ -58,9 +58,14 @@ impl RefValue {
         self.cell.borrow().clone()
     }
 
-    /// Overwrite the contents.
+    /// Overwrite the contents. Every write — the evaluator's `:=`, OODB
+    /// object updates, persistence decoding — funnels through here, so
+    /// this is where the thread's mutation epoch is bumped: any cache
+    /// keyed on the epoch (the index store) can never serve a snapshot
+    /// computed before this write.
     pub fn set(&self, v: Value) {
         *self.cell.borrow_mut() = v;
+        crate::epoch::bump_mutation_epoch();
     }
 }
 

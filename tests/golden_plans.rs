@@ -1,19 +1,30 @@
 //! Golden-plan tests: pin the operator trees the comprehension planner
 //! chooses for the paper's query shapes (`Session::plan_of` renders the
 //! physical pipeline; the `Fallback` line names shapes left to the
-//! interpreter's nested loop). If planner behavior changes on purpose,
-//! update these strings deliberately.
+//! interpreter's nested loop). Cacheable operators carry an index-store
+//! marker — `[idx build]` against a cold store, `[idx cached]` once the
+//! session holds a live index with the operator's fingerprint. If
+//! planner behavior changes on purpose, update these strings
+//! deliberately.
 
 use machiavelli::Session;
 
+/// Render against a cold store so `[idx build]` markers are
+/// deterministic regardless of what ran earlier on this thread.
 fn plan(src: &str) -> String {
-    Session::new().plan_of(src).unwrap()
+    let s = Session::new();
+    s.store_reset();
+    s.plan_of(src).unwrap()
 }
 
 #[test]
 fn fig9_shape_two_generator_equi_join_is_hash_join() {
     // The advisor/salary join shape of Figure 9: two independent
-    // generators linked by a key equality, with a per-side filter.
+    // generators linked by a key equality, with a per-side filter. The
+    // sources are *view calls*, which construct fresh storage every
+    // evaluation — an index over them could never be looked up again,
+    // so the join is deliberately uncached (no idx marker; materialize
+    // the view into a binding to get reuse, as the variant below does).
     assert_eq!(
         plan(
             "select [Name = s.Name, Salary = e.Salary]
@@ -28,10 +39,29 @@ fn fig9_shape_two_generator_equi_join_is_hash_join() {
 }
 
 #[test]
+fn fig9_shape_over_bound_relations_is_a_cacheable_hash_join() {
+    // The same shape over stored relations (or materialized views):
+    // the build side is keyed on stable storage, hence the idx marker.
+    assert_eq!(
+        plan(
+            "select [Name = s.Name, Salary = e.Salary]
+             where s <- students, e <- employees
+             with s.Name = e.Name andalso e.Salary > 1000;"
+        ),
+        "Project [Name=s.Name, Salary=e.Salary]\n  \
+         HashJoin[idx build] probe(s.Name) build(e.Name)\n    \
+         Scan s <- students\n    \
+         Build e <- employees filter (e.Salary > 1000)"
+    );
+}
+
+#[test]
 fn fig5_subpart_join_is_hash_join() {
     // The inner comprehension of Figure 5's `cost`: subparts joined to
     // the part database on part number. (`w` ranges over a field of an
-    // enclosing binder — independent *within* this comprehension.)
+    // enclosing binder — independent *within* this comprehension.) The
+    // `parts` build table is cacheable: this is exactly the index the
+    // `cost` recursion reuses across recursive calls.
     assert_eq!(
         plan(
             "select [SubpartCost = cost(z), Qty = w.Qty]
@@ -39,18 +69,75 @@ fn fig5_subpart_join_is_hash_join() {
              with z.P# = w.P#;"
         ),
         "Project [SubpartCost=cost(z), Qty=w.Qty]\n  \
-         HashJoin probe(w.P#) build(z.P#)\n    \
+         HashJoin[idx build] probe(w.P#) build(z.P#)\n    \
          Scan w <- x.SubParts\n    \
          Build z <- parts"
     );
 }
 
 #[test]
+fn fig5_shape_renders_cached_after_first_evaluation() {
+    // Same fig5 inner shape, but on a session that has actually run the
+    // query once: the next plan explains as a cache probe.
+    let mut s = Session::new();
+    s.store_reset();
+    s.run(
+        "val parts = {[P#=1, C=5], [P#=2, C=9]};
+         val subs = {[P#=1, Qty=4]};",
+    )
+    .unwrap();
+    let q = "select (z.C, w.Qty) where w <- subs, z <- parts with z.P# = w.P#;";
+    let cold = s.plan_of(q).unwrap();
+    assert!(
+        cold.contains("HashJoin[idx build] probe(w.P#) build(z.P#)"),
+        "{cold}"
+    );
+    s.eval_one(q).unwrap();
+    let warm = s.plan_of(q).unwrap();
+    assert!(
+        warm.contains("HashJoin[idx cached] probe(w.P#) build(z.P#)"),
+        "{warm}"
+    );
+}
+
+#[test]
 fn single_generator_filter_is_scan_with_pushdown() {
-    // The introduction's Wealthy query.
+    // The introduction's Wealthy query: an ordering filter is *not* an
+    // index shape — it stays a plain scan and creates no store entry
+    // (no cache pollution from one-shot filter queries).
     assert_eq!(
         plan("select x.Name where x <- S with x.Salary > 100000;"),
         "Project x.Name\n  Scan x <- S filter (x.Salary > 100000)"
+    );
+}
+
+#[test]
+fn single_generator_filter_queries_do_not_create_indexes() {
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val S = {[Name=\"Joe\", Salary=22340], [Name=\"Helen\", Salary=132000]};")
+        .unwrap();
+    s.eval_one("select x.Name where x <- S with x.Salary > 100000;")
+        .unwrap();
+    let stats = s.store_stats();
+    assert_eq!(stats.entries, 0, "{stats:?}");
+    assert_eq!(stats.builds, 0, "{stats:?}");
+}
+
+#[test]
+fn equality_probe_scan_is_index_scan() {
+    // A single generator filtered by equality against the environment:
+    // the scan probes a cached grouping of the relation instead of
+    // filtering row by row.
+    assert_eq!(
+        plan("select x where x <- s with x.K = limit;"),
+        "Project x\n  IndexScan[idx build] x <- s key(x.K = limit)"
+    );
+    // Composite key plus a residual pushed filter.
+    assert_eq!(
+        plan("select x where x <- s with x.K = a andalso x.J = b andalso x.A > 0;"),
+        "Project x\n  \
+         IndexScan[idx build] x <- s key(x.K = a, x.J = b) filter (x.A > 0)"
     );
 }
 
@@ -88,11 +175,25 @@ fn three_generator_mixed_plan() {
         ),
         "Project (x.A, y.B, z.C)\n  \
          Filter (x.A < z.C)\n    \
-         HashJoin probe(y.J) build(z.J)\n      \
-         HashJoin probe(x.K) build(y.K)\n        \
+         HashJoin[idx build] probe(y.J) build(z.J)\n      \
+         HashJoin[idx build] probe(x.K) build(y.K)\n        \
          Scan x <- r\n        \
          Build y <- s\n      \
          Build z <- t"
+    );
+}
+
+#[test]
+fn environment_dependent_build_table_carries_no_marker() {
+    // The build-side filter mentions `cutoff` from the environment: the
+    // table is rebuilt per execution and never cached, so no idx
+    // marker is rendered.
+    assert_eq!(
+        plan("select y where x <- r, y <- s with x.K = y.K andalso y.B > cutoff;"),
+        "Project y\n  \
+         HashJoin probe(x.K) build(y.K)\n    \
+         Scan x <- r\n    \
+         Build y <- s filter (y.B > cutoff)"
     );
 }
 
@@ -117,9 +218,11 @@ fn unsafe_shapes_name_their_fallback() {
 }
 
 #[test]
-fn equality_to_environment_constant_is_a_pushed_filter() {
-    // `y.K = limit` mentions no earlier binder: a scan filter, not a
-    // join key (the hash join needs a probe side).
+fn equality_to_environment_constant_on_a_join_step_is_a_pushed_filter() {
+    // `y.K = limit` mentions no earlier binder: a per-row filter on the
+    // (non-first) generator, not a join key (the hash join needs a
+    // probe side). Only the *first* generator's scan turns equality
+    // filters into index probes.
     assert_eq!(
         plan("select y where x <- r, y <- s with y.K = limit;"),
         "Project y\n  \

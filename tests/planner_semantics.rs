@@ -66,6 +66,21 @@ fn dependent_generators_agree() {
 }
 
 #[test]
+fn index_scan_agrees_with_nested_loop() {
+    // Equality against a constant lowers to an IndexScan probe of a
+    // cached grouping; the rows and their order must match the plain
+    // filtering loop exactly.
+    assert_agree("select x.Sname where x <- suppliers with x.S# = 2;");
+    assert_agree("select x.Sname where x <- suppliers with x.S# = 99;");
+    // IndexScan under a hash join, plus a residual ordering filter.
+    assert_agree(
+        "select (x.S#, y.P#)
+         where x <- suppliers, y <- supplied_by
+         with x.S# = 2 andalso x.S# = y.P# andalso y.P# > 0;",
+    );
+}
+
+#[test]
 fn equi_join_agrees_with_nested_loop() {
     assert_agree(
         "select (p.Pname, sb.P#)

@@ -1,0 +1,261 @@
+//! The index store's correctness contract, end to end: repeated plans
+//! reuse cached indexes (the fig5 `cost` recursion builds its `parts`
+//! hash exactly once), and **no query ever observes pre-mutation rows**
+//! — whether the relation was mutated through a reference (`:=` bumps
+//! the mutation epoch) or rebuilt and rebound (copy-on-write storage
+//! gives the new relation a new identity). A seeded property test
+//! interleaves queries and mutations and holds the planner+store path
+//! to the `select_loop` reference at every step.
+
+use machiavelli::eval::set_planner_enabled;
+use machiavelli::value::show_value;
+use machiavelli::Session;
+use machiavelli_bench::{scaled_parts_session, FIG5_SOURCE};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+/// Run `f` with planner dispatch forced on/off, restoring the previous
+/// setting afterwards.
+fn with_planner<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = set_planner_enabled(on);
+    let out = f();
+    set_planner_enabled(prev);
+    out
+}
+
+fn eval(s: &mut Session, src: &str) -> Result<String, String> {
+    s.eval_one(src)
+        .map(|o| show_value(&o.value))
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn fig5_recursion_builds_the_parts_index_exactly_once() {
+    // The PR 2 planner rebuilt the `parts` hash table inside every
+    // recursive `cost` call. With the store, the first composite part
+    // builds it and every later call — across the whole
+    // `expensive_parts` sweep — probes the cached index.
+    let (mut s, db) = scaled_parts_session(30, 5, 7);
+    s.run(FIG5_SOURCE).unwrap();
+    s.store_reset();
+    s.eval_one("expensive_parts(parts, 0);").unwrap();
+    let stats = s.store_stats();
+    assert_eq!(
+        stats.builds, 1,
+        "one build for the whole recursion: {stats:?}"
+    );
+    assert!(stats.hits >= 1, "recursive calls must hit: {stats:?}");
+    assert_eq!(stats.entries, 1, "{stats:?}");
+    assert_eq!(stats.cached_rows, db.parts.len(), "{stats:?}");
+    // A second full sweep is pure cache hits.
+    let builds_before = stats.builds;
+    s.eval_one("expensive_parts(parts, 0);").unwrap();
+    assert_eq!(
+        s.store_stats().builds,
+        builds_before,
+        "no rebuild on re-run"
+    );
+}
+
+#[test]
+fn identical_queries_share_one_build() {
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val r = {[K=1, A=10], [K=2, A=20]}; val probe = {[K=1]};")
+        .unwrap();
+    let q = "select x.A where y <- probe, x <- r with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    let stats = s.store_stats();
+    assert_eq!(
+        (stats.builds, stats.hits, stats.misses),
+        (1, 1, 1),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn ref_mutation_between_identical_queries_is_a_fresh_miss() {
+    // The satellite scenario: a `ref`-held relation is mutated between
+    // two identical queries. The second query must see the new rows and
+    // must not be served from the cache (epoch invalidation).
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val dbref = ref({[K=1, A=10], [K=2, A=20]}); val probe = {[K=1]};")
+        .unwrap();
+    let q = "select x.A where y <- probe, x <- !dbref with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    let warm = s.store_stats();
+    assert_eq!((warm.builds, warm.hits), (1, 1), "{warm:?}");
+
+    s.eval_one("dbref := union(!dbref, {[K=1, A=99]});")
+        .unwrap();
+    assert_eq!(eval(&mut s, q).unwrap(), "{10, 99}", "fresh rows visible");
+    let after = s.store_stats();
+    assert_eq!(after.builds, 2, "the mutated relation re-built: {after:?}");
+    assert_eq!(after.hits, warm.hits, "no stale hit: {after:?}");
+    assert!(
+        after.invalidated >= 1,
+        "epoch dropped the old entry: {after:?}"
+    );
+}
+
+#[test]
+fn alpha_equivalent_queries_share_one_index() {
+    // Fingerprints normalize the binder to `_`, so renaming a generator
+    // variable does not duplicate the cached grouping.
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val r = {[K=1, A=10], [K=2, A=20]}; val probe = {[K=1]};")
+        .unwrap();
+    assert_eq!(
+        eval(
+            &mut s,
+            "select x.A where y <- probe, x <- r with x.K = y.K;"
+        )
+        .unwrap(),
+        "{10}"
+    );
+    assert_eq!(
+        eval(
+            &mut s,
+            "select z.A where w <- probe, z <- r with z.K = w.K;"
+        )
+        .unwrap(),
+        "{10}"
+    );
+    let stats = s.store_stats();
+    assert_eq!(
+        (stats.builds, stats.hits, stats.entries),
+        (1, 1, 1),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn rebinding_a_rebuilt_relation_misses_by_pointer_identity() {
+    // No reference write at all: the relation is rebuilt functionally
+    // and rebound under the same name. Copy-on-write storage gives the
+    // union a fresh identity, so the cache cannot serve the old index.
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val r = {[K=1, A=10]}; val probe = {[K=1]};")
+        .unwrap();
+    let q = "select x.A where y <- probe, x <- r with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    s.run("val r = union(r, {[K=1, A=99]});").unwrap();
+    assert_eq!(eval(&mut s, q).unwrap(), "{10, 99}");
+    let stats = s.store_stats();
+    assert_eq!(stats.builds, 2, "{stats:?}");
+    assert_eq!(stats.hits, 0, "{stats:?}");
+}
+
+#[test]
+fn index_scan_sees_mutations_through_a_ref() {
+    let mut s = Session::new();
+    s.store_reset();
+    s.run("val sref = ref({[K=1, A=10], [K=2, A=20]});")
+        .unwrap();
+    let q = "select x.A where x <- !sref with x.K = 2;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{20}");
+    assert_eq!(eval(&mut s, q).unwrap(), "{20}");
+    let warm = s.store_stats();
+    assert_eq!((warm.builds, warm.hits), (1, 1), "{warm:?}");
+    s.eval_one("sref := union(!sref, {[K=2, A=21]});").unwrap();
+    assert_eq!(eval(&mut s, q).unwrap(), "{20, 21}");
+    assert_eq!(s.store_stats().hits, warm.hits, "no stale hit");
+}
+
+#[test]
+fn planner_and_interpreter_agree_on_a_warm_cache() {
+    // Same query three times through the store, checked against the
+    // nested loop each time — a cached probe must be observationally
+    // identical to a fresh build.
+    let (mut s, _db) = scaled_parts_session(16, 5, 3);
+    s.store_reset();
+    let q = "select (p.Pname, sb.P#) where p <- parts, sb <- supplied_by \
+             with p.P# = sb.P#;";
+    let reference = with_planner(false, || eval(&mut s, q));
+    for round in 0..3 {
+        let planned = with_planner(true, || eval(&mut s, q));
+        assert_eq!(planned, reference, "round {round}");
+    }
+    assert!(s.store_stats().hits >= 1);
+}
+
+#[test]
+fn lru_budget_bounds_cached_rows_end_to_end() {
+    let mut s = Session::new();
+    s.store_reset();
+    machiavelli::store::with_store(|st| st.set_budget(3));
+    s.run(
+        "val big = {[K=1], [K=2], [K=3], [K=4]}; \
+           val small = {[K=1], [K=2]}; val probe = {[K=1]};",
+    )
+    .unwrap();
+    // `big` exceeds the whole budget: runs fine, caches nothing.
+    eval(
+        &mut s,
+        "select x where y <- probe, x <- big with x.K = y.K;",
+    )
+    .unwrap();
+    assert_eq!(s.store_stats().entries, 0);
+    // An oversized IndexScan shape streams (no grouping is even built)
+    // and still answers correctly.
+    assert_eq!(
+        eval(&mut s, "select x.K where x <- big with x.K = 2;").unwrap(),
+        "{2}"
+    );
+    assert_eq!(s.store_stats().entries, 0);
+    // `small` fits and is cached.
+    eval(
+        &mut s,
+        "select x where y <- probe, x <- small with x.K = y.K;",
+    )
+    .unwrap();
+    let stats = s.store_stats();
+    assert_eq!((stats.entries, stats.cached_rows), (1, 2), "{stats:?}");
+    machiavelli::store::with_store(|st| st.set_budget(machiavelli::store::DEFAULT_BUDGET_ROWS));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Interleave equi-join queries (over both a ref-held and a
+    // plainly-bound relation) with reference mutations, and require the
+    // planner+store path to agree with the `select_loop` reference
+    // after every step.
+    #[test]
+    fn interleaved_queries_and_mutations_never_see_stale_rows(
+        ops in proptest::collection::vec((any::<bool>(), 0i64..5, 0i64..40), 1..10),
+        seed in 0i64..100,
+    ) {
+        let mut s = Session::new();
+        s.store_reset();
+        s.run(&format!(
+            "val dbref = ref({{[K=0, A={seed}], [K=1, A={}]}});
+             val fixed = {{[K=0, B=7], [K=2, B=9]}};
+             val probe = {{[K=0], [K=1], [K=2], [K=3]}};",
+            seed + 1
+        )).unwrap();
+        let queries = [
+            "select (y.K, x.A) where y <- probe, x <- !dbref with x.K = y.K;",
+            "select (x.A, z.B) where x <- !dbref, z <- fixed with x.K = z.K;",
+        ];
+        for (i, (mutate, k, a)) in ops.iter().enumerate() {
+            if *mutate {
+                s.eval_one(&format!(
+                    "dbref := union(!dbref, {{[K={k}, A={a}]}});"
+                )).unwrap();
+            }
+            let q = queries[i % queries.len()];
+            let planned = with_planner(true, || eval(&mut s, q));
+            let reference = with_planner(false, || eval(&mut s, q));
+            prop_assert!(
+                planned == reference,
+                "op {i} of {ops:?}: {planned:?} vs {reference:?}"
+            );
+        }
+    }
+}
