@@ -311,6 +311,84 @@ fn main() {
         );
     }
 
+    println!("\n== E13: parallel lane — partition join + par_hom folds ==");
+    {
+        use machiavelli::eval::set_planner_enabled;
+        use machiavelli::value::{tuning, Value};
+        let _ = set_planner_enabled(true);
+        let n = 20_000usize;
+        let rows = |offset: usize| {
+            Value::set((0..n).map(|i| {
+                Value::record([
+                    ("K".into(), Value::Int((i + offset) as i64)),
+                    ("A".into(), Value::Int(i as i64)),
+                ])
+            }))
+        };
+        let mut s = Session::new();
+        s.bind_external("r", rows(0), "{[K: int, A: int]}").unwrap();
+        s.bind_external("t", rows(n - n / 8), "{[K: int, A: int]}")
+            .unwrap();
+        s.bind_external(
+            "big",
+            Value::set((0..n).map(|i| Value::Int(i as i64))),
+            "{int}",
+        )
+        .unwrap();
+        let join_q = "card(select (x.A, y.A) where x <- r, y <- t with x.K = y.K);";
+        let timed = |s: &mut Session, query: &str, par: Option<usize>| {
+            // The store would serve the repeat builds and bypass the
+            // lane; disable it so seq-vs-par compare the same work.
+            let prev_store = machiavelli::store::set_store_enabled(false);
+            let prev_on = tuning::set_parallel_enabled(par.is_some());
+            let prev_t = tuning::set_par_threads(par);
+            let t0 = std::time::Instant::now();
+            let out = s.eval_one(query).unwrap().value;
+            let dt = t0.elapsed();
+            tuning::set_par_threads(prev_t);
+            tuning::set_parallel_enabled(prev_on);
+            machiavelli::store::set_store_enabled(prev_store);
+            (out, dt)
+        };
+        // `card` over the join result is itself a proper hom, so one
+        // parallel evaluation exercises both halves of the lane.
+        tuning::reset_par_stats();
+        let (v_seq, t_seq) = timed(&mut s, join_q, None);
+        let (v_par, t_par) = timed(&mut s, join_q, Some(4));
+        r.check(
+            "parallel and sequential join+fold agree",
+            &show_value(&v_seq),
+            &show_value(&v_par),
+            v_par == v_seq,
+        );
+        let join_speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+        println!(
+            "       join seq-vs-par4 : {join_speedup:.2}x ({t_seq:.2?} vs {t_par:.2?}, n={n}; \
+             1-core CI runners make this informational — BENCH_PR4.json holds the bar)"
+        );
+        let (v_hseq, _) = timed(&mut s, "sum(big);", None);
+        let (v_hpar, _) = timed(&mut s, "sum(big);", Some(4));
+        r.check(
+            "par_hom-backed sum agrees",
+            &show_value(&v_hseq),
+            &show_value(&v_hpar),
+            v_hpar == v_hseq,
+        );
+        let stats = tuning::par_stats();
+        r.check(
+            "the lane actually engaged (join + hom hits, no fallbacks)",
+            "par_joins ≥ 1, par_homs ≥ 1, 0 fallbacks",
+            &format!(
+                "{} joins, {} homs, {} + {} fallbacks",
+                stats.par_joins, stats.par_homs, stats.par_join_fallbacks, stats.par_hom_fallbacks
+            ),
+            stats.par_joins >= 1
+                && stats.par_homs >= 1
+                && stats.par_join_fallbacks == 0
+                && stats.par_hom_fallbacks == 0,
+        );
+    }
+
     println!("\n== E10: §5 — unionc equation, member, dynamics ==");
     let mut s = Session::new();
     let lhs = s

@@ -59,6 +59,17 @@ pub fn run_repl(
                     ">> hits {} / misses {} / builds {} / invalidated {} / evicted {}",
                     st.hits, st.misses, st.builds, st.invalidated, st.evicted
                 )?;
+                let ps = session.par_stats();
+                writeln!(
+                    output,
+                    ">> parallel ({} threads): joins {} / join fallbacks {} / \
+                     homs {} / hom fallbacks {}",
+                    session.par_threads(),
+                    ps.par_joins,
+                    ps.par_join_fallbacks,
+                    ps.par_homs,
+                    ps.par_hom_fallbacks
+                )?;
             } else if bare_command(&pending, ":indexes") {
                 let infos = session.store_indexes();
                 if infos.is_empty() {
@@ -214,6 +225,10 @@ mod tests {
     fn repl_stats_and_indexes_commands() {
         let mut session = Session::new();
         session.store_reset();
+        session.par_reset();
+        // Pin the thread count so the parallel line is deterministic
+        // under any machine/env configuration.
+        let prev = session.set_par_threads(Some(1));
         let input = b":stats;\n\
                       val r = {[K=1, A=10], [K=2, A=20]};\n\
                       select x.A where x <- r with x.K = 2;\n\
@@ -240,6 +255,13 @@ mod tests {
             text.contains(">> hits 1 / misses 1 / builds 1 / invalidated 0 / evicted 0"),
             "{text}"
         );
+        assert!(
+            text.contains(
+                ">> parallel (1 threads): joins 0 / join fallbacks 0 / homs 0 / hom fallbacks 0"
+            ),
+            "{text}"
+        );
+        session.set_par_threads(prev);
     }
 
     #[test]

@@ -158,6 +158,34 @@ impl Session {
         machiavelli_store::with_store(|s| s.reset());
     }
 
+    /// Set the parallel lane's worker-thread count for this session
+    /// (`None` restores the default: `MACHIAVELLI_PAR_THREADS`, else
+    /// the machine's `available_parallelism`). Returns the previous
+    /// override. A count of 1 keeps everything sequential. Like the
+    /// index store, the setting is scoped to the thread driving the
+    /// session.
+    pub fn set_par_threads(&self, n: Option<usize>) -> Option<usize> {
+        machiavelli_value::tuning::set_par_threads(n)
+    }
+
+    /// The parallel lane's effective worker-thread count.
+    pub fn par_threads(&self) -> usize {
+        machiavelli_value::tuning::par_threads()
+    }
+
+    /// This session's parallel-lane hit/fallback counters (joins run on
+    /// the plain-value partition lane, proper `hom` folds run through
+    /// `par_hom`, and their runtime fallbacks). Behind the REPL's
+    /// `:stats` alongside the index-store counters.
+    pub fn par_stats(&self) -> machiavelli_value::tuning::ParStats {
+        machiavelli_value::tuning::par_stats()
+    }
+
+    /// Zero the parallel-lane counters.
+    pub fn par_reset(&self) {
+        machiavelli_value::tuning::reset_par_stats()
+    }
+
     /// Look up a bound value.
     pub fn get(&self, name: &str) -> Option<Value> {
         self.env.lookup(name)

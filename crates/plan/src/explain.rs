@@ -11,9 +11,16 @@
 //! never cached. The marker is a *display-level* probe by fingerprint —
 //! rendering a plan does not evaluate the source, so the store cannot
 //! be asked for the exact (storage, fingerprint) key the executor uses.
+//!
+//! Uncached joins that are statically eligible for the plain-value
+//! parallel lane render `HashJoin[par n=4]` (the configured worker
+//! count) when the lane is enabled with more than one thread. Like the
+//! idx marker this is display-level: whether an execution actually
+//! parallelizes additionally depends on the build side clearing the
+//! row cutoff and every row extracting to plain data.
 
 use crate::analysis::Conjunct;
-use crate::physical::{IndexKey, PhysOp, PhysicalPlan};
+use crate::physical::{IndexKey, ParInfo, PhysOp, PhysicalPlan};
 use machiavelli_syntax::pretty::expr_to_string;
 use std::fmt::Write as _;
 
@@ -24,6 +31,19 @@ fn idx_marker(fingerprint: &str) -> &'static str {
     } else {
         "[idx build]"
     }
+}
+
+/// The `[par n=…]` marker for an uncached, parallel-eligible join under
+/// the current session configuration (empty when the lane is disabled
+/// or single-threaded).
+fn par_marker(par: &Option<ParInfo>) -> String {
+    if par.is_some() && machiavelli_value::tuning::parallel_enabled() {
+        let n = machiavelli_value::tuning::par_threads();
+        if n > 1 {
+            return format!("[par n={n}]");
+        }
+    }
+    String::new()
 }
 
 /// Render the operator tree, e.g.:
@@ -119,8 +139,12 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
             probe_keys,
             build_keys,
             fingerprint,
+            par,
         } => {
-            let marker = fingerprint.as_deref().map(idx_marker).unwrap_or("");
+            let marker = match fingerprint {
+                Some(fp) => idx_marker(fp).to_string(),
+                None => par_marker(par),
+            };
             let _ = writeln!(
                 out,
                 "{pad}HashJoin{marker} probe({}) build({})",
@@ -152,8 +176,10 @@ mod tests {
 
     fn plan_text(src: &str) -> String {
         // Render against an empty store so the idx marker is
-        // deterministic (`[idx build]`).
+        // deterministic (`[idx build]`), and with one worker thread so
+        // no machine-dependent `[par n=…]` marker appears.
         machiavelli_store::with_store(|s| s.reset());
+        machiavelli_value::tuning::set_par_threads(Some(1));
         let e = parse_expr(src).unwrap();
         let ExprKind::Select {
             result,
@@ -176,6 +202,33 @@ mod tests {
              HashJoin[idx build] probe(x.K) build(y.K)\n    \
              Scan x <- r\n    \
              Build y <- s filter (y.B > 1)"
+        );
+    }
+
+    #[test]
+    fn uncached_eligible_join_renders_par_marker() {
+        // View-call sources construct fresh storage, so the join is
+        // never store-cached — with a multi-threaded lane it renders
+        // the par marker instead.
+        machiavelli_store::with_store(|s| s.reset());
+        let prev = machiavelli_value::tuning::set_par_threads(Some(4));
+        let e = parse_expr("select (x.A, y.B) where x <- V(r), y <- W(s) with x.K = y.K").unwrap();
+        let ExprKind::Select {
+            result,
+            generators,
+            pred,
+        } = &e.kind
+        else {
+            panic!()
+        };
+        let text = explain(&compile(generators, pred, result).unwrap().physical());
+        machiavelli_value::tuning::set_par_threads(prev);
+        assert_eq!(
+            text,
+            "Project (x.A, y.B)\n  \
+             HashJoin[par n=4] probe(x.K) build(y.K)\n    \
+             Scan x <- V(r)\n    \
+             Build y <- W(s)"
         );
     }
 

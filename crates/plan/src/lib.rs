@@ -78,16 +78,71 @@
 //! sources, duplicate binders — fall back with **zero** behavior change.
 //! (As everywhere in the evaluator, the contract assumes the program was
 //! type-checked; the `Session` front door always does.)
+//!
+//! # The parallel execution contract
+//!
+//! The paper singles out *proper* `hom` applications — associative,
+//! commutative `op`; effect-free `f` — as "computable in parallel".
+//! Machiavelli values are `Rc`-based and thread-confined, so the
+//! parallel lane runs on **extracted plain data**
+//! ([`machiavelli_value::plain`]) and only where the static analysis
+//! proves the extraction step itself is unobservable. What
+//! parallelizes, and what falls back:
+//!
+//! * **Hash joins** whose build keys and pushed filters are
+//!   [`parallel::par_evaluable`] under the build binder and whose probe
+//!   keys are `par_evaluable` under the earlier binders (binder-closed
+//!   planner-safe expressions minus `con`) are statically eligible
+//!   (`PhysOp::HashJoin { par: Some(_) }`, rendered `HashJoin[par
+//!   n=…]`). At open time the join actually fans out only when the
+//!   plain lane is enabled with more than one worker thread
+//!   ([`machiavelli_value::tuning`]), the build table is **not** served
+//!   by the index store (a cached index beats any rebuild, so
+//!   fingerprinted builds stay on the store path), the build side
+//!   clears [`machiavelli_value::tuning::par_join_min_build_rows`], and
+//!   every key value extracts via [`machiavelli_value::to_plain`]
+//!   (identity-bearing keys — refs, dynamics — cannot cross the lane).
+//!   Both sides are keyed sequentially by [`parallel::safe_eval`] (a
+//!   direct-dispatch safe-class evaluator, no interpreter overhead);
+//!   only the extracted key tuples cross into the scoped worker
+//!   threads, which partition, group and probe them, returning match
+//!   *indices*; the original `Rc` rows are re-bound by index on the
+//!   session thread, so the yielded binding sequence — probe-major,
+//!   build groups in canonical source order — is identical to the
+//!   sequential probe, and the result expression still evaluates
+//!   sequentially for exactly the same bindings in the same order.
+//!   Materializing the probe side is memory-capped at
+//!   [`machiavelli_value::tuning::par_join_max_probe_rows`]; past the
+//!   cap the join reverts to the streaming sequential probe over the
+//!   drained prefix plus the live remainder.
+//! * **Proper `hom` applications** (the evaluator's side of the lane):
+//!   `op` one of `+`, `*`, `andalso`, `orelse` with `z` its identity,
+//!   and `f` a one-parameter closure whose body is planner-safe. The
+//!   set and `f`'s captured bindings are extracted to plain data and
+//!   folded chunk-wise through `machiavelli_relational::par_hom`.
+//! * **Everything else falls back sequentially with zero behavior
+//!   change**: any value that fails `to_plain` (references, dynamics,
+//!   closures — identity- or code-bearing data), any expression the
+//!   plain mini-evaluator declines, sub-threshold inputs, a disabled or
+//!   single-threaded lane. The fallback is exact because everything the
+//!   parallel attempt may have evaluated early (probe-side pipeline
+//!   rows, pushed filters, keys) is planner-safe — pure, total,
+//!   terminating — so re-running it sequentially reproduces the same
+//!   bindings and the same first error. Hits and fallbacks are counted
+//!   per session ([`machiavelli_value::tuning::par_stats`], REPL
+//!   `:stats`).
 
 pub mod analysis;
 pub mod explain;
 pub mod logical;
+pub mod parallel;
 pub mod physical;
 
 pub use analysis::{closed_under, find_select, is_safe_expr, mentions_any, split_conjuncts};
 pub use explain::explain;
 pub use logical::{compile, LogicalPlan, Step, Unplannable};
-pub use physical::{execute, EvalHook, ExecError, IndexKey, PhysOp, PhysicalPlan};
+pub use parallel::{expr_vars, par_evaluable, plain_eval, PlainBindings};
+pub use physical::{execute, EvalHook, ExecError, IndexKey, ParInfo, PhysOp, PhysicalPlan};
 
 use machiavelli_syntax::ast::{Expr, Generator};
 

@@ -36,10 +36,16 @@
 
 use crate::analysis::{closed_under, mentions_any, stable_source, Conjunct};
 use crate::logical::LogicalPlan;
+use crate::parallel::{
+    extract_key, par_evaluable, par_partition_join, safe_eval, Keyed, ValueBindings,
+};
 use machiavelli_store::{store_enabled, with_store, Index, KeyTuple};
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind};
 use machiavelli_syntax::pretty::expr_to_string;
 use machiavelli_syntax::symbol::Symbol;
+use machiavelli_value::tuning::{
+    note_par_join, par_join_min_build_rows, par_threads, parallel_enabled,
+};
 use machiavelli_value::{show_value, value_eq, Env, MSet, Value};
 use std::rc::Rc;
 
@@ -69,6 +75,17 @@ impl<E> From<E> for ExecError<E> {
     fn from(e: E) -> Self {
         ExecError::Eval(e)
     }
+}
+
+/// Static eligibility of a [`PhysOp::HashJoin`] for the plain-data
+/// parallel lane: present iff build keys and pushed filters are
+/// [`par_evaluable`] under the build binder and the probe keys are
+/// `par_evaluable` under the earlier binders. Carries the probe
+/// binders the keys actually mention, so the executor extracts only
+/// those per input row.
+#[derive(Debug)]
+pub struct ParInfo {
+    pub probe_vars: Vec<Symbol>,
 }
 
 /// One key of an [`PhysOp::IndexScan`]: an equality conjunct
@@ -129,6 +146,15 @@ pub enum PhysOp<'a> {
         probe_keys: Vec<&'a Expr>,
         build_keys: Vec<&'a Expr>,
         fingerprint: Option<String>,
+        /// `Some` when the join is statically eligible for the
+        /// partition-parallel plain-value lane (see the parallel
+        /// execution contract in the crate docs). Whether an execution
+        /// actually parallelizes is decided at open time: the lane must
+        /// be enabled with >1 worker threads, the build table must not
+        /// be served by the index store, the build side must clear
+        /// [`machiavelli_value::tuning::par_join_min_build_rows`], and
+        /// every row and key must extract to plain data.
+        par: Option<ParInfo>,
     },
     /// Residual predicate evaluation over input rows.
     Filter {
@@ -374,9 +400,13 @@ impl<'a> LogicalPlan<'a> {
                 conjuncts: first.residual,
             };
         }
+        // Binders of all earlier generators, for probe-side closure
+        // analysis (probe keys are expressions over the input rows).
+        let mut earlier: Vec<Symbol> = vec![first.var];
         for step in steps {
             root = if !step.keys.is_empty() {
                 let build_keys: Vec<&'a Expr> = step.keys.iter().map(|k| k.build).collect();
+                let probe_keys: Vec<&'a Expr> = step.keys.iter().map(|k| k.probe).collect();
                 // Cacheable iff the table's contents depend on nothing
                 // but the relation and the step's own binder, and the
                 // source can actually share storage across evaluations
@@ -389,14 +419,33 @@ impl<'a> LogicalPlan<'a> {
                     && build_keys.iter().all(|k| closed_under(k, &binder))
                     && step.filters.iter().all(|c| closed_under(c.expr, &binder)))
                 .then(|| join_fingerprint(step.source, step.var, &build_keys, &step.filters));
+                // Parallel-lane eligibility: both sides' key closures
+                // (and the pushed build filters) must be evaluable by
+                // the plain mini-evaluator under their own binders —
+                // the same closure discipline the store uses, plus the
+                // mini-evaluator's coverage test.
+                let par = (build_keys.iter().all(|k| par_evaluable(k, &binder))
+                    && step.filters.iter().all(|c| par_evaluable(c.expr, &binder))
+                    && probe_keys.iter().all(|k| par_evaluable(k, &earlier)))
+                .then(|| ParInfo {
+                    probe_vars: earlier
+                        .iter()
+                        .copied()
+                        .filter(|v| {
+                            let v = [*v];
+                            probe_keys.iter().any(|k| mentions_any(k, &v))
+                        })
+                        .collect(),
+                });
                 PhysOp::HashJoin {
                     input: Box::new(root),
                     var: step.var,
                     source: step.source,
                     filters: step.filters,
-                    probe_keys: step.keys.iter().map(|k| k.probe).collect(),
+                    probe_keys,
                     build_keys,
                     fingerprint,
+                    par,
                 }
             } else {
                 PhysOp::NestedLoop {
@@ -407,6 +456,7 @@ impl<'a> LogicalPlan<'a> {
                     filters: step.filters,
                 }
             };
+            earlier.push(step.var);
             if !step.residual.is_empty() {
                 root = PhysOp::Filter {
                     input: Box::new(root),
@@ -548,6 +598,173 @@ fn obtain_index<H: EvalHook>(
     Ok(with_store(|s| s.insert(items, fingerprint, built)))
 }
 
+/// The shared sequential-fallback shape of [`open_par_join`]: count the
+/// fallback, build the table inline, and probe `input` — the untouched
+/// pipeline, the drained rows, or the drained prefix chained to the
+/// live remainder, depending on how far the parallel attempt got.
+#[allow(clippy::too_many_arguments)]
+fn seq_join_fallback<'p, H: EvalHook>(
+    input: Box<Node<'p>>,
+    items: &MSet,
+    var: Symbol,
+    build_keys: &'p [&'p Expr],
+    filters: &'p [Conjunct<'p>],
+    probe_keys: &'p [&'p Expr],
+    env: &Env,
+    hook: &mut H,
+) -> Result<Node<'p>, ExecError<H::Error>> {
+    note_par_join(false);
+    let table = Rc::new(build_join_index(
+        items, var, filters, build_keys, env, hook,
+    )?);
+    Ok(Node::HashJoin {
+        input,
+        var,
+        probe_keys,
+        table,
+        cur: None,
+    })
+}
+
+/// Open a statically eligible hash join on the parallel lane. Always
+/// returns a usable node: on success a [`Node::ParJoin`] holding the
+/// precomputed match lists, on any keying or extraction failure the
+/// sequential build/probe shape (over the already drained input when
+/// draining had happened) — with **zero** behavior change, since
+/// everything the parallel attempt evaluated early is planner-safe.
+/// Records the hit/fallback in
+/// [`machiavelli_value::tuning::par_stats`].
+///
+/// Both sides are keyed sequentially on the `Rc` lane through
+/// [`crate::parallel::safe_eval`] (no interpreter dispatch, no
+/// environment allocation) and only the extracted [`PlainKey`] tuples
+/// cross into the worker threads; rows are matched by **index** and
+/// re-bound on the session thread, so nothing is deep-copied.
+#[allow(clippy::too_many_arguments)]
+fn open_par_join<'p, H: EvalHook>(
+    mut input: Box<Node<'p>>,
+    items: MSet,
+    var: Symbol,
+    build_keys: &'p [&'p Expr],
+    filters: &'p [Conjunct<'p>],
+    probe_keys: &'p [&'p Expr],
+    info: &'p ParInfo,
+    env: &Env,
+    hook: &mut H,
+) -> Result<Node<'p>, ExecError<H::Error>> {
+    // Key the build side: pushed filters prune, then the key closure
+    // is evaluated and extracted. Any decline (unsupported shape at
+    // runtime, identity-bearing key value, strict filter evaluating
+    // non-boolean) abandons the lane before the input is drained.
+    let mut build_keyed: Vec<Keyed> = Vec::with_capacity(items.len());
+    let mut keyed_ok = true;
+    'build: for (i, row) in items.iter().enumerate() {
+        let row_env = ValueBindings {
+            head: Some((var, row)),
+            rest: &[],
+        };
+        for c in filters {
+            match safe_eval(c.expr, &row_env) {
+                Some(Value::Bool(true)) => {}
+                Some(Value::Bool(false)) => continue 'build,
+                // A lenient (syntactically last) conjunct rejects the
+                // row on a non-boolean, like the sequential `check`; a
+                // strict one would error — abandon and let the
+                // sequential path raise it.
+                Some(_) if !c.strict => continue 'build,
+                _ => {
+                    keyed_ok = false;
+                    break 'build;
+                }
+            }
+        }
+        match extract_key(build_keys, &row_env) {
+            Some(key) => build_keyed.push(Keyed::new(key, i)),
+            None => {
+                keyed_ok = false;
+                break 'build;
+            }
+        }
+    }
+    if !keyed_ok {
+        return seq_join_fallback(
+            input, &items, var, build_keys, filters, probe_keys, env, hook,
+        );
+    }
+    // Materialize and key the probe side (upstream per-row work is
+    // planner-safe; evaluating it before the first result row is
+    // unobservable). Binder values are O(1) `Rc`-bump clones. The
+    // sequential probe streams with O(1) extra memory, so draining is
+    // capped relative to the build side: a pathologically large probe
+    // pipeline bails to the sequential probe over the drained prefix
+    // plus the still-live remainder of the input.
+    let max_probe = machiavelli_value::tuning::par_join_max_probe_rows(items.len());
+    let mut probe_rows: Vec<Env> = Vec::new();
+    let mut drained_all = true;
+    while let Some(row) = input.next(hook)? {
+        probe_rows.push(row);
+        if probe_rows.len() >= max_probe {
+            drained_all = false;
+            break;
+        }
+    }
+    if !drained_all {
+        let drained = Box::new(Node::Materialized {
+            rows: probe_rows,
+            idx: 0,
+            rest: Some(input),
+        });
+        return seq_join_fallback(
+            drained, &items, var, build_keys, filters, probe_keys, env, hook,
+        );
+    }
+    let mut probe_keyed: Vec<Keyed> = Vec::with_capacity(probe_rows.len());
+    'probe: for (i, row) in probe_rows.iter().enumerate() {
+        let mut bound: Vec<(Symbol, Value)> = Vec::with_capacity(info.probe_vars.len());
+        for v in &info.probe_vars {
+            match row.lookup(*v) {
+                Some(val) => bound.push((*v, val)),
+                None => {
+                    keyed_ok = false;
+                    break 'probe;
+                }
+            }
+        }
+        let row_env = ValueBindings {
+            head: None,
+            rest: &bound,
+        };
+        match extract_key(probe_keys, &row_env) {
+            Some(key) => probe_keyed.push(Keyed::new(key, i)),
+            None => {
+                keyed_ok = false;
+                break 'probe;
+            }
+        }
+    }
+    if !keyed_ok {
+        // Fallback: sequential build and probe over the drained rows —
+        // identical bindings, identical error points.
+        let drained = Box::new(Node::Materialized {
+            rows: probe_rows,
+            idx: 0,
+            rest: None,
+        });
+        return seq_join_fallback(
+            drained, &items, var, build_keys, filters, probe_keys, env, hook,
+        );
+    }
+    let matches = par_partition_join(&build_keyed, &probe_keyed, par_threads());
+    note_par_join(true);
+    Ok(Node::ParJoin {
+        var,
+        rows: items,
+        probe: probe_rows,
+        matches,
+        cursor: (0, 0),
+    })
+}
+
 /// Runtime state of one operator (same shape as [`PhysOp`]).
 enum Node<'p> {
     Scan {
@@ -585,6 +802,29 @@ enum Node<'p> {
         table: Rc<Index>,
         /// The in-flight probe binding and its match cursor.
         cur: Option<(Env, Vec<Value>, usize)>,
+    },
+    /// A (possibly partially) drained input: the parallel lane
+    /// materializes the probe side before fanning out; if it then has
+    /// to fall back, the rows replay through the sequential join
+    /// unchanged (every per-row upstream expression is planner-safe, so
+    /// having evaluated them early is unobservable), followed by
+    /// whatever `rest` of the pipeline was never drained (the
+    /// probe-drain memory cap stops draining mid-stream).
+    Materialized {
+        rows: Vec<Env>,
+        idx: usize,
+        rest: Option<Box<Node<'p>>>,
+    },
+    /// A completed parallel join: `matches[i]` holds the build-row
+    /// indices for probe row `i`, each list ascending (= build-source
+    /// canonical order). Yields probe-major with groups in order —
+    /// exactly the binding sequence the sequential probe produces.
+    ParJoin {
+        var: Symbol,
+        rows: MSet,
+        probe: Vec<Env>,
+        matches: Vec<Vec<u32>>,
+        cursor: (usize, usize),
     },
     Filter {
         input: Box<Node<'p>>,
@@ -701,9 +941,27 @@ impl<'p> Node<'p> {
                 probe_keys,
                 build_keys,
                 fingerprint,
+                par,
             } => {
                 let input = Box::new(Node::open(input, env, hook)?);
                 let items = as_set(hook.eval(env, source)?)?;
+                // The parallel lane serves builds the store will not:
+                // a cached index beats any rebuild, so fingerprinted
+                // builds stay on the store path. Runtime gates: lane
+                // enabled, >1 worker threads, build side over the row
+                // cutoff. `open_par_join` then commits to *some* node —
+                // parallel on success, the drained sequential shape on
+                // extraction/evaluation fallback.
+                if fingerprint.is_none() && parallel_enabled() && par_threads() > 1 {
+                    if let Some(info) = par {
+                        if items.len() >= par_join_min_build_rows() {
+                            return open_par_join(
+                                input, items, *var, build_keys, filters, probe_keys, info, env,
+                                hook,
+                            );
+                        }
+                    }
+                }
                 let table = match fingerprint {
                     // Cacheable build: request it from the index store
                     // (hit ⇒ the whole build phase — filters and keys —
@@ -839,6 +1097,36 @@ impl<'p> Node<'p> {
                     // Cloning the match list is len × O(1) `Rc` bumps.
                     *cur = Some((outer, matches.clone(), 0));
                 }
+            },
+            Node::Materialized { rows, idx, rest } => {
+                if *idx < rows.len() {
+                    let row = rows[*idx].clone();
+                    *idx += 1;
+                    Ok(Some(row))
+                } else if let Some(rest) = rest {
+                    rest.next(hook)
+                } else {
+                    Ok(None)
+                }
+            }
+            Node::ParJoin {
+                var,
+                rows,
+                probe,
+                matches,
+                cursor,
+            } => loop {
+                let (i, j) = *cursor;
+                if i >= probe.len() {
+                    return Ok(None);
+                }
+                let group = &matches[i];
+                if j < group.len() {
+                    *cursor = (i, j + 1);
+                    let item = rows.as_slice()[group[j] as usize].clone();
+                    return Ok(Some(probe[i].bind(*var, item)));
+                }
+                *cursor = (i + 1, 0);
             },
             Node::Filter { input, conjuncts } => loop {
                 let Some(env) = input.next(hook)? else {

@@ -41,6 +41,26 @@ pub mod thread {
                 }),
             }
         }
+
+        /// Fallibly spawn a scoped thread: `Err` when the OS declines
+        /// (thread limit, out of memory) instead of panicking, so
+        /// callers can fold the chunk inline and degrade gracefully.
+        /// (Shim extension: crossbeam spells this
+        /// `builder().spawn(…)`; the workspace only needs the fallible
+        /// entry point.)
+        pub fn try_spawn<F, T>(&self, f: F) -> std::io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            std::thread::Builder::new()
+                .spawn_scoped(inner_scope, move || {
+                    let rescope = Scope { inner: inner_scope };
+                    f(&rescope)
+                })
+                .map(|inner| ScopedJoinHandle { inner })
+        }
     }
 
     /// Run `f` with a scope in which borrowed-data threads can be
@@ -71,6 +91,17 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn try_spawn_runs_and_joins() {
+        let data = [2u64, 3];
+        let product = crate::thread::scope(|s| {
+            let h = s.try_spawn(|_| data.iter().product::<u64>()).unwrap();
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(product, 6);
     }
 
     #[test]

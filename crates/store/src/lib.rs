@@ -157,9 +157,11 @@ struct Entry {
     hits: u64,
 }
 
-/// Default row budget: generous for the paper-scale workloads while
-/// still bounding a long session that touches many relations.
-pub const DEFAULT_BUDGET_ROWS: usize = 1 << 20;
+/// Default row budget — defined with the workspace's other size
+/// thresholds in `machiavelli_value::tuning` (fresh stores additionally
+/// honor the `MACHIAVELLI_STORE_BUDGET_ROWS` env override resolved by
+/// [`machiavelli_value::tuning::store_budget_rows`]).
+pub const DEFAULT_BUDGET_ROWS: usize = machiavelli_value::tuning::DEFAULT_STORE_BUDGET_ROWS;
 
 /// The memoizing index store. One per thread (see [`with_store`]); all
 /// methods take `&mut self` because even lookups update recency and
@@ -395,7 +397,7 @@ impl IndexStore {
 
 impl Default for IndexStore {
     fn default() -> Self {
-        IndexStore::new(DEFAULT_BUDGET_ROWS)
+        IndexStore::new(machiavelli_value::tuning::store_budget_rows())
     }
 }
 

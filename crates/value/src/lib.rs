@@ -12,8 +12,10 @@ pub mod epoch;
 pub mod error;
 pub mod hash;
 pub mod ops;
+pub mod plain;
 pub mod set;
 pub mod shape;
+pub mod tuning;
 pub mod value;
 
 pub use conform::conforms;
@@ -22,6 +24,7 @@ pub use epoch::{bump_mutation_epoch, mutation_epoch};
 pub use error::ValueError;
 pub use hash::{hash_value, ValueKey};
 pub use ops::{con_value, join_value, project_value, unionc_value};
+pub use plain::{from_plain, plain_cmp, plain_eq, plain_hash, to_plain, PlainValue};
 pub use set::MSet;
 pub use shape::{element_shape, glb_shape, project_by_shape, shape_of, Shape};
 pub use value::{

@@ -1,0 +1,339 @@
+//! The **plain-value lane**: a `Send + Sync` mirror of the *data* subset
+//! of [`Value`], so proper `hom` applications and partition-parallel
+//! joins can cross thread boundaries.
+//!
+//! [`Value`] is deliberately `Rc`-based and thread-confined; the paper's
+//! claim that proper `hom` applications are "computable in parallel"
+//! therefore needs an extraction step. [`PlainValue`] covers exactly the
+//! constructors whose meaning is *structural* — Unit/Int/Real/Str/Bool,
+//! records, variants, sets — with `Arc`/owned storage (interned
+//! [`Symbol`] labels carry over unchanged: they wrap `&'static str`).
+//! The identity-bearing and code-bearing constructors (`Ref`, `Dynamic`,
+//! `Closure`, `Op`, `Builtin`) have **no** plain form: [`to_plain`]
+//! returns `None` for them and every caller falls back to the
+//! sequential `Rc` path — the same classify-then-parallelize strategy
+//! the planner uses for predicates.
+//!
+//! # Consistency contract
+//!
+//! On the extractable subset the plain operations agree *exactly* with
+//! their `Value` counterparts (property-tested in `tests/properties.rs`):
+//!
+//! * [`from_plain`]`(`[`to_plain`]`(v)) == v` (structural round trip);
+//! * [`plain_cmp`] agrees with [`value_cmp`] (so plain sets stay in the
+//!   canonical order and [`from_plain`] can rebuild them unchecked);
+//! * [`plain_hash`] produces the same digest as
+//!   [`hash_value`](crate::hash_value) (same discriminant bytes, same
+//!   payload encoding), so keys computed in either lane group rows
+//!   identically.
+
+use crate::set::MSet;
+use crate::value::{Fields, Symbol, Value};
+use std::cmp::Ordering;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// A thread-shareable description value: the data subset of [`Value`]
+/// with `Arc`/owned storage. Clones are O(1) for containers.
+#[derive(Debug, Clone)]
+pub enum PlainValue {
+    Unit,
+    Int(i64),
+    Real(f64),
+    Str(Arc<str>),
+    Bool(bool),
+    /// Label-sorted entries, exactly like [`Fields`].
+    Record(Arc<[(Symbol, PlainValue)]>),
+    Variant(Symbol, Arc<PlainValue>),
+    /// Canonical (sorted, deduplicated) elements, exactly like
+    /// [`MSet`].
+    Set(Arc<[PlainValue]>),
+}
+
+// The compiler derives these, but the claim is load-bearing enough to
+// state: a PlainValue can cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PlainValue>();
+};
+
+/// Extract the plain mirror of `v`, or `None` when `v` (or anything
+/// inside it) is identity- or code-bearing (`Ref`, `Dynamic`,
+/// `Closure`, `Op`, `Builtin`) — the caller's cue to take its
+/// sequential path.
+pub fn to_plain(v: &Value) -> Option<PlainValue> {
+    Some(match v {
+        Value::Unit => PlainValue::Unit,
+        Value::Int(n) => PlainValue::Int(*n),
+        Value::Real(r) => PlainValue::Real(*r),
+        Value::Str(s) => PlainValue::Str(Arc::from(&**s)),
+        Value::Bool(b) => PlainValue::Bool(*b),
+        Value::Record(fs) => {
+            // `Fields` entries are label-sorted; the order carries over.
+            let entries: Option<Vec<(Symbol, PlainValue)>> = fs
+                .entries()
+                .iter()
+                .map(|(l, fv)| Some((*l, to_plain(fv)?)))
+                .collect();
+            PlainValue::Record(entries?.into())
+        }
+        Value::Variant(l, p) => PlainValue::Variant(*l, Arc::new(to_plain(p)?)),
+        Value::Set(items) => {
+            // Canonical order carries over (plain_cmp agrees with
+            // value_cmp on the extractable subset).
+            let items: Option<Vec<PlainValue>> = items.iter().map(to_plain).collect();
+            PlainValue::Set(items?.into())
+        }
+        Value::Ref(_)
+        | Value::Dynamic(_)
+        | Value::Closure(_)
+        | Value::Op(_)
+        | Value::Builtin(_) => return None,
+    })
+}
+
+/// Rebuild the `Rc`-lane value. Total: every plain value has a `Value`
+/// form, and `from_plain(to_plain(v)) == v` structurally.
+pub fn from_plain(p: &PlainValue) -> Value {
+    match p {
+        PlainValue::Unit => Value::Unit,
+        PlainValue::Int(n) => Value::Int(*n),
+        PlainValue::Real(r) => Value::Real(*r),
+        PlainValue::Str(s) => Value::str(&**s),
+        PlainValue::Bool(b) => Value::Bool(*b),
+        PlainValue::Record(entries) => Value::Record(Fields::from_sorted_vec(
+            entries.iter().map(|(l, fv)| (*l, from_plain(fv))).collect(),
+        )),
+        PlainValue::Variant(l, p) => Value::variant(*l, from_plain(p)),
+        PlainValue::Set(items) => Value::Set(MSet::from_sorted_unchecked(
+            items.iter().map(from_plain).collect(),
+        )),
+    }
+}
+
+fn rank(p: &PlainValue) -> u8 {
+    // The same constructor ranks as `Value::rank` (the missing
+    // constructors — refs, dynamics, functions — have no plain form).
+    match p {
+        PlainValue::Unit => 0,
+        PlainValue::Bool(_) => 1,
+        PlainValue::Int(_) => 2,
+        PlainValue::Real(_) => 3,
+        PlainValue::Str(_) => 4,
+        PlainValue::Record(_) => 5,
+        PlainValue::Variant(..) => 6,
+        PlainValue::Set(_) => 7,
+    }
+}
+
+/// Total order on plain values, agreeing with [`value_cmp`] on the
+/// extractable subset (reals via IEEE `total_cmp`).
+pub fn plain_cmp(a: &PlainValue, b: &PlainValue) -> Ordering {
+    use PlainValue::*;
+    let rank_cmp = rank(a).cmp(&rank(b));
+    if rank_cmp != Ordering::Equal {
+        return rank_cmp;
+    }
+    match (a, b) {
+        (Unit, Unit) => Ordering::Equal,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Real(x), Real(y)) => x.total_cmp(y),
+        (Str(x), Str(y)) => x.cmp(y),
+        (Record(xs), Record(ys)) => {
+            for ((lx, vx), (ly, vy)) in xs.iter().zip(ys.iter()) {
+                let lc = lx.cmp(ly);
+                if lc != Ordering::Equal {
+                    return lc;
+                }
+                let vc = plain_cmp(vx, vy);
+                if vc != Ordering::Equal {
+                    return vc;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        (Variant(lx, px), Variant(ly, py)) => {
+            let lc = lx.cmp(ly);
+            if lc != Ordering::Equal {
+                return lc;
+            }
+            plain_cmp(px, py)
+        }
+        (Set(xs), Set(ys)) => {
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                let c = plain_cmp(x, y);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        _ => unreachable!("rank() already discriminated"),
+    }
+}
+
+/// Structural equality, agreeing with `value_eq` on the extractable
+/// subset.
+pub fn plain_eq(a: &PlainValue, b: &PlainValue) -> bool {
+    plain_cmp(a, b) == Ordering::Equal
+}
+
+impl PartialEq for PlainValue {
+    fn eq(&self, other: &Self) -> bool {
+        plain_eq(self, other)
+    }
+}
+impl Eq for PlainValue {}
+
+impl PartialOrd for PlainValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PlainValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        plain_cmp(self, other)
+    }
+}
+
+/// Feed the structural hash of `p` into `state` — byte-for-byte the
+/// encoding of [`hash_value`](crate::hash_value) on the extractable
+/// subset, so keys computed in either lane land in the same hash
+/// partition/group.
+pub fn plain_hash<H: Hasher>(p: &PlainValue, state: &mut H) {
+    match p {
+        PlainValue::Unit => state.write_u8(0),
+        PlainValue::Bool(b) => {
+            state.write_u8(1);
+            state.write_u8(u8::from(*b));
+        }
+        PlainValue::Int(n) => {
+            state.write_u8(2);
+            state.write_i64(*n);
+        }
+        PlainValue::Real(r) => {
+            state.write_u8(3);
+            state.write_u64(r.to_bits());
+        }
+        PlainValue::Str(s) => {
+            state.write_u8(4);
+            state.write(s.as_bytes());
+            state.write_u8(0xff);
+        }
+        PlainValue::Record(entries) => {
+            state.write_u8(5);
+            state.write_usize(entries.len());
+            for (l, fv) in entries.iter() {
+                state.write_usize(l.id());
+                plain_hash(fv, state);
+            }
+        }
+        PlainValue::Variant(l, p) => {
+            state.write_u8(6);
+            state.write_usize(l.id());
+            plain_hash(p, state);
+        }
+        PlainValue::Set(items) => {
+            state.write_u8(7);
+            state.write_usize(items.len());
+            for item in items.iter() {
+                plain_hash(item, state);
+            }
+        }
+    }
+}
+
+/// `plain_cmp` against a `Value` without extracting it — used by tests;
+/// the production lanes always extract first.
+pub fn plain_matches_value(p: &PlainValue, v: &Value) -> bool {
+    match to_plain(v) {
+        Some(pv) => plain_eq(p, &pv),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{value_cmp, value_eq, RefValue};
+    use std::collections::hash_map::DefaultHasher;
+
+    fn digest_value(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        crate::hash::hash_value(v, &mut h);
+        h.finish()
+    }
+
+    fn digest_plain(p: &PlainValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        plain_hash(p, &mut h);
+        h.finish()
+    }
+
+    fn sample() -> Value {
+        Value::record([
+            ("Name".into(), Value::str("Joe")),
+            ("Tags".into(), Value::set([Value::Int(2), Value::Int(1)])),
+            (
+                "Role".into(),
+                Value::variant("Employee", Value::record([("Ext".into(), Value::Int(42))])),
+            ),
+            ("Rate".into(), Value::Real(1.5)),
+            ("Active".into(), Value::Bool(true)),
+            ("U".into(), Value::Unit),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let v = sample();
+        let p = to_plain(&v).expect("pure data extracts");
+        assert!(value_eq(&from_plain(&p), &v));
+    }
+
+    #[test]
+    fn hash_agrees_across_lanes() {
+        let v = sample();
+        let p = to_plain(&v).unwrap();
+        assert_eq!(digest_value(&v), digest_plain(&p));
+    }
+
+    #[test]
+    fn cmp_agrees_across_lanes() {
+        let vals = [
+            Value::Int(1),
+            Value::Int(2),
+            Value::str("a"),
+            Value::Bool(false),
+            Value::set([Value::Int(3)]),
+            sample(),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let (pa, pb) = (to_plain(a).unwrap(), to_plain(b).unwrap());
+                assert_eq!(plain_cmp(&pa, &pb), value_cmp(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_code_values_do_not_extract() {
+        assert!(to_plain(&Value::Ref(RefValue::new(Value::Int(1)))).is_none());
+        assert!(to_plain(&Value::Builtin(crate::value::Builtin::Not)).is_none());
+        // A ref buried inside a record poisons the whole extraction.
+        let buried = Value::record([("R".into(), Value::Ref(RefValue::new(Value::Unit)))]);
+        assert!(to_plain(&buried).is_none());
+        assert!(!plain_matches_value(&PlainValue::Unit, &buried));
+    }
+
+    #[test]
+    fn real_edge_cases_round_trip() {
+        for r in [f64::NAN, -0.0, f64::INFINITY] {
+            let v = Value::Real(r);
+            let p = to_plain(&v).unwrap();
+            assert!(value_eq(&from_plain(&p), &v));
+            assert_eq!(digest_value(&v), digest_plain(&p));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! **Tuning knobs for the parallel lane and the index store**, in one
+//! place: every magic size threshold in the workspace lives here as a
+//! named, documented constant with an environment override (for
+//! benching) and — where sessions need to steer it — a thread-local
+//! override (for tests and `Session` configuration).
+//!
+//! Resolution order for every knob: thread-local override (set by a
+//! `Session` method or a test) → environment variable (read once per
+//! process) → the documented default constant.
+//!
+//! | knob | default | env |
+//! |---|---|---|
+//! | worker threads | `available_parallelism` | `MACHIAVELLI_PAR_THREADS` |
+//! | parallel-join build-row cutoff | [`DEFAULT_PAR_JOIN_MIN_BUILD_ROWS`] | `MACHIAVELLI_PAR_JOIN_MIN_ROWS` |
+//! | parallel-join probe-drain cap (× build rows) | [`DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR`] | `MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR` |
+//! | parallel-`hom` element cutoff | [`DEFAULT_PAR_HOM_MIN_ITEMS`] | `MACHIAVELLI_PAR_HOM_MIN_ITEMS` |
+//! | index-store row budget | [`DEFAULT_STORE_BUDGET_ROWS`] | `MACHIAVELLI_STORE_BUDGET_ROWS` |
+//!
+//! The module also hosts the session-scoped (thread-local) **parallel
+//! ablation toggle** ([`set_parallel_enabled`], mirroring the store's
+//! `set_store_enabled`) and the **parallel hit/fallback counters**
+//! ([`ParStats`]) surfaced by `Session::par_stats` and the REPL's
+//! `:stats`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+// --- documented defaults ---------------------------------------------------
+
+/// Below this many *build-side* rows a hash join never takes the
+/// parallel lane: extraction plus thread-coordination overhead would
+/// swamp the per-row savings. (The probe side is unknown until the
+/// input is drained, so the gate reads the build relation only.)
+pub const DEFAULT_PAR_JOIN_MIN_BUILD_ROWS: usize = 4096;
+
+/// The parallel join materializes the probe side before fanning out
+/// (the sequential probe streams it); to bound that memory, draining
+/// stops after `build_rows × this factor` rows and the join falls back
+/// to the streaming sequential probe over the drained prefix plus the
+/// live remainder. 64 keeps the common shapes (probe within an order
+/// of magnitude of the build) on the lane while capping pathological
+/// pipelines.
+pub const DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR: usize = 64;
+
+/// Below this many elements a proper `hom` application stays on the
+/// sequential interpreter fold.
+pub const DEFAULT_PAR_HOM_MIN_ITEMS: usize = 1024;
+
+/// `par_hom` itself declines to spawn unless every thread would get at
+/// least this many elements (the former inline `2 * n_threads` cutoff).
+pub const PAR_HOM_MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Default index-store row budget: generous for the paper-scale
+/// workloads while still bounding a long session that touches many
+/// relations (the store's LRU evicts past it).
+pub const DEFAULT_STORE_BUDGET_ROWS: usize = 1 << 20;
+
+// --- env-backed resolution -------------------------------------------------
+
+fn env_usize(var: &'static str, cache: &'static OnceLock<Option<usize>>) -> Option<usize> {
+    *cache.get_or_init(|| {
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+thread_local! {
+    static PAR_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static PAR_JOIN_MIN_BUILD_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
+    static PAR_HOM_MIN_ITEMS: Cell<Option<usize>> = const { Cell::new(None) };
+    static PARALLEL_ENABLED: Cell<bool> = const { Cell::new(true) };
+    static PAR_STATS: Cell<ParStats> = const { Cell::new(ParStats::new()) };
+}
+
+/// Worker-thread count for the parallel lane on this thread (= session):
+/// explicit override → `MACHIAVELLI_PAR_THREADS` → the machine's
+/// `available_parallelism`. Always ≥ 1; a value of 1 disables the
+/// parallel lane entirely (everything stays sequential).
+pub fn par_threads() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    PAR_THREADS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_PAR_THREADS", &ENV))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Override the worker-thread count on this thread (`None` restores the
+/// env/default resolution), returning the previous override.
+pub fn set_par_threads(n: Option<usize>) -> Option<usize> {
+    PAR_THREADS.with(|c| c.replace(n.map(|n| n.max(1))))
+}
+
+/// The parallel-join build-row cutoff currently in force.
+pub fn par_join_min_build_rows() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    PAR_JOIN_MIN_BUILD_ROWS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_PAR_JOIN_MIN_ROWS", &ENV))
+        .unwrap_or(DEFAULT_PAR_JOIN_MIN_BUILD_ROWS)
+}
+
+/// Override the parallel-join cutoff on this thread (tests lower it to
+/// exercise the lane on small relations), returning the previous
+/// override.
+pub fn set_par_join_min_build_rows(n: Option<usize>) -> Option<usize> {
+    PAR_JOIN_MIN_BUILD_ROWS.with(|c| c.replace(n))
+}
+
+/// How many probe rows the parallel join may materialize for a build
+/// side of `build_rows` before it bails to the streaming sequential
+/// probe ([`DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR`], env
+/// `MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR`).
+pub fn par_join_max_probe_rows(build_rows: usize) -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let factor = env_usize("MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR", &ENV)
+        .unwrap_or(DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR);
+    build_rows.saturating_mul(factor)
+}
+
+/// The parallel-`hom` element cutoff currently in force.
+pub fn par_hom_min_items() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    PAR_HOM_MIN_ITEMS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_PAR_HOM_MIN_ITEMS", &ENV))
+        .unwrap_or(DEFAULT_PAR_HOM_MIN_ITEMS)
+}
+
+/// Override the parallel-`hom` cutoff on this thread, returning the
+/// previous override.
+pub fn set_par_hom_min_items(n: Option<usize>) -> Option<usize> {
+    PAR_HOM_MIN_ITEMS.with(|c| c.replace(n))
+}
+
+/// The index-store row budget to use for a fresh store (no thread-local
+/// override: live stores take `IndexStore::set_budget`).
+pub fn store_budget_rows() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    env_usize("MACHIAVELLI_STORE_BUDGET_ROWS", &ENV).unwrap_or(DEFAULT_STORE_BUDGET_ROWS)
+}
+
+// --- ablation toggle -------------------------------------------------------
+
+/// Is the parallel lane enabled on this thread? (Mirrors the store's
+/// `store_enabled`: benches and the equivalence tests flip it off to
+/// measure/compare the sequential path.)
+pub fn parallel_enabled() -> bool {
+    PARALLEL_ENABLED.with(Cell::get)
+}
+
+/// Enable/disable the parallel lane on this thread, returning the
+/// previous setting (so callers can restore it).
+pub fn set_parallel_enabled(on: bool) -> bool {
+    PARALLEL_ENABLED.with(|c| c.replace(on))
+}
+
+// --- hit/fallback counters -------------------------------------------------
+
+/// Cumulative parallel-lane counters for this thread (= session),
+/// surfaced by `Session::par_stats` and the REPL's `:stats`.
+///
+/// A **hit** is an execution that actually ran on the parallel lane. A
+/// **fallback** is an execution that passed the static and size gates
+/// but fell back to the sequential path at runtime — a value failed
+/// `to_plain` extraction (identity- or code-bearing data in a row or
+/// key) or the plain mini-evaluator declined an expression. Executions
+/// that never reach the gates (lane disabled, one thread, sub-threshold
+/// input, shape not eligible) are not counted at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Hash joins executed on the parallel lane.
+    pub par_joins: u64,
+    /// Eligible hash joins that fell back to the sequential build/probe.
+    pub par_join_fallbacks: u64,
+    /// Proper `hom` applications folded through `par_hom`.
+    pub par_homs: u64,
+    /// Proper `hom` applications that fell back to the sequential fold.
+    pub par_hom_fallbacks: u64,
+}
+
+impl ParStats {
+    const fn new() -> ParStats {
+        ParStats {
+            par_joins: 0,
+            par_join_fallbacks: 0,
+            par_homs: 0,
+            par_hom_fallbacks: 0,
+        }
+    }
+}
+
+/// This thread's parallel-lane counters.
+pub fn par_stats() -> ParStats {
+    PAR_STATS.with(Cell::get)
+}
+
+/// Zero this thread's parallel-lane counters.
+pub fn reset_par_stats() {
+    PAR_STATS.with(|c| c.set(ParStats::new()));
+}
+
+/// Record a parallel-join outcome (`hit` = ran on the parallel lane).
+pub fn note_par_join(hit: bool) {
+    PAR_STATS.with(|c| {
+        let mut s = c.get();
+        if hit {
+            s.par_joins += 1;
+        } else {
+            s.par_join_fallbacks += 1;
+        }
+        c.set(s);
+    });
+}
+
+/// Record a parallel-`hom` outcome (`hit` = folded through `par_hom`).
+pub fn note_par_hom(hit: bool) {
+    PAR_STATS.with(|c| {
+        let mut s = c.get();
+        if hit {
+            s.par_homs += 1;
+        } else {
+            s.par_hom_fallbacks += 1;
+        }
+        c.set(s);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_local_overrides_win_and_restore() {
+        let prev = set_par_threads(Some(3));
+        assert_eq!(par_threads(), 3);
+        set_par_threads(prev);
+
+        let prev = set_par_join_min_build_rows(Some(7));
+        assert_eq!(par_join_min_build_rows(), 7);
+        set_par_join_min_build_rows(prev);
+
+        let prev = set_par_hom_min_items(Some(9));
+        assert_eq!(par_hom_min_items(), 9);
+        set_par_hom_min_items(prev);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let prev = set_par_threads(Some(0));
+        assert_eq!(par_threads(), 1);
+        set_par_threads(prev);
+    }
+
+    #[test]
+    fn enable_toggle_round_trips() {
+        let prev = set_parallel_enabled(false);
+        assert!(!parallel_enabled());
+        set_parallel_enabled(prev);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset_par_stats();
+        note_par_join(true);
+        note_par_join(false);
+        note_par_hom(true);
+        let s = par_stats();
+        assert_eq!(
+            (
+                s.par_joins,
+                s.par_join_fallbacks,
+                s.par_homs,
+                s.par_hom_fallbacks
+            ),
+            (1, 1, 1, 0)
+        );
+        reset_par_stats();
+        assert_eq!(par_stats(), ParStats::default());
+    }
+}

@@ -10,11 +10,25 @@
 use machiavelli::Session;
 
 /// Render against a cold store so `[idx build]` markers are
-/// deterministic regardless of what ran earlier on this thread.
+/// deterministic regardless of what ran earlier on this thread, and
+/// with a single worker thread so no machine- or env-dependent
+/// `[par n=…]` marker appears (the parallel goldens below pin the
+/// thread count explicitly instead).
 fn plan(src: &str) -> String {
     let s = Session::new();
     s.store_reset();
+    s.set_par_threads(Some(1));
     s.plan_of(src).unwrap()
+}
+
+/// Render with a four-thread parallel lane (and a cold store).
+fn plan_par4(src: &str) -> String {
+    let s = Session::new();
+    s.store_reset();
+    let prev = s.set_par_threads(Some(4));
+    let out = s.plan_of(src).unwrap();
+    s.set_par_threads(prev);
+    out
 }
 
 #[test]
@@ -36,6 +50,39 @@ fn fig9_shape_two_generator_equi_join_is_hash_join() {
          Scan s <- StudentView(persons)\n    \
          Build e <- EmployeeView(persons) filter (e.Salary > 1000)"
     );
+}
+
+#[test]
+fn fig9_view_call_join_renders_the_parallel_marker_at_four_threads() {
+    // The same uncached view-call join as above, with a multi-threaded
+    // parallel lane: both key closures are plain-evaluable, so the
+    // next execution fans out (once the build side clears the row
+    // cutoff) — `explain` renders the configured worker count.
+    assert_eq!(
+        plan_par4(
+            "select [Name = s.Name, Salary = e.Salary]
+             where s <- StudentView(persons), e <- EmployeeView(persons)
+             with s.Name = e.Name andalso e.Salary > 1000;"
+        ),
+        "Project [Name=s.Name, Salary=e.Salary]\n  \
+         HashJoin[par n=4] probe(s.Name) build(e.Name)\n    \
+         Scan s <- StudentView(persons)\n    \
+         Build e <- EmployeeView(persons) filter (e.Salary > 1000)"
+    );
+}
+
+#[test]
+fn store_served_and_env_dependent_joins_do_not_render_par() {
+    // A store-cacheable join stays on the store path (a cached index
+    // beats any rebuild), and an environment-dependent build is outside
+    // the lane's static eligibility: neither renders `[par …]` even at
+    // four threads.
+    let cached = plan_par4("select (x.A, y.B) where x <- r, y <- s with x.K = y.K;");
+    assert!(cached.contains("HashJoin[idx build]"), "{cached}");
+    let env_dep =
+        plan_par4("select y where x <- V(r), y <- W(s) with x.K = y.K andalso y.B > cutoff;");
+    assert!(env_dep.contains("HashJoin probe(x.K)"), "{env_dep}");
+    assert!(!env_dep.contains("[par"), "{env_dep}");
 }
 
 #[test]

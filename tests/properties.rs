@@ -9,7 +9,12 @@
 //! * type-level `⊔`/`⊓` form lub/glb with respect to `≤`;
 //! * join strategies agree on random flat relations;
 //! * naive and semi-naive closure agree on random digraphs;
-//! * the interpreter's `select`/`join` agree with the native substrate.
+//! * the interpreter's `select`/`join` agree with the native substrate;
+//! * the plain-value lane round-trips (`to_plain`/`from_plain`) and its
+//!   hash/order agree with the `Rc` lane;
+//! * the parallel hash join and `par_hom`-backed folds are
+//!   result-equivalent to the sequential planner and `select_loop`
+//!   across 1/2/4/8 worker threads, and non-extractable data falls back.
 
 use machiavelli::eval::set_planner_enabled;
 use machiavelli::types::{glb, le, lub, type_eq, Partial};
@@ -400,6 +405,220 @@ proptest! {
         let interpreted = run(&mut session, false);
         // (On mismatch the query shape is recoverable from the seed.)
         prop_assert!(planned == interpreted, "{}: {:?} vs {:?}", src, planned, interpreted);
+    }
+}
+
+// ----- the plain-value lane ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn plain_lane_round_trips_and_agrees(a in arb_desc_value(), b in arb_desc_value()) {
+        use machiavelli::value::plain::{from_plain, plain_cmp, plain_hash, to_plain};
+        // arb_desc_value produces pure data (no refs/dynamics), so
+        // extraction must succeed…
+        let pa = to_plain(&a).expect("description data extracts");
+        let pb = to_plain(&b).expect("description data extracts");
+        // …round-trip structurally…
+        prop_assert_eq!(&from_plain(&pa), &a);
+        // …order identically…
+        prop_assert_eq!(plain_cmp(&pa, &pb), value_cmp(&a, &b));
+        // …and hash identically (the partition-lane soundness direction).
+        let dv = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            machiavelli::value::hash_value(v, &mut h);
+            h.finish()
+        };
+        let dp = |p: &machiavelli::value::PlainValue| {
+            let mut h = DefaultHasher::new();
+            plain_hash(p, &mut h);
+            h.finish()
+        };
+        prop_assert_eq!(dv(&a), dp(&pa));
+    }
+}
+
+// ----- the parallel lane vs the sequential paths ------------------------------
+
+/// Evaluate `src` in `session` with an explicit execution mode:
+/// `planner` toggles plan dispatch, `par` = `Some(t)` forces the
+/// parallel lane on with `t` worker threads and a 1-row join cutoff
+/// (`None` disables the lane). The store is disabled throughout so
+/// eligible joins route to the parallel lane instead of the index
+/// cache, and every override is restored before returning.
+fn run_in_mode(
+    session: &mut machiavelli::Session,
+    src: &str,
+    planner: bool,
+    par: Option<usize>,
+) -> Result<String, String> {
+    use machiavelli::value::tuning;
+    let prev_planner = set_planner_enabled(planner);
+    let prev_store = machiavelli::store::set_store_enabled(false);
+    let prev_enabled = tuning::set_parallel_enabled(par.is_some());
+    let prev_threads = tuning::set_par_threads(par);
+    let prev_rows = tuning::set_par_join_min_build_rows(Some(1));
+    let prev_hom = tuning::set_par_hom_min_items(Some(1));
+    let out = session
+        .eval_one(src)
+        .map(|o| machiavelli::value::show_value(&o.value))
+        .map_err(|e| e.to_string());
+    tuning::set_par_hom_min_items(prev_hom);
+    tuning::set_par_join_min_build_rows(prev_rows);
+    tuning::set_par_threads(prev_threads);
+    tuning::set_parallel_enabled(prev_enabled);
+    machiavelli::store::set_store_enabled(prev_store);
+    set_planner_enabled(prev_planner);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The parallel hash join is result-equivalent to the sequential
+    // planner and to `select_loop` across 1/2/4/8 worker threads, on
+    // the same seeded comprehension space the planner property uses —
+    // duplicate keys (tiny key spaces) and empty hash partitions
+    // (fewer distinct keys than partitions) arise naturally.
+    #[test]
+    fn parallel_join_matches_sequential_paths(
+        seed in 0u64..u64::MAX / 2,
+        n_parts in 4usize..24,
+        n_suppliers in 2usize..10,
+    ) {
+        let src = random_comprehension(seed, 2 * n_parts as u64);
+        let (mut session, _db) = scaled_parts_session(n_parts, n_suppliers, seed ^ 0x51c6e1);
+        let loop_ref = run_in_mode(&mut session, &src, false, None);
+        let seq_ref = run_in_mode(&mut session, &src, true, None);
+        prop_assert!(seq_ref == loop_ref, "{src}: {seq_ref:?} vs {loop_ref:?}");
+        for threads in [1usize, 2, 4, 8] {
+            let par = run_in_mode(&mut session, &src, true, Some(threads));
+            prop_assert!(
+                par == seq_ref,
+                "{src} @ {threads} threads: {par:?} vs {seq_ref:?}"
+            );
+        }
+    }
+
+    // `par_hom`-backed folds (the prelude's `card`/`sum`/`member` and
+    // a raw product fold) agree with the sequential interpreter fold
+    // across 1/2/4/8 worker threads.
+    #[test]
+    fn parallel_hom_folds_match_sequential(
+        xs in proptest::collection::vec(-50i64..50, 0..60),
+        k in -50i64..50,
+    ) {
+        let mut session = machiavelli::Session::new();
+        session
+            .bind_external("S", Value::set(xs.iter().map(|&x| Value::Int(x))), "{int}")
+            .unwrap();
+        let src = format!(
+            "(card(S), sum(S), member({k}, S), hom((fn(x) => x), *, 1, S));"
+        );
+        let seq_ref = run_in_mode(&mut session, &src, true, None);
+        prop_assert!(seq_ref.is_ok(), "{seq_ref:?}");
+        for threads in [1usize, 2, 4, 8] {
+            let par = run_in_mode(&mut session, &src, true, Some(threads));
+            prop_assert!(par == seq_ref, "{src} @ {threads} threads: {par:?} vs {seq_ref:?}");
+        }
+    }
+}
+
+/// Non-extractable **keys** (identity-bearing `ref` values, whose
+/// equality plain data cannot represent) force the runtime fallback on
+/// whichever side computes them, with the fallback counter recording it
+/// and results identical to the sequential paths. Rows merely
+/// *containing* refs off the key path still parallelize — only the key
+/// tuples cross the lane.
+#[test]
+fn parallel_join_falls_back_on_unextractable_keys() {
+    use machiavelli::value::show_value;
+    let mut session = machiavelli::Session::new();
+    // `d` is a shared ref: rows of `r` and `t` join on ref identity.
+    session
+        .run(
+            "val d = ref(1);
+             val r = {[K=d, A=1], [K=ref(2), A=2], [K=ref(3), A=3]};
+             val t = {[K=d, B=10], [K=ref(9), B=90]};
+             val p = {[K=1, R=ref(1)], [K=2, R=ref(2)]};
+             val q = {[K=1, B=10], [K=2, B=20], [K=9, B=90]};",
+        )
+        .unwrap();
+    // Ref-valued keys on both sides: extraction declines, fallback.
+    let ref_keys = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
+    // Refs in the rows but int keys: the lane runs (keys extract; rows
+    // are matched by index and never cross a thread).
+    let refs_off_key_path = "select (x.K, y.B) where x <- p, y <- q with x.K = y.K;";
+    for (query, expect_hit) in [(ref_keys, false), (refs_off_key_path, true)] {
+        let seq = run_in_mode(&mut session, query, true, None);
+        session.par_reset();
+        let par = run_in_mode(&mut session, query, true, Some(4));
+        assert_eq!(par, seq, "{query}");
+        let stats = session.par_stats();
+        if expect_hit {
+            assert!(stats.par_joins >= 1, "{query}: {stats:?}");
+            assert_eq!(stats.par_join_fallbacks, 0, "{query}: {stats:?}");
+        } else {
+            assert!(stats.par_join_fallbacks >= 1, "{query}: {stats:?}");
+            assert_eq!(stats.par_joins, 0, "{query}: {stats:?}");
+        }
+    }
+    // The ref-identity join itself answers correctly: only the shared
+    // `d` rows match.
+    let out = session.eval_one(ref_keys).unwrap().value;
+    assert_eq!(show_value(&out), "{(1, 10)}");
+}
+
+/// The probe-drain memory cap: a probe pipeline much larger than the
+/// build side (here > 64× with the cutoff overridden to 1) bails to the
+/// streaming sequential probe — the drained prefix replays and the
+/// live remainder streams, with identical results and a counted
+/// fallback.
+#[test]
+fn parallel_join_caps_probe_materialization() {
+    let mut session = machiavelli::Session::new();
+    let many: String = (0..200)
+        .map(|i| format!("[K={i}]"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    session
+        .run(&format!(
+            "val many = {{{many}}}; val two = {{[K=1, B=10], [K=199, B=20]}};"
+        ))
+        .unwrap();
+    let q = "select (x.K, y.B) where x <- many, y <- two with x.K = y.K;";
+    let seq = run_in_mode(&mut session, q, true, None);
+    session.par_reset();
+    let par = run_in_mode(&mut session, q, true, Some(4));
+    assert_eq!(par, seq);
+    let stats = session.par_stats();
+    assert!(stats.par_join_fallbacks >= 1, "{stats:?}");
+    assert_eq!(stats.par_joins, 0, "{stats:?}");
+}
+
+/// Duplicate keys and empty partitions, pinned deterministically: many
+/// rows per key on both sides, and a single distinct key so all but one
+/// hash partition is empty.
+#[test]
+fn parallel_join_handles_duplicates_and_empty_partitions() {
+    let mut session = machiavelli::Session::new();
+    let dup_rows: String = (0..40)
+        .map(|i| format!("[K={}, A={i}]", i % 3))
+        .collect::<Vec<_>>()
+        .join(", ");
+    session
+        .run(&format!(
+            "val dups = {{{dup_rows}}}; val one = {{[K=1, B=7], [K=1, B=8]}};"
+        ))
+        .unwrap();
+    for query in [
+        "select (x.A, y.A) where x <- dups, y <- dups with x.K = y.K;",
+        "select (x.A, y.B) where x <- dups, y <- one with x.K = y.K;",
+    ] {
+        let seq = run_in_mode(&mut session, query, true, None);
+        for threads in [2usize, 4, 8] {
+            let par = run_in_mode(&mut session, query, true, Some(threads));
+            assert_eq!(par, seq, "{query} @ {threads}");
+        }
     }
 }
 
