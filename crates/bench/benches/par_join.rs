@@ -1,15 +1,25 @@
-//! PR 4 bench — the parallel hash-join lane vs the sequential planner
-//! path, across relation sizes and worker-thread counts.
+//! PR 4/5 bench — the parallel hash-join lanes vs the sequential
+//! planner paths, across relation sizes and worker-thread counts.
 //!
 //! Two externally bound relations of `n` int-keyed rows each are
 //! equi-joined through `Session::eval_one` (parse + infer + plan +
-//! execute). The index store is disabled throughout so every iteration
-//! really builds and probes (cached builds would route around the lane
-//! by design), isolating seq vs par on the same work:
+//! execute).
+//!
+//! The `par_join` group measures the **inline partition lane** (PR 4):
+//! the index store is disabled so every iteration really builds and
+//! probes, isolating seq vs par on the same work:
 //!
 //! * `seq`  — parallel lane disabled (the PR 2/3 planner path);
 //! * `parK` — plain-value partition lane with K worker threads (the
 //!   join cutoff is lowered so every size engages the lane).
+//!
+//! The `cached_par_probe` group measures the **composed lane** (PR 5):
+//! store enabled and warm, so the build phase is gone entirely and the
+//! only difference is how the cached plain index is probed:
+//!
+//! * `cached_seq`  — the sequential probe over the cached index;
+//! * `cached_parK` — K workers probing the shared `Arc` index (probe
+//!   cutoff lowered so every size engages).
 //!
 //! Keys overlap on the top eighth of the key space with unique matches,
 //! so the output (≈ n/8 small tuples) never dominates the build/probe
@@ -105,9 +115,59 @@ fn bench_par_join(c: &mut Criterion) {
     machiavelli::store::set_store_enabled(true);
 }
 
+/// Run the query with the store enabled (warm after the first call):
+/// `threads = None` is the sequential probe over the cached index,
+/// `Some(k)` the parallel cached probe with a 1-row probe cutoff.
+fn run_cached(s: &mut Session, threads: Option<usize>) -> Value {
+    let prev_on = tuning::set_parallel_enabled(threads.is_some());
+    let prev_t = tuning::set_par_threads(threads);
+    let prev_probe = tuning::set_par_probe_min_rows(Some(1));
+    let out = s.eval_one(QUERY).unwrap().value;
+    tuning::set_par_probe_min_rows(prev_probe);
+    tuning::set_par_threads(prev_t);
+    tuning::set_parallel_enabled(prev_on);
+    out
+}
+
+fn bench_cached_par_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cached_par_probe");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let mut s = join_session(n);
+        s.store_reset();
+        // Warm the cache, then sanity-check agreement and engagement.
+        let seq = run_cached(&mut s, None);
+        assert_eq!(seq, Value::Bool(false), "join unexpectedly empty at n={n}");
+        let builds = s.store_stats().builds;
+        assert_eq!(builds, 1, "build not cached at n={n}");
+        tuning::reset_par_stats();
+        assert_eq!(run_cached(&mut s, Some(4)), seq, "lanes diverge at n={n}");
+        let stats = tuning::par_stats();
+        assert_eq!(
+            (stats.par_probes, stats.par_probe_fallbacks),
+            (1, 0),
+            "cached probe not engaged at n={n}: {stats:?}"
+        );
+        assert_eq!(s.store_stats().builds, builds, "rebuilt at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("cached_seq", n), &n, |b, _| {
+            b.iter(|| run_cached(&mut s, None))
+        });
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cached_par{threads}"), n),
+                &n,
+                |b, _| b.iter(|| run_cached(&mut s, Some(threads))),
+            );
+        }
+        assert_eq!(s.store_stats().builds, builds, "cache lost during bench");
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_par_join
+    targets = bench_par_join, bench_cached_par_probe
 }
 criterion_main!(benches);

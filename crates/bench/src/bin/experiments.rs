@@ -389,6 +389,103 @@ fn main() {
         );
     }
 
+    println!("\n== E14: composed lane — cached indexes under writes + parallel probes ==");
+    {
+        use machiavelli::eval::set_planner_enabled;
+        use machiavelli::value::{tuning, Value};
+        let _ = set_planner_enabled(true);
+
+        // Part A — cache survival: the repeated fig5 `cost` sweep mixed
+        // with ref writes to an *unrelated* relation. Under PR 4's
+        // epoch contract every write dropped the whole store (one
+        // rebuild per write); dependency-tracked invalidation must keep
+        // the `parts` index warm through all of them.
+        let (mut s, _db) = machiavelli_bench::scaled_parts_session(120, 12, 11);
+        s.run(machiavelli_bench::FIG5_SOURCE).unwrap();
+        s.run("val side = ref({[K=0]});").unwrap();
+        s.store_reset();
+        let first = s.eval_one("expensive_parts(parts, 0);").unwrap().value;
+        let mut stable = true;
+        for i in 0..4 {
+            s.eval_one(&format!("side := {{[K={i}]}};")).unwrap();
+            let again = s.eval_one("expensive_parts(parts, 0);").unwrap().value;
+            stable = stable && again == first;
+        }
+        let stats = s.store_stats();
+        r.check(
+            "the parts index survives every unrelated ref write",
+            "1 build, 0 invalidated, 0 cleared (PR 4 evicted all)",
+            &format!(
+                "{} builds, {} invalidated, {} cleared, results stable: {stable}",
+                stats.builds, stats.invalidated, stats.cleared
+            ),
+            stats.builds == 1 && stats.invalidated == 0 && stats.cleared == 0 && stable,
+        );
+
+        // Part B — the composed store+parallel path: a fig9-shaped join
+        // served from the warm store, probed sequentially vs by four
+        // workers, interleaved with more unrelated writes.
+        let n = 20_000usize;
+        let rows = |offset: usize| {
+            Value::set((0..n).map(|i| {
+                Value::record([
+                    ("K".into(), Value::Int((i + offset) as i64)),
+                    ("A".into(), Value::Int(i as i64)),
+                ])
+            }))
+        };
+        let mut s = Session::new();
+        s.bind_external("r", rows(0), "{[K: int, A: int]}").unwrap();
+        s.bind_external("t", rows(n - n / 8), "{[K: int, A: int]}")
+            .unwrap();
+        s.run("val side = ref(0);").unwrap();
+        s.store_reset();
+        let q = "card(select (x.A, y.A) where x <- r, y <- t with x.K = y.K);";
+        let timed = |s: &mut Session, par: Option<usize>| {
+            let prev_on = tuning::set_parallel_enabled(par.is_some());
+            let prev_t = tuning::set_par_threads(par);
+            let prev_probe = tuning::set_par_probe_min_rows(Some(1));
+            let t0 = std::time::Instant::now();
+            let out = s.eval_one(q).unwrap().value;
+            let dt = t0.elapsed();
+            tuning::set_par_probe_min_rows(prev_probe);
+            tuning::set_par_threads(prev_t);
+            tuning::set_parallel_enabled(prev_on);
+            (out, dt)
+        };
+        let (v_cold, _) = timed(&mut s, None);
+        s.eval_one("side := 1;").unwrap();
+        tuning::reset_par_stats();
+        let (v_seq, t_seq) = timed(&mut s, None);
+        s.eval_one("side := 2;").unwrap();
+        let (v_par, t_par) = timed(&mut s, Some(4));
+        r.check(
+            "cached sequential and cached parallel probes agree across writes",
+            &show_value(&v_cold),
+            &format!("{} / {}", show_value(&v_seq), show_value(&v_par)),
+            v_seq == v_cold && v_par == v_cold,
+        );
+        let stats = s.store_stats();
+        let ps = tuning::par_stats();
+        r.check(
+            "one build serves every probe; the parallel probe engaged",
+            "1 build, ≥ 2 hits, par_probes ≥ 1, 0 probe fallbacks",
+            &format!(
+                "{} builds, {} hits, {} par_probes, {} fallbacks",
+                stats.builds, stats.hits, ps.par_probes, ps.par_probe_fallbacks
+            ),
+            stats.builds == 1
+                && stats.hits >= 2
+                && ps.par_probes >= 1
+                && ps.par_probe_fallbacks == 0,
+        );
+        let probe_speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+        println!(
+            "       cached probe seq-vs-par4 : {probe_speedup:.2}x ({t_seq:.2?} vs {t_par:.2?}, \
+             n={n}; 1-core CI runners make this informational — BENCH_PR5.json holds the bar)"
+        );
+    }
+
     println!("\n== E10: §5 — unionc equation, member, dynamics ==");
     let mut s = Session::new();
     let lhs = s

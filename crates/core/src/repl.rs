@@ -51,22 +51,25 @@ pub fn run_repl(
                 let st = session.store_stats();
                 writeln!(
                     output,
-                    ">> index store: {} entries, {} rows cached",
-                    st.entries, st.cached_rows
+                    ">> index store: {} entries ({} plain / {} rc), {} rows cached",
+                    st.entries, st.plain_entries, st.rc_entries, st.cached_rows
                 )?;
                 writeln!(
                     output,
-                    ">> hits {} / misses {} / builds {} / invalidated {} / evicted {}",
-                    st.hits, st.misses, st.builds, st.invalidated, st.evicted
+                    ">> hits {} / misses {} / builds {} / invalidated {} / cleared {} / evicted {}",
+                    st.hits, st.misses, st.builds, st.invalidated, st.cleared, st.evicted
                 )?;
                 let ps = session.par_stats();
                 writeln!(
                     output,
                     ">> parallel ({} threads): joins {} / join fallbacks {} / \
+                     cached probes {} / probe fallbacks {} / \
                      homs {} / hom fallbacks {}",
                     session.par_threads(),
                     ps.par_joins,
                     ps.par_join_fallbacks,
+                    ps.par_probes,
+                    ps.par_probe_fallbacks,
                     ps.par_homs,
                     ps.par_hom_fallbacks
                 )?;
@@ -78,8 +81,8 @@ pub fn run_repl(
                 for i in infos {
                     writeln!(
                         output,
-                        ">> [{} rows, {} groups, {} hits] {}",
-                        i.rows, i.groups, i.hits, i.fingerprint
+                        ">> [{}, {} rows, {} groups, {} hits] {}",
+                        i.kind, i.rows, i.groups, i.hits, i.fingerprint
                     )?;
                 }
             } else {
@@ -239,25 +242,29 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         // Cold store first.
         assert!(
-            text.contains(">> index store: 0 entries, 0 rows cached"),
+            text.contains(">> index store: 0 entries (0 plain / 0 rc), 0 rows cached"),
             "{text}"
         );
-        // The two equality queries share one cached grouping of `r`.
+        // The two equality queries share one cached grouping of `r` —
+        // plain rows, so the entry is in parallel-probable form.
         assert!(
-            text.contains(">> [2 rows, 2 groups, 1 hits] scan r key(_.K)"),
-            "{text}"
-        );
-        assert!(
-            text.contains(">> index store: 1 entries, 2 rows cached"),
+            text.contains(">> [plain, 2 rows, 2 groups, 1 hits] scan r key(_.K)"),
             "{text}"
         );
         assert!(
-            text.contains(">> hits 1 / misses 1 / builds 1 / invalidated 0 / evicted 0"),
+            text.contains(">> index store: 1 entries (1 plain / 0 rc), 2 rows cached"),
             "{text}"
         );
         assert!(
             text.contains(
-                ">> parallel (1 threads): joins 0 / join fallbacks 0 / homs 0 / hom fallbacks 0"
+                ">> hits 1 / misses 1 / builds 1 / invalidated 0 / cleared 0 / evicted 0"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                ">> parallel (1 threads): joins 0 / join fallbacks 0 / cached probes 0 / \
+                 probe fallbacks 0 / homs 0 / hom fallbacks 0"
             ),
             "{text}"
         );

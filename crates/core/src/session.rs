@@ -145,8 +145,12 @@ impl Session {
         machiavelli_store::with_store(|s| s.stats())
     }
 
-    /// Describe the live cached indexes, most-recently-used first
-    /// (behind the REPL's `:indexes` command).
+    /// Describe the live cached indexes in deterministic order (sorted
+    /// by fingerprint, then storage id — pinnable in golden tests),
+    /// with each entry's representation: `plain` entries are
+    /// `Send + Sync` and eligible for the parallel cached probe, `rc`
+    /// entries (identity-bearing rows) probe sequentially. Behind the
+    /// REPL's `:indexes` command.
     pub fn store_indexes(&self) -> Vec<machiavelli_store::IndexInfo> {
         machiavelli_store::with_store(|s| s.indexes())
     }
@@ -492,6 +496,9 @@ mod tests {
     fn store_stats_track_reuse_and_plan_of_flips_to_cached() {
         let mut s = Session::new();
         s.store_reset();
+        // Pin one worker thread so the warm marker is `[idx cached]`
+        // (never the machine-dependent `[idx cached, par n=…]`).
+        let prev_threads = s.set_par_threads(Some(1));
         s.run("val r = {[K=1, A=10], [K=2, A=20]}; val t = {[K=1, B=5]};")
             .unwrap();
         let q = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
@@ -507,10 +514,13 @@ mod tests {
         assert!(warm.contains("HashJoin[idx cached]"), "{warm}");
         let indexes = s.store_indexes();
         assert_eq!(indexes.len(), 1);
-        // Binder names are alpha-normalized to `_` in fingerprints.
+        // Binder names are alpha-normalized to `_` in fingerprints, and
+        // pure-data relations cache in plain (parallel-probable) form.
         assert_eq!(indexes[0].fingerprint, "join t build(_.K) filter()");
+        assert_eq!(indexes[0].kind, machiavelli_store::IndexKind::Plain);
         s.store_reset();
         assert_eq!(s.store_stats(), machiavelli_store::StoreStats::default());
+        s.set_par_threads(prev_threads);
     }
 
     #[test]

@@ -8,19 +8,31 @@
 //! operator's fingerprint (the next execution will probe it),
 //! `HashJoin[idx build]` when the next execution will build one, and a
 //! bare `HashJoin` when the build table is environment-dependent and
-//! never cached. The marker is a *display-level* probe by fingerprint —
-//! rendering a plan does not evaluate the source, so the store cannot
-//! be asked for the exact (storage, fingerprint) key the executor uses.
+//! never cached. A cached index in **plain** form additionally renders
+//! the parallel probe the next execution can run against it —
+//! `HashJoin[idx cached, par n=4]` — when the lane is enabled with more
+//! than one thread and the probe keys are statically eligible. The
+//! marker is a *display-level* probe by fingerprint — rendering a plan
+//! does not evaluate the source, so the store cannot be asked for the
+//! exact (storage, fingerprint) key the executor uses.
 //!
-//! Uncached joins that are statically eligible for the plain-value
-//! parallel lane render `HashJoin[par n=4]` (the configured worker
+//! A swappable join (see `physical::SwapInfo`) whose *first-generator*
+//! side holds the live cached index renders with its sides exchanged as
+//! `HashJoin[idx cached, swapped]` — the orientation the executor will
+//! choose at open. (The size-based flip for two uncached sides depends
+//! on relation cardinalities and cannot be predicted without
+//! evaluating; it renders in the unswapped orientation.)
+//!
+//! Uncached joins that are statically eligible for the inline
+//! partition lane render `HashJoin[par n=4]` (the configured worker
 //! count) when the lane is enabled with more than one thread. Like the
 //! idx marker this is display-level: whether an execution actually
-//! parallelizes additionally depends on the build side clearing the
-//! row cutoff and every row extracting to plain data.
+//! parallelizes additionally depends on size cutoffs and every key
+//! extracting to plain data.
 
 use crate::analysis::Conjunct;
 use crate::physical::{IndexKey, ParInfo, PhysOp, PhysicalPlan};
+use machiavelli_store::IndexKind;
 use machiavelli_syntax::pretty::expr_to_string;
 use std::fmt::Write as _;
 
@@ -33,13 +45,32 @@ fn idx_marker(fingerprint: &str) -> &'static str {
     }
 }
 
-/// The `[par n=…]` marker for an uncached, parallel-eligible join under
-/// the current session configuration (empty when the lane is disabled
-/// or single-threaded).
-fn par_marker(par: &Option<ParInfo>) -> String {
-    if par.is_some() && machiavelli_value::tuning::parallel_enabled() {
+/// The configured worker count, when the parallel lane is live on this
+/// thread (`None` when disabled or single-threaded).
+fn live_threads() -> Option<usize> {
+    if machiavelli_value::tuning::parallel_enabled() {
         let n = machiavelli_value::tuning::par_threads();
         if n > 1 {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// The `, par n=…` suffix for a cached **plain** index with eligible
+/// probe keys: the next execution probes it with parallel workers.
+fn cached_par_suffix(kind: IndexKind, par: &Option<ParInfo>) -> String {
+    match (kind, par, live_threads()) {
+        (IndexKind::Plain, Some(_), Some(n)) => format!(", par n={n}"),
+        _ => String::new(),
+    }
+}
+
+/// The `[par n=…]` marker for an uncached join statically eligible for
+/// the inline partition lane (build and probe sides both covered).
+fn par_marker(par: &Option<ParInfo>) -> String {
+    if par.as_ref().is_some_and(|i| i.build_ok) {
+        if let Some(n) = live_threads() {
             return format!("[par n={n}]");
         }
     }
@@ -140,10 +171,59 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
             build_keys,
             fingerprint,
             par,
+            swap,
         } => {
-            let marker = match fingerprint {
-                Some(fp) => idx_marker(fp).to_string(),
-                None => par_marker(par),
+            // Predict the build-side flip the executor will take at
+            // open: the swapped side holds the live cached index and
+            // the normal side does not. Mirrors the open-time decision
+            // at display level (by fingerprint, not storage).
+            let normal_kind = fingerprint
+                .as_ref()
+                .and_then(|fp| machiavelli_store::with_store(|s| s.fingerprint_kind(fp)));
+            if normal_kind.is_none() {
+                if let Some(sw) = swap {
+                    let swapped_kind =
+                        machiavelli_store::with_store(|s| s.fingerprint_kind(&sw.fingerprint));
+                    if let (
+                        Some(kind),
+                        PhysOp::Scan {
+                            var: pvar,
+                            source: psource,
+                            filters: pfilters,
+                        },
+                    ) = (swapped_kind, input.as_ref())
+                    {
+                        // Sides exchange: the second generator streams,
+                        // the first builds (its pushed filters baked in).
+                        let _ = writeln!(
+                            out,
+                            "{pad}HashJoin[idx cached, swapped{}] probe({}) build({})",
+                            cached_par_suffix(kind, &sw.par),
+                            keys_list(build_keys),
+                            keys_list(probe_keys)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{pad}  Scan {var} <- {}{}",
+                            expr_to_string(source),
+                            filters_suffix(filters)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{pad}  Build {pvar} <- {}{}",
+                            expr_to_string(psource),
+                            filters_suffix(pfilters)
+                        );
+                        return;
+                    }
+                }
+            }
+            let marker = match (fingerprint, normal_kind) {
+                (Some(_), Some(kind)) => {
+                    format!("[idx cached{}]", cached_par_suffix(kind, par))
+                }
+                (Some(_), None) => "[idx build]".to_string(),
+                (None, _) => par_marker(par),
             };
             let _ = writeln!(
                 out,

@@ -89,18 +89,17 @@
 //! proves the extraction step itself is unobservable. What
 //! parallelizes, and what falls back:
 //!
-//! * **Hash joins** whose build keys and pushed filters are
+//! * **Uncached hash joins** whose build keys and pushed filters are
 //!   [`parallel::par_evaluable`] under the build binder and whose probe
 //!   keys are `par_evaluable` under the earlier binders (binder-closed
-//!   planner-safe expressions minus `con`) are statically eligible
-//!   (`PhysOp::HashJoin { par: Some(_) }`, rendered `HashJoin[par
-//!   n=…]`). At open time the join actually fans out only when the
-//!   plain lane is enabled with more than one worker thread
-//!   ([`machiavelli_value::tuning`]), the build table is **not** served
-//!   by the index store (a cached index beats any rebuild, so
-//!   fingerprinted builds stay on the store path), the build side
-//!   clears [`machiavelli_value::tuning::par_join_min_build_rows`], and
-//!   every key value extracts via [`machiavelli_value::to_plain`]
+//!   planner-safe expressions minus `con`) are statically eligible for
+//!   the inline partition lane (`PhysOp::HashJoin { par }` with
+//!   `build_ok`, rendered `HashJoin[par n=…]`). At open time the join
+//!   actually fans out only when the plain lane is enabled with more
+//!   than one worker thread ([`machiavelli_value::tuning`]), the build
+//!   table is **not** served by the index store, the build side clears
+//!   [`machiavelli_value::tuning::par_join_min_build_rows`], and every
+//!   key value extracts via [`machiavelli_value::to_plain`]
 //!   (identity-bearing keys — refs, dynamics — cannot cross the lane).
 //!   Both sides are keyed sequentially by [`parallel::safe_eval`] (a
 //!   direct-dispatch safe-class evaluator, no interpreter overhead);
@@ -115,6 +114,34 @@
 //!   [`machiavelli_value::tuning::par_join_max_probe_rows`]; past the
 //!   cap the join reverts to the streaming sequential probe over the
 //!   drained prefix plus the live remainder.
+//! * **Store-served hash joins compose with the lane** instead of
+//!   excluding it: when the index store answers a fingerprinted build
+//!   with a **plain** entry (`machiavelli_value::PlainIndex` — the
+//!   store re-represents every fully-extractable relation this way, so
+//!   a cached index is `Send + Sync`), and the probe keys are
+//!   `par_evaluable`, the executor drains the probe side (same memory
+//!   cap), extracts the keys sequentially, and fans only the extracted
+//!   tuples out over scoped workers that probe the *shared* cached
+//!   index ([`parallel::par_probe_cached`]) — no build work at all,
+//!   matches return as indices, binding order identical to the
+//!   sequential cached probe. Gated by
+//!   [`machiavelli_value::tuning::par_probe_min_rows`] (its own cutoff:
+//!   there is no build to amortize). Relations with no plain form stay
+//!   on the `Rc`-lane entry, probed sequentially. Rendered
+//!   `HashJoin[idx cached, par n=…]`.
+//! * **Index-aware build-side selection**: a two-generator equi-join
+//!   over a bare first `Scan` may *swap* its build side at open time —
+//!   preferring the side that already holds a live cached index, or the
+//!   smaller relation when neither side is cached (`PhysOp::HashJoin {
+//!   swap }`, decided from store metadata via a stats-neutral `peek`,
+//!   rendered `HashJoin[idx cached, swapped]`). The flip is admitted
+//!   only where it is unobservable: both sources independent and
+//!   evaluated in generator order regardless of orientation, the
+//!   swapped build's keys/filters closed under the first binder (so it
+//!   is cacheable under its own fingerprint), and the comprehension's
+//!   **result expression planner-safe** — a swap enumerates the same
+//!   binding multiset probe-major over the other side, which only an
+//!   effectful result could distinguish.
 //! * **Proper `hom` applications** (the evaluator's side of the lane):
 //!   `op` one of `+`, `*`, `andalso`, `orelse` with `z` its identity,
 //!   and `f` a one-parameter closure whose body is planner-safe. The
@@ -130,7 +157,7 @@
 //!   terminating — so re-running it sequentially reproduces the same
 //!   bindings and the same first error. Hits and fallbacks are counted
 //!   per session ([`machiavelli_value::tuning::par_stats`], REPL
-//!   `:stats`).
+//!   `:stats`), cached-probe outcomes separately from inline-lane ones.
 
 pub mod analysis;
 pub mod explain;
@@ -141,8 +168,10 @@ pub mod physical;
 pub use analysis::{closed_under, find_select, is_safe_expr, mentions_any, split_conjuncts};
 pub use explain::explain;
 pub use logical::{compile, LogicalPlan, Step, Unplannable};
-pub use parallel::{expr_vars, par_evaluable, plain_eval, PlainBindings};
-pub use physical::{execute, EvalHook, ExecError, IndexKey, ParInfo, PhysOp, PhysicalPlan};
+pub use parallel::{expr_vars, par_evaluable, par_probe_cached, plain_eval, PlainBindings};
+pub use physical::{
+    execute, EvalHook, ExecError, IndexKey, ParInfo, PhysOp, PhysicalPlan, SwapInfo,
+};
 
 use machiavelli_syntax::ast::{Expr, Generator};
 

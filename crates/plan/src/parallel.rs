@@ -44,7 +44,7 @@
 
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
 use machiavelli_syntax::symbol::Symbol;
-use machiavelli_value::plain::{plain_cmp, plain_eq, plain_hash, to_plain, PlainValue};
+use machiavelli_value::plain::{plain_cmp, plain_eq, to_plain, PlainIndex, PlainKey, PlainValue};
 use machiavelli_value::set::MSet;
 use machiavelli_value::value::{value_eq, Fields, Value};
 use std::cmp::Ordering;
@@ -463,39 +463,9 @@ fn safe_binop(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
 
 // --- the partition join ----------------------------------------------------
 
-/// A composite join key in the plain lane (single keys skip the vector).
-#[derive(Debug, Clone)]
-pub enum PlainKey {
-    One(PlainValue),
-    Tuple(Vec<PlainValue>),
-}
-
-impl PartialEq for PlainKey {
-    fn eq(&self, other: &Self) -> bool {
-        match (self, other) {
-            (PlainKey::One(a), PlainKey::One(b)) => plain_eq(a, b),
-            (PlainKey::Tuple(a), PlainKey::Tuple(b)) => {
-                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| plain_eq(x, y))
-            }
-            // Build and probe always agree on arity; kept total anyway.
-            (PlainKey::One(a), PlainKey::Tuple(b)) | (PlainKey::Tuple(b), PlainKey::One(a)) => {
-                b.len() == 1 && plain_eq(a, &b[0])
-            }
-        }
-    }
-}
-impl Eq for PlainKey {}
-
 fn key_hash(key: &PlainKey) -> u64 {
     let mut h = DefaultHasher::new();
-    match key {
-        PlainKey::One(v) => plain_hash(v, &mut h),
-        PlainKey::Tuple(vs) => {
-            for v in vs {
-                plain_hash(v, &mut h);
-            }
-        }
-    }
+    std::hash::Hash::hash(key, &mut h);
     h.finish()
 }
 
@@ -532,9 +502,11 @@ fn extract_one(key: &Expr, env: &ValueBindings<'_>) -> Option<PlainValue> {
 }
 
 /// Evaluate a key closure on the `Rc` lane and extract the tuple to
-/// plain data. `None` when the safe evaluator declines or the key
-/// value is identity-bearing (a `ref`/`dynamic` key cannot cross the
-/// lane — its equality is identity, which plain data cannot represent).
+/// plain data ([`PlainKey`] — the index store's plain group key, so
+/// extracted probe keys look up cached `PlainIndex` groups directly).
+/// `None` when the safe evaluator declines or the key value is
+/// identity-bearing (a `ref`/`dynamic` key cannot cross the lane — its
+/// equality is identity, which plain data cannot represent).
 pub fn extract_key(keys: &[&Expr], env: &ValueBindings<'_>) -> Option<PlainKey> {
     if let [single] = keys {
         return extract_one(single, env).map(PlainKey::One);
@@ -725,6 +697,58 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
     matches
 }
 
+// --- the cached-index parallel probe ----------------------------------------
+
+/// Probe one contiguous chunk of extracted keys against a shared plain
+/// index.
+fn probe_cached_chunk(index: &PlainIndex, chunk: &[PlainKey]) -> Vec<Vec<u32>> {
+    chunk.iter().map(|k| index.get(k).to_vec()).collect()
+}
+
+/// Partition-parallel probe over a **cached** plain index: the build
+/// phase already happened (possibly in an earlier evaluation — that is
+/// the whole point), so the fan-out is probe-only. The index is
+/// `Send + Sync` ([`PlainIndex`]); workers share it by reference and
+/// each probes a contiguous chunk of the pre-extracted probe keys,
+/// returning per probe row the **indices** of matching build rows in
+/// build-source order (group lists ascend by construction). Chunks
+/// concatenate in probe order, so the caller's re-binding sequence is
+/// identical to the sequential cached probe. Infallible for the same
+/// reason as [`par_partition_join`]: every failure mode (a key that
+/// declines extraction) surfaced before the fan-out, and a worker whose
+/// thread spawn is declined by the OS runs inline on the coordinator.
+pub fn par_probe_cached(index: &PlainIndex, probe: &[PlainKey], n_threads: usize) -> Vec<Vec<u32>> {
+    let nt = n_threads.max(1);
+    let chunk = probe.len().div_ceil(nt).max(1);
+    let probed: Vec<Vec<Vec<u32>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = probe
+            .chunks(chunk)
+            .map(
+                |chunk| match scope.try_spawn(move |_| probe_cached_chunk(index, chunk)) {
+                    Ok(h) => Ok(h),
+                    Err(_) => Err(chunk),
+                },
+            )
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h {
+                Ok(h) => h
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                Err(chunk) => probe_cached_chunk(index, chunk),
+            })
+            .collect()
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+
+    let mut matches = Vec::with_capacity(probe.len());
+    for chunk in probed {
+        matches.extend(chunk);
+    }
+    matches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,5 +921,49 @@ mod tests {
         assert_eq!(par_partition_join(&[], &[], 4), Vec::<Vec<u32>>::new());
         let probe = keyed_by_k(&[row_k(1, 0)], "y");
         assert_eq!(par_partition_join(&[], &probe, 4), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn cached_probe_matches_sequential_lookup() {
+        // Index: rows with K = 1, 2, 2, 9 grouped by K.
+        let rows: Vec<Value> = [1, 2, 2, 9]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| row_k(k, i as i64))
+            .collect();
+        let mut groups: Vec<(PlainKey, Vec<u32>)> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Record(fs) = row else { panic!() };
+            let k = PlainKey::One(to_plain(fs.get("K").unwrap()).unwrap());
+            match groups.iter_mut().find(|(g, _)| *g == k) {
+                Some((_, idxs)) => idxs.push(i as u32),
+                None => groups.push((k, vec![i as u32])),
+            }
+        }
+        let index = PlainIndex::from_groups(
+            rows.iter()
+                .map(|r| to_plain(r).unwrap())
+                .collect::<Vec<_>>()
+                .into(),
+            groups,
+        );
+        // Probe keys extracted through the production path.
+        let key = parse_expr("y.K").unwrap();
+        let probe: Vec<PlainKey> = [2i64, 5, 1]
+            .iter()
+            .map(|&k| {
+                let row = row_k(k, 0);
+                let env = ValueBindings {
+                    head: Some((Symbol::intern("y"), &row)),
+                    rest: &[],
+                };
+                extract_key(&[&key], &env).unwrap()
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let m = par_probe_cached(&index, &probe, threads);
+            assert_eq!(m, vec![vec![1, 2], vec![], vec![0]], "threads={threads}");
+        }
+        assert_eq!(par_probe_cached(&index, &[], 4), Vec::<Vec<u32>>::new());
     }
 }

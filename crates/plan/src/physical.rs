@@ -26,28 +26,38 @@
 //! closed under the row binder ([`crate::analysis::closed_under`]) —
 //! then its contents are a pure function of the relation's storage
 //! identity and the expressions' text (the **fingerprint**), never of
-//! the enclosing environment. Cache consultation is invisible in the
-//! results: a hit returns exactly the grouping an inline build would
-//! have produced (same rows, same canonical order per group), and the
+//! the enclosing environment. Groupings hold **row indices** into the
+//! relation's canonical slice; the store re-represents fully plain
+//! relations in `Send + Sync` form, which is what lets a *cached*
+//! index serve the parallel probe (see the parallel execution contract
+//! in the crate docs) — and a two-generator join may flip its build
+//! side toward an already-cached (or smaller) relation at open
+//! ([`SwapInfo`]). Cache consultation is invisible in the results: a
+//! hit returns exactly the grouping an inline build would have
+//! produced (same rows, same canonical order per group), and the
 //! expressions skipped on a hit are planner-safe — pure and total — so
 //! not re-evaluating them is unobservable. See `machiavelli-store` for
-//! the invalidation contract (pointer-identity keying + mutation
-//! epoch).
+//! the invalidation contract (pointer-identity keying + dirty-ref
+//! tracking).
 
-use crate::analysis::{closed_under, mentions_any, stable_source, Conjunct};
+use crate::analysis::{closed_under, is_safe_expr, mentions_any, stable_source, Conjunct};
 use crate::logical::LogicalPlan;
 use crate::parallel::{
-    extract_key, par_evaluable, par_partition_join, safe_eval, Keyed, ValueBindings,
+    extract_key, par_evaluable, par_partition_join, par_probe_cached, safe_eval, Keyed,
+    ValueBindings,
 };
-use machiavelli_store::{store_enabled, with_store, Index, KeyTuple};
+use machiavelli_store::{store_enabled, with_store, CachedIndex, Index, KeyTuple};
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind};
 use machiavelli_syntax::pretty::expr_to_string;
 use machiavelli_syntax::symbol::Symbol;
+use machiavelli_value::plain::PlainIndex;
 use machiavelli_value::tuning::{
-    note_par_join, par_join_min_build_rows, par_threads, parallel_enabled,
+    note_par_join, note_par_probe, par_join_min_build_rows, par_probe_min_rows, par_threads,
+    parallel_enabled,
 };
 use machiavelli_value::{show_value, value_eq, Env, MSet, Value};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Callback into the host evaluator. The executor never interprets
 /// expressions itself; it only decides *which* expressions to evaluate
@@ -78,14 +88,41 @@ impl<E> From<E> for ExecError<E> {
 }
 
 /// Static eligibility of a [`PhysOp::HashJoin`] for the plain-data
-/// parallel lane: present iff build keys and pushed filters are
-/// [`par_evaluable`] under the build binder and the probe keys are
-/// `par_evaluable` under the earlier binders. Carries the probe
-/// binders the keys actually mention, so the executor extracts only
-/// those per input row.
+/// parallel lane. Present iff the **probe keys** are [`par_evaluable`]
+/// under the earlier binders — enough for the partition-parallel probe
+/// over a *cached* plain index, which needs no build-side evaluation at
+/// all. `build_ok` additionally records whether the build keys and
+/// pushed filters are `par_evaluable` under the build binder — the
+/// stronger requirement of the inline partition build+probe lane
+/// (uncached joins). Carries the probe binders the keys actually
+/// mention, so the executor extracts only those per input row.
 #[derive(Debug)]
 pub struct ParInfo {
     pub probe_vars: Vec<Symbol>,
+    pub build_ok: bool,
+}
+
+/// Static swappability of a two-generator equi-join: the planner keeps
+/// generator order, but when the *first* generator's side already has a
+/// live cached index — or is the smaller relation while neither side is
+/// cached — building on it instead is a pure physical flip. Computed in
+/// [`LogicalPlan::physical`] only when the flip is unobservable: both
+/// sources independent, the first lowered to a bare `Scan`, the would-be
+/// build keys and filters closed under the first binder (so the swapped
+/// build is cacheable under `fingerprint`), and the comprehension's
+/// result expression planner-safe (a swap enumerates bindings
+/// probe-major over the *other* side, so an effectful result could
+/// observe the order change; a safe result cannot). The decision itself
+/// is taken at open time from store metadata; `explain` renders the
+/// prediction as `HashJoin[idx cached, swapped]`.
+#[derive(Debug)]
+pub struct SwapInfo {
+    /// Store fingerprint of the swapped-orientation build table (over
+    /// the first generator's relation, keyed by the probe expressions).
+    pub fingerprint: String,
+    /// Parallel eligibility of the swapped orientation's probe side
+    /// (the original build keys under the join binder).
+    pub par: Option<ParInfo>,
 }
 
 /// One key of an [`PhysOp::IndexScan`]: an equality conjunct
@@ -146,15 +183,21 @@ pub enum PhysOp<'a> {
         probe_keys: Vec<&'a Expr>,
         build_keys: Vec<&'a Expr>,
         fingerprint: Option<String>,
-        /// `Some` when the join is statically eligible for the
-        /// partition-parallel plain-value lane (see the parallel
-        /// execution contract in the crate docs). Whether an execution
-        /// actually parallelizes is decided at open time: the lane must
-        /// be enabled with >1 worker threads, the build table must not
-        /// be served by the index store, the build side must clear
-        /// [`machiavelli_value::tuning::par_join_min_build_rows`], and
-        /// every row and key must extract to plain data.
+        /// `Some` when the join's probe side is statically eligible for
+        /// the plain-value lane (see the parallel execution contract in
+        /// the crate docs): a *cached plain* build table can then be
+        /// probed by parallel workers; `par.build_ok` additionally
+        /// enables the inline partition build+probe for uncached
+        /// builds. Whether an execution actually parallelizes is
+        /// decided at open time: the lane must be enabled with >1
+        /// worker threads, size cutoffs
+        /// ([`machiavelli_value::tuning::par_join_min_build_rows`] /
+        /// [`machiavelli_value::tuning::par_probe_min_rows`]) must
+        /// clear, and every key must extract to plain data.
         par: Option<ParInfo>,
+        /// `Some` when the build side may be flipped to the first
+        /// generator at open time (see [`SwapInfo`]).
+        swap: Option<SwapInfo>,
     },
     /// Residual predicate evaluation over input rows.
     Filter {
@@ -419,24 +462,64 @@ impl<'a> LogicalPlan<'a> {
                     && build_keys.iter().all(|k| closed_under(k, &binder))
                     && step.filters.iter().all(|c| closed_under(c.expr, &binder)))
                 .then(|| join_fingerprint(step.source, step.var, &build_keys, &step.filters));
-                // Parallel-lane eligibility: both sides' key closures
-                // (and the pushed build filters) must be evaluable by
-                // the plain mini-evaluator under their own binders —
-                // the same closure discipline the store uses, plus the
+                // Parallel-lane eligibility. Probe-key coverage by the
+                // plain mini-evaluator is enough to probe a *cached*
+                // plain index in parallel (no build-side evaluation
+                // happens at all); the inline partition build+probe
+                // additionally needs the build keys and pushed filters
+                // covered under the build binder (`build_ok`) — the
+                // same closure discipline the store uses, plus the
                 // mini-evaluator's coverage test.
-                let par = (build_keys.iter().all(|k| par_evaluable(k, &binder))
-                    && step.filters.iter().all(|c| par_evaluable(c.expr, &binder))
-                    && probe_keys.iter().all(|k| par_evaluable(k, &earlier)))
-                .then(|| ParInfo {
-                    probe_vars: earlier
-                        .iter()
-                        .copied()
-                        .filter(|v| {
-                            let v = [*v];
-                            probe_keys.iter().any(|k| mentions_any(k, &v))
-                        })
-                        .collect(),
-                });
+                let par = probe_keys
+                    .iter()
+                    .all(|k| par_evaluable(k, &earlier))
+                    .then(|| ParInfo {
+                        probe_vars: earlier
+                            .iter()
+                            .copied()
+                            .filter(|v| {
+                                let v = [*v];
+                                probe_keys.iter().any(|k| mentions_any(k, &v))
+                            })
+                            .collect(),
+                        build_ok: build_keys.iter().all(|k| par_evaluable(k, &binder))
+                            && step.filters.iter().all(|c| par_evaluable(c.expr, &binder)),
+                    });
+                // Swappability: a two-generator join over a bare first
+                // Scan may flip its build side at open time when the
+                // flip is unobservable and the swapped build would be
+                // cacheable (see [`SwapInfo`]).
+                let swap = if earlier.len() == 1 && store_enabled() && is_safe_expr(self.result) {
+                    match &root {
+                        PhysOp::Scan {
+                            var: pvar,
+                            source: psource,
+                            filters: pfilters,
+                        } => {
+                            let pbinder = [*pvar];
+                            (stable_source(psource)
+                                && probe_keys.iter().all(|k| closed_under(k, &pbinder))
+                                && pfilters.iter().all(|c| closed_under(c.expr, &pbinder)))
+                            .then(|| SwapInfo {
+                                fingerprint: join_fingerprint(
+                                    psource,
+                                    *pvar,
+                                    &probe_keys,
+                                    pfilters,
+                                ),
+                                par: build_keys.iter().all(|k| par_evaluable(k, &binder)).then(
+                                    || ParInfo {
+                                        probe_vars: vec![step.var],
+                                        build_ok: false,
+                                    },
+                                ),
+                            })
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
                 PhysOp::HashJoin {
                     input: Box::new(root),
                     var: step.var,
@@ -446,6 +529,7 @@ impl<'a> LogicalPlan<'a> {
                     build_keys,
                     fingerprint,
                     par,
+                    swap,
                 }
             } else {
                 PhysOp::NestedLoop {
@@ -526,8 +610,11 @@ fn as_set<E>(v: Value) -> Result<MSet, ExecError<E>> {
 
 /// Build a hash-join build table: pushed filters prune rows, then each
 /// row is keyed in the *outer* environment extended with only its own
-/// binding (keys mention only this binder). Groups accumulate in source
-/// (canonical set) order.
+/// binding (keys mention only this binder). Groups hold **row indices**
+/// into the relation's canonical slice, accumulated in source order
+/// (each group's list ascends) — the executor re-binds matches by
+/// index, and the store can re-represent the whole grouping in plain
+/// form without touching the rows again.
 fn build_join_index<H: EvalHook>(
     items: &MSet,
     var: Symbol,
@@ -538,7 +625,7 @@ fn build_join_index<H: EvalHook>(
 ) -> Result<Index, ExecError<H::Error>> {
     #[allow(clippy::mutable_key_type)] // refs hash by identity
     let mut table = Index::with_capacity(items.len());
-    for item in items.iter() {
+    for (i, item) in items.iter().enumerate() {
         let row_env = env.bind(var, item.clone());
         if !check_all(filters, &row_env, hook)? {
             continue;
@@ -549,7 +636,7 @@ fn build_join_index<H: EvalHook>(
                 .map(|k| hook.eval(&row_env, k))
                 .collect::<Result<_, _>>()?,
         );
-        table.entry(key).or_default().push(item.clone());
+        table.entry(key).or_default().push(i as u32);
     }
     Ok(table)
 }
@@ -566,30 +653,32 @@ fn build_scan_index<H: EvalHook>(
 ) -> Result<Index, ExecError<H::Error>> {
     #[allow(clippy::mutable_key_type)] // refs hash by identity
     let mut table = Index::with_capacity(items.len());
-    for item in items.iter() {
+    for (i, item) in items.iter().enumerate() {
         let row_env = env.bind(var, item.clone());
         let key = KeyTuple(
             keys.iter()
                 .map(|k| hook.eval(&row_env, k.on))
                 .collect::<Result<_, _>>()?,
         );
-        table.entry(key).or_default().push(item.clone());
+        table.entry(key).or_default().push(i as u32);
     }
     Ok(table)
 }
 
 /// Fetch-or-build an index through the store. The hook is never called
 /// while the store is borrowed (a nested query evaluated by the hook
-/// may consult the store itself), and a build error caches nothing.
+/// may consult the store itself), and a build error caches nothing. The
+/// store decides the representation: plain (`Send + Sync`,
+/// parallel-probable) when the relation extracts, `Rc`-lane otherwise.
 #[allow(clippy::mutable_key_type)] // refs hash by identity
 fn obtain_index<H: EvalHook>(
     items: &MSet,
     fingerprint: &str,
     build: impl FnOnce(&mut H) -> Result<Index, ExecError<H::Error>>,
     hook: &mut H,
-) -> Result<Rc<Index>, ExecError<H::Error>> {
+) -> Result<CachedIndex, ExecError<H::Error>> {
     if !store_enabled() {
-        return Ok(Rc::new(build(hook)?));
+        return Ok(CachedIndex::Local(Rc::new(build(hook)?)));
     }
     if let Some(idx) = with_store(|s| s.lookup(items, fingerprint)) {
         return Ok(idx);
@@ -614,13 +703,14 @@ fn seq_join_fallback<'p, H: EvalHook>(
     hook: &mut H,
 ) -> Result<Node<'p>, ExecError<H::Error>> {
     note_par_join(false);
-    let table = Rc::new(build_join_index(
+    let table = CachedIndex::Local(Rc::new(build_join_index(
         items, var, filters, build_keys, env, hook,
-    )?);
+    )?));
     Ok(Node::HashJoin {
         input,
         var,
         probe_keys,
+        items: items.clone(),
         table,
         cur: None,
     })
@@ -759,9 +849,246 @@ fn open_par_join<'p, H: EvalHook>(
     Ok(Node::ParJoin {
         var,
         rows: items,
-        probe: probe_rows,
+        probe: ParProbe::Envs(probe_rows),
         matches,
         cursor: (0, 0),
+        cur_env: None,
+    })
+}
+
+/// Open a hash join whose orientation is already fixed: `input` streams
+/// the probe side, `items` is the build relation. Routes between the
+/// three execution shapes in precedence order — the inline partition
+/// lane (uncached, statically `build_ok`, over the build-row cutoff),
+/// the **cached parallel probe** (a store-served *plain* table with
+/// par-evaluable probe keys), and the sequential build/probe.
+#[allow(clippy::too_many_arguments)]
+fn open_keyed_join<'p, H: EvalHook>(
+    input: Box<Node<'p>>,
+    items: MSet,
+    var: Symbol,
+    build_keys: &'p [&'p Expr],
+    filters: &'p [Conjunct<'p>],
+    probe_keys: &'p [&'p Expr],
+    fingerprint: Option<&str>,
+    par: Option<&'p ParInfo>,
+    env: &Env,
+    hook: &mut H,
+) -> Result<Node<'p>, ExecError<H::Error>> {
+    // The inline partition lane serves builds the store will not: a
+    // cached index beats any rebuild, so fingerprinted builds stay on
+    // the store path. Runtime gates: lane enabled, >1 worker threads,
+    // build side over the row cutoff. `open_par_join` then commits to
+    // *some* node — parallel on success, the drained sequential shape
+    // on extraction/evaluation fallback.
+    if fingerprint.is_none() && parallel_enabled() && par_threads() > 1 {
+        if let Some(info) = par {
+            if info.build_ok && items.len() >= par_join_min_build_rows() {
+                return open_par_join(
+                    input, items, var, build_keys, filters, probe_keys, info, env, hook,
+                );
+            }
+        }
+    }
+    let table = match fingerprint {
+        // Cacheable build: request it from the index store (hit ⇒ the
+        // whole build phase — filters and keys — is skipped; all
+        // planner-safe, so unobservable).
+        Some(fp) => obtain_index(
+            &items,
+            fp,
+            |hook| build_join_index(&items, var, filters, build_keys, env, hook),
+            hook,
+        )?,
+        // Environment-dependent build: construct inline.
+        None => CachedIndex::Local(Rc::new(build_join_index(
+            &items, var, filters, build_keys, env, hook,
+        )?)),
+    };
+    // The composed lane: a store-served plain table is `Send + Sync`,
+    // so eligible probe keys fan the probe out over it directly.
+    if let CachedIndex::Plain(index) = &table {
+        if parallel_enabled() && par_threads() > 1 {
+            if let Some(info) = par {
+                let index = index.clone();
+                return open_cached_par_probe(input, items, var, probe_keys, index, info, hook);
+            }
+        }
+    }
+    Ok(Node::HashJoin {
+        input,
+        var,
+        probe_keys,
+        items,
+        table,
+        cur: None,
+    })
+}
+
+/// Probe a cached plain index with parallel workers. Always returns a
+/// usable node: [`Node::ParJoin`] on success, otherwise the sequential
+/// probe over the already-obtained table — with zero behavior change,
+/// since everything evaluated early (the probe pipeline's per-row
+/// expressions) is planner-safe. The probe side must clear
+/// [`machiavelli_value::tuning::par_probe_min_rows`] (distinct from the
+/// build-row cutoff: there is no build to amortize here, only probe
+/// materialization and thread coordination), and draining is
+/// memory-capped exactly like the inline lane's.
+fn open_cached_par_probe<'p, H: EvalHook>(
+    mut input: Box<Node<'p>>,
+    items: MSet,
+    var: Symbol,
+    probe_keys: &'p [&'p Expr],
+    index: Arc<PlainIndex>,
+    info: &'p ParInfo,
+    hook: &mut H,
+) -> Result<Node<'p>, ExecError<H::Error>> {
+    let seq = |input: Box<Node<'p>>, items: MSet, index: Arc<PlainIndex>| Node::HashJoin {
+        input,
+        var,
+        probe_keys,
+        items,
+        table: CachedIndex::Plain(index),
+        cur: None,
+    };
+    // An empty index matches nothing; the sequential node short-circuits
+    // without even pulling the input. Not a fallback — there is no probe
+    // work to parallelize.
+    if index.is_empty() {
+        return Ok(seq(input, items, index));
+    }
+    // Fast path for the dominant shape — the probe side is a bare,
+    // filterless `Scan` of an already-materialized relation (the
+    // two-generator equi-join). Keys extract straight off the relation
+    // slice through borrowed bindings: no per-row environment
+    // allocation, no `Env` materialization, and match envs bind lazily
+    // (only probe rows that actually matched ever get one) — the same
+    // raw-row keying that makes the inline partition lane profitable.
+    if let Node::Scan {
+        var: svar,
+        filters: sfilters,
+        base,
+        items: pitems,
+        idx: 0,
+    } = input.as_ref()
+    {
+        if sfilters.is_empty() {
+            if pitems.len() < par_probe_min_rows() {
+                return Ok(seq(input, items, index));
+            }
+            let mut keys = Vec::with_capacity(pitems.len());
+            let mut keyed_ok = true;
+            for row in pitems.iter() {
+                let row_env = ValueBindings {
+                    head: Some((*svar, row)),
+                    rest: &[],
+                };
+                match extract_key(probe_keys, &row_env) {
+                    Some(key) => keys.push(key),
+                    None => {
+                        keyed_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !keyed_ok {
+                // Nothing was drained: the untouched Scan replays
+                // through the sequential probe.
+                note_par_probe(false);
+                return Ok(seq(input, items, index));
+            }
+            let matches = par_probe_cached(&index, &keys, par_threads());
+            note_par_probe(true);
+            let probe = ParProbe::Rows {
+                base: base.clone(),
+                var: *svar,
+                items: pitems.clone(),
+            };
+            return Ok(Node::ParJoin {
+                var,
+                rows: items,
+                probe,
+                matches,
+                cursor: (0, 0),
+                cur_env: None,
+            });
+        }
+    }
+    // Materialize the probe side (upstream per-row work is planner-safe;
+    // evaluating it before the first result row is unobservable),
+    // capped like the inline lane.
+    let max_probe = machiavelli_value::tuning::par_join_max_probe_rows(items.len());
+    let mut probe_rows: Vec<Env> = Vec::new();
+    let mut drained_all = true;
+    while let Some(row) = input.next(hook)? {
+        probe_rows.push(row);
+        if probe_rows.len() >= max_probe {
+            drained_all = false;
+            break;
+        }
+    }
+    if !drained_all {
+        note_par_probe(false);
+        let drained = Box::new(Node::Materialized {
+            rows: probe_rows,
+            idx: 0,
+            rest: Some(input),
+        });
+        return Ok(seq(drained, items, index));
+    }
+    let drained = |probe_rows| {
+        Box::new(Node::Materialized {
+            rows: probe_rows,
+            idx: 0,
+            rest: None,
+        })
+    };
+    // Below the probe cutoff the sequential probe wins; not counted as
+    // a fallback (a size gate, not a runtime decline).
+    if probe_rows.len() < par_probe_min_rows() {
+        return Ok(seq(drained(probe_rows), items, index));
+    }
+    let mut keys = Vec::with_capacity(probe_rows.len());
+    let mut keyed_ok = true;
+    'probe: for row in &probe_rows {
+        let mut bound: Vec<(Symbol, Value)> = Vec::with_capacity(info.probe_vars.len());
+        for v in &info.probe_vars {
+            match row.lookup(*v) {
+                Some(val) => bound.push((*v, val)),
+                None => {
+                    keyed_ok = false;
+                    break 'probe;
+                }
+            }
+        }
+        let row_env = ValueBindings {
+            head: None,
+            rest: &bound,
+        };
+        match extract_key(probe_keys, &row_env) {
+            Some(key) => keys.push(key),
+            None => {
+                keyed_ok = false;
+                break 'probe;
+            }
+        }
+    }
+    if !keyed_ok {
+        // A probe key declined extraction (identity-bearing value or an
+        // unsupported runtime shape): replay the drained rows through
+        // the sequential probe — identical bindings, identical errors.
+        note_par_probe(false);
+        return Ok(seq(drained(probe_rows), items, index));
+    }
+    let matches = par_probe_cached(&index, &keys, par_threads());
+    note_par_probe(true);
+    Ok(Node::ParJoin {
+        var,
+        rows: items,
+        probe: ParProbe::Envs(probe_rows),
+        matches,
+        cursor: (0, 0),
+        cur_env: None,
     })
 }
 
@@ -797,11 +1124,16 @@ enum Node<'p> {
         input: Box<Node<'p>>,
         var: Symbol,
         probe_keys: &'p [&'p Expr],
-        /// Build rows grouped by key, in source (canonical set) order —
-        /// shared with the index store on a cache hit.
-        table: Rc<Index>,
+        /// The build relation: match indices resolve into its canonical
+        /// slice (the entry's pinned clone shares this storage on a
+        /// cache hit, so indices are valid by construction).
+        items: MSet,
+        /// Build-row indices grouped by key, in source (canonical set)
+        /// order — shared with the index store on a cache hit, in plain
+        /// or `Rc`-lane form.
+        table: CachedIndex,
         /// The in-flight probe binding and its match cursor.
-        cur: Option<(Env, Vec<Value>, usize)>,
+        cur: Option<(Env, Vec<u32>, usize)>,
     },
     /// A (possibly partially) drained input: the parallel lane
     /// materializes the probe side before fanning out; if it then has
@@ -822,14 +1154,29 @@ enum Node<'p> {
     ParJoin {
         var: Symbol,
         rows: MSet,
-        probe: Vec<Env>,
+        probe: ParProbe,
         matches: Vec<Vec<u32>>,
         cursor: (usize, usize),
+        /// The probe row currently being enumerated, bound at most once
+        /// (only rows with matches are ever bound at all on the
+        /// [`ParProbe::Rows`] path).
+        cur_env: Option<(usize, Env)>,
     },
     Filter {
         input: Box<Node<'p>>,
         conjuncts: &'p [Conjunct<'p>],
     },
+}
+
+/// The probe side of a completed [`Node::ParJoin`].
+enum ParProbe {
+    /// Materialized probe environments, one per probe row (general
+    /// pipelines: the rows were drained through the input node).
+    Envs(Vec<Env>),
+    /// A bare filterless scan: probe row `i` is `items[i]`, and its
+    /// environment (`base` extended with the binder) is built lazily —
+    /// only for rows that actually matched.
+    Rows { base: Env, var: Symbol, items: MSet },
 }
 
 impl<'p> Node<'p> {
@@ -898,10 +1245,14 @@ impl<'p> Node<'p> {
                         |hook| build_scan_index(&items, *var, keys, env, hook),
                         hook,
                     )?;
-                    // Cloning the group is len × O(1) `Rc` bumps; rows
-                    // stay in canonical order, exactly as a filter scan
-                    // yields them.
-                    index.get(&KeyTuple(probe)).cloned().unwrap_or_default()
+                    // Re-binding the group is len × O(1) `Rc` bumps;
+                    // indices ascend, so rows stay in canonical order,
+                    // exactly as a filter scan yields them.
+                    index
+                        .rows_for(probe)
+                        .iter()
+                        .map(|&i| items.as_slice()[i as usize].clone())
+                        .collect()
                 };
                 Node::IndexScan {
                     var: *var,
@@ -942,48 +1293,97 @@ impl<'p> Node<'p> {
                 build_keys,
                 fingerprint,
                 par,
+                swap,
             } => {
-                let input = Box::new(Node::open(input, env, hook)?);
-                let items = as_set(hook.eval(env, source)?)?;
-                // The parallel lane serves builds the store will not:
-                // a cached index beats any rebuild, so fingerprinted
-                // builds stay on the store path. Runtime gates: lane
-                // enabled, >1 worker threads, build side over the row
-                // cutoff. `open_par_join` then commits to *some* node —
-                // parallel on success, the drained sequential shape on
-                // extraction/evaluation fallback.
-                if fingerprint.is_none() && parallel_enabled() && par_threads() > 1 {
-                    if let Some(info) = par {
-                        if items.len() >= par_join_min_build_rows() {
-                            return open_par_join(
-                                input, items, *var, build_keys, filters, probe_keys, info, env,
+                // Build-side selection for swappable joins: evaluate
+                // both sources (in generator order — observable
+                // effects/errors stay put), then pick the orientation
+                // from store metadata. A live cached index wins over
+                // everything; with neither orientation cached, the
+                // smaller relation builds, provided it could actually
+                // be cached (a build the budget would decline buys
+                // nothing). `peek` is exact ((storage, fingerprint))
+                // and stats-neutral.
+                if let Some(sw) = swap {
+                    if let PhysOp::Scan {
+                        var: pvar,
+                        source: psource,
+                        filters: pfilters,
+                    } = input.as_ref()
+                    {
+                        let first = as_set(hook.eval(env, psource)?)?;
+                        let second = as_set(hook.eval(env, source)?)?;
+                        let (normal_cached, swapped_cached, budget) = with_store(|s| {
+                            (
+                                fingerprint.as_ref().is_some_and(|fp| s.peek(&second, fp)),
+                                s.peek(&first, &sw.fingerprint),
+                                s.budget_rows(),
+                            )
+                        });
+                        let do_swap = !normal_cached
+                            && (swapped_cached
+                                || (first.len() < second.len() && first.len() <= budget));
+                        return if do_swap {
+                            // Exchanged roles: the first generator's
+                            // relation builds (keyed by the old probe
+                            // expressions, its pushed filters baked
+                            // in), the second streams as the probe.
+                            let probe_node = Box::new(Node::Scan {
+                                var: *var,
+                                filters,
+                                base: env.clone(),
+                                items: second,
+                                idx: 0,
+                            });
+                            open_keyed_join(
+                                probe_node,
+                                first,
+                                *pvar,
+                                probe_keys,
+                                pfilters,
+                                build_keys,
+                                Some(&sw.fingerprint),
+                                sw.par.as_ref(),
+                                env,
                                 hook,
-                            );
-                        }
+                            )
+                        } else {
+                            let input = Box::new(Node::Scan {
+                                var: *pvar,
+                                filters: pfilters,
+                                base: env.clone(),
+                                items: first,
+                                idx: 0,
+                            });
+                            open_keyed_join(
+                                input,
+                                second,
+                                *var,
+                                build_keys,
+                                filters,
+                                probe_keys,
+                                fingerprint.as_deref(),
+                                par.as_ref(),
+                                env,
+                                hook,
+                            )
+                        };
                     }
                 }
-                let table = match fingerprint {
-                    // Cacheable build: request it from the index store
-                    // (hit ⇒ the whole build phase — filters and keys —
-                    // is skipped; all planner-safe, so unobservable).
-                    Some(fp) => obtain_index(
-                        &items,
-                        fp,
-                        |hook| build_join_index(&items, *var, filters, build_keys, env, hook),
-                        hook,
-                    )?,
-                    // Environment-dependent build: construct inline.
-                    None => Rc::new(build_join_index(
-                        &items, *var, filters, build_keys, env, hook,
-                    )?),
-                };
-                Node::HashJoin {
+                let input = Box::new(Node::open(input, env, hook)?);
+                let items = as_set(hook.eval(env, source)?)?;
+                open_keyed_join(
                     input,
-                    var: *var,
+                    items,
+                    *var,
+                    build_keys,
+                    filters,
                     probe_keys,
-                    table,
-                    cur: None,
-                }
+                    fingerprint.as_deref(),
+                    par.as_ref(),
+                    env,
+                    hook,
+                )?
             }
             PhysOp::Filter { input, conjuncts } => Node::Filter {
                 input: Box::new(Node::open(input, env, hook)?),
@@ -1061,12 +1461,13 @@ impl<'p> Node<'p> {
                 input,
                 var,
                 probe_keys,
+                items,
                 table,
                 cur,
             } => loop {
                 if let Some((outer, matches, idx)) = cur {
                     if *idx < matches.len() {
-                        let item = matches[*idx].clone();
+                        let item = items.as_slice()[matches[*idx] as usize].clone();
                         *idx += 1;
                         return Ok(Some(outer.bind(*var, item)));
                     }
@@ -1087,15 +1488,15 @@ impl<'p> Node<'p> {
                 let Some(outer) = input.next(hook)? else {
                     return Ok(None);
                 };
-                let key = KeyTuple(
-                    probe_keys
-                        .iter()
-                        .map(|k| hook.eval(&outer, k))
-                        .collect::<Result<_, _>>()?,
-                );
-                if let Some(matches) = table.get(&key) {
-                    // Cloning the match list is len × O(1) `Rc` bumps.
-                    *cur = Some((outer, matches.clone(), 0));
+                let key: Vec<Value> = probe_keys
+                    .iter()
+                    .map(|k| hook.eval(&outer, k))
+                    .collect::<Result<_, _>>()?;
+                let matches = table.rows_for(key);
+                if !matches.is_empty() {
+                    // Copying the index list is a small memcpy; rows
+                    // re-bind lazily above (len × O(1) `Rc` bumps).
+                    *cur = Some((outer, matches.to_vec(), 0));
                 }
             },
             Node::Materialized { rows, idx, rest } => {
@@ -1115,16 +1516,32 @@ impl<'p> Node<'p> {
                 probe,
                 matches,
                 cursor,
+                cur_env,
             } => loop {
                 let (i, j) = *cursor;
-                if i >= probe.len() {
+                if i >= matches.len() {
                     return Ok(None);
                 }
                 let group = &matches[i];
                 if j < group.len() {
                     *cursor = (i, j + 1);
                     let item = rows.as_slice()[group[j] as usize].clone();
-                    return Ok(Some(probe[i].bind(*var, item)));
+                    let outer = match probe {
+                        ParProbe::Envs(envs) => envs[i].clone(),
+                        ParProbe::Rows {
+                            base,
+                            var: svar,
+                            items,
+                        } => match cur_env {
+                            Some((ci, env)) if *ci == i => env.clone(),
+                            _ => {
+                                let env = base.bind(*svar, items.as_slice()[i].clone());
+                                *cur_env = Some((i, env.clone()));
+                                env
+                            }
+                        },
+                    };
+                    return Ok(Some(outer.bind(*var, item)));
                 }
                 *cursor = (i + 1, 0);
             },

@@ -7,9 +7,22 @@
 //! The planner's hash-join and index-scan operators request their build
 //! tables here before constructing them inline; everything else in the
 //! pipeline is unchanged. An index is a grouping of a relation's rows by
-//! the values of its key expressions — [`Index`] maps an owned
-//! [`KeyTuple`] (structural hash, `value_eq` equality, exactly like the
-//! executor's probe keys) to the matching rows in canonical set order.
+//! the values of its key expressions, stored as **row indices** into the
+//! relation's canonical slice (each group's list ascending = canonical
+//! set order, the same order an inline build yields, so cached and fresh
+//! probes produce identical row sequences). It comes in two
+//! representations ([`CachedIndex`]):
+//!
+//! * **Plain** ([`PlainIndex`]) — keys and a snapshot of the rows in
+//!   `Send + Sync` plain form (`machiavelli_value::plain`), built
+//!   whenever every relation row extracts via `to_plain`. A plain entry
+//!   is shareable across threads, which is what lets the planner run
+//!   its **partition-parallel probe directly against the cache**: the
+//!   PR 3 store and the PR 4 parallel lane compose instead of excluding
+//!   each other.
+//! * **Local** — the `Rc`-lane [`Index`] keyed by [`KeyTuple`], for
+//!   relations carrying identity-bearing data (refs, dynamics) that has
+//!   no plain form. Cached and probed sequentially, exactly as before.
 //!
 //! # Index store & invalidation contract
 //!
@@ -28,20 +41,34 @@
 //!    forces all outside mutation down the copy-on-write path (the
 //!    entry's extra `Rc` reference makes in-place `Rc::make_mut`
 //!    impossible) and (b) pins the allocation so its address cannot be
-//!    recycled for a different set while the entry lives.
-//! 2. **Epoch invalidation on reference writes.** Structure is not the
-//!    whole story: rows may contain `ref` cells whose *contents* mutate
-//!    without changing the set (`x.Dept := …`). Key and filter
-//!    expressions admitted by the planner are reference-free (the
-//!    planner-safe class), so index *contents* cannot actually go stale
-//!    this way — but the store does not rely on that analysis being
-//!    airtight. Every reference write (funnelled through
-//!    [`machiavelli_value::RefValue::set`]) bumps the thread's
-//!    [`mutation_epoch`], and the store drops **all** entries built
-//!    under an older epoch before serving anything. Conservative —
-//!    a write-heavy workload rebuilds its indexes — and obviously
-//!    correct: no query after a mutation can observe a pre-mutation
-//!    index.
+//!    recycled for a different set while the entry lives. An entry
+//!    orphaned by a rebuild is *dead*, never *stale* — nothing can look
+//!    it up again, and the LRU budget reclaims it.
+//! 2. **Dependency-tracked invalidation on reference writes.**
+//!    Structure is not the whole story: rows may contain `ref` cells
+//!    whose *contents* mutate without changing the set (`x.Dept := …`).
+//!    Key and filter expressions admitted by the planner are
+//!    reference-*content*-free (the planner-safe class reads no ref
+//!    contents — ref-valued keys group by immutable identity), so index
+//!    contents cannot actually go stale this way — but the store does
+//!    not rely on that analysis being airtight. At build time each
+//!    entry records the identities of every ref **reachable** from its
+//!    relation ([`machiavelli_value::scan_refs`]; empty by construction
+//!    for plain entries, which cannot contain refs at all). Every
+//!    reference write (funnelled through
+//!    [`machiavelli_value::RefValue::set`]) advances the thread's
+//!    mutation epoch and records the written identity in a dirty set;
+//!    before serving anything the store drains the dirty set and evicts
+//!    exactly the entries whose recorded sources intersect it. A write
+//!    to a ref no cached relation can reach — the common case under
+//!    mixed read/write traffic — **evicts nothing**, where the PR 4
+//!    contract dropped the whole store. Unattributed writes and dirty-
+//!    set overflow degrade to evicting every ref-reachable (and
+//!    closure-opaque) entry; the PR 4 whole-store clear itself survives
+//!    as a paranoid A/B mode behind
+//!    [`machiavelli_value::tuning::set_store_epoch_clear`], which the
+//!    equivalence property tests run against the precise mode (same
+//!    visible results, strictly fewer evictions).
 //! 3. **Closed fingerprints over stable sources.** The fingerprint
 //!    (produced by the planner) renders the source, key and
 //!    pushed-filter expressions; the planner only marks an index
@@ -63,15 +90,22 @@
 //!
 //! Memory is bounded by a row **budget**: entries are evicted
 //! least-recently-used when the total number of cached rows exceeds it,
-//! and a relation larger than the whole budget is never cached at all.
-//! Counters ([`StoreStats`]) record hits, misses, builds, invalidations
-//! and evictions for the REPL's `:stats` and regression tests.
+//! and a relation larger than the whole budget is never cached at all
+//! (a budget of zero disables caching outright). Counters
+//! ([`StoreStats`]) record hits, misses, builds, per-reason
+//! invalidations and evictions for the REPL's `:stats` and regression
+//! tests; [`IndexStore::indexes`] lists live entries in deterministic
+//! (fingerprint, storage-id) order so goldens can pin it.
 
-use machiavelli_value::{hash_value, mutation_epoch, value_eq, MSet, Value};
+use machiavelli_value::plain::{to_plain, PlainIndex, PlainKey};
+use machiavelli_value::{
+    hash_value, mutation_epoch, scan_refs, take_dirty_refs, value_eq, MSet, RefScan, Value,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// An owned composite hash key: structural hash, `value_eq` equality —
 /// consistent by construction (see `machiavelli_value::hash`), owning
@@ -95,11 +129,89 @@ impl PartialEq for KeyTuple {
 
 impl Eq for KeyTuple {}
 
-/// A structural hash index: rows grouped by key value, each group in
-/// canonical (sorted-set) order — the same order an inline build
-/// produces, so cached and fresh probes yield identical row sequences.
+/// The `Rc`-lane structural index: **row indices** (into the relation's
+/// canonical slice) grouped by key value, each group ascending — the
+/// same order an inline build produces, so cached and fresh probes
+/// yield identical row sequences. The executor re-binds matches by
+/// index from the live relation, so groups never clone rows.
 #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
-pub type Index = HashMap<KeyTuple, Vec<Value>>;
+pub type Index = HashMap<KeyTuple, Vec<u32>>;
+
+/// A grouping in one of its two representations. `Plain` whenever the
+/// whole relation extracts to plain form (then the index is
+/// `Send + Sync` and the planner may probe it from worker threads);
+/// `Local` otherwise (sequential probes only). Both resolve probes to
+/// row-index slices; the caller re-binds rows from the relation it
+/// evaluated.
+#[derive(Debug, Clone)]
+pub enum CachedIndex {
+    Plain(Arc<PlainIndex>),
+    Local(Rc<Index>),
+}
+
+impl CachedIndex {
+    pub fn is_empty(&self) -> bool {
+        match self {
+            CachedIndex::Plain(p) => p.is_empty(),
+            CachedIndex::Local(idx) => idx.is_empty(),
+        }
+    }
+
+    /// Distinct key groups.
+    pub fn groups(&self) -> usize {
+        match self {
+            CachedIndex::Plain(p) => p.group_count(),
+            CachedIndex::Local(idx) => idx.len(),
+        }
+    }
+
+    /// Rows held across all groups (≤ the relation size when pushed
+    /// filters pruned).
+    pub fn indexed_rows(&self) -> usize {
+        match self {
+            CachedIndex::Plain(p) => p.indexed_rows(),
+            CachedIndex::Local(idx) => idx.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// The matching row indices for an `Rc`-lane key tuple (empty when
+    /// absent). Plain indexes are probed through their borrowed
+    /// value-side lookup (`hash_value` digests land in `plain_hash`
+    /// buckets, values compare structurally without extraction) — no
+    /// per-probe conversion or allocation; a key that has no plain form
+    /// (an identity-bearing `ref`/`dynamic`) cannot structurally equal
+    /// any plain-formed key, so the empty group is exact, not
+    /// approximate.
+    pub fn rows_for(&self, key: Vec<Value>) -> &[u32] {
+        match self {
+            CachedIndex::Local(idx) => idx
+                .get(&KeyTuple(key))
+                .map(Vec::as_slice)
+                .unwrap_or_default(),
+            CachedIndex::Plain(p) => p.get_by_values(&key),
+        }
+    }
+}
+
+/// Which representation a live entry holds — surfaced by
+/// [`IndexStore::fingerprint_kind`] so plan explanation can predict
+/// whether the next execution may probe in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// `Send + Sync` plain keys + row snapshot: parallel-probable.
+    Plain,
+    /// `Rc`-lane keys (identity-bearing rows): sequential probes only.
+    Rc,
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexKind::Plain => "plain",
+            IndexKind::Rc => "rc",
+        })
+    }
+}
 
 /// Cumulative statistics, exposed through `Session::store_stats` and
 /// the REPL's `:stats`.
@@ -112,12 +224,21 @@ pub struct StoreStats {
     /// Indexes inserted after a miss (== builds that went through the
     /// store; inline uncacheable builds are not counted).
     pub builds: u64,
-    /// Entries dropped because a reference write advanced the epoch.
+    /// Entries evicted because a **written ref was reachable** from
+    /// their relation (dirty-set intersection — the precise reason).
     pub invalidated: u64,
+    /// Entries dropped by a **whole-store clear**: the paranoid
+    /// epoch-clear mode, or a dirty-set overflow / unattributed write
+    /// (no identity to intersect against).
+    pub cleared: u64,
     /// Entries dropped by the LRU row budget.
     pub evicted: u64,
     /// Live entries right now.
     pub entries: usize,
+    /// Live entries in plain (parallel-probable) form.
+    pub plain_entries: usize,
+    /// Live entries on the `Rc` lane.
+    pub rc_entries: usize,
     /// Total *relation* rows pinned by live entries (the budgeted
     /// quantity — an entry keeps a clone of its whole relation alive,
     /// so it is charged the relation's size even when pushed filters
@@ -130,6 +251,8 @@ pub struct StoreStats {
 pub struct IndexInfo {
     /// The planner's rendering of the indexed key/filter expressions.
     pub fingerprint: String,
+    /// Representation: plain (parallel-probable) or `Rc`-lane.
+    pub kind: IndexKind,
     /// Rows held by the index (after pushed filters).
     pub rows: usize,
     /// Distinct key groups.
@@ -138,11 +261,45 @@ pub struct IndexInfo {
     pub hits: u64,
 }
 
+/// What a written ref can invalidate about one entry.
+#[derive(Debug)]
+enum RefSources {
+    /// Sorted identities of every ref reachable from the pinned
+    /// relation at build time. Empty for plain entries (plain data
+    /// cannot contain refs).
+    Ids(Box<[u64]>),
+    /// The relation holds values whose reachability cannot be traced
+    /// (closures): any write may reach it.
+    Opaque,
+}
+
+impl RefSources {
+    fn of(set: &MSet) -> RefSources {
+        let mut scan = RefScan::default();
+        for row in set.iter() {
+            scan_refs(row, &mut scan);
+            if scan.opaque {
+                return RefSources::Opaque;
+            }
+        }
+        RefSources::Ids(scan.into_sorted_ids().into())
+    }
+
+    fn dirtied_by(&self, dirty: &machiavelli_value::DirtyRefs) -> bool {
+        match self {
+            RefSources::Opaque => true,
+            RefSources::Ids(ids) => dirty.intersects(ids),
+        }
+    }
+}
+
 struct Entry {
     /// A clone of the indexed relation: pins the storage address and
     /// forces outside mutation down the copy-on-write path.
     set: MSet,
-    index: Rc<Index>,
+    index: CachedIndex,
+    /// The refs a write could reach through this entry's relation.
+    sources: RefSources,
     /// Rows held by the index (≤ `charge`; pushed filters prune).
     rows: usize,
     /// What this entry costs against the budget: the *pinned relation's*
@@ -165,7 +322,7 @@ pub const DEFAULT_BUDGET_ROWS: usize = machiavelli_value::tuning::DEFAULT_STORE_
 
 /// The memoizing index store. One per thread (see [`with_store`]); all
 /// methods take `&mut self` because even lookups update recency and
-/// epoch state.
+/// invalidation state.
 ///
 /// Entries are keyed storage-id-first, fingerprint second: the hot-path
 /// [`IndexStore::lookup`] (one per hash-join open in a repeated-plan
@@ -195,20 +352,58 @@ impl IndexStore {
         }
     }
 
-    /// Drop every entry built before the current mutation epoch. Called
-    /// on the way into every public operation, so no stale entry is
-    /// ever *observable* — mechanism 2 of the invalidation contract.
-    fn validate_epoch(&mut self) {
+    /// React to reference writes since the last call. Called on the way
+    /// into every public operation, so no affected entry is ever
+    /// *observable* — mechanism 2 of the invalidation contract. The
+    /// mutation epoch is the cheap "did anything happen" check; when it
+    /// moved, the dirty-ref set names the written identities and only
+    /// intersecting entries are evicted (all of them, under the
+    /// paranoid whole-clear mode or when identities were lost).
+    fn validate(&mut self) {
         let now = mutation_epoch();
         if self.epoch == now {
             return;
         }
         self.epoch = now;
-        let dropped = self.len();
-        if dropped > 0 {
+        let dirty = take_dirty_refs();
+        if self.entries.is_empty() {
+            return;
+        }
+        if machiavelli_value::tuning::store_epoch_clear() {
+            // Paranoid A/B mode: the PR 4 contract — any write drops
+            // everything. Kept so equivalence tests can cross-check the
+            // precise mode below against it.
+            let dropped = self.len();
             self.entries.clear();
             self.cached_rows = 0;
-            self.stats.invalidated += dropped as u64;
+            self.stats.cleared += dropped as u64;
+            return;
+        }
+        debug_assert!(
+            !dirty.is_empty(),
+            "the epoch moved, so some write must have been recorded"
+        );
+        // Precise mode: evict exactly the entries a written ref can
+        // reach. `dirty.overflowed` (identities lost) makes
+        // `dirtied_by` true for every ref-bearing entry; ref-free
+        // entries survive even that.
+        let mut dropped = 0u64;
+        self.entries.retain(|_, by_fp| {
+            by_fp.retain(|_, e| {
+                if e.sources.dirtied_by(&dirty) {
+                    self.cached_rows -= e.charge;
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            !by_fp.is_empty()
+        });
+        if dirty.overflowed {
+            self.stats.cleared += dropped;
+        } else {
+            self.stats.invalidated += dropped;
         }
     }
 
@@ -217,10 +412,10 @@ impl IndexStore {
     }
 
     /// Fetch the cached index for `set` under `fingerprint`, if one was
-    /// built for *this exact storage* in the current epoch. Updates
-    /// recency and hit/miss counters.
-    pub fn lookup(&mut self, set: &MSet, fingerprint: &str) -> Option<Rc<Index>> {
-        self.validate_epoch();
+    /// built for *this exact storage* and not invalidated since.
+    /// Updates recency and hit/miss counters.
+    pub fn lookup(&mut self, set: &MSet, fingerprint: &str) -> Option<CachedIndex> {
+        self.validate();
         self.tick += 1;
         match self
             .entries
@@ -244,27 +439,53 @@ impl IndexStore {
         }
     }
 
-    /// Insert a freshly built index for `set` under `fingerprint`,
-    /// returning the shared handle the caller should probe. Relations
-    /// larger than the whole budget are not cached (the handle is still
-    /// returned, so the calling query proceeds normally); otherwise the
+    /// Is there a live entry for exactly this (storage, fingerprint)
+    /// key? A stats-neutral decision probe (no hit/miss counting, no
+    /// recency touch) — the planner's build-side-selection uses it to
+    /// choose an orientation before committing to a lookup.
+    pub fn peek(&mut self, set: &MSet, fingerprint: &str) -> bool {
+        self.validate();
+        self.entries
+            .get(&set.storage_id())
+            .is_some_and(|by_fp| by_fp.contains_key(fingerprint))
+    }
+
+    /// Insert a freshly built grouping for `set` under `fingerprint`,
+    /// returning the shared handle the caller should probe. The
+    /// grouping arrives as `Rc`-lane key tuples over row indices; the
+    /// store re-represents it in plain form when the whole relation
+    /// extracts (`to_plain`), which is what makes the entry
+    /// parallel-probable — relations with no plain form stay on the
+    /// `Rc` lane. Relations larger than the whole budget are not cached
+    /// (the handle is still returned, so the calling query proceeds
+    /// normally, without paying the plain conversion); otherwise the
     /// least-recently-used entries are evicted until the budget holds.
     #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
-    pub fn insert(&mut self, set: &MSet, fingerprint: &str, index: Index) -> Rc<Index> {
-        self.validate_epoch();
+    pub fn insert(&mut self, set: &MSet, fingerprint: &str, groups: Index) -> CachedIndex {
+        self.validate();
         self.tick += 1;
-        let rows: usize = index.values().map(Vec::len).sum();
+        let rows: usize = groups.values().map(Vec::len).sum();
         // Budget by the relation being pinned, not the filtered index:
         // the entry's set clone keeps every row alive either way.
         let charge = set.len();
-        let index = Rc::new(index);
         if charge > self.budget_rows {
-            return index;
+            return CachedIndex::Local(Rc::new(groups));
         }
+        let index = match try_plain(set, &groups) {
+            Some(plain) => CachedIndex::Plain(Arc::new(plain)),
+            None => CachedIndex::Local(Rc::new(groups)),
+        };
+        // Plain entries cannot contain refs (to_plain declines them),
+        // so their source record is empty by construction.
+        let sources = match &index {
+            CachedIndex::Plain(_) => RefSources::Ids(Box::default()),
+            CachedIndex::Local(_) => RefSources::of(set),
+        };
         self.evict_to(self.budget_rows.saturating_sub(charge));
         let entry = Entry {
             set: set.clone(),
             index: index.clone(),
+            sources,
             rows,
             charge,
             last_used: self.tick,
@@ -319,19 +540,31 @@ impl IndexStore {
         }
     }
 
-    /// Is there a live (current-epoch) entry with this fingerprint, for
-    /// any relation? Display-level probe used by plan explanation to
-    /// render `HashJoin[idx cached]` vs `[idx build]` — the executor
-    /// itself always checks the full (storage, fingerprint) key.
+    /// Is there a live entry with this fingerprint, for any relation?
+    /// Display-level probe used by plan explanation to render
+    /// `HashJoin[idx cached]` vs `[idx build]` — the executor itself
+    /// always checks the full (storage, fingerprint) key.
     /// (Fingerprints include the rendered source expression, so two
     /// relations alias here only when queried through the same name —
     /// after a rebind, a fresh build corrects the display on first
     /// execution.)
     pub fn has_fingerprint(&mut self, fingerprint: &str) -> bool {
-        self.validate_epoch();
+        self.fingerprint_kind(fingerprint).is_some()
+    }
+
+    /// The representation of the live entry with this fingerprint, if
+    /// any — the same display-level probe as
+    /// [`IndexStore::has_fingerprint`], additionally saying whether the
+    /// next execution could probe it in parallel (plain entries only).
+    pub fn fingerprint_kind(&mut self, fingerprint: &str) -> Option<IndexKind> {
+        self.validate();
         self.entries
             .values()
-            .any(|by_fp| by_fp.contains_key(fingerprint))
+            .find_map(|by_fp| by_fp.get(fingerprint))
+            .map(|e| match e.index {
+                CachedIndex::Plain(_) => IndexKind::Plain,
+                CachedIndex::Local(_) => IndexKind::Rc,
+            })
     }
 
     /// Drop all entries (statistics are kept; see [`IndexStore::reset`]).
@@ -363,36 +596,72 @@ impl IndexStore {
 
     /// Current statistics (entry/row counts reflect live entries only).
     pub fn stats(&mut self) -> StoreStats {
-        self.validate_epoch();
+        self.validate();
+        let plain_entries = self
+            .entries
+            .values()
+            .flat_map(HashMap::values)
+            .filter(|e| matches!(e.index, CachedIndex::Plain(_)))
+            .count();
+        let entries = self.len();
         StoreStats {
-            entries: self.len(),
+            entries,
+            plain_entries,
+            rc_entries: entries - plain_entries,
             cached_rows: self.cached_rows,
             ..self.stats
         }
     }
 
-    /// Describe the live entries, most-recently-used first.
+    /// Describe the live entries in deterministic order — sorted by
+    /// fingerprint, then storage id — so `:indexes` output can be
+    /// pinned in golden tests regardless of recency history.
     pub fn indexes(&mut self) -> Vec<IndexInfo> {
-        self.validate_epoch();
-        let mut infos: Vec<(u64, IndexInfo)> = self
+        self.validate();
+        let mut infos: Vec<(usize, IndexInfo)> = self
             .entries
-            .values()
-            .flat_map(HashMap::iter)
-            .map(|(fp, e)| {
-                (
-                    e.last_used,
-                    IndexInfo {
-                        fingerprint: fp.clone(),
-                        rows: e.rows,
-                        groups: e.index.len(),
-                        hits: e.hits,
-                    },
-                )
+            .iter()
+            .flat_map(|(storage, by_fp)| {
+                by_fp.iter().map(move |(fp, e)| {
+                    (
+                        *storage,
+                        IndexInfo {
+                            fingerprint: fp.clone(),
+                            kind: match e.index {
+                                CachedIndex::Plain(_) => IndexKind::Plain,
+                                CachedIndex::Local(_) => IndexKind::Rc,
+                            },
+                            rows: e.rows,
+                            groups: e.index.groups(),
+                            hits: e.hits,
+                        },
+                    )
+                })
             })
             .collect();
-        infos.sort_by_key(|(used, _)| std::cmp::Reverse(*used));
+        infos.sort_by(|(sa, a), (sb, b)| a.fingerprint.cmp(&b.fingerprint).then(sa.cmp(sb)));
         infos.into_iter().map(|(_, i)| i).collect()
     }
+}
+
+/// Re-represent a grouping in plain form: the whole relation must
+/// extract row by row (the snapshot doubles as the eligibility test),
+/// and then every key tuple extracts too (keys are planner-safe
+/// functions of plain rows, so this cannot fail once the rows did —
+/// checked anyway).
+#[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
+fn try_plain(set: &MSet, groups: &Index) -> Option<PlainIndex> {
+    let rows: Option<Vec<_>> = set.iter().map(to_plain).collect();
+    let rows = rows?;
+    let mut plain_groups = Vec::with_capacity(groups.len());
+    for (key, idxs) in groups {
+        let plain = match key.0.as_slice() {
+            [single] => PlainKey::One(to_plain(single)?),
+            many => PlainKey::Tuple(many.iter().map(to_plain).collect::<Option<_>>()?),
+        };
+        plain_groups.push((plain, idxs.clone()));
+    }
+    Some(PlainIndex::from_groups(rows.into(), plain_groups))
 }
 
 impl Default for IndexStore {
@@ -428,23 +697,41 @@ pub fn set_store_enabled(on: bool) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use machiavelli_value::bump_mutation_epoch;
+    use machiavelli_value::{bump_mutation_epoch, note_ref_write, RefValue};
 
     fn ints(xs: &[i64]) -> MSet {
         MSet::from_iter(xs.iter().map(|&x| Value::Int(x)))
     }
 
-    /// Group a set of ints by parity — a stand-in for a planner build.
+    /// Group a set by parity of its int rows — a stand-in for a planner
+    /// build (rows carrying refs key on the int in field `K`).
     #[allow(clippy::mutable_key_type)] // refs hash/compare by immutable identity
     fn parity_index(s: &MSet) -> Index {
         let mut idx = Index::new();
-        for v in s.iter() {
-            let Value::Int(n) = v else { panic!() };
+        for (i, v) in s.iter().enumerate() {
+            let n = match v {
+                Value::Int(n) => *n,
+                Value::Record(fs) => match fs.get("K") {
+                    Some(Value::Int(n)) => *n,
+                    _ => panic!(),
+                },
+                _ => panic!(),
+            };
             idx.entry(KeyTuple(vec![Value::Int(n % 2)]))
                 .or_default()
-                .push(v.clone());
+                .push(i as u32);
         }
         idx
+    }
+
+    /// A relation whose rows hold a shared ref (no plain form).
+    fn ref_rows(r: &RefValue, ks: &[i64]) -> MSet {
+        MSet::from_iter(ks.iter().map(|&k| {
+            Value::record([
+                ("K".into(), Value::Int(k)),
+                ("D".into(), Value::Ref(r.clone())),
+            ])
+        }))
     }
 
     #[test]
@@ -455,10 +742,39 @@ mod tests {
         st.insert(&s, "parity", parity_index(&s));
         let alias = s.clone();
         let idx = st.lookup(&alias, "parity").expect("clone shares storage");
-        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.groups(), 2);
         let stats = st.stats();
         assert_eq!((stats.hits, stats.misses, stats.builds), (1, 1, 1));
         assert_eq!((stats.entries, stats.cached_rows), (1, 3));
+    }
+
+    #[test]
+    fn plain_rows_cache_in_plain_form_and_resolve_probes() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2, 3, 4]);
+        let idx = st.insert(&s, "parity", parity_index(&s));
+        assert!(matches!(idx, CachedIndex::Plain(_)), "ints are plain data");
+        // Probing with Rc-lane key values resolves through the plain keys.
+        assert_eq!(idx.rows_for(vec![Value::Int(0)]), &[1, 3]);
+        assert_eq!(idx.rows_for(vec![Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.rows_for(vec![Value::Int(9)]), &[] as &[u32]);
+        // A key with no plain form cannot match any plain key: empty.
+        let refkey = Value::Ref(RefValue::new(Value::Int(0)));
+        assert_eq!(idx.rows_for(vec![refkey]), &[] as &[u32]);
+        let stats = st.stats();
+        assert_eq!((stats.plain_entries, stats.rc_entries), (1, 0));
+    }
+
+    #[test]
+    fn ref_bearing_rows_stay_on_the_rc_lane() {
+        let mut st = IndexStore::new(1000);
+        let d = RefValue::new(Value::Int(7));
+        let s = ref_rows(&d, &[1, 2]);
+        let idx = st.insert(&s, "parity", parity_index(&s));
+        assert!(matches!(idx, CachedIndex::Local(_)));
+        assert_eq!(idx.rows_for(vec![Value::Int(1)]), &[0]);
+        let stats = st.stats();
+        assert_eq!((stats.plain_entries, stats.rc_entries), (0, 1));
     }
 
     #[test]
@@ -486,15 +802,73 @@ mod tests {
     }
 
     #[test]
-    fn ref_write_invalidates_everything() {
+    fn write_to_a_reachable_ref_evicts_exactly_that_entry() {
+        let mut st = IndexStore::new(1000);
+        let d = RefValue::new(Value::Int(7));
+        let with_ref = ref_rows(&d, &[1, 2]);
+        let plain = ints(&[1, 2, 3]);
+        st.insert(&with_ref, "parity", parity_index(&with_ref));
+        st.insert(&plain, "parity", parity_index(&plain));
+        // Writing through the ref reachable from `with_ref` evicts it —
+        // and only it.
+        d.set(Value::Int(8));
+        assert!(st.lookup(&with_ref, "parity").is_none());
+        assert!(st.lookup(&plain, "parity").is_some());
+        let stats = st.stats();
+        assert_eq!(stats.invalidated, 1, "{stats:?}");
+        assert_eq!(stats.cleared, 0, "{stats:?}");
+        assert_eq!(stats.entries, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn write_to_an_unrelated_ref_evicts_nothing() {
         let mut st = IndexStore::new(1000);
         let s = ints(&[1, 2]);
         st.insert(&s, "parity", parity_index(&s));
-        bump_mutation_epoch();
+        let unrelated = RefValue::new(Value::Int(0));
+        unrelated.set(Value::Int(1));
+        assert!(
+            st.lookup(&s, "parity").is_some(),
+            "plain entries survive every write"
+        );
+        let stats = st.stats();
+        assert_eq!((stats.invalidated, stats.cleared), (0, 0), "{stats:?}");
+        // Same for an Rc-lane entry whose refs were not written.
+        let d = RefValue::new(Value::Int(7));
+        let with_ref = ref_rows(&d, &[1]);
+        st.insert(&with_ref, "parity", parity_index(&with_ref));
+        unrelated.set(Value::Int(2));
+        assert!(st.lookup(&with_ref, "parity").is_some());
+        assert_eq!(st.stats().invalidated, 0);
+    }
+
+    #[test]
+    fn unattributed_epoch_bump_clears_ref_bearing_entries_only() {
+        let mut st = IndexStore::new(1000);
+        let plain = ints(&[1, 2]);
+        let d = RefValue::new(Value::Int(7));
+        let with_ref = ref_rows(&d, &[1]);
+        st.insert(&plain, "parity", parity_index(&plain));
+        st.insert(&with_ref, "parity", parity_index(&with_ref));
+        bump_mutation_epoch(); // no identity: poison
+        assert!(st.lookup(&plain, "parity").is_some(), "ref-free survives");
+        assert!(st.lookup(&with_ref, "parity").is_none());
+        let stats = st.stats();
+        assert_eq!((stats.invalidated, stats.cleared), (0, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn paranoid_epoch_clear_mode_drops_everything() {
+        let prev = machiavelli_value::tuning::set_store_epoch_clear(true);
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2]);
+        st.insert(&s, "parity", parity_index(&s));
+        note_ref_write(12345); // any write at all
         assert!(st.lookup(&s, "parity").is_none());
         let stats = st.stats();
-        assert_eq!(stats.invalidated, 1);
-        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.cleared, 1, "{stats:?}");
+        assert_eq!(stats.entries, 0, "{stats:?}");
+        machiavelli_value::tuning::set_store_epoch_clear(prev);
     }
 
     #[test]
@@ -516,11 +890,82 @@ mod tests {
     }
 
     #[test]
+    fn repeated_touches_keep_reordering_the_lru_queue() {
+        // a, b, c fit exactly; every insertion below needs one victim,
+        // and the victim must always be the entry *not* touched since.
+        let mut st = IndexStore::new(6);
+        let a = ints(&[1, 2]);
+        let b = ints(&[3, 4]);
+        let c = ints(&[5, 6]);
+        st.insert(&a, "parity", parity_index(&a));
+        st.insert(&b, "parity", parity_index(&b));
+        st.insert(&c, "parity", parity_index(&c));
+        // Touch order: a, c — so b is least recent.
+        assert!(st.lookup(&a, "parity").is_some());
+        assert!(st.lookup(&c, "parity").is_some());
+        let d = ints(&[7, 8]);
+        st.insert(&d, "parity", parity_index(&d));
+        assert!(st.lookup(&b, "parity").is_none(), "b was the victim");
+        // Touch a again; c is now least recent among (a, c... d newest).
+        assert!(st.lookup(&a, "parity").is_some());
+        let e = ints(&[9, 10]);
+        st.insert(&e, "parity", parity_index(&e));
+        assert!(st.lookup(&c, "parity").is_none(), "c was the victim");
+        assert!(st.lookup(&a, "parity").is_some());
+        assert!(st.lookup(&d, "parity").is_some());
+        assert_eq!(st.stats().evicted, 2);
+        assert!(st.stats().cached_rows <= 6);
+    }
+
+    #[test]
+    fn entry_exactly_at_the_budget_is_cached_alone() {
+        let mut st = IndexStore::new(3);
+        let small = ints(&[9]);
+        st.insert(&small, "parity", parity_index(&small));
+        // Exactly the whole budget: admitted, and every other entry is
+        // evicted to make room.
+        let exact = ints(&[1, 2, 3]);
+        st.insert(&exact, "parity", parity_index(&exact));
+        assert!(st.lookup(&exact, "parity").is_some());
+        assert!(st.lookup(&small, "parity").is_none(), "evicted for room");
+        let stats = st.stats();
+        assert_eq!((stats.entries, stats.cached_rows), (1, 3), "{stats:?}");
+        // One row over: declined outright.
+        let over = ints(&[1, 2, 3, 4]);
+        st.insert(&over, "parity", parity_index(&over));
+        assert!(st.lookup(&over, "parity").is_none());
+        assert_eq!(st.stats().cached_rows, 3);
+    }
+
+    #[test]
+    fn budget_of_zero_disables_caching() {
+        let mut st = IndexStore::new(0);
+        let s = ints(&[1]);
+        let idx = st.insert(&s, "parity", parity_index(&s));
+        // The handle still answers the calling query…
+        assert_eq!(idx.rows_for(vec![Value::Int(1)]), &[0]);
+        // …but nothing was cached and nothing ever will be.
+        let stats = st.stats();
+        assert_eq!((stats.entries, stats.builds, stats.cached_rows), (0, 0, 0));
+        assert!(st.lookup(&s, "parity").is_none());
+        // Shrinking a live store to zero evicts everything.
+        let mut st = IndexStore::new(10);
+        st.insert(&s, "parity", parity_index(&s));
+        st.set_budget(0);
+        let stats = st.stats();
+        assert_eq!((stats.entries, stats.evicted), (0, 1), "{stats:?}");
+    }
+
+    #[test]
     fn oversized_relations_are_not_cached() {
         let mut st = IndexStore::new(2);
         let s = ints(&[1, 2, 3]);
         let idx = st.insert(&s, "parity", parity_index(&s));
-        assert_eq!(idx.values().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(idx.indexed_rows(), 3);
+        assert!(
+            matches!(idx, CachedIndex::Local(_)),
+            "uncached handles skip the plain conversion"
+        );
         assert_eq!(st.stats().entries, 0);
         assert_eq!(st.stats().builds, 0);
     }
@@ -533,7 +978,7 @@ mod tests {
             let mut idx = Index::new();
             idx.entry(KeyTuple(vec![Value::Int(0)]))
                 .or_default()
-                .push(Value::Int(2));
+                .push(1);
             idx
         };
         // A one-row filtered index still pins all six relation rows.
@@ -556,18 +1001,42 @@ mod tests {
         st.reset();
         assert_eq!(st.stats(), StoreStats::default());
         assert!(!st.has_fingerprint("parity"));
+        assert_eq!(st.fingerprint_kind("parity"), None);
     }
 
     #[test]
-    fn indexes_listing_reports_entries() {
+    fn peek_is_stats_neutral() {
+        let mut st = IndexStore::new(1000);
+        let s = ints(&[1, 2]);
+        st.insert(&s, "parity", parity_index(&s));
+        let before = st.stats();
+        assert!(st.peek(&s, "parity"));
+        assert!(!st.peek(&s, "other"));
+        let rebuilt = ints(&[1, 2]);
+        assert!(!st.peek(&rebuilt, "parity"), "peek is storage-exact");
+        let after = st.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+    }
+
+    #[test]
+    fn indexes_listing_is_sorted_and_reports_kinds() {
         let mut st = IndexStore::new(1000);
         let s = ints(&[1, 2, 3, 4]);
-        st.insert(&s, "parity", parity_index(&s));
-        st.lookup(&s, "parity");
+        let d = RefValue::new(Value::Int(7));
+        let r = ref_rows(&d, &[1]);
+        st.insert(&s, "b-parity", parity_index(&s));
+        st.insert(&r, "a-parity", parity_index(&r));
+        st.lookup(&s, "b-parity");
         let infos = st.indexes();
-        assert_eq!(infos.len(), 1);
-        assert_eq!(infos[0].fingerprint, "parity");
-        assert_eq!((infos[0].rows, infos[0].groups, infos[0].hits), (4, 2, 1));
+        assert_eq!(infos.len(), 2);
+        // Sorted by fingerprint — not recency.
+        assert_eq!(infos[0].fingerprint, "a-parity");
+        assert_eq!(infos[0].kind, IndexKind::Rc);
+        assert_eq!(infos[1].fingerprint, "b-parity");
+        assert_eq!(infos[1].kind, IndexKind::Plain);
+        assert_eq!((infos[1].rows, infos[1].groups, infos[1].hits), (4, 2, 1));
+        assert_eq!(st.fingerprint_kind("b-parity"), Some(IndexKind::Plain));
+        assert_eq!(st.fingerprint_kind("a-parity"), Some(IndexKind::Rc));
     }
 
     #[test]

@@ -1,21 +1,75 @@
-//! The thread-local **mutation epoch**: a counter bumped on every
-//! reference-cell write, read by cache layers (the index store in
-//! `machiavelli-store`) that must never serve results computed before a
-//! mutation.
+//! The thread-local **mutation epoch** and **dirty reference set**: the
+//! write-side half of the index store's invalidation contract.
 //!
-//! Values are `Rc`-based and therefore thread-confined, so the epoch is
-//! a thread-local `Cell` — no synchronization, no cross-thread
-//! invalidation to reason about. [`crate::RefValue::set`] bumps the
-//! epoch unconditionally: it is the single choke point every ref write
-//! goes through (the evaluator's `:=`, the OODB object store's updates,
-//! persistence decoding), so a consumer that checks
-//! [`mutation_epoch`] before reuse can never observe a stale snapshot,
-//! no matter which layer performed the write.
+//! Every reference-cell write (funnelled through
+//! [`crate::RefValue::set`]) advances the epoch *and* records the
+//! written ref's identity in a dirty set. Cache layers (the index store
+//! in `machiavelli-store`) compare the epoch to detect that *some*
+//! write happened, then drain the dirty set to decide *which* cached
+//! entries could possibly be affected: an entry is evicted only when a
+//! written ref is reachable from the relation it indexes. A write to a
+//! ref no cached relation can reach evicts nothing — the fine-grained
+//! replacement for the PR 4 behavior of dropping the whole store on any
+//! write.
+//!
+//! Values are `Rc`-based and therefore thread-confined, so both pieces
+//! of state are thread-local — no synchronization, no cross-thread
+//! invalidation to reason about.
+//!
+//! The dirty set is bounded: past [`DIRTY_REFS_CAP`] distinct ids it
+//! collapses to an *overflowed* marker, which consumers must treat as
+//! "every ref may have been written" (evict everything reachable-from-
+//! refs — the conservative PR 4 behavior). [`bump_mutation_epoch`], the
+//! escape hatch for native code that mutates reference contents through
+//! `borrow_mut` on the raw cell rather than `RefValue::set`, also
+//! poisons the set: an unattributed write must be assumed to touch
+//! anything.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+
+/// Distinct written-ref ids tracked between cache validations; past
+/// this the set collapses to the conservative "everything is dirty"
+/// marker (a write burst this large is headed for a rebuild anyway).
+pub const DIRTY_REFS_CAP: usize = 4096;
+
+/// The identities written since the last [`take_dirty_refs`] drain.
+/// `overflowed` means the precise set was lost (cap exceeded, or an
+/// unattributed [`bump_mutation_epoch`] call): consumers must assume
+/// every ref was written.
+#[derive(Debug, Default)]
+pub struct DirtyRefs {
+    pub ids: HashSet<u64>,
+    pub overflowed: bool,
+}
+
+impl DirtyRefs {
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty() && !self.overflowed
+    }
+
+    /// Does the dirty set intersect `sources` (a sorted id list)?
+    /// Overflow intersects everything non-trivial — but an empty source
+    /// list (a value that can reach no ref at all) intersects nothing,
+    /// however much was written.
+    pub fn intersects(&self, sources: &[u64]) -> bool {
+        if sources.is_empty() {
+            return false;
+        }
+        if self.overflowed {
+            return true;
+        }
+        if sources.len() <= self.ids.len() {
+            sources.iter().any(|id| self.ids.contains(id))
+        } else {
+            self.ids.iter().any(|id| sources.binary_search(id).is_ok())
+        }
+    }
+}
 
 thread_local! {
     static MUTATION_EPOCH: Cell<u64> = const { Cell::new(0) };
+    static DIRTY_REFS: RefCell<DirtyRefs> = RefCell::new(DirtyRefs::default());
 }
 
 /// The current mutation epoch of this thread. Two reads returning the
@@ -24,11 +78,48 @@ pub fn mutation_epoch() -> u64 {
     MUTATION_EPOCH.with(|c| c.get())
 }
 
-/// Advance the mutation epoch (called by [`crate::RefValue::set`];
-/// exposed for native code that mutates reference contents through
-/// `borrow_mut` on the raw cell rather than `RefValue::set`).
+/// Record an **attributed** reference write: advance the epoch and add
+/// the written ref's identity to the dirty set. Called by
+/// [`crate::RefValue::set`] — the single choke point every ref write
+/// goes through (the evaluator's `:=`, the OODB object store's updates,
+/// persistence decoding). Public so tests and native ref-like layers
+/// can report precise identities.
+pub fn note_ref_write(id: u64) {
+    MUTATION_EPOCH.with(|c| c.set(c.get().wrapping_add(1)));
+    DIRTY_REFS.with(|d| {
+        let mut d = d.borrow_mut();
+        if d.overflowed {
+            return;
+        }
+        if d.ids.len() >= DIRTY_REFS_CAP {
+            d.ids.clear();
+            d.overflowed = true;
+        } else {
+            d.ids.insert(id);
+        }
+    });
+}
+
+/// Advance the mutation epoch for an **unattributed** write — native
+/// code that mutates reference contents through `borrow_mut` on the raw
+/// cell rather than `RefValue::set`. The dirty set is poisoned
+/// (overflowed): with no identity to record, every cached entry must be
+/// assumed affected, exactly the PR 4 whole-store behavior.
 pub fn bump_mutation_epoch() {
     MUTATION_EPOCH.with(|c| c.set(c.get().wrapping_add(1)));
+    DIRTY_REFS.with(|d| {
+        let mut d = d.borrow_mut();
+        d.ids.clear();
+        d.overflowed = true;
+    });
+}
+
+/// Drain the dirty set, leaving it empty. The single consumer is the
+/// thread's index store (one store per thread), which drains on every
+/// epoch advance it observes; draining with no intervening writes
+/// returns an empty set.
+pub fn take_dirty_refs() -> DirtyRefs {
+    DIRTY_REFS.with(|d| std::mem::take(&mut *d.borrow_mut()))
 }
 
 #[cfg(test)]
@@ -37,7 +128,8 @@ mod tests {
     use crate::value::{RefValue, Value};
 
     #[test]
-    fn ref_writes_advance_the_epoch() {
+    fn ref_writes_advance_the_epoch_and_record_identity() {
+        let _ = take_dirty_refs();
         let before = mutation_epoch();
         let r = RefValue::new(Value::Int(1));
         assert_eq!(
@@ -47,5 +139,37 @@ mod tests {
         );
         r.set(Value::Int(2));
         assert!(mutation_epoch() > before);
+        let dirty = take_dirty_refs();
+        assert!(dirty.ids.contains(&r.id), "{dirty:?}");
+        assert!(!dirty.overflowed);
+        assert!(take_dirty_refs().is_empty(), "drain leaves it empty");
+    }
+
+    #[test]
+    fn unattributed_bump_poisons_the_set() {
+        let _ = take_dirty_refs();
+        bump_mutation_epoch();
+        let dirty = take_dirty_refs();
+        assert!(dirty.overflowed);
+        assert!(dirty.intersects(&[1, 2, 3]), "overflow intersects all");
+    }
+
+    #[test]
+    fn intersects_checks_sorted_sources() {
+        let mut dirty = DirtyRefs::default();
+        dirty.ids.insert(7);
+        assert!(dirty.intersects(&[3, 7, 9]));
+        assert!(!dirty.intersects(&[3, 8, 9]));
+        assert!(!dirty.intersects(&[]));
+    }
+
+    #[test]
+    fn cap_overflow_collapses() {
+        let _ = take_dirty_refs();
+        for id in 0..(DIRTY_REFS_CAP as u64 + 2) {
+            note_ref_write(id);
+        }
+        let dirty = take_dirty_refs();
+        assert!(dirty.overflowed);
     }
 }

@@ -20,14 +20,17 @@ pub mod value;
 
 pub use conform::conforms;
 pub use display::show_value;
-pub use epoch::{bump_mutation_epoch, mutation_epoch};
+pub use epoch::{bump_mutation_epoch, mutation_epoch, note_ref_write, take_dirty_refs, DirtyRefs};
 pub use error::ValueError;
 pub use hash::{hash_value, ValueKey};
 pub use ops::{con_value, join_value, project_value, unionc_value};
-pub use plain::{from_plain, plain_cmp, plain_eq, plain_hash, to_plain, PlainValue};
+pub use plain::{
+    from_plain, plain_cmp, plain_eq, plain_hash, plain_matches_value, to_plain, PlainIndex,
+    PlainKey, PlainValue,
+};
 pub use set::MSet;
 pub use shape::{element_shape, glb_shape, project_by_shape, shape_of, Shape};
 pub use value::{
-    value_cmp, value_eq, Builtin, Closure, DynValue, Env, FieldKey, Fields, Label, RefValue,
-    Symbol, Value,
+    scan_refs, value_cmp, value_eq, Builtin, Closure, DynValue, Env, FieldKey, Fields, Label,
+    RefScan, RefValue, Symbol, Value,
 };

@@ -244,14 +244,307 @@ pub fn plain_hash<H: Hasher>(p: &PlainValue, state: &mut H) {
     }
 }
 
-/// `plain_cmp` against a `Value` without extracting it — used by tests;
-/// the production lanes always extract first.
+/// Structural equality between a plain value and an `Rc`-lane value
+/// **without extracting** — no allocation, agreeing with
+/// `value_eq(from_plain(p), v)`: identity- or code-bearing values
+/// (which have no plain form) compare unequal to everything plain.
+/// This is what lets a sequential probe look up a plain index with its
+/// borrowed `Rc`-lane key values directly.
 pub fn plain_matches_value(p: &PlainValue, v: &Value) -> bool {
-    match to_plain(v) {
-        Some(pv) => plain_eq(p, &pv),
-        None => false,
+    match (p, v) {
+        (PlainValue::Unit, Value::Unit) => true,
+        (PlainValue::Bool(a), Value::Bool(b)) => a == b,
+        (PlainValue::Int(a), Value::Int(b)) => a == b,
+        // Bit equality = `total_cmp` equality, the value order's rule.
+        (PlainValue::Real(a), Value::Real(b)) => a.to_bits() == b.to_bits(),
+        (PlainValue::Str(a), Value::Str(b)) => **a == **b,
+        (PlainValue::Record(ps), Value::Record(fs)) => {
+            // Both sides are label-sorted.
+            let fs = fs.entries();
+            ps.len() == fs.len()
+                && ps
+                    .iter()
+                    .zip(fs.iter())
+                    .all(|((pl, pv), (fl, fv))| pl.id() == fl.id() && plain_matches_value(pv, fv))
+        }
+        (PlainValue::Variant(pl, pp), Value::Variant(vl, vp)) => {
+            pl.id() == vl.id() && plain_matches_value(pp, vp)
+        }
+        (PlainValue::Set(ps), Value::Set(vs)) => {
+            // Both sides are canonical (sorted, deduplicated).
+            ps.len() == vs.len()
+                && ps
+                    .iter()
+                    .zip(vs.iter())
+                    .all(|(pv, vv)| plain_matches_value(pv, vv))
+        }
+        _ => false,
     }
 }
+
+// --- plain-keyed indexes ---------------------------------------------------
+
+/// A composite join/index key in the plain lane: the extracted values
+/// of a grouping's key expressions, in key order. Single keys — the
+/// dominant equi-join shape — skip the vector, so extracting a probe
+/// key allocates nothing beyond the plain value itself. Hashes via
+/// [`plain_hash`] and compares via [`plain_eq`] (`One(v)` and
+/// `Tuple([v])` are the same key), so a key computed on the `Rc` lane
+/// and extracted with [`to_plain`] lands in exactly the group an
+/// `Rc`-lane `KeyTuple` probe would find.
+#[derive(Debug, Clone)]
+pub enum PlainKey {
+    One(PlainValue),
+    Tuple(Vec<PlainValue>),
+}
+
+impl std::hash::Hash for PlainKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            PlainKey::One(v) => plain_hash(v, state),
+            PlainKey::Tuple(vs) => {
+                for v in vs {
+                    plain_hash(v, state);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for PlainKey {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PlainKey::One(a), PlainKey::One(b)) => plain_eq(a, b),
+            (PlainKey::Tuple(a), PlainKey::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| plain_eq(x, y))
+            }
+            // Builders and probes agree on arity; kept total anyway
+            // (and consistent with the arity-blind hash above).
+            (PlainKey::One(a), PlainKey::Tuple(b)) | (PlainKey::Tuple(b), PlainKey::One(a)) => {
+                b.len() == 1 && plain_eq(a, &b[0])
+            }
+        }
+    }
+}
+
+impl Eq for PlainKey {}
+
+/// The digest function of [`PlainIndex`]: an FxHash-style
+/// multiply-rotate mix.
+/// Index probes hash one key per probe row, squarely on the join hot
+/// path — a keyed cryptographic hash (SipHash, the `HashMap` default)
+/// costs more than the lookup itself for small keys. Keys reach the
+/// table only through [`plain_hash`], whose word-sized writes this
+/// hasher mixes one multiply each.
+#[derive(Debug, Default, Clone)]
+pub struct PlainKeyHasher(u64);
+
+impl PlainKeyHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // The Firefox/rustc "Fx" mix: rotate, xor, multiply by a
+        // golden-ratio-derived odd constant.
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for PlainKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+    fn write_i64(&mut self, n: i64) {
+        self.mix(n as u64);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// Pass-through hasher for digest-keyed maps: the key *is* a
+/// high-quality digest already.
+#[derive(Debug, Default, Clone)]
+pub struct DigestHasher(u64);
+
+impl Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("digest maps hash via write_u64 only");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// The digest of a plain key under [`PlainKeyHasher`].
+pub fn plain_key_digest(key: &PlainKey) -> u64 {
+    let mut h = PlainKeyHasher::default();
+    std::hash::Hash::hash(key, &mut h);
+    h.finish()
+}
+
+/// The digest of an `Rc`-lane key tuple under the same hasher —
+/// [`crate::hash_value`] feeds the hasher byte-for-byte what
+/// [`plain_hash`] feeds it (the cross-lane consistency contract above),
+/// so a value-side probe lands in exactly the plain key's bucket. Like
+/// [`PlainKey`]'s arity-blind hash, a 1-tuple digests as its single
+/// component.
+pub fn value_key_digest(key: &[Value]) -> u64 {
+    let mut h = PlainKeyHasher::default();
+    for v in key {
+        crate::hash::hash_value(v, &mut h);
+    }
+    h.finish()
+}
+
+/// A **plain-keyed structural index**: a relation's rows grouped by key
+/// value, in plain (`Send + Sync`) form, so a *cached* index can be
+/// probed by parallel workers directly — the composition PR 3's store
+/// and PR 4's parallel lane previously excluded.
+///
+/// `rows` is the plain snapshot of the indexed relation in canonical
+/// (sorted-set) order — the index is self-contained on the plain lane:
+/// a worker holding an `Arc<PlainIndex>` can inspect both groups and
+/// row payloads without touching `Rc` data. Groups map each key to the
+/// **indices** of its rows, ascending (= canonical source order, the
+/// same order an inline `Rc`-lane build yields groups in); the executor
+/// re-binds matches by index into the *original* `Rc`-lane relation on
+/// the session thread, so no value ever needs converting back.
+///
+/// Internally groups are bucketed by **digest** with the (rare)
+/// collisions chained, which gives the index two equally cheap probe
+/// forms: [`PlainIndex::get`] for extracted plain keys (the parallel
+/// workers) and [`PlainIndex::get_by_values`] for borrowed `Rc`-lane
+/// key values (the sequential probe) — the latter compares via
+/// [`plain_matches_value`] and never converts or allocates.
+///
+/// A `PlainIndex` exists only for relations whose every row extracts
+/// via [`to_plain`]; relations carrying identity- or code-bearing data
+/// stay on the `Rc`-lane index representation (sequential probes only).
+/// Digest → the key groups sharing it (nearly always exactly one).
+type DigestBuckets = std::collections::HashMap<
+    u64,
+    Vec<(PlainKey, Vec<u32>)>,
+    std::hash::BuildHasherDefault<DigestHasher>,
+>;
+
+#[derive(Debug)]
+pub struct PlainIndex {
+    /// Plain snapshot of the relation, canonical set order.
+    pub rows: Arc<[PlainValue]>,
+    buckets: DigestBuckets,
+    groups: usize,
+}
+
+impl PlainIndex {
+    /// Assemble from a row snapshot and (key, ascending row indices)
+    /// groups. Keys are expected distinct (they come from a `HashMap`
+    /// keyed by structural equality).
+    pub fn from_groups(
+        rows: Arc<[PlainValue]>,
+        groups: impl IntoIterator<Item = (PlainKey, Vec<u32>)>,
+    ) -> PlainIndex {
+        let groups = groups.into_iter();
+        let mut buckets =
+            DigestBuckets::with_capacity_and_hasher(groups.size_hint().0, Default::default());
+        let mut n = 0usize;
+        for (key, idxs) in groups {
+            n += 1;
+            buckets
+                .entry(plain_key_digest(&key))
+                .or_insert_with(|| Vec::with_capacity(1))
+                .push((key, idxs));
+        }
+        PlainIndex {
+            rows,
+            buckets,
+            groups: n,
+        }
+    }
+
+    /// The matching row indices for an extracted plain key (empty when
+    /// absent).
+    pub fn get(&self, key: &PlainKey) -> &[u32] {
+        match self.buckets.get(&plain_key_digest(key)) {
+            Some(bucket) => bucket
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, idxs)| idxs.as_slice())
+                .unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// The matching row indices for a borrowed `Rc`-lane key tuple,
+    /// compared structurally without extraction (a key with no plain
+    /// form — an identity-bearing `ref`/`dynamic` — can equal no plain
+    /// key, so it simply finds nothing).
+    pub fn get_by_values(&self, key: &[Value]) -> &[u32] {
+        let matches = |k: &PlainKey| match (k, key) {
+            (PlainKey::One(p), [v]) => plain_matches_value(p, v),
+            (PlainKey::Tuple(ps), vs) => {
+                ps.len() == vs.len()
+                    && ps
+                        .iter()
+                        .zip(vs.iter())
+                        .all(|(p, v)| plain_matches_value(p, v))
+            }
+            _ => false,
+        };
+        match self.buckets.get(&value_key_digest(key)) {
+            Some(bucket) => bucket
+                .iter()
+                .find(|(k, _)| matches(k))
+                .map(|(_, idxs)| idxs.as_slice())
+                .unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// Distinct key groups.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Total rows held across all groups.
+    pub fn indexed_rows(&self) -> usize {
+        self.buckets
+            .values()
+            .flat_map(|b| b.iter())
+            .map(|(_, idxs)| idxs.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+}
+
+// The whole point of the plain representation: a cached index can be
+// shared with worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PlainIndex>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -335,5 +628,73 @@ mod tests {
             assert!(value_eq(&from_plain(&p), &v));
             assert_eq!(digest_value(&v), digest_plain(&p));
         }
+    }
+
+    #[test]
+    fn plain_keys_agree_with_value_keys() {
+        // Two keys that are value-equal must be plain-key-equal and
+        // hash identically (the cross-lane probe soundness direction) —
+        // and a single key must equal its 1-tuple form, since builders
+        // use `One` and defensive callers may probe with `Tuple`.
+        let a = PlainKey::Tuple(vec![
+            to_plain(&Value::Int(3)).unwrap(),
+            to_plain(&sample()).unwrap(),
+        ]);
+        let b = PlainKey::Tuple(vec![
+            to_plain(&Value::Int(3)).unwrap(),
+            to_plain(&sample()).unwrap(),
+        ]);
+        assert_eq!(a, b);
+        let digest = |k: &PlainKey| {
+            let mut h = PlainKeyHasher::default();
+            std::hash::Hash::hash(k, &mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        let one = PlainKey::One(to_plain(&Value::Int(4)).unwrap());
+        let tup = PlainKey::Tuple(vec![to_plain(&Value::Int(4)).unwrap()]);
+        assert_eq!(one, tup);
+        assert_eq!(digest(&one), digest(&tup));
+        assert_ne!(a, one);
+    }
+
+    #[test]
+    fn plain_index_groups_and_rows() {
+        let rows: Vec<PlainValue> = (0..4).map(|i| to_plain(&Value::Int(i)).unwrap()).collect();
+        let idx = PlainIndex::from_groups(
+            rows.into(),
+            [
+                (PlainKey::One(PlainValue::Int(0)), vec![0u32, 2]),
+                (PlainKey::One(PlainValue::Int(1)), vec![1u32, 3]),
+            ],
+        );
+        assert_eq!(idx.indexed_rows(), 4);
+        assert_eq!(idx.group_count(), 2);
+        assert_eq!(idx.get(&PlainKey::One(PlainValue::Int(0))), &[0, 2]);
+        assert_eq!(idx.get(&PlainKey::One(PlainValue::Int(9))), &[] as &[u32]);
+        assert!(!idx.is_empty());
+        // The borrowed value-side probe agrees with the plain probe —
+        // including for keys with no plain form (a ref equals nothing).
+        assert_eq!(idx.get_by_values(&[Value::Int(0)]), &[0, 2]);
+        assert_eq!(idx.get_by_values(&[Value::Int(9)]), &[] as &[u32]);
+        let r = Value::Ref(RefValue::new(Value::Int(0)));
+        assert_eq!(idx.get_by_values(&[r]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn plain_matches_value_agrees_without_extraction() {
+        let v = sample();
+        let p = to_plain(&v).unwrap();
+        assert!(plain_matches_value(&p, &v));
+        // Differing nested field: no match.
+        let other = Value::record([("Name".into(), Value::str("Sue"))]);
+        assert!(!plain_matches_value(&p, &other));
+        // Reals compare by bit pattern (total order), NaN included.
+        let nan = Value::Real(f64::NAN);
+        assert!(plain_matches_value(&to_plain(&nan).unwrap(), &nan));
+        assert!(!plain_matches_value(
+            &to_plain(&Value::Real(0.0)).unwrap(),
+            &Value::Real(-0.0)
+        ));
     }
 }

@@ -13,8 +13,12 @@
 //! | worker threads | `available_parallelism` | `MACHIAVELLI_PAR_THREADS` |
 //! | parallel-join build-row cutoff | [`DEFAULT_PAR_JOIN_MIN_BUILD_ROWS`] | `MACHIAVELLI_PAR_JOIN_MIN_ROWS` |
 //! | parallel-join probe-drain cap (× build rows) | [`DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR`] | `MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR` |
+//! | cached-index parallel-probe row cutoff | [`DEFAULT_PAR_PROBE_MIN_ROWS`] | `MACHIAVELLI_PAR_PROBE_MIN_ROWS` |
 //! | parallel-`hom` element cutoff | [`DEFAULT_PAR_HOM_MIN_ITEMS`] | `MACHIAVELLI_PAR_HOM_MIN_ITEMS` |
 //! | index-store row budget | [`DEFAULT_STORE_BUDGET_ROWS`] | `MACHIAVELLI_STORE_BUDGET_ROWS` |
+//!
+//! (`docs/PERFORMANCE.md` documents every knob alongside the execution
+//! contracts they gate.)
 //!
 //! The module also hosts the session-scoped (thread-local) **parallel
 //! ablation toggle** ([`set_parallel_enabled`], mirroring the store's
@@ -41,6 +45,15 @@ pub const DEFAULT_PAR_JOIN_MIN_BUILD_ROWS: usize = 4096;
 /// of magnitude of the build) on the lane while capping pathological
 /// pipelines.
 pub const DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR: usize = 64;
+
+/// Below this many *probe-side* rows a hash join over a **cached**
+/// plain index stays on the sequential probe. Distinct from the
+/// build-row cutoff: a cached probe pays no build at all, so the only
+/// overhead to amortize is probe materialization plus thread
+/// coordination — but the per-row win (skipping the interpreter's key
+/// dispatch) is also smaller than a full build's, so the break-even
+/// lands in the same region.
+pub const DEFAULT_PAR_PROBE_MIN_ROWS: usize = 4096;
 
 /// Below this many elements a proper `hom` application stays on the
 /// sequential interpreter fold.
@@ -69,8 +82,10 @@ fn env_usize(var: &'static str, cache: &'static OnceLock<Option<usize>>) -> Opti
 thread_local! {
     static PAR_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
     static PAR_JOIN_MIN_BUILD_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
+    static PAR_PROBE_MIN_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
     static PAR_HOM_MIN_ITEMS: Cell<Option<usize>> = const { Cell::new(None) };
     static PARALLEL_ENABLED: Cell<bool> = const { Cell::new(true) };
+    static STORE_EPOCH_CLEAR: Cell<bool> = const { Cell::new(false) };
     static PAR_STATS: Cell<ParStats> = const { Cell::new(ParStats::new()) };
 }
 
@@ -80,13 +95,19 @@ thread_local! {
 /// parallel lane entirely (everything stays sequential).
 pub fn par_threads() -> usize {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    // `available_parallelism` is a surprisingly expensive probe
+    // (affinity + cgroup parsing, ~tens of µs) and this accessor sits
+    // on every join open — resolve the machine default once.
+    static MACHINE: OnceLock<usize> = OnceLock::new();
     PAR_THREADS
         .with(Cell::get)
         .or_else(|| env_usize("MACHIAVELLI_PAR_THREADS", &ENV))
         .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            *MACHINE.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
         })
         .max(1)
 }
@@ -122,6 +143,24 @@ pub fn par_join_max_probe_rows(build_rows: usize) -> usize {
     let factor = env_usize("MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR", &ENV)
         .unwrap_or(DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR);
     build_rows.saturating_mul(factor)
+}
+
+/// The cached-index parallel-probe row cutoff currently in force
+/// (thread-local override → `MACHIAVELLI_PAR_PROBE_MIN_ROWS` →
+/// [`DEFAULT_PAR_PROBE_MIN_ROWS`]).
+pub fn par_probe_min_rows() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    PAR_PROBE_MIN_ROWS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_PAR_PROBE_MIN_ROWS", &ENV))
+        .unwrap_or(DEFAULT_PAR_PROBE_MIN_ROWS)
+}
+
+/// Override the cached-probe cutoff on this thread (tests lower it to
+/// exercise the lane on small relations), returning the previous
+/// override.
+pub fn set_par_probe_min_rows(n: Option<usize>) -> Option<usize> {
+    PAR_PROBE_MIN_ROWS.with(|c| c.replace(n))
 }
 
 /// The parallel-`hom` element cutoff currently in force.
@@ -161,6 +200,22 @@ pub fn set_parallel_enabled(on: bool) -> bool {
     PARALLEL_ENABLED.with(|c| c.replace(on))
 }
 
+/// Is the index store's **paranoid whole-clear** mode on? When `true`
+/// the store reverts to the PR 4 invalidation discipline — drop *every*
+/// entry on any reference write — instead of the dirty-set eviction
+/// that keeps unaffected entries warm. Kept as an A/B cross-check: the
+/// equivalence property tests run both modes and require identical
+/// visible results (the precise mode just evicts less).
+pub fn store_epoch_clear() -> bool {
+    STORE_EPOCH_CLEAR.with(Cell::get)
+}
+
+/// Switch the store's paranoid whole-clear mode on/off for this thread,
+/// returning the previous setting.
+pub fn set_store_epoch_clear(on: bool) -> bool {
+    STORE_EPOCH_CLEAR.with(|c| c.replace(on))
+}
+
 // --- hit/fallback counters -------------------------------------------------
 
 /// Cumulative parallel-lane counters for this thread (= session),
@@ -175,10 +230,19 @@ pub fn set_parallel_enabled(on: bool) -> bool {
 /// input, shape not eligible) are not counted at all.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParStats {
-    /// Hash joins executed on the parallel lane.
+    /// Hash joins executed on the parallel lane (inline partition
+    /// build + probe — the uncached shape).
     pub par_joins: u64,
     /// Eligible hash joins that fell back to the sequential build/probe.
     pub par_join_fallbacks: u64,
+    /// Hash joins whose probe ran parallel against a **cached** plain
+    /// index (the store-served shape: no build at all, workers probe
+    /// the shared index).
+    pub par_probes: u64,
+    /// Cached-probe attempts that fell back to the sequential probe
+    /// (a probe key declined extraction, or the probe drain hit its
+    /// memory cap).
+    pub par_probe_fallbacks: u64,
     /// Proper `hom` applications folded through `par_hom`.
     pub par_homs: u64,
     /// Proper `hom` applications that fell back to the sequential fold.
@@ -190,6 +254,8 @@ impl ParStats {
         ParStats {
             par_joins: 0,
             par_join_fallbacks: 0,
+            par_probes: 0,
+            par_probe_fallbacks: 0,
             par_homs: 0,
             par_hom_fallbacks: 0,
         }
@@ -214,6 +280,20 @@ pub fn note_par_join(hit: bool) {
             s.par_joins += 1;
         } else {
             s.par_join_fallbacks += 1;
+        }
+        c.set(s);
+    });
+}
+
+/// Record a cached-index parallel-probe outcome (`hit` = the probe ran
+/// on worker threads against the shared plain index).
+pub fn note_par_probe(hit: bool) {
+    PAR_STATS.with(|c| {
+        let mut s = c.get();
+        if hit {
+            s.par_probes += 1;
+        } else {
+            s.par_probe_fallbacks += 1;
         }
         c.set(s);
     });
@@ -246,6 +326,10 @@ mod tests {
         assert_eq!(par_join_min_build_rows(), 7);
         set_par_join_min_build_rows(prev);
 
+        let prev = set_par_probe_min_rows(Some(5));
+        assert_eq!(par_probe_min_rows(), 5);
+        set_par_probe_min_rows(prev);
+
         let prev = set_par_hom_min_items(Some(9));
         assert_eq!(par_hom_min_items(), 9);
         set_par_hom_min_items(prev);
@@ -266,20 +350,34 @@ mod tests {
     }
 
     #[test]
+    fn store_epoch_clear_toggle_round_trips() {
+        assert!(!store_epoch_clear(), "precise invalidation is the default");
+        let prev = set_store_epoch_clear(true);
+        assert!(!prev);
+        assert!(store_epoch_clear());
+        set_store_epoch_clear(prev);
+        assert!(!store_epoch_clear());
+    }
+
+    #[test]
     fn counters_accumulate_and_reset() {
         reset_par_stats();
         note_par_join(true);
         note_par_join(false);
+        note_par_probe(true);
+        note_par_probe(false);
         note_par_hom(true);
         let s = par_stats();
         assert_eq!(
             (
                 s.par_joins,
                 s.par_join_fallbacks,
+                s.par_probes,
+                s.par_probe_fallbacks,
                 s.par_homs,
                 s.par_hom_fallbacks
             ),
-            (1, 1, 1, 0)
+            (1, 1, 1, 1, 1, 0)
         );
         reset_par_stats();
         assert_eq!(par_stats(), ParStats::default());

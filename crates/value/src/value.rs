@@ -60,12 +60,14 @@ impl RefValue {
 
     /// Overwrite the contents. Every write — the evaluator's `:=`, OODB
     /// object updates, persistence decoding — funnels through here, so
-    /// this is where the thread's mutation epoch is bumped: any cache
+    /// this is where the thread's mutation epoch is advanced **and the
+    /// written identity recorded in the dirty-ref set**: any cache
     /// keyed on the epoch (the index store) can never serve a snapshot
-    /// computed before this write.
+    /// computed before this write, and caches that track which refs
+    /// they depend on can keep every entry this write cannot reach.
     pub fn set(&self, v: Value) {
         *self.cell.borrow_mut() = v;
-        crate::epoch::bump_mutation_epoch();
+        crate::epoch::note_ref_write(self.id);
     }
 }
 
@@ -464,6 +466,79 @@ impl Ord for Value {
     }
 }
 
+// --- reference reachability -------------------------------------------------
+
+/// The reference cells reachable from a value, collected by
+/// [`scan_refs`]: the identities of every `ref` a future write could
+/// target, plus an `opaque` flag for values whose reachability cannot
+/// be traced (closures capture whole environments — walking them would
+/// drag in the entire session, so a closure-bearing value is simply
+/// marked "could reach anything").
+///
+/// This is the *dependency record* of the index store's fine-grained
+/// invalidation: an entry built over a relation remembers the refs its
+/// rows can reach, and a later [`RefValue::set`] evicts only entries
+/// whose record contains the written identity.
+#[derive(Debug, Default)]
+pub struct RefScan {
+    ids: std::collections::HashSet<u64>,
+    /// A closure (or other untraceable value) was encountered: callers
+    /// must treat every write as potentially reaching this value.
+    pub opaque: bool,
+}
+
+impl RefScan {
+    /// The collected identities, sorted (ready for
+    /// [`crate::epoch::DirtyRefs::intersects`]).
+    pub fn into_sorted_ids(self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.ids.into_iter().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Collect the identities of every reference cell reachable from `v`
+/// into `scan`, descending through records, variants, sets, dynamics
+/// and the *contents* of refs themselves (cycle-safe: a ref already
+/// collected is not re-entered). New reachability can only appear via a
+/// write to an already-reachable ref, and that write itself dirties the
+/// entry — so a scan taken at build time stays sound for the entry's
+/// whole life.
+pub fn scan_refs(v: &Value, scan: &mut RefScan) {
+    match v {
+        Value::Unit
+        | Value::Int(_)
+        | Value::Real(_)
+        | Value::Str(_)
+        | Value::Bool(_)
+        | Value::Op(_)
+        | Value::Builtin(_) => {}
+        Value::Record(fs) => {
+            for fv in fs.values() {
+                scan_refs(fv, scan);
+            }
+        }
+        Value::Variant(_, p) => scan_refs(p, scan),
+        Value::Set(items) => {
+            for item in items.iter() {
+                scan_refs(item, scan);
+            }
+        }
+        Value::Ref(r) => {
+            if scan.ids.insert(r.id) {
+                scan_refs(&r.cell.borrow(), scan);
+            }
+        }
+        // Dynamics have an immutable payload but the payload can hold
+        // refs whose *contents* mutate — descend.
+        Value::Dynamic(d) => scan_refs(&d.value, scan),
+        // A closure's captured environment is the whole enclosing
+        // scope; tracing it is not worth the walk. Opaque: reachable-
+        // by-anything.
+        Value::Closure(_) => scan.opaque = true,
+    }
+}
+
 // --- environments --------------------------------------------------------
 
 /// A persistent (shared-tail) evaluation environment, keyed by interned
@@ -572,6 +647,50 @@ mod tests {
         let a = Value::Dynamic(DynValue::new(Value::Int(3), None));
         let b = Value::Dynamic(DynValue::new(Value::Int(3), None));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scan_refs_collects_reachable_identities() {
+        let inner = RefValue::new(Value::Int(1));
+        let outer = RefValue::new(Value::record([("In".into(), Value::Ref(inner.clone()))]));
+        let row = Value::record([
+            ("D".into(), Value::Ref(outer.clone())),
+            ("N".into(), Value::Int(7)),
+        ]);
+        let mut scan = RefScan::default();
+        scan_refs(&row, &mut scan);
+        assert!(!scan.opaque);
+        let ids = scan.into_sorted_ids();
+        assert!(
+            ids.contains(&outer.id) && ids.contains(&inner.id),
+            "{ids:?}"
+        );
+        // Plain data reaches nothing.
+        let mut scan = RefScan::default();
+        scan_refs(&Value::set([Value::Int(1), Value::Int(2)]), &mut scan);
+        assert!(scan.into_sorted_ids().is_empty());
+    }
+
+    #[test]
+    fn scan_refs_survives_cycles_and_flags_closures() {
+        // Build a reference cycle: r -> record -> r.
+        let r = RefValue::new(Value::Unit);
+        r.set(Value::record([("Me".into(), Value::Ref(r.clone()))]));
+        let mut scan = RefScan::default();
+        scan_refs(&Value::Ref(r.clone()), &mut scan);
+        assert_eq!(scan.into_sorted_ids(), vec![r.id]);
+        // Closures are opaque.
+        let mut scan = RefScan::default();
+        scan_refs(
+            &Value::Closure(Rc::new(Closure {
+                params: vec![],
+                body: machiavelli_syntax::parse_expr("1").unwrap(),
+                env: Env::new(),
+                rec_name: None,
+            })),
+            &mut scan,
+        );
+        assert!(scan.opaque);
     }
 
     #[test]

@@ -125,9 +125,13 @@ fn fig5_subpart_join_is_hash_join() {
 #[test]
 fn fig5_shape_renders_cached_after_first_evaluation() {
     // Same fig5 inner shape, but on a session that has actually run the
-    // query once: the next plan explains as a cache probe.
+    // query once. The first generator's relation (`subs`) is the
+    // smaller stable side, so the first execution *swaps* the build
+    // onto it; the warm plan predicts the same orientation from the
+    // live cached fingerprint and renders the exchanged sides.
     let mut s = Session::new();
     s.store_reset();
+    s.set_par_threads(Some(1));
     s.run(
         "val parts = {[P#=1, C=5], [P#=2, C=9]};
          val subs = {[P#=1, Qty=4]};",
@@ -140,11 +144,72 @@ fn fig5_shape_renders_cached_after_first_evaluation() {
         "{cold}"
     );
     s.eval_one(q).unwrap();
-    let warm = s.plan_of(q).unwrap();
-    assert!(
-        warm.contains("HashJoin[idx cached] probe(w.P#) build(z.P#)"),
-        "{warm}"
+    assert_eq!(
+        s.plan_of(q).unwrap(),
+        "Project (z.C, w.Qty)\n  \
+         HashJoin[idx cached, swapped] probe(z.P#) build(w.P#)\n    \
+         Scan z <- parts\n    \
+         Build w <- subs"
     );
+    s.set_par_threads(None);
+}
+
+#[test]
+fn cached_plain_index_renders_the_parallel_probe_marker() {
+    // A warm, store-served join whose entry is plain (pure data rows)
+    // and whose probe key is plain-evaluable: at four threads the next
+    // execution probes the cached index in parallel — `explain` renders
+    // the composed marker. (The build side `t` is the smaller relation,
+    // so no swap interferes with the orientation.)
+    let mut s = Session::new();
+    s.store_reset();
+    s.set_par_threads(Some(1));
+    s.run(
+        "val r = {[K=1, A=10], [K=2, A=20], [K=3, A=30]};
+         val t = {[K=1, B=5], [K=2, B=6]};",
+    )
+    .unwrap();
+    let q = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
+    s.eval_one(q).unwrap();
+    let prev = s.set_par_threads(Some(4));
+    assert_eq!(
+        s.plan_of(q).unwrap(),
+        "Project (x.A, y.B)\n  \
+         HashJoin[idx cached, par n=4] probe(x.K) build(y.K)\n    \
+         Scan x <- r\n    \
+         Build y <- t"
+    );
+    s.set_par_threads(prev);
+    // Single-threaded the same warm plan renders the plain cached
+    // marker without the probe suffix.
+    let warm = s.plan_of(q).unwrap();
+    assert!(warm.contains("HashJoin[idx cached] probe(x.K)"), "{warm}");
+    s.set_par_threads(None);
+}
+
+#[test]
+fn swapped_cached_index_composes_with_the_parallel_probe_marker() {
+    // The swapped orientation also advertises the parallel probe when
+    // the swapped entry is plain and the (new) probe keys are eligible.
+    let mut s = Session::new();
+    s.store_reset();
+    s.set_par_threads(Some(1));
+    s.run(
+        "val small = {[K=1, A=10]};
+         val big = {[K=1, B=5], [K=2, B=6], [K=3, B=7]};",
+    )
+    .unwrap();
+    let q = "select (x.A, y.B) where x <- small, y <- big with x.K = y.K;";
+    s.eval_one(q).unwrap(); // swaps: builds over `small`
+    s.set_par_threads(Some(4));
+    assert_eq!(
+        s.plan_of(q).unwrap(),
+        "Project (x.A, y.B)\n  \
+         HashJoin[idx cached, swapped, par n=4] probe(y.K) build(x.K)\n    \
+         Scan y <- big\n    \
+         Build x <- small"
+    );
+    s.set_par_threads(None);
 }
 
 #[test]

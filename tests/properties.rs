@@ -523,6 +523,135 @@ proptest! {
     }
 }
 
+/// Evaluate `src` with the **composed** store+parallel configuration:
+/// store enabled (cacheable builds are served from / inserted into the
+/// session index store), parallel lane on with `t` threads and 1-row
+/// join/probe cutoffs — so store-served plain indexes take the cached
+/// parallel probe. `par = None` keeps the store but disables the lane
+/// (the sequential cached probe).
+fn run_composed(
+    session: &mut machiavelli::Session,
+    src: &str,
+    par: Option<usize>,
+) -> Result<String, String> {
+    use machiavelli::value::tuning;
+    let prev_planner = set_planner_enabled(true);
+    let prev_store = machiavelli::store::set_store_enabled(true);
+    let prev_enabled = tuning::set_parallel_enabled(par.is_some());
+    let prev_threads = tuning::set_par_threads(par);
+    let prev_rows = tuning::set_par_join_min_build_rows(Some(1));
+    let prev_probe = tuning::set_par_probe_min_rows(Some(1));
+    let prev_hom = tuning::set_par_hom_min_items(Some(1));
+    let out = session
+        .eval_one(src)
+        .map(|o| machiavelli::value::show_value(&o.value))
+        .map_err(|e| e.to_string());
+    tuning::set_par_hom_min_items(prev_hom);
+    tuning::set_par_probe_min_rows(prev_probe);
+    tuning::set_par_join_min_build_rows(prev_rows);
+    tuning::set_par_threads(prev_threads);
+    tuning::set_parallel_enabled(prev_enabled);
+    machiavelli::store::set_store_enabled(prev_store);
+    set_planner_enabled(prev_planner);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // The acceptance property of the composed lane: store-served
+    // builds probed in parallel agree with the sequential planner and
+    // with `select_loop`, across 1/2/4/8 worker threads, cold and warm,
+    // and across interleaved mutations (a write to an unrelated ref —
+    // which the dependency-tracked invalidation must survive — and a
+    // rebind of one relation, which pointer-identity keying must
+    // catch).
+    #[test]
+    fn composed_store_parallel_matches_sequential_paths(
+        seed in 0u64..u64::MAX / 2,
+        n_parts in 4usize..24,
+        n_suppliers in 2usize..10,
+    ) {
+        let src = random_comprehension(seed, 2 * n_parts as u64);
+        let (mut session, _db) = scaled_parts_session(n_parts, n_suppliers, seed ^ 0xa5a5a5);
+        session.store_reset();
+        session.run("val side = ref(0);").unwrap();
+        let loop_ref = run_in_mode(&mut session, &src, false, None);
+        for threads in [1usize, 2, 4, 8] {
+            session.store_reset();
+            // Cold run builds (and caches) the indexes; warm run probes
+            // them — in parallel when threads allow.
+            let cold = run_composed(&mut session, &src, Some(threads));
+            prop_assert!(cold == loop_ref, "{src} cold @ {threads}: {cold:?} vs {loop_ref:?}");
+            let warm = run_composed(&mut session, &src, Some(threads));
+            prop_assert!(warm == loop_ref, "{src} warm @ {threads}: {warm:?} vs {loop_ref:?}");
+            // An unrelated write must not change results (and should
+            // leave the cache warm — counter-asserted elsewhere).
+            session.eval_one("side := 1;").unwrap();
+            let after_write = run_composed(&mut session, &src, Some(threads));
+            prop_assert!(
+                after_write == loop_ref,
+                "{src} after unrelated write @ {threads}: {after_write:?} vs {loop_ref:?}"
+            );
+            // The sequential cached probe agrees too.
+            let seq_cached = run_composed(&mut session, &src, None);
+            prop_assert!(seq_cached == loop_ref, "{src} seq cached: {seq_cached:?}");
+        }
+        // Mutate a relation the queries actually read: the composed
+        // path must see fresh rows exactly like `select_loop`.
+        session.run("val suppliers = union(suppliers, {[S#=999, Sname=\"x\", City=\"y\"]});").unwrap();
+        let loop_after = run_in_mode(&mut session, &src, false, None);
+        let par_after = run_composed(&mut session, &src, Some(4));
+        prop_assert!(par_after == loop_after, "{src} after rebind: {par_after:?} vs {loop_after:?}");
+    }
+}
+
+/// Deterministic composed-lane engagement: a warm plain index probed at
+/// four threads counts `par_probes` (not inline-lane joins), builds
+/// exactly once across runs, and survives unrelated writes.
+#[test]
+fn cached_parallel_probe_engages_counts_and_survives_writes() {
+    let mut session = machiavelli::Session::new();
+    session.store_reset();
+    let rows = |n: usize, label: &str| -> String {
+        (0..n)
+            .map(|i| format!("[K={i}, {label}={}]", i * 10))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    session
+        .run(&format!(
+            "val r = {{{}}}; val t = {{{}}}; val side = ref(0);",
+            rows(60, "A"),
+            rows(40, "B"),
+        ))
+        .unwrap();
+    // Probe side (`r`) larger than the build (`t`): no swap, `t` caches
+    // in plain form on the first run.
+    let q = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
+    let seq = run_composed(&mut session, q, None);
+    session.par_reset();
+    let par = run_composed(&mut session, q, Some(4));
+    assert_eq!(par, seq);
+    let stats = session.par_stats();
+    assert!(stats.par_probes >= 1, "cached probe engaged: {stats:?}");
+    assert_eq!(stats.par_joins, 0, "not the inline lane: {stats:?}");
+    assert_eq!(stats.par_probe_fallbacks, 0, "{stats:?}");
+    let store = session.store_stats();
+    assert_eq!(store.builds, 1, "one build across all runs: {store:?}");
+    assert_eq!(store.plain_entries, 1, "{store:?}");
+    // Unrelated ref writes leave the cached index warm and the
+    // parallel probe running.
+    for i in 0..3 {
+        session.eval_one(&format!("side := {i};")).unwrap();
+        assert_eq!(run_composed(&mut session, q, Some(4)), seq);
+    }
+    let store = session.store_stats();
+    assert_eq!(store.builds, 1, "cache survived the writes: {store:?}");
+    assert_eq!((store.invalidated, store.cleared), (0, 0), "{store:?}");
+    assert!(session.par_stats().par_probes >= 4);
+}
+
 /// Non-extractable **keys** (identity-bearing `ref` values, whose
 /// equality plain data cannot represent) force the runtime fallback on
 /// whichever side computes them, with the fallback counter recording it

@@ -1,11 +1,17 @@
 //! The index store's correctness contract, end to end: repeated plans
 //! reuse cached indexes (the fig5 `cost` recursion builds its `parts`
 //! hash exactly once), and **no query ever observes pre-mutation rows**
-//! — whether the relation was mutated through a reference (`:=` bumps
-//! the mutation epoch) or rebuilt and rebound (copy-on-write storage
-//! gives the new relation a new identity). A seeded property test
-//! interleaves queries and mutations and holds the planner+store path
-//! to the `select_loop` reference at every step.
+//! — whether the relation was mutated through a reference (`:=` records
+//! the written identity in the dirty-ref set) or rebuilt and rebound
+//! (copy-on-write storage gives the new relation a new identity).
+//!
+//! Invalidation is **dependency-tracked** (PR 5): a write evicts only
+//! entries whose relation can reach the written ref, so entries over
+//! untouched relations stay warm across unrelated writes — asserted
+//! here by counter, and cross-checked by a seeded property test that
+//! runs the same query/mutation interleavings under the paranoid
+//! whole-store-clear mode (`tuning::set_store_epoch_clear`) and
+//! requires identical visible results with at least as many evictions.
 
 use machiavelli::eval::set_planner_enabled;
 use machiavelli::value::show_value;
@@ -75,10 +81,13 @@ fn identical_queries_share_one_build() {
 }
 
 #[test]
-fn ref_mutation_between_identical_queries_is_a_fresh_miss() {
-    // The satellite scenario: a `ref`-held relation is mutated between
-    // two identical queries. The second query must see the new rows and
-    // must not be served from the cache (epoch invalidation).
+fn ref_mutation_is_visible_and_unaffected_entries_survive() {
+    // A `ref`-held relation is mutated between identical queries. The
+    // next query must see the new rows — and under dependency-tracked
+    // invalidation the cached entry (built over the *unchanged* `probe`
+    // side, which the open-time build-side swap prefers as the smaller
+    // relation) survives the write: the new `!dbref` storage simply
+    // probes it.
     let mut s = Session::new();
     s.store_reset();
     s.run("val dbref = ref({[K=1, A=10], [K=2, A=20]}); val probe = {[K=1]};")
@@ -93,12 +102,101 @@ fn ref_mutation_between_identical_queries_is_a_fresh_miss() {
         .unwrap();
     assert_eq!(eval(&mut s, q).unwrap(), "{10, 99}", "fresh rows visible");
     let after = s.store_stats();
-    assert_eq!(after.builds, 2, "the mutated relation re-built: {after:?}");
-    assert_eq!(after.hits, warm.hits, "no stale hit: {after:?}");
-    assert!(
-        after.invalidated >= 1,
-        "epoch dropped the old entry: {after:?}"
+    assert_eq!(
+        after.builds, warm.builds,
+        "the probe-side index was untouched by the write: {after:?}"
     );
+    assert!(after.hits > warm.hits, "the entry kept serving: {after:?}");
+    assert_eq!(
+        (after.invalidated, after.cleared),
+        (0, 0),
+        "nothing the write could reach was cached: {after:?}"
+    );
+}
+
+#[test]
+fn ref_mutation_of_the_build_side_rebuilds_by_pointer_identity() {
+    // Same scenario, but the probe side is the *larger* relation so no
+    // swap happens and the mutated `!dbref` set itself is the build.
+    // The write replaces dbref's contents: the next evaluation sees new
+    // storage and can only miss — the old entry is dead (unreachable),
+    // not stale, and is not counted as a dirty-ref eviction (the
+    // relation's plain rows reach no ref).
+    let mut s = Session::new();
+    s.store_reset();
+    s.run(
+        "val dbref = ref({[K=1, A=10], [K=2, A=20]});
+         val probe = {[K=1], [K=2], [K=3], [K=4]};",
+    )
+    .unwrap();
+    let q = "select x.A where y <- probe, x <- !dbref with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{10, 20}");
+    assert_eq!(eval(&mut s, q).unwrap(), "{10, 20}");
+    let warm = s.store_stats();
+    assert_eq!((warm.builds, warm.hits), (1, 1), "{warm:?}");
+
+    s.eval_one("dbref := union(!dbref, {[K=1, A=99]});")
+        .unwrap();
+    assert_eq!(eval(&mut s, q).unwrap(), "{10, 20, 99}");
+    let after = s.store_stats();
+    assert_eq!(after.builds, 2, "new storage, fresh build: {after:?}");
+    assert_eq!(after.hits, warm.hits, "no stale hit: {after:?}");
+}
+
+#[test]
+fn write_to_an_unrelated_relation_evicts_nothing() {
+    // The headline of dependency-tracked invalidation: ref writes that
+    // no cached relation can reach leave every entry warm — the PR 4
+    // epoch contract dropped the whole store here.
+    let mut s = Session::new();
+    s.store_reset();
+    s.run(
+        "val r = {[K=1, A=10], [K=2, A=20]}; val probe = {[K=1]};
+         val side = ref(0);",
+    )
+    .unwrap();
+    let q = "select x.A where y <- probe, x <- r with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    let warm = s.store_stats();
+    assert_eq!(warm.builds, 1, "{warm:?}");
+    for i in 0..5 {
+        s.eval_one(&format!("side := {i};")).unwrap();
+        assert_eq!(eval(&mut s, q).unwrap(), "{10}");
+    }
+    let after = s.store_stats();
+    assert_eq!(after.builds, 1, "cache survived every write: {after:?}");
+    assert_eq!(after.hits, warm.hits + 5, "{after:?}");
+    assert_eq!(
+        (after.invalidated, after.cleared, after.entries),
+        (0, 0, warm.entries),
+        "zero evictions from unrelated writes: {after:?}"
+    );
+}
+
+#[test]
+fn write_reaching_cached_rows_evicts_the_entry() {
+    // The other direction: rows of the indexed relation hold a ref;
+    // writing through it must evict that entry (counted as
+    // `invalidated`) even though the key expressions never read ref
+    // contents — the belt-and-braces half of the contract.
+    let mut s = Session::new();
+    s.store_reset();
+    s.run(
+        "val d = ref([Tag=1]);
+         val r = {[K=1, D=d], [K=2, D=d]};
+         val probe = {[K=1], [K=2], [K=3], [K=4]};",
+    )
+    .unwrap();
+    // Probe side larger, so `r` (whose rows carry the ref) builds.
+    let q = "select x.K where y <- probe, x <- r with x.K = y.K;";
+    assert_eq!(eval(&mut s, q).unwrap(), "{1, 2}");
+    let warm = s.store_stats();
+    assert_eq!((warm.builds, warm.rc_entries), (1, 1), "{warm:?}");
+    s.eval_one("d := [Tag=2];").unwrap();
+    assert_eq!(eval(&mut s, q).unwrap(), "{1, 2}");
+    let after = s.store_stats();
+    assert!(after.invalidated >= 1, "{after:?}");
+    assert_eq!(after.builds, 2, "rebuilt after the eviction: {after:?}");
 }
 
 #[test]
@@ -189,9 +287,13 @@ fn lru_budget_bounds_cached_rows_end_to_end() {
     let mut s = Session::new();
     s.store_reset();
     machiavelli::store::with_store(|st| st.set_budget(3));
+    // The probe side matches `big`'s cardinality so the open-time swap
+    // keeps `big` as the build and the budget decline is what's
+    // exercised.
     s.run(
         "val big = {[K=1], [K=2], [K=3], [K=4]}; \
-           val small = {[K=1], [K=2]}; val probe = {[K=1]};",
+           val small = {[K=1], [K=2]}; \
+           val probe = {[K=1], [K=2], [K=3], [K=4]};",
     )
     .unwrap();
     // `big` exceeds the whole budget: runs fine, caches nothing.
@@ -208,7 +310,8 @@ fn lru_budget_bounds_cached_rows_end_to_end() {
         "{2}"
     );
     assert_eq!(s.store_stats().entries, 0);
-    // `small` fits and is cached.
+    // `small` fits and is cached (the swap also cannot prefer `probe`:
+    // it is not smaller than `small`… it is larger, so `small` builds).
     eval(
         &mut s,
         "select x where y <- probe, x <- small with x.K = y.K;",
@@ -217,6 +320,46 @@ fn lru_budget_bounds_cached_rows_end_to_end() {
     let stats = s.store_stats();
     assert_eq!((stats.entries, stats.cached_rows), (1, 2), "{stats:?}");
     machiavelli::store::with_store(|st| st.set_budget(machiavelli::store::DEFAULT_BUDGET_ROWS));
+}
+
+/// Drive one session through a scripted query/mutation interleaving,
+/// returning every query result plus the final store counters.
+fn drive(
+    ops: &[(bool, i64, i64)],
+    seed: i64,
+    paranoid: bool,
+) -> (Vec<Result<String, String>>, machiavelli::store::StoreStats) {
+    let prev_mode = machiavelli::value::tuning::set_store_epoch_clear(paranoid);
+    let mut s = Session::new();
+    s.store_reset();
+    s.run(&format!(
+        "val dbref = ref({{[K=0, A={seed}], [K=1, A={}]}});
+         val fixed = {{[K=0, B=7], [K=2, B=9]}};
+         val probe = {{[K=0], [K=1], [K=2], [K=3]}};
+         val side = ref(0);",
+        seed + 1
+    ))
+    .unwrap();
+    let queries = [
+        "select (y.K, x.A) where y <- probe, x <- !dbref with x.K = y.K;",
+        "select (x.A, z.B) where x <- !dbref, z <- fixed with x.K = z.K;",
+    ];
+    let mut outs = Vec::new();
+    for (i, (mutate, k, a)) in ops.iter().enumerate() {
+        if *mutate {
+            if k % 2 == 0 {
+                // A write the cached relations cannot reach.
+                s.eval_one(&format!("side := {a};")).unwrap();
+            } else {
+                s.eval_one(&format!("dbref := union(!dbref, {{[K={k}, A={a}]}});"))
+                    .unwrap();
+            }
+        }
+        outs.push(eval(&mut s, queries[i % queries.len()]));
+    }
+    let stats = s.store_stats();
+    machiavelli::value::tuning::set_store_epoch_clear(prev_mode);
+    (outs, stats)
 }
 
 proptest! {
@@ -257,5 +400,31 @@ proptest! {
                 "op {i} of {ops:?}: {planned:?} vs {reference:?}"
             );
         }
+    }
+
+    // Dependency-tracked invalidation against the PR 4 whole-store
+    // clear, over the same interleavings: identical visible results,
+    // never more evictions (the precise mode only drops entries the
+    // paranoid mode would also have dropped).
+    #[test]
+    fn dirty_set_invalidation_agrees_with_the_whole_store_clear(
+        ops in proptest::collection::vec((any::<bool>(), 0i64..5, 0i64..40), 1..10),
+        seed in 0i64..100,
+    ) {
+        let (precise_out, precise) = drive(&ops, seed, false);
+        let (paranoid_out, paranoid) = drive(&ops, seed, true);
+        prop_assert!(
+            precise_out == paranoid_out,
+            "visible results diverge on {ops:?}: {precise_out:?} vs {paranoid_out:?}"
+        );
+        let precise_drops = precise.invalidated + precise.cleared;
+        let paranoid_drops = paranoid.invalidated + paranoid.cleared;
+        prop_assert!(
+            precise_drops <= paranoid_drops,
+            "precise mode evicted more ({precise:?} vs {paranoid:?}) on {ops:?}"
+        );
+        // And strictly fewer rebuilds whenever a mutation actually ran
+        // (unrelated `side` writes cost the paranoid mode its cache).
+        prop_assert!(precise.builds <= paranoid.builds, "{precise:?} vs {paranoid:?}");
     }
 }
