@@ -93,12 +93,12 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
         refs: HashMap::new(),
     };
     dec.expect("refs")?;
-    let n = dec.number()? as usize;
+    let n = dec.count()?;
     dec.expect("{")?;
     // Pass 1: allocate all cells (so cyclic references resolve).
-    let mut bodies: Vec<(u32, usize)> = Vec::with_capacity(n);
+    let mut bodies: Vec<(u32, usize)> = Vec::with_capacity(clamped(n));
     for _ in 0..n {
-        let id = dec.number()? as u32;
+        let id = dec.unsigned()? as u32;
         dec.expect("=")?;
         let start = dec.pos;
         dec.skip_value()?;
@@ -118,7 +118,17 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
             refs: dec.refs.clone(),
         };
         let contents = cell_dec.value()?;
-        dec.refs[id].set(contents);
+        let Some(cell) = dec.refs.get(id) else {
+            // Unreachable (every id was inserted in pass 1), but a
+            // decoder bug must surface as an error, never a panic: a
+            // malformed persist file may be fed to a server-hosted
+            // session.
+            return Err(PersistError::Malformed {
+                offset: *start,
+                expected: "a reserved ref id",
+            });
+        };
+        cell.set(contents);
     }
     let mut root_dec = Decoder {
         src: dec.src,
@@ -188,10 +198,18 @@ impl Encoder {
                     None => {
                         let local = self.next;
                         self.next += 1;
-                        // Reserve the slot before recursing (cycles!).
+                        // Reserve the slot before recursing (cycles!),
+                        // then fill it; the slot cannot have vanished,
+                        // but degrade to re-inserting rather than
+                        // panicking if an encoder bug ever drops it.
                         self.table.insert(r.id, (local, String::new()));
                         let contents = self.encode(&r.get())?;
-                        self.table.get_mut(&r.id).expect("reserved").1 = contents;
+                        match self.table.get_mut(&r.id) {
+                            Some(slot) => slot.1 = contents,
+                            None => {
+                                self.table.insert(r.id, (local, contents));
+                            }
+                        }
                         local
                     }
                 };
@@ -207,6 +225,14 @@ impl Encoder {
         }
         Ok(())
     }
+}
+
+/// Cap speculative pre-allocation from decoded counts: a malformed (or
+/// hostile) length prefix must cost a `Malformed` error downstream, not
+/// an allocation abort here. Honest inputs still reserve exactly once
+/// for anything up to this size.
+fn clamped(n: usize) -> usize {
+    n.min(1024)
 }
 
 struct Decoder<'a> {
@@ -253,6 +279,13 @@ impl Decoder<'_> {
             .ok_or_else(|| self.err("a number"))
     }
 
+    /// A decoded element/field count. Counts are never negative, so
+    /// they parse as unsigned — a `-` here is malformed input, not a
+    /// huge wrapped `usize`.
+    fn count(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.unsigned()?).map_err(|_| self.err("a count"))
+    }
+
     fn unsigned(&mut self) -> Result<u64, PersistError> {
         let start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
@@ -265,7 +298,7 @@ impl Decoder<'_> {
     }
 
     fn sized_str(&mut self) -> Result<String, PersistError> {
-        let n = self.number()? as usize;
+        let n = self.count()?;
         self.expect(":")?;
         let end = self.pos.checked_add(n).filter(|&e| e <= self.src.len());
         let Some(end) = end else {
@@ -315,9 +348,9 @@ impl Decoder<'_> {
             }
             Some(b'R') => {
                 self.pos += 1;
-                let n = self.number()? as usize;
+                let n = self.count()?;
                 self.expect("{")?;
-                let mut fs = Vec::with_capacity(n);
+                let mut fs = Vec::with_capacity(clamped(n));
                 for _ in 0..n {
                     let l = self.label()?;
                     let v = self.value()?;
@@ -334,9 +367,9 @@ impl Decoder<'_> {
             }
             Some(b'S') => {
                 self.pos += 1;
-                let n = self.number()? as usize;
+                let n = self.count()?;
                 self.expect("[")?;
-                let mut items = Vec::with_capacity(n);
+                let mut items = Vec::with_capacity(clamped(n));
                 for _ in 0..n {
                     items.push(self.value()?);
                 }
@@ -345,7 +378,7 @@ impl Decoder<'_> {
             }
             Some(b'r') => {
                 self.pos += 1;
-                let id = self.number()? as u32;
+                let id = self.unsigned()? as u32;
                 self.expect(".")?;
                 let cell = self
                     .refs
@@ -390,7 +423,7 @@ impl Decoder<'_> {
             }
             Some(b'R') => {
                 self.pos += 1;
-                let n = self.number()? as usize;
+                let n = self.count()?;
                 self.expect("{")?;
                 for _ in 0..n {
                     self.label()?;
@@ -405,7 +438,7 @@ impl Decoder<'_> {
             }
             Some(b'S') => {
                 self.pos += 1;
-                let n = self.number()? as usize;
+                let n = self.count()?;
                 self.expect("[")?;
                 for _ in 0..n {
                     self.skip_value()?;
@@ -414,7 +447,7 @@ impl Decoder<'_> {
             }
             Some(b'r') => {
                 self.pos += 1;
-                self.number()?;
+                self.unsigned()?;
                 self.expect(".")
             }
             Some(b'd') => {
@@ -555,6 +588,28 @@ mod tests {
             "refs0{}i1",
             "refs1{0=i1:;}r9.",
             "refs0{}s5:ab",
+        ] {
+            assert!(decode_value(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_error_instead_of_aborting() {
+        // Each input claims an astronomically large element count or a
+        // negative one. Decoding must fail with `Malformed` — without
+        // pre-allocating by the claimed count (an allocation abort is a
+        // panic a server-hosted session can never be allowed to hit).
+        for bad in [
+            "refs0{}S99999999999999999[u]",     // set count ≫ input
+            "refs0{}R99999999999999999{l1:Au}", // record count ≫ input
+            "refs99999999999999999{}u",         // ref-table count ≫ input
+            "refs0{}S-3[u]",                    // negative set count
+            "refs0{}R-1{}",                     // negative record count
+            "refs0{}s-5:abc",                   // negative string length
+            "refs0{}s99999999999999999:abc",    // string length ≫ input
+            "refs1{-1=u;}u",                    // negative ref id
+            "refs0{}r-1.",                      // negative ref id use
+            "refs0{}S18446744073709551617[u]",  // count > u64::MAX
         ] {
             assert!(decode_value(bad).is_err(), "{bad:?}");
         }

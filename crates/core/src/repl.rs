@@ -73,6 +73,25 @@ pub fn run_repl(
                     ps.par_homs,
                     ps.par_hom_fallbacks
                 )?;
+                let sc = session.server_stats();
+                let sh = session.shared_store_stats();
+                writeln!(
+                    output,
+                    ">> server: sessions {} started / {} panicked / {} closed, \
+                     queries {} completed / {} shed / {} deadline / {} cancelled / {} row-budget, \
+                     shared tier {} publishes / {} adoptions / {} lock recoveries",
+                    sc.sessions_started,
+                    sc.sessions_panicked,
+                    sc.sessions_closed,
+                    sc.queries_completed,
+                    sc.queries_shed,
+                    sc.deadlines_hit,
+                    sc.queries_cancelled,
+                    sc.row_budgets_hit,
+                    sh.publishes,
+                    sh.adoptions,
+                    sh.lock_recoveries
+                )?;
             } else if bare_command(&pending, ":indexes") {
                 let infos = session.store_indexes();
                 if infos.is_empty() {
@@ -265,6 +284,17 @@ mod tests {
             text.contains(
                 ">> parallel (1 threads): joins 0 / join fallbacks 0 / cached probes 0 / \
                  probe fallbacks 0 / homs 0 / hom fallbacks 0"
+            ),
+            "{text}"
+        );
+        // No server hosts sessions in this process (and the shared
+        // tier is off outside server workers): the server line is
+        // present with all counters at zero.
+        assert!(
+            text.contains(
+                ">> server: sessions 0 started / 0 panicked / 0 closed, \
+                 queries 0 completed / 0 shed / 0 deadline / 0 cancelled / 0 row-budget, \
+                 shared tier 0 publishes / 0 adoptions / 0 lock recoveries"
             ),
             "{text}"
         );

@@ -47,10 +47,17 @@ impl Session {
     /// A session with the standard prelude (`map`, `filter`, `member`,
     /// `prod`, `Closure`, …) loaded.
     pub fn new() -> Session {
+        Session::try_new().expect("the standard prelude must type-check and evaluate")
+    }
+
+    /// Like [`Session::new`], reporting a prelude failure instead of
+    /// panicking — the constructor server-hosted sessions use, so a
+    /// broken prelude (or a governor trip during prelude evaluation)
+    /// surfaces as a structured error rather than aborting a worker.
+    pub fn try_new() -> Result<Session, SessionError> {
         let mut s = Session::bare();
-        s.run(PRELUDE)
-            .expect("the standard prelude must type-check and evaluate");
-        s
+        s.run(PRELUDE)?;
+        Ok(s)
     }
 
     /// A session with only the language builtins (no prelude).
@@ -188,6 +195,24 @@ impl Session {
     /// Zero the parallel-lane counters.
     pub fn par_reset(&self) {
         machiavelli_value::tuning::reset_par_stats()
+    }
+
+    /// The process-wide server/resilience counters: sessions started,
+    /// panicked (isolated), closed; queries shed at admission, stopped
+    /// by deadline, cancellation, or row budget; queries completed.
+    /// All zero unless this process hosts sessions through
+    /// `machiavelli-server` (or installs `QueryGuard`s itself). Behind
+    /// the REPL's `:stats` alongside the index-store counters.
+    pub fn server_stats(&self) -> machiavelli_value::governor::ServerCounters {
+        machiavelli_value::governor::server_counters()
+    }
+
+    /// The process-wide shared index tier's counters (cross-session
+    /// index reuse: publishes, adoptions, lock-poison recoveries — see
+    /// `machiavelli_store::shared`). The tier is off outside server
+    /// workers unless explicitly enabled.
+    pub fn shared_store_stats(&self) -> machiavelli_store::shared::SharedStats {
+        machiavelli_store::shared::shared_stats()
     }
 
     /// Look up a bound value.

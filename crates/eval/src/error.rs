@@ -1,5 +1,6 @@
 //! Evaluation errors.
 
+use machiavelli_value::governor::Trip;
 use machiavelli_value::ValueError;
 use std::fmt;
 
@@ -19,6 +20,13 @@ pub enum EvalError {
     NotAFunction(String),
     /// Evaluation exceeded the configured recursion depth.
     StackOverflow,
+    /// The governing [`machiavelli_value::QueryGuard`] stopped the
+    /// query (cancellation, deadline, or row budget) at a cooperative
+    /// tick. Sticky: re-polling the guard reports the same cause.
+    Interrupted(Trip),
+    /// A parallel worker panicked; the panic was caught at the lane
+    /// boundary and reported instead of unwinding through the session.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EvalError {
@@ -31,6 +39,8 @@ impl fmt::Display for EvalError {
             }
             EvalError::NotAFunction(v) => write!(f, "cannot apply non-function `{v}`"),
             EvalError::StackOverflow => write!(f, "evaluation recursion limit exceeded"),
+            EvalError::Interrupted(trip) => trip.fmt(f),
+            EvalError::WorkerPanicked(msg) => write!(f, "parallel worker panicked: {msg}"),
         }
     }
 }

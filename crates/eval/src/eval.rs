@@ -42,15 +42,27 @@ fn with_stack<T>(f: impl FnOnce() -> T) -> T {
 
 /// Evaluate an expression in `env`.
 pub fn eval_expr(env: &Env, e: &Expr) -> Result<Value, EvalError> {
-    let mut cx = Cx { depth: 0 };
+    let mut cx = Cx { depth: 0, ticks: 0 };
     cx.eval(env, e)
 }
 
 /// Apply a function value to arguments (exposed for the OODB layer and
 /// benches that drive closures from Rust).
 pub fn apply_value(f: &Value, args: Vec<Value>) -> Result<Value, EvalError> {
-    let mut cx = Cx { depth: 0 };
+    let mut cx = Cx { depth: 0, ticks: 0 };
     cx.apply(f, args)
+}
+
+/// The cooperative tick: fault-injection points first (an injected
+/// panic or delay must be able to fire even on un-governed sessions),
+/// then the guard poll.
+fn governed_tick() -> Result<(), EvalError> {
+    machiavelli_value::faults::maybe_delay();
+    machiavelli_value::faults::maybe_eval_panic();
+    if let Some(trip) = machiavelli_value::governor::check_current() {
+        return Err(EvalError::Interrupted(trip));
+    }
+    Ok(())
 }
 
 thread_local! {
@@ -80,8 +92,19 @@ pub fn builtin_env() -> Env {
         .bind("applyc", Value::Builtin(Builtin::ApplyC))
 }
 
+/// Every this many `enter` calls the evaluator runs its cooperative
+/// tick: fault-injection points plus the [`machiavelli_value::governor`]
+/// poll. Depth alone cannot drive the tick — row loops evaluate at a
+/// constant shallow depth, so a depth-keyed check would never fire on
+/// exactly the long-running shapes deadlines exist for. A power of two
+/// so the gate is a mask.
+const GOVERNOR_TICK: u64 = 256;
+
 struct Cx {
     depth: u32,
+    /// Monotone count of `enter` calls (never decremented), driving the
+    /// cooperative tick.
+    ticks: u64,
 }
 
 impl Cx {
@@ -96,6 +119,10 @@ impl Cx {
             && stacker::remaining_stack().is_some_and(|rem| rem < STACK_RED_ZONE)
         {
             return Err(EvalError::StackOverflow);
+        }
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(GOVERNOR_TICK) {
+            governed_tick()?;
         }
         Ok(())
     }
@@ -378,6 +405,8 @@ impl Cx {
                                 Err(ValueError::NotASet(shown).into())
                             }
                             Err(ExecError::NotABool(shown)) => Err(EvalError::NotAFunction(shown)),
+                            Err(ExecError::Interrupted(trip)) => Err(EvalError::Interrupted(trip)),
+                            Err(ExecError::WorkerPanic(msg)) => Err(EvalError::WorkerPanicked(msg)),
                         };
                     }
                 }
@@ -679,6 +708,12 @@ fn try_par_hom(fv: &Value, opv: &Value, zv: &Value, items: &MSet) -> Option<Valu
         || tuning::par_threads() < 2
         || items.len() < tuning::par_hom_min_items()
     {
+        return None;
+    }
+    // A tripped guard must surface through the sequential fold's
+    // cooperative tick — declining here keeps the parallel lane from
+    // computing a result the query is no longer allowed to return.
+    if machiavelli_value::governor::check_current().is_some() {
         return None;
     }
     let mut vars = Vec::new();

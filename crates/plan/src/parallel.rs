@@ -44,6 +44,8 @@
 
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
 use machiavelli_syntax::symbol::Symbol;
+use machiavelli_value::faults::{self, FaultConfig};
+use machiavelli_value::governor::{self, QueryGuard};
 use machiavelli_value::plain::{plain_cmp, plain_eq, to_plain, PlainIndex, PlainKey, PlainValue};
 use machiavelli_value::set::MSet;
 use machiavelli_value::value::{value_eq, Fields, Value};
@@ -51,6 +53,7 @@ use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::Hasher;
+use std::sync::Arc;
 
 // --- the plain expression class --------------------------------------------
 
@@ -583,11 +586,66 @@ fn partition_of(hash: u64, nt: usize) -> usize {
     ((hash >> 32) as usize) % nt
 }
 
+/// Every this many rows a worker chunk loop polls the query guard, so
+/// cancellation and deadlines reach into a running fan-out instead of
+/// waiting for it to drain. A power of two so the gate is a mask.
+const CHUNK_TICK_MASK: usize = 1023;
+
+/// Context a parallel worker carries across the thread boundary: the
+/// coordinator's query guard (shared, `Sync`) and its effective fault
+/// config (thread locals do not inherit, so the coordinator captures
+/// both before fanning out). [`WorkerCx::enter`] runs the worker-side
+/// fail point; [`WorkerCx::tripped`] is the chunk loop's poll — a
+/// tripped guard makes workers bail with a **truncated** result, which
+/// is safe because the coordinator re-checks the (sticky) guard after
+/// every fan-out and surfaces the trip as an error before any result is
+/// used.
+#[derive(Clone, Default)]
+struct WorkerCx {
+    guard: Option<Arc<QueryGuard>>,
+    faults: Option<FaultConfig>,
+}
+
+impl WorkerCx {
+    /// Capture the coordinator's context (call before the fan-out).
+    fn capture() -> WorkerCx {
+        WorkerCx {
+            guard: governor::current(),
+            faults: faults::faults_active().then(faults::fault_config),
+        }
+    }
+
+    /// Worker-side entry: install the fault config on this thread and
+    /// run the injected-panic fail point. (Panics cross the scope join
+    /// and are trapped by the coordinator's `catch_unwind` in
+    /// `physical.rs` — the `par_hom` catch-and-report discipline.)
+    fn enter(&self) {
+        if let Some(cfg) = self.faults {
+            faults::set_fault_config(Some(cfg));
+        }
+        faults::maybe_worker_panic();
+    }
+
+    /// Chunk-loop poll: should this worker stop early?
+    fn tripped(&self) -> bool {
+        self.guard.as_ref().is_some_and(|g| g.check().is_some())
+    }
+
+    /// Should this spawn be reported as failed (injected fault)? Rolled
+    /// on the coordinator, where the fault config is already installed.
+    fn spawn_denied(&self) -> bool {
+        self.faults.is_some() && faults::spawn_denied()
+    }
+}
+
 /// Build one partition's table from its bucket (index order, so group
 /// index lists ascend = build-source canonical order).
-fn build_partition_table<'k>(bucket: &[&'k Keyed]) -> PartitionTable<'k> {
+fn build_partition_table<'k>(bucket: &[&'k Keyed], cx: &WorkerCx) -> PartitionTable<'k> {
     let mut table = PartitionTable::with_capacity_and_hasher(bucket.len(), IdBuild::default());
-    for k in bucket {
+    for (i, k) in bucket.iter().enumerate() {
+        if i & CHUNK_TICK_MASK == 0 && cx.tripped() {
+            break;
+        }
         table
             .entry(HashedKey {
                 hash: k.hash,
@@ -600,10 +658,17 @@ fn build_partition_table<'k>(bucket: &[&'k Keyed]) -> PartitionTable<'k> {
 }
 
 /// Probe one contiguous chunk against the partition tables.
-fn probe_partition_chunk(chunk: &[Keyed], tables: &[PartitionTable<'_>]) -> Vec<Vec<u32>> {
+fn probe_partition_chunk(
+    chunk: &[Keyed],
+    tables: &[PartitionTable<'_>],
+    cx: &WorkerCx,
+) -> Vec<Vec<u32>> {
     let nt = tables.len();
     let mut out: Vec<Vec<u32>> = Vec::with_capacity(chunk.len());
-    for k in chunk {
+    for (i, k) in chunk.iter().enumerate() {
+        if i & CHUNK_TICK_MASK == 0 && cx.tripped() {
+            break;
+        }
         let table = &tables[partition_of(k.hash, nt)];
         out.push(
             table
@@ -623,10 +688,18 @@ fn probe_partition_chunk(chunk: &[Keyed], tables: &[PartitionTable<'_>]) -> Vec<
 /// Infallible: both sides were keyed (and every failure mode surfaced)
 /// before the fan-out, so the workers are pure data plumbing —
 /// partition, group, look up. A worker whose thread spawn is declined
-/// by the OS runs inline on the coordinating thread (same result, less
-/// parallelism — the `par_hom` degradation discipline).
+/// by the OS (or by an injected fault) runs inline on the coordinating
+/// thread (same result, less parallelism — the `par_hom` degradation
+/// discipline).
+///
+/// Two caveats the caller (`physical.rs`) owns: a worker panic —
+/// injected or real — resumes on the coordinator and must be trapped
+/// with `catch_unwind`; and under a tripped [`QueryGuard`] workers bail
+/// early with a **truncated** result, so the caller must re-check the
+/// sticky guard after the call and error instead of using it.
 pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) -> Vec<Vec<u32>> {
     let nt = n_threads.max(1);
+    let cx = WorkerCx::capture();
 
     // Pre-bucket the build side by owning partition in one sequential
     // pass (a branch and a pointer push per row), so each worker
@@ -643,14 +716,21 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
 
     // Phase 1: build the partition tables, one worker per bucket.
     let tables: Vec<PartitionTable<'_>> = crossbeam::thread::scope(|scope| {
+        let cx = &cx;
         let handles: Vec<_> = buckets
             .iter()
-            .map(
-                |bucket| match scope.try_spawn(move |_| build_partition_table(bucket)) {
+            .map(|bucket| {
+                if cx.spawn_denied() {
+                    return Err(bucket);
+                }
+                match scope.try_spawn(move |_| {
+                    cx.enter();
+                    build_partition_table(bucket, cx)
+                }) {
                     Ok(h) => Ok(h),
                     Err(_) => Err(bucket),
-                },
-            )
+                }
+            })
             .collect();
         handles
             .into_iter()
@@ -658,7 +738,7 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
                 Ok(h) => h
                     .join()
                     .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(bucket) => build_partition_table(bucket),
+                Err(bucket) => build_partition_table(bucket, cx),
             })
             .collect()
     })
@@ -669,14 +749,21 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
     let probe_chunk = probe.len().div_ceil(nt).max(1);
     let probed: Vec<Vec<Vec<u32>>> = crossbeam::thread::scope(|scope| {
         let tables = &tables;
+        let cx = &cx;
         let handles: Vec<_> = probe
             .chunks(probe_chunk)
-            .map(
-                |chunk| match scope.try_spawn(move |_| probe_partition_chunk(chunk, tables)) {
+            .map(|chunk| {
+                if cx.spawn_denied() {
+                    return Err(chunk);
+                }
+                match scope.try_spawn(move |_| {
+                    cx.enter();
+                    probe_partition_chunk(chunk, tables, cx)
+                }) {
                     Ok(h) => Ok(h),
                     Err(_) => Err(chunk),
-                },
-            )
+                }
+            })
             .collect();
         handles
             .into_iter()
@@ -684,7 +771,7 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
                 Ok(h) => h
                     .join()
                     .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(chunk) => probe_partition_chunk(chunk, tables),
+                Err(chunk) => probe_partition_chunk(chunk, tables, cx),
             })
             .collect()
     })
@@ -701,8 +788,15 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
 
 /// Probe one contiguous chunk of extracted keys against a shared plain
 /// index.
-fn probe_cached_chunk(index: &PlainIndex, chunk: &[PlainKey]) -> Vec<Vec<u32>> {
-    chunk.iter().map(|k| index.get(k).to_vec()).collect()
+fn probe_cached_chunk(index: &PlainIndex, chunk: &[PlainKey], cx: &WorkerCx) -> Vec<Vec<u32>> {
+    let mut out: Vec<Vec<u32>> = Vec::with_capacity(chunk.len());
+    for (i, k) in chunk.iter().enumerate() {
+        if i & CHUNK_TICK_MASK == 0 && cx.tripped() {
+            break;
+        }
+        out.push(index.get(k).to_vec());
+    }
+    out
 }
 
 /// Partition-parallel probe over a **cached** plain index: the build
@@ -717,18 +811,29 @@ fn probe_cached_chunk(index: &PlainIndex, chunk: &[PlainKey]) -> Vec<Vec<u32>> {
 /// reason as [`par_partition_join`]: every failure mode (a key that
 /// declines extraction) surfaced before the fan-out, and a worker whose
 /// thread spawn is declined by the OS runs inline on the coordinator.
+/// The same caveats apply — worker panics resume on the coordinator
+/// (trap with `catch_unwind`), and a tripped guard truncates (re-check
+/// after the call).
 pub fn par_probe_cached(index: &PlainIndex, probe: &[PlainKey], n_threads: usize) -> Vec<Vec<u32>> {
     let nt = n_threads.max(1);
+    let cx = WorkerCx::capture();
     let chunk = probe.len().div_ceil(nt).max(1);
     let probed: Vec<Vec<Vec<u32>>> = crossbeam::thread::scope(|scope| {
+        let cx = &cx;
         let handles: Vec<_> = probe
             .chunks(chunk)
-            .map(
-                |chunk| match scope.try_spawn(move |_| probe_cached_chunk(index, chunk)) {
+            .map(|chunk| {
+                if cx.spawn_denied() {
+                    return Err(chunk);
+                }
+                match scope.try_spawn(move |_| {
+                    cx.enter();
+                    probe_cached_chunk(index, chunk, cx)
+                }) {
                     Ok(h) => Ok(h),
                     Err(_) => Err(chunk),
-                },
-            )
+                }
+            })
             .collect();
         handles
             .into_iter()
@@ -736,7 +841,7 @@ pub fn par_probe_cached(index: &PlainIndex, probe: &[PlainKey], n_threads: usize
                 Ok(h) => h
                     .join()
                     .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(chunk) => probe_cached_chunk(index, chunk),
+                Err(chunk) => probe_cached_chunk(index, chunk, cx),
             })
             .collect()
     })
@@ -965,5 +1070,82 @@ mod tests {
             assert_eq!(m, vec![vec![1, 2], vec![], vec![0]], "threads={threads}");
         }
         assert_eq!(par_probe_cached(&index, &[], 4), Vec::<Vec<u32>>::new());
+    }
+
+    /// Run `f` with a fault config installed on this thread (workers
+    /// inherit it through [`WorkerCx::capture`]), restoring after.
+    fn with_faults<T>(cfg: FaultConfig, f: impl FnOnce() -> T) -> T {
+        let prev = faults::set_fault_config(Some(cfg));
+        let out = f();
+        faults::set_fault_config(prev);
+        out
+    }
+
+    #[test]
+    fn injected_worker_panic_resumes_on_the_coordinator() {
+        // A panic on a fan-out worker must reach the caller as a
+        // catchable unwind with the original payload — the same
+        // catch-and-report contract `par_hom` documents — so the
+        // driver in `physical.rs` can turn it into a structured
+        // `ExecError::WorkerPanic` instead of aborting the process.
+        let build = keyed_by_k(&[row_k(1, 0), row_k(2, 1)], "x");
+        let probe = keyed_by_k(&[row_k(2, 0)], "y");
+        let cfg = FaultConfig {
+            worker_panic_ppm: 1_000_000,
+            seed: 11,
+            ..FaultConfig::off()
+        };
+        for caller in ["partition_join", "probe_cached"] {
+            let caught = with_faults(cfg, || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match caller {
+                    "partition_join" => par_partition_join(&build, &probe, 4),
+                    _ => {
+                        let rows: Arc<[PlainValue]> = vec![PlainValue::Int(1)].into();
+                        let index = PlainIndex::from_groups(
+                            rows,
+                            vec![(PlainKey::One(PlainValue::Int(1)), vec![0])],
+                        );
+                        par_probe_cached(&index, &[PlainKey::One(PlainValue::Int(1))], 4)
+                    }
+                }))
+            });
+            let payload = caught.expect_err("worker panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains(machiavelli_value::faults::INJECTED_PANIC_PREFIX),
+                "{caller}: original payload survives: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_spawn_denial_degrades_to_inline_with_identical_results() {
+        let build: Vec<Value> = [1, 2, 2, 9]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| row_k(k, i as i64))
+            .collect();
+        let probe: Vec<Value> = [2, 5, 1].iter().map(|&k| row_k(k, 0)).collect();
+        let build_keyed = keyed_by_k(&build, "x");
+        let probe_keyed = keyed_by_k(&probe, "y");
+        let cfg = FaultConfig {
+            spawn_fail_ppm: 1_000_000,
+            seed: 5,
+            ..FaultConfig::off()
+        };
+        machiavelli_value::faults::reset_injected_faults();
+        let m = with_faults(cfg, || par_partition_join(&build_keyed, &probe_keyed, 4));
+        assert_eq!(
+            m,
+            vec![vec![1, 2], vec![], vec![0]],
+            "inline fallback agrees"
+        );
+        assert!(
+            machiavelli_value::faults::injected_faults().spawn_failures > 0,
+            "the denial path actually ran"
+        );
     }
 }

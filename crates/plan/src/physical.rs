@@ -79,12 +79,46 @@ pub enum ExecError<E> {
     /// A strict conjunct (left operand of `andalso`) evaluated to a
     /// non-boolean (rendered value).
     NotABool(String),
+    /// The governing [`machiavelli_value::governor::QueryGuard`]
+    /// stopped the pipeline (checked after every parallel fan-out and
+    /// inside worker chunk loops). Non-generic: the guard is outside
+    /// the hook's error space.
+    Interrupted(machiavelli_value::governor::Trip),
+    /// A parallel worker panicked; caught at the lane boundary and
+    /// reported as an error instead of unwinding through the session.
+    WorkerPanic(String),
 }
 
 impl<E> From<E> for ExecError<E> {
     fn from(e: E) -> Self {
         ExecError::Eval(e)
     }
+}
+
+/// Render a caught panic payload (the common `&str`/`String` cases;
+/// anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Run a parallel driver under the lane's panic trap. A worker panic
+/// (injected or real) resumes on the coordinator inside `f`; trapping
+/// it here turns a would-be session abort into
+/// [`ExecError::WorkerPanic`]. After a clean return the (sticky) query
+/// guard is re-checked: workers bail early with truncated results when
+/// the guard trips mid-fan-out, so a trip must surface as
+/// [`ExecError::Interrupted`] before the result can be used.
+fn run_par<T, E>(f: impl FnOnce() -> T) -> Result<T, ExecError<E>> {
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|payload| ExecError::WorkerPanic(panic_message(payload.as_ref())))?;
+    if let Some(trip) = machiavelli_value::governor::check_current() {
+        return Err(ExecError::Interrupted(trip));
+    }
+    Ok(out)
 }
 
 /// Static eligibility of a [`PhysOp::HashJoin`] for the plain-data
@@ -844,7 +878,7 @@ fn open_par_join<'p, H: EvalHook>(
             drained, &items, var, build_keys, filters, probe_keys, env, hook,
         );
     }
-    let matches = par_partition_join(&build_keyed, &probe_keyed, par_threads());
+    let matches = run_par(|| par_partition_join(&build_keyed, &probe_keyed, par_threads()))?;
     note_par_join(true);
     Ok(Node::ParJoin {
         var,
@@ -997,7 +1031,7 @@ fn open_cached_par_probe<'p, H: EvalHook>(
                 note_par_probe(false);
                 return Ok(seq(input, items, index));
             }
-            let matches = par_probe_cached(&index, &keys, par_threads());
+            let matches = run_par(|| par_probe_cached(&index, &keys, par_threads()))?;
             note_par_probe(true);
             let probe = ParProbe::Rows {
                 base: base.clone(),
@@ -1080,7 +1114,7 @@ fn open_cached_par_probe<'p, H: EvalHook>(
         note_par_probe(false);
         return Ok(seq(drained(probe_rows), items, index));
     }
-    let matches = par_probe_cached(&index, &keys, par_threads());
+    let matches = run_par(|| par_probe_cached(&index, &keys, par_threads()))?;
     note_par_probe(true);
     Ok(Node::ParJoin {
         var,

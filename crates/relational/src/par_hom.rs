@@ -68,6 +68,11 @@ where
                 let f = &f;
                 let op = &op;
                 let z = z.clone();
+                // The injected spawn fault exercises the same inline
+                // fallback as a real OS decline.
+                if machiavelli_value::faults::spawn_denied() {
+                    return Err(slice);
+                }
                 match scope.try_spawn(move |_| seq_hom(slice, f, op, z)) {
                     Ok(h) => Ok(h),
                     Err(_) => Err(slice),

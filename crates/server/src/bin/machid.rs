@@ -1,0 +1,82 @@
+//! `machid` — the Machiavelli session server over TCP.
+//!
+//! ```text
+//! machid [ADDR]          # default 127.0.0.1:7878
+//! ```
+//!
+//! One thread per connection, speaking the line protocol from
+//! `machiavelli_server::wire`. Tuning via environment:
+//!
+//! * `MACHID_WORKERS`      — worker threads (default 4)
+//! * `MACHID_QUEUE_CAP`    — per-worker queue bound (default 64)
+//! * `MACHID_DEADLINE_MS`  — default per-query deadline (default none)
+//! * `MACHIAVELLI_QUERY_MAX_ROWS` — per-query row budget
+//! * `MACHIAVELLI_FAULT_*` — fault injection (chaos drills)
+
+use machiavelli_server::{serve_connection, Server, ServerConfig};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let config = ServerConfig {
+        workers: env_usize("MACHID_WORKERS").unwrap_or(4),
+        queue_cap: env_usize("MACHID_QUEUE_CAP").unwrap_or(64),
+        default_deadline: env_usize("MACHID_DEADLINE_MS")
+            .map(|ms| Duration::from_millis(ms as u64)),
+        ..ServerConfig::default()
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("machid: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Arc::new(Server::start(config));
+    eprintln!(
+        "machid: listening on {addr} ({} workers)",
+        server.live_workers()
+    );
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("machid: accept failed: {e}");
+                continue;
+            }
+        };
+        let server = Arc::clone(&server);
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let spawned = std::thread::Builder::new()
+            .name(format!("machid-conn-{peer}"))
+            .spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(r) => BufReader::new(r),
+                    Err(e) => {
+                        eprintln!("machid: cannot clone stream for {peer}: {e}");
+                        return;
+                    }
+                };
+                if let Err(e) = serve_connection(&server, reader, stream) {
+                    eprintln!("machid: connection {peer} ended with error: {e}");
+                }
+            });
+        if let Err(e) = spawned {
+            eprintln!("machid: cannot spawn connection thread: {e}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,130 @@
+//! Structured server errors.
+//!
+//! Every failure a hosted query can experience maps onto exactly one of
+//! these variants, so clients can distinguish "your query was wrong"
+//! ([`ServerError::Query`]) from "the server protected itself"
+//! (admission, deadlines, budgets) from "your session is gone"
+//! (panic poisoning). None of them abort the process.
+
+use machiavelli_value::governor::Trip;
+use std::fmt;
+
+/// A structured error from the session server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Admission control shed the request: the target worker's queue
+    /// was full. The request was never enqueued; retry later.
+    Busy,
+    /// The session id is not open on this server.
+    NoSuchSession(u64),
+    /// A previous query panicked inside this session; the session is
+    /// poisoned and only `close` is accepted for it.
+    SessionPoisoned(u64),
+    /// This query panicked inside the evaluator. The panic was caught
+    /// on the worker; the session is now poisoned, the server and all
+    /// other sessions are unaffected.
+    SessionPanicked(String),
+    /// The query exceeded its deadline and was stopped cooperatively.
+    DeadlineExceeded,
+    /// The query was cancelled by the client.
+    Cancelled,
+    /// The query exceeded the per-query row budget.
+    RowBudgetExceeded,
+    /// An ordinary query failure (parse, type, or runtime error),
+    /// pre-rendered by the session.
+    Query(String),
+    /// The worker could not construct the session (prelude failure).
+    SessionInit(String),
+    /// The server is shutting down (or the worker backing this session
+    /// failed to start and requests to it cannot be served).
+    Shutdown,
+}
+
+impl ServerError {
+    /// A stable machine-readable tag for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Busy => "busy",
+            ServerError::NoSuchSession(_) => "no-such-session",
+            ServerError::SessionPoisoned(_) => "session-poisoned",
+            ServerError::SessionPanicked(_) => "session-panicked",
+            ServerError::DeadlineExceeded => "deadline",
+            ServerError::Cancelled => "cancelled",
+            ServerError::RowBudgetExceeded => "row-budget",
+            ServerError::Query(_) => "query",
+            ServerError::SessionInit(_) => "session-init",
+            ServerError::Shutdown => "shutdown",
+        }
+    }
+
+    /// Maps a governor trip onto its server-level error.
+    pub fn from_trip(trip: Trip) -> ServerError {
+        match trip {
+            Trip::Cancelled => ServerError::Cancelled,
+            Trip::DeadlineExceeded => ServerError::DeadlineExceeded,
+            Trip::RowBudgetExceeded => ServerError::RowBudgetExceeded,
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Busy => write!(f, "server busy: admission queue full"),
+            ServerError::NoSuchSession(sid) => write!(f, "no such session: {sid}"),
+            ServerError::SessionPoisoned(sid) => {
+                write!(f, "session {sid} is poisoned by an earlier panic")
+            }
+            ServerError::SessionPanicked(msg) => write!(f, "session panicked: {msg}"),
+            ServerError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServerError::Cancelled => write!(f, "query cancelled"),
+            ServerError::RowBudgetExceeded => write!(f, "query row budget exceeded"),
+            ServerError::Query(msg) => write!(f, "{msg}"),
+            ServerError::SessionInit(msg) => write!(f, "session init failed: {msg}"),
+            ServerError::Shutdown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let all = [
+            ServerError::Busy,
+            ServerError::NoSuchSession(1),
+            ServerError::SessionPoisoned(1),
+            ServerError::SessionPanicked("x".into()),
+            ServerError::DeadlineExceeded,
+            ServerError::Cancelled,
+            ServerError::RowBudgetExceeded,
+            ServerError::Query("x".into()),
+            ServerError::SessionInit("x".into()),
+            ServerError::Shutdown,
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len(), "every variant has a unique kind");
+    }
+
+    #[test]
+    fn trips_map_onto_their_errors() {
+        assert_eq!(
+            ServerError::from_trip(Trip::DeadlineExceeded),
+            ServerError::DeadlineExceeded
+        );
+        assert_eq!(
+            ServerError::from_trip(Trip::Cancelled),
+            ServerError::Cancelled
+        );
+        assert_eq!(
+            ServerError::from_trip(Trip::RowBudgetExceeded),
+            ServerError::RowBudgetExceeded
+        );
+    }
+}

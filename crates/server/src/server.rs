@@ -1,0 +1,533 @@
+//! The session server: a fixed worker pool hosting many interpreter
+//! sessions over the process-wide shared index tier.
+//!
+//! # Architecture
+//!
+//! [`Session`] is deliberately single-threaded (`Rc`-based environments),
+//! so sessions never migrate: each worker thread **owns** the sessions
+//! routed to it (`sid % workers`), and clients talk to workers through
+//! bounded job queues. The `Send` unit is the job, not the session.
+//!
+//! Resilience is layered:
+//!
+//! * **Isolation** — every query runs under `catch_unwind`. A panic
+//!   poisons only its own session (subsequent queries on it get
+//!   [`ServerError::SessionPoisoned`]); the worker, its other sessions,
+//!   and the server keep running.
+//! * **Governance** — each query carries a [`QueryGuard`] (deadline,
+//!   cancellation flag, row budget) that the evaluator polls
+//!   cooperatively; trips surface as structured errors, never aborts.
+//! * **Admission** — job queues are bounded; a full queue sheds the
+//!   request with [`ServerError::Busy`] instead of queueing unbounded
+//!   work.
+//! * **Sharing** — workers enable the process-wide shared index tier,
+//!   so equal-content hot indexes are built once and adopted by every
+//!   session (see `machiavelli_store::shared`).
+
+use crate::error::ServerError;
+use machiavelli::plan::physical::panic_message;
+use machiavelli::{Session, SessionError};
+use machiavelli_eval::EvalError;
+use machiavelli_store::shared;
+use machiavelli_value::faults::{self, FaultConfig, InjectedFaults};
+use machiavelli_value::governor::{self, QueryGuard, ServerCounters};
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. `Copy` so each worker thread can carry its own.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (and session shards). At least one worker always
+    /// starts, even under injected spawn failures.
+    pub workers: usize,
+    /// Bounded per-worker job queue; a full queue sheds with
+    /// [`ServerError::Busy`].
+    pub queue_cap: usize,
+    /// Default per-query deadline (None = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Default per-query row budget (None = unlimited). Charged as
+    /// sets materialize, so runaway queries trip before exhausting
+    /// memory.
+    pub row_budget: Option<usize>,
+    /// Enable the process-wide shared index tier on worker threads.
+    pub shared_store: bool,
+    /// Fault-injection configuration installed on every worker thread
+    /// (None = inherit the environment's `MACHIAVELLI_FAULT_*` knobs).
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            default_deadline: None,
+            row_budget: governor::query_max_rows(),
+            shared_store: true,
+            faults: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of server health.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Process-wide session/query counters.
+    pub counters: ServerCounters,
+    /// Shared index tier counters.
+    pub shared: shared::SharedStats,
+    /// Injected-fault counters (all zero unless fault injection is on).
+    pub injected: InjectedFaults,
+    /// Worker threads actually running.
+    pub workers: usize,
+    /// Worker threads that failed to start (injected or real).
+    pub worker_spawn_failures: usize,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        let s = &self.shared;
+        write!(
+            f,
+            "workers {}(-{}) sessions {}/{}/{} queries {}ok {}shed {}ddl {}cancel {}rows \
+             shared {}pub {}adopt {}miss {}recov",
+            self.workers,
+            self.worker_spawn_failures,
+            c.sessions_started,
+            c.sessions_panicked,
+            c.sessions_closed,
+            c.queries_completed,
+            c.queries_shed,
+            c.deadlines_hit,
+            c.queries_cancelled,
+            c.row_budgets_hit,
+            s.publishes,
+            s.adoptions,
+            s.misses,
+            s.lock_recoveries,
+        )
+    }
+}
+
+enum Job {
+    Open {
+        sid: u64,
+        reply: Sender<Result<u64, ServerError>>,
+    },
+    Eval {
+        sid: u64,
+        src: String,
+        guard: Arc<QueryGuard>,
+        reply: Sender<Result<Vec<String>, ServerError>>,
+    },
+    Close {
+        sid: u64,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    Shutdown,
+}
+
+struct WorkerHandle {
+    tx: SyncSender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// An in-flight query: a handle to cancel it and to wait for the
+/// structured result.
+pub struct Pending {
+    guard: Arc<QueryGuard>,
+    rx: Receiver<Result<Vec<String>, ServerError>>,
+}
+
+impl Pending {
+    /// Request cooperative cancellation; the evaluator stops at its
+    /// next governance tick and the query returns
+    /// [`ServerError::Cancelled`].
+    pub fn cancel(&self) {
+        self.guard.cancel();
+    }
+
+    /// The query's guard (deadline / budget state).
+    pub fn guard(&self) -> &Arc<QueryGuard> {
+        &self.guard
+    }
+
+    /// Block until the query finishes (or is stopped).
+    pub fn wait(self) -> Result<Vec<String>, ServerError> {
+        self.rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+}
+
+/// The multi-session server. Cheap to share: all methods take `&self`,
+/// so wrap in `Arc` to serve many client threads.
+pub struct Server {
+    workers: Vec<WorkerHandle>,
+    spawn_failures: usize,
+    next_sid: AtomicU64,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Start the worker pool. The first worker always starts —
+    /// injected spawn failures degrade the pool, never kill the
+    /// server.
+    pub fn start(config: ServerConfig) -> Server {
+        // Install the fault config on the *calling* thread only while
+        // spawning, so `spawn_denied` rolls against it.
+        let prev = config.faults.map(|fc| faults::set_fault_config(Some(fc)));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        let mut spawn_failures = 0;
+        for i in 0..config.workers.max(1) {
+            if i > 0 && faults::spawn_denied() {
+                spawn_failures += 1;
+                continue;
+            }
+            let (tx, rx) = sync_channel(config.queue_cap.max(1));
+            let spawned = std::thread::Builder::new()
+                .name(format!("machid-worker-{i}"))
+                .spawn(move || worker_main(rx, config));
+            match spawned {
+                Ok(handle) => workers.push(WorkerHandle {
+                    tx,
+                    handle: Some(handle),
+                }),
+                Err(_) => spawn_failures += 1,
+            }
+        }
+        if let Some(prev) = prev {
+            faults::set_fault_config(prev);
+        }
+        Server {
+            workers,
+            spawn_failures,
+            next_sid: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    /// Worker threads actually serving sessions.
+    pub fn live_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    fn route(&self, sid: u64) -> Result<&WorkerHandle, ServerError> {
+        if self.workers.is_empty() {
+            return Err(ServerError::Shutdown);
+        }
+        let i = (sid as usize) % self.workers.len();
+        self.workers.get(i).ok_or(ServerError::Shutdown)
+    }
+
+    /// Open a fresh session (with the standard prelude) on its home
+    /// worker. Prelude evaluation is shielded from fault injection, so
+    /// opens are deterministic; faults target queries.
+    pub fn open_session(&self) -> Result<u64, ServerError> {
+        let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Open { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Submit a query under the server's default deadline and row
+    /// budget. Non-blocking admission: a full worker queue returns
+    /// [`ServerError::Busy`] immediately.
+    pub fn submit(&self, sid: u64, src: &str) -> Result<Pending, ServerError> {
+        self.submit_with(sid, src, Arc::new(self.default_guard()))
+    }
+
+    /// Submit a query under an explicit guard (custom deadline,
+    /// budget, or a pre-cancelled guard for testing).
+    pub fn submit_with(
+        &self,
+        sid: u64,
+        src: &str,
+        guard: Arc<QueryGuard>,
+    ) -> Result<Pending, ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        let job = Job::Eval {
+            sid,
+            src: src.to_string(),
+            guard: guard.clone(),
+            reply,
+        };
+        match worker.tx.try_send(job) {
+            Ok(()) => Ok(Pending { guard, rx }),
+            Err(TrySendError::Full(_)) => {
+                governor::note_query_shed();
+                Err(ServerError::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServerError::Shutdown),
+        }
+    }
+
+    /// Submit and wait: the blocking convenience used by the wire
+    /// protocol.
+    pub fn eval(&self, sid: u64, src: &str) -> Result<Vec<String>, ServerError> {
+        self.submit(sid, src)?.wait()
+    }
+
+    /// Close a session (also the only operation a poisoned session
+    /// accepts).
+    pub fn close_session(&self, sid: u64) -> Result<(), ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Close { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Snapshot server health: session/query counters, shared-tier
+    /// counters, injected-fault counters, pool size.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            counters: governor::server_counters(),
+            shared: shared::shared_stats(),
+            injected: faults::injected_faults(),
+            workers: self.workers.len(),
+            worker_spawn_failures: self.spawn_failures,
+        }
+    }
+
+    fn default_guard(&self) -> QueryGuard {
+        let deadline = self.config.default_deadline.map(|d| Instant::now() + d);
+        QueryGuard::new(deadline, self.config.row_budget)
+    }
+
+    /// Stop accepting work, drain the queues, and join the workers.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Job::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+struct SessionSlot {
+    session: Session,
+    poisoned: bool,
+}
+
+fn worker_main(rx: Receiver<Job>, config: ServerConfig) {
+    shared::set_shared_enabled(config.shared_store);
+    if let Some(fc) = config.faults {
+        faults::set_fault_config(Some(fc));
+    }
+    let mut sessions: HashMap<u64, SessionSlot> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Open { sid, reply } => {
+                let _ = reply.send(open_session(&mut sessions, sid));
+            }
+            Job::Eval {
+                sid,
+                src,
+                guard,
+                reply,
+            } => {
+                let _ = reply.send(run_eval(&mut sessions, sid, &src, &guard));
+            }
+            Job::Close { sid, reply } => {
+                let result = if sessions.remove(&sid).is_some() {
+                    governor::note_session_closed();
+                    Ok(())
+                } else {
+                    Err(ServerError::NoSuchSession(sid))
+                };
+                let _ = reply.send(result);
+            }
+            Job::Shutdown => break,
+        }
+    }
+}
+
+fn open_session(sessions: &mut HashMap<u64, SessionSlot>, sid: u64) -> Result<u64, ServerError> {
+    // Shield the prelude from fault injection: faults target queries,
+    // and deterministic opens keep chaos assertions crisp.
+    let shield = faults::set_fault_config(Some(FaultConfig::off()));
+    let made = catch_unwind(AssertUnwindSafe(Session::try_new));
+    faults::set_fault_config(shield);
+    match made {
+        Ok(Ok(session)) => {
+            sessions.insert(
+                sid,
+                SessionSlot {
+                    session,
+                    poisoned: false,
+                },
+            );
+            governor::note_session_started();
+            Ok(sid)
+        }
+        Ok(Err(e)) => Err(ServerError::SessionInit(e.to_string())),
+        Err(payload) => Err(ServerError::SessionInit(panic_message(payload.as_ref()))),
+    }
+}
+
+fn run_eval(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    sid: u64,
+    src: &str,
+    guard: &Arc<QueryGuard>,
+) -> Result<Vec<String>, ServerError> {
+    let slot = sessions
+        .get_mut(&sid)
+        .ok_or(ServerError::NoSuchSession(sid))?;
+    if slot.poisoned {
+        return Err(ServerError::SessionPoisoned(sid));
+    }
+    // Queue wait may already have consumed the deadline (or the client
+    // cancelled before we started): trip without evaluating.
+    if let Some(trip) = guard.check() {
+        governor::note_trip(trip);
+        return Err(ServerError::from_trip(trip));
+    }
+    let prev = governor::install(Some(guard.clone()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| slot.session.run(src)));
+    governor::install(prev);
+    match outcome {
+        Ok(Ok(outcomes)) => {
+            // A trip can latch after the last governance tick (row
+            // charges land when a set materializes, which may be the
+            // query's final step). The latch is sticky: honor it even
+            // though evaluation ran to completion, so ceilings are
+            // ceilings.
+            if let Some(trip) = guard.tripped() {
+                governor::note_trip(trip);
+                return Err(ServerError::from_trip(trip));
+            }
+            governor::note_query_completed();
+            Ok(outcomes.iter().map(|o| o.show()).collect())
+        }
+        Ok(Err(SessionError::Eval(EvalError::Interrupted(trip)))) => {
+            governor::note_trip(trip);
+            Err(ServerError::from_trip(trip))
+        }
+        Ok(Err(e)) => {
+            // An ordinary query error: the query *completed*, with a
+            // diagnosis. The session stays healthy.
+            governor::note_query_completed();
+            Err(ServerError::Query(e.to_string()))
+        }
+        Err(payload) => {
+            // The evaluator panicked. The session's environments may
+            // be torn mid-update, so poison it; the worker and its
+            // other sessions are untouched.
+            slot.poisoned = true;
+            governor::note_session_panicked();
+            Err(ServerError::SessionPanicked(panic_message(
+                payload.as_ref(),
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            default_deadline: None,
+            row_budget: None,
+            shared_store: false,
+            faults: Some(FaultConfig::off()),
+        }
+    }
+
+    #[test]
+    fn open_eval_close_roundtrip() {
+        let server = Server::start(quiet());
+        let sid = server.open_session().expect("open");
+        let out = server.eval(sid, "1 + 2;").expect("eval");
+        assert_eq!(out, vec!["val it = 3 : int".to_string()]);
+        server.close_session(sid).expect("close");
+        assert_eq!(server.eval(sid, "1;"), Err(ServerError::NoSuchSession(sid)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_are_independent_and_sticky() {
+        let server = Server::start(quiet());
+        let a = server.open_session().expect("open a");
+        let b = server.open_session().expect("open b");
+        server.eval(a, "val x = 10;").expect("bind in a");
+        // `x` is visible in a, unbound in b.
+        assert!(server.eval(a, "x + 1;").is_ok());
+        match server.eval(b, "x + 1;") {
+            Err(ServerError::Query(msg)) => assert!(msg.contains("type error")),
+            other => panic!("expected a type error from session b, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_errors_do_not_poison() {
+        let server = Server::start(quiet());
+        let sid = server.open_session().expect("open");
+        assert!(matches!(
+            server.eval(sid, "definitely not machiavelli"),
+            Err(ServerError::Query(_))
+        ));
+        assert!(server.eval(sid, "2 * 21;").is_ok(), "session still healthy");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pre_cancelled_guard_trips_before_evaluating() {
+        let server = Server::start(quiet());
+        let sid = server.open_session().expect("open");
+        let guard = Arc::new(QueryGuard::unlimited());
+        guard.cancel();
+        let pending = server.submit_with(sid, "1 + 1;", guard).expect("admit");
+        assert_eq!(pending.wait(), Err(ServerError::Cancelled));
+        server.shutdown();
+    }
+
+    #[test]
+    fn routing_is_deterministic_per_sid() {
+        let server = Server::start(quiet());
+        // Many sessions across two workers: each keeps its own state.
+        let sids: Vec<u64> = (0..6)
+            .map(|_| server.open_session().expect("open"))
+            .collect();
+        for (i, &sid) in sids.iter().enumerate() {
+            server.eval(sid, &format!("val mine = {i};")).expect("bind");
+        }
+        for (i, &sid) in sids.iter().enumerate() {
+            let out = server.eval(sid, "mine;").expect("read");
+            assert_eq!(out, vec![format!("val it = {i} : int")]);
+        }
+        server.shutdown();
+    }
+}

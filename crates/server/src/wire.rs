@@ -1,0 +1,162 @@
+//! A line-oriented wire protocol over any `BufRead`/`Write` pair.
+//!
+//! One request per line, one response line per request (newlines in
+//! values are escaped as `\n`), so the protocol is testable on byte
+//! buffers and usable over TCP (`machid`) or a pipe:
+//!
+//! ```text
+//! OPEN                -> OK <sid>
+//! EVAL <sid> <src>    -> VAL <outcomes; "; "-joined>  |  ERR <kind> <message>
+//! CLOSE <sid>         -> OK closed <sid>              |  ERR <kind> <message>
+//! STATS               -> OK <stats line>
+//! QUIT                -> OK bye   (ends the connection)
+//! ```
+//!
+//! `ERR` responses carry the stable [`ServerError::kind`] tag first, so
+//! clients can branch on `deadline` / `busy` / `session-panicked`
+//! without parsing prose.
+
+use crate::error::ServerError;
+use crate::server::Server;
+use std::io::{self, BufRead, Write};
+
+/// Escape a response payload onto a single line.
+fn one_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn err_line(e: &ServerError) -> String {
+    format!("ERR {} {}", e.kind(), one_line(&e.to_string()))
+}
+
+/// Serve one client connection until `QUIT` or EOF. Every request gets
+/// exactly one response line; protocol mistakes get `ERR protocol …`
+/// and the connection stays usable.
+pub fn serve_connection<R: BufRead, W: Write>(
+    server: &Server,
+    reader: R,
+    mut out: W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let response = match cmd {
+            "OPEN" => match server.open_session() {
+                Ok(sid) => format!("OK {sid}"),
+                Err(e) => err_line(&e),
+            },
+            "EVAL" => match rest.split_once(char::is_whitespace) {
+                Some((sid, src)) => match sid.parse::<u64>() {
+                    Ok(sid) => match server.eval(sid, src) {
+                        Ok(outcomes) => format!("VAL {}", one_line(&outcomes.join("; "))),
+                        Err(e) => err_line(&e),
+                    },
+                    Err(_) => format!("ERR protocol bad session id: {}", one_line(sid)),
+                },
+                None => "ERR protocol usage: EVAL <sid> <src>".to_string(),
+            },
+            "CLOSE" => match rest.parse::<u64>() {
+                Ok(sid) => match server.close_session(sid) {
+                    Ok(()) => format!("OK closed {sid}"),
+                    Err(e) => err_line(&e),
+                },
+                Err(_) => format!("ERR protocol bad session id: {}", one_line(rest)),
+            },
+            "STATS" => format!("OK {}", server.stats()),
+            "QUIT" => {
+                writeln!(out, "OK bye")?;
+                out.flush()?;
+                return Ok(());
+            }
+            other => format!("ERR protocol unknown command: {}", one_line(other)),
+        };
+        writeln!(out, "{response}")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use machiavelli_value::faults::FaultConfig;
+
+    fn quiet_server() -> Server {
+        Server::start(ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            default_deadline: None,
+            row_budget: None,
+            shared_store: false,
+            faults: Some(FaultConfig::off()),
+        })
+    }
+
+    fn drive(server: &Server, script: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        serve_connection(server, script.as_bytes(), &mut out).expect("serve");
+        String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_over_byte_buffers() {
+        let server = quiet_server();
+        let lines = drive(&server, "OPEN\nEVAL 1 1 + 2;\nCLOSE 1\nQUIT\n");
+        assert_eq!(lines[0], "OK 1");
+        assert_eq!(lines[1], "VAL val it = 3 : int");
+        assert_eq!(lines[2], "OK closed 1");
+        assert_eq!(lines[3], "OK bye");
+    }
+
+    #[test]
+    fn errors_carry_machine_readable_kinds() {
+        let server = quiet_server();
+        let lines = drive(
+            &server,
+            "EVAL 99 1;\nOPEN\nEVAL 1 nonsense ;;;\nCLOSE 99\nNOPE\nEVAL x 1;\n",
+        );
+        assert!(lines[0].starts_with("ERR no-such-session "), "{}", lines[0]);
+        assert_eq!(lines[1], "OK 1");
+        assert!(lines[2].starts_with("ERR query "), "{}", lines[2]);
+        assert!(lines[3].starts_with("ERR no-such-session "), "{}", lines[3]);
+        assert!(
+            lines[4].starts_with("ERR protocol unknown command"),
+            "{}",
+            lines[4]
+        );
+        assert!(
+            lines[5].starts_with("ERR protocol bad session id"),
+            "{}",
+            lines[5]
+        );
+    }
+
+    #[test]
+    fn stats_and_blank_lines() {
+        let server = quiet_server();
+        let lines = drive(&server, "\n  \nSTATS\nQUIT\n");
+        assert!(
+            lines[0].starts_with("OK workers 1(-0) sessions "),
+            "{}",
+            lines[0]
+        );
+        assert_eq!(lines[1], "OK bye");
+    }
+
+    #[test]
+    fn multiline_values_are_escaped() {
+        assert_eq!(one_line("a\nb\\c"), "a\\nb\\\\c");
+    }
+}

@@ -97,6 +97,8 @@
 //! tests; [`IndexStore::indexes`] lists live entries in deterministic
 //! (fingerprint, storage-id) order so goldens can pin it.
 
+pub mod shared;
+
 use machiavelli_value::plain::{to_plain, PlainIndex, PlainKey};
 use machiavelli_value::{
     hash_value, mutation_epoch, scan_refs, take_dirty_refs, value_eq, MSet, RefScan, Value,
@@ -244,6 +246,10 @@ pub struct StoreStats {
     /// so it is charged the relation's size even when pushed filters
     /// leave the index itself much smaller).
     pub cached_rows: usize,
+    /// Local misses answered by **adopting** a verified snapshot from
+    /// the process-wide shared tier ([`shared`]) — builds this session
+    /// skipped because another session already paid for them.
+    pub shared_adoptions: u64,
 }
 
 /// Public description of one live entry, for `:indexes`.
@@ -372,11 +378,15 @@ impl IndexStore {
         if machiavelli_value::tuning::store_epoch_clear() {
             // Paranoid A/B mode: the PR 4 contract — any write drops
             // everything. Kept so equivalence tests can cross-check the
-            // precise mode below against it.
+            // precise mode below against it. The shared tier mirrors
+            // the discipline (write attribution abandoned → clear).
             let dropped = self.len();
             self.entries.clear();
             self.cached_rows = 0;
             self.stats.cleared += dropped as u64;
+            if shared::shared_enabled() {
+                shared::note_unattributed_write();
+            }
             return;
         }
         debug_assert!(
@@ -402,6 +412,13 @@ impl IndexStore {
         });
         if dirty.overflowed {
             self.stats.cleared += dropped;
+            // Identities were lost: map the degradation onto the
+            // cross-session epoch too (shared snapshots cannot actually
+            // go stale — ref-free by construction — but the tier keeps
+            // the same conservative discipline as the local store).
+            if shared::shared_enabled() {
+                shared::note_unattributed_write();
+            }
         } else {
             self.stats.invalidated += dropped;
         }
@@ -433,6 +450,41 @@ impl IndexStore {
                 Some(entry.index.clone())
             }
             None => {
+                // Cross-session adoption: another session may already
+                // have published a snapshot of an *equal-content*
+                // relation under this fingerprint. Adoption verifies
+                // row for row (see [`shared::adopt`]), and the entry
+                // is installed locally so subsequent lookups are plain
+                // local hits. Gated by the local budget exactly like
+                // an insert — an over-budget relation is not pinned.
+                if shared::shared_enabled() && set.len() <= self.budget_rows {
+                    if let Some(index) = shared::adopt(shared::content_hash(set), fingerprint, set)
+                    {
+                        let charge = set.len();
+                        self.evict_to(self.budget_rows.saturating_sub(charge));
+                        let entry = Entry {
+                            set: set.clone(),
+                            index: CachedIndex::Plain(index.clone()),
+                            // Plain snapshots cannot contain refs.
+                            sources: RefSources::Ids(Box::default()),
+                            rows: index.indexed_rows(),
+                            charge,
+                            last_used: self.tick,
+                            hits: 0,
+                        };
+                        if let Some(old) = self
+                            .entries
+                            .entry(set.storage_id())
+                            .or_default()
+                            .insert(fingerprint.to_string(), entry)
+                        {
+                            self.cached_rows -= old.charge;
+                        }
+                        self.cached_rows += charge;
+                        self.stats.shared_adoptions += 1;
+                        return Some(CachedIndex::Plain(index));
+                    }
+                }
                 self.stats.misses += 1;
                 None
             }
@@ -472,7 +524,18 @@ impl IndexStore {
             return CachedIndex::Local(Rc::new(groups));
         }
         let index = match try_plain(set, &groups) {
-            Some(plain) => CachedIndex::Plain(Arc::new(plain)),
+            Some(plain) => {
+                let arc = Arc::new(plain);
+                // Publish the snapshot process-wide so concurrent
+                // sessions over equal-content relations adopt instead
+                // of rebuilding (one build per hot index). Serialized
+                // behind the tier lock; this session's local entry is
+                // installed below either way.
+                if shared::shared_enabled() {
+                    shared::publish(shared::content_hash(set), fingerprint, &arc, charge);
+                }
+                CachedIndex::Plain(arc)
+            }
             None => CachedIndex::Local(Rc::new(groups)),
         };
         // Plain entries cannot contain refs (to_plain declines them),

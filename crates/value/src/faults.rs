@@ -1,0 +1,380 @@
+//! **Seeded fault injection** — the chaos harness behind the server's
+//! resilience tests and `server_bench`'s degradation runs.
+//!
+//! Every fail point in the workspace funnels through this module:
+//!
+//! | site | effect | env (probability, ppm) |
+//! |---|---|---|
+//! | [`maybe_eval_panic`] | panic inside the evaluator tick | `MACHIAVELLI_FAULT_EVAL_PANIC_PPM` |
+//! | [`maybe_worker_panic`] | panic at the start of a parallel chunk | `MACHIAVELLI_FAULT_WORKER_PANIC_PPM` |
+//! | [`spawn_denied`] | report a worker-spawn failure | `MACHIAVELLI_FAULT_SPAWN_FAIL_PPM` |
+//! | [`maybe_delay`] | sleep at the evaluator tick (forces deadline overruns) | `MACHIAVELLI_FAULT_DELAY_PPM` + `MACHIAVELLI_FAULT_DELAY_MS` |
+//! | [`store_poison_due`] | panic while holding the shared store lock | `MACHIAVELLI_FAULT_STORE_POISON_PPM` |
+//!
+//! Probabilities are **parts per million** so low rates stay integral.
+//! Randomness is a per-thread xorshift stream derived from the config
+//! seed (`MACHIAVELLI_FAULT_SEED`, default 0) plus a process-wide thread
+//! ordinal — a fixed seed gives a reproducible *distribution* of faults
+//! (CI pins one), while remaining cheap and lock-free at the fail
+//! points.
+//!
+//! Resolution mirrors `tuning`: a thread-local [`FaultConfig`] override
+//! (set by tests, or by the server installing its captured config on
+//! worker threads — thread locals do not inherit) falls back to an
+//! env-derived process config read once. With nothing configured every
+//! fail point is a single thread-local load.
+//!
+//! All *injected* faults panic with messages prefixed
+//! `"injected fault:"` and are tallied in [`InjectedFaults`], so the
+//! chaos suite can assert that observed structured errors match what
+//! the harness actually threw.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Probabilities (parts per million) and knobs for every fail point.
+/// `Copy` so it can live in a `Cell` and be shipped to worker threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Panic probability at the evaluator tick.
+    pub eval_panic_ppm: u32,
+    /// Panic probability at the start of each parallel chunk.
+    pub worker_panic_ppm: u32,
+    /// Probability that a worker spawn is reported as failed.
+    pub spawn_fail_ppm: u32,
+    /// Probability of an injected sleep at the evaluator tick.
+    pub delay_ppm: u32,
+    /// Length of the injected sleep, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability of panicking while holding the shared store lock.
+    pub store_poison_ppm: u32,
+    /// Base seed for the per-thread fault streams.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all (the default).
+    pub const fn off() -> FaultConfig {
+        FaultConfig {
+            eval_panic_ppm: 0,
+            worker_panic_ppm: 0,
+            spawn_fail_ppm: 0,
+            delay_ppm: 0,
+            delay_ms: 0,
+            store_poison_ppm: 0,
+            seed: 0,
+        }
+    }
+
+    /// True when no fail point can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.eval_panic_ppm == 0
+            && self.worker_panic_ppm == 0
+            && self.spawn_fail_ppm == 0
+            && self.delay_ppm == 0
+            && self.store_poison_ppm == 0
+    }
+}
+
+fn env_u32(var: &str) -> u32 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(0)
+}
+
+fn env_u64(var: &str) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// The process config derived from the environment (`None` when the
+/// environment enables nothing — the common case, kept cheap).
+fn env_config() -> Option<FaultConfig> {
+    static ENV: OnceLock<Option<FaultConfig>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let cfg = FaultConfig {
+            eval_panic_ppm: env_u32("MACHIAVELLI_FAULT_EVAL_PANIC_PPM"),
+            worker_panic_ppm: env_u32("MACHIAVELLI_FAULT_WORKER_PANIC_PPM"),
+            spawn_fail_ppm: env_u32("MACHIAVELLI_FAULT_SPAWN_FAIL_PPM"),
+            delay_ppm: env_u32("MACHIAVELLI_FAULT_DELAY_PPM"),
+            delay_ms: env_u64("MACHIAVELLI_FAULT_DELAY_MS").max(1),
+            store_poison_ppm: env_u32("MACHIAVELLI_FAULT_STORE_POISON_PPM"),
+            seed: env_u64("MACHIAVELLI_FAULT_SEED"),
+        };
+        if cfg.is_inert() {
+            None
+        } else {
+            Some(cfg)
+        }
+    })
+}
+
+thread_local! {
+    /// `Some(cfg)` = thread-local override (use `FaultConfig::off()` to
+    /// shield a thread from the env config); `None` = fall through to
+    /// the env.
+    static OVERRIDE: Cell<Option<FaultConfig>> = const { Cell::new(None) };
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide thread ordinal: combined with the seed so every thread
+/// draws a distinct but reproducible stream.
+static THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+/// Set (or clear) this thread's fault config, returning the previous
+/// override. `Some(cfg)` forces `cfg`; `None` restores env resolution.
+/// To *shield* a thread from an env config, pass
+/// `Some(FaultConfig::off())`. Setting a config reseeds this thread's
+/// fault stream.
+pub fn set_fault_config(cfg: Option<FaultConfig>) -> Option<FaultConfig> {
+    let prev = OVERRIDE.with(|c| c.replace(cfg));
+    RNG.with(|r| r.set(0)); // lazily reseeded on the next roll
+    prev
+}
+
+/// The fault config in force on this thread (thread-local override →
+/// environment → off).
+pub fn fault_config() -> FaultConfig {
+    OVERRIDE
+        .with(Cell::get)
+        .or_else(env_config)
+        .unwrap_or(FaultConfig::off())
+}
+
+/// True when any fail point could fire on this thread — the cheap gate
+/// the tick sites consult before anything else.
+pub fn faults_active() -> bool {
+    match OVERRIDE.with(Cell::get) {
+        Some(cfg) => !cfg.is_inert(),
+        None => env_config().is_some(),
+    }
+}
+
+fn xorshift(state: u64) -> u64 {
+    let mut x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Roll this thread's stream against a ppm probability.
+fn roll(seed: u64, ppm: u32) -> bool {
+    if ppm == 0 {
+        return false;
+    }
+    let state = RNG.with(|r| {
+        let mut s = r.get();
+        if s == 0 {
+            // First roll on this thread (or after a reseed): derive a
+            // nonzero state from the config seed and the thread ordinal.
+            let ordinal = THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            s = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                | 1;
+        }
+        s = xorshift(s);
+        r.set(s);
+        s
+    });
+    (state % 1_000_000) < u64::from(ppm)
+}
+
+// --- injected-fault counters -----------------------------------------------
+
+/// Tallies of faults this harness actually injected, process-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    pub eval_panics: u64,
+    pub worker_panics: u64,
+    pub spawn_failures: u64,
+    pub delays: u64,
+    pub store_poisons: u64,
+}
+
+static INJ_EVAL_PANICS: AtomicU64 = AtomicU64::new(0);
+static INJ_WORKER_PANICS: AtomicU64 = AtomicU64::new(0);
+static INJ_SPAWN_FAILS: AtomicU64 = AtomicU64::new(0);
+static INJ_DELAYS: AtomicU64 = AtomicU64::new(0);
+static INJ_STORE_POISONS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the injected-fault tallies.
+pub fn injected_faults() -> InjectedFaults {
+    InjectedFaults {
+        eval_panics: INJ_EVAL_PANICS.load(Ordering::Relaxed),
+        worker_panics: INJ_WORKER_PANICS.load(Ordering::Relaxed),
+        spawn_failures: INJ_SPAWN_FAILS.load(Ordering::Relaxed),
+        delays: INJ_DELAYS.load(Ordering::Relaxed),
+        store_poisons: INJ_STORE_POISONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the injected-fault tallies (chaos-test setup).
+pub fn reset_injected_faults() {
+    for c in [
+        &INJ_EVAL_PANICS,
+        &INJ_WORKER_PANICS,
+        &INJ_SPAWN_FAILS,
+        &INJ_DELAYS,
+        &INJ_STORE_POISONS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+// --- fail points ------------------------------------------------------------
+
+/// Message prefix on every injected panic; the server's panic-to-error
+/// mapping and the chaos assertions both key on it.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// Fail point: evaluator tick. Panics (with probability
+/// `eval_panic_ppm`) to simulate an evaluator bug.
+pub fn maybe_eval_panic() {
+    if !faults_active() {
+        return;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.eval_panic_ppm) {
+        INJ_EVAL_PANICS.fetch_add(1, Ordering::Relaxed);
+        panic!("{INJECTED_PANIC_PREFIX} evaluator panic");
+    }
+}
+
+/// Fail point: parallel worker chunk. Panics (with probability
+/// `worker_panic_ppm`) to simulate a worker crashing mid-chunk.
+pub fn maybe_worker_panic() {
+    if !faults_active() {
+        return;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.worker_panic_ppm) {
+        INJ_WORKER_PANICS.fetch_add(1, Ordering::Relaxed);
+        panic!("{INJECTED_PANIC_PREFIX} worker panic");
+    }
+}
+
+/// Fail point: worker spawn. Returns `true` (with probability
+/// `spawn_fail_ppm`) when the caller should behave as if the spawn
+/// failed (the crossbeam shim's `try_spawn` fallback path).
+pub fn spawn_denied() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.spawn_fail_ppm) {
+        INJ_SPAWN_FAILS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Fail point: evaluator tick delay. Sleeps `delay_ms` (with
+/// probability `delay_ppm`) to force deadline overruns.
+pub fn maybe_delay() {
+    if !faults_active() {
+        return;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.delay_ppm) {
+        INJ_DELAYS.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(cfg.delay_ms.max(1)));
+    }
+}
+
+/// Fail point: shared store write. Returns `true` (with probability
+/// `store_poison_ppm`) when the store should panic *while holding its
+/// lock* — the caller performs the panic so it happens at the right
+/// place. Tallies the injection.
+pub fn store_poison_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.store_poison_ppm) {
+        INJ_STORE_POISONS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default() {
+        // No override and (in the test environment) no env knobs.
+        let prev = set_fault_config(Some(FaultConfig::off()));
+        assert!(!faults_active());
+        assert!(!spawn_denied());
+        assert!(!store_poison_due());
+        maybe_eval_panic();
+        maybe_worker_panic();
+        maybe_delay();
+        set_fault_config(prev);
+    }
+
+    #[test]
+    fn certain_probability_always_fires() {
+        let prev = set_fault_config(Some(FaultConfig {
+            spawn_fail_ppm: 1_000_000,
+            seed: 42,
+            ..FaultConfig::off()
+        }));
+        assert!(faults_active());
+        assert!(spawn_denied());
+        assert!(spawn_denied());
+        set_fault_config(prev);
+    }
+
+    #[test]
+    fn eval_panic_fires_with_prefix_and_counts() {
+        let prev = set_fault_config(Some(FaultConfig {
+            eval_panic_ppm: 1_000_000,
+            seed: 7,
+            ..FaultConfig::off()
+        }));
+        let before = injected_faults().eval_panics;
+        let caught = std::panic::catch_unwind(maybe_eval_panic);
+        set_fault_config(prev);
+        let err = caught.expect_err("must panic at ppm 1_000_000");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+        assert!(injected_faults().eval_panics > before);
+    }
+
+    #[test]
+    fn seeded_stream_is_reproducible_per_thread() {
+        let draw = |seed: u64| {
+            std::thread::spawn(move || {
+                let prev = set_fault_config(Some(FaultConfig {
+                    worker_panic_ppm: 500_000,
+                    seed,
+                    ..FaultConfig::off()
+                }));
+                let mut hits = 0;
+                for _ in 0..64 {
+                    if std::panic::catch_unwind(maybe_worker_panic).is_err() {
+                        hits += 1;
+                    }
+                }
+                set_fault_config(prev);
+                hits
+            })
+            .join()
+            .unwrap_or(0)
+        };
+        let a = draw(99);
+        // At 50% over 64 draws some hits and some misses are
+        // overwhelmingly likely; the exact count depends on the thread
+        // ordinal so we only assert the stream is live.
+        assert!(a > 0 && a < 64, "stream looks degenerate: {a}");
+    }
+}

@@ -10,6 +10,8 @@ pub mod conform;
 pub mod display;
 pub mod epoch;
 pub mod error;
+pub mod faults;
+pub mod governor;
 pub mod hash;
 pub mod ops;
 pub mod plain;
@@ -22,6 +24,8 @@ pub use conform::conforms;
 pub use display::show_value;
 pub use epoch::{bump_mutation_epoch, mutation_epoch, note_ref_write, take_dirty_refs, DirtyRefs};
 pub use error::ValueError;
+pub use faults::{FaultConfig, InjectedFaults};
+pub use governor::{QueryGuard, ServerCounters, Trip};
 pub use hash::{hash_value, ValueKey};
 pub use ops::{con_value, join_value, project_value, unionc_value};
 pub use plain::{
