@@ -1,0 +1,136 @@
+//! PR 7 bench — the columnar morsel lane vs the sequential planner on
+//! whole-pipeline shapes, across relation sizes and worker threads.
+//!
+//! Two groups, mirroring the paper's query figures:
+//!
+//! * `fig3_columnar_scan` — the single-generator filtered scan (the
+//!   introduction's Wealthy shape at fig3 scale): `seq` runs the
+//!   sequential planner filter, `colK` offloads the pushed filter onto
+//!   K work-stealing workers over the columnar snapshot.
+//! * `fig9_columnar_pipeline` — the two-generator equi-join with a
+//!   pushed filter on each side (the advisor/salary shape): with the
+//!   store disabled and the lane live this is the
+//!   **independent-generator schedule** — both relations filter as one
+//!   morsel batch, then build/probe run on the partition lane.
+//!
+//! The store is disabled throughout so every iteration performs the
+//! full pipeline (no cached builds, no cached snapshots): the measured
+//! difference is purely sequential vs columnar execution of the same
+//! work. Engagement is asserted before anything is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machiavelli::value::{tuning, Value};
+use machiavelli::Session;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn rows(n: usize, key_offset: usize) -> Value {
+    Value::set((0..n).map(|i| {
+        Value::record([
+            ("K".into(), Value::Int((i + key_offset) as i64)),
+            ("A".into(), Value::Int(i as i64)),
+            ("C".into(), Value::Int((i % 97) as i64)),
+        ])
+    }))
+}
+
+fn session(n: usize) -> Session {
+    let mut s = Session::new();
+    s.bind_external("r", rows(n, 0), "{[K: int, A: int, C: int]}")
+        .unwrap();
+    s.bind_external("s", rows(n, n - n / 8), "{[K: int, A: int, C: int]}")
+        .unwrap();
+    s
+}
+
+/// Fig3-scale filtered scan: two pushed comparisons, ~1/97th of the
+/// rows survive, wrapped in an emptiness check so the per-iteration
+/// binding is one bool.
+const SCAN_QUERY: &str = "(select x.A where x <- r with x.C = 3 andalso x.A > 100) = {};";
+
+/// Fig9-shape pipeline: filters on both independent generators plus
+/// the key equality — Scan→Filter→Join end to end.
+const PIPELINE_QUERY: &str = "(select (x.A, y.A) where x <- r, y <- s \
+                              with x.C < 90 andalso x.K = y.K andalso y.C > 5) = {};";
+
+fn run_seq(s: &mut Session, query: &str) -> Value {
+    let prev = tuning::set_parallel_enabled(false);
+    let out = s.eval_one(query).unwrap().value;
+    tuning::set_parallel_enabled(prev);
+    out
+}
+
+fn run_columnar(s: &mut Session, query: &str, threads: usize) -> Value {
+    let prev_t = tuning::set_par_threads(Some(threads));
+    let prev_cut = tuning::set_columnar_min_rows(Some(1));
+    let prev_join = tuning::set_par_join_min_build_rows(Some(1));
+    let out = s.eval_one(query).unwrap().value;
+    tuning::set_par_join_min_build_rows(prev_join);
+    tuning::set_columnar_min_rows(prev_cut);
+    tuning::set_par_threads(prev_t);
+    out
+}
+
+fn bench_group(
+    c: &mut Criterion,
+    name: &str,
+    query: &'static str,
+    sizes: &[usize],
+    min_offloads: u64,
+) {
+    machiavelli::store::set_store_enabled(false);
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    for &n in sizes {
+        let mut s = session(n);
+        // Sanity before timing: lanes agree and the columnar lane
+        // actually engaged (offloads counted, no fallbacks).
+        let seq = run_seq(&mut s, query);
+        assert_eq!(seq, Value::Bool(false), "empty result at n={n}");
+        tuning::reset_exec_stats();
+        assert_eq!(run_columnar(&mut s, query, 4), seq, "diverge at n={n}");
+        let es = tuning::exec_stats();
+        assert!(
+            es.offloads >= min_offloads && es.offload_fallbacks == 0,
+            "lane not engaged at n={n}: {es:?}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| run_seq(&mut s, query))
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(BenchmarkId::new(format!("col{threads}"), n), &n, |b, _| {
+                b.iter(|| run_columnar(&mut s, query, threads))
+            });
+        }
+    }
+    group.finish();
+    machiavelli::store::set_store_enabled(true);
+}
+
+fn bench_fig3_scan(c: &mut Criterion) {
+    bench_group(c, "fig3_columnar_scan", SCAN_QUERY, &[10_000, 100_000], 1);
+}
+
+fn bench_fig9_pipeline(c: &mut Criterion) {
+    // Both generators must offload (the independent-generator batch).
+    bench_group(
+        c,
+        "fig9_columnar_pipeline",
+        PIPELINE_QUERY,
+        &[10_000, 100_000],
+        2,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig3_scan, bench_fig9_pipeline
+}
+criterion_main!(benches);

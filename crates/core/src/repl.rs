@@ -73,6 +73,19 @@ pub fn run_repl(
                     ps.par_homs,
                     ps.par_hom_fallbacks
                 )?;
+                let es = session.exec_stats();
+                writeln!(
+                    output,
+                    ">> columnar: offloads {} / offload fallbacks {} / \
+                     snapshots {} built / {} adopted / \
+                     morsels {} executed / {} stolen",
+                    es.offloads,
+                    es.offload_fallbacks,
+                    es.snapshots_built,
+                    es.snapshots_adopted,
+                    es.morsels_executed,
+                    es.morsels_stolen
+                )?;
                 let sc = session.server_stats();
                 let sh = session.shared_store_stats();
                 writeln!(
@@ -248,6 +261,7 @@ mod tests {
         let mut session = Session::new();
         session.store_reset();
         session.par_reset();
+        session.exec_reset();
         // Pin the thread count so the parallel line is deterministic
         // under any machine/env configuration.
         let prev = session.set_par_threads(Some(1));
@@ -284,6 +298,15 @@ mod tests {
             text.contains(
                 ">> parallel (1 threads): joins 0 / join fallbacks 0 / cached probes 0 / \
                  probe fallbacks 0 / homs 0 / hom fallbacks 0"
+            ),
+            "{text}"
+        );
+        // Nothing in this run clears the columnar cutoffs: the line is
+        // present with all counters at zero.
+        assert!(
+            text.contains(
+                ">> columnar: offloads 0 / offload fallbacks 0 / \
+                 snapshots 0 built / 0 adopted / morsels 0 executed / 0 stolen"
             ),
             "{text}"
         );

@@ -197,6 +197,18 @@ impl Session {
         machiavelli_value::tuning::reset_par_stats()
     }
 
+    /// This session's columnar-lane counters (snapshots built/adopted,
+    /// morsels executed/stolen, filter offloads and their declines).
+    /// Behind the REPL's `:stats` alongside the parallel-lane counters.
+    pub fn exec_stats(&self) -> machiavelli_value::tuning::ExecStats {
+        machiavelli_value::tuning::exec_stats()
+    }
+
+    /// Zero the columnar-lane counters.
+    pub fn exec_reset(&self) {
+        machiavelli_value::tuning::reset_exec_stats()
+    }
+
     /// The process-wide server/resilience counters: sessions started,
     /// panicked (isolated), closed; queries shed at admission, stopped
     /// by deadline, cancellation, or row budget; queries completed.

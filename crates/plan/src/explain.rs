@@ -29,11 +29,21 @@
 //! idx marker this is display-level: whether an execution actually
 //! parallelizes additionally depends on size cutoffs and every key
 //! extracting to plain data.
+//!
+//! A scan or build side whose pushed filters are statically eligible
+//! for the **columnar morsel lane** (see the crate docs) renders
+//! `Scan[columnar par n=4]` / `Build[columnar par n=4]`. Display-level
+//! again: an actual offload additionally depends on the relation
+//! clearing `MACHIAVELLI_COLUMNAR_MIN_ROWS` and every row extracting to
+//! plain form. Two such scans under one join are the
+//! independent-generator schedule — both sides filter as one morsel
+//! batch.
 
 use crate::analysis::Conjunct;
-use crate::physical::{IndexKey, ParInfo, PhysOp, PhysicalPlan};
+use crate::physical::{columnar_eligible, IndexKey, ParInfo, PhysOp, PhysicalPlan};
 use machiavelli_store::IndexKind;
 use machiavelli_syntax::pretty::expr_to_string;
+use machiavelli_syntax::symbol::Symbol;
 use std::fmt::Write as _;
 
 /// The `[idx cached]` / `[idx build]` marker for a cacheable operator.
@@ -72,6 +82,20 @@ fn par_marker(par: &Option<ParInfo>) -> String {
     if par.as_ref().is_some_and(|i| i.build_ok) {
         if let Some(n) = live_threads() {
             return format!("[par n={n}]");
+        }
+    }
+    String::new()
+}
+
+/// The `[columnar par n=…]` marker for a scan or build side whose
+/// pushed filters are statically eligible for the columnar morsel
+/// lane. Display-level like the par marker: an actual offload
+/// additionally depends on the relation clearing the columnar row
+/// cutoff and every row extracting to plain form.
+fn columnar_marker(filters: &[Conjunct<'_>], var: Symbol) -> String {
+    if columnar_eligible(filters, var) {
+        if let Some(n) = live_threads() {
+            return format!("[columnar par n={n}]");
         }
     }
     String::new()
@@ -119,7 +143,8 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
         } => {
             let _ = writeln!(
                 out,
-                "{pad}Scan {var} <- {}{}",
+                "{pad}Scan{} {var} <- {}{}",
+                columnar_marker(filters, *var),
                 expr_to_string(source),
                 filters_suffix(filters)
             );
@@ -204,13 +229,15 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
                         );
                         let _ = writeln!(
                             out,
-                            "{pad}  Scan {var} <- {}{}",
+                            "{pad}  Scan{} {var} <- {}{}",
+                            columnar_marker(filters, *var),
                             expr_to_string(source),
                             filters_suffix(filters)
                         );
                         let _ = writeln!(
                             out,
-                            "{pad}  Build {pvar} <- {}{}",
+                            "{pad}  Build{} {pvar} <- {}{}",
+                            columnar_marker(pfilters, *pvar),
                             expr_to_string(psource),
                             filters_suffix(pfilters)
                         );
@@ -234,7 +261,8 @@ fn render(op: &PhysOp<'_>, depth: usize, out: &mut String) {
             render(input, depth + 1, out);
             let _ = writeln!(
                 out,
-                "{pad}  Build {var} <- {}{}",
+                "{pad}  Build{} {var} <- {}{}",
+                columnar_marker(filters, *var),
                 expr_to_string(source),
                 filters_suffix(filters)
             );
@@ -309,6 +337,37 @@ mod tests {
              HashJoin[par n=4] probe(x.K) build(y.K)\n    \
              Scan x <- V(r)\n    \
              Build y <- W(s)"
+        );
+    }
+
+    #[test]
+    fn independent_generators_render_columnar_markers() {
+        // Both generators carry binder-closed, par-evaluable pushed
+        // filters: the independent-generator shape — both sides render
+        // columnar, and the executor filters them as one morsel batch.
+        machiavelli_store::with_store(|s| s.reset());
+        let prev = machiavelli_value::tuning::set_par_threads(Some(4));
+        let e = parse_expr(
+            "select (x.A, y.B) where x <- V(r), y <- W(s) \
+             with x.A > 1 andalso x.K = y.K andalso y.B > 2",
+        )
+        .unwrap();
+        let ExprKind::Select {
+            result,
+            generators,
+            pred,
+        } = &e.kind
+        else {
+            panic!()
+        };
+        let text = explain(&compile(generators, pred, result).unwrap().physical());
+        machiavelli_value::tuning::set_par_threads(prev);
+        assert_eq!(
+            text,
+            "Project (x.A, y.B)\n  \
+             HashJoin[par n=4] probe(x.K) build(y.K)\n    \
+             Scan[columnar par n=4] x <- V(r) filter (x.A > 1)\n    \
+             Build[columnar par n=4] y <- W(s) filter (y.B > 2)"
         );
     }
 

@@ -142,6 +142,35 @@
 //!   **result expression planner-safe** — a swap enumerates the same
 //!   binding multiset probe-major over the other side, which only an
 //!   effectful result could distinguish.
+//! * **The columnar morsel lane** (`machiavelli-exec`): a `Scan` or
+//!   hash-join build side whose pushed filters are all
+//!   [`parallel::par_evaluable`] under its own binder offloads the
+//!   filter loop onto worker threads. The relation snapshots once into
+//!   a [`machiavelli_value::plain::ColumnarRelation`] — column-major
+//!   when every row is a uniform record, row-major otherwise; cached in
+//!   the index store under the relation's storage identity and adopted
+//!   from the shared tier by content hash — and the rows split into
+//!   fixed-size **morsels** drained by work-stealing workers
+//!   ([`machiavelli_exec::run_tasks`]). `_.field op constant`
+//!   conjuncts compile to per-column comparator loops; everything else
+//!   runs [`parallel::plain_eval`] per row. Only the surviving row
+//!   *indices* return; the session thread rebuilds a canonical
+//!   filterless scan from them (an ascending subset of a canonical
+//!   slice), which is exactly the shape the cached parallel probe fast
+//!   path keys from — so a Scan→Filter→HashJoin pipeline runs
+//!   end-to-end on worker threads, with only binding and the result
+//!   expression sequential. **Independent generators** — a
+//!   two-generator join where both sides' filters are eligible and the
+//!   build is not already cached — filter both relations as *one*
+//!   morsel batch over the shared pool, no barrier between the scans.
+//!   Gated by [`machiavelli_value::tuning::columnar_min_rows`] rows and
+//!   the usual lane switches; any decline (a row with no plain form, a
+//!   strict conjunct evaluating non-boolean, env-dependent predicates)
+//!   falls back to the sequential filter with zero behavior change —
+//!   pushed filters are planner-safe, so the sequential re-run raises
+//!   the identical first error. Rendered `Scan[columnar par n=…]` /
+//!   `Build[columnar par n=…]`; outcomes counted in
+//!   [`machiavelli_value::tuning::exec_stats`].
 //! * **Proper `hom` applications** (the evaluator's side of the lane):
 //!   `op` one of `+`, `*`, `andalso`, `orelse` with `z` its identity,
 //!   and `f` a one-parameter closure whose body is planner-safe. The
@@ -170,7 +199,8 @@ pub use explain::explain;
 pub use logical::{compile, LogicalPlan, Step, Unplannable};
 pub use parallel::{expr_vars, par_evaluable, par_probe_cached, plain_eval, PlainBindings};
 pub use physical::{
-    execute, EvalHook, ExecError, IndexKey, ParInfo, PhysOp, PhysicalPlan, SwapInfo,
+    columnar_eligible, execute, EvalHook, ExecError, IndexKey, ParInfo, PhysOp, PhysicalPlan,
+    SwapInfo,
 };
 
 use machiavelli_syntax::ast::{Expr, Generator};

@@ -288,8 +288,9 @@ fn merge_union(a: &[PlainValue], b: &[PlainValue]) -> std::sync::Arc<[PlainValue
 /// The exact mirror of the interpreter's `apply_binop` on plain
 /// operands (minus the short-circuit operators, which never reach here
 /// from `plain_eval`, and div/mod, which `par_evaluable` excludes).
-/// `None` wherever `apply_binop` would error.
-fn plain_binop(op: BinOp, l: &PlainValue, r: &PlainValue) -> Option<PlainValue> {
+/// `None` wherever `apply_binop` would error. Also the columnar scan
+/// lane's per-column comparator (`physical::ColPred`).
+pub(crate) fn plain_binop(op: BinOp, l: &PlainValue, r: &PlainValue) -> Option<PlainValue> {
     use BinOp::*;
     use PlainValue::*;
     Some(match (op, l, r) {
@@ -589,7 +590,7 @@ fn partition_of(hash: u64, nt: usize) -> usize {
 /// Every this many rows a worker chunk loop polls the query guard, so
 /// cancellation and deadlines reach into a running fan-out instead of
 /// waiting for it to drain. A power of two so the gate is a mask.
-const CHUNK_TICK_MASK: usize = 1023;
+pub(crate) const CHUNK_TICK_MASK: usize = 1023;
 
 /// Context a parallel worker carries across the thread boundary: the
 /// coordinator's query guard (shared, `Sync`) and its effective fault
@@ -601,14 +602,14 @@ const CHUNK_TICK_MASK: usize = 1023;
 /// every fan-out and surfaces the trip as an error before any result is
 /// used.
 #[derive(Clone, Default)]
-struct WorkerCx {
+pub(crate) struct WorkerCx {
     guard: Option<Arc<QueryGuard>>,
     faults: Option<FaultConfig>,
 }
 
 impl WorkerCx {
     /// Capture the coordinator's context (call before the fan-out).
-    fn capture() -> WorkerCx {
+    pub(crate) fn capture() -> WorkerCx {
         WorkerCx {
             guard: governor::current(),
             faults: faults::faults_active().then(faults::fault_config),
@@ -619,7 +620,7 @@ impl WorkerCx {
     /// run the injected-panic fail point. (Panics cross the scope join
     /// and are trapped by the coordinator's `catch_unwind` in
     /// `physical.rs` — the `par_hom` catch-and-report discipline.)
-    fn enter(&self) {
+    pub(crate) fn enter(&self) {
         if let Some(cfg) = self.faults {
             faults::set_fault_config(Some(cfg));
         }
@@ -627,14 +628,8 @@ impl WorkerCx {
     }
 
     /// Chunk-loop poll: should this worker stop early?
-    fn tripped(&self) -> bool {
+    pub(crate) fn tripped(&self) -> bool {
         self.guard.as_ref().is_some_and(|g| g.check().is_some())
-    }
-
-    /// Should this spawn be reported as failed (injected fault)? Rolled
-    /// on the coordinator, where the fault config is already installed.
-    fn spawn_denied(&self) -> bool {
-        self.faults.is_some() && faults::spawn_denied()
     }
 }
 
@@ -687,10 +682,16 @@ fn probe_partition_chunk(
 /// probe row, the indices of matching build rows in build-source order.
 /// Infallible: both sides were keyed (and every failure mode surfaced)
 /// before the fan-out, so the workers are pure data plumbing —
-/// partition, group, look up. A worker whose thread spawn is declined
-/// by the OS (or by an injected fault) runs inline on the coordinating
-/// thread (same result, less parallelism — the `par_hom` degradation
-/// discipline).
+/// partition, group, look up.
+///
+/// Both phases run on the **morsel scheduler**
+/// ([`machiavelli_exec::run_tasks`]): phase 1 is one task per hash
+/// partition, phase 2 cuts the probe side into fixed-size morsels
+/// pulled via work stealing, so a skewed probe (one range where every
+/// key matches a huge group, the rest cheap) no longer serializes on
+/// the unluckiest fixed chunk. A denied worker spawn (OS or injected
+/// fault) leaves its seeded tasks to the surviving workers' stealers —
+/// down to the coordinator draining everything inline.
 ///
 /// Two caveats the caller (`physical.rs`) owns: a worker panic —
 /// injected or real — resumes on the coordinator and must be trapped
@@ -700,6 +701,7 @@ fn probe_partition_chunk(
 pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) -> Vec<Vec<u32>> {
     let nt = n_threads.max(1);
     let cx = WorkerCx::capture();
+    let cx = &cx;
 
     // Pre-bucket the build side by owning partition in one sequential
     // pass (a branch and a pointer push per row), so each worker
@@ -714,68 +716,25 @@ pub fn par_partition_join(build: &[Keyed], probe: &[Keyed], n_threads: usize) ->
         buckets[partition_of(k.hash, nt)].push(k);
     }
 
-    // Phase 1: build the partition tables, one worker per bucket.
-    let tables: Vec<PartitionTable<'_>> = crossbeam::thread::scope(|scope| {
-        let cx = &cx;
-        let handles: Vec<_> = buckets
-            .iter()
-            .map(|bucket| {
-                if cx.spawn_denied() {
-                    return Err(bucket);
-                }
-                match scope.try_spawn(move |_| {
-                    cx.enter();
-                    build_partition_table(bucket, cx)
-                }) {
-                    Ok(h) => Ok(h),
-                    Err(_) => Err(bucket),
-                }
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h {
-                Ok(h) => h
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(bucket) => build_partition_table(bucket, cx),
-            })
-            .collect()
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    // Phase 1: build the partition tables, one task per partition
+    // (results come back in task = partition order).
+    let (tables, _) = machiavelli_exec::run_tasks(
+        nt,
+        buckets,
+        || cx.enter(),
+        |_, bucket: Vec<&Keyed>| build_partition_table(&bucket, cx),
+    );
 
-    // Phase 2: probe, one worker per contiguous probe chunk, reading
-    // whichever partition owns each row's hash.
-    let probe_chunk = probe.len().div_ceil(nt).max(1);
-    let probed: Vec<Vec<Vec<u32>>> = crossbeam::thread::scope(|scope| {
-        let tables = &tables;
-        let cx = &cx;
-        let handles: Vec<_> = probe
-            .chunks(probe_chunk)
-            .map(|chunk| {
-                if cx.spawn_denied() {
-                    return Err(chunk);
-                }
-                match scope.try_spawn(move |_| {
-                    cx.enter();
-                    probe_partition_chunk(chunk, tables, cx)
-                }) {
-                    Ok(h) => Ok(h),
-                    Err(_) => Err(chunk),
-                }
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h {
-                Ok(h) => h
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(chunk) => probe_partition_chunk(chunk, tables, cx),
-            })
-            .collect()
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    // Phase 2: probe by morsel, any worker reading whichever partition
+    // owns each row's hash. Morsel results concatenate in range order,
+    // so the match list stays in probe order.
+    let tables = &tables;
+    let (probed, _) = machiavelli_exec::run_tasks(
+        nt,
+        machiavelli_exec::morsels(probe.len()),
+        || cx.enter(),
+        |_, m: machiavelli_exec::Morsel| probe_partition_chunk(&probe[m.start..m.end], tables, cx),
+    );
 
     let mut matches = Vec::with_capacity(probe.len());
     for chunk in probed {
@@ -803,49 +762,28 @@ fn probe_cached_chunk(index: &PlainIndex, chunk: &[PlainKey], cx: &WorkerCx) -> 
 /// phase already happened (possibly in an earlier evaluation — that is
 /// the whole point), so the fan-out is probe-only. The index is
 /// `Send + Sync` ([`PlainIndex`]); workers share it by reference and
-/// each probes a contiguous chunk of the pre-extracted probe keys,
-/// returning per probe row the **indices** of matching build rows in
-/// build-source order (group lists ascend by construction). Chunks
-/// concatenate in probe order, so the caller's re-binding sequence is
-/// identical to the sequential cached probe. Infallible for the same
-/// reason as [`par_partition_join`]: every failure mode (a key that
-/// declines extraction) surfaced before the fan-out, and a worker whose
-/// thread spawn is declined by the OS runs inline on the coordinator.
-/// The same caveats apply — worker panics resume on the coordinator
-/// (trap with `catch_unwind`), and a tripped guard truncates (re-check
-/// after the call).
+/// probe **morsels** of the pre-extracted probe keys pulled via work
+/// stealing ([`machiavelli_exec::run_tasks`]), returning per probe row
+/// the **indices** of matching build rows in build-source order (group
+/// lists ascend by construction). Morsel results concatenate in range
+/// order, so the caller's re-binding sequence is identical to the
+/// sequential cached probe. Infallible for the same reason as
+/// [`par_partition_join`]: every failure mode (a key that declines
+/// extraction) surfaced before the fan-out, and denied worker spawns
+/// leave their tasks to the survivors' stealers. The same caveats
+/// apply — worker panics resume on the coordinator (trap with
+/// `catch_unwind`), and a tripped guard truncates (re-check after the
+/// call).
 pub fn par_probe_cached(index: &PlainIndex, probe: &[PlainKey], n_threads: usize) -> Vec<Vec<u32>> {
     let nt = n_threads.max(1);
     let cx = WorkerCx::capture();
-    let chunk = probe.len().div_ceil(nt).max(1);
-    let probed: Vec<Vec<Vec<u32>>> = crossbeam::thread::scope(|scope| {
-        let cx = &cx;
-        let handles: Vec<_> = probe
-            .chunks(chunk)
-            .map(|chunk| {
-                if cx.spawn_denied() {
-                    return Err(chunk);
-                }
-                match scope.try_spawn(move |_| {
-                    cx.enter();
-                    probe_cached_chunk(index, chunk, cx)
-                }) {
-                    Ok(h) => Ok(h),
-                    Err(_) => Err(chunk),
-                }
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h {
-                Ok(h) => h
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                Err(chunk) => probe_cached_chunk(index, chunk, cx),
-            })
-            .collect()
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    let cx = &cx;
+    let (probed, _) = machiavelli_exec::run_tasks(
+        nt,
+        machiavelli_exec::morsels(probe.len()),
+        || cx.enter(),
+        |_, m: machiavelli_exec::Morsel| probe_cached_chunk(index, &probe[m.start..m.end], cx),
+    );
 
     let mut matches = Vec::with_capacity(probe.len());
     for chunk in probed {

@@ -43,17 +43,18 @@
 use crate::analysis::{closed_under, is_safe_expr, mentions_any, stable_source, Conjunct};
 use crate::logical::LogicalPlan;
 use crate::parallel::{
-    extract_key, par_evaluable, par_partition_join, par_probe_cached, safe_eval, Keyed,
-    ValueBindings,
+    extract_key, par_evaluable, par_partition_join, par_probe_cached, plain_binop, plain_eval,
+    safe_eval, Keyed, PlainBindings, ValueBindings, WorkerCx, CHUNK_TICK_MASK,
 };
+use machiavelli_exec::{self as exec, Morsel};
 use machiavelli_store::{store_enabled, with_store, CachedIndex, Index, KeyTuple};
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind};
 use machiavelli_syntax::pretty::expr_to_string;
 use machiavelli_syntax::symbol::Symbol;
-use machiavelli_value::plain::PlainIndex;
+use machiavelli_value::plain::{ColumnarRelation, PlainIndex, PlainValue};
 use machiavelli_value::tuning::{
-    note_par_join, note_par_probe, par_join_min_build_rows, par_probe_min_rows, par_threads,
-    parallel_enabled,
+    columnar_min_rows, note_offload, note_par_join, note_par_probe, note_snapshot,
+    par_join_min_build_rows, par_probe_min_rows, par_threads, parallel_enabled,
 };
 use machiavelli_value::{show_value, value_eq, Env, MSet, Value};
 use std::rc::Rc;
@@ -675,6 +676,65 @@ fn build_join_index<H: EvalHook>(
     Ok(table)
 }
 
+/// Key pre-filtered build rows: the columnar lane already ran the
+/// pushed filters ([`columnar_filter`]), so only the surviving row
+/// indices are keyed (through the hook, on the session thread). The
+/// result is identical to [`build_join_index`]'s — the survivors are
+/// exactly the rows the sequential filters accept, since `plain_eval`
+/// agrees with the interpreter on the par-evaluable class — so it is
+/// sound to cache through the store.
+fn build_join_index_from<H: EvalHook>(
+    items: &MSet,
+    var: Symbol,
+    keep: &[u32],
+    build_keys: &[&Expr],
+    env: &Env,
+    hook: &mut H,
+) -> Result<Index, ExecError<H::Error>> {
+    #[allow(clippy::mutable_key_type)] // refs hash by identity
+    let mut table = Index::with_capacity(keep.len());
+    for &i in keep {
+        let row_env = env.bind(var, items.as_slice()[i as usize].clone());
+        let key = KeyTuple(
+            build_keys
+                .iter()
+                .map(|k| hook.eval(&row_env, k))
+                .collect::<Result<_, _>>()?,
+        );
+        table.entry(key).or_default().push(i);
+    }
+    Ok(table)
+}
+
+/// Build the join table, prefiltering on the columnar lane when the
+/// pushed filters are eligible and the lane is live (an outer-`Some`
+/// `keep` passes a finished filter outcome through — the
+/// independent-generator batch). Declines fall back to the ordinary
+/// sequential build.
+#[allow(clippy::too_many_arguments)]
+fn build_join_index_cols<H: EvalHook>(
+    items: &MSet,
+    var: Symbol,
+    filters: &[Conjunct<'_>],
+    build_keys: &[&Expr],
+    stable: bool,
+    keep: Option<Option<Vec<u32>>>,
+    env: &Env,
+    hook: &mut H,
+) -> Result<Index, ExecError<H::Error>> {
+    let keep = match keep {
+        Some(outcome) => outcome,
+        None if columnar_eligible(filters, var) && columnar_live(items.len()) => {
+            columnar_filter(var, filters, items, stable)?
+        }
+        None => None,
+    };
+    match keep {
+        Some(keep) => build_join_index_from(items, var, &keep, build_keys, env, hook),
+        None => build_join_index(items, var, filters, build_keys, env, hook),
+    }
+}
+
 /// Build an index-scan grouping: the *whole* relation grouped by the
 /// `on` key expressions (filters are applied at probe time, so the
 /// index is reusable across queries with different residual filters).
@@ -719,6 +779,342 @@ fn obtain_index<H: EvalHook>(
     }
     let built = build(hook)?;
     Ok(with_store(|s| s.insert(items, fingerprint, built)))
+}
+
+// --- the columnar scan lane --------------------------------------------------
+
+/// Static columnar eligibility of a scan's pushed filters: non-empty,
+/// and every conjunct runnable by the plain mini-evaluator under the
+/// row binder alone (binder-closed, pure, total). Computed both at open
+/// time (whether to offload) and at render time (`explain`'s
+/// `[columnar par n=…]` marker) — a cheap syntactic walk, so nothing
+/// needs to be stored in the operator.
+pub fn columnar_eligible(filters: &[Conjunct<'_>], var: Symbol) -> bool {
+    !filters.is_empty() && filters.iter().all(|c| par_evaluable(c.expr, &[var]))
+}
+
+/// Runtime gate of the columnar lane: enabled, more than one worker,
+/// and the relation over the
+/// [`machiavelli_value::tuning::columnar_min_rows`] cutoff (snapshot
+/// extraction plus scheduling must have enough rows to amortize over).
+fn columnar_live(rows: usize) -> bool {
+    parallel_enabled() && par_threads() > 1 && rows >= columnar_min_rows()
+}
+
+/// Obtain a plain columnar snapshot of `items`: through the session's
+/// index store — and the shared tier behind it — when the source is
+/// `stable` (repeated queries then reuse one snapshot per relation),
+/// built directly for fresh-storage sources, whose snapshot could never
+/// be looked up again. `None` when any row has no plain form: the whole
+/// lane declines.
+fn columnar_snapshot(items: &MSet, stable: bool) -> Option<Arc<ColumnarRelation>> {
+    if store_enabled() && stable {
+        return with_store(|s| s.snapshot(items));
+    }
+    let snap = Arc::new(ColumnarRelation::from_set(items)?);
+    note_snapshot(false);
+    Some(snap)
+}
+
+/// One compiled filter conjunct of a columnar scan.
+enum ColPred<'p, 's> {
+    /// `_.L op constant` (either orientation, non-short-circuit op)
+    /// over a decomposed relation: a direct loop over column `L`'s
+    /// contiguous values — no per-row field scan, no expression walk.
+    Column {
+        values: &'s [PlainValue],
+        op: BinOp,
+        /// The constant operand, evaluated once (pure and total on the
+        /// par-evaluable class, so early evaluation is unobservable).
+        other: PlainValue,
+        /// The column is the *right* operand.
+        flipped: bool,
+        strict: bool,
+    },
+    /// Any other eligible conjunct: the plain mini-evaluator per row.
+    Row(&'p Conjunct<'p>),
+}
+
+impl<'p, 's> ColPred<'p, 's> {
+    fn compile(c: &'p Conjunct<'p>, var: Symbol, snap: &'s ColumnarRelation) -> ColPred<'p, 's> {
+        if let ExprKind::Binop { op, left, right } = &c.expr.kind {
+            // `andalso`/`orelse` short-circuit per row; they stay on the
+            // row path where `plain_eval` mirrors that exactly.
+            if !matches!(op, BinOp::Andalso | BinOp::Orelse) {
+                let col_of = |e: &'p Expr| -> Option<&'s [PlainValue]> {
+                    let ExprKind::Field { expr, label } = &e.kind else {
+                        return None;
+                    };
+                    let ExprKind::Var(x) = &expr.kind else {
+                        return None;
+                    };
+                    if x.id() != var.id() {
+                        return None;
+                    }
+                    snap.column(*label).map(|c| &*c.values)
+                };
+                let empty = PlainBindings {
+                    head: None,
+                    rest: &[],
+                };
+                let constant = |e: &'p Expr| {
+                    (!mentions_any(e, &[var]))
+                        .then(|| plain_eval(e, &empty))
+                        .flatten()
+                };
+                if let Some(values) = col_of(left) {
+                    if let Some(other) = constant(right) {
+                        return ColPred::Column {
+                            values,
+                            op: *op,
+                            other,
+                            flipped: false,
+                            strict: c.strict,
+                        };
+                    }
+                }
+                if let Some(values) = col_of(right) {
+                    if let Some(other) = constant(left) {
+                        return ColPred::Column {
+                            values,
+                            op: *op,
+                            other,
+                            flipped: true,
+                            strict: c.strict,
+                        };
+                    }
+                }
+            }
+        }
+        ColPred::Row(c)
+    }
+}
+
+/// Evaluate the compiled conjuncts on row `i`. `Some(true)` accepts,
+/// `Some(false)` rejects; `None` **declines** — an operand shape the
+/// plain lane cannot handle, or a strict conjunct evaluating
+/// non-boolean (where the interpreter raises) — and poisons the whole
+/// run, so the sequential re-run reproduces the exact behavior.
+fn row_passes(
+    preds: &[ColPred<'_, '_>],
+    snap: &ColumnarRelation,
+    var: Symbol,
+    i: usize,
+) -> Option<bool> {
+    for p in preds {
+        let (v, strict) = match p {
+            ColPred::Column {
+                values,
+                op,
+                other,
+                flipped,
+                strict,
+            } => {
+                let v = if *flipped {
+                    plain_binop(*op, other, &values[i])
+                } else {
+                    plain_binop(*op, &values[i], other)
+                };
+                (v, *strict)
+            }
+            ColPred::Row(c) => {
+                let env = PlainBindings {
+                    head: Some((var, &snap.rows[i])),
+                    rest: &[],
+                };
+                (plain_eval(c.expr, &env), c.strict)
+            }
+        };
+        match v {
+            Some(PlainValue::Bool(true)) => {}
+            Some(PlainValue::Bool(false)) => return Some(false),
+            // A lenient (syntactically last) conjunct rejects the row
+            // on a non-boolean, like the sequential `check`.
+            Some(_) if !strict => return Some(false),
+            _ => return None,
+        }
+    }
+    Some(true)
+}
+
+/// Run binder-closed pushed filters over `items` on the morsel-driven
+/// columnar lane. `Ok(None)` is a decline — a row with no plain form,
+/// or live data a conjunct cannot handle — and the caller takes the
+/// sequential path, with zero behavior change. `Ok(Some(keep))` holds
+/// the **ascending** indices of surviving rows. Workers poll the
+/// coordinator's (sticky) query guard every [`CHUNK_TICK_MASK`]+1 rows;
+/// a trip poisons the run and [`run_par`] surfaces it as `Interrupted`
+/// before the result can be used.
+fn columnar_filter<E>(
+    var: Symbol,
+    filters: &[Conjunct<'_>],
+    items: &MSet,
+    stable: bool,
+) -> Result<Option<Vec<u32>>, ExecError<E>> {
+    let Some(snap) = columnar_snapshot(items, stable) else {
+        note_offload(false);
+        return Ok(None);
+    };
+    let preds: Vec<ColPred<'_, '_>> = filters
+        .iter()
+        .map(|c| ColPred::compile(c, var, &snap))
+        .collect();
+    let cx = WorkerCx::capture();
+    let keep = run_par(|| {
+        let (keep, _) = exec::filter_indices(
+            par_threads(),
+            &snap,
+            || {
+                cx.enter();
+                0u64
+            },
+            |ticks: &mut u64, i| {
+                *ticks += 1;
+                if *ticks & CHUNK_TICK_MASK as u64 == 0 && cx.tripped() {
+                    return None;
+                }
+                row_passes(&preds, &snap, var, i)
+            },
+        );
+        keep
+    })?;
+    note_offload(keep.is_some());
+    Ok(keep)
+}
+
+/// Filter two **independent** relations as one morsel batch: the
+/// independent-generator schedule. Neither side's filters mention the
+/// other's binder (each is closed under its own), so their morsels are
+/// order-free and share the worker pool — workers drain whichever side
+/// still has rows instead of barriering between the two scans. Each
+/// side declines independently (`None` in its slot); the other side's
+/// survivors remain valid.
+#[allow(clippy::type_complexity)]
+fn columnar_filter_pair<E>(
+    a: (Symbol, &[Conjunct<'_>], &MSet, bool),
+    b: (Symbol, &[Conjunct<'_>], &MSet, bool),
+) -> Result<(Option<Vec<u32>>, Option<Vec<u32>>), ExecError<E>> {
+    let snaps = [columnar_snapshot(a.2, a.3), columnar_snapshot(b.2, b.3)];
+    let preds: Vec<Option<Vec<ColPred<'_, '_>>>> = [&a, &b]
+        .iter()
+        .zip(&snaps)
+        .map(|((var, filters, _, _), snap)| {
+            snap.as_ref().map(|s| {
+                filters
+                    .iter()
+                    .map(|c| ColPred::compile(c, *var, s))
+                    .collect()
+            })
+        })
+        .collect();
+    let vars = [a.0, b.0];
+    // Interleave the two sides' morsels into one task list; results
+    // come back in task order, so each side's survivor lists
+    // reassemble ascending.
+    let mut tasks: Vec<(usize, Morsel)> = Vec::new();
+    for (side, snap) in snaps.iter().enumerate() {
+        if let Some(snap) = snap {
+            tasks.extend(exec::morsels(snap.len()).into_iter().map(|m| (side, m)));
+        }
+    }
+    let cx = WorkerCx::capture();
+    let parts = run_par(|| {
+        let (parts, _) = exec::run_tasks(
+            par_threads(),
+            tasks,
+            || {
+                cx.enter();
+                0u64
+            },
+            |ticks: &mut u64, (side, m): (usize, Morsel)| {
+                let snap = snaps[side].as_deref().expect("task exists only with snap");
+                let preds = preds[side].as_deref().expect("compiled with snap");
+                let mut keep = Vec::new();
+                for i in m.start..m.end {
+                    *ticks += 1;
+                    if *ticks & CHUNK_TICK_MASK as u64 == 0 && cx.tripped() {
+                        return (side, None);
+                    }
+                    match row_passes(preds, snap, vars[side], i) {
+                        Some(true) => keep.push(i as u32),
+                        Some(false) => {}
+                        None => return (side, None),
+                    }
+                }
+                (side, Some(keep))
+            },
+        );
+        parts
+    })?;
+    // Reassemble per side: a poisoned morsel declines its whole side.
+    let mut out: [Option<Option<Vec<u32>>>; 2] = [
+        snaps[0].as_ref().map(|_| Some(Vec::new())),
+        snaps[1].as_ref().map(|_| Some(Vec::new())),
+    ];
+    for (side, part) in parts {
+        if let Some(acc) = &mut out[side] {
+            match (acc, part) {
+                (Some(acc), Some(mut keep)) => acc.append(&mut keep),
+                (acc, None) => *acc = None,
+                (None, _) => {}
+            }
+        }
+    }
+    let [ka, kb] = out;
+    let (ka, kb) = (ka.flatten(), kb.flatten());
+    note_offload(ka.is_some());
+    note_offload(kb.is_some());
+    Ok((ka, kb))
+}
+
+/// Open a `Scan` node, offloading its pushed filters onto the columnar
+/// lane when they are statically eligible, the lane is live, and the
+/// relation clears the row cutoff. On success the surviving rows — an
+/// ascending subset of the canonical slice, so itself canonical —
+/// become a **filterless** scan over a fresh [`MSet`]: exactly the
+/// shape [`open_cached_par_probe`]'s fast path keys raw rows from, so
+/// the whole Scan→Filter→Join pipeline composes onto the lane. Any
+/// decline yields the ordinary filtered scan with zero behavior change.
+/// An outer-`Some` `keep` short-circuits the filter run: the caller
+/// already ran it (the independent-generator batch) and passes its
+/// outcome — survivors or a decline — through.
+fn open_scan_node<'p, E>(
+    var: Symbol,
+    filters: &'p [Conjunct<'p>],
+    source: &Expr,
+    env: &Env,
+    items: MSet,
+    keep: Option<Option<Vec<u32>>>,
+) -> Result<Node<'p>, ExecError<E>> {
+    let keep = match keep {
+        Some(outcome) => outcome,
+        None if columnar_eligible(filters, var) && columnar_live(items.len()) => {
+            columnar_filter(var, filters, &items, stable_source(source))?
+        }
+        None => None,
+    };
+    Ok(match keep {
+        Some(keep) => {
+            let rows = items.as_slice();
+            let filtered = MSet::from_sorted_unchecked(
+                keep.iter().map(|&i| rows[i as usize].clone()).collect(),
+            );
+            Node::Scan {
+                var,
+                filters: &[],
+                base: env.clone(),
+                items: filtered,
+                idx: 0,
+            }
+        }
+        None => Node::Scan {
+            var,
+            filters,
+            base: env.clone(),
+            items,
+            idx: 0,
+        },
+    })
 }
 
 /// The shared sequential-fallback shape of [`open_par_join`]: count the
@@ -773,6 +1169,7 @@ fn open_par_join<'p, H: EvalHook>(
     filters: &'p [Conjunct<'p>],
     probe_keys: &'p [&'p Expr],
     info: &'p ParInfo,
+    build_keep: Option<Vec<u32>>,
     env: &Env,
     hook: &mut H,
 ) -> Result<Node<'p>, ExecError<H::Error>> {
@@ -780,33 +1177,51 @@ fn open_par_join<'p, H: EvalHook>(
     // is evaluated and extracted. Any decline (unsupported shape at
     // runtime, identity-bearing key value, strict filter evaluating
     // non-boolean) abandons the lane before the input is drained.
+    // When the columnar lane already ran the filters (`build_keep`,
+    // the independent-generator batch), only the survivors are keyed.
     let mut build_keyed: Vec<Keyed> = Vec::with_capacity(items.len());
     let mut keyed_ok = true;
-    'build: for (i, row) in items.iter().enumerate() {
-        let row_env = ValueBindings {
-            head: Some((var, row)),
-            rest: &[],
-        };
-        for c in filters {
-            match safe_eval(c.expr, &row_env) {
-                Some(Value::Bool(true)) => {}
-                Some(Value::Bool(false)) => continue 'build,
-                // A lenient (syntactically last) conjunct rejects the
-                // row on a non-boolean, like the sequential `check`; a
-                // strict one would error — abandon and let the
-                // sequential path raise it.
-                Some(_) if !c.strict => continue 'build,
-                _ => {
+    if let Some(keep) = &build_keep {
+        for &i in keep {
+            let row_env = ValueBindings {
+                head: Some((var, &items.as_slice()[i as usize])),
+                rest: &[],
+            };
+            match extract_key(build_keys, &row_env) {
+                Some(key) => build_keyed.push(Keyed::new(key, i as usize)),
+                None => {
                     keyed_ok = false;
-                    break 'build;
+                    break;
                 }
             }
         }
-        match extract_key(build_keys, &row_env) {
-            Some(key) => build_keyed.push(Keyed::new(key, i)),
-            None => {
-                keyed_ok = false;
-                break 'build;
+    } else {
+        'build: for (i, row) in items.iter().enumerate() {
+            let row_env = ValueBindings {
+                head: Some((var, row)),
+                rest: &[],
+            };
+            for c in filters {
+                match safe_eval(c.expr, &row_env) {
+                    Some(Value::Bool(true)) => {}
+                    Some(Value::Bool(false)) => continue 'build,
+                    // A lenient (syntactically last) conjunct rejects
+                    // the row on a non-boolean, like the sequential
+                    // `check`; a strict one would error — abandon and
+                    // let the sequential path raise it.
+                    Some(_) if !c.strict => continue 'build,
+                    _ => {
+                        keyed_ok = false;
+                        break 'build;
+                    }
+                }
+            }
+            match extract_key(build_keys, &row_env) {
+                Some(key) => build_keyed.push(Keyed::new(key, i)),
+                None => {
+                    keyed_ok = false;
+                    break 'build;
+                }
             }
         }
     }
@@ -906,6 +1321,8 @@ fn open_keyed_join<'p, H: EvalHook>(
     probe_keys: &'p [&'p Expr],
     fingerprint: Option<&str>,
     par: Option<&'p ParInfo>,
+    stable: bool,
+    build_keep: Option<Option<Vec<u32>>>,
     env: &Env,
     hook: &mut H,
 ) -> Result<Node<'p>, ExecError<H::Error>> {
@@ -919,7 +1336,16 @@ fn open_keyed_join<'p, H: EvalHook>(
         if let Some(info) = par {
             if info.build_ok && items.len() >= par_join_min_build_rows() {
                 return open_par_join(
-                    input, items, var, build_keys, filters, probe_keys, info, env, hook,
+                    input,
+                    items,
+                    var,
+                    build_keys,
+                    filters,
+                    probe_keys,
+                    info,
+                    build_keep.flatten(),
+                    env,
+                    hook,
                 );
             }
         }
@@ -931,12 +1357,16 @@ fn open_keyed_join<'p, H: EvalHook>(
         Some(fp) => obtain_index(
             &items,
             fp,
-            |hook| build_join_index(&items, var, filters, build_keys, env, hook),
+            |hook| {
+                build_join_index_cols(
+                    &items, var, filters, build_keys, stable, build_keep, env, hook,
+                )
+            },
             hook,
         )?,
         // Environment-dependent build: construct inline.
-        None => CachedIndex::Local(Rc::new(build_join_index(
-            &items, var, filters, build_keys, env, hook,
+        None => CachedIndex::Local(Rc::new(build_join_index_cols(
+            &items, var, filters, build_keys, stable, build_keep, env, hook,
         )?)),
     };
     // The composed lane: a store-served plain table is `Send + Sync`,
@@ -1229,13 +1659,7 @@ impl<'p> Node<'p> {
                 filters,
             } => {
                 let items = as_set(hook.eval(env, source)?)?;
-                Node::Scan {
-                    var: *var,
-                    filters,
-                    base: env.clone(),
-                    items,
-                    idx: 0,
-                }
+                open_scan_node(*var, filters, source, env, items, None)?
             }
             PhysOp::IndexScan {
                 var,
@@ -1362,13 +1786,8 @@ impl<'p> Node<'p> {
                             // relation builds (keyed by the old probe
                             // expressions, its pushed filters baked
                             // in), the second streams as the probe.
-                            let probe_node = Box::new(Node::Scan {
-                                var: *var,
-                                filters,
-                                base: env.clone(),
-                                items: second,
-                                idx: 0,
-                            });
+                            let probe_node =
+                                Box::new(open_scan_node(*var, filters, source, env, second, None)?);
                             open_keyed_join(
                                 probe_node,
                                 first,
@@ -1378,17 +1797,15 @@ impl<'p> Node<'p> {
                                 build_keys,
                                 Some(&sw.fingerprint),
                                 sw.par.as_ref(),
+                                stable_source(psource),
+                                None,
                                 env,
                                 hook,
                             )
                         } else {
-                            let input = Box::new(Node::Scan {
-                                var: *pvar,
-                                filters: pfilters,
-                                base: env.clone(),
-                                items: first,
-                                idx: 0,
-                            });
+                            let input = Box::new(open_scan_node(
+                                *pvar, pfilters, psource, env, first, None,
+                            )?);
                             open_keyed_join(
                                 input,
                                 second,
@@ -1398,14 +1815,62 @@ impl<'p> Node<'p> {
                                 probe_keys,
                                 fingerprint.as_deref(),
                                 par.as_ref(),
+                                stable_source(source),
+                                None,
                                 env,
                                 hook,
                             )
                         };
                     }
                 }
-                let input = Box::new(Node::open(input, env, hook)?);
-                let items = as_set(hook.eval(env, source)?)?;
+                // Independent generators: a bare `Scan` probe side has
+                // no dependency on the build binder, so both sources
+                // evaluate up front (generator order) and — when the
+                // build index is not already cached (a hit skips the
+                // build filters entirely, so prefiltering would be
+                // wasted work) and both relations clear the columnar
+                // gates — both sides' pushed filters run as **one**
+                // morsel batch over the shared worker pool.
+                let (input, items, build_keep) = if let PhysOp::Scan {
+                    var: svar,
+                    source: ssource,
+                    filters: sfilters,
+                } = input.as_ref()
+                {
+                    let pitems = as_set(hook.eval(env, ssource)?)?;
+                    let bitems = as_set(hook.eval(env, source)?)?;
+                    let cached = fingerprint
+                        .as_ref()
+                        .is_some_and(|fp| with_store(|s| s.peek(&bitems, fp)));
+                    if !cached
+                        && columnar_eligible(sfilters, *svar)
+                        && columnar_eligible(filters, *var)
+                        && columnar_live(pitems.len())
+                        && columnar_live(bitems.len())
+                    {
+                        let (pkeep, bkeep) = columnar_filter_pair(
+                            (*svar, sfilters, &pitems, stable_source(ssource)),
+                            (*var, filters, &bitems, stable_source(source)),
+                        )?;
+                        let input = Box::new(open_scan_node(
+                            *svar,
+                            sfilters,
+                            ssource,
+                            env,
+                            pitems,
+                            Some(pkeep),
+                        )?);
+                        (input, bitems, Some(bkeep))
+                    } else {
+                        let input =
+                            Box::new(open_scan_node(*svar, sfilters, ssource, env, pitems, None)?);
+                        (input, bitems, None)
+                    }
+                } else {
+                    let input = Box::new(Node::open(input, env, hook)?);
+                    let items = as_set(hook.eval(env, source)?)?;
+                    (input, items, None)
+                };
                 open_keyed_join(
                     input,
                     items,
@@ -1415,6 +1880,8 @@ impl<'p> Node<'p> {
                     probe_keys,
                     fingerprint.as_deref(),
                     par.as_ref(),
+                    stable_source(source),
+                    build_keep,
                     env,
                     hook,
                 )?

@@ -1,10 +1,14 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` / scoped `spawn` are used by this
-//! workspace; since Rust 1.63 the standard library provides scoped
-//! threads, so the shim is a thin adapter over `std::thread::scope`
-//! exposing crossbeam's signatures (spawn callbacks receive the scope,
-//! `scope` returns a `Result`).
+//! The workspace uses `crossbeam::thread::scope` / scoped `spawn` and
+//! the `deque` work-stealing queue; since Rust 1.63 the standard
+//! library provides scoped threads, so `thread` is a thin adapter over
+//! `std::thread::scope` exposing crossbeam's signatures (spawn
+//! callbacks receive the scope, `scope` returns a `Result`), and
+//! `deque` implements the `Worker`/`Stealer`/`Steal` surface over a
+//! mutexed ring buffer (the lock-free Chase-Lev structure is overkill
+//! for morsel-granular tasks: one lock acquisition per ~thousands of
+//! rows of work).
 
 pub mod thread {
     use std::any::Any;
@@ -77,8 +81,152 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deque with crossbeam's `Worker`/`Stealer`/`Steal`
+    //! API (FIFO flavor only — the workspace schedules morsels in
+    //! range order). The owner pushes and pops at opposite ends;
+    //! stealers take from the pop end, so stolen tasks preserve the
+    //! queue's FIFO order. Contention surfaces as [`Steal::Retry`]
+    //! (a held lock), exactly like crossbeam's CAS failure.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, TryLockError};
+
+    /// The outcome of one steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt raced another operation; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owning end of a deque: push and pop, plus stealer handles
+    /// for other threads.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new FIFO deque (tasks pop in push order).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque lock").pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// The stealing end of a deque; clone freely across threads.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempt to steal the oldest task. Non-blocking: a held lock
+        /// reports [`Steal::Retry`] rather than waiting.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(TryLockError::WouldBlock) => Steal::Retry,
+                Err(TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn deque_fifo_pop_and_steal_order() {
+        use crate::deque::{Steal, Worker};
+        let w: Worker<i32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(w.pop(), Some(1));
+        assert!(matches!(s.steal(), Steal::Success(2)));
+        assert_eq!(w.pop(), Some(3));
+        assert!(matches!(s.steal(), Steal::Empty));
+        assert!(s.clone().steal().success().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deque_steals_cross_threads() {
+        use crate::deque::{Steal, Worker};
+        let w: Worker<u64> = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move |_| {
+                        let mut sum = 0u64;
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Retry => std::thread::yield_now(),
+                                Steal::Empty => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];

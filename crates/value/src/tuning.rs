@@ -15,6 +15,8 @@
 //! | parallel-join probe-drain cap (× build rows) | [`DEFAULT_PAR_JOIN_MAX_PROBE_FACTOR`] | `MACHIAVELLI_PAR_JOIN_MAX_PROBE_FACTOR` |
 //! | cached-index parallel-probe row cutoff | [`DEFAULT_PAR_PROBE_MIN_ROWS`] | `MACHIAVELLI_PAR_PROBE_MIN_ROWS` |
 //! | parallel-`hom` element cutoff | [`DEFAULT_PAR_HOM_MIN_ITEMS`] | `MACHIAVELLI_PAR_HOM_MIN_ITEMS` |
+//! | columnar morsel size (rows) | [`DEFAULT_MORSEL_ROWS`] | `MACHIAVELLI_MORSEL_ROWS` |
+//! | columnar-lane row cutoff | [`DEFAULT_COLUMNAR_MIN_ROWS`] | `MACHIAVELLI_COLUMNAR_MIN_ROWS` |
 //! | index-store row budget | [`DEFAULT_STORE_BUDGET_ROWS`] | `MACHIAVELLI_STORE_BUDGET_ROWS` |
 //!
 //! (`docs/PERFORMANCE.md` documents every knob alongside the execution
@@ -68,6 +70,18 @@ pub const PAR_HOM_MIN_ITEMS_PER_THREAD: usize = 2;
 /// relations (the store's LRU evicts past it).
 pub const DEFAULT_STORE_BUDGET_ROWS: usize = 1 << 20;
 
+/// Rows per **morsel** — the unit of work the columnar scheduler hands
+/// to (and lets workers steal between) its deques. Small enough that a
+/// skewed filter cannot serialize the pipeline on one slow range, large
+/// enough that per-morsel bookkeeping stays negligible against the
+/// per-row work.
+pub const DEFAULT_MORSEL_ROWS: usize = 2048;
+
+/// Below this many relation rows an eligible pipeline stays on the
+/// sequential path instead of the columnar lane: snapshot lookup plus
+/// thread coordination would swamp the per-row savings.
+pub const DEFAULT_COLUMNAR_MIN_ROWS: usize = 4096;
+
 // --- env-backed resolution -------------------------------------------------
 
 fn env_usize(var: &'static str, cache: &'static OnceLock<Option<usize>>) -> Option<usize> {
@@ -84,9 +98,12 @@ thread_local! {
     static PAR_JOIN_MIN_BUILD_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
     static PAR_PROBE_MIN_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
     static PAR_HOM_MIN_ITEMS: Cell<Option<usize>> = const { Cell::new(None) };
+    static MORSEL_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
+    static COLUMNAR_MIN_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
     static PARALLEL_ENABLED: Cell<bool> = const { Cell::new(true) };
     static STORE_EPOCH_CLEAR: Cell<bool> = const { Cell::new(false) };
     static PAR_STATS: Cell<ParStats> = const { Cell::new(ParStats::new()) };
+    static EXEC_STATS: Cell<ExecStats> = const { Cell::new(ExecStats::new()) };
 }
 
 /// Worker-thread count for the parallel lane on this thread (= session):
@@ -176,6 +193,40 @@ pub fn par_hom_min_items() -> usize {
 /// previous override.
 pub fn set_par_hom_min_items(n: Option<usize>) -> Option<usize> {
     PAR_HOM_MIN_ITEMS.with(|c| c.replace(n))
+}
+
+/// The morsel size currently in force (thread-local override →
+/// `MACHIAVELLI_MORSEL_ROWS` → [`DEFAULT_MORSEL_ROWS`]). Always ≥ 1.
+pub fn morsel_rows() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    MORSEL_ROWS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_MORSEL_ROWS", &ENV))
+        .unwrap_or(DEFAULT_MORSEL_ROWS)
+        .max(1)
+}
+
+/// Override the morsel size on this thread (tests shrink it to force
+/// many morsels over small relations), returning the previous override.
+pub fn set_morsel_rows(n: Option<usize>) -> Option<usize> {
+    MORSEL_ROWS.with(|c| c.replace(n.map(|n| n.max(1))))
+}
+
+/// The columnar-lane row cutoff currently in force (thread-local
+/// override → `MACHIAVELLI_COLUMNAR_MIN_ROWS` →
+/// [`DEFAULT_COLUMNAR_MIN_ROWS`]).
+pub fn columnar_min_rows() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    COLUMNAR_MIN_ROWS
+        .with(Cell::get)
+        .or_else(|| env_usize("MACHIAVELLI_COLUMNAR_MIN_ROWS", &ENV))
+        .unwrap_or(DEFAULT_COLUMNAR_MIN_ROWS)
+}
+
+/// Override the columnar-lane cutoff on this thread, returning the
+/// previous override.
+pub fn set_columnar_min_rows(n: Option<usize>) -> Option<usize> {
+    COLUMNAR_MIN_ROWS.with(|c| c.replace(n))
 }
 
 /// The index-store row budget to use for a fresh store (no thread-local
@@ -312,6 +363,99 @@ pub fn note_par_hom(hit: bool) {
     });
 }
 
+// --- columnar-lane counters ------------------------------------------------
+
+/// Cumulative columnar-lane counters for this thread (= session),
+/// surfaced by `Session::exec_stats` and the REPL's `:stats` —
+/// mirroring [`ParStats`] for the morsel-driven columnar subsystem
+/// (`machiavelli-exec`).
+///
+/// An **offload** is a pipeline the planner actually executed on the
+/// columnar lane; an **offload fallback** passed the static and size
+/// gates but declined at runtime (a relation failed snapshot
+/// extraction, or the plain mini-evaluator declined a filter on live
+/// data). Morsel counters are aggregated per scheduler run on the
+/// coordinating thread — worker threads never touch the thread-local.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Columnar snapshots extracted from relation rows this session.
+    pub snapshots_built: u64,
+    /// Columnar snapshots adopted from the process-wide shared tier
+    /// instead of being rebuilt.
+    pub snapshots_adopted: u64,
+    /// Morsels (fixed-size row ranges) executed by scheduler workers.
+    pub morsels_executed: u64,
+    /// Morsels a worker stole from another worker's deque (a subset of
+    /// `morsels_executed`; > 0 means work stealing actually engaged).
+    pub morsels_stolen: u64,
+    /// Pipelines executed end to end on the columnar lane.
+    pub offloads: u64,
+    /// Eligible pipelines that fell back to the sequential path at
+    /// runtime.
+    pub offload_fallbacks: u64,
+}
+
+impl ExecStats {
+    const fn new() -> ExecStats {
+        ExecStats {
+            snapshots_built: 0,
+            snapshots_adopted: 0,
+            morsels_executed: 0,
+            morsels_stolen: 0,
+            offloads: 0,
+            offload_fallbacks: 0,
+        }
+    }
+}
+
+/// This thread's columnar-lane counters.
+pub fn exec_stats() -> ExecStats {
+    EXEC_STATS.with(Cell::get)
+}
+
+/// Zero this thread's columnar-lane counters.
+pub fn reset_exec_stats() {
+    EXEC_STATS.with(|c| c.set(ExecStats::new()));
+}
+
+/// Record a columnar snapshot build (`adopted` = served by the shared
+/// tier instead of extracted locally).
+pub fn note_snapshot(adopted: bool) {
+    EXEC_STATS.with(|c| {
+        let mut s = c.get();
+        if adopted {
+            s.snapshots_adopted += 1;
+        } else {
+            s.snapshots_built += 1;
+        }
+        c.set(s);
+    });
+}
+
+/// Record one scheduler run's morsel totals (aggregated by the
+/// coordinator after workers join; `stolen` ≤ `executed`).
+pub fn note_morsels(executed: u64, stolen: u64) {
+    EXEC_STATS.with(|c| {
+        let mut s = c.get();
+        s.morsels_executed += executed;
+        s.morsels_stolen += stolen;
+        c.set(s);
+    });
+}
+
+/// Record a columnar-lane outcome (`hit` = the pipeline ran offloaded).
+pub fn note_offload(hit: bool) {
+    EXEC_STATS.with(|c| {
+        let mut s = c.get();
+        if hit {
+            s.offloads += 1;
+        } else {
+            s.offload_fallbacks += 1;
+        }
+        c.set(s);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +477,45 @@ mod tests {
         let prev = set_par_hom_min_items(Some(9));
         assert_eq!(par_hom_min_items(), 9);
         set_par_hom_min_items(prev);
+
+        let prev = set_morsel_rows(Some(11));
+        assert_eq!(morsel_rows(), 11);
+        set_morsel_rows(prev);
+
+        let prev = set_columnar_min_rows(Some(13));
+        assert_eq!(columnar_min_rows(), 13);
+        set_columnar_min_rows(prev);
+    }
+
+    #[test]
+    fn morsel_rows_clamps_to_one() {
+        let prev = set_morsel_rows(Some(0));
+        assert_eq!(morsel_rows(), 1);
+        set_morsel_rows(prev);
+    }
+
+    #[test]
+    fn exec_counters_accumulate_and_reset() {
+        reset_exec_stats();
+        note_snapshot(false);
+        note_snapshot(true);
+        note_morsels(8, 3);
+        note_offload(true);
+        note_offload(false);
+        let s = exec_stats();
+        assert_eq!(
+            (
+                s.snapshots_built,
+                s.snapshots_adopted,
+                s.morsels_executed,
+                s.morsels_stolen,
+                s.offloads,
+                s.offload_fallbacks
+            ),
+            (1, 1, 8, 3, 1, 1)
+        );
+        reset_exec_stats();
+        assert_eq!(exec_stats(), ExecStats::default());
     }
 
     #[test]

@@ -57,7 +57,9 @@ fn fig9_view_call_join_renders_the_parallel_marker_at_four_threads() {
     // The same uncached view-call join as above, with a multi-threaded
     // parallel lane: both key closures are plain-evaluable, so the
     // next execution fans out (once the build side clears the row
-    // cutoff) — `explain` renders the configured worker count.
+    // cutoff) — `explain` renders the configured worker count. The
+    // build side's pushed filter is binder-closed and par-evaluable,
+    // so it additionally advertises the columnar morsel lane.
     assert_eq!(
         plan_par4(
             "select [Name = s.Name, Salary = e.Salary]
@@ -67,7 +69,39 @@ fn fig9_view_call_join_renders_the_parallel_marker_at_four_threads() {
         "Project [Name=s.Name, Salary=e.Salary]\n  \
          HashJoin[par n=4] probe(s.Name) build(e.Name)\n    \
          Scan s <- StudentView(persons)\n    \
-         Build e <- EmployeeView(persons) filter (e.Salary > 1000)"
+         Build[columnar par n=4] e <- EmployeeView(persons) filter (e.Salary > 1000)"
+    );
+}
+
+#[test]
+fn independent_generators_both_render_columnar_at_four_threads() {
+    // Both generators carry binder-closed, par-evaluable pushed
+    // filters: the **independent-generator schedule** — the executor
+    // evaluates both sources up front and filters both relations as
+    // one work-stealing morsel batch (no barrier between the scans).
+    // `explain` shows both sides on the columnar lane.
+    assert_eq!(
+        plan_par4(
+            "select [Name = s.Name, Salary = e.Salary]
+             where s <- StudentView(persons), e <- EmployeeView(persons)
+             with s.Age > 20 andalso s.Name = e.Name andalso e.Salary > 1000;"
+        ),
+        "Project [Name=s.Name, Salary=e.Salary]\n  \
+         HashJoin[par n=4] probe(s.Name) build(e.Name)\n    \
+         Scan[columnar par n=4] s <- StudentView(persons) filter (s.Age > 20)\n    \
+         Build[columnar par n=4] e <- EmployeeView(persons) filter (e.Salary > 1000)"
+    );
+}
+
+#[test]
+fn single_generator_filter_renders_columnar_at_four_threads() {
+    // The introduction's Wealthy query on the columnar lane: a pushed
+    // ordering filter over one binder offloads to per-column worker
+    // loops once the relation clears the row cutoff.
+    assert_eq!(
+        plan_par4("select x.Name where x <- S with x.Salary > 100000;"),
+        "Project x.Name\n  \
+         Scan[columnar par n=4] x <- S filter (x.Salary > 100000)"
     );
 }
 
