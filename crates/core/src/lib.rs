@@ -41,11 +41,12 @@ pub mod session;
 pub use error::SessionError;
 pub use persist::{decode_value, encode_value, PersistError};
 pub use repl::run_repl;
-pub use session::{Outcome, Session};
+pub use session::{Outcome, Session, SessionStats};
 
 pub use machiavelli_eval as eval;
 pub use machiavelli_plan as plan;
 pub use machiavelli_store as store;
 pub use machiavelli_syntax as syntax;
+pub use machiavelli_trace as trace;
 pub use machiavelli_types as types;
 pub use machiavelli_value as value;

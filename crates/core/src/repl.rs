@@ -16,8 +16,9 @@ pub fn run_repl(
     writeln!(
         output,
         "Machiavelli (SIGMOD 1989 reproduction). End phrases with `;`; \
-         `:plan <phrase>;` explains a comprehension; `:indexes;` lists \
-         cached indexes; `:stats;` shows index-store counters; `quit;` \
+         `:plan <phrase>;` explains a comprehension; `:analyze <phrase>;` \
+         runs it and shows the traced operator tree; `:indexes;` lists \
+         cached indexes; `:stats;` shows engine counters; `quit;` \
          exits."
     )?;
     let mut pending = String::new();
@@ -47,64 +48,23 @@ pub fn run_repl(
                     }
                     Err(e) => writeln!(output, ">> error: {e}")?,
                 }
+            } else if let Some(rest) = pending
+                .trim_start()
+                .strip_prefix(":analyze")
+                .filter(|r| r.starts_with(char::is_whitespace))
+            {
+                match session.analyze(rest) {
+                    Ok(report) => {
+                        for l in report.lines() {
+                            writeln!(output, ">> {l}")?;
+                        }
+                    }
+                    Err(e) => writeln!(output, ">> error: {e}")?,
+                }
             } else if bare_command(&pending, ":stats") {
-                let st = session.store_stats();
-                writeln!(
-                    output,
-                    ">> index store: {} entries ({} plain / {} rc), {} rows cached",
-                    st.entries, st.plain_entries, st.rc_entries, st.cached_rows
-                )?;
-                writeln!(
-                    output,
-                    ">> hits {} / misses {} / builds {} / invalidated {} / cleared {} / evicted {}",
-                    st.hits, st.misses, st.builds, st.invalidated, st.cleared, st.evicted
-                )?;
-                let ps = session.par_stats();
-                writeln!(
-                    output,
-                    ">> parallel ({} threads): joins {} / join fallbacks {} / \
-                     cached probes {} / probe fallbacks {} / \
-                     homs {} / hom fallbacks {}",
-                    session.par_threads(),
-                    ps.par_joins,
-                    ps.par_join_fallbacks,
-                    ps.par_probes,
-                    ps.par_probe_fallbacks,
-                    ps.par_homs,
-                    ps.par_hom_fallbacks
-                )?;
-                let es = session.exec_stats();
-                writeln!(
-                    output,
-                    ">> columnar: offloads {} / offload fallbacks {} / \
-                     snapshots {} built / {} adopted / \
-                     morsels {} executed / {} stolen",
-                    es.offloads,
-                    es.offload_fallbacks,
-                    es.snapshots_built,
-                    es.snapshots_adopted,
-                    es.morsels_executed,
-                    es.morsels_stolen
-                )?;
-                let sc = session.server_stats();
-                let sh = session.shared_store_stats();
-                writeln!(
-                    output,
-                    ">> server: sessions {} started / {} panicked / {} closed, \
-                     queries {} completed / {} shed / {} deadline / {} cancelled / {} row-budget, \
-                     shared tier {} publishes / {} adoptions / {} lock recoveries",
-                    sc.sessions_started,
-                    sc.sessions_panicked,
-                    sc.sessions_closed,
-                    sc.queries_completed,
-                    sc.queries_shed,
-                    sc.deadlines_hit,
-                    sc.queries_cancelled,
-                    sc.row_budgets_hit,
-                    sh.publishes,
-                    sh.adoptions,
-                    sh.lock_recoveries
-                )?;
+                for l in session.stats().render().lines() {
+                    writeln!(output, ">> {l}")?;
+                }
             } else if bare_command(&pending, ":indexes") {
                 let infos = session.store_indexes();
                 if infos.is_empty() {

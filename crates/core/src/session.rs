@@ -36,6 +36,110 @@ impl Outcome {
     }
 }
 
+/// Every statistics surface a session can see, snapshotted at once:
+/// the index store, the parallel and columnar lanes, the process-wide
+/// server/resilience counters and shared index tier, and the typed
+/// decline taxonomy (`machiavelli-trace`). One struct so callers (and
+/// the REPL's `:stats`) render all of it through one code path instead
+/// of five.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Cached-index store counters (session-scoped).
+    pub store: machiavelli_store::StoreStats,
+    /// Parallel-lane hit/fallback counters (session-scoped).
+    pub par: machiavelli_value::tuning::ParStats,
+    /// Columnar-lane counters (session-scoped).
+    pub exec: machiavelli_value::tuning::ExecStats,
+    /// Server/resilience counters (process-wide).
+    pub server: machiavelli_value::governor::ServerCounters,
+    /// Shared index tier counters (process-wide).
+    pub shared: machiavelli_store::shared::SharedStats,
+    /// The parallel lane's effective worker-thread count.
+    pub par_threads: usize,
+    /// Typed decline counts (session-scoped), one entry per
+    /// [`machiavelli_trace::DeclineReason`] variant in declaration
+    /// order, zeros included.
+    pub declines: Vec<(machiavelli_trace::DeclineReason, u64)>,
+}
+
+impl SessionStats {
+    /// Render every section as the REPL's `:stats` shows it, one line
+    /// per subsystem (no prompt decoration — the REPL prefixes `>> `).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let st = &self.store;
+        let _ = writeln!(
+            out,
+            "index store: {} entries ({} plain / {} rc), {} rows cached",
+            st.entries, st.plain_entries, st.rc_entries, st.cached_rows
+        );
+        let _ = writeln!(
+            out,
+            "hits {} / misses {} / builds {} / invalidated {} / cleared {} / evicted {}",
+            st.hits, st.misses, st.builds, st.invalidated, st.cleared, st.evicted
+        );
+        let ps = &self.par;
+        let _ = writeln!(
+            out,
+            "parallel ({} threads): joins {} / join fallbacks {} / \
+             cached probes {} / probe fallbacks {} / \
+             homs {} / hom fallbacks {}",
+            self.par_threads,
+            ps.par_joins,
+            ps.par_join_fallbacks,
+            ps.par_probes,
+            ps.par_probe_fallbacks,
+            ps.par_homs,
+            ps.par_hom_fallbacks
+        );
+        let es = &self.exec;
+        let _ = writeln!(
+            out,
+            "columnar: offloads {} / offload fallbacks {} / \
+             snapshots {} built / {} adopted / \
+             morsels {} executed / {} stolen",
+            es.offloads,
+            es.offload_fallbacks,
+            es.snapshots_built,
+            es.snapshots_adopted,
+            es.morsels_executed,
+            es.morsels_stolen
+        );
+        let sc = &self.server;
+        let sh = &self.shared;
+        let _ = writeln!(
+            out,
+            "server: sessions {} started / {} panicked / {} closed, \
+             queries {} completed / {} shed / {} deadline / {} cancelled / {} row-budget, \
+             shared tier {} publishes / {} adoptions / {} lock recoveries",
+            sc.sessions_started,
+            sc.sessions_panicked,
+            sc.sessions_closed,
+            sc.queries_completed,
+            sc.queries_shed,
+            sc.deadlines_hit,
+            sc.queries_cancelled,
+            sc.row_budgets_hit,
+            sh.publishes,
+            sh.adoptions,
+            sh.lock_recoveries
+        );
+        let nonzero: Vec<String> = self
+            .declines
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{r} {n}"))
+            .collect();
+        if nonzero.is_empty() {
+            out.push_str("declines: none\n");
+        } else {
+            let _ = writeln!(out, "declines: {}", nonzero.join(" / "));
+        }
+        out
+    }
+}
+
 /// A stateful interpreter session.
 pub struct Session {
     inferencer: Inferencer,
@@ -227,6 +331,114 @@ impl Session {
         machiavelli_store::shared::shared_stats()
     }
 
+    /// One snapshot of every statistics surface — the store, parallel,
+    /// columnar, server/shared-tier counters, and the typed decline
+    /// counts. Behind the REPL's `:stats` via [`SessionStats::render`].
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            store: self.store_stats(),
+            par: self.par_stats(),
+            exec: self.exec_stats(),
+            server: self.server_stats(),
+            shared: self.shared_store_stats(),
+            par_threads: self.par_threads(),
+            declines: machiavelli_trace::session_declines(),
+        }
+    }
+
+    /// Zero every session-scoped counter in one call: the index store
+    /// (entries, counters, and observed per-operator stats), the
+    /// parallel and columnar lanes, and the decline counts. The
+    /// process-wide surfaces ([`Session::server_stats`],
+    /// [`Session::shared_store_stats`], and the `METRICS` totals) are
+    /// deliberately untouched — they aggregate across sessions.
+    pub fn reset_stats(&self) {
+        self.store_reset();
+        self.par_reset();
+        self.exec_reset();
+        machiavelli_trace::reset_session_declines();
+    }
+
+    /// Enable/disable query tracing for this session's thread (`None`
+    /// restores the `MACHIAVELLI_TRACE` env default), returning the
+    /// previous override. With tracing on, every evaluated `select`
+    /// records a [`machiavelli_trace::QueryTrace`] retrievable via
+    /// [`Session::trace_events`].
+    pub fn set_tracing(&self, on: Option<bool>) -> Option<bool> {
+        machiavelli_trace::set_tracing(on)
+    }
+
+    /// Drain the traced queries recorded on this session's thread since
+    /// the last drain (oldest first; the per-thread buffer keeps the
+    /// most recent [`machiavelli_trace::MAX_EVENTS`]).
+    pub fn trace_events(&self) -> Vec<machiavelli_trace::QueryTrace> {
+        machiavelli_trace::take_events()
+    }
+
+    /// Per-fingerprint observed execution statistics accumulated by
+    /// [`Session::analyze`] (sorted by fingerprint). These survive
+    /// `clear()`-style invalidation in the store — cardinality priors
+    /// outlive the indexes they were measured on — and drop on
+    /// [`Session::store_reset`] / [`Session::reset_stats`].
+    pub fn observed_stats(&self) -> Vec<(String, machiavelli_store::ObservedStats)> {
+        machiavelli_store::with_store(|s| s.observed())
+    }
+
+    /// Run `src` with query tracing forced on and render each traced
+    /// `select` as its physical operator tree annotated with what
+    /// *actually happened*: per-operator yielded rows, open/next time,
+    /// execution lane, cache outcome, and any typed decline codes —
+    /// `EXPLAIN ANALYZE`, where [`Session::plan_of`] is `EXPLAIN`. The
+    /// phrases evaluate for real (bindings stick, `it` updates), and
+    /// fingerprinted operators persist observed row/time stats into the
+    /// index store ([`Session::observed_stats`]). Behind the REPL's
+    /// `:analyze` command.
+    pub fn analyze(&mut self, src: &str) -> Result<String, SessionError> {
+        let prev = machiavelli_trace::set_tracing(Some(true));
+        // Stale events from earlier traced work would mis-attribute.
+        let _ = machiavelli_trace::take_events();
+        let result = self.run(src);
+        machiavelli_trace::set_tracing(prev);
+        let events = machiavelli_trace::take_events();
+        result?;
+        if events.is_empty() {
+            return Ok("no select evaluated".into());
+        }
+        for q in &events {
+            for s in &q.spans {
+                if let Some(fp) = &s.fingerprint {
+                    machiavelli_store::with_store(|st| {
+                        st.note_observed(fp, s.rows, s.open_ns + s.next_ns)
+                    });
+                }
+            }
+        }
+        let observed = self.observed_stats();
+        let mut out = String::new();
+        for q in &events {
+            render_query_trace(&mut out, q);
+        }
+        // Accumulated per-fingerprint history (this run included), so
+        // repeated `:analyze` shows cardinality stability at a glance.
+        for (fp, os) in &observed {
+            if events
+                .iter()
+                .flat_map(|q| &q.spans)
+                .any(|s| s.fingerprint.as_deref() == Some(fp))
+            {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "observed[{fp}]: runs={} last_rows={} avg_rows={}",
+                    os.executions,
+                    os.last_rows,
+                    os.total_rows / os.executions.max(1)
+                );
+            }
+        }
+        Ok(out)
+    }
+
     /// Look up a bound value.
     pub fn get(&self, name: &str) -> Option<Value> {
         self.env.lookup(name)
@@ -375,6 +587,78 @@ impl Session {
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+/// Render one traced query as an indented operator tree (children under
+/// parents, sibling order = open order), one span per line:
+///
+/// ```text
+/// select: total 1.2ms
+///   HashJoin probe(x.K) build(y.K) [seq] [cache build] rows=3 open=1.0ms next=0.2ms
+///     Scan x <- r [seq] rows=100 open=10.0µs next=80.0µs
+/// ```
+///
+/// A query with no spans ran through the interpreter's nested loop;
+/// decline codes (per-span and query-level) name every fallback taken.
+fn render_query_trace(out: &mut String, q: &machiavelli_trace::QueryTrace) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}: total {}", q.label, fmt_ns(q.elapsed_ns));
+    if q.spans.is_empty() {
+        out.push_str("  (no pipeline: interpreted select_loop)\n");
+    }
+    // Depth-first over the parent links; spans are few (one per
+    // operator), so the quadratic child scan is irrelevant.
+    fn render_span(out: &mut String, spans: &[machiavelli_trace::OpSpan], id: u32, depth: usize) {
+        use std::fmt::Write as _;
+        let s = &spans[id as usize];
+        let _ = write!(
+            out,
+            "{:indent$}{} [{}]",
+            "",
+            s.label,
+            s.lane,
+            indent = depth * 2
+        );
+        if let Some(c) = &s.cache {
+            let _ = write!(out, " [cache {c}]");
+        }
+        let _ = write!(
+            out,
+            " rows={} open={} next={}",
+            s.rows,
+            fmt_ns(s.open_ns),
+            fmt_ns(s.next_ns)
+        );
+        if !s.declines.is_empty() {
+            let codes: Vec<&str> = s.declines.iter().map(|d| d.code()).collect();
+            let _ = write!(out, " declines: {}", codes.join(", "));
+        }
+        out.push('\n');
+        for child in spans.iter().filter(|c| c.parent == Some(id)) {
+            render_span(out, spans, child.id, depth + 1);
+        }
+    }
+    for root in q.spans.iter().filter(|s| s.parent.is_none()) {
+        render_span(out, &q.spans, root.id, 1);
+    }
+    if !q.declines.is_empty() {
+        let codes: Vec<&str> = q.declines.iter().map(|d| d.code()).collect();
+        let _ = writeln!(out, "  declines: {}", codes.join(", "));
+    }
+}
+
+/// Human-scale time with one stable decimal (`0ns` under a zeroed
+/// trace clock, so golden tests pin the full rendering).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
     }
 }
 
@@ -557,6 +841,53 @@ mod tests {
         assert_eq!(indexes[0].kind, machiavelli_store::IndexKind::Plain);
         s.store_reset();
         assert_eq!(s.store_stats(), machiavelli_store::StoreStats::default());
+        s.set_par_threads(prev_threads);
+    }
+
+    #[test]
+    fn reset_stats_leaves_no_session_counter_behind() {
+        let mut s = Session::new();
+        s.reset_stats();
+        let prev_threads = s.set_par_threads(Some(1));
+        // Dirty every session-scoped surface: store counters (build +
+        // hit), observed per-fingerprint stats (via analyze), and the
+        // decline counts (a planner fallback plus a directly noted
+        // lane decline).
+        s.run("val r = {[K=1, A=10], [K=2, A=20]}; val t = {[K=1, B=5]};")
+            .unwrap();
+        let q = "select (x.A, y.B) where x <- r, y <- t with x.K = y.K;";
+        s.analyze(q).unwrap();
+        s.run(q).unwrap();
+        s.run("select x where x <- r with member(x, r);").unwrap();
+        machiavelli_trace::note_decline(machiavelli_trace::DeclineReason::ParHomExtract);
+        let dirty = s.stats();
+        assert!(
+            dirty.store != machiavelli_store::StoreStats::default(),
+            "{dirty:?}"
+        );
+        assert!(
+            dirty.declines.iter().any(|(_, n)| *n > 0),
+            "workload should record at least one decline: {dirty:?}"
+        );
+        assert!(!s.observed_stats().is_empty());
+
+        s.reset_stats();
+        let clean = s.stats();
+        assert_eq!(clean.store, machiavelli_store::StoreStats::default());
+        assert_eq!(clean.par, machiavelli_value::tuning::ParStats::default());
+        assert_eq!(clean.exec, machiavelli_value::tuning::ExecStats::default());
+        assert!(
+            clean.declines.iter().all(|(_, n)| *n == 0),
+            "{:?}",
+            clean.declines
+        );
+        assert_eq!(
+            clean.declines.len(),
+            machiavelli_trace::DeclineReason::COUNT,
+            "snapshot still lists every reason code"
+        );
+        assert!(s.observed_stats().is_empty());
+        assert!(s.store_indexes().is_empty());
         s.set_par_threads(prev_threads);
     }
 

@@ -83,6 +83,18 @@ pub fn set_planner_enabled(on: bool) -> bool {
     PLANNER_ENABLED.with(|c| c.replace(on))
 }
 
+/// Balances a [`machiavelli_trace::begin_query`] on every exit from the
+/// `select` arm — including `?` early returns and unwinds — so the
+/// trace depth counter can never leak. Nested `select`s fold into the
+/// outermost query's trace via the depth counter.
+struct QueryTraceGuard;
+
+impl Drop for QueryTraceGuard {
+    fn drop(&mut self) {
+        machiavelli_trace::end_query();
+    }
+}
+
 /// The initial evaluation environment: builtins that are ordinary
 /// identifiers.
 pub fn builtin_env() -> Env {
@@ -396,18 +408,32 @@ impl Cx {
                 // planner fall through to the nested-loop semantics
                 // below. Expression evaluation inside the pipeline calls
                 // back into `self`, so semantics live in one place.
+                machiavelli_trace::begin_query("select");
+                let _qt = QueryTraceGuard;
                 if planner_enabled() {
-                    if let Ok(plan) = plan_select(generators, pred, result) {
-                        return match machiavelli_plan::execute(&plan, env, self) {
-                            Ok(v) => Ok(v),
-                            Err(ExecError::Eval(e)) => Err(e),
-                            Err(ExecError::NotASet(shown)) => {
-                                Err(ValueError::NotASet(shown).into())
-                            }
-                            Err(ExecError::NotABool(shown)) => Err(EvalError::NotAFunction(shown)),
-                            Err(ExecError::Interrupted(trip)) => Err(EvalError::Interrupted(trip)),
-                            Err(ExecError::WorkerPanic(msg)) => Err(EvalError::WorkerPanicked(msg)),
-                        };
+                    match plan_select(generators, pred, result) {
+                        Ok(plan) => {
+                            return match machiavelli_plan::execute(&plan, env, self) {
+                                Ok(v) => Ok(v),
+                                Err(ExecError::Eval(e)) => Err(e),
+                                Err(ExecError::NotASet(shown)) => {
+                                    Err(ValueError::NotASet(shown).into())
+                                }
+                                Err(ExecError::NotABool(shown)) => {
+                                    Err(EvalError::NotAFunction(shown))
+                                }
+                                Err(ExecError::Interrupted(trip)) => {
+                                    Err(EvalError::Interrupted(trip))
+                                }
+                                Err(ExecError::WorkerPanic(msg)) => {
+                                    Err(EvalError::WorkerPanicked(msg))
+                                }
+                            };
+                        }
+                        // The typed reason joins the decline taxonomy
+                        // (always counted); the nested-loop fallback
+                        // below is the behavior.
+                        Err(u) => machiavelli_trace::note_decline(u.decline_reason()),
                     }
                 }
                 // The paper's semantics builds the product of the sources,
@@ -731,6 +757,7 @@ fn try_par_hom(fv: &Value, opv: &Value, zv: &Value, items: &MSet) -> Option<Valu
     // must exist and extract to plain data.
     let decline = || {
         tuning::note_par_hom(false);
+        machiavelli_trace::note_decline(machiavelli_trace::DeclineReason::ParHomExtract);
         None
     };
     let mut captured: Vec<(machiavelli_value::Symbol, PlainValue)> = Vec::new();

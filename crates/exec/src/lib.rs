@@ -259,7 +259,15 @@ where
     for part in parts {
         match part {
             Some(mut keep) => all.append(&mut keep),
-            None => return (None, stats),
+            None => {
+                // A poisoned morsel is the lane's runtime decline;
+                // reported on the coordinator (= session) thread so the
+                // typed code lands in the session's decline counts.
+                machiavelli_trace::note_decline(
+                    machiavelli_trace::DeclineReason::ColumnarRuntimeDecline,
+                );
+                return (None, stats);
+            }
         }
     }
     (Some(all), stats)

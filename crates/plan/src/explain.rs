@@ -118,7 +118,10 @@ pub fn explain(plan: &PhysicalPlan<'_>) -> String {
     out
 }
 
-fn filters_suffix(filters: &[Conjunct<'_>]) -> String {
+/// The ` filter (…)` suffix of a scan/build line. Shared with the
+/// executor's trace-span labels (`physical::op_label`), so `:plan` and
+/// `:analyze` render filters identically.
+pub(crate) fn filters_suffix(filters: &[Conjunct<'_>]) -> String {
     if filters.is_empty() {
         return String::new();
     }
@@ -126,7 +129,9 @@ fn filters_suffix(filters: &[Conjunct<'_>]) -> String {
     format!(" filter ({})", rendered.join(" andalso "))
 }
 
-fn keys_list(keys: &[&machiavelli_syntax::ast::Expr]) -> String {
+/// Comma-joined key expressions for `probe(…)`/`build(…)` lists.
+/// Shared with the executor's trace-span labels.
+pub(crate) fn keys_list(keys: &[&machiavelli_syntax::ast::Expr]) -> String {
     keys.iter()
         .map(|k| expr_to_string(k))
         .collect::<Vec<_>>()

@@ -24,6 +24,27 @@ pub enum Unplannable<'a> {
     UnsafeConjunct(&'a Expr),
 }
 
+impl Unplannable<'_> {
+    /// The typed code this planner fallback reports into the engine-wide
+    /// decline taxonomy (the evaluator emits it via
+    /// `machiavelli_trace::note_decline` when it takes the `select_loop`
+    /// fallback).
+    pub fn decline_reason(&self) -> machiavelli_trace::DeclineReason {
+        match self {
+            Unplannable::NoGenerators => machiavelli_trace::DeclineReason::PlannerNoGenerators,
+            Unplannable::DuplicateBinder(_) => {
+                machiavelli_trace::DeclineReason::PlannerDuplicateBinder
+            }
+            Unplannable::UnsafeDependentSource { .. } => {
+                machiavelli_trace::DeclineReason::PlannerUnsafeDependentSource
+            }
+            Unplannable::UnsafeConjunct(_) => {
+                machiavelli_trace::DeclineReason::PlannerUnsafeConjunct
+            }
+        }
+    }
+}
+
 impl fmt::Display for Unplannable<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

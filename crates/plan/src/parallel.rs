@@ -40,7 +40,12 @@
 //! rows, which the caller re-binds on the session thread. Every
 //! failure mode — a key the safe evaluator declines, a key value that
 //! does not extract — surfaces *before* the fan-out, so the workers
-//! run infallible data plumbing only.
+//! run infallible data plumbing only. Each such dynamic fallback is
+//! additionally reported as a typed
+//! `machiavelli_trace::DeclineReason` by the callers in `physical.rs`
+//! (`par-join-*`, `par-probe-*` codes), so `:analyze`, `:stats`, and
+//! the server's `METRICS` exposition can say *why* a join stayed
+//! sequential — see `docs/OBSERVABILITY.md`.
 
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
 use machiavelli_syntax::symbol::Symbol;

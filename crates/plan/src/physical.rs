@@ -51,6 +51,7 @@ use machiavelli_store::{store_enabled, with_store, CachedIndex, Index, KeyTuple}
 use machiavelli_syntax::ast::{BinOp, Expr, ExprKind};
 use machiavelli_syntax::pretty::expr_to_string;
 use machiavelli_syntax::symbol::Symbol;
+use machiavelli_trace::{self as trace, DeclineReason};
 use machiavelli_value::plain::{ColumnarRelation, PlainIndex, PlainValue};
 use machiavelli_value::tuning::{
     columnar_min_rows, note_offload, note_par_join, note_par_probe, note_snapshot,
@@ -246,6 +247,79 @@ pub enum PhysOp<'a> {
 pub struct PhysicalPlan<'a> {
     pub root: PhysOp<'a>,
     pub result: &'a Expr,
+}
+
+/// The static trace-span label of one operator: the `explain` line
+/// minus the display-level markers — a span records the lane and cache
+/// outcome that *actually happened* as separate fields, so the label
+/// carries only what is fixed at plan time. Only built while a trace is
+/// active (the span API takes it as a closure).
+fn op_label(op: &PhysOp<'_>) -> String {
+    use crate::explain::{filters_suffix, keys_list};
+    match op {
+        PhysOp::Scan {
+            var,
+            source,
+            filters,
+        } => scan_label(*var, source, filters),
+        PhysOp::IndexScan {
+            var,
+            source,
+            keys,
+            filters,
+            ..
+        } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|IndexKey { on, probe }| {
+                    format!("{} = {}", expr_to_string(on), expr_to_string(probe))
+                })
+                .collect();
+            format!(
+                "IndexScan {var} <- {} key({}){}",
+                expr_to_string(source),
+                rendered.join(", "),
+                filters_suffix(filters)
+            )
+        }
+        PhysOp::NestedLoop {
+            var,
+            source,
+            dependent,
+            filters,
+            ..
+        } => {
+            let dep = if *dependent { " (dependent)" } else { "" };
+            format!(
+                "NestedLoop {var} <- {}{dep}{}",
+                expr_to_string(source),
+                filters_suffix(filters)
+            )
+        }
+        PhysOp::HashJoin {
+            probe_keys,
+            build_keys,
+            ..
+        } => format!(
+            "HashJoin probe({}) build({})",
+            keys_list(probe_keys),
+            keys_list(build_keys)
+        ),
+        PhysOp::Filter { conjuncts, .. } => {
+            let rendered: Vec<String> = conjuncts.iter().map(|c| expr_to_string(c.expr)).collect();
+            format!("Filter ({})", rendered.join(" andalso "))
+        }
+    }
+}
+
+/// [`op_label`] for a scan opened outside [`Node::open`]'s dispatch (the
+/// hash-join arms destructure their probe `Scan` and open it directly).
+fn scan_label(var: Symbol, source: &Expr, filters: &[Conjunct<'_>]) -> String {
+    format!(
+        "Scan {var} <- {}{}",
+        expr_to_string(source),
+        crate::explain::filters_suffix(filters)
+    )
 }
 
 /// Recognize an [`IndexKey`]-shaped conjunct of a single-binder scan:
@@ -771,13 +845,17 @@ fn obtain_index<H: EvalHook>(
     build: impl FnOnce(&mut H) -> Result<Index, ExecError<H::Error>>,
     hook: &mut H,
 ) -> Result<CachedIndex, ExecError<H::Error>> {
+    trace::annotate_fingerprint(trace::current_span(), || fingerprint.to_string());
     if !store_enabled() {
+        trace::annotate_cache(trace::current_span(), trace::CacheOutcome::Bypass);
         return Ok(CachedIndex::Local(Rc::new(build(hook)?)));
     }
     if let Some(idx) = with_store(|s| s.lookup(items, fingerprint)) {
+        trace::annotate_cache(trace::current_span(), trace::CacheOutcome::Hit);
         return Ok(idx);
     }
     let built = build(hook)?;
+    trace::annotate_cache(trace::current_span(), trace::CacheOutcome::Build);
     Ok(with_store(|s| s.insert(items, fingerprint, built)))
 }
 
@@ -953,6 +1031,7 @@ fn columnar_filter<E>(
 ) -> Result<Option<Vec<u32>>, ExecError<E>> {
     let Some(snap) = columnar_snapshot(items, stable) else {
         note_offload(false);
+        trace::note_decline(DeclineReason::ColumnarSnapshotExtract);
         return Ok(None);
     };
     let preds: Vec<ColPred<'_, '_>> = filters
@@ -1062,6 +1141,19 @@ fn columnar_filter_pair<E>(
     }
     let [ka, kb] = out;
     let (ka, kb) = (ka.flatten(), kb.flatten());
+    // Per-side decline codes: no snapshot means the relation declined
+    // plain extraction; a snapshot with no survivors list means a
+    // worker's morsel poisoned at runtime (the single-scan path reports
+    // the same code from `exec::filter_indices`).
+    for (side, keep) in [(0, &ka), (1, &kb)] {
+        if keep.is_none() {
+            trace::note_decline(if snaps[side].is_none() {
+                DeclineReason::ColumnarSnapshotExtract
+            } else {
+                DeclineReason::ColumnarRuntimeDecline
+            });
+        }
+    }
     note_offload(ka.is_some());
     note_offload(kb.is_some());
     Ok((ka, kb))
@@ -1095,6 +1187,12 @@ fn open_scan_node<'p, E>(
     };
     Ok(match keep {
         Some(keep) => {
+            // The offload happened: this scan's filters ran as columnar
+            // morsels on worker threads.
+            trace::annotate_lane(
+                trace::current_span(),
+                trace::Lane::Columnar(par_threads() as u32),
+            );
             let rows = items.as_slice();
             let filtered = MSet::from_sorted_unchecked(
                 keep.iter().map(|&i| rows[i as usize].clone()).collect(),
@@ -1117,10 +1215,39 @@ fn open_scan_node<'p, E>(
     })
 }
 
+/// [`open_scan_node`] under its own trace span, mirroring what
+/// [`Node::open`] does for dispatched operators: the hash-join arms
+/// destructure their probe `Scan` and open it directly, so without this
+/// twin the probe side would vanish from the trace tree.
+fn open_scan_traced<'p, E>(
+    var: Symbol,
+    filters: &'p [Conjunct<'p>],
+    source: &Expr,
+    env: &Env,
+    items: MSet,
+    keep: Option<Option<Vec<u32>>>,
+) -> Result<Node<'p>, ExecError<E>> {
+    if !trace::active() {
+        return open_scan_node(var, filters, source, env, items, keep);
+    }
+    let sid = trace::open_op_with(|| scan_label(var, source, filters));
+    let t0 = trace::now_ns();
+    let node = open_scan_node(var, filters, source, env, items, keep);
+    trace::close_op(sid, trace::now_ns().saturating_sub(t0));
+    Ok(match (sid, node?) {
+        (Some(sid), inner) => Node::Traced {
+            sid,
+            inner: Box::new(inner),
+        },
+        (None, inner) => inner,
+    })
+}
+
 /// The shared sequential-fallback shape of [`open_par_join`]: count the
-/// fallback, build the table inline, and probe `input` — the untouched
-/// pipeline, the drained rows, or the drained prefix chained to the
-/// live remainder, depending on how far the parallel attempt got.
+/// fallback (with its typed `reason`), build the table inline, and
+/// probe `input` — the untouched pipeline, the drained rows, or the
+/// drained prefix chained to the live remainder, depending on how far
+/// the parallel attempt got.
 #[allow(clippy::too_many_arguments)]
 fn seq_join_fallback<'p, H: EvalHook>(
     input: Box<Node<'p>>,
@@ -1129,10 +1256,12 @@ fn seq_join_fallback<'p, H: EvalHook>(
     build_keys: &'p [&'p Expr],
     filters: &'p [Conjunct<'p>],
     probe_keys: &'p [&'p Expr],
+    reason: DeclineReason,
     env: &Env,
     hook: &mut H,
 ) -> Result<Node<'p>, ExecError<H::Error>> {
     note_par_join(false);
+    trace::note_decline(reason);
     let table = CachedIndex::Local(Rc::new(build_join_index(
         items, var, filters, build_keys, env, hook,
     )?));
@@ -1227,7 +1356,15 @@ fn open_par_join<'p, H: EvalHook>(
     }
     if !keyed_ok {
         return seq_join_fallback(
-            input, &items, var, build_keys, filters, probe_keys, env, hook,
+            input,
+            &items,
+            var,
+            build_keys,
+            filters,
+            probe_keys,
+            DeclineReason::ParJoinBuildExtract,
+            env,
+            hook,
         );
     }
     // Materialize and key the probe side (upstream per-row work is
@@ -1254,7 +1391,15 @@ fn open_par_join<'p, H: EvalHook>(
             rest: Some(input),
         });
         return seq_join_fallback(
-            drained, &items, var, build_keys, filters, probe_keys, env, hook,
+            drained,
+            &items,
+            var,
+            build_keys,
+            filters,
+            probe_keys,
+            DeclineReason::ParJoinProbeCap,
+            env,
+            hook,
         );
     }
     let mut probe_keyed: Vec<Keyed> = Vec::with_capacity(probe_rows.len());
@@ -1290,11 +1435,23 @@ fn open_par_join<'p, H: EvalHook>(
             rest: None,
         });
         return seq_join_fallback(
-            drained, &items, var, build_keys, filters, probe_keys, env, hook,
+            drained,
+            &items,
+            var,
+            build_keys,
+            filters,
+            probe_keys,
+            DeclineReason::ParJoinProbeExtract,
+            env,
+            hook,
         );
     }
     let matches = run_par(|| par_partition_join(&build_keyed, &probe_keyed, par_threads()))?;
     note_par_join(true);
+    trace::annotate_lane(
+        trace::current_span(),
+        trace::Lane::Par(par_threads() as u32),
+    );
     Ok(Node::ParJoin {
         var,
         rows: items,
@@ -1421,6 +1578,25 @@ fn open_cached_par_probe<'p, H: EvalHook>(
     if index.is_empty() {
         return Ok(seq(input, items, index));
     }
+    // Peel an active-trace [`Node::Traced`] wrapper so the fast-path
+    // shape match below sees exactly the node an untraced run would:
+    // lane selection must not depend on whether a trace is recording.
+    // The peeled span keeps its accounting — paths that hand the input
+    // back rewrap it, paths that drain it set the row count directly
+    // (no `next` has run yet, so the span's count starts at zero and a
+    // rewrapped remainder adds on top).
+    let mut input_sid: Option<u32> = None;
+    if let Node::Traced { sid, .. } = input.as_ref() {
+        input_sid = Some(*sid);
+        let Node::Traced { inner, .. } = *input else {
+            unreachable!()
+        };
+        input = inner;
+    }
+    let rewrap = |node: Box<Node<'p>>| match input_sid {
+        Some(sid) => Box::new(Node::Traced { sid, inner: node }),
+        None => node,
+    };
     // Fast path for the dominant shape — the probe side is a bare,
     // filterless `Scan` of an already-materialized relation (the
     // two-generator equi-join). Keys extract straight off the relation
@@ -1438,7 +1614,7 @@ fn open_cached_par_probe<'p, H: EvalHook>(
     {
         if sfilters.is_empty() {
             if pitems.len() < par_probe_min_rows() {
-                return Ok(seq(input, items, index));
+                return Ok(seq(rewrap(input), items, index));
             }
             let mut keys = Vec::with_capacity(pitems.len());
             let mut keyed_ok = true;
@@ -1459,10 +1635,16 @@ fn open_cached_par_probe<'p, H: EvalHook>(
                 // Nothing was drained: the untouched Scan replays
                 // through the sequential probe.
                 note_par_probe(false);
-                return Ok(seq(input, items, index));
+                trace::note_decline(DeclineReason::ParProbeExtract);
+                return Ok(seq(rewrap(input), items, index));
             }
             let matches = run_par(|| par_probe_cached(&index, &keys, par_threads()))?;
             note_par_probe(true);
+            trace::annotate_lane(
+                trace::current_span(),
+                trace::Lane::CachedPar(par_threads() as u32),
+            );
+            trace::annotate_rows(input_sid, pitems.len() as u64);
             let probe = ParProbe::Rows {
                 base: base.clone(),
                 var: *svar,
@@ -1491,12 +1673,16 @@ fn open_cached_par_probe<'p, H: EvalHook>(
             break;
         }
     }
+    // The drain bypassed the peeled span's `next` accounting: set its
+    // yielded-row count directly (a rewrapped remainder adds on top).
+    trace::annotate_rows(input_sid, probe_rows.len() as u64);
     if !drained_all {
         note_par_probe(false);
+        trace::note_decline(DeclineReason::ParProbeDrainCap);
         let drained = Box::new(Node::Materialized {
             rows: probe_rows,
             idx: 0,
-            rest: Some(input),
+            rest: Some(rewrap(input)),
         });
         return Ok(seq(drained, items, index));
     }
@@ -1542,10 +1728,15 @@ fn open_cached_par_probe<'p, H: EvalHook>(
         // unsupported runtime shape): replay the drained rows through
         // the sequential probe — identical bindings, identical errors.
         note_par_probe(false);
+        trace::note_decline(DeclineReason::ParProbeExtract);
         return Ok(seq(drained(probe_rows), items, index));
     }
     let matches = run_par(|| par_probe_cached(&index, &keys, par_threads()))?;
     note_par_probe(true);
+    trace::annotate_lane(
+        trace::current_span(),
+        trace::Lane::CachedPar(par_threads() as u32),
+    );
     Ok(Node::ParJoin {
         var,
         rows: items,
@@ -1630,6 +1821,12 @@ enum Node<'p> {
         input: Box<Node<'p>>,
         conjuncts: &'p [Conjunct<'p>],
     },
+    /// A span-wrapped operator, present only while a query trace is
+    /// active: `next` adds the inclusive elapsed time and yielded-row
+    /// count of the inner node to span `sid`. Lanes that pattern-match
+    /// their input's shape (the cached-par probe fast path) peel this
+    /// wrapper first — see [`open_cached_par_probe`].
+    Traced { sid: u32, inner: Box<Node<'p>> },
 }
 
 /// The probe side of a completed [`Node::ParJoin`].
@@ -1647,7 +1844,33 @@ impl<'p> Node<'p> {
     /// Open the pipeline: recurse input-first so independent sources are
     /// evaluated in generator order (matching `select_loop`'s up-front
     /// source pass, including which source errors first).
+    ///
+    /// With a query trace active, every operator opens under its own
+    /// span (children nest through this recursion) and comes back
+    /// wrapped in [`Node::Traced`]; with tracing off this is one
+    /// predicted-false branch per operator and no wrapper.
     fn open<H: EvalHook>(
+        op: &'p PhysOp<'p>,
+        env: &Env,
+        hook: &mut H,
+    ) -> Result<Node<'p>, ExecError<H::Error>> {
+        if !trace::active() {
+            return Node::open_inner(op, env, hook);
+        }
+        let sid = trace::open_op_with(|| op_label(op));
+        let t0 = trace::now_ns();
+        let node = Node::open_inner(op, env, hook);
+        trace::close_op(sid, trace::now_ns().saturating_sub(t0));
+        Ok(match (sid, node?) {
+            (Some(sid), inner) => Node::Traced {
+                sid,
+                inner: Box::new(inner),
+            },
+            (None, inner) => inner,
+        })
+    }
+
+    fn open_inner<H: EvalHook>(
         op: &'p PhysOp<'p>,
         env: &Env,
         hook: &mut H,
@@ -1786,8 +2009,9 @@ impl<'p> Node<'p> {
                             // relation builds (keyed by the old probe
                             // expressions, its pushed filters baked
                             // in), the second streams as the probe.
-                            let probe_node =
-                                Box::new(open_scan_node(*var, filters, source, env, second, None)?);
+                            let probe_node = Box::new(open_scan_traced(
+                                *var, filters, source, env, second, None,
+                            )?);
                             open_keyed_join(
                                 probe_node,
                                 first,
@@ -1803,7 +2027,7 @@ impl<'p> Node<'p> {
                                 hook,
                             )
                         } else {
-                            let input = Box::new(open_scan_node(
+                            let input = Box::new(open_scan_traced(
                                 *pvar, pfilters, psource, env, first, None,
                             )?);
                             open_keyed_join(
@@ -1852,7 +2076,7 @@ impl<'p> Node<'p> {
                             (*svar, sfilters, &pitems, stable_source(ssource)),
                             (*var, filters, &bitems, stable_source(source)),
                         )?;
-                        let input = Box::new(open_scan_node(
+                        let input = Box::new(open_scan_traced(
                             *svar,
                             sfilters,
                             ssource,
@@ -1862,8 +2086,9 @@ impl<'p> Node<'p> {
                         )?);
                         (input, bitems, Some(bkeep))
                     } else {
-                        let input =
-                            Box::new(open_scan_node(*svar, sfilters, ssource, env, pitems, None)?);
+                        let input = Box::new(open_scan_traced(
+                            *svar, sfilters, ssource, env, pitems, None,
+                        )?);
                         (input, bitems, None)
                     }
                 } else {
@@ -2054,6 +2279,14 @@ impl<'p> Node<'p> {
                     return Ok(Some(env));
                 }
             },
+            Node::Traced { sid, inner } => {
+                let t0 = trace::now_ns();
+                let r = inner.next(hook);
+                let ns = trace::now_ns().saturating_sub(t0);
+                let rows = matches!(r, Ok(Some(_))) as u64;
+                trace::add_next(*sid, ns, rows);
+                r
+            }
         }
     }
 }

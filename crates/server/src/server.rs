@@ -34,7 +34,7 @@ use machiavelli_value::governor::{self, QueryGuard, ServerCounters};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -172,6 +172,11 @@ pub struct Server {
     spawn_failures: usize,
     next_sid: AtomicU64,
     config: ServerConfig,
+    /// Admitted queries not yet finished (queued + evaluating), across
+    /// all workers — the `METRICS` queue-depth gauge. Incremented at
+    /// admission, decremented by the owning worker when the job's reply
+    /// is sent.
+    queue_depth: Arc<AtomicI64>,
 }
 
 impl Server {
@@ -182,6 +187,7 @@ impl Server {
         // Install the fault config on the *calling* thread only while
         // spawning, so `spawn_denied` rolls against it.
         let prev = config.faults.map(|fc| faults::set_fault_config(Some(fc)));
+        let queue_depth = Arc::new(AtomicI64::new(0));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         let mut spawn_failures = 0;
         for i in 0..config.workers.max(1) {
@@ -190,9 +196,10 @@ impl Server {
                 continue;
             }
             let (tx, rx) = sync_channel(config.queue_cap.max(1));
+            let depth = queue_depth.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("machid-worker-{i}"))
-                .spawn(move || worker_main(rx, config));
+                .spawn(move || worker_main(rx, config, depth));
             match spawned {
                 Ok(handle) => workers.push(WorkerHandle {
                     tx,
@@ -209,6 +216,7 @@ impl Server {
             spawn_failures,
             next_sid: AtomicU64::new(1),
             config,
+            queue_depth,
         }
     }
 
@@ -268,7 +276,10 @@ impl Server {
             reply,
         };
         match worker.tx.try_send(job) {
-            Ok(()) => Ok(Pending { guard, rx }),
+            Ok(()) => {
+                self.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { guard, rx })
+            }
             Err(TrySendError::Full(_)) => {
                 governor::note_query_shed();
                 Err(ServerError::Busy)
@@ -307,6 +318,84 @@ impl Server {
         }
     }
 
+    /// Render the server's health as Prometheus-style text exposition
+    /// (behind the wire `METRICS` verb, newline-escaped onto one
+    /// response line): the per-query latency histogram with fixed
+    /// buckets, the queue-depth gauge, session/query counters
+    /// (shed/panic included), the shared-tier counters and hit ratio,
+    /// and one `machiavelli_declines_total` series per typed
+    /// [`machiavelli_trace::DeclineReason`].
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let lat = machiavelli_trace::latency_snapshot();
+        out.push_str("# TYPE machiavelli_query_latency_seconds histogram\n");
+        for (bound_ns, cumulative) in &lat.buckets {
+            let le = if *bound_ns == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                format!("{}", *bound_ns as f64 / 1e9)
+            };
+            let _ = writeln!(
+                out,
+                "machiavelli_query_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "machiavelli_query_latency_seconds_sum {}",
+            lat.sum_ns as f64 / 1e9
+        );
+        let _ = writeln!(out, "machiavelli_query_latency_seconds_count {}", lat.count);
+        out.push_str("# TYPE machiavelli_queue_depth gauge\n");
+        let _ = writeln!(
+            out,
+            "machiavelli_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        );
+        let c = governor::server_counters();
+        for (name, v) in [
+            ("sessions_started", c.sessions_started),
+            ("sessions_panicked", c.sessions_panicked),
+            ("sessions_closed", c.sessions_closed),
+            ("queries_completed", c.queries_completed),
+            ("queries_shed", c.queries_shed),
+            ("queries_deadline", c.deadlines_hit),
+            ("queries_cancelled", c.queries_cancelled),
+            ("queries_row_budget", c.row_budgets_hit),
+        ] {
+            let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
+            let _ = writeln!(out, "machiavelli_{name}_total {v}");
+        }
+        let sh = shared::shared_stats();
+        for (name, v) in [
+            ("shared_publishes", sh.publishes),
+            ("shared_adoptions", sh.adoptions),
+            ("shared_misses", sh.misses),
+            ("shared_lock_recoveries", sh.lock_recoveries),
+        ] {
+            let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
+            let _ = writeln!(out, "machiavelli_{name}_total {v}");
+        }
+        out.push_str("# TYPE machiavelli_shared_hit_ratio gauge\n");
+        let probes = sh.adoptions + sh.misses;
+        let ratio = if probes == 0 {
+            0.0
+        } else {
+            sh.adoptions as f64 / probes as f64
+        };
+        let _ = writeln!(out, "machiavelli_shared_hit_ratio {ratio}");
+        out.push_str("# TYPE machiavelli_declines_total counter\n");
+        for (reason, n) in machiavelli_trace::global_declines() {
+            let _ = writeln!(
+                out,
+                "machiavelli_declines_total{{reason=\"{}\"}} {n}",
+                reason.code()
+            );
+        }
+        out
+    }
+
     fn default_guard(&self) -> QueryGuard {
         let deadline = self.config.default_deadline.map(|d| Instant::now() + d);
         QueryGuard::new(deadline, self.config.row_budget)
@@ -336,7 +425,7 @@ struct SessionSlot {
     poisoned: bool,
 }
 
-fn worker_main(rx: Receiver<Job>, config: ServerConfig) {
+fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI64>) {
     shared::set_shared_enabled(config.shared_store);
     if let Some(fc) = config.faults {
         faults::set_fault_config(Some(fc));
@@ -353,7 +442,13 @@ fn worker_main(rx: Receiver<Job>, config: ServerConfig) {
                 guard,
                 reply,
             } => {
-                let _ = reply.send(run_eval(&mut sessions, sid, &src, &guard));
+                let result = run_eval(&mut sessions, sid, &src, &guard);
+                // The query leaves the gauge before the reply is
+                // delivered, so a caller who has seen its result (and
+                // then asks for METRICS) never observes itself as
+                // still in flight.
+                queue_depth.fetch_sub(1, Ordering::Relaxed);
+                let _ = reply.send(result);
             }
             Job::Close { sid, reply } => {
                 let result = if sessions.remove(&sid).is_some() {
@@ -411,7 +506,12 @@ fn run_eval(
         return Err(ServerError::from_trip(trip));
     }
     let prev = governor::install(Some(guard.clone()));
+    let t0 = machiavelli_trace::now_ns();
     let outcome = catch_unwind(AssertUnwindSafe(|| slot.session.run(src)));
+    // Evaluation wall time (queue wait excluded — shed/depth cover the
+    // admission side), observed for every query that ran, whatever the
+    // outcome: error latencies are latencies too.
+    machiavelli_trace::observe_query_ns(machiavelli_trace::now_ns().saturating_sub(t0));
     governor::install(prev);
     match outcome {
         Ok(Ok(outcomes)) => {
@@ -440,7 +540,10 @@ fn run_eval(
         Err(payload) => {
             // The evaluator panicked. The session's environments may
             // be torn mid-update, so poison it; the worker and its
-            // other sessions are untouched.
+            // other sessions are untouched. The unwind also skipped any
+            // in-flight trace scopes — reset the thread's tracer so the
+            // next query on this worker starts at depth zero.
+            machiavelli_trace::abort_query();
             slot.poisoned = true;
             governor::note_session_panicked();
             Err(ServerError::SessionPanicked(panic_message(

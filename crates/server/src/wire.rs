@@ -9,6 +9,7 @@
 //! EVAL <sid> <src>    -> VAL <outcomes; "; "-joined>  |  ERR <kind> <message>
 //! CLOSE <sid>         -> OK closed <sid>              |  ERR <kind> <message>
 //! STATS               -> OK <stats line>
+//! METRICS             -> OK <Prometheus text exposition, newline-escaped>
 //! QUIT                -> OK bye   (ends the connection)
 //! ```
 //!
@@ -70,6 +71,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
                 Err(_) => format!("ERR protocol bad session id: {}", one_line(rest)),
             },
             "STATS" => format!("OK {}", server.stats()),
+            "METRICS" => format!("OK {}", one_line(&server.metrics_text())),
             "QUIT" => {
                 writeln!(out, "OK bye")?;
                 out.flush()?;

@@ -362,6 +362,24 @@ pub const DEFAULT_BUDGET_ROWS: usize = machiavelli_value::tuning::DEFAULT_STORE_
 /// key `String` on insert. (The *planner* still renders a fingerprint
 /// per evaluation to have something to look up with — a few small
 /// formatting allocations per `select`, not per row.)
+/// Observed execution statistics for one operator fingerprint — the
+/// cardinality feed `Session::analyze` persists for the future
+/// cost-based join ordering (ROADMAP). Keyed by the same fingerprint
+/// string the store keys indexes by, but kept across storage changes:
+/// a rebuilt relation invalidates its *index*, while its observed
+/// cardinality stays a useful prior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObservedStats {
+    /// Traced executions that reported this fingerprint.
+    pub executions: u64,
+    /// Rows the operator yielded on the most recent traced execution.
+    pub last_rows: u64,
+    /// Total rows across all traced executions (mean = total / executions).
+    pub total_rows: u64,
+    /// Total operator wall time across traced executions, nanoseconds.
+    pub total_ns: u64,
+}
+
 pub struct IndexStore {
     entries: HashMap<usize, HashMap<String, Entry>>,
     /// Columnar snapshots for the execution lane, keyed by storage id.
@@ -376,6 +394,7 @@ pub struct IndexStore {
     epoch: u64,
     tick: u64,
     stats: StoreStats,
+    observed: HashMap<String, ObservedStats>,
 }
 
 impl IndexStore {
@@ -389,6 +408,7 @@ impl IndexStore {
             epoch: mutation_epoch(),
             tick: 0,
             stats: StoreStats::default(),
+            observed: HashMap::new(),
         }
     }
 
@@ -558,6 +578,7 @@ impl IndexStore {
         // the entry's set clone keeps every row alive either way.
         let charge = set.len();
         if charge > self.budget_rows {
+            machiavelli_trace::note_decline(machiavelli_trace::DeclineReason::StoreOverBudget);
             return CachedIndex::Local(Rc::new(groups));
         }
         let index = match try_plain(set, &groups) {
@@ -573,7 +594,13 @@ impl IndexStore {
                 }
                 CachedIndex::Plain(arc)
             }
-            None => CachedIndex::Local(Rc::new(groups)),
+            None => {
+                // Identity-bearing rows: cacheable, but only in
+                // session-local `Rc` form — not shareable across
+                // sessions and never parallel-probed.
+                machiavelli_trace::note_decline(machiavelli_trace::DeclineReason::StoreRcOnly);
+                CachedIndex::Local(Rc::new(groups))
+            }
         };
         // Plain entries cannot contain refs (to_plain declines them),
         // so their source record is empty by construction.
@@ -755,10 +782,43 @@ impl IndexStore {
         self.snapshot_rows = 0;
     }
 
-    /// Drop all entries and zero the statistics.
+    /// Drop all entries and zero the statistics (observed per-operator
+    /// stats included — a reset is a fresh session).
     pub fn reset(&mut self) {
         self.clear();
         self.stats = StoreStats::default();
+        self.observed.clear();
+    }
+
+    /// Fold one traced execution's actuals into the per-fingerprint
+    /// observed stats (the cardinality feed for the future cost model;
+    /// called by `Session::analyze` and traced evaluations). Survives
+    /// index invalidation — a rebuilt relation's observed cardinality
+    /// stays a useful prior — and is dropped by [`IndexStore::reset`].
+    pub fn note_observed(&mut self, fingerprint: &str, rows: u64, elapsed_ns: u64) {
+        let o = self.observed.entry(fingerprint.to_string()).or_default();
+        o.executions += 1;
+        o.last_rows = rows;
+        o.total_rows += rows;
+        o.total_ns += elapsed_ns;
+    }
+
+    /// The observed stats recorded for a fingerprint, if any traced
+    /// execution reported one.
+    pub fn observed_stats(&self, fingerprint: &str) -> Option<ObservedStats> {
+        self.observed.get(fingerprint).copied()
+    }
+
+    /// All observed per-fingerprint stats in deterministic (fingerprint)
+    /// order, for goldens and the cost model's warm-up scan.
+    pub fn observed(&self) -> Vec<(String, ObservedStats)> {
+        let mut all: Vec<(String, ObservedStats)> = self
+            .observed
+            .iter()
+            .map(|(fp, o)| (fp.clone(), *o))
+            .collect();
+        all.sort_by(|(a, _), (b, _)| a.cmp(b));
+        all
     }
 
     /// Change the row budget, evicting immediately if the cache is now

@@ -18,9 +18,13 @@
 //! | columnar morsel size (rows) | [`DEFAULT_MORSEL_ROWS`] | `MACHIAVELLI_MORSEL_ROWS` |
 //! | columnar-lane row cutoff | [`DEFAULT_COLUMNAR_MIN_ROWS`] | `MACHIAVELLI_COLUMNAR_MIN_ROWS` |
 //! | index-store row budget | [`DEFAULT_STORE_BUDGET_ROWS`] | `MACHIAVELLI_STORE_BUDGET_ROWS` |
+//! | query tracing (per-operator spans) | off | `MACHIAVELLI_TRACE` |
 //!
 //! (`docs/PERFORMANCE.md` documents every knob alongside the execution
-//! contracts they gate.)
+//! contracts they gate. The tracing knob lives in `machiavelli-trace`
+//! — same resolution order, thread-local setter
+//! `machiavelli_trace::set_tracing` — and is documented with the rest
+//! of the observability surface in `docs/OBSERVABILITY.md`.)
 //!
 //! The module also hosts the session-scoped (thread-local) **parallel
 //! ablation toggle** ([`set_parallel_enabled`], mirroring the store's
