@@ -53,6 +53,7 @@ fn primed_server(workers: usize, faults: Option<FaultConfig>) -> (Server, Vec<u6
         row_budget: None,
         shared_store: true,
         faults: Some(faults.unwrap_or_else(FaultConfig::off)),
+        durable_root: None,
     });
     let setup = indexed_setup();
     let sids: Vec<u64> = (0..SESSIONS)

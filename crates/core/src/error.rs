@@ -11,6 +11,9 @@ pub enum SessionError {
     Parse(String),
     Type(TypeError),
     Eval(EvalError),
+    /// A filesystem failure while saving or loading persisted bindings
+    /// (pre-rendered with the path and operation).
+    Io(String),
 }
 
 impl fmt::Display for SessionError {
@@ -19,6 +22,7 @@ impl fmt::Display for SessionError {
             SessionError::Parse(msg) => write!(f, "{msg}"),
             SessionError::Type(e) => write!(f, "type error: {e}"),
             SessionError::Eval(e) => write!(f, "runtime error: {e}"),
+            SessionError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -39,7 +39,10 @@ pub mod repl;
 pub mod session;
 
 pub use error::SessionError;
-pub use persist::{decode_value, encode_value, PersistError};
+pub use persist::{
+    decode_value, decode_with_registry, encode_value, encode_with_registry, write_atomic,
+    PersistError, RefRegistry,
+};
 pub use repl::run_repl;
 pub use session::{Outcome, Session, SessionStats};
 

@@ -30,6 +30,8 @@ use machiavelli_value::{DynValue, Fields, MSet, RefValue, Symbol, Value};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 /// Errors from encoding/decoding persisted values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,26 +89,32 @@ pub fn encode_value(v: &Value) -> Result<String, PersistError> {
 /// Decode a value previously produced by [`encode_value`]. All reference
 /// and dynamic identities are freshly allocated (per-session identity).
 pub fn decode_value(src: &str) -> Result<Value, PersistError> {
+    let empty = HashMap::new();
+    let mut refs: HashMap<u64, RefValue> = HashMap::new();
+    // Pass 1: scan the table's extents and allocate all cells (so cyclic
+    // references resolve). The scan itself needs no cells.
     let mut dec = Decoder {
         src: src.as_bytes(),
         pos: 0,
-        refs: HashMap::new(),
+        refs: &empty,
     };
     dec.expect("refs")?;
     let n = dec.count()?;
     dec.expect("{")?;
-    // Pass 1: allocate all cells (so cyclic references resolve).
-    let mut bodies: Vec<(u32, usize)> = Vec::with_capacity(clamped(n));
+    let mut bodies: Vec<(u64, usize)> = Vec::with_capacity(clamped(n));
     for _ in 0..n {
-        let id = dec.unsigned()? as u32;
+        let id = dec.unsigned()?;
         dec.expect("=")?;
         let start = dec.pos;
         dec.skip_value()?;
-        let end = dec.pos;
         dec.expect(";")?;
-        dec.refs.insert(id, RefValue::new(Value::Unit));
+        if refs.insert(id, RefValue::new(Value::Unit)).is_some() {
+            return Err(PersistError::Malformed {
+                offset: start,
+                expected: "a distinct ref id",
+            });
+        }
         bodies.push((id, start));
-        let _ = end;
     }
     dec.expect("}")?;
     let root_start = dec.pos;
@@ -115,10 +123,10 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
         let mut cell_dec = Decoder {
             src: dec.src,
             pos: *start,
-            refs: dec.refs.clone(),
+            refs: &refs,
         };
         let contents = cell_dec.value()?;
-        let Some(cell) = dec.refs.get(id) else {
+        let Some(cell) = refs.get(id) else {
             // Unreachable (every id was inserted in pass 1), but a
             // decoder bug must surface as an error, never a panic: a
             // malformed persist file may be fed to a server-hosted
@@ -133,7 +141,7 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
     let mut root_dec = Decoder {
         src: dec.src,
         pos: root_start,
-        refs: dec.refs.clone(),
+        refs: &refs,
     };
     let v = root_dec.value()?;
     if root_dec.pos != dec.src.len() {
@@ -143,6 +151,307 @@ pub fn decode_value(src: &str) -> Result<Value, PersistError> {
         });
     }
     Ok(v)
+}
+
+// --- registry-threaded (incremental) encoding -------------------------------
+
+/// A persistent **reference registry**: the bidirectional mapping between
+/// a session's (ephemeral, per-process) ref identities and the **durable
+/// ids** a write-ahead log names them by across restarts.
+///
+/// [`encode_value`] assigns table ids local to one encoding, so two
+/// encodings of overlapping graphs cannot name each other's cells.
+/// Threading one registry through a *sequence* of
+/// [`encode_with_registry`] / [`decode_with_registry`] calls makes the
+/// id space shared: a ref encoded in record 1 is a bare `r<id>.`
+/// back-reference in record 2, so cross-record sharing and cycles
+/// survive exactly as intra-record ones do. This is the keystone of the
+/// delta log — a ref-update record can name just the changed cell.
+#[derive(Debug, Default)]
+pub struct RefRegistry {
+    /// Durable id → live cell.
+    by_durable: HashMap<u64, RefValue>,
+    /// Session ref identity → durable id.
+    by_session: HashMap<u64, u64>,
+    /// Next unassigned durable id.
+    next: u64,
+}
+
+impl RefRegistry {
+    pub fn new() -> RefRegistry {
+        RefRegistry::default()
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.by_durable.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_durable.is_empty()
+    }
+
+    /// The durable id assigned to a session ref identity, if this
+    /// registry has ever encoded or decoded that cell.
+    pub fn durable_id(&self, session_ref_id: u64) -> Option<u64> {
+        self.by_session.get(&session_ref_id).copied()
+    }
+
+    /// The live cell a durable id names, if known.
+    pub fn cell(&self, durable_id: u64) -> Option<&RefValue> {
+        self.by_durable.get(&durable_id)
+    }
+
+    fn register(&mut self, durable_id: u64, cell: RefValue) {
+        self.by_session.insert(cell.id, durable_id);
+        self.by_durable.insert(durable_id, cell);
+        self.next = self.next.max(durable_id + 1);
+    }
+
+    fn unregister(&mut self, durable_id: u64) {
+        if let Some(cell) = self.by_durable.remove(&durable_id) {
+            self.by_session.remove(&cell.id);
+        }
+    }
+}
+
+/// Encode a description value against a [`RefRegistry`]: refs the
+/// registry already knows encode as bare `r<durable-id>.` references
+/// with **no table entry**; refs seen for the first time are assigned
+/// fresh durable ids, registered, and emitted in this encoding's table.
+/// On error the registry is rolled back to its pre-call state.
+pub fn encode_with_registry(v: &Value, reg: &mut RefRegistry) -> Result<String, PersistError> {
+    let mut enc = RegEncoder {
+        reg,
+        fresh: Vec::new(),
+        table: BTreeMap::new(),
+    };
+    match enc.encode(v) {
+        Ok(body) => {
+            let mut out = String::new();
+            let _ = write!(out, "refs{}{{", enc.table.len());
+            for (id, contents) in &enc.table {
+                let _ = write!(out, "{id}={contents};");
+            }
+            out.push('}');
+            out.push_str(&body);
+            Ok(out)
+        }
+        Err(e) => {
+            for did in enc.fresh {
+                enc.reg.unregister(did);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Decode a value produced by [`encode_with_registry`] against the same
+/// (logical) registry. Table entries allocate fresh cells and register
+/// them under their durable ids — which must be new to the registry —
+/// while bare `r<id>.` references resolve through everything the
+/// registry already holds. On error the registry is rolled back.
+pub fn decode_with_registry(src: &str, reg: &mut RefRegistry) -> Result<Value, PersistError> {
+    let mut fresh: Vec<u64> = Vec::new();
+    match decode_with_registry_inner(src, reg, &mut fresh) {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            for did in fresh {
+                reg.unregister(did);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn decode_with_registry_inner(
+    src: &str,
+    reg: &mut RefRegistry,
+    fresh: &mut Vec<u64>,
+) -> Result<Value, PersistError> {
+    let empty = HashMap::new();
+    let mut dec = Decoder {
+        src: src.as_bytes(),
+        pos: 0,
+        refs: &empty,
+    };
+    dec.expect("refs")?;
+    let n = dec.count()?;
+    dec.expect("{")?;
+    let mut bodies: Vec<(u64, usize)> = Vec::with_capacity(clamped(n));
+    for _ in 0..n {
+        let id = dec.unsigned()?;
+        dec.expect("=")?;
+        let start = dec.pos;
+        dec.skip_value()?;
+        dec.expect(";")?;
+        if reg.by_durable.contains_key(&id) {
+            return Err(PersistError::Malformed {
+                offset: start,
+                expected: "a fresh durable ref id",
+            });
+        }
+        reg.register(id, RefValue::new(Value::Unit));
+        fresh.push(id);
+        bodies.push((id, start));
+    }
+    dec.expect("}")?;
+    let root_start = dec.pos;
+    for (id, start) in &bodies {
+        let contents = {
+            let mut cell_dec = Decoder {
+                src: dec.src,
+                pos: *start,
+                refs: &reg.by_durable,
+            };
+            cell_dec.value()?
+        };
+        let Some(cell) = reg.by_durable.get(id) else {
+            return Err(PersistError::Malformed {
+                offset: *start,
+                expected: "a reserved ref id",
+            });
+        };
+        cell.set(contents);
+    }
+    let mut root_dec = Decoder {
+        src: dec.src,
+        pos: root_start,
+        refs: &reg.by_durable,
+    };
+    let v = root_dec.value()?;
+    if root_dec.pos != dec.src.len() {
+        return Err(PersistError::Malformed {
+            offset: root_dec.pos,
+            expected: "end of input",
+        });
+    }
+    Ok(v)
+}
+
+struct RegEncoder<'a> {
+    reg: &'a mut RefRegistry,
+    /// Durable ids assigned by *this* encoding, for rollback on error.
+    fresh: Vec<u64>,
+    /// Durable id → encoded contents, for the table this encoding emits
+    /// (fresh ids only — known ids already live in earlier tables).
+    table: BTreeMap<u64, String>,
+}
+
+impl RegEncoder<'_> {
+    fn encode(&mut self, v: &Value) -> Result<String, PersistError> {
+        let mut out = String::new();
+        self.write(v, &mut out)?;
+        Ok(out)
+    }
+
+    fn write(&mut self, v: &Value, out: &mut String) -> Result<(), PersistError> {
+        match v {
+            Value::Ref(r) => {
+                let did = match self.reg.durable_id(r.id) {
+                    Some(did) => did,
+                    None => {
+                        let did = self.reg.next;
+                        // Register before recursing (cycles!), then fill
+                        // the table slot with the encoded contents.
+                        self.reg.register(did, r.clone());
+                        self.fresh.push(did);
+                        self.table.insert(did, String::new());
+                        let contents = self.encode(&r.get())?;
+                        self.table.insert(did, contents);
+                        did
+                    }
+                };
+                let _ = write!(out, "r{did}.");
+                Ok(())
+            }
+            Value::Unit
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Real(_)
+            | Value::Str(_)
+            | Value::Record(_)
+            | Value::Variant(..)
+            | Value::Set(_)
+            | Value::Dynamic(_)
+            | Value::Closure(_)
+            | Value::Op(_)
+            | Value::Builtin(_) => self.write_structural(v, out),
+        }
+    }
+
+    /// Non-ref cases share [`Encoder`]'s grammar exactly; recursion comes
+    /// back through [`RegEncoder::write`] so nested refs hit the registry.
+    fn write_structural(&mut self, v: &Value, out: &mut String) -> Result<(), PersistError> {
+        match v {
+            Value::Unit => out.push('u'),
+            Value::Bool(true) => out.push('T'),
+            Value::Bool(false) => out.push('F'),
+            Value::Int(n) => {
+                let _ = write!(out, "i{n}:");
+            }
+            Value::Real(r) => {
+                let _ = write!(out, "f{}:", r.to_bits());
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "s{}:{s}", s.len());
+            }
+            Value::Record(fs) => {
+                let _ = write!(out, "R{}{{", fs.len());
+                for (l, fv) in fs {
+                    let _ = write!(out, "l{}:{l}", l.len());
+                    self.write(fv, out)?;
+                }
+                out.push('}');
+            }
+            Value::Variant(l, p) => {
+                let _ = write!(out, "Vl{}:{l}", l.len());
+                self.write(p, out)?;
+            }
+            Value::Set(items) => {
+                let _ = write!(out, "S{}[", items.len());
+                for item in items.iter() {
+                    self.write(item, out)?;
+                }
+                out.push(']');
+            }
+            Value::Dynamic(d) => {
+                let _ = write!(out, "d{}.", d.id);
+                self.write(&d.value, out)?;
+            }
+            Value::Ref(_) => unreachable!("refs handled by write"),
+            Value::Closure(_) | Value::Op(_) | Value::Builtin(_) => {
+                return Err(PersistError::NotADescription)
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Write `bytes` to `path` via a temp file in the same directory, fsync,
+/// and atomic rename — a crash at any point leaves either the previous
+/// contents or the new contents, never a torn mixture.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs the directory synced; best
+    // effort — some platforms refuse to open directories for sync.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[derive(Default)]
@@ -238,7 +547,7 @@ fn clamped(n: usize) -> usize {
 struct Decoder<'a> {
     src: &'a [u8],
     pos: usize,
-    refs: HashMap<u32, RefValue>,
+    refs: &'a HashMap<u64, RefValue>,
 }
 
 impl Decoder<'_> {
@@ -378,7 +687,7 @@ impl Decoder<'_> {
             }
             Some(b'r') => {
                 self.pos += 1;
-                let id = self.unsigned()? as u32;
+                let id = self.unsigned()?;
                 self.expect(".")?;
                 let cell = self
                     .refs
@@ -619,5 +928,154 @@ mod tests {
     fn decode_rejects_trailing_garbage() {
         let enc = encode_value(&Value::Int(1)).unwrap();
         assert!(decode_value(&format!("{enc}u")).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_table_ids() {
+        assert!(decode_value("refs2{0=i1:;0=i2:;}r0.").is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_errors_cleanly() {
+        // Rich golden encodings exercising every tag (ASCII payloads so
+        // every byte offset is a char boundary). A strict prefix is
+        // never a valid encoding — decode must return `Malformed` at
+        // every single cut point, and must never panic or succeed.
+        let cell = RefValue::new(Value::Unit);
+        cell.set(Value::record([
+            ("Next".into(), Value::Ref(cell.clone())),
+            ("Tag".into(), Value::str("shared dept")),
+        ]));
+        let goldens = [
+            encode_value(&Value::tuple([
+                Value::Ref(cell.clone()),
+                Value::Ref(cell),
+                Value::Int(-17),
+                Value::Real(2.5),
+                Value::variant("Leaf", Value::set([Value::Bool(true), Value::Unit])),
+                Value::Dynamic(DynValue::new(Value::str("dyn payload"), None)),
+            ]))
+            .unwrap(),
+            encode_value(&Value::set([Value::str(""), Value::str("x:y{z}[w]")])).unwrap(),
+        ];
+        for golden in &goldens {
+            assert!(golden.is_ascii(), "golden must slice at any byte");
+            assert!(decode_value(golden).is_ok(), "golden decodes whole");
+            for cut in 0..golden.len() {
+                let truncated = &golden[..cut];
+                assert!(
+                    decode_value(truncated).is_err(),
+                    "truncation to {cut} bytes of {golden:?} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_preserves_sharing_across_records() {
+        // Encode two *separate* records that share one cell; a fresh
+        // registry on the decode side must re-link them.
+        let dept = RefValue::new(Value::record([("Building".into(), Value::Int(45))]));
+        let e1 = Value::record([("Dept".into(), Value::Ref(dept.clone()))]);
+        let e2 = Value::record([("Dept".into(), Value::Ref(dept.clone()))]);
+
+        let mut enc_reg = RefRegistry::new();
+        let rec1 = encode_with_registry(&e1, &mut enc_reg).unwrap();
+        let rec2 = encode_with_registry(&e2, &mut enc_reg).unwrap();
+        assert!(
+            rec2.starts_with("refs0{"),
+            "second record back-references, no table: {rec2:?}"
+        );
+
+        let mut dec_reg = RefRegistry::new();
+        let l1 = decode_with_registry(&rec1, &mut dec_reg).unwrap();
+        let l2 = decode_with_registry(&rec2, &mut dec_reg).unwrap();
+        let (Value::Record(f1), Value::Record(f2)) = (&l1, &l2) else {
+            panic!()
+        };
+        let (Value::Ref(d1), Value::Ref(d2)) = (&f1["Dept"], &f2["Dept"]) else {
+            panic!()
+        };
+        assert_eq!(d1.id, d2.id, "cross-record sharing preserved");
+        d1.set(Value::Int(0));
+        assert_eq!(d2.get(), Value::Int(0));
+    }
+
+    #[test]
+    fn registry_delta_names_only_the_changed_cell() {
+        let cell = RefValue::new(Value::Int(1));
+        let mut reg = RefRegistry::new();
+        let full = encode_with_registry(&Value::Ref(cell.clone()), &mut reg).unwrap();
+        assert!(full.contains('='), "first encoding carries the table");
+        // A later delta for the same cell is a constant-size payload.
+        cell.set(Value::Int(2));
+        let delta = encode_with_registry(&cell.get(), &mut reg).unwrap();
+        assert_eq!(delta, "refs0{}i2:");
+        let did = reg.durable_id(cell.id).unwrap();
+        assert_eq!(reg.cell(did).map(|c| c.id), Some(cell.id));
+    }
+
+    #[test]
+    fn registry_rolls_back_on_encode_error() {
+        let mut reg = RefRegistry::new();
+        let poisoned = Value::Ref(RefValue::new(Value::Op(
+            machiavelli_syntax::ast::BinOp::Add,
+        )));
+        assert_eq!(
+            encode_with_registry(&poisoned, &mut reg),
+            Err(PersistError::NotADescription)
+        );
+        assert!(reg.is_empty(), "failed encode leaves no registrations");
+    }
+
+    #[test]
+    fn registry_decode_rejects_redefined_durable_ids() {
+        let mut reg = RefRegistry::new();
+        let rec =
+            encode_with_registry(&Value::Ref(RefValue::new(Value::Int(1))), &mut reg).unwrap();
+        let before = reg.len();
+        // Replaying the same record against the same registry would
+        // redefine durable id 0 — corruption, not idempotence.
+        assert!(decode_with_registry(&rec, &mut reg).is_err());
+        assert_eq!(reg.len(), before, "failed decode rolls back");
+    }
+
+    #[test]
+    fn registry_decode_resolves_cycles() {
+        let cell = RefValue::new(Value::Unit);
+        cell.set(Value::record([("Self".into(), Value::Ref(cell.clone()))]));
+        let mut enc_reg = RefRegistry::new();
+        let rec = encode_with_registry(&Value::Ref(cell), &mut enc_reg).unwrap();
+        let mut dec_reg = RefRegistry::new();
+        let Value::Ref(r) = decode_with_registry(&rec, &mut dec_reg).unwrap() else {
+            panic!()
+        };
+        let Value::Record(fs) = r.get() else { panic!() };
+        let Value::Ref(inner) = &fs["Self"] else {
+            panic!()
+        };
+        assert_eq!(inner.id, r.id, "cycle closed through the registry");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_never_leaves_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "mach-write-atomic-{}-{}",
+            std::process::id(),
+            RefValue::new(Value::Unit).id
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.mach");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files survive");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -60,6 +60,9 @@ pub struct SessionStats {
     /// [`machiavelli_trace::DeclineReason`] variant in declaration
     /// order, zeros included.
     pub declines: Vec<(machiavelli_trace::DeclineReason, u64)>,
+    /// Durability counters (process-wide): WAL records/bytes appended,
+    /// commits, checkpoints, recoveries, torn tails truncated.
+    pub wal: machiavelli_value::WalCounters,
 }
 
 impl SessionStats {
@@ -124,6 +127,18 @@ impl SessionStats {
             sh.publishes,
             sh.adoptions,
             sh.lock_recoveries
+        );
+        let w = &self.wal;
+        let _ = writeln!(
+            out,
+            "wal: {} records / {} bytes appended, {} commits / {} checkpoints / \
+             {} recoveries / {} torn tails truncated",
+            w.records_appended,
+            w.bytes_logged,
+            w.commits,
+            w.checkpoints,
+            w.recoveries,
+            w.torn_tails_truncated
         );
         let nonzero: Vec<String> = self
             .declines
@@ -343,6 +358,7 @@ impl Session {
             shared: self.shared_store_stats(),
             par_threads: self.par_threads(),
             declines: machiavelli_trace::session_declines(),
+            wal: machiavelli_value::wal_counters(),
         }
     }
 
@@ -503,6 +519,46 @@ impl Session {
             );
         }
         Ok(out)
+    }
+
+    /// The (printed type, value) of a binding *if it can persist*: bound
+    /// and monomorphic. (Whether the value is a description value is
+    /// encode-time business — closures surface as
+    /// [`PersistError::NotADescription`](crate::persist::PersistError)
+    /// there.) The durability layer uses this to decide what a bind
+    /// record or checkpoint carries.
+    pub fn persistable_binding(&self, name: &str) -> Option<(String, Value)> {
+        let value = self.get(name)?;
+        let scheme = self.scheme_of(name)?;
+        if !scheme.vars.is_empty() || !scheme.constraints.is_empty() {
+            return None;
+        }
+        Some((scheme.show(), value))
+    }
+
+    /// [`Session::save_bindings`] straight to a file, written via a
+    /// temp file + fsync + atomic rename: a crash mid-save leaves the
+    /// previous snapshot intact, never a truncated half-write.
+    pub fn save_bindings_to(
+        &self,
+        path: &std::path::Path,
+        names: &[&str],
+    ) -> Result<(), SessionError> {
+        let data = self.save_bindings(names)?;
+        crate::persist::write_atomic(path, data.as_bytes())
+            .map_err(|e| SessionError::Io(format!("saving bindings to {}: {e}", path.display())))
+    }
+
+    /// Load bindings previously written by [`Session::save_bindings_to`],
+    /// returning the bound names.
+    pub fn load_bindings_from(
+        &mut self,
+        path: &std::path::Path,
+    ) -> Result<Vec<String>, SessionError> {
+        let data = std::fs::read_to_string(path).map_err(|e| {
+            SessionError::Io(format!("loading bindings from {}: {e}", path.display()))
+        })?;
+        self.load_bindings(&data)
     }
 
     /// Load bindings previously produced by [`Session::save_bindings`],
@@ -889,6 +945,42 @@ mod tests {
         assert!(s.observed_stats().is_empty());
         assert!(s.store_indexes().is_empty());
         s.set_par_threads(prev_threads);
+    }
+
+    #[test]
+    fn save_to_file_is_atomic_and_loads_back() {
+        let mut s = Session::new();
+        s.run(r#"val db = {[Name="Joe", Salary=1]}; val answer = 42;"#)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("mach-save-to-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bindings.mach");
+        s.save_bindings_to(&path, &["db", "answer"]).unwrap();
+        // Overwrite with a *smaller* save: the rename replaces wholesale
+        // (an in-place truncate-and-rewrite could tear here).
+        s.save_bindings_to(&path, &["answer"]).unwrap();
+        let mut s2 = Session::new();
+        assert_eq!(s2.load_bindings_from(&path).unwrap(), vec!["answer"]);
+        assert_eq!(s2.eval_one("answer;").unwrap().show(), "val it = 42 : int");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistable_binding_filters_polymorphism() {
+        let mut s = Session::new();
+        s.run("val n = 7; fun poly(x) = x;").unwrap();
+        let (ty, v) = s.persistable_binding("n").unwrap();
+        assert_eq!(ty, "int");
+        assert_eq!(v, Value::Int(7));
+        assert!(s.persistable_binding("poly").is_none(), "polymorphic");
+        assert!(s.persistable_binding("missing").is_none());
+    }
+
+    #[test]
+    fn stats_render_includes_wal_line() {
+        let s = Session::new();
+        let rendered = s.stats().render();
+        assert!(rendered.contains("wal: "), "{rendered}");
     }
 
     #[test]

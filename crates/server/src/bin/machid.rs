@@ -10,6 +10,9 @@
 //! * `MACHID_WORKERS`      — worker threads (default 4)
 //! * `MACHID_QUEUE_CAP`    — per-worker queue bound (default 64)
 //! * `MACHID_DEADLINE_MS`  — default per-query deadline (default none)
+//! * `MACHID_DURABLE_ROOT` — directory for durable sessions (default
+//!   none = in-memory). With it set, every session write-ahead-logs its
+//!   commits and a restarted `machid` serves the same bindings.
 //! * `MACHIAVELLI_QUERY_MAX_ROWS` — per-query row budget
 //! * `MACHIAVELLI_FAULT_*` — fault injection (chaos drills)
 
@@ -33,6 +36,10 @@ fn main() -> ExitCode {
         queue_cap: env_usize("MACHID_QUEUE_CAP").unwrap_or(64),
         default_deadline: env_usize("MACHID_DEADLINE_MS")
             .map(|ms| Duration::from_millis(ms as u64)),
+        durable_root: std::env::var("MACHID_DURABLE_ROOT")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     let listener = match TcpListener::bind(&addr) {

@@ -35,6 +35,11 @@ pub enum ServerError {
     Query(String),
     /// The worker could not construct the session (prelude failure).
     SessionInit(String),
+    /// The session's write-ahead log rejected a commit, checkpoint, or
+    /// recovery (torn write, failed sync, corrupt file). Fail-hard:
+    /// the session is poisoned rather than allowed to drift from its
+    /// durable state, and `RESTORE` re-materializes it from disk.
+    Durability(String),
     /// The server is shutting down (or the worker backing this session
     /// failed to start and requests to it cannot be served).
     Shutdown,
@@ -53,6 +58,7 @@ impl ServerError {
             ServerError::RowBudgetExceeded => "row-budget",
             ServerError::Query(_) => "query",
             ServerError::SessionInit(_) => "session-init",
+            ServerError::Durability(_) => "durability",
             ServerError::Shutdown => "shutdown",
         }
     }
@@ -81,6 +87,7 @@ impl fmt::Display for ServerError {
             ServerError::RowBudgetExceeded => write!(f, "query row budget exceeded"),
             ServerError::Query(msg) => write!(f, "{msg}"),
             ServerError::SessionInit(msg) => write!(f, "session init failed: {msg}"),
+            ServerError::Durability(msg) => write!(f, "durability failure: {msg}"),
             ServerError::Shutdown => write!(f, "server is shut down"),
         }
     }
@@ -104,6 +111,7 @@ mod tests {
             ServerError::RowBudgetExceeded,
             ServerError::Query("x".into()),
             ServerError::SessionInit("x".into()),
+            ServerError::Durability("x".into()),
             ServerError::Shutdown,
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

@@ -31,6 +31,7 @@ use machiavelli_eval::EvalError;
 use machiavelli_store::shared;
 use machiavelli_value::faults::{self, FaultConfig, InjectedFaults};
 use machiavelli_value::governor::{self, QueryGuard, ServerCounters};
+use machiavelli_wal::SessionLog;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,8 +41,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Server tuning knobs. `Copy` so each worker thread can carry its own.
-#[derive(Debug, Clone, Copy)]
+/// Server tuning knobs. `Clone` so each worker thread can carry its
+/// own.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (and session shards). At least one worker always
     /// starts, even under injected spawn failures.
@@ -60,6 +62,13 @@ pub struct ServerConfig {
     /// Fault-injection configuration installed on every worker thread
     /// (None = inherit the environment's `MACHIAVELLI_FAULT_*` knobs).
     pub faults: Option<FaultConfig>,
+    /// Root directory for durable sessions. When set, every session
+    /// gets a write-ahead log under `<root>/session-<sid>`, each
+    /// successful evaluation commits before its result is reported,
+    /// and `OPEN` recovers whatever an earlier process left behind —
+    /// a killed server comes back serving the same bindings. `None`
+    /// (the default) keeps sessions purely in-memory.
+    pub durable_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +80,7 @@ impl Default for ServerConfig {
             row_budget: governor::query_max_rows(),
             shared_store: true,
             faults: None,
+            durable_root: None,
         }
     }
 }
@@ -130,6 +140,18 @@ enum Job {
     Close {
         sid: u64,
         reply: Sender<Result<(), ServerError>>,
+    },
+    /// Force a checkpoint of the session's durable state (wire `SAVE`).
+    Save {
+        sid: u64,
+        reply: Sender<Result<u64, ServerError>>,
+    },
+    /// Discard the in-memory session and re-materialize it from its
+    /// durable state (wire `RESTORE`) — also the recovery path for a
+    /// poisoned durable session.
+    Restore {
+        sid: u64,
+        reply: Sender<Result<usize, ServerError>>,
     },
     Shutdown,
 }
@@ -197,9 +219,10 @@ impl Server {
             }
             let (tx, rx) = sync_channel(config.queue_cap.max(1));
             let depth = queue_depth.clone();
+            let worker_config = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("machid-worker-{i}"))
-                .spawn(move || worker_main(rx, config, depth));
+                .spawn(move || worker_main(rx, worker_config, depth));
             match spawned {
                 Ok(handle) => workers.push(WorkerHandle {
                     tx,
@@ -294,6 +317,33 @@ impl Server {
         self.submit(sid, src)?.wait()
     }
 
+    /// Force a checkpoint of the session's durable state, compacting
+    /// the delta log into the snapshot. Returns the new generation.
+    /// Requires [`ServerConfig::durable_root`].
+    pub fn save_session(&self, sid: u64) -> Result<u64, ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Save { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Throw away the in-memory session and recover it from its
+    /// durable state (snapshot + log replay). Returns the number of
+    /// bindings restored. Works on poisoned sessions — this is how a
+    /// client un-poisons a durable session without losing its data.
+    pub fn restore_session(&self, sid: u64) -> Result<usize, ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Restore { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
     /// Close a session (also the only operation a poisoned session
     /// accepts).
     pub fn close_session(&self, sid: u64) -> Result<(), ServerError> {
@@ -377,6 +427,18 @@ impl Server {
             let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
             let _ = writeln!(out, "machiavelli_{name}_total {v}");
         }
+        let w = machiavelli_value::wal_counters();
+        for (name, v) in [
+            ("wal_records_appended", w.records_appended),
+            ("wal_bytes_logged", w.bytes_logged),
+            ("wal_commits", w.commits),
+            ("wal_checkpoints", w.checkpoints),
+            ("wal_recoveries", w.recoveries),
+            ("wal_torn_tails_truncated", w.torn_tails_truncated),
+        ] {
+            let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
+            let _ = writeln!(out, "machiavelli_{name}_total {v}");
+        }
         out.push_str("# TYPE machiavelli_shared_hit_ratio gauge\n");
         let probes = sh.adoptions + sh.misses;
         let ratio = if probes == 0 {
@@ -423,6 +485,16 @@ impl Drop for Server {
 struct SessionSlot {
     session: Session,
     poisoned: bool,
+    /// The session's write-ahead log when the server runs with a
+    /// durable root; `None` for purely in-memory sessions.
+    wal: Option<SessionLog>,
+}
+
+/// The durable directory for one session id. Session ids restart from
+/// 1 on every server start, so a restarted `machid` re-opens the same
+/// directories and recovers the same sessions.
+fn session_dir(root: &std::path::Path, sid: u64) -> std::path::PathBuf {
+    root.join(format!("session-{sid}"))
 }
 
 fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI64>) {
@@ -434,7 +506,7 @@ fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI
     while let Ok(job) = rx.recv() {
         match job {
             Job::Open { sid, reply } => {
-                let _ = reply.send(open_session(&mut sessions, sid));
+                let _ = reply.send(open_session(&mut sessions, &config, sid));
             }
             Job::Eval {
                 sid,
@@ -459,30 +531,121 @@ fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI
                 };
                 let _ = reply.send(result);
             }
+            Job::Save { sid, reply } => {
+                let _ = reply.send(run_save(&mut sessions, sid));
+            }
+            Job::Restore { sid, reply } => {
+                let _ = reply.send(run_restore(&mut sessions, &config, sid));
+            }
             Job::Shutdown => break,
         }
     }
 }
 
-fn open_session(sessions: &mut HashMap<u64, SessionSlot>, sid: u64) -> Result<u64, ServerError> {
-    // Shield the prelude from fault injection: faults target queries,
-    // and deterministic opens keep chaos assertions crisp.
+fn open_session(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    config: &ServerConfig,
+    sid: u64,
+) -> Result<u64, ServerError> {
+    // Shield the prelude (and recovery) from fault injection: faults
+    // target queries, and deterministic opens keep chaos assertions
+    // crisp.
     let shield = faults::set_fault_config(Some(FaultConfig::off()));
-    let made = catch_unwind(AssertUnwindSafe(Session::try_new));
+    let made = catch_unwind(AssertUnwindSafe(|| -> Result<SessionSlot, ServerError> {
+        let mut session =
+            Session::try_new().map_err(|e| ServerError::SessionInit(e.to_string()))?;
+        let wal = match &config.durable_root {
+            Some(root) => Some(
+                SessionLog::open(&session_dir(root, sid), &mut session)
+                    .map_err(|e| ServerError::Durability(e.to_string()))?
+                    .0,
+            ),
+            None => None,
+        };
+        Ok(SessionSlot {
+            session,
+            poisoned: false,
+            wal,
+        })
+    }));
     faults::set_fault_config(shield);
     match made {
-        Ok(Ok(session)) => {
-            sessions.insert(
-                sid,
-                SessionSlot {
-                    session,
-                    poisoned: false,
-                },
-            );
+        Ok(Ok(slot)) => {
+            sessions.insert(sid, slot);
             governor::note_session_started();
             Ok(sid)
         }
-        Ok(Err(e)) => Err(ServerError::SessionInit(e.to_string())),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(ServerError::SessionInit(panic_message(payload.as_ref()))),
+    }
+}
+
+fn run_save(sessions: &mut HashMap<u64, SessionSlot>, sid: u64) -> Result<u64, ServerError> {
+    let slot = sessions
+        .get_mut(&sid)
+        .ok_or(ServerError::NoSuchSession(sid))?;
+    if slot.poisoned {
+        return Err(ServerError::SessionPoisoned(sid));
+    }
+    let Some(wal) = slot.wal.as_mut() else {
+        return Err(ServerError::Durability("durability is disabled".into()));
+    };
+    match wal.checkpoint(&slot.session) {
+        Ok(()) => Ok(wal.generation()),
+        Err(e) => {
+            // Disk state is ambiguous relative to memory; refuse
+            // further queries rather than drift (see run_eval).
+            slot.poisoned = true;
+            governor::note_session_panicked();
+            Err(ServerError::Durability(e.to_string()))
+        }
+    }
+}
+
+fn run_restore(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    config: &ServerConfig,
+    sid: u64,
+) -> Result<usize, ServerError> {
+    let slot = sessions
+        .get_mut(&sid)
+        .ok_or(ServerError::NoSuchSession(sid))?;
+    let Some(root) = &config.durable_root else {
+        return Err(ServerError::Durability("durability is disabled".into()));
+    };
+    if slot.wal.is_none() {
+        return Err(ServerError::Durability(
+            "session has no durable state".into(),
+        ));
+    }
+    // Deliberately no poison check: RESTORE is how a poisoned durable
+    // session comes back — in-memory state (possibly torn mid-update by
+    // a panic) is discarded and rebuilt from the last durable commit.
+    let shield = faults::set_fault_config(Some(FaultConfig::off()));
+    let rebuilt = catch_unwind(AssertUnwindSafe(
+        || -> Result<(SessionSlot, usize), ServerError> {
+            let mut session =
+                Session::try_new().map_err(|e| ServerError::SessionInit(e.to_string()))?;
+            let (wal, report) = SessionLog::open(&session_dir(root, sid), &mut session)
+                .map_err(|e| ServerError::Durability(e.to_string()))?;
+            let restored = report.snapshot_bindings + report.records_replayed as usize;
+            Ok((
+                SessionSlot {
+                    session,
+                    poisoned: false,
+                    wal: Some(wal),
+                },
+                restored,
+            ))
+        },
+    ));
+    faults::set_fault_config(shield);
+    match rebuilt {
+        Ok(Ok((fresh, restored))) => {
+            *slot = fresh;
+            Ok(restored)
+        }
+        Ok(Err(e)) => Err(e),
         Err(payload) => Err(ServerError::SessionInit(panic_message(payload.as_ref()))),
     }
 }
@@ -513,8 +676,28 @@ fn run_eval(
     // outcome: error latencies are latencies too.
     machiavelli_trace::observe_query_ns(machiavelli_trace::now_ns().saturating_sub(t0));
     governor::install(prev);
+    // Attribute this evaluation's ref writes to this session *now*,
+    // whatever the outcome — errors and panics have real partial
+    // writes, and the thread-local dirty channel is shared by every
+    // session this worker hosts.
+    if let Some(wal) = slot.wal.as_mut() {
+        wal.absorb_dirty();
+    }
     match outcome {
         Ok(Ok(outcomes)) => {
+            // Commit before reporting: memory now holds this
+            // evaluation, so disk must too before the client can
+            // observe a result it might rely on. A commit failure
+            // fail-hards (poison + typed error) — a session that
+            // silently drifted ahead of its log would turn the next
+            // crash into data loss.
+            if let Some(wal) = slot.wal.as_mut() {
+                if let Err(e) = wal.commit(&slot.session, &outcomes) {
+                    slot.poisoned = true;
+                    governor::note_session_panicked();
+                    return Err(ServerError::Durability(e.to_string()));
+                }
+            }
             // A trip can latch after the last governance tick (row
             // charges land when a set materializes, which may be the
             // query's final step). The latch is sticky: honor it even
@@ -565,6 +748,7 @@ mod tests {
             row_budget: None,
             shared_store: false,
             faults: Some(FaultConfig::off()),
+            durable_root: None,
         }
     }
 

@@ -8,10 +8,16 @@
 //! OPEN                -> OK <sid>
 //! EVAL <sid> <src>    -> VAL <outcomes; "; "-joined>  |  ERR <kind> <message>
 //! CLOSE <sid>         -> OK closed <sid>              |  ERR <kind> <message>
+//! SAVE <sid>          -> OK saved <sid> gen <g>       |  ERR <kind> <message>
+//! RESTORE <sid>       -> OK restored <sid> <n>        |  ERR <kind> <message>
 //! STATS               -> OK <stats line>
 //! METRICS             -> OK <Prometheus text exposition, newline-escaped>
 //! QUIT                -> OK bye   (ends the connection)
 //! ```
+//!
+//! `SAVE` forces a checkpoint of a durable session; `RESTORE` discards
+//! its in-memory state and recovers from disk (including a poisoned
+//! session). Both require the server to run with a durable root.
 //!
 //! `ERR` responses carry the stable [`ServerError::kind`] tag first, so
 //! clients can branch on `deadline` / `busy` / `session-panicked`
@@ -70,6 +76,20 @@ pub fn serve_connection<R: BufRead, W: Write>(
                 },
                 Err(_) => format!("ERR protocol bad session id: {}", one_line(rest)),
             },
+            "SAVE" => match rest.parse::<u64>() {
+                Ok(sid) => match server.save_session(sid) {
+                    Ok(gen) => format!("OK saved {sid} gen {gen}"),
+                    Err(e) => err_line(&e),
+                },
+                Err(_) => format!("ERR protocol bad session id: {}", one_line(rest)),
+            },
+            "RESTORE" => match rest.parse::<u64>() {
+                Ok(sid) => match server.restore_session(sid) {
+                    Ok(n) => format!("OK restored {sid} {n}"),
+                    Err(e) => err_line(&e),
+                },
+                Err(_) => format!("ERR protocol bad session id: {}", one_line(rest)),
+            },
             "STATS" => format!("OK {}", server.stats()),
             "METRICS" => format!("OK {}", one_line(&server.metrics_text())),
             "QUIT" => {
@@ -99,6 +119,7 @@ mod tests {
             row_budget: None,
             shared_store: false,
             faults: Some(FaultConfig::off()),
+            durable_root: None,
         })
     }
 

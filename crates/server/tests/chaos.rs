@@ -56,6 +56,7 @@ fn base_config() -> ServerConfig {
         row_budget: None,
         shared_store: false,
         faults: Some(FaultConfig::off()),
+        durable_root: None,
     }
 }
 
@@ -373,7 +374,9 @@ fn chaos_storm_100_sessions_stays_live() {
             delay_ms: 1,
             store_poison_ppm: 3_000,
             seed: 42,
+            ..FaultConfig::off()
         }),
+        durable_root: None,
     });
 
     let mut oks = 0u64;

@@ -17,6 +17,7 @@ fn quiet_config() -> ServerConfig {
         row_budget: None,
         shared_store: false,
         faults: Some(FaultConfig::off()),
+        durable_root: None,
     }
 }
 
@@ -149,6 +150,20 @@ fn metrics_exposition_after_hundred_query_run() {
     assert_eq!(sample(&samples, "machiavelli_queue_depth"), 0.0);
     let ratio = sample(&samples, "machiavelli_shared_hit_ratio");
     assert!((0.0..=1.0).contains(&ratio), "hit ratio in [0,1]: {ratio}");
+
+    // The WAL counter family is always exported (zeros here: this
+    // server runs without a durable root; the durability suite covers
+    // the non-zero side).
+    for name in [
+        "machiavelli_wal_records_appended_total",
+        "machiavelli_wal_bytes_logged_total",
+        "machiavelli_wal_commits_total",
+        "machiavelli_wal_checkpoints_total",
+        "machiavelli_wal_recoveries_total",
+        "machiavelli_wal_torn_tails_truncated_total",
+    ] {
+        assert!(sample(&samples, name) >= 0.0, "{name} present");
+    }
 
     // The decline taxonomy is exported with one labelled line per
     // reason code, every one of them non-negative.

@@ -70,6 +70,8 @@ impl DirtyRefs {
 thread_local! {
     static MUTATION_EPOCH: Cell<u64> = const { Cell::new(0) };
     static DIRTY_REFS: RefCell<DirtyRefs> = RefCell::new(DirtyRefs::default());
+    static WAL_DIRTY: RefCell<DirtyRefs> = RefCell::new(DirtyRefs::default());
+    static WAL_TRACKING: Cell<bool> = const { Cell::new(false) };
 }
 
 /// The current mutation epoch of this thread. Two reads returning the
@@ -86,18 +88,23 @@ pub fn mutation_epoch() -> u64 {
 /// can report precise identities.
 pub fn note_ref_write(id: u64) {
     MUTATION_EPOCH.with(|c| c.set(c.get().wrapping_add(1)));
-    DIRTY_REFS.with(|d| {
-        let mut d = d.borrow_mut();
-        if d.overflowed {
-            return;
-        }
-        if d.ids.len() >= DIRTY_REFS_CAP {
-            d.ids.clear();
-            d.overflowed = true;
-        } else {
-            d.ids.insert(id);
-        }
-    });
+    DIRTY_REFS.with(|d| record_dirty(d, id));
+    if WAL_TRACKING.with(Cell::get) {
+        WAL_DIRTY.with(|d| record_dirty(d, id));
+    }
+}
+
+fn record_dirty(d: &RefCell<DirtyRefs>, id: u64) {
+    let mut d = d.borrow_mut();
+    if d.overflowed {
+        return;
+    }
+    if d.ids.len() >= DIRTY_REFS_CAP {
+        d.ids.clear();
+        d.overflowed = true;
+    } else {
+        d.ids.insert(id);
+    }
 }
 
 /// Advance the mutation epoch for an **unattributed** write — native
@@ -107,11 +114,16 @@ pub fn note_ref_write(id: u64) {
 /// assumed affected, exactly the PR 4 whole-store behavior.
 pub fn bump_mutation_epoch() {
     MUTATION_EPOCH.with(|c| c.set(c.get().wrapping_add(1)));
-    DIRTY_REFS.with(|d| {
-        let mut d = d.borrow_mut();
-        d.ids.clear();
-        d.overflowed = true;
-    });
+    DIRTY_REFS.with(poison_dirty);
+    if WAL_TRACKING.with(Cell::get) {
+        WAL_DIRTY.with(poison_dirty);
+    }
+}
+
+fn poison_dirty(d: &RefCell<DirtyRefs>) {
+    let mut d = d.borrow_mut();
+    d.ids.clear();
+    d.overflowed = true;
 }
 
 /// Drain the dirty set, leaving it empty. The single consumer is the
@@ -120,6 +132,32 @@ pub fn bump_mutation_epoch() {
 /// returns an empty set.
 pub fn take_dirty_refs() -> DirtyRefs {
     DIRTY_REFS.with(|d| std::mem::take(&mut *d.borrow_mut()))
+}
+
+/// Enable (or disable) the **write-ahead-log dirty channel** on this
+/// thread, returning the previous setting. The index store's dirty set
+/// above has exactly one consumer (the store drains it on every query),
+/// so the durability layer (`machiavelli-wal`) cannot share it: with
+/// tracking on, [`note_ref_write`] records every written identity in a
+/// *second*, independently drained set ([`take_wal_dirty_refs`]) with
+/// the same cap/overflow discipline. Off by default — sessions that
+/// never attach a log pay a single thread-local load per write.
+pub fn set_wal_tracking(on: bool) -> bool {
+    WAL_TRACKING.with(|c| c.replace(on))
+}
+
+/// Is the WAL dirty channel live on this thread?
+pub fn wal_tracking() -> bool {
+    WAL_TRACKING.with(Cell::get)
+}
+
+/// Drain the WAL dirty set, leaving it empty. The consumer is the
+/// session's attached log (`machiavelli-wal`), which drains at each
+/// commit point; an `overflowed` result means precise attribution was
+/// lost (cap exceeded or an unattributed write) and the consumer must
+/// fall back to a full checkpoint.
+pub fn take_wal_dirty_refs() -> DirtyRefs {
+    WAL_DIRTY.with(|d| std::mem::take(&mut *d.borrow_mut()))
 }
 
 #[cfg(test)]
@@ -161,6 +199,33 @@ mod tests {
         assert!(dirty.intersects(&[3, 7, 9]));
         assert!(!dirty.intersects(&[3, 8, 9]));
         assert!(!dirty.intersects(&[]));
+    }
+
+    #[test]
+    fn wal_channel_fills_only_while_tracking() {
+        let _ = take_dirty_refs();
+        let _ = take_wal_dirty_refs();
+        let r = RefValue::new(Value::Int(0));
+        r.set(Value::Int(1));
+        assert!(
+            take_wal_dirty_refs().is_empty(),
+            "tracking off: the WAL channel stays empty"
+        );
+        let prev = set_wal_tracking(true);
+        assert!(!prev, "tracking defaults to off");
+        r.set(Value::Int(2));
+        let wal = take_wal_dirty_refs();
+        assert!(wal.ids.contains(&r.id), "{wal:?}");
+        assert!(!wal.overflowed);
+        bump_mutation_epoch();
+        assert!(
+            take_wal_dirty_refs().overflowed,
+            "unattributed writes poison the WAL channel too"
+        );
+        set_wal_tracking(false);
+        // The store's channel saw every write regardless of WAL tracking.
+        let store = take_dirty_refs();
+        assert!(store.overflowed || store.ids.contains(&r.id));
     }
 
     #[test]

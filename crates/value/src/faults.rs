@@ -10,6 +10,9 @@
 //! | [`spawn_denied`] | report a worker-spawn failure | `MACHIAVELLI_FAULT_SPAWN_FAIL_PPM` |
 //! | [`maybe_delay`] | sleep at the evaluator tick (forces deadline overruns) | `MACHIAVELLI_FAULT_DELAY_PPM` + `MACHIAVELLI_FAULT_DELAY_MS` |
 //! | [`store_poison_due`] | panic while holding the shared store lock | `MACHIAVELLI_FAULT_STORE_POISON_PPM` |
+//! | [`wal_torn_due`] | truncate a WAL append mid-record (torn write) | `MACHIAVELLI_FAULT_WAL_TORN_PPM` |
+//! | [`wal_sync_fails`] | report a WAL sync (fsync) failure | `MACHIAVELLI_FAULT_WAL_SYNC_FAIL_PPM` |
+//! | [`checkpoint_kill_due`] | abort a checkpoint between its steps | `MACHIAVELLI_FAULT_CHECKPOINT_KILL_PPM` |
 //!
 //! Probabilities are **parts per million** so low rates stay integral.
 //! Randomness is a per-thread xorshift stream derived from the config
@@ -50,6 +53,13 @@ pub struct FaultConfig {
     pub delay_ms: u64,
     /// Probability of panicking while holding the shared store lock.
     pub store_poison_ppm: u32,
+    /// Probability that a WAL append is torn (only a prefix reaches
+    /// the file — a simulated kill mid-`write`).
+    pub wal_torn_ppm: u32,
+    /// Probability that a WAL sync (fsync) reports failure.
+    pub wal_sync_fail_ppm: u32,
+    /// Probability that a checkpoint is killed between its steps.
+    pub checkpoint_kill_ppm: u32,
     /// Base seed for the per-thread fault streams.
     pub seed: u64,
 }
@@ -64,6 +74,9 @@ impl FaultConfig {
             delay_ppm: 0,
             delay_ms: 0,
             store_poison_ppm: 0,
+            wal_torn_ppm: 0,
+            wal_sync_fail_ppm: 0,
+            checkpoint_kill_ppm: 0,
             seed: 0,
         }
     }
@@ -75,6 +88,9 @@ impl FaultConfig {
             && self.spawn_fail_ppm == 0
             && self.delay_ppm == 0
             && self.store_poison_ppm == 0
+            && self.wal_torn_ppm == 0
+            && self.wal_sync_fail_ppm == 0
+            && self.checkpoint_kill_ppm == 0
     }
 }
 
@@ -104,6 +120,9 @@ fn env_config() -> Option<FaultConfig> {
             delay_ppm: env_u32("MACHIAVELLI_FAULT_DELAY_PPM"),
             delay_ms: env_u64("MACHIAVELLI_FAULT_DELAY_MS").max(1),
             store_poison_ppm: env_u32("MACHIAVELLI_FAULT_STORE_POISON_PPM"),
+            wal_torn_ppm: env_u32("MACHIAVELLI_FAULT_WAL_TORN_PPM"),
+            wal_sync_fail_ppm: env_u32("MACHIAVELLI_FAULT_WAL_SYNC_FAIL_PPM"),
+            checkpoint_kill_ppm: env_u32("MACHIAVELLI_FAULT_CHECKPOINT_KILL_PPM"),
             seed: env_u64("MACHIAVELLI_FAULT_SEED"),
         };
         if cfg.is_inert() {
@@ -196,6 +215,9 @@ pub struct InjectedFaults {
     pub spawn_failures: u64,
     pub delays: u64,
     pub store_poisons: u64,
+    pub wal_torn_writes: u64,
+    pub wal_sync_failures: u64,
+    pub checkpoint_kills: u64,
 }
 
 static INJ_EVAL_PANICS: AtomicU64 = AtomicU64::new(0);
@@ -203,6 +225,9 @@ static INJ_WORKER_PANICS: AtomicU64 = AtomicU64::new(0);
 static INJ_SPAWN_FAILS: AtomicU64 = AtomicU64::new(0);
 static INJ_DELAYS: AtomicU64 = AtomicU64::new(0);
 static INJ_STORE_POISONS: AtomicU64 = AtomicU64::new(0);
+static INJ_WAL_TORN: AtomicU64 = AtomicU64::new(0);
+static INJ_WAL_SYNC_FAILS: AtomicU64 = AtomicU64::new(0);
+static INJ_CKPT_KILLS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the injected-fault tallies.
 pub fn injected_faults() -> InjectedFaults {
@@ -212,6 +237,9 @@ pub fn injected_faults() -> InjectedFaults {
         spawn_failures: INJ_SPAWN_FAILS.load(Ordering::Relaxed),
         delays: INJ_DELAYS.load(Ordering::Relaxed),
         store_poisons: INJ_STORE_POISONS.load(Ordering::Relaxed),
+        wal_torn_writes: INJ_WAL_TORN.load(Ordering::Relaxed),
+        wal_sync_failures: INJ_WAL_SYNC_FAILS.load(Ordering::Relaxed),
+        checkpoint_kills: INJ_CKPT_KILLS.load(Ordering::Relaxed),
     }
 }
 
@@ -223,6 +251,9 @@ pub fn reset_injected_faults() {
         &INJ_SPAWN_FAILS,
         &INJ_DELAYS,
         &INJ_STORE_POISONS,
+        &INJ_WAL_TORN,
+        &INJ_WAL_SYNC_FAILS,
+        &INJ_CKPT_KILLS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -304,6 +335,70 @@ pub fn store_poison_due() -> bool {
     false
 }
 
+/// Fail point: WAL append. Returns `true` (with probability
+/// `wal_torn_ppm`) when the append should be **torn**: the log writes
+/// only a prefix of the batch — drawn with [`torn_cut`] — exactly as if
+/// the process had been killed mid-`write(2)`. Tallies the injection.
+pub fn wal_torn_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.wal_torn_ppm) {
+        INJ_WAL_TORN.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// How many bytes of a torn `len`-byte write actually land: a seeded
+/// draw in `0..len` from this thread's fault stream, so a pinned seed
+/// reproduces the same cut points. (`len == 0` → 0.)
+pub fn torn_cut(len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let state = RNG.with(|r| {
+        let s = xorshift(r.get() | 1);
+        r.set(s);
+        s
+    });
+    (state % len as u64) as usize
+}
+
+/// Fail point: WAL sync. Returns `true` (with probability
+/// `wal_sync_fail_ppm`) when the log should behave as if `fsync`
+/// failed — the write may or may not be on disk, so the log must stop
+/// trusting its unsynced tail. Tallies the injection.
+pub fn wal_sync_fails() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.wal_sync_fail_ppm) {
+        INJ_WAL_SYNC_FAILS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Fail point: checkpoint step boundary. Returns `true` (with
+/// probability `checkpoint_kill_ppm`) when the checkpoint should abort
+/// *at this step* as if the process died there — the caller returns an
+/// error naming the step so harnesses know which on-disk state to
+/// expect. Tallies the injection.
+pub fn checkpoint_kill_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.checkpoint_kill_ppm) {
+        INJ_CKPT_KILLS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +410,9 @@ mod tests {
         assert!(!faults_active());
         assert!(!spawn_denied());
         assert!(!store_poison_due());
+        assert!(!wal_torn_due());
+        assert!(!wal_sync_fails());
+        assert!(!checkpoint_kill_due());
         maybe_eval_panic();
         maybe_worker_panic();
         maybe_delay();
@@ -348,6 +446,42 @@ mod tests {
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
         assert!(injected_faults().eval_panics > before);
+    }
+
+    #[test]
+    fn wal_faults_fire_and_tally_at_certainty() {
+        let prev = set_fault_config(Some(FaultConfig {
+            wal_torn_ppm: 1_000_000,
+            wal_sync_fail_ppm: 1_000_000,
+            checkpoint_kill_ppm: 1_000_000,
+            seed: 11,
+            ..FaultConfig::off()
+        }));
+        let before = injected_faults();
+        assert!(wal_torn_due());
+        assert!(wal_sync_fails());
+        assert!(checkpoint_kill_due());
+        let after = injected_faults();
+        set_fault_config(prev);
+        assert!(after.wal_torn_writes > before.wal_torn_writes);
+        assert!(after.wal_sync_failures > before.wal_sync_failures);
+        assert!(after.checkpoint_kills > before.checkpoint_kills);
+    }
+
+    #[test]
+    fn torn_cut_stays_in_range() {
+        let prev = set_fault_config(Some(FaultConfig {
+            seed: 5,
+            ..FaultConfig::off()
+        }));
+        assert_eq!(torn_cut(0), 0);
+        for len in [1usize, 2, 7, 64, 4096] {
+            for _ in 0..32 {
+                let cut = torn_cut(len);
+                assert!(cut < len, "cut {cut} out of range for len {len}");
+            }
+        }
+        set_fault_config(prev);
     }
 
     #[test]

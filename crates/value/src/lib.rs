@@ -19,10 +19,14 @@ pub mod set;
 pub mod shape;
 pub mod tuning;
 pub mod value;
+pub mod wal_counters;
 
 pub use conform::conforms;
 pub use display::show_value;
-pub use epoch::{bump_mutation_epoch, mutation_epoch, note_ref_write, take_dirty_refs, DirtyRefs};
+pub use epoch::{
+    bump_mutation_epoch, mutation_epoch, note_ref_write, set_wal_tracking, take_dirty_refs,
+    take_wal_dirty_refs, wal_tracking, DirtyRefs,
+};
 pub use error::ValueError;
 pub use faults::{FaultConfig, InjectedFaults};
 pub use governor::{QueryGuard, ServerCounters, Trip};
@@ -38,3 +42,4 @@ pub use value::{
     scan_refs, value_cmp, value_eq, Builtin, Closure, DynValue, Env, FieldKey, Fields, Label,
     RefScan, RefValue, Symbol, Value,
 };
+pub use wal_counters::{reset_wal_counters, wal_counters, WalCounters};

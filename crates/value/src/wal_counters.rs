@@ -1,0 +1,116 @@
+//! **Process-wide WAL counters** — the durability layer's observability
+//! feed, surfaced through `Session::stats()` / `:stats` and the server's
+//! `METRICS` exposition.
+//!
+//! They live here (not in `machiavelli-wal`) for the same reason the
+//! governor's `ServerCounters` live low in the stack: every layer that
+//! wants to *render* them (core's stats, the server's metrics text)
+//! already depends on `machiavelli-value`, while depending on the wal
+//! crate from core would invert the workspace layering. The wal crate
+//! calls the `note_*` hooks; everyone else reads [`wal_counters`].
+//!
+//! Counters are cumulative across every session log in the process and
+//! monotone except through [`reset_wal_counters`] (test setup only).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of the process-wide durability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// Records appended to any session log (bind, ref-delta, and
+    /// commit-marker records all count).
+    pub records_appended: u64,
+    /// Payload + framing bytes appended to any session log.
+    pub bytes_logged: u64,
+    /// Commit groups made durable (each `commit` that synced).
+    pub commits: u64,
+    /// Checkpoints completed (snapshot renamed *and* log reset).
+    pub checkpoints: u64,
+    /// Recoveries performed on open (snapshot and/or log replayed).
+    pub recoveries: u64,
+    /// Torn tails truncated during recovery — a partial final record
+    /// or incomplete commit group dropped as a normal crash artifact.
+    pub torn_tails_truncated: u64,
+}
+
+static RECORDS_APPENDED: AtomicU64 = AtomicU64::new(0);
+static BYTES_LOGGED: AtomicU64 = AtomicU64::new(0);
+static COMMITS: AtomicU64 = AtomicU64::new(0);
+static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES: AtomicU64 = AtomicU64::new(0);
+static TORN_TAILS: AtomicU64 = AtomicU64::new(0);
+
+/// Tally `records` appended records totalling `bytes` on-disk bytes.
+pub fn note_wal_append(records: u64, bytes: u64) {
+    RECORDS_APPENDED.fetch_add(records, Ordering::Relaxed);
+    BYTES_LOGGED.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Tally a durable commit group.
+pub fn note_wal_commit() {
+    COMMITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally a completed checkpoint.
+pub fn note_wal_checkpoint() {
+    CHECKPOINTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally a recovery-on-open.
+pub fn note_wal_recovery() {
+    RECOVERIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally a torn tail truncated during recovery.
+pub fn note_wal_torn_tail() {
+    TORN_TAILS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot the durability counters.
+pub fn wal_counters() -> WalCounters {
+    WalCounters {
+        records_appended: RECORDS_APPENDED.load(Ordering::Relaxed),
+        bytes_logged: BYTES_LOGGED.load(Ordering::Relaxed),
+        commits: COMMITS.load(Ordering::Relaxed),
+        checkpoints: CHECKPOINTS.load(Ordering::Relaxed),
+        recoveries: RECOVERIES.load(Ordering::Relaxed),
+        torn_tails_truncated: TORN_TAILS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the durability counters (test setup; counters are process-wide,
+/// so tests that assert deltas should snapshot-and-subtract instead).
+pub fn reset_wal_counters() {
+    for c in [
+        &RECORDS_APPENDED,
+        &BYTES_LOGGED,
+        &COMMITS,
+        &CHECKPOINTS,
+        &RECOVERIES,
+        &TORN_TAILS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_accumulate_into_the_snapshot() {
+        let before = wal_counters();
+        note_wal_append(3, 128);
+        note_wal_commit();
+        note_wal_checkpoint();
+        note_wal_recovery();
+        note_wal_torn_tail();
+        let after = wal_counters();
+        assert!(after.records_appended >= before.records_appended + 3);
+        assert!(after.bytes_logged >= before.bytes_logged + 128);
+        assert!(after.commits > before.commits);
+        assert!(after.checkpoints > before.checkpoints);
+        assert!(after.recoveries > before.recoveries);
+        assert!(after.torn_tails_truncated > before.torn_tails_truncated);
+    }
+}

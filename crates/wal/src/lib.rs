@@ -1,0 +1,764 @@
+//! **Durable Machiavelli sessions** — a write-ahead delta log,
+//! generation-stamped checkpoints, and paranoid crash recovery.
+//!
+//! The paper calls persistence "the most important \[way\] in which
+//! Machiavelli needs to be augmented" (§6); `persist.rs` gives values a
+//! durable encoding, but re-encoding every binding per save is linear
+//! in session size and a crash between saves loses everything. This
+//! crate closes both gaps:
+//!
+//! * **Delta logging.** Every committed evaluation appends only what
+//!   changed: bind records for (re)bound names and ref-delta records
+//!   for the cells the PR 5 dirty-ref channel attributes
+//!   ([`machiavelli_value::epoch`] `note_ref_write` → the WAL dirty
+//!   set). Payloads reuse the `persist.rs` grammar threaded through one
+//!   [`RefRegistry`] per generation, so sharing and cycles survive
+//!   across records, and commit cost is flat in session size.
+//! * **Commit groups.** Records are CRC-framed and batched under a
+//!   trailing commit marker; recovery applies only complete groups. A
+//!   torn tail — a partial frame, a failed checksum, records with no
+//!   marker — is a *normal crash artifact*: it is truncated, counted,
+//!   and never applied half-way.
+//! * **Checkpointing.** [`SessionLog::checkpoint`] compacts current
+//!   state into an atomically-renamed snapshot stamped with the next
+//!   generation, then resets the log to that generation. A crash
+//!   between the two steps leaves a stale log whose generation no
+//!   longer matches — recovery discards it, because its effects are
+//!   already inside the snapshot.
+//! * **Self-healing.** A torn append or failed sync *dooms* the log
+//!   (appends refuse; memory is ahead of disk, and pretending otherwise
+//!   is how databases lose data). The next commit escalates to a full
+//!   checkpoint, which rebuilds durability from current state.
+//!
+//! Injected faults (`MACHIAVELLI_FAULT_WAL_TORN_PPM`,
+//! `MACHIAVELLI_FAULT_WAL_SYNC_FAIL_PPM`,
+//! `MACHIAVELLI_FAULT_CHECKPOINT_KILL_PPM` — see
+//! [`machiavelli_value::faults`]) drive the seeded kill-replay-verify
+//! harness in `tests/crash_recovery.rs`.
+//!
+//! # Thread discipline
+//!
+//! The dirty-ref channel is thread-local and shared by every session a
+//! thread hosts, so attribution relies on one rule: **after each
+//! evaluation, drain the channel into that session's log** — via
+//! [`SessionLog::commit`] on success or [`SessionLog::absorb_dirty`] on
+//! failure — before touching any other session on the thread.
+//! [`DurableSession`] and the server's workers both follow it.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use machiavelli::persist::{
+    decode_with_registry, encode_with_registry, write_atomic, PersistError, RefRegistry,
+};
+use machiavelli::{Outcome, Session};
+use machiavelli_value::epoch::DIRTY_REFS_CAP;
+use machiavelli_value::wal_counters::{
+    note_wal_append, note_wal_checkpoint, note_wal_commit, note_wal_recovery, note_wal_torn_tail,
+};
+use machiavelli_value::{faults, set_wal_tracking, take_wal_dirty_refs, DirtyRefs};
+
+pub mod crc;
+pub mod log;
+
+use crc::crc32;
+use log::{
+    build_bind, build_delta, frame_record, log_header, parse_bind_at, parse_log_header,
+    parse_payload, parse_snap_header, scan_records, snap_header, Payload, COMMIT,
+};
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// A value failed to encode or decode.
+    Persist(PersistError),
+    /// Replay could not re-bind into the session (pre-rendered).
+    Session(String),
+    /// A file header failed its magic/version/field checks.
+    BadHeader(String),
+    /// A structure that is *not* allowed to be torn (snapshot payload,
+    /// record payload grammar) failed validation.
+    Corrupt {
+        offset: u64,
+        what: &'static str,
+    },
+    /// A single record payload exceeded the u32 frame limit.
+    RecordTooLarge(usize),
+    /// Injected fault: the append was torn mid-write. The log is doomed
+    /// until the next checkpoint.
+    TornWrite,
+    /// The log sync failed (injected or real). The unsynced tail was
+    /// discarded and the log is doomed until the next checkpoint.
+    SyncFailed,
+    /// Injected fault: the checkpoint died between steps. `renamed`
+    /// tells whether the new snapshot had already taken effect.
+    CheckpointKilled {
+        renamed: bool,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Persist(e) => write!(f, "wal persist error: {e}"),
+            WalError::Session(msg) => write!(f, "wal replay error: {msg}"),
+            WalError::BadHeader(msg) => write!(f, "wal header error: {msg}"),
+            WalError::Corrupt { offset, what } => {
+                write!(f, "wal corruption at byte {offset}: expected {what}")
+            }
+            WalError::RecordTooLarge(n) => write!(f, "wal record too large: {n} bytes"),
+            WalError::TornWrite => write!(f, "wal append torn (injected); log doomed"),
+            WalError::SyncFailed => write!(f, "wal sync failed; unsynced tail dropped, log doomed"),
+            WalError::CheckpointKilled { renamed } => {
+                write!(
+                    f,
+                    "checkpoint killed (injected; snapshot renamed: {renamed})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+impl From<PersistError> for WalError {
+    fn from(e: PersistError) -> WalError {
+        WalError::Persist(e)
+    }
+}
+
+/// What one [`SessionLog::commit`] made durable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// Records appended (commit marker included); 0 when there was
+    /// nothing to log or the commit escalated to a checkpoint.
+    pub records: u64,
+    /// On-disk bytes appended (framing included).
+    pub bytes: u64,
+    /// Outcomes/deltas that cannot persist (polymorphic bindings,
+    /// function values) and were deliberately left out.
+    pub skipped: u64,
+    /// The commit escalated to a full checkpoint (dirty-set overflow,
+    /// or a doomed log self-healing).
+    pub checkpointed: bool,
+}
+
+/// What [`SessionLog::open`] found and replayed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bindings restored from the snapshot.
+    pub snapshot_bindings: usize,
+    /// Complete commit groups replayed from the log.
+    pub commits_replayed: u64,
+    /// Records applied from those groups (markers excluded).
+    pub records_replayed: u64,
+    /// A torn tail (partial frame, bad CRC, or uncommitted group) was
+    /// truncated — the normal signature of a crash mid-commit.
+    pub torn_tail_truncated: bool,
+    /// The log's generation predated the snapshot's (crash between
+    /// checkpoint steps); its contents were already compacted into the
+    /// snapshot and the log was discarded.
+    pub stale_log_discarded: bool,
+    /// Anything at all was restored (snapshot or log).
+    pub recovered: bool,
+}
+
+/// The write-ahead log and checkpoint state attached to one session.
+///
+/// On-disk layout under `dir`: `wal.log` (the delta log) and
+/// `snapshot.mach` (the last checkpoint). Both are generation-stamped;
+/// only a log whose generation matches the snapshot's replays.
+pub struct SessionLog {
+    dir: PathBuf,
+    file: std::fs::File,
+    /// The durable-id space of the current generation, shared by every
+    /// record since the last checkpoint.
+    reg: RefRegistry,
+    gen: u64,
+    /// Names with at least one durable bind record this generation —
+    /// the checkpoint's working set.
+    names: BTreeSet<String>,
+    /// Attributed ref writes awaiting their commit.
+    pending: DirtyRefs,
+    /// Set after a torn append or failed sync: appends refuse until a
+    /// checkpoint rebuilds durability from current state.
+    doomed: bool,
+    /// Byte length of the log known to be on disk and synced; appends
+    /// always start here.
+    synced_len: u64,
+}
+
+impl SessionLog {
+    /// Open (creating if absent) the durable state under `dir` and
+    /// recover it into `session`: snapshot first, then every complete
+    /// commit group of a generation-matching log; torn tails truncated,
+    /// stale logs discarded. Enables the thread's WAL dirty channel and
+    /// drains replay's own writes from it.
+    pub fn open(
+        dir: &Path,
+        session: &mut Session,
+    ) -> Result<(SessionLog, RecoveryReport), WalError> {
+        std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join("snapshot.mach");
+        let log_path = dir.join("wal.log");
+        // Stray temp files are debris of an interrupted atomic write;
+        // the rename never happened, so they hold nothing durable.
+        let _ = std::fs::remove_file(dir.join("snapshot.mach.tmp"));
+        let _ = std::fs::remove_file(dir.join("wal.log.tmp"));
+
+        set_wal_tracking(true);
+        let mut report = RecoveryReport::default();
+        let mut reg = RefRegistry::new();
+        let mut names = BTreeSet::new();
+        let mut gen = 0u64;
+
+        if let Ok(bytes) = std::fs::read(&snap_path) {
+            let (g, len, crc, hlen) = parse_snap_header(&bytes)?;
+            let payload = bytes
+                .get(hlen..hlen.saturating_add(len))
+                .filter(|p| p.len() == len && hlen + len == bytes.len())
+                .ok_or(WalError::Corrupt {
+                    offset: hlen as u64,
+                    what: "a snapshot payload matching its declared length",
+                })?;
+            if crc32(payload) != crc {
+                return Err(WalError::Corrupt {
+                    offset: hlen as u64,
+                    what: "a snapshot payload matching its checksum",
+                });
+            }
+            let mut pos = 0usize;
+            while pos < payload.len() {
+                let (name, ty, enc) = parse_bind_at(payload, &mut pos)?;
+                let value = decode_with_registry(&enc, &mut reg)?;
+                session
+                    .bind_external(&name, value, &ty)
+                    .map_err(|e| WalError::Session(e.to_string()))?;
+                names.insert(name);
+                report.snapshot_bindings += 1;
+            }
+            gen = g;
+            report.recovered = true;
+        }
+
+        let mut synced_len = 0u64;
+        let mut log_usable = false;
+        if let Ok(bytes) = std::fs::read(&log_path) {
+            let (log_gen, hlen) = parse_log_header(&bytes)?;
+            if log_gen == gen {
+                let scan = scan_records(&bytes, hlen);
+                for group in &scan.groups {
+                    for payload in group {
+                        apply_payload(payload, session, &mut reg, &mut names)?;
+                        report.records_replayed += 1;
+                    }
+                    report.commits_replayed += 1;
+                }
+                if report.commits_replayed > 0 {
+                    report.recovered = true;
+                }
+                if scan.torn {
+                    report.torn_tail_truncated = true;
+                    note_wal_torn_tail();
+                    let f = std::fs::OpenOptions::new().write(true).open(&log_path)?;
+                    f.set_len(scan.keep_len)?;
+                    f.sync_all()?;
+                }
+                synced_len = scan.keep_len;
+                log_usable = true;
+            } else {
+                // A crash landed between the checkpoint's snapshot
+                // rename and its log reset: every effect in this log is
+                // already inside the snapshot.
+                report.stale_log_discarded = true;
+            }
+        }
+        if !log_usable {
+            synced_len = create_log(&log_path, gen)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&log_path)?;
+        if report.recovered {
+            note_wal_recovery();
+        }
+        // Replay applied writes through `RefValue::set`; they are
+        // durable by construction and must not re-surface as the next
+        // commit's deltas.
+        let _ = take_wal_dirty_refs();
+        Ok((
+            SessionLog {
+                dir: dir.to_path_buf(),
+                file,
+                reg,
+                gen,
+                names,
+                pending: DirtyRefs::default(),
+                doomed: false,
+                synced_len,
+            },
+            report,
+        ))
+    }
+
+    /// The directory holding `wal.log` and `snapshot.mach`.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current generation (incremented by every checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Whether a torn append or failed sync has doomed the log. The
+    /// next [`SessionLog::commit`] heals it with a full checkpoint.
+    pub fn is_doomed(&self) -> bool {
+        self.doomed
+    }
+
+    /// Names with durable state this generation.
+    pub fn tracked_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Drain the thread's WAL dirty channel into this log's pending
+    /// set. Call after *any* evaluation on the attached session —
+    /// including failed ones, whose partial ref writes are real — and
+    /// before evaluating any other session on this thread.
+    /// [`SessionLog::commit`] does this itself.
+    pub fn absorb_dirty(&mut self) {
+        let drained = take_wal_dirty_refs();
+        if drained.overflowed || self.pending.overflowed {
+            self.pending.ids.clear();
+            self.pending.overflowed = true;
+            return;
+        }
+        self.pending.ids.extend(drained.ids);
+        if self.pending.ids.len() > DIRTY_REFS_CAP {
+            self.pending.ids.clear();
+            self.pending.overflowed = true;
+        }
+    }
+
+    /// Make one evaluation durable: bind records for `outcomes`,
+    /// ref-delta records for every attributed write since the last
+    /// commit, one commit marker, one sync. Flat in session size — cost
+    /// scales with what changed, not with what exists.
+    ///
+    /// Escalates to a full [`SessionLog::checkpoint`] when attribution
+    /// was lost (dirty-set overflow / unattributed write) or the log is
+    /// doomed. On [`WalError::TornWrite`] / [`WalError::SyncFailed`]
+    /// the evaluation is *not* durable and the log is doomed.
+    pub fn commit(
+        &mut self,
+        session: &Session,
+        outcomes: &[Outcome],
+    ) -> Result<CommitReceipt, WalError> {
+        self.absorb_dirty();
+        let mut skipped = 0u64;
+        if self.doomed || self.pending.overflowed {
+            self.pending = DirtyRefs::default();
+            // Re-track every outcome name so a brand-new binding isn't
+            // dropped by a checkpoint that only walks tracked names.
+            for o in outcomes {
+                self.names.insert(o.name.to_string());
+            }
+            self.checkpoint(session)?;
+            return Ok(CommitReceipt {
+                checkpointed: true,
+                ..CommitReceipt::default()
+            });
+        }
+
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        for o in outcomes {
+            let name = o.name.to_string();
+            match session.persistable_binding(&name) {
+                Some((ty, value)) => match encode_with_registry(&value, &mut self.reg) {
+                    Ok(enc) => {
+                        payloads.push(build_bind(&name, &ty, &enc));
+                        self.names.insert(name);
+                    }
+                    Err(PersistError::NotADescription) => skipped += 1,
+                    Err(e) => return Err(WalError::Persist(e)),
+                },
+                None => skipped += 1,
+            }
+        }
+        let mut dirty: Vec<u64> = self.pending.ids.drain().collect();
+        dirty.sort_unstable();
+        for session_ref_id in dirty {
+            // Unregistered cells are unreachable from durable state; if
+            // one just *became* reachable, the bind above carried its
+            // full contents already.
+            let Some(did) = self.reg.durable_id(session_ref_id) else {
+                continue;
+            };
+            let Some(cell) = self.reg.cell(did).cloned() else {
+                continue;
+            };
+            match encode_with_registry(&cell.get(), &mut self.reg) {
+                Ok(enc) => payloads.push(build_delta(did, &enc)),
+                // A durable cell assigned a function value: the write
+                // cannot persist; the cell keeps its last durable
+                // contents across recovery.
+                Err(PersistError::NotADescription) => skipped += 1,
+                Err(e) => return Err(WalError::Persist(e)),
+            }
+        }
+        if payloads.is_empty() {
+            return Ok(CommitReceipt {
+                skipped,
+                ..CommitReceipt::default()
+            });
+        }
+
+        let mut buf = Vec::new();
+        for p in &payloads {
+            frame_record(p, &mut buf)?;
+        }
+        frame_record(COMMIT, &mut buf)?;
+        let records = payloads.len() as u64 + 1;
+        self.append_synced(&buf)?;
+        note_wal_append(records, buf.len() as u64);
+        note_wal_commit();
+        Ok(CommitReceipt {
+            records,
+            bytes: buf.len() as u64,
+            skipped,
+            checkpointed: false,
+        })
+    }
+
+    /// One batched, synced append at the trusted end of the log, with
+    /// the torn-write and sync-failure fail points.
+    fn append_synced(&mut self, buf: &[u8]) -> Result<(), WalError> {
+        self.file.seek(SeekFrom::Start(self.synced_len))?;
+        if faults::wal_torn_due() {
+            // A kill mid-`write(2)`: a seeded prefix lands, nothing is
+            // trusted past the old synced length, and this log stops
+            // accepting appends until a checkpoint rebuilds it.
+            let cut = faults::torn_cut(buf.len());
+            let _ = self.file.write_all(&buf[..cut]);
+            let _ = self.file.sync_data();
+            self.doomed = true;
+            return Err(WalError::TornWrite);
+        }
+        self.file.write_all(buf)?;
+        let sync_failed = if faults::wal_sync_fails() {
+            true
+        } else {
+            self.file.sync_data().is_err()
+        };
+        if sync_failed {
+            // The kernel may or may not have persisted the tail; the
+            // only safe model is "it did not". Cut the file back so a
+            // later recovery can never observe a commit this process
+            // reported as failed.
+            let _ = self.file.set_len(self.synced_len);
+            let _ = self.file.sync_data();
+            self.doomed = true;
+            return Err(WalError::SyncFailed);
+        }
+        self.synced_len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Compact current session state into a fresh generation: snapshot
+    /// written via temp + rename, then the log reset to the new
+    /// generation. Crash-safe at every step — an interrupted checkpoint
+    /// leaves either the old state (snapshot not yet renamed) or the
+    /// new snapshot plus a stale log that recovery discards.
+    pub fn checkpoint(&mut self, session: &Session) -> Result<(), WalError> {
+        self.absorb_dirty();
+        // Any failure below leaves disk state ambiguous relative to
+        // memory; doom appends until a checkpoint fully succeeds.
+        self.doomed = true;
+        let mut reg = RefRegistry::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut kept = BTreeSet::new();
+        for name in &self.names {
+            // Dropped or no-longer-persistable names fall out of the
+            // snapshot (a rebind to a function value does not persist).
+            let Some((ty, value)) = session.persistable_binding(name) else {
+                continue;
+            };
+            match encode_with_registry(&value, &mut reg) {
+                Ok(enc) => {
+                    payload.extend_from_slice(&build_bind(name, &ty, &enc));
+                    kept.insert(name.clone());
+                }
+                Err(PersistError::NotADescription) => continue,
+                Err(e) => return Err(WalError::Persist(e)),
+            }
+        }
+        let next_gen = self.gen + 1;
+        if faults::checkpoint_kill_due() {
+            return Err(WalError::CheckpointKilled { renamed: false });
+        }
+        let mut snap = snap_header(next_gen, payload.len(), crc32(&payload)).into_bytes();
+        snap.extend_from_slice(&payload);
+        write_atomic(&self.dir.join("snapshot.mach"), &snap)?;
+        if faults::checkpoint_kill_due() {
+            return Err(WalError::CheckpointKilled { renamed: true });
+        }
+        let log_path = self.dir.join("wal.log");
+        self.synced_len = create_log(&log_path, next_gen)?;
+        self.file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&log_path)?;
+        self.gen = next_gen;
+        self.reg = reg;
+        self.names = kept;
+        self.pending = DirtyRefs::default();
+        self.doomed = false;
+        note_wal_checkpoint();
+        Ok(())
+    }
+
+    /// Read the log back and count its complete commit groups (testing
+    /// and diagnostics; recovery proper goes through `open`).
+    pub fn committed_groups(&mut self) -> Result<u64, WalError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        let (_, hlen) = parse_log_header(&bytes)?;
+        Ok(scan_records(&bytes, hlen).groups.len() as u64)
+    }
+}
+
+/// Write a fresh log containing only a generation header, atomically,
+/// returning its length (the initial synced watermark).
+fn create_log(path: &Path, gen: u64) -> Result<u64, WalError> {
+    let header = log_header(gen);
+    write_atomic(path, header.as_bytes())?;
+    Ok(header.len() as u64)
+}
+
+fn apply_payload(
+    payload: &[u8],
+    session: &mut Session,
+    reg: &mut RefRegistry,
+    names: &mut BTreeSet<String>,
+) -> Result<(), WalError> {
+    match parse_payload(payload)? {
+        Payload::Bind { name, ty, enc } => {
+            let value = decode_with_registry(&enc, reg)?;
+            session
+                .bind_external(&name, value, &ty)
+                .map_err(|e| WalError::Session(e.to_string()))?;
+            names.insert(name);
+        }
+        Payload::Delta { durable_id, enc } => {
+            let Some(cell) = reg.cell(durable_id).cloned() else {
+                return Err(WalError::Corrupt {
+                    offset: 0,
+                    what: "a delta naming a known durable ref",
+                });
+            };
+            let value = decode_with_registry(&enc, reg)?;
+            cell.set(value);
+        }
+        // Markers are group boundaries; the scanner strips them, but a
+        // stray one is harmless.
+        Payload::Commit => {}
+    }
+    Ok(())
+}
+
+/// A [`Session`] bundled with its [`SessionLog`]: evaluate, commit,
+/// recover — the shape the crash-recovery harness and single-process
+/// embedders use. (The server composes `Session` + `SessionLog`
+/// directly, one pair per slot.)
+pub struct DurableSession {
+    session: Session,
+    log: SessionLog,
+}
+
+impl DurableSession {
+    /// Open with a full prelude session ([`Session::new`]).
+    pub fn open(dir: &Path) -> Result<(DurableSession, RecoveryReport), WalError> {
+        let mut session = Session::try_new().map_err(|e| WalError::Session(e.to_string()))?;
+        let (log, report) = SessionLog::open(dir, &mut session)?;
+        Ok((DurableSession { session, log }, report))
+    }
+
+    /// Open with a prelude-less session ([`Session::bare`]) — the
+    /// harness's fast path.
+    pub fn open_bare(dir: &Path) -> Result<(DurableSession, RecoveryReport), WalError> {
+        let mut session = Session::bare();
+        let (log, report) = SessionLog::open(dir, &mut session)?;
+        Ok((DurableSession { session, log }, report))
+    }
+
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable session access. Changes made here are durable only once
+    /// a later [`DurableSession::eval`] or
+    /// [`DurableSession::checkpoint`] captures them.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    pub fn log(&self) -> &SessionLog {
+        &self.log
+    }
+
+    /// Evaluate `src` and commit its effects. On an evaluation error
+    /// nothing commits, but partial ref writes are absorbed and ride
+    /// with the next commit (they happened; durability must not forget
+    /// them). A program failing at phrase *k* leaves phrases `0..k`
+    /// bound in memory but not yet durable — single-phrase programs
+    /// sidestep the distinction.
+    pub fn eval(&mut self, src: &str) -> Result<(Vec<Outcome>, CommitReceipt), WalError> {
+        match self.session.run(src) {
+            Ok(outcomes) => {
+                let receipt = self.log.commit(&self.session, &outcomes)?;
+                Ok((outcomes, receipt))
+            }
+            Err(e) => {
+                self.log.absorb_dirty();
+                Err(WalError::Session(e.to_string()))
+            }
+        }
+    }
+
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        self.log.checkpoint(&self.session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machiavelli_value::{RefValue, Value};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mach-wal-{tag}-{}-{}",
+            std::process::id(),
+            RefValue::new(Value::Unit).id
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bindings_survive_reopen() {
+        let dir = tempdir("reopen");
+        {
+            let (mut ds, report) = DurableSession::open_bare(&dir).unwrap();
+            assert!(!report.recovered);
+            let (_, r) = ds.eval("val x = 41;").unwrap();
+            assert!(r.records > 0);
+            ds.eval("val y = x + 1;").unwrap();
+        }
+        let (mut ds, report) = DurableSession::open_bare(&dir).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.commits_replayed, 2);
+        assert!(!report.torn_tail_truncated);
+        assert_eq!(
+            ds.eval("y;").unwrap().0.pop().unwrap().show(),
+            "val it = 42 : int"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ref_deltas_replay_and_sharing_survives() {
+        let dir = tempdir("deltas");
+        {
+            let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+            ds.eval("val d = ref(45);").unwrap();
+            ds.eval("val d2 = d;").unwrap();
+            // A pure ref write: no bind outcome beyond `it = ()`, so
+            // durability rides on the delta record.
+            let (_, r) = ds.eval("d := 67;").unwrap();
+            assert!(r.records > 0 && !r.checkpointed);
+        }
+        let (mut ds, report) = DurableSession::open_bare(&dir).unwrap();
+        assert_eq!(report.commits_replayed, 3);
+        assert_eq!(
+            ds.eval("!d;").unwrap().0.pop().unwrap().show(),
+            "val it = 67 : int"
+        );
+        // d and d2 still alias one cell.
+        ds.eval("d2 := 99;").unwrap();
+        assert_eq!(
+            ds.eval("!d;").unwrap().0.pop().unwrap().show(),
+            "val it = 99 : int"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_resets_generation() {
+        let dir = tempdir("ckpt");
+        {
+            let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+            ds.eval("val a = 1;").unwrap();
+            ds.eval("val b = ref(2);").unwrap();
+            assert_eq!(ds.log().generation(), 0);
+            ds.checkpoint().unwrap();
+            assert_eq!(ds.log().generation(), 1);
+            // Post-checkpoint commits land in the new generation's log.
+            ds.eval("b := 3;").unwrap();
+        }
+        let (mut ds, report) = DurableSession::open_bare(&dir).unwrap();
+        assert_eq!(report.snapshot_bindings, 2, "a and b");
+        assert_eq!(report.commits_replayed, 1, "only the post-checkpoint delta");
+        assert_eq!(
+            ds.eval("!b;").unwrap().0.pop().unwrap().show(),
+            "val it = 3 : int"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn functions_are_skipped_not_fatal() {
+        let dir = tempdir("skip");
+        {
+            let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+            let (_, r) = ds.eval("fun f(x) = x;").unwrap();
+            assert!(r.skipped > 0, "{r:?}");
+            ds.eval("val n = 5;").unwrap();
+        }
+        let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+        assert_eq!(
+            ds.eval("n;").unwrap().0.pop().unwrap().show(),
+            "val it = 5 : int"
+        );
+        assert!(ds.eval("f(1);").is_err(), "functions do not persist");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_commit_appends_nothing() {
+        let dir = tempdir("empty");
+        let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+        ds.eval("val x = 1;").unwrap();
+        let before = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        let receipt = ds.log.commit(
+            &Session::bare(), // no outcomes, no dirty refs
+            &[],
+        );
+        assert_eq!(receipt.unwrap().records, 0);
+        let after = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

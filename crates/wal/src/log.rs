@@ -1,0 +1,382 @@
+//! The on-disk grammar of the durability layer: version-stamped file
+//! headers, CRC-framed records, and the record payload formats.
+//!
+//! # Log file (`wal.log`)
+//!
+//! ```text
+//! MACHWAL v1 gen <G>\n            ASCII header, generation-stamped
+//! [u32 len][u32 crc][payload]     repeated; little-endian, crc of payload
+//! ```
+//!
+//! # Record payloads
+//!
+//! ```text
+//! B<nlen>:<name><tlen>:<type><elen>:<enc>   bind/rebind of a top-level name
+//! R<durable-id>.<elen>:<enc>                ref-cell delta (registry id)
+//! C                                         commit marker (group boundary)
+//! ```
+//!
+//! `<enc>` payloads are the `persist.rs` value grammar threaded through
+//! one [`RefRegistry`](machiavelli::persist::RefRegistry) per
+//! generation, so sharing and cycles survive *across* records.
+//!
+//! # Snapshot file (`snapshot.mach`)
+//!
+//! ```text
+//! MACHSNAP v1 gen <G> len <N> crc <C>\n
+//! <N bytes: concatenated B payloads>
+//! ```
+//!
+//! Records are only trusted between a valid frame *and* a commit
+//! marker: recovery applies complete groups and truncates everything
+//! after the last one — a torn tail is a normal crash artifact, not
+//! corruption. The snapshot, by contrast, is written atomically
+//! (temp + rename), so a snapshot failing its length or CRC check *is*
+//! corruption and recovery refuses it loudly.
+
+use crate::crc::crc32;
+use crate::WalError;
+
+/// Bytes of framing per record: u32 length + u32 CRC.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// The commit-marker payload closing each record group.
+pub const COMMIT: &[u8] = b"C";
+
+/// Format version stamped into both headers. Readers reject anything
+/// else — versioning is how a future format change avoids silently
+/// misparsing an old file.
+pub const FORMAT_VERSION: u32 = 1;
+
+pub fn log_header(gen: u64) -> String {
+    format!("MACHWAL v{FORMAT_VERSION} gen {gen}\n")
+}
+
+pub fn snap_header(gen: u64, len: usize, crc: u32) -> String {
+    format!("MACHSNAP v{FORMAT_VERSION} gen {gen} len {len} crc {crc}\n")
+}
+
+fn header_error(what: &'static str) -> WalError {
+    WalError::BadHeader(what.to_string())
+}
+
+/// Split the first line off `bytes` and parse `magic v<V> <fields…>`,
+/// returning the fields and the header's byte length (incl. newline).
+fn parse_header_line<'a>(
+    bytes: &'a [u8],
+    magic: &'static str,
+) -> Result<(Vec<&'a str>, usize), WalError> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| header_error("missing header line"))?;
+    let line = std::str::from_utf8(&bytes[..nl]).map_err(|_| header_error("non-utf8 header"))?;
+    let mut parts = line.split(' ');
+    if parts.next() != Some(magic) {
+        return Err(header_error("wrong magic"));
+    }
+    let version = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| header_error("missing version"))?;
+    if version != FORMAT_VERSION {
+        return Err(header_error("unsupported format version"));
+    }
+    Ok((parts.collect(), nl + 1))
+}
+
+fn keyed_u64(fields: &[&str], key: &str) -> Result<u64, WalError> {
+    fields
+        .windows(2)
+        .find(|w| w[0] == key)
+        .and_then(|w| w[1].parse::<u64>().ok())
+        .ok_or_else(|| WalError::BadHeader(format!("missing `{key}` field")))
+}
+
+/// Parse a log header, returning `(generation, header_len)`.
+pub fn parse_log_header(bytes: &[u8]) -> Result<(u64, usize), WalError> {
+    let (fields, len) = parse_header_line(bytes, "MACHWAL")?;
+    Ok((keyed_u64(&fields, "gen")?, len))
+}
+
+/// Parse a snapshot header, returning
+/// `(generation, payload_len, payload_crc, header_len)`.
+pub fn parse_snap_header(bytes: &[u8]) -> Result<(u64, usize, u32, usize), WalError> {
+    let (fields, hlen) = parse_header_line(bytes, "MACHSNAP")?;
+    let gen = keyed_u64(&fields, "gen")?;
+    let len = usize::try_from(keyed_u64(&fields, "len")?)
+        .map_err(|_| header_error("payload length overflows"))?;
+    let crc =
+        u32::try_from(keyed_u64(&fields, "crc")?).map_err(|_| header_error("crc overflows u32"))?;
+    Ok((gen, len, crc, hlen))
+}
+
+/// Append one framed record (`[len][crc][payload]`) to `out`.
+pub fn frame_record(payload: &[u8], out: &mut Vec<u8>) -> Result<(), WalError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WalError::RecordTooLarge(payload.len()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// The result of scanning a log body for committed record groups.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Payloads of every complete (commit-marker-terminated) group, in
+    /// log order, commit markers excluded.
+    pub groups: Vec<Vec<Vec<u8>>>,
+    /// File offset just past the last complete group — the watermark a
+    /// recovering log truncates to.
+    pub keep_len: u64,
+    /// Whether anything past `keep_len` was dropped: a torn frame, a
+    /// CRC mismatch, or complete records missing their commit marker.
+    pub torn: bool,
+}
+
+/// Scan `bytes[start..]` for framed records grouped by commit markers.
+/// Never errors: the first byte that fails to frame or checksum ends
+/// the trusted region (torn tail), as does a trailing group with no
+/// commit marker.
+pub fn scan_records(bytes: &[u8], start: usize) -> ScanResult {
+    let mut pos = start;
+    let mut group: Vec<Vec<u8>> = Vec::new();
+    let mut out = ScanResult {
+        keep_len: start as u64,
+        ..ScanResult::default()
+    };
+    while pos < bytes.len() {
+        let Some(frame) = bytes.get(pos..pos + FRAME_OVERHEAD) else {
+            break; // torn frame header
+        };
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        let body_start = pos + FRAME_OVERHEAD;
+        let Some(payload) = body_start
+            .checked_add(len)
+            .and_then(|end| bytes.get(body_start..end))
+        else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // corrupt record: everything from here is untrusted
+        }
+        pos = body_start + len;
+        if payload == COMMIT {
+            out.groups.push(std::mem::take(&mut group));
+            out.keep_len = pos as u64;
+        } else {
+            group.push(payload.to_vec());
+        }
+    }
+    out.torn = out.keep_len < bytes.len() as u64;
+    out
+}
+
+/// A decoded record payload.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Payload {
+    Bind {
+        name: String,
+        ty: String,
+        enc: String,
+    },
+    Delta {
+        durable_id: u64,
+        enc: String,
+    },
+    Commit,
+}
+
+/// Build a bind payload: `B<nlen>:<name><tlen>:<ty><elen>:<enc>`.
+pub fn build_bind(name: &str, ty: &str, enc: &str) -> Vec<u8> {
+    format!("B{}:{name}{}:{ty}{}:{enc}", name.len(), ty.len(), enc.len()).into_bytes()
+}
+
+/// Build a ref-delta payload: `R<durable-id>.<elen>:<enc>`.
+pub fn build_delta(durable_id: u64, enc: &str) -> Vec<u8> {
+    format!("R{durable_id}.{}:{enc}", enc.len()).into_bytes()
+}
+
+fn corrupt(offset: usize, what: &'static str) -> WalError {
+    WalError::Corrupt {
+        offset: offset as u64,
+        what,
+    }
+}
+
+fn read_number(bytes: &[u8], pos: &mut usize) -> Result<u64, WalError> {
+    let start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| corrupt(start, "a decimal number"))
+}
+
+fn read_sized(bytes: &[u8], pos: &mut usize) -> Result<String, WalError> {
+    let n = usize::try_from(read_number(bytes, pos)?).map_err(|_| corrupt(*pos, "a length"))?;
+    if bytes.get(*pos) != Some(&b':') {
+        return Err(corrupt(*pos, "`:` after length"));
+    }
+    *pos += 1;
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| corrupt(*pos, "length-prefixed bytes"))?;
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| corrupt(*pos, "utf-8 bytes"))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+/// Parse one bind payload starting at `*pos`, advancing past it. Used
+/// both for log records (where the payload is exactly one entry) and
+/// snapshot payloads (a concatenated sequence).
+pub fn parse_bind_at(bytes: &[u8], pos: &mut usize) -> Result<(String, String, String), WalError> {
+    if bytes.get(*pos) != Some(&b'B') {
+        return Err(corrupt(*pos, "a `B` bind tag"));
+    }
+    *pos += 1;
+    let name = read_sized(bytes, pos)?;
+    let ty = read_sized(bytes, pos)?;
+    let enc = read_sized(bytes, pos)?;
+    Ok((name, ty, enc))
+}
+
+/// Parse a full record payload.
+pub fn parse_payload(bytes: &[u8]) -> Result<Payload, WalError> {
+    match bytes.first() {
+        Some(b'C') if bytes.len() == 1 => Ok(Payload::Commit),
+        Some(b'B') => {
+            let mut pos = 0;
+            let (name, ty, enc) = parse_bind_at(bytes, &mut pos)?;
+            if pos != bytes.len() {
+                return Err(corrupt(pos, "end of bind payload"));
+            }
+            Ok(Payload::Bind { name, ty, enc })
+        }
+        Some(b'R') => {
+            let mut pos = 1;
+            let durable_id = read_number(bytes, &mut pos)?;
+            if bytes.get(pos) != Some(&b'.') {
+                return Err(corrupt(pos, "`.` after durable id"));
+            }
+            pos += 1;
+            let enc = read_sized(bytes, &mut pos)?;
+            if pos != bytes.len() {
+                return Err(corrupt(pos, "end of delta payload"));
+            }
+            Ok(Payload::Delta { durable_id, enc })
+        }
+        _ => Err(corrupt(0, "a record tag (B, R, or C)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_roundtrip() {
+        let h = log_header(7);
+        let (gen, len) = parse_log_header(h.as_bytes()).unwrap();
+        assert_eq!((gen, len), (7, h.len()));
+        let h = snap_header(3, 120, 0xDEAD_BEEF);
+        let (gen, plen, crc, hlen) = parse_snap_header(h.as_bytes()).unwrap();
+        assert_eq!((gen, plen, crc, hlen), (3, 120, 0xDEAD_BEEF, h.len()));
+    }
+
+    #[test]
+    fn headers_reject_wrong_magic_and_version() {
+        assert!(parse_log_header(b"MACHSNAP v1 gen 0\n").is_err());
+        assert!(parse_log_header(b"MACHWAL v2 gen 0\n").is_err());
+        assert!(parse_log_header(b"MACHWAL v1\n").is_err());
+        assert!(parse_log_header(b"MACHWAL v1 gen 0").is_err(), "no newline");
+        assert!(parse_snap_header(b"MACHSNAP v1 gen 0 len 1\n").is_err());
+    }
+
+    #[test]
+    fn payloads_roundtrip() {
+        let b = build_bind("db", "{[A: int]}", "refs0{}u");
+        assert_eq!(
+            parse_payload(&b).unwrap(),
+            Payload::Bind {
+                name: "db".into(),
+                ty: "{[A: int]}".into(),
+                enc: "refs0{}u".into()
+            }
+        );
+        let d = build_delta(9, "refs0{}i1:");
+        assert_eq!(
+            parse_payload(&d).unwrap(),
+            Payload::Delta {
+                durable_id: 9,
+                enc: "refs0{}i1:".into()
+            }
+        );
+        assert_eq!(parse_payload(COMMIT).unwrap(), Payload::Commit);
+        assert!(parse_payload(b"X").is_err());
+        assert!(parse_payload(b"").is_err());
+        assert!(parse_payload(b"B2:db").is_err(), "truncated bind");
+    }
+
+    #[test]
+    fn scan_applies_only_complete_groups() {
+        let mut body = Vec::new();
+        frame_record(&build_bind("a", "int", "refs0{}i1:"), &mut body).unwrap();
+        frame_record(COMMIT, &mut body).unwrap();
+        let after_first = body.len();
+        frame_record(&build_bind("b", "int", "refs0{}i2:"), &mut body).unwrap();
+        // No commit marker for the second group: it must be dropped.
+        let scan = scan_records(&body, 0);
+        assert_eq!(scan.groups.len(), 1);
+        assert_eq!(scan.keep_len, after_first as u64);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn scan_truncates_torn_and_corrupt_tails() {
+        let mut body = Vec::new();
+        frame_record(&build_bind("a", "int", "refs0{}i1:"), &mut body).unwrap();
+        frame_record(COMMIT, &mut body).unwrap();
+        let good = body.len();
+        frame_record(&build_bind("b", "int", "refs0{}i2:"), &mut body).unwrap();
+        frame_record(COMMIT, &mut body).unwrap();
+        // Tear at every byte of the second group: exactly the first
+        // group survives, never a panic, never a partial application.
+        for cut in good + 1..body.len() {
+            let scan = scan_records(&body[..cut], 0);
+            assert_eq!(scan.groups.len(), 1, "cut {cut}");
+            assert_eq!(scan.keep_len, good as u64, "cut {cut}");
+            assert!(scan.torn, "cut {cut}");
+        }
+        // Flip one payload byte of the second group: same outcome.
+        let mut corrupt = body.clone();
+        corrupt[good + FRAME_OVERHEAD] ^= 0x40;
+        let scan = scan_records(&corrupt, 0);
+        assert_eq!(scan.groups.len(), 1);
+        assert!(scan.torn);
+        // Untouched log: both groups, nothing torn.
+        let scan = scan_records(&body, 0);
+        assert_eq!(scan.groups.len(), 2);
+        assert!(!scan.torn);
+        assert_eq!(scan.keep_len, body.len() as u64);
+    }
+
+    #[test]
+    fn scan_rejects_hostile_frame_lengths() {
+        // A frame claiming u32::MAX payload bytes on a short file must
+        // land in "torn tail", not an allocation or a panic.
+        let mut body = vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0];
+        body.extend_from_slice(b"short");
+        let scan = scan_records(&body, 0);
+        assert!(scan.groups.is_empty());
+        assert_eq!(scan.keep_len, 0);
+        assert!(scan.torn);
+    }
+}
