@@ -20,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use machiavelli::value::governor;
 use machiavelli_server::faults::FaultConfig;
-use machiavelli_server::{Server, ServerConfig, ServerError};
+use machiavelli_server::{Server, ServerConfig, ServerError, ServerRole};
 use std::time::Duration;
 
 const SESSIONS: usize = 100;
@@ -54,6 +54,7 @@ fn primed_server(workers: usize, faults: Option<FaultConfig>) -> (Server, Vec<u6
         shared_store: true,
         faults: Some(faults.unwrap_or_else(FaultConfig::off)),
         durable_root: None,
+        role: ServerRole::Primary,
     });
     let setup = indexed_setup();
     let sids: Vec<u64> = (0..SESSIONS)

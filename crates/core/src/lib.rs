@@ -44,7 +44,7 @@ pub use persist::{
     PersistError, RefRegistry,
 };
 pub use repl::run_repl;
-pub use session::{Outcome, Session, SessionStats};
+pub use session::{is_read_only_source, Outcome, Session, SessionStats};
 
 pub use machiavelli_eval as eval;
 pub use machiavelli_plan as plan;

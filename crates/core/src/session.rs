@@ -704,6 +704,94 @@ fn render_query_trace(out: &mut String, q: &machiavelli_trace::QueryTrace) {
     }
 }
 
+/// Whether `src` can run on a read-only replica: every phrase is a bare
+/// expression (no `val`/`fun` declarations, which durably bind names)
+/// containing no `:=` assignment anywhere. A bare expression still
+/// rebinds the scratch `it` — that is replica-local and overwritten by
+/// the next shipped bind, so it does not count as a write.
+///
+/// Unparsable sources are reported read-only: the evaluator will
+/// surface the real parse error, which is strictly more useful than a
+/// misleading `ERR read-only`.
+pub fn is_read_only_source(src: &str) -> bool {
+    let Ok(program) = parse_program(src) else {
+        return true;
+    };
+    let mut work: Vec<&Expr> = Vec::new();
+    for phrase in &program {
+        match &phrase.kind {
+            PhraseKind::Val { .. } | PhraseKind::Fun { .. } => return false,
+            PhraseKind::Expr(e) => work.push(e),
+        }
+    }
+    // Iterative walk: query expressions can nest arbitrarily deep.
+    while let Some(e) = work.pop() {
+        match &e.kind {
+            ExprKind::Assign { .. } => return false,
+            ExprKind::Unit
+            | ExprKind::Int(_)
+            | ExprKind::Real(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Var(_)
+            | ExprKind::OpVal(_)
+            | ExprKind::Raise(_) => {}
+            ExprKind::Lambda { body, .. } => work.push(body),
+            ExprKind::App { func, args } => {
+                work.push(func);
+                work.extend(args.iter());
+            }
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => work.extend([cond.as_ref(), then_branch, else_branch]),
+            ExprKind::Record(fields) => work.extend(fields.iter().map(|(_, e)| e)),
+            ExprKind::Modify { expr, value, .. } => work.extend([expr.as_ref(), value]),
+            ExprKind::Field { expr, .. }
+            | ExprKind::Inject { expr, .. }
+            | ExprKind::As { expr, .. }
+            | ExprKind::Project { expr, .. }
+            | ExprKind::Ref(expr)
+            | ExprKind::Deref(expr)
+            | ExprKind::Unop { expr, .. }
+            | ExprKind::Rec { body: expr, .. }
+            | ExprKind::MakeDynamic(expr)
+            | ExprKind::Coerce { expr, .. } => work.push(expr),
+            ExprKind::Case {
+                expr,
+                arms,
+                default,
+            } => {
+                work.push(expr);
+                work.extend(arms.iter().map(|a| &a.body));
+                if let Some(d) = default {
+                    work.push(d);
+                }
+            }
+            ExprKind::Set(items) => work.extend(items.iter()),
+            ExprKind::Union { left, right }
+            | ExprKind::Unionc { left, right }
+            | ExprKind::Con { left, right }
+            | ExprKind::Join { left, right }
+            | ExprKind::Binop { left, right, .. } => work.extend([left.as_ref(), right]),
+            ExprKind::Hom { f, op, z, set } => work.extend([f.as_ref(), op, z, set]),
+            ExprKind::HomStar { f, op, set } => work.extend([f.as_ref(), op, set]),
+            ExprKind::Let { bound, body, .. } => work.extend([bound.as_ref(), body]),
+            ExprKind::Select {
+                result,
+                generators,
+                pred,
+            } => {
+                work.push(result);
+                work.extend(generators.iter().map(|g| &g.source));
+                work.push(pred);
+            }
+        }
+    }
+    true
+}
+
 /// Human-scale time with one stable decimal (`0ns` under a zeroed
 /// trace clock, so golden tests pin the full rendering).
 fn fmt_ns(ns: u64) -> String {
@@ -721,6 +809,40 @@ fn fmt_ns(ns: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn read_only_classification() {
+        // Pure queries, however nested, are read-only.
+        for src in [
+            "1 + 2;",
+            "!r;",
+            "select x.Name where x <- S with x.Salary > 100000;",
+            "let val x = !r in x + 1 end;",
+            "hom(fn (x) => x, +, 0, {1, 2});",
+            "case v of a of x => x, other => 0;",
+            "modify(p, Age, 21);",
+            "(fn (x) => !x)(r);",
+            "ref(1);",                // a fresh local cell, never durable
+            "this does not parse;;;", // evaluator surfaces the real error
+        ] {
+            assert!(is_read_only_source(src), "{src}");
+        }
+        // Declarations and assignments — anywhere — are writes.
+        for src in [
+            "val x = 1;",
+            "fun f(x) = x;",
+            "r := 1;",
+            "1; r := 2; 3;",
+            "let val x = 1 in r := x end;",
+            "if b then r := 1 else ();",
+            "(fn (x) => x := 1)(r);",
+            "{r := 1};",
+            "select (r := 1) where x <- S with true;",
+            "modify(p, Age, (fn (u) => (q := 1))(()));",
+        ] {
+            assert!(!is_read_only_source(src), "{src}");
+        }
+    }
 
     #[test]
     fn simple_session() {

@@ -1,0 +1,31 @@
+//! WAL-shipping replication for Machiavelli.
+//!
+//! A primary streams its committed WAL groups, per durable session, to
+//! follower nodes; followers apply them through the same machinery
+//! crash recovery uses, so a follower's log is **byte-identical** to
+//! the primary's acked prefix — identical state by construction, with
+//! pointer identity included.
+//!
+//! Three layers:
+//!
+//! * [`node`] — [`ReplNode`], a single-process replication endpoint
+//!   (one `Session` + `SessionLog` with a role). The chaos harness
+//!   drives pairs of these through kills, torn ships, and promotions.
+//! * [`client`] — [`Replicator`], the background thread a follower
+//!   server runs: dials the primary's wire port, pulls `SHIP` chunks
+//!   per session with exponential backoff + jitter, applies them to
+//!   the local [`machiavelli_server::Server`], and `ACK`s.
+//! * `machid` (binary) — the TCP server, now role-aware
+//!   (`MACHID_ROLE=primary|follower`) with graceful `SIGTERM`
+//!   shutdown: stop accepting, drain in-flight work, checkpoint every
+//!   durable session, flush replication acks.
+//!
+//! The contract (stream format, cursor/fencing rules, failover
+//! semantics, knobs) is documented in `docs/REPLICATION.md`.
+
+pub mod client;
+pub mod node;
+pub mod proto;
+
+pub use client::{Replicator, ReplicatorConfig, ReplicatorStatus};
+pub use node::{NodeError, PullOutcome, ReplNode, Role};

@@ -43,6 +43,20 @@ pub enum ServerError {
     /// The server is shutting down (or the worker backing this session
     /// failed to start and requests to it cannot be served).
     Shutdown,
+    /// This server is a read-only follower: the request would write
+    /// (a `val`/`fun` declaration, a `:=` assignment, or a `SAVE`) and
+    /// writes belong on the primary.
+    ReadOnly,
+    /// A shipped commit group carried a stale generation — a fenced old
+    /// primary replaying after a promotion. Rejected whole.
+    StaleGeneration { got: u64, have: u64 },
+    /// A replication transfer failed (diverged follower, bad transfer
+    /// payload, or a replication request against a non-durable server).
+    Replication(String),
+    /// A request line exceeded the server's line cap
+    /// (`MACHID_MAX_LINE_BYTES`); the oversized line was discarded and
+    /// the connection stays usable.
+    LineTooLong(usize),
 }
 
 impl ServerError {
@@ -60,6 +74,10 @@ impl ServerError {
             ServerError::SessionInit(_) => "session-init",
             ServerError::Durability(_) => "durability",
             ServerError::Shutdown => "shutdown",
+            ServerError::ReadOnly => "read-only",
+            ServerError::StaleGeneration { .. } => "stale-generation",
+            ServerError::Replication(_) => "replication",
+            ServerError::LineTooLong(_) => "protocol",
         }
     }
 
@@ -89,6 +107,23 @@ impl fmt::Display for ServerError {
             ServerError::SessionInit(msg) => write!(f, "session init failed: {msg}"),
             ServerError::Durability(msg) => write!(f, "durability failure: {msg}"),
             ServerError::Shutdown => write!(f, "server is shut down"),
+            ServerError::ReadOnly => {
+                write!(
+                    f,
+                    "this server is a read-only follower; write on the primary"
+                )
+            }
+            ServerError::StaleGeneration { got, have } => write!(
+                f,
+                "stale generation: shipped group stamped gen {got}, log is at gen {have}"
+            ),
+            ServerError::Replication(msg) => write!(f, "replication failure: {msg}"),
+            ServerError::LineTooLong(cap) => {
+                write!(
+                    f,
+                    "line-too-long: request exceeded {cap} bytes and was discarded"
+                )
+            }
         }
     }
 }
@@ -113,6 +148,10 @@ mod tests {
             ServerError::SessionInit("x".into()),
             ServerError::Durability("x".into()),
             ServerError::Shutdown,
+            ServerError::ReadOnly,
+            ServerError::StaleGeneration { got: 0, have: 1 },
+            ServerError::Replication("x".into()),
+            ServerError::LineTooLong(1024),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -24,7 +24,9 @@ pub mod server;
 pub mod wire;
 
 pub use error::ServerError;
-pub use server::{Pending, Server, ServerConfig, ServerStats};
-pub use wire::serve_connection;
+pub use server::{
+    AckState, HealthReport, Pending, Server, ServerConfig, ServerRole, ServerStats, SlotHealth,
+};
+pub use wire::{serve_connection, serve_connection_with_limit};
 
 pub use machiavelli_value::governor::{QueryGuard, ServerCounters, Trip};

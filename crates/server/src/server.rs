@@ -26,20 +26,97 @@
 
 use crate::error::ServerError;
 use machiavelli::plan::physical::panic_message;
-use machiavelli::{Session, SessionError};
+use machiavelli::{is_read_only_source, Session, SessionError};
 use machiavelli_eval::EvalError;
 use machiavelli_store::shared;
 use machiavelli_value::faults::{self, FaultConfig, InjectedFaults};
 use machiavelli_value::governor::{self, QueryGuard, ServerCounters};
-use machiavelli_wal::SessionLog;
+use machiavelli_value::repl_counters::{note_repl_ack, note_repl_ack_lost, note_repl_promotion};
+use machiavelli_wal::{
+    install_replica, LogCursor, ReplicaApplyReport, SessionLog, Ship, SnapshotTransfer, WalError,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The replication role a server plays. Dynamic: `PROMOTE` flips a
+/// follower to primary at runtime; the config field only sets the
+/// starting role.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Accepts writes; streams committed WAL groups to followers.
+    #[default]
+    Primary,
+    /// Applies shipped groups; serves read-only `EVAL`s, answers
+    /// writes with `ERR read-only`.
+    Follower,
+}
+
+impl fmt::Display for ServerRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerRole::Primary => write!(f, "primary"),
+            ServerRole::Follower => write!(f, "follower"),
+        }
+    }
+}
+
+const ROLE_PRIMARY: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
+
+fn role_to_u8(role: ServerRole) -> u8 {
+    match role {
+        ServerRole::Primary => ROLE_PRIMARY,
+        ServerRole::Follower => ROLE_FOLLOWER,
+    }
+}
+
+fn role_from_u8(v: u8) -> ServerRole {
+    if v == ROLE_FOLLOWER {
+        ServerRole::Follower
+    } else {
+        ServerRole::Primary
+    }
+}
+
+/// The last ack a primary recorded from its follower, per session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AckState {
+    /// Generation the follower acked at.
+    pub gen: u64,
+    /// Commit groups the follower had applied in that generation.
+    pub groups: u64,
+}
+
+/// One session slot's health, as reported by `HEALTH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHealth {
+    pub sid: u64,
+    /// Poisoned by an earlier panic (only `CLOSE`/`RESTORE` work).
+    pub poisoned: bool,
+    /// The slot's log is doomed (awaiting a healing checkpoint).
+    pub doomed_log: bool,
+    /// Current log generation (`None` for in-memory sessions).
+    pub gen: Option<u64>,
+    /// Commit groups in the current log (`None` for in-memory).
+    pub groups: Option<u64>,
+    /// Replication lag in groups behind this server (primary view:
+    /// own groups minus the follower's last same-generation ack;
+    /// `None` on followers and for in-memory sessions).
+    pub lag: Option<u64>,
+}
+
+/// The server's health snapshot behind the `HEALTH` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    pub role: ServerRole,
+    pub slots: Vec<SlotHealth>,
+}
 
 /// Server tuning knobs. `Clone` so each worker thread can carry its
 /// own.
@@ -69,6 +146,10 @@ pub struct ServerConfig {
     /// a killed server comes back serving the same bindings. `None`
     /// (the default) keeps sessions purely in-memory.
     pub durable_root: Option<std::path::PathBuf>,
+    /// The replication role this server starts in. Followers enforce
+    /// read-only `EVAL`s and apply shipped WAL groups; `PROMOTE` flips
+    /// a follower to primary at runtime.
+    pub role: ServerRole,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +162,7 @@ impl Default for ServerConfig {
             shared_store: true,
             faults: None,
             durable_root: None,
+            role: ServerRole::Primary,
         }
     }
 }
@@ -153,6 +235,48 @@ enum Job {
         sid: u64,
         reply: Sender<Result<usize, ServerError>>,
     },
+    /// The slot's replication cursor and group count.
+    Cursor {
+        sid: u64,
+        reply: Sender<Result<(LogCursor, u64), ServerError>>,
+    },
+    /// Serve one follower catch-up request (primary side).
+    Ship {
+        sid: u64,
+        cursor: LogCursor,
+        reply: Sender<Result<Ship, ServerError>>,
+    },
+    /// Apply a shipped chunk (follower side); replies with the report
+    /// and the advanced cursor to ack with.
+    ReplApply {
+        sid: u64,
+        gen: u64,
+        bytes: Vec<u8>,
+        reply: Sender<Result<(ReplicaApplyReport, LogCursor), ServerError>>,
+    },
+    /// Install a full snapshot transfer and rebuild the slot from it
+    /// (follower healing / deep catch-up).
+    ReplInstall {
+        sid: u64,
+        transfer: Box<SnapshotTransfer>,
+        reply: Sender<Result<usize, ServerError>>,
+    },
+    /// Checkpoint every durable, healthy slot this worker owns (the
+    /// promotion fence and the graceful-shutdown flush). Replies with
+    /// the number of slots checkpointed. Being a queued job, it also
+    /// acts as a drain barrier: every eval admitted before it commits
+    /// first.
+    CheckpointAll {
+        reply: Sender<Result<u64, ServerError>>,
+    },
+    /// Per-slot health for this worker.
+    Health {
+        reply: Sender<Vec<SlotHealth>>,
+    },
+    /// Session ids this worker currently hosts.
+    Sids {
+        reply: Sender<Vec<u64>>,
+    },
     Shutdown,
 }
 
@@ -199,6 +323,12 @@ pub struct Server {
     /// admission, decremented by the owning worker when the job's reply
     /// is sent.
     queue_depth: Arc<AtomicI64>,
+    /// The replication role, shared with every worker (`ROLE_*`); flips
+    /// atomically on `PROMOTE`.
+    role: Arc<AtomicU8>,
+    /// Primary side: the last ack recorded per session — the data the
+    /// lag gauge is computed from.
+    acks: Arc<Mutex<HashMap<u64, AckState>>>,
 }
 
 impl Server {
@@ -210,6 +340,7 @@ impl Server {
         // spawning, so `spawn_denied` rolls against it.
         let prev = config.faults.map(|fc| faults::set_fault_config(Some(fc)));
         let queue_depth = Arc::new(AtomicI64::new(0));
+        let role = Arc::new(AtomicU8::new(role_to_u8(config.role)));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         let mut spawn_failures = 0;
         for i in 0..config.workers.max(1) {
@@ -219,10 +350,11 @@ impl Server {
             }
             let (tx, rx) = sync_channel(config.queue_cap.max(1));
             let depth = queue_depth.clone();
+            let worker_role = role.clone();
             let worker_config = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("machid-worker-{i}"))
-                .spawn(move || worker_main(rx, worker_config, depth));
+                .spawn(move || worker_main(rx, worker_config, depth, worker_role));
             match spawned {
                 Ok(handle) => workers.push(WorkerHandle {
                     tx,
@@ -240,6 +372,8 @@ impl Server {
             next_sid: AtomicU64::new(1),
             config,
             queue_depth,
+            role,
+            acks: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -344,6 +478,195 @@ impl Server {
         rx.recv().unwrap_or(Err(ServerError::Shutdown))
     }
 
+    /// The server's current replication role.
+    pub fn role(&self) -> ServerRole {
+        role_from_u8(self.role.load(Ordering::Relaxed))
+    }
+
+    /// Promote this server to primary, fencing the old one: every
+    /// durable session checkpoints, which bumps its generation, so any
+    /// groups a re-appearing old primary ships are stamped with a now
+    /// stale generation and rejected whole. Idempotent — promoting a
+    /// primary is a no-op. Returns the number of slots fenced.
+    pub fn promote(&self) -> Result<u64, ServerError> {
+        let was = self.role.swap(ROLE_PRIMARY, Ordering::SeqCst);
+        if was == ROLE_PRIMARY {
+            return Ok(0);
+        }
+        let fenced = self.checkpoint_all()?;
+        note_repl_promotion();
+        Ok(fenced)
+    }
+
+    /// Checkpoint every durable, healthy session on every worker — the
+    /// promotion fence and the graceful-shutdown flush. Because the
+    /// checkpoint rides the same FIFO queues as evals, every eval
+    /// admitted before this call commits before its slot checkpoints.
+    pub fn checkpoint_all(&self) -> Result<u64, ServerError> {
+        let mut total = 0u64;
+        for w in &self.workers {
+            let (reply, rx) = std::sync::mpsc::channel();
+            w.tx.send(Job::CheckpointAll { reply })
+                .map_err(|_| ServerError::Shutdown)?;
+            total += rx.recv().unwrap_or(Err(ServerError::Shutdown))?;
+        }
+        Ok(total)
+    }
+
+    /// Open (or re-open) a session under a *specific* id — how a
+    /// follower mirrors the primary's session space. Idempotent: an
+    /// already-open sid is left untouched. Future plain opens never
+    /// collide with an adopted id.
+    pub fn adopt_session(&self, sid: u64) -> Result<u64, ServerError> {
+        self.next_sid.fetch_max(sid + 1, Ordering::Relaxed);
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Open { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Session ids currently hosted, across all workers, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut sids = Vec::new();
+        for w in &self.workers {
+            let (reply, rx) = std::sync::mpsc::channel();
+            if w.tx.send(Job::Sids { reply }).is_ok() {
+                if let Ok(mut s) = rx.recv() {
+                    sids.append(&mut s);
+                }
+            }
+        }
+        sids.sort_unstable();
+        sids
+    }
+
+    /// A session's replication cursor and committed-group count.
+    pub fn cursor(&self, sid: u64) -> Result<(LogCursor, u64), ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Cursor { sid, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Serve one follower catch-up request against a session's log
+    /// (primary side of the `SHIP` verb).
+    pub fn ship(&self, sid: u64, cursor: LogCursor) -> Result<Ship, ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::Ship { sid, cursor, reply })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Apply a shipped chunk to a local follower session, returning the
+    /// apply report and the advanced cursor to ack with.
+    pub fn replica_apply(
+        &self,
+        sid: u64,
+        gen: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(ReplicaApplyReport, LogCursor), ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::ReplApply {
+                sid,
+                gen,
+                bytes,
+                reply,
+            })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Install a full snapshot transfer under a local follower session
+    /// and rebuild it from disk. Returns the bindings+records restored.
+    pub fn replica_install(
+        &self,
+        sid: u64,
+        transfer: SnapshotTransfer,
+    ) -> Result<usize, ServerError> {
+        let worker = self.route(sid)?;
+        let (reply, rx) = std::sync::mpsc::channel();
+        worker
+            .tx
+            .send(Job::ReplInstall {
+                sid,
+                transfer: Box::new(transfer),
+                reply,
+            })
+            .map_err(|_| ServerError::Shutdown)?;
+        rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Record a follower's ack (primary side of the `ACK` verb).
+    /// Subject to the injected ack-loss fault: a dropped ack leaves lag
+    /// visibly high until the next one lands. Returns whether the ack
+    /// was recorded.
+    pub fn record_ack(&self, sid: u64, gen: u64, groups: u64) -> bool {
+        if faults::ack_loss_due() {
+            note_repl_ack_lost();
+            return false;
+        }
+        note_repl_ack();
+        let mut acks = self.acks.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = acks.entry(sid).or_default();
+        // Acks can race out of order; never regress within a
+        // generation, always follow a generation bump.
+        if gen > entry.gen || (gen == entry.gen && groups > entry.groups) {
+            *entry = AckState { gen, groups };
+        }
+        true
+    }
+
+    /// The last ack recorded for a session, if any.
+    pub fn acked(&self, sid: u64) -> Option<AckState> {
+        self.acks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&sid)
+            .copied()
+    }
+
+    /// Per-slot health plus the server's role — the `HEALTH` verb.
+    /// Lag is the primary-side view: own groups minus the follower's
+    /// last same-generation ack (a cross-generation ack counts as fully
+    /// behind, since the follower must re-sync through a snapshot).
+    pub fn health(&self) -> HealthReport {
+        let role = self.role();
+        let mut slots = Vec::new();
+        for w in &self.workers {
+            let (reply, rx) = std::sync::mpsc::channel();
+            if w.tx.send(Job::Health { reply }).is_ok() {
+                if let Ok(mut s) = rx.recv() {
+                    slots.append(&mut s);
+                }
+            }
+        }
+        slots.sort_unstable_by_key(|s| s.sid);
+        if role == ServerRole::Primary {
+            let acks = self.acks.lock().unwrap_or_else(|p| p.into_inner());
+            for slot in &mut slots {
+                if let (Some(gen), Some(groups)) = (slot.gen, slot.groups) {
+                    slot.lag = Some(match acks.get(&slot.sid) {
+                        Some(a) if a.gen == gen => groups.saturating_sub(a.groups),
+                        _ => groups,
+                    });
+                }
+            }
+        }
+        HealthReport { role, slots }
+    }
+
     /// Close a session (also the only operation a poisoned session
     /// accepts).
     pub fn close_session(&self, sid: u64) -> Result<(), ServerError> {
@@ -439,6 +762,38 @@ impl Server {
             let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
             let _ = writeln!(out, "machiavelli_{name}_total {v}");
         }
+        let r = machiavelli_value::repl_counters::repl_counters();
+        for (name, v) in [
+            ("repl_ships", r.ships),
+            ("repl_ship_bytes", r.ship_bytes),
+            ("repl_snap_transfers", r.snap_transfers),
+            ("repl_groups_applied", r.groups_applied),
+            ("repl_stale_rejected", r.stale_rejected),
+            ("repl_acks", r.acks),
+            ("repl_acks_lost", r.acks_lost),
+            ("repl_promotions", r.promotions),
+        ] {
+            let _ = writeln!(out, "# TYPE machiavelli_{name}_total counter");
+            let _ = writeln!(out, "machiavelli_{name}_total {v}");
+        }
+        out.push_str("# TYPE machiavelli_repl_role gauge\n");
+        let _ = writeln!(
+            out,
+            "machiavelli_repl_role {}",
+            self.role.load(Ordering::Relaxed)
+        );
+        if self.config.durable_root.is_some() {
+            out.push_str("# TYPE machiavelli_repl_lag_groups gauge\n");
+            for slot in self.health().slots {
+                if let Some(lag) = slot.lag {
+                    let _ = writeln!(
+                        out,
+                        "machiavelli_repl_lag_groups{{sid=\"{}\"}} {lag}",
+                        slot.sid
+                    );
+                }
+            }
+        }
         out.push_str("# TYPE machiavelli_shared_hit_ratio gauge\n");
         let probes = sh.adoptions + sh.misses;
         let ratio = if probes == 0 {
@@ -497,16 +852,29 @@ fn session_dir(root: &std::path::Path, sid: u64) -> std::path::PathBuf {
     root.join(format!("session-{sid}"))
 }
 
-fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI64>) {
+fn worker_main(
+    rx: Receiver<Job>,
+    config: ServerConfig,
+    queue_depth: Arc<AtomicI64>,
+    role: Arc<AtomicU8>,
+) {
     shared::set_shared_enabled(config.shared_store);
     if let Some(fc) = config.faults {
         faults::set_fault_config(Some(fc));
     }
     let mut sessions: HashMap<u64, SessionSlot> = HashMap::new();
     while let Ok(job) = rx.recv() {
+        let follower = role.load(Ordering::Relaxed) == ROLE_FOLLOWER;
         match job {
             Job::Open { sid, reply } => {
-                let _ = reply.send(open_session(&mut sessions, &config, sid));
+                // Adoption is idempotent: re-opening a live sid (a
+                // replicator pass after a reconnect) keeps the slot.
+                let result = if sessions.contains_key(&sid) {
+                    Ok(sid)
+                } else {
+                    open_session(&mut sessions, &config, sid)
+                };
+                let _ = reply.send(result);
             }
             Job::Eval {
                 sid,
@@ -514,7 +882,7 @@ fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI
                 guard,
                 reply,
             } => {
-                let result = run_eval(&mut sessions, sid, &src, &guard);
+                let result = run_eval(&mut sessions, sid, &src, &guard, follower);
                 // The query leaves the gauge before the reply is
                 // delivered, so a caller who has seen its result (and
                 // then asks for METRICS) never observes itself as
@@ -532,13 +900,191 @@ fn worker_main(rx: Receiver<Job>, config: ServerConfig, queue_depth: Arc<AtomicI
                 let _ = reply.send(result);
             }
             Job::Save { sid, reply } => {
-                let _ = reply.send(run_save(&mut sessions, sid));
+                // A follower checkpoint would bump the generation away
+                // from the primary's stream: a write, so refused.
+                let result = if follower {
+                    Err(ServerError::ReadOnly)
+                } else {
+                    run_save(&mut sessions, sid)
+                };
+                let _ = reply.send(result);
             }
             Job::Restore { sid, reply } => {
                 let _ = reply.send(run_restore(&mut sessions, &config, sid));
             }
+            Job::Cursor { sid, reply } => {
+                let _ = reply.send(run_cursor(&mut sessions, sid));
+            }
+            Job::Ship { sid, cursor, reply } => {
+                let _ = reply.send(run_ship(&mut sessions, sid, cursor));
+            }
+            Job::ReplApply {
+                sid,
+                gen,
+                bytes,
+                reply,
+            } => {
+                let _ = reply.send(run_repl_apply(&mut sessions, sid, gen, &bytes));
+            }
+            Job::ReplInstall {
+                sid,
+                transfer,
+                reply,
+            } => {
+                let _ = reply.send(run_repl_install(&mut sessions, &config, sid, &transfer));
+            }
+            Job::CheckpointAll { reply } => {
+                let _ = reply.send(run_checkpoint_all(&mut sessions));
+            }
+            Job::Health { reply } => {
+                let mut slots: Vec<SlotHealth> = sessions
+                    .iter()
+                    .map(|(&sid, slot)| SlotHealth {
+                        sid,
+                        poisoned: slot.poisoned,
+                        doomed_log: slot.wal.as_ref().is_some_and(SessionLog::is_doomed),
+                        gen: slot.wal.as_ref().map(SessionLog::generation),
+                        groups: slot.wal.as_ref().map(SessionLog::groups),
+                        lag: None,
+                    })
+                    .collect();
+                slots.sort_unstable_by_key(|s| s.sid);
+                let _ = reply.send(slots);
+            }
+            Job::Sids { reply } => {
+                let mut sids: Vec<u64> = sessions.keys().copied().collect();
+                sids.sort_unstable();
+                let _ = reply.send(sids);
+            }
             Job::Shutdown => break,
         }
+    }
+}
+
+fn durable_slot(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    sid: u64,
+) -> Result<&mut SessionSlot, ServerError> {
+    let slot = sessions
+        .get_mut(&sid)
+        .ok_or(ServerError::NoSuchSession(sid))?;
+    if slot.wal.is_none() {
+        return Err(ServerError::Replication(
+            "session has no durable log (durability is disabled)".into(),
+        ));
+    }
+    Ok(slot)
+}
+
+fn run_cursor(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    sid: u64,
+) -> Result<(LogCursor, u64), ServerError> {
+    let slot = durable_slot(sessions, sid)?;
+    let wal = slot.wal.as_ref().expect("checked durable");
+    Ok((wal.cursor(), wal.groups()))
+}
+
+fn run_ship(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    sid: u64,
+    cursor: LogCursor,
+) -> Result<Ship, ServerError> {
+    let slot = durable_slot(sessions, sid)?;
+    let wal = slot.wal.as_mut().expect("checked durable");
+    wal.ship_from(cursor)
+        .map_err(|e| ServerError::Replication(e.to_string()))
+}
+
+fn run_repl_apply(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    sid: u64,
+    gen: u64,
+    bytes: &[u8],
+) -> Result<(ReplicaApplyReport, LogCursor), ServerError> {
+    let slot = durable_slot(sessions, sid)?;
+    if slot.poisoned {
+        return Err(ServerError::SessionPoisoned(sid));
+    }
+    let SessionSlot { session, wal, .. } = slot;
+    let wal = wal.as_mut().expect("checked durable");
+    match wal.replica_apply(session, gen, bytes) {
+        Ok(report) => Ok((report, wal.cursor())),
+        Err(WalError::StaleGeneration { got, have }) => {
+            Err(ServerError::StaleGeneration { got, have })
+        }
+        Err(e) => Err(ServerError::Replication(e.to_string())),
+    }
+}
+
+fn run_repl_install(
+    sessions: &mut HashMap<u64, SessionSlot>,
+    config: &ServerConfig,
+    sid: u64,
+    transfer: &SnapshotTransfer,
+) -> Result<usize, ServerError> {
+    let slot = durable_slot(sessions, sid)?;
+    let root = config
+        .durable_root
+        .as_ref()
+        .ok_or_else(|| ServerError::Replication("durability is disabled".into()))?;
+    let dir = session_dir(root, sid);
+    install_replica(&dir, transfer).map_err(|e| ServerError::Replication(e.to_string()))?;
+    // Rebuild the slot from the installed state — the restore path,
+    // shielded the same way.
+    let shield = faults::set_fault_config(Some(FaultConfig::off()));
+    let rebuilt = catch_unwind(AssertUnwindSafe(
+        || -> Result<(SessionSlot, usize), ServerError> {
+            let mut session =
+                Session::try_new().map_err(|e| ServerError::SessionInit(e.to_string()))?;
+            let (wal, report) = SessionLog::open(&dir, &mut session)
+                .map_err(|e| ServerError::Replication(e.to_string()))?;
+            let restored = report.snapshot_bindings + report.records_replayed as usize;
+            Ok((
+                SessionSlot {
+                    session,
+                    poisoned: false,
+                    wal: Some(wal),
+                },
+                restored,
+            ))
+        },
+    ));
+    faults::set_fault_config(shield);
+    match rebuilt {
+        Ok(Ok((fresh, restored))) => {
+            *slot = fresh;
+            Ok(restored)
+        }
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(ServerError::SessionInit(panic_message(payload.as_ref()))),
+    }
+}
+
+fn run_checkpoint_all(sessions: &mut HashMap<u64, SessionSlot>) -> Result<u64, ServerError> {
+    let mut done = 0u64;
+    let mut first_err = None;
+    for (_, slot) in sessions.iter_mut() {
+        if slot.poisoned {
+            continue;
+        }
+        let Some(wal) = slot.wal.as_mut() else {
+            continue;
+        };
+        match wal.checkpoint(&slot.session) {
+            Ok(()) => done += 1,
+            Err(e) => {
+                // Same failure posture as SAVE: the slot poisons, the
+                // sweep keeps fencing the others.
+                slot.poisoned = true;
+                governor::note_session_panicked();
+                first_err.get_or_insert(ServerError::Durability(e.to_string()));
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(done),
     }
 }
 
@@ -655,12 +1201,20 @@ fn run_eval(
     sid: u64,
     src: &str,
     guard: &Arc<QueryGuard>,
+    follower: bool,
 ) -> Result<Vec<String>, ServerError> {
     let slot = sessions
         .get_mut(&sid)
         .ok_or(ServerError::NoSuchSession(sid))?;
     if slot.poisoned {
         return Err(ServerError::SessionPoisoned(sid));
+    }
+    // Followers serve queries, not writes: declarations and `:=` are
+    // refused before evaluation so replica state never forks from the
+    // shipped stream. (Unparsable sources fall through — the evaluator
+    // reports the real parse error.)
+    if follower && !is_read_only_source(src) {
+        return Err(ServerError::ReadOnly);
     }
     // Queue wait may already have consumed the deadline (or the client
     // cancelled before we started): trip without evaluating.
@@ -690,12 +1244,16 @@ fn run_eval(
             // observe a result it might rely on. A commit failure
             // fail-hards (poison + typed error) — a session that
             // silently drifted ahead of its log would turn the next
-            // crash into data loss.
-            if let Some(wal) = slot.wal.as_mut() {
-                if let Err(e) = wal.commit(&slot.session, &outcomes) {
-                    slot.poisoned = true;
-                    governor::note_session_panicked();
-                    return Err(ServerError::Durability(e.to_string()));
+            // crash into data loss. Followers never commit: their log
+            // is the primary's byte-for-byte, and a read-only eval's
+            // scratch `it` binding must not fork it.
+            if !follower {
+                if let Some(wal) = slot.wal.as_mut() {
+                    if let Err(e) = wal.commit(&slot.session, &outcomes) {
+                        slot.poisoned = true;
+                        governor::note_session_panicked();
+                        return Err(ServerError::Durability(e.to_string()));
+                    }
                 }
             }
             // A trip can latch after the last governance tick (row
@@ -749,6 +1307,7 @@ mod tests {
             shared_store: false,
             faults: Some(FaultConfig::off()),
             durable_root: None,
+            role: ServerRole::Primary,
         }
     }
 

@@ -16,7 +16,7 @@
 //! the counters it asserts on.
 
 use machiavelli_server::faults::{FaultConfig, INJECTED_PANIC_PREFIX};
-use machiavelli_server::{QueryGuard, Server, ServerConfig, ServerError};
+use machiavelli_server::{QueryGuard, Server, ServerConfig, ServerError, ServerRole};
 use machiavelli_value::governor;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
@@ -57,6 +57,7 @@ fn base_config() -> ServerConfig {
         shared_store: false,
         faults: Some(FaultConfig::off()),
         durable_root: None,
+        role: ServerRole::Primary,
     }
 }
 
@@ -377,6 +378,7 @@ fn chaos_storm_100_sessions_stays_live() {
             ..FaultConfig::off()
         }),
         durable_root: None,
+        role: ServerRole::Primary,
     });
 
     let mut oks = 0u64;

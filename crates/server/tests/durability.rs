@@ -10,7 +10,7 @@
 //! are covered byte-for-byte in `machiavelli-wal`'s crash harness.
 
 use machiavelli_server::faults::FaultConfig;
-use machiavelli_server::{serve_connection, Server, ServerConfig, ServerError};
+use machiavelli_server::{serve_connection, Server, ServerConfig, ServerError, ServerRole};
 use std::path::PathBuf;
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -29,6 +29,7 @@ fn durable_config(root: &std::path::Path) -> ServerConfig {
         shared_store: false,
         faults: Some(FaultConfig::off()),
         durable_root: Some(root.to_path_buf()),
+        role: ServerRole::Primary,
     }
 }
 

@@ -7,7 +7,7 @@
 //! chaos suite; the single test below owns them outright.
 
 use machiavelli_server::faults::FaultConfig;
-use machiavelli_server::{serve_connection, Server, ServerConfig};
+use machiavelli_server::{serve_connection, Server, ServerConfig, ServerRole};
 
 fn quiet_config() -> ServerConfig {
     ServerConfig {
@@ -18,6 +18,7 @@ fn quiet_config() -> ServerConfig {
         shared_store: false,
         faults: Some(FaultConfig::off()),
         durable_root: None,
+        role: ServerRole::Primary,
     }
 }
 

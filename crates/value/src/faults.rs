@@ -13,6 +13,10 @@
 //! | [`wal_torn_due`] | truncate a WAL append mid-record (torn write) | `MACHIAVELLI_FAULT_WAL_TORN_PPM` |
 //! | [`wal_sync_fails`] | report a WAL sync (fsync) failure | `MACHIAVELLI_FAULT_WAL_SYNC_FAIL_PPM` |
 //! | [`checkpoint_kill_due`] | abort a checkpoint between its steps | `MACHIAVELLI_FAULT_CHECKPOINT_KILL_PPM` |
+//! | [`ship_disconnect_due`] | cut a replication chunk mid-stream (torn ship) | `MACHIAVELLI_FAULT_SHIP_DISCONNECT_PPM` |
+//! | [`ack_loss_due`] | drop a follower's ack on the floor | `MACHIAVELLI_FAULT_ACK_LOSS_PPM` |
+//! | [`follower_kill_due`] | kill a follower between pump rounds | `MACHIAVELLI_FAULT_FOLLOWER_KILL_PPM` |
+//! | [`promote_during_catchup_due`] | promote while a catch-up is in flight | `MACHIAVELLI_FAULT_PROMOTE_CATCHUP_PPM` |
 //!
 //! Probabilities are **parts per million** so low rates stay integral.
 //! Randomness is a per-thread xorshift stream derived from the config
@@ -60,6 +64,16 @@ pub struct FaultConfig {
     pub wal_sync_fail_ppm: u32,
     /// Probability that a checkpoint is killed between its steps.
     pub checkpoint_kill_ppm: u32,
+    /// Probability that a shipped replication chunk is cut mid-stream
+    /// (only a prefix reaches the follower — a simulated disconnect).
+    pub ship_disconnect_ppm: u32,
+    /// Probability that a follower's ack is lost before the primary
+    /// records it.
+    pub ack_loss_ppm: u32,
+    /// Probability that a follower is killed between pump rounds.
+    pub follower_kill_ppm: u32,
+    /// Probability that a promotion lands while a catch-up is mid-flight.
+    pub promote_catchup_ppm: u32,
     /// Base seed for the per-thread fault streams.
     pub seed: u64,
 }
@@ -77,6 +91,10 @@ impl FaultConfig {
             wal_torn_ppm: 0,
             wal_sync_fail_ppm: 0,
             checkpoint_kill_ppm: 0,
+            ship_disconnect_ppm: 0,
+            ack_loss_ppm: 0,
+            follower_kill_ppm: 0,
+            promote_catchup_ppm: 0,
             seed: 0,
         }
     }
@@ -91,6 +109,10 @@ impl FaultConfig {
             && self.wal_torn_ppm == 0
             && self.wal_sync_fail_ppm == 0
             && self.checkpoint_kill_ppm == 0
+            && self.ship_disconnect_ppm == 0
+            && self.ack_loss_ppm == 0
+            && self.follower_kill_ppm == 0
+            && self.promote_catchup_ppm == 0
     }
 }
 
@@ -123,6 +145,10 @@ fn env_config() -> Option<FaultConfig> {
             wal_torn_ppm: env_u32("MACHIAVELLI_FAULT_WAL_TORN_PPM"),
             wal_sync_fail_ppm: env_u32("MACHIAVELLI_FAULT_WAL_SYNC_FAIL_PPM"),
             checkpoint_kill_ppm: env_u32("MACHIAVELLI_FAULT_CHECKPOINT_KILL_PPM"),
+            ship_disconnect_ppm: env_u32("MACHIAVELLI_FAULT_SHIP_DISCONNECT_PPM"),
+            ack_loss_ppm: env_u32("MACHIAVELLI_FAULT_ACK_LOSS_PPM"),
+            follower_kill_ppm: env_u32("MACHIAVELLI_FAULT_FOLLOWER_KILL_PPM"),
+            promote_catchup_ppm: env_u32("MACHIAVELLI_FAULT_PROMOTE_CATCHUP_PPM"),
             seed: env_u64("MACHIAVELLI_FAULT_SEED"),
         };
         if cfg.is_inert() {
@@ -218,6 +244,10 @@ pub struct InjectedFaults {
     pub wal_torn_writes: u64,
     pub wal_sync_failures: u64,
     pub checkpoint_kills: u64,
+    pub ship_disconnects: u64,
+    pub ack_losses: u64,
+    pub follower_kills: u64,
+    pub promote_catchups: u64,
 }
 
 static INJ_EVAL_PANICS: AtomicU64 = AtomicU64::new(0);
@@ -228,6 +258,10 @@ static INJ_STORE_POISONS: AtomicU64 = AtomicU64::new(0);
 static INJ_WAL_TORN: AtomicU64 = AtomicU64::new(0);
 static INJ_WAL_SYNC_FAILS: AtomicU64 = AtomicU64::new(0);
 static INJ_CKPT_KILLS: AtomicU64 = AtomicU64::new(0);
+static INJ_SHIP_DISCONNECTS: AtomicU64 = AtomicU64::new(0);
+static INJ_ACK_LOSSES: AtomicU64 = AtomicU64::new(0);
+static INJ_FOLLOWER_KILLS: AtomicU64 = AtomicU64::new(0);
+static INJ_PROMOTE_CATCHUPS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the injected-fault tallies.
 pub fn injected_faults() -> InjectedFaults {
@@ -240,6 +274,10 @@ pub fn injected_faults() -> InjectedFaults {
         wal_torn_writes: INJ_WAL_TORN.load(Ordering::Relaxed),
         wal_sync_failures: INJ_WAL_SYNC_FAILS.load(Ordering::Relaxed),
         checkpoint_kills: INJ_CKPT_KILLS.load(Ordering::Relaxed),
+        ship_disconnects: INJ_SHIP_DISCONNECTS.load(Ordering::Relaxed),
+        ack_losses: INJ_ACK_LOSSES.load(Ordering::Relaxed),
+        follower_kills: INJ_FOLLOWER_KILLS.load(Ordering::Relaxed),
+        promote_catchups: INJ_PROMOTE_CATCHUPS.load(Ordering::Relaxed),
     }
 }
 
@@ -254,6 +292,10 @@ pub fn reset_injected_faults() {
         &INJ_WAL_TORN,
         &INJ_WAL_SYNC_FAILS,
         &INJ_CKPT_KILLS,
+        &INJ_SHIP_DISCONNECTS,
+        &INJ_ACK_LOSSES,
+        &INJ_FOLLOWER_KILLS,
+        &INJ_PROMOTE_CATCHUPS,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -399,6 +441,69 @@ pub fn checkpoint_kill_due() -> bool {
     false
 }
 
+/// Fail point: replication ship. Returns `true` (with probability
+/// `ship_disconnect_ppm`) when a shipped chunk should be cut
+/// mid-stream — only a [`torn_cut`] prefix reaches the follower, as if
+/// the connection dropped mid-`read`. Tallies the injection.
+pub fn ship_disconnect_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.ship_disconnect_ppm) {
+        INJ_SHIP_DISCONNECTS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Fail point: replication ack. Returns `true` (with probability
+/// `ack_loss_ppm`) when the primary should behave as if the follower's
+/// ack never arrived — lag stays visible until the next ack lands.
+/// Tallies the injection.
+pub fn ack_loss_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.ack_loss_ppm) {
+        INJ_ACK_LOSSES.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Fail point: follower lifecycle. Returns `true` (with probability
+/// `follower_kill_ppm`) when the harness should kill and re-open the
+/// follower between pump rounds. Tallies the injection.
+pub fn follower_kill_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.follower_kill_ppm) {
+        INJ_FOLLOWER_KILLS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Fail point: promotion timing. Returns `true` (with probability
+/// `promote_catchup_ppm`) when a promotion should land while a
+/// catch-up is still in flight — the nastiest fencing window. Tallies
+/// the injection.
+pub fn promote_during_catchup_due() -> bool {
+    if !faults_active() {
+        return false;
+    }
+    let cfg = fault_config();
+    if roll(cfg.seed, cfg.promote_catchup_ppm) {
+        INJ_PROMOTE_CATCHUPS.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +518,10 @@ mod tests {
         assert!(!wal_torn_due());
         assert!(!wal_sync_fails());
         assert!(!checkpoint_kill_due());
+        assert!(!ship_disconnect_due());
+        assert!(!ack_loss_due());
+        assert!(!follower_kill_due());
+        assert!(!promote_during_catchup_due());
         maybe_eval_panic();
         maybe_worker_panic();
         maybe_delay();
@@ -466,6 +575,29 @@ mod tests {
         assert!(after.wal_torn_writes > before.wal_torn_writes);
         assert!(after.wal_sync_failures > before.wal_sync_failures);
         assert!(after.checkpoint_kills > before.checkpoint_kills);
+    }
+
+    #[test]
+    fn repl_faults_fire_and_tally_at_certainty() {
+        let prev = set_fault_config(Some(FaultConfig {
+            ship_disconnect_ppm: 1_000_000,
+            ack_loss_ppm: 1_000_000,
+            follower_kill_ppm: 1_000_000,
+            promote_catchup_ppm: 1_000_000,
+            seed: 13,
+            ..FaultConfig::off()
+        }));
+        let before = injected_faults();
+        assert!(ship_disconnect_due());
+        assert!(ack_loss_due());
+        assert!(follower_kill_due());
+        assert!(promote_during_catchup_due());
+        let after = injected_faults();
+        set_fault_config(prev);
+        assert!(after.ship_disconnects > before.ship_disconnects);
+        assert!(after.ack_losses > before.ack_losses);
+        assert!(after.follower_kills > before.follower_kills);
+        assert!(after.promote_catchups > before.promote_catchups);
     }
 
     #[test]

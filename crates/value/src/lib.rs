@@ -15,6 +15,7 @@ pub mod governor;
 pub mod hash;
 pub mod ops;
 pub mod plain;
+pub mod repl_counters;
 pub mod set;
 pub mod shape;
 pub mod tuning;

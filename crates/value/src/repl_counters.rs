@@ -1,0 +1,141 @@
+//! **Process-wide replication counters** — the replication layer's
+//! observability feed, surfaced through the server's `METRICS`
+//! exposition and `HEALTH`.
+//!
+//! They live here for the same layering reason as [`crate::wal_counters`]:
+//! the wal and repl crates call the `note_*` hooks, while the server
+//! (which renders them) already depends on `machiavelli-value`.
+//!
+//! Counters are cumulative across every replicated session in the
+//! process and monotone except through [`reset_repl_counters`] (test
+//! setup only).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of the process-wide replication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplCounters {
+    /// Incremental chunks served to followers (empty caught-up replies
+    /// included — each `SHIP` answered with groups counts once).
+    pub ships: u64,
+    /// On-the-wire bytes of shipped group chunks.
+    pub ship_bytes: u64,
+    /// Full-state snapshot transfers served (stale cursor, diverged
+    /// prefix, or a follower too far behind a checkpoint).
+    pub snap_transfers: u64,
+    /// Commit groups applied on followers.
+    pub groups_applied: u64,
+    /// Shipped groups rejected for carrying a stale generation — the
+    /// fencing counter; nonzero means an old primary tried to replay
+    /// after a promotion.
+    pub stale_rejected: u64,
+    /// Follower acks recorded by a primary.
+    pub acks: u64,
+    /// Follower acks dropped by the injected ack-loss fault.
+    pub acks_lost: u64,
+    /// Promotions performed (follower fenced up to primary).
+    pub promotions: u64,
+}
+
+static SHIPS: AtomicU64 = AtomicU64::new(0);
+static SHIP_BYTES: AtomicU64 = AtomicU64::new(0);
+static SNAP_TRANSFERS: AtomicU64 = AtomicU64::new(0);
+static GROUPS_APPLIED: AtomicU64 = AtomicU64::new(0);
+static STALE_REJECTED: AtomicU64 = AtomicU64::new(0);
+static ACKS: AtomicU64 = AtomicU64::new(0);
+static ACKS_LOST: AtomicU64 = AtomicU64::new(0);
+static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Tally one incremental ship of `bytes` chunk bytes.
+pub fn note_repl_ship(bytes: u64) {
+    SHIPS.fetch_add(1, Ordering::Relaxed);
+    SHIP_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Tally one full-state snapshot transfer.
+pub fn note_repl_snap_transfer() {
+    SNAP_TRANSFERS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally `groups` commit groups applied on a follower.
+pub fn note_repl_groups_applied(groups: u64) {
+    GROUPS_APPLIED.fetch_add(groups, Ordering::Relaxed);
+}
+
+/// Tally one stale-generation rejection (the fencing counter).
+pub fn note_repl_stale_rejected() {
+    STALE_REJECTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally one follower ack recorded by a primary.
+pub fn note_repl_ack() {
+    ACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally one follower ack dropped by the injected ack-loss fault.
+pub fn note_repl_ack_lost() {
+    ACKS_LOST.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tally one promotion.
+pub fn note_repl_promotion() {
+    PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot the replication counters.
+pub fn repl_counters() -> ReplCounters {
+    ReplCounters {
+        ships: SHIPS.load(Ordering::Relaxed),
+        ship_bytes: SHIP_BYTES.load(Ordering::Relaxed),
+        snap_transfers: SNAP_TRANSFERS.load(Ordering::Relaxed),
+        groups_applied: GROUPS_APPLIED.load(Ordering::Relaxed),
+        stale_rejected: STALE_REJECTED.load(Ordering::Relaxed),
+        acks: ACKS.load(Ordering::Relaxed),
+        acks_lost: ACKS_LOST.load(Ordering::Relaxed),
+        promotions: PROMOTIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the replication counters (test setup; counters are
+/// process-wide, so tests that assert deltas should
+/// snapshot-and-subtract instead).
+pub fn reset_repl_counters() {
+    for c in [
+        &SHIPS,
+        &SHIP_BYTES,
+        &SNAP_TRANSFERS,
+        &GROUPS_APPLIED,
+        &STALE_REJECTED,
+        &ACKS,
+        &ACKS_LOST,
+        &PROMOTIONS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_accumulate_into_the_snapshot() {
+        let before = repl_counters();
+        note_repl_ship(256);
+        note_repl_snap_transfer();
+        note_repl_groups_applied(4);
+        note_repl_stale_rejected();
+        note_repl_ack();
+        note_repl_ack_lost();
+        note_repl_promotion();
+        let after = repl_counters();
+        assert!(after.ships > before.ships);
+        assert!(after.ship_bytes >= before.ship_bytes + 256);
+        assert!(after.snap_transfers > before.snap_transfers);
+        assert!(after.groups_applied >= before.groups_applied + 4);
+        assert!(after.stale_rejected > before.stale_rejected);
+        assert!(after.acks > before.acks);
+        assert!(after.acks_lost > before.acks_lost);
+        assert!(after.promotions > before.promotions);
+    }
+}

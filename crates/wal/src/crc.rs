@@ -31,7 +31,15 @@ static TABLE: [u32; 256] = build_table();
 
 /// CRC-32 of `bytes` (initial value all-ones, final xor all-ones).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = u32::MAX;
+    crc32_resume(0, bytes)
+}
+
+/// Extend a finished CRC-32 with more bytes:
+/// `crc32_resume(crc32(a), b) == crc32(a ++ b)`. The replication layer
+/// keeps a rolling checksum of the log's trusted prefix this way, so a
+/// cursor's CRC never requires re-reading the whole file.
+pub fn crc32_resume(prev: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !prev;
     for &b in bytes {
         crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
@@ -48,6 +56,15 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn resume_matches_one_shot() {
+        let data = b"MACHWAL v1 gen 3\nB2:it3:inti42:C";
+        for cut in 0..data.len() {
+            let (a, b) = data.split_at(cut);
+            assert_eq!(crc32_resume(crc32(a), b), crc32(data), "cut {cut}");
+        }
     }
 
     #[test]

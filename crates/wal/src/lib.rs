@@ -54,6 +54,9 @@ use machiavelli::persist::{
 };
 use machiavelli::{Outcome, Session};
 use machiavelli_value::epoch::DIRTY_REFS_CAP;
+use machiavelli_value::repl_counters::{
+    note_repl_groups_applied, note_repl_ship, note_repl_snap_transfer, note_repl_stale_rejected,
+};
 use machiavelli_value::wal_counters::{
     note_wal_append, note_wal_checkpoint, note_wal_commit, note_wal_recovery, note_wal_torn_tail,
 };
@@ -62,7 +65,7 @@ use machiavelli_value::{faults, set_wal_tracking, take_wal_dirty_refs, DirtyRefs
 pub mod crc;
 pub mod log;
 
-use crc::crc32;
+use crc::{crc32, crc32_resume};
 use log::{
     build_bind, build_delta, frame_record, log_header, parse_bind_at, parse_log_header,
     parse_payload, parse_snap_header, scan_records, snap_header, Payload, COMMIT,
@@ -97,6 +100,17 @@ pub enum WalError {
     CheckpointKilled {
         renamed: bool,
     },
+    /// A shipped commit group carried a generation that does not match
+    /// this log's — the signature of a fenced old primary replaying
+    /// stale groups after a promotion. The group is rejected whole.
+    StaleGeneration {
+        got: u64,
+        have: u64,
+    },
+    /// Replica apply could not use the shipped bytes against local
+    /// state (e.g. a delta naming an unknown durable ref): the streams
+    /// have diverged and the follower must heal by snapshot transfer.
+    ReplicaDiverged(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -117,6 +131,15 @@ impl std::fmt::Display for WalError {
                     f,
                     "checkpoint killed (injected; snapshot renamed: {renamed})"
                 )
+            }
+            WalError::StaleGeneration { got, have } => {
+                write!(
+                    f,
+                    "stale generation: shipped group stamped gen {got}, log is at gen {have}"
+                )
+            }
+            WalError::ReplicaDiverged(msg) => {
+                write!(f, "replica diverged from its primary: {msg}")
             }
         }
     }
@@ -172,6 +195,66 @@ pub struct RecoveryReport {
     pub recovered: bool,
 }
 
+/// A replication cursor: where in a primary's log a follower stands.
+///
+/// The triple is the divergence detector: two logs agree at a cursor
+/// iff they share the generation, the trusted byte offset, *and* the
+/// CRC of every log byte up to that offset. Byte-identical prefixes are
+/// the replication invariant — shipped groups are appended verbatim —
+/// so a CRC mismatch means the streams forked (e.g. a fenced old
+/// primary committed groups the new primary never saw) and the follower
+/// must heal by snapshot transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogCursor {
+    /// Checkpoint generation of the log.
+    pub gen: u64,
+    /// Byte length of the trusted (synced, commit-complete) prefix.
+    pub offset: u64,
+    /// CRC-32 of the log bytes `[0..offset]`, header included.
+    pub crc: u32,
+}
+
+/// What a primary ships for one catch-up request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ship {
+    /// Verbatim committed-group bytes from the requested offset to the
+    /// primary's synced watermark. Empty means the follower is caught
+    /// up. `groups` counts the complete commit groups in `bytes`.
+    Groups {
+        gen: u64,
+        from: u64,
+        groups: u64,
+        bytes: Vec<u8>,
+    },
+    /// The cursor could not be served incrementally (stale generation
+    /// after a checkpoint reset, or a diverged prefix): ship full state.
+    Snapshot(SnapshotTransfer),
+}
+
+/// A full-state transfer: the primary's snapshot file (absent at
+/// generation 0 before any checkpoint) plus its gen-matched log prefix,
+/// both verbatim. Installing these under a follower's directory and
+/// re-opening runs the ordinary crash-recovery path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotTransfer {
+    pub gen: u64,
+    pub snap: Option<Vec<u8>>,
+    pub log: Vec<u8>,
+}
+
+/// What one [`SessionLog::replica_apply`] did with a shipped chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaApplyReport {
+    /// Complete commit groups applied (and made durable locally).
+    pub groups_applied: u64,
+    /// Records applied from those groups (markers excluded).
+    pub records_applied: u64,
+    /// The chunk ended mid-group — an injected ship disconnect (or a
+    /// sender bug). The partial tail was discarded; re-request from
+    /// [`SessionLog::cursor`].
+    pub torn: bool,
+}
+
 /// The write-ahead log and checkpoint state attached to one session.
 ///
 /// On-disk layout under `dir`: `wal.log` (the delta log) and
@@ -195,6 +278,13 @@ pub struct SessionLog {
     /// Byte length of the log known to be on disk and synced; appends
     /// always start here.
     synced_len: u64,
+    /// Byte length of the generation header line.
+    header_len: u64,
+    /// Rolling CRC-32 of the trusted prefix `[0..synced_len]`.
+    prefix_crc: u32,
+    /// Complete commit groups in the current log (recovery-counted,
+    /// then bumped per commit / replica group) — the lag unit.
+    groups: u64,
 }
 
 impl SessionLog {
@@ -251,6 +341,9 @@ impl SessionLog {
         }
 
         let mut synced_len = 0u64;
+        let mut header_len = 0u64;
+        let mut prefix_crc = 0u32;
+        let mut groups = 0u64;
         let mut log_usable = false;
         if let Ok(bytes) = std::fs::read(&log_path) {
             let (log_gen, hlen) = parse_log_header(&bytes)?;
@@ -274,6 +367,9 @@ impl SessionLog {
                     f.sync_all()?;
                 }
                 synced_len = scan.keep_len;
+                header_len = hlen as u64;
+                prefix_crc = crc32(&bytes[..scan.keep_len as usize]);
+                groups = scan.groups.len() as u64;
                 log_usable = true;
             } else {
                 // A crash landed between the checkpoint's snapshot
@@ -284,6 +380,8 @@ impl SessionLog {
         }
         if !log_usable {
             synced_len = create_log(&log_path, gen)?;
+            header_len = synced_len;
+            prefix_crc = crc32(log_header(gen).as_bytes());
         }
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -306,6 +404,9 @@ impl SessionLog {
                 pending: DirtyRefs::default(),
                 doomed: false,
                 synced_len,
+                header_len,
+                prefix_crc,
+                groups,
             },
             report,
         ))
@@ -431,6 +532,7 @@ impl SessionLog {
         frame_record(COMMIT, &mut buf)?;
         let records = payloads.len() as u64 + 1;
         self.append_synced(&buf)?;
+        self.groups += 1;
         note_wal_append(records, buf.len() as u64);
         note_wal_commit();
         Ok(CommitReceipt {
@@ -472,6 +574,7 @@ impl SessionLog {
             return Err(WalError::SyncFailed);
         }
         self.synced_len += buf.len() as u64;
+        self.prefix_crc = crc32_resume(self.prefix_crc, buf);
         Ok(())
     }
 
@@ -515,6 +618,9 @@ impl SessionLog {
         }
         let log_path = self.dir.join("wal.log");
         self.synced_len = create_log(&log_path, next_gen)?;
+        self.header_len = self.synced_len;
+        self.prefix_crc = crc32(log_header(next_gen).as_bytes());
+        self.groups = 0;
         self.file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -537,6 +643,210 @@ impl SessionLog {
         let (_, hlen) = parse_log_header(&bytes)?;
         Ok(scan_records(&bytes, hlen).groups.len() as u64)
     }
+
+    // ---- replication -------------------------------------------------
+
+    /// Where this log's trusted prefix ends — what a follower sends to
+    /// request the next chunk, and what a primary compares acks against.
+    pub fn cursor(&self) -> LogCursor {
+        LogCursor {
+            gen: self.gen,
+            offset: self.synced_len,
+            crc: self.prefix_crc,
+        }
+    }
+
+    /// Complete commit groups in the current log — the unit replication
+    /// lag is measured in.
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// CRC-32 of the trusted prefix `[0..offset]`. The watermark case
+    /// is free (the rolling checksum); a lagging offset re-reads the
+    /// prefix from disk.
+    fn prefix_crc_at(&mut self, offset: u64) -> Result<u32, WalError> {
+        if offset == self.synced_len {
+            return Ok(self.prefix_crc);
+        }
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = vec![0u8; offset as usize];
+        self.file.read_exact(&mut buf)?;
+        Ok(crc32(&buf))
+    }
+
+    /// Serve one follower catch-up request. A cursor matching this
+    /// log's generation and prefix gets the verbatim committed bytes
+    /// from its offset to the synced watermark; anything else — a
+    /// generation reset under the follower, an offset outside the
+    /// trusted range, a prefix CRC that disagrees — gets a full
+    /// [`SnapshotTransfer`], because an incremental chunk appended to a
+    /// diverged log would silently corrupt it.
+    pub fn ship_from(&mut self, cursor: LogCursor) -> Result<Ship, WalError> {
+        let incremental = cursor.gen == self.gen
+            && cursor.offset >= self.header_len
+            && cursor.offset <= self.synced_len
+            && self.prefix_crc_at(cursor.offset.min(self.synced_len))? == cursor.crc;
+        if !incremental {
+            return Ok(Ship::Snapshot(self.snapshot_transfer()?));
+        }
+        let len = (self.synced_len - cursor.offset) as usize;
+        let mut bytes = vec![0u8; len];
+        self.file.seek(SeekFrom::Start(cursor.offset))?;
+        self.file.read_exact(&mut bytes)?;
+        let scan = scan_records(&bytes, 0);
+        // The trusted prefix is commit-complete by construction, so a
+        // torn scan of a slice of it is a local invariant violation.
+        debug_assert!(!scan.torn, "trusted prefix scanned torn");
+        note_repl_ship(bytes.len() as u64);
+        Ok(Ship::Groups {
+            gen: self.gen,
+            from: cursor.offset,
+            groups: scan.groups.len() as u64,
+            bytes,
+        })
+    }
+
+    /// The full durable state of this log for a follower that cannot be
+    /// served incrementally: the snapshot file verbatim (absent before
+    /// the first checkpoint) plus the gen-matched log prefix.
+    pub fn snapshot_transfer(&mut self) -> Result<SnapshotTransfer, WalError> {
+        let snap = match std::fs::read(self.dir.join("snapshot.mach")) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut log = vec![0u8; self.synced_len as usize];
+        self.file.read_exact(&mut log)?;
+        note_repl_snap_transfer();
+        Ok(SnapshotTransfer {
+            gen: self.gen,
+            snap,
+            log,
+        })
+    }
+
+    /// Apply a shipped chunk on a follower: complete groups replay into
+    /// `session` through the same machinery crash recovery uses, then
+    /// land verbatim at the synced watermark — so a follower's log stays
+    /// byte-identical to the primary's prefix it has acked.
+    ///
+    /// A generation mismatch is the fencing check: after a `PROMOTE`
+    /// bumps the survivor's generation, a re-appearing old primary's
+    /// groups carry the old one and are rejected whole
+    /// ([`WalError::StaleGeneration`]). A chunk cut mid-group (the
+    /// injected ship-disconnect, or a real half-received stream) applies
+    /// its complete prefix and reports `torn` — the follower re-requests
+    /// from its advanced cursor, exactly like recovery truncating a torn
+    /// tail. [`WalError::ReplicaDiverged`] means local state could not
+    /// absorb the bytes; the follower must heal by snapshot transfer.
+    pub fn replica_apply(
+        &mut self,
+        session: &mut Session,
+        gen: u64,
+        bytes: &[u8],
+    ) -> Result<ReplicaApplyReport, WalError> {
+        if gen != self.gen {
+            note_repl_stale_rejected();
+            return Err(WalError::StaleGeneration {
+                got: gen,
+                have: self.gen,
+            });
+        }
+        if self.doomed {
+            return Err(WalError::ReplicaDiverged(
+                "log doomed; reinstall from snapshot transfer".to_string(),
+            ));
+        }
+        // Injected fault: the stream dropped mid-chunk and only a
+        // seeded prefix arrived.
+        let landed = if faults::ship_disconnect_due() {
+            &bytes[..faults::torn_cut(bytes.len())]
+        } else {
+            bytes
+        };
+        let scan = scan_records(landed, 0);
+        let keep = &landed[..scan.keep_len as usize];
+        let mut records = 0u64;
+        for group in &scan.groups {
+            for payload in group {
+                if let Err(e) = apply_payload(payload, session, &mut self.reg, &mut self.names) {
+                    // Memory may be part-way through the group; only a
+                    // fresh install makes this slot trustworthy again.
+                    self.doomed = true;
+                    let _ = take_wal_dirty_refs();
+                    return Err(WalError::ReplicaDiverged(e.to_string()));
+                }
+                records += 1;
+            }
+        }
+        // Replay wrote through `RefValue::set`; those deltas are the
+        // primary's, already durable in the bytes we are about to land.
+        let _ = take_wal_dirty_refs();
+        if let Err(e) = self.append_synced(keep) {
+            self.doomed = true;
+            return Err(e);
+        }
+        self.groups += scan.groups.len() as u64;
+        note_repl_groups_applied(scan.groups.len() as u64);
+        Ok(ReplicaApplyReport {
+            groups_applied: scan.groups.len() as u64,
+            records_applied: records,
+            torn: scan.torn || landed.len() < bytes.len(),
+        })
+    }
+}
+
+/// Install a [`SnapshotTransfer`] under `dir`, replacing whatever
+/// durable state is there. Headers and the snapshot checksum are
+/// validated *before* anything is overwritten — a corrupt transfer must
+/// not destroy the follower's last good state. The caller re-opens via
+/// [`SessionLog::open`] with a fresh session; install order (snapshot,
+/// then log) keeps every crash point recoverable: a new snapshot with
+/// the old log is exactly the "stale log discarded" checkpoint crash.
+pub fn install_replica(dir: &Path, transfer: &SnapshotTransfer) -> Result<(), WalError> {
+    std::fs::create_dir_all(dir)?;
+    let (log_gen, _) = parse_log_header(&transfer.log)?;
+    if log_gen != transfer.gen {
+        return Err(WalError::BadHeader(format!(
+            "transfer log gen {log_gen} != transfer gen {}",
+            transfer.gen
+        )));
+    }
+    if let Some(snap) = &transfer.snap {
+        let (g, len, crc, hlen) = parse_snap_header(snap)?;
+        if g != transfer.gen {
+            return Err(WalError::BadHeader(format!(
+                "transfer snapshot gen {g} != transfer gen {}",
+                transfer.gen
+            )));
+        }
+        let payload = snap
+            .get(hlen..hlen.saturating_add(len))
+            .filter(|p| p.len() == len && hlen + len == snap.len())
+            .ok_or(WalError::Corrupt {
+                offset: hlen as u64,
+                what: "a transfer snapshot matching its declared length",
+            })?;
+        if crc32(payload) != crc {
+            return Err(WalError::Corrupt {
+                offset: hlen as u64,
+                what: "a transfer snapshot matching its checksum",
+            });
+        }
+        write_atomic(&dir.join("snapshot.mach"), snap)?;
+    } else {
+        if transfer.gen != 0 {
+            return Err(WalError::BadHeader(format!(
+                "snapshot-less transfer at gen {} (only gen 0 may lack one)",
+                transfer.gen
+            )));
+        }
+        let _ = std::fs::remove_file(dir.join("snapshot.mach"));
+    }
+    write_atomic(&dir.join("wal.log"), &transfer.log)?;
+    Ok(())
 }
 
 /// Write a fresh log containing only a generation header, atomically,
@@ -639,6 +949,23 @@ impl DurableSession {
 
     pub fn checkpoint(&mut self) -> Result<(), WalError> {
         self.log.checkpoint(&self.session)
+    }
+
+    /// Mutable log access — the primary side of replication
+    /// ([`SessionLog::ship_from`], [`SessionLog::snapshot_transfer`]).
+    pub fn log_mut(&mut self) -> &mut SessionLog {
+        &mut self.log
+    }
+
+    /// Follower side of replication: absorb a shipped chunk into both
+    /// the in-memory session and the local log
+    /// ([`SessionLog::replica_apply`]).
+    pub fn replica_apply(
+        &mut self,
+        gen: u64,
+        bytes: &[u8],
+    ) -> Result<ReplicaApplyReport, WalError> {
+        self.log.replica_apply(&mut self.session, gen, bytes)
     }
 }
 
@@ -743,6 +1070,244 @@ mod tests {
             "val it = 5 : int"
         );
         assert!(ds.eval("f(1);").is_err(), "functions do not persist");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pump every pending group from `p` to `f`, acking nothing —
+    /// returns the groups applied.
+    fn pump(p: &mut DurableSession, f: &mut DurableSession) -> u64 {
+        let mut applied = 0;
+        loop {
+            match p.log.ship_from(f.log.cursor()).unwrap() {
+                Ship::Groups { bytes, .. } if bytes.is_empty() => break,
+                Ship::Groups { gen, bytes, .. } => {
+                    let DurableSession { session, log } = f;
+                    let rep = log.replica_apply(session, gen, &bytes).unwrap();
+                    applied += rep.groups_applied;
+                }
+                Ship::Snapshot(t) => {
+                    install_replica(f.log.dir(), &t).unwrap();
+                    let dir = f.log.dir().to_path_buf();
+                    *f = DurableSession::open_bare(&dir).unwrap().0;
+                }
+            }
+        }
+        applied
+    }
+
+    #[test]
+    fn follower_log_is_byte_identical_after_streaming() {
+        let pd = tempdir("ship-p");
+        let fd = tempdir("ship-f");
+        let (mut p, _) = DurableSession::open_bare(&pd).unwrap();
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        p.eval("val x = 10;").unwrap();
+        p.eval("val r = ref(1);").unwrap();
+        p.eval("r := 2;").unwrap();
+        let applied = pump(&mut p, &mut f);
+        assert_eq!(applied, 3);
+        assert_eq!(f.log.cursor(), p.log.cursor(), "cursors converge");
+        assert_eq!(
+            std::fs::read(pd.join("wal.log")).unwrap(),
+            std::fs::read(fd.join("wal.log")).unwrap(),
+            "follower log is the primary's, byte for byte"
+        );
+        assert_eq!(
+            f.session.run("!r + x;").unwrap().pop().unwrap().show(),
+            "val it = 12 : int"
+        );
+        // Caught-up ship is empty and counts zero groups.
+        match p.log.ship_from(f.log.cursor()).unwrap() {
+            Ship::Groups { bytes, groups, .. } => {
+                assert!(bytes.is_empty());
+                assert_eq!(groups, 0);
+            }
+            other => panic!("expected empty groups, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&pd);
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn checkpointed_primary_serves_snapshot_transfer() {
+        let pd = tempdir("snap-p");
+        let fd = tempdir("snap-f");
+        let (mut p, _) = DurableSession::open_bare(&pd).unwrap();
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        p.eval("val a = 1;").unwrap();
+        pump(&mut p, &mut f);
+        // Checkpoint resets the primary's log generation under the
+        // follower's cursor: incremental shipping is impossible.
+        p.checkpoint().unwrap();
+        p.eval("val b = 2;").unwrap();
+        match p.log.ship_from(f.log.cursor()).unwrap() {
+            Ship::Snapshot(t) => {
+                assert_eq!(t.gen, 1);
+                assert!(t.snap.is_some());
+                install_replica(f.log.dir(), &t).unwrap();
+            }
+            other => panic!("expected snapshot transfer, got {other:?}"),
+        }
+        let (mut f, report) = DurableSession::open_bare(&fd).unwrap();
+        assert_eq!(report.snapshot_bindings, 1);
+        assert_eq!(report.commits_replayed, 1);
+        assert_eq!(f.log.cursor(), p.log.cursor());
+        assert_eq!(
+            f.session.run("a + b;").unwrap().pop().unwrap().show(),
+            "val it = 3 : int"
+        );
+        let _ = std::fs::remove_dir_all(&pd);
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn stale_generation_groups_are_rejected_whole() {
+        let pd = tempdir("stale-p");
+        let fd = tempdir("stale-f");
+        let (mut p, _) = DurableSession::open_bare(&pd).unwrap();
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        p.eval("val x = 1;").unwrap();
+        let Ship::Groups { bytes, .. } = p.log.ship_from(f.log.cursor()).unwrap() else {
+            panic!("expected groups");
+        };
+        // Fence the follower: a checkpoint bumps its generation, which
+        // is exactly what PROMOTE does.
+        f.checkpoint().unwrap();
+        let before = f.log.cursor();
+        let DurableSession { session, log } = &mut f;
+        match log.replica_apply(session, 0, &bytes) {
+            Err(WalError::StaleGeneration { got: 0, have: 1 }) => {}
+            other => panic!("expected StaleGeneration, got {other:?}"),
+        }
+        assert_eq!(f.log.cursor(), before, "rejection applies nothing");
+        let _ = std::fs::remove_dir_all(&pd);
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn diverged_cursor_heals_via_snapshot_transfer() {
+        let pd = tempdir("div-p");
+        let fd = tempdir("div-f");
+        let (mut p, _) = DurableSession::open_bare(&pd).unwrap();
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        p.eval("val x = 1;").unwrap();
+        pump(&mut p, &mut f);
+        // Fork the streams: the follower commits locally (as a wrongly
+        // un-fenced primary would), so offsets match but CRCs do not.
+        f.eval("val y = 2;").unwrap();
+        p.eval("val z = 3;").unwrap();
+        let cur = f.log.cursor();
+        assert_eq!(cur.gen, p.log.cursor().gen);
+        match p.log.ship_from(cur).unwrap() {
+            Ship::Snapshot(t) => {
+                install_replica(f.log.dir(), &t).unwrap();
+            }
+            other => panic!("diverged prefix must force a snapshot, got {other:?}"),
+        }
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        assert_eq!(f.log.cursor(), p.log.cursor());
+        assert!(
+            f.session.run("y;").is_err(),
+            "the forked commit is gone after healing"
+        );
+        assert_eq!(
+            f.session.run("x + z;").unwrap().pop().unwrap().show(),
+            "val it = 4 : int"
+        );
+        let _ = std::fs::remove_dir_all(&pd);
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn torn_ship_applies_prefix_and_resumes() {
+        use machiavelli_value::faults::{set_fault_config, FaultConfig};
+        let pd = tempdir("torn-p");
+        let fd = tempdir("torn-f");
+        let (mut p, _) = DurableSession::open_bare(&pd).unwrap();
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        for i in 0..6 {
+            p.eval(&format!("val n{i} = {i};")).unwrap();
+        }
+        let Ship::Groups { bytes, groups, .. } = p.log.ship_from(f.log.cursor()).unwrap() else {
+            panic!("expected groups");
+        };
+        assert_eq!(groups, 6);
+        // First apply is cut mid-stream; the complete prefix lands.
+        let prev = set_fault_config(Some(FaultConfig {
+            ship_disconnect_ppm: 1_000_000,
+            seed: 21,
+            ..FaultConfig::off()
+        }));
+        let DurableSession { session, log } = &mut f;
+        let rep = log.replica_apply(session, 0, &bytes).unwrap();
+        set_fault_config(prev);
+        assert!(rep.torn, "certain disconnect must report torn");
+        assert!(rep.groups_applied < 6);
+        // Re-request from the advanced cursor: the remainder streams.
+        pump(&mut p, &mut f);
+        assert_eq!(f.log.cursor(), p.log.cursor());
+        assert_eq!(
+            f.session
+                .run("n0 + n1 + n2 + n3 + n4 + n5;")
+                .unwrap()
+                .pop()
+                .unwrap()
+                .show(),
+            "val it = 15 : int"
+        );
+        let _ = std::fs::remove_dir_all(&pd);
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn install_replica_validates_before_overwriting() {
+        let fd = tempdir("inst-f");
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        f.eval("val keep = 7;").unwrap();
+        drop(f);
+        // Gen-mismatched log: refused, state intact.
+        let bad = SnapshotTransfer {
+            gen: 3,
+            snap: None,
+            log: log_header(2).into_bytes(),
+        };
+        assert!(matches!(
+            install_replica(&fd, &bad),
+            Err(WalError::BadHeader(_))
+        ));
+        // Corrupt snapshot payload: refused, state intact.
+        let mut snap = snap_header(1, 4, 0xDEAD_BEEF).into_bytes();
+        snap.extend_from_slice(b"i7:4");
+        let bad = SnapshotTransfer {
+            gen: 1,
+            snap: Some(snap),
+            log: log_header(1).into_bytes(),
+        };
+        assert!(matches!(
+            install_replica(&fd, &bad),
+            Err(WalError::Corrupt { .. })
+        ));
+        let (mut f, _) = DurableSession::open_bare(&fd).unwrap();
+        assert_eq!(
+            f.session.run("keep;").unwrap().pop().unwrap().show(),
+            "val it = 7 : int"
+        );
+        let _ = std::fs::remove_dir_all(&fd);
+    }
+
+    #[test]
+    fn cursor_tracks_groups_and_survives_reopen() {
+        let dir = tempdir("cursor");
+        let (mut ds, _) = DurableSession::open_bare(&dir).unwrap();
+        assert_eq!(ds.log.groups(), 0);
+        ds.eval("val x = 1;").unwrap();
+        ds.eval("val y = 2;").unwrap();
+        assert_eq!(ds.log.groups(), 2);
+        let cur = ds.log.cursor();
+        drop(ds);
+        let (ds, _) = DurableSession::open_bare(&dir).unwrap();
+        assert_eq!(ds.log.cursor(), cur, "cursor is recovery-stable");
+        assert_eq!(ds.log.groups(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
